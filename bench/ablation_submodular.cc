@@ -1,0 +1,107 @@
+// Ablation D: beyond modular quality. Paper §4's contribution is exactly
+// that Greedy B keeps its 2-approximation for monotone submodular f, where
+// Greedy A's reduction does not even apply. This bench runs Greedy B and LS
+// with coverage and facility-location quality functions against OPT, and
+// contrasts with a "modularized" surrogate (each element scored by its
+// singleton value) to show how much submodularity-awareness matters.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "algorithms/brute_force.h"
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "submodular/coverage_function.h"
+#include "submodular/facility_location.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace diverse {
+namespace {
+
+// Greedy B run with a modular surrogate of `fn` (weights = singleton
+// values), evaluated under the true submodular objective.
+double ModularSurrogate(const Dataset& data, const SetFunction& fn,
+                        double lambda, int p) {
+  std::vector<double> singleton(fn.ground_size());
+  for (int u = 0; u < fn.ground_size(); ++u) {
+    const std::vector<int> s = {u};
+    singleton[u] = fn.Value(s);
+  }
+  const ModularFunction surrogate(singleton);
+  const DiversificationProblem surrogate_problem(&data.metric, &surrogate,
+                                                 lambda);
+  const AlgorithmResult pick = GreedyVertex(surrogate_problem, {.p = p});
+  const DiversificationProblem true_problem(&data.metric, &fn, lambda);
+  return true_problem.Objective(pick.elements);
+}
+
+int Run(int n, int p, int trials, double lambda, std::uint64_t seed) {
+  std::cout << "Ablation D: submodular quality functions (N = " << n
+            << ", p = " << p << ", lambda = " << lambda << ")\n\n";
+  TextTable table({"quality", "AF_GreedyB", "AF_LS", "AF_modular_surrogate"});
+  Rng rng(seed);
+
+  for (const std::string kind : {"coverage", "facility_location"}) {
+    double af_b = 0.0;
+    double af_ls = 0.0;
+    double af_sur = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      Dataset data = MakeUniformSynthetic(n, rng);
+      std::unique_ptr<SetFunction> fn;
+      if (kind == "coverage") {
+        std::vector<std::vector<int>> covers(n);
+        for (auto& cv : covers) {
+          cv = rng.SampleWithoutReplacement(12, rng.UniformInt(2, 6));
+        }
+        std::vector<double> topic_weights(12);
+        for (double& w : topic_weights) w = rng.Uniform(0.5, 2.0);
+        fn = std::make_unique<CoverageFunction>(covers, topic_weights);
+      } else {
+        std::vector<std::vector<double>> sim(n, std::vector<double>(n));
+        for (auto& row : sim) {
+          for (double& x : row) x = rng.Uniform(0.0, 1.0);
+        }
+        fn = std::make_unique<FacilityLocationFunction>(sim);
+      }
+      const DiversificationProblem problem(&data.metric, fn.get(), lambda);
+      const AlgorithmResult b = GreedyVertex(problem, {.p = p});
+      const AlgorithmResult ls = bench::RunPaperLs(problem, b, p);
+      const double opt = BruteForceCardinality(problem, {.p = p}).objective;
+      af_b += bench::Af(opt, b.objective);
+      af_ls += bench::Af(opt, ls.objective);
+      af_sur += bench::Af(opt, ModularSurrogate(data, *fn, lambda, p));
+    }
+    table.NewRow()
+        .AddCell(kind)
+        .AddDouble(af_b / trials)
+        .AddDouble(af_ls / trials)
+        .AddDouble(af_sur / trials);
+  }
+  table.Print(std::cout);
+  std::cout << "\n(expected shape: Greedy B and LS near 1; the modular "
+               "surrogate measurably worse, since it over-counts "
+               "overlapping gains)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace diverse
+
+int main(int argc, char** argv) {
+  int n = 18;
+  int p = 6;
+  int trials = 5;
+  double lambda = 0.2;
+  std::int64_t seed = 12;
+  diverse::FlagSet flags("Ablation D: submodular quality functions");
+  flags.AddInt("n", &n, "universe size");
+  flags.AddInt("p", &p, "solution cardinality");
+  flags.AddInt("trials", &trials, "trials to average");
+  flags.AddDouble("lambda", &lambda, "quality/diversity trade-off");
+  flags.AddInt64("seed", &seed, "random seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  return diverse::Run(n, p, trials, lambda,
+                      static_cast<std::uint64_t>(seed));
+}

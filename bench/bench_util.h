@@ -1,0 +1,53 @@
+// Shared plumbing for the experiment binaries in bench/. Each binary
+// reproduces one table or figure of the paper; these helpers implement the
+// §7 protocol details (LS initialized from Greedy B and capped at 10x its
+// runtime, observed approximation factors, etc.).
+#ifndef DIVERSE_BENCH_BENCH_UTIL_H_
+#define DIVERSE_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "algorithms/greedy_edge.h"
+#include "algorithms/greedy_vertex.h"
+#include "algorithms/local_search.h"
+#include "algorithms/result.h"
+#include "core/diversification_problem.h"
+#include "matroid/uniform_matroid.h"
+#include "submodular/modular_function.h"
+
+namespace diverse {
+namespace bench {
+
+// The paper's LS protocol (§7): start from the Greedy B solution and run
+// best-improvement single swaps until local optimality or 10x the Greedy B
+// wall time.
+inline AlgorithmResult RunPaperLs(const DiversificationProblem& problem,
+                                  const AlgorithmResult& greedy_b, int p) {
+  const UniformMatroid matroid(problem.size(), std::min(p, problem.size()));
+  LocalSearchOptions options;
+  options.initial = greedy_b.elements;
+  options.time_limit_seconds =
+      std::max(10.0 * greedy_b.elapsed_seconds, 1e-4);
+  return LocalSearch(problem, matroid, options);
+}
+
+// Observed approximation factor OPT / ALG (the paper's AF columns).
+inline double Af(double opt, double alg) { return alg > 0 ? opt / alg : 0.0; }
+
+// Pretty element list "{a, b, c}" for Table 8-style output.
+inline std::string ElementsToString(std::vector<int> elements) {
+  std::sort(elements.begin(), elements.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(elements[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace bench
+}  // namespace diverse
+
+#endif  // DIVERSE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the per-operation costs that
+// determine the experiment-scale running times: greedy steps, swap-gain
+// evaluation, evaluator updates, and the exact solver.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/brute_force.h"
+#include "algorithms/greedy_edge.h"
+#include "algorithms/greedy_vertex.h"
+#include "algorithms/local_search.h"
+#include "core/solution_state.h"
+#include "data/synthetic.h"
+#include "matroid/uniform_matroid.h"
+#include "submodular/coverage_function.h"
+#include "submodular/modular_function.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+struct Shared {
+  Dataset data;
+  ModularFunction weights;
+  DiversificationProblem problem;
+
+  Shared(int n, double lambda, std::uint64_t seed, Rng&& rng)
+      : data(MakeUniformSynthetic(n, rng)),
+        weights(data.weights),
+        problem(&data.metric, &weights, lambda) {}
+  Shared(int n, double lambda = 0.2, std::uint64_t seed = 1)
+      : Shared(n, lambda, seed, Rng(seed)) {}
+};
+
+void BM_GreedyVertex(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int p = static_cast<int>(state.range(1));
+  Shared shared(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyVertex(shared.problem, {.p = p}));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GreedyVertex)
+    ->Args({100, 10})
+    ->Args({200, 10})
+    ->Args({400, 10})
+    ->Args({400, 40})
+    ->Complexity(benchmark::oN);
+
+void BM_GreedyEdge(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int p = static_cast<int>(state.range(1));
+  Shared shared(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GreedyEdge(shared.problem, shared.weights, {.p = p}));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GreedyEdge)
+    ->Args({100, 10})
+    ->Args({200, 10})
+    ->Args({400, 10})
+    ->Complexity(benchmark::oNSquared);
+
+void BM_SolutionStateAdd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Shared shared(n);
+  SolutionState solution(&shared.problem);
+  int v = 0;
+  for (auto _ : state) {
+    solution.Add(v);
+    solution.Remove(v);
+    v = (v + 1) % n;
+  }
+}
+BENCHMARK(BM_SolutionStateAdd)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_SwapGain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Shared shared(n);
+  SolutionState solution(&shared.problem);
+  for (int v = 0; v < 20; ++v) solution.Add(v);
+  int in = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solution.SwapGain(5, in));
+    in = 20 + (in - 19) % (n - 20);
+  }
+}
+BENCHMARK(BM_SwapGain)->Arg(100)->Arg(1000);
+
+void BM_LocalSearchFull(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int p = 10;
+  Shared shared(n);
+  const UniformMatroid matroid(n, p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LocalSearch(shared.problem, matroid, {}));
+  }
+}
+BENCHMARK(BM_LocalSearchFull)->Arg(60)->Arg(120);
+
+void BM_BruteForce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int p = static_cast<int>(state.range(1));
+  Shared shared(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BruteForceCardinality(shared.problem, {.p = p}));
+  }
+}
+BENCHMARK(BM_BruteForce)->Args({20, 5})->Args({30, 5})->Args({40, 4});
+
+void BM_CoverageEvaluatorGain(benchmark::State& state) {
+  Rng rng(3);
+  const int n = 500;
+  std::vector<std::vector<int>> covers(n);
+  for (auto& cv : covers) {
+    cv = rng.SampleWithoutReplacement(50, rng.UniformInt(3, 10));
+  }
+  const CoverageFunction fn(covers, std::vector<double>(50, 1.0));
+  auto eval = fn.MakeEvaluator();
+  for (int v = 0; v < 50; ++v) eval->Add(v);
+  int u = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval->Gain(u));
+    u = 50 + (u - 49) % (n - 50);
+  }
+}
+BENCHMARK(BM_CoverageEvaluatorGain);
+
+}  // namespace
+}  // namespace diverse
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Micro-benchmarks for the matroid independence oracles — the inner loop
+// of matroid local search (paper §5). CanExchange cost dominates LS
+// iteration cost, so each oracle's exchange path is measured.
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "matroid/graphic_matroid.h"
+#include "matroid/laminar_matroid.h"
+#include "matroid/partition_matroid.h"
+#include "matroid/transversal_matroid.h"
+#include "matroid/truncated_matroid.h"
+#include "matroid/uniform_matroid.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+std::vector<int> FirstK(int k) {
+  std::vector<int> v(k);
+  for (int i = 0; i < k; ++i) v[i] = i;
+  return v;
+}
+
+void BM_UniformCanExchange(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const UniformMatroid m(n, n / 4);
+  const std::vector<int> set = FirstK(n / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.CanExchange(set, 0, n - 1));
+  }
+}
+BENCHMARK(BM_UniformCanExchange)->Arg(100)->Arg(1000);
+
+void BM_PartitionCanExchange(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int> block_of(n);
+  for (int i = 0; i < n; ++i) block_of[i] = i % 10;
+  const PartitionMatroid m(block_of, std::vector<int>(10, n / 20));
+  const std::vector<int> set = FirstK(n / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.CanExchange(set, 0, n - 1));
+  }
+}
+BENCHMARK(BM_PartitionCanExchange)->Arg(100)->Arg(1000);
+
+void BM_TransversalIsIndependent(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<std::vector<int>> collections(n / 4);
+  for (auto& c : collections) {
+    c = rng.SampleWithoutReplacement(n, 8);
+  }
+  const TransversalMatroid m(n, collections);
+  const std::vector<int> set = FirstK(n / 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.IsIndependent(set));
+  }
+}
+BENCHMARK(BM_TransversalIsIndependent)->Arg(64)->Arg(256);
+
+void BM_GraphicIsIndependent(benchmark::State& state) {
+  const int vertices = static_cast<int>(state.range(0));
+  Rng rng(2);
+  std::vector<std::pair<int, int>> edges;
+  for (int e = 0; e < 4 * vertices; ++e) {
+    edges.emplace_back(rng.UniformInt(0, vertices - 1),
+                       rng.UniformInt(0, vertices - 1));
+  }
+  const GraphicMatroid m(vertices, edges);
+  const std::vector<int> set = FirstK(vertices / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.IsIndependent(set));
+  }
+}
+BENCHMARK(BM_GraphicIsIndependent)->Arg(64)->Arg(512);
+
+void BM_LaminarIsIndependent(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  // Nested halves: {0..n-1}, {0..n/2-1}, {0..n/4-1}, ...
+  std::vector<std::vector<int>> family;
+  std::vector<int> caps;
+  for (int span = n; span >= 2; span /= 2) {
+    family.push_back(FirstK(span));
+    caps.push_back(span / 2);
+  }
+  const LaminarMatroid m(n, family, caps);
+  const std::vector<int> set = FirstK(n / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.IsIndependent(set));
+  }
+}
+BENCHMARK(BM_LaminarIsIndependent)->Arg(64)->Arg(512);
+
+void BM_TruncatedOverhead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int> block_of(n);
+  for (int i = 0; i < n; ++i) block_of[i] = i % 10;
+  const PartitionMatroid base(block_of, std::vector<int>(10, n / 10));
+  const TruncatedMatroid m(&base, n / 4);
+  const std::vector<int> set = FirstK(n / 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.IsIndependent(set));
+  }
+}
+BENCHMARK(BM_TruncatedOverhead)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace diverse
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Reproduces paper Table 4: Greedy A vs Greedy B vs OPT on the top-50
+// documents of one (simulated) LETOR query, p = 3..7, lambda = 0.2.
+// Quality = sum of relevance grades; distance = cosine distance of feature
+// vectors (see data/letor_sim.h and DESIGN.md for the substitution).
+//
+//   Columns: p, OPT, GreedyA, GreedyB, AF_GreedyA, AF_GreedyB, AF_B/A
+#include <cstdint>
+#include <iostream>
+
+#include "algorithms/brute_force.h"
+#include "bench_util.h"
+#include "data/letor_sim.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace diverse {
+namespace {
+
+int Run(int corpus, int top_k, int p_min, int p_max, double lambda,
+        std::uint64_t seed) {
+  std::cout << "Table 4: Greedy A vs Greedy B on simulated LETOR, top "
+            << top_k << " documents (lambda = " << lambda << ")\n\n";
+  Rng rng(seed);
+  LetorConfig config;
+  config.num_documents = corpus;
+  const LetorQuery full = MakeLetorQuery(config, rng);
+  const LetorQuery query = TopKDocuments(full, top_k);
+  const ModularFunction weights(query.data.weights);
+  const DiversificationProblem problem(&query.data.metric, &weights, lambda);
+
+  TextTable table({"p", "OPT", "GreedyA", "GreedyB", "AF_GreedyA",
+                   "AF_GreedyB", "AF_B/A"});
+  for (int p = p_min; p <= p_max; ++p) {
+    const double opt = BruteForceCardinality(problem, {.p = p}).objective;
+    const double a = GreedyEdge(problem, weights, {.p = p}).objective;
+    const double b = GreedyVertex(problem, {.p = p}).objective;
+    table.NewRow()
+        .AddInt(p)
+        .AddDouble(opt)
+        .AddDouble(a)
+        .AddDouble(b)
+        .AddDouble(bench::Af(opt, a))
+        .AddDouble(bench::Af(opt, b))
+        .AddDouble(a > 0 ? b / a : 0.0);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace diverse
+
+int main(int argc, char** argv) {
+  int corpus = 370;
+  int top_k = 50;
+  int p_min = 3;
+  int p_max = 7;
+  double lambda = 0.2;
+  std::int64_t seed = 4;
+  diverse::FlagSet flags("Paper Table 4: LETOR top-50 with OPT");
+  flags.AddInt("corpus", &corpus, "documents retrieved for the query");
+  flags.AddInt("topk", &top_k, "documents kept (by relevance)");
+  flags.AddInt("pmin", &p_min, "smallest cardinality");
+  flags.AddInt("pmax", &p_max, "largest cardinality");
+  flags.AddDouble("lambda", &lambda, "quality/diversity trade-off");
+  flags.AddInt64("seed", &seed, "random seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  return diverse::Run(corpus, top_k, p_min, p_max, lambda,
+                      static_cast<std::uint64_t>(seed));
+}

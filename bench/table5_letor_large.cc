@@ -1,0 +1,76 @@
+// Reproduces paper Table 5: Greedy A vs Greedy B vs LS on the top-370
+// documents of one (simulated) LETOR query, p = 5..75 step 5, with wall
+// times and the paper's 10x-Greedy-B LS budget.
+//
+//   Columns: p, GreedyA, GreedyB, LS, AF_B/A, AF_LS/B, TimeA_ms, TimeB_ms,
+//            TimeA/TimeB
+#include <cstdint>
+#include <iostream>
+
+#include "bench_util.h"
+#include "data/letor_sim.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace diverse {
+namespace {
+
+int Run(int corpus, int top_k, int p_min, int p_max, int p_step,
+        double lambda, std::uint64_t seed) {
+  std::cout << "Table 5: Greedy A vs Greedy B vs LS on simulated LETOR, top "
+            << top_k << " documents (lambda = " << lambda << ")\n\n";
+  Rng rng(seed);
+  LetorConfig config;
+  config.num_documents = corpus;
+  const LetorQuery full = MakeLetorQuery(config, rng);
+  const LetorQuery query = TopKDocuments(full, top_k);
+  const ModularFunction weights(query.data.weights);
+  const DiversificationProblem problem(&query.data.metric, &weights, lambda);
+
+  TextTable table({"p", "GreedyA", "GreedyB", "LS", "AF_B/A", "AF_LS/B",
+                   "TimeA_ms", "TimeB_ms", "TimeA/TimeB"});
+  for (int p = p_min; p <= p_max; p += p_step) {
+    const AlgorithmResult a = GreedyEdge(problem, weights, {.p = p});
+    const AlgorithmResult b = GreedyVertex(problem, {.p = p});
+    const AlgorithmResult ls = bench::RunPaperLs(problem, b, p);
+    table.NewRow()
+        .AddInt(p)
+        .AddDouble(a.objective)
+        .AddDouble(b.objective)
+        .AddDouble(ls.objective)
+        .AddDouble(a.objective > 0 ? b.objective / a.objective : 0.0)
+        .AddDouble(b.objective > 0 ? ls.objective / b.objective : 0.0)
+        .AddDouble(a.elapsed_seconds * 1e3)
+        .AddDouble(b.elapsed_seconds * 1e3)
+        .AddDouble(b.elapsed_seconds > 0
+                       ? a.elapsed_seconds / b.elapsed_seconds
+                       : 0.0);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace diverse
+
+int main(int argc, char** argv) {
+  int corpus = 600;
+  int top_k = 370;
+  int p_min = 5;
+  int p_max = 75;
+  int p_step = 5;
+  double lambda = 0.2;
+  std::int64_t seed = 5;
+  diverse::FlagSet flags("Paper Table 5: LETOR top-370 at scale");
+  flags.AddInt("corpus", &corpus, "documents retrieved for the query");
+  flags.AddInt("topk", &top_k, "documents kept (by relevance)");
+  flags.AddInt("pmin", &p_min, "smallest cardinality");
+  flags.AddInt("pmax", &p_max, "largest cardinality");
+  flags.AddInt("pstep", &p_step, "cardinality step");
+  flags.AddDouble("lambda", &lambda, "quality/diversity trade-off");
+  flags.AddInt64("seed", &seed, "random seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  return diverse::Run(corpus, top_k, p_min, p_max, p_step, lambda,
+                      static_cast<std::uint64_t>(seed));
+}

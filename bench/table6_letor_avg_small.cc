@@ -1,0 +1,79 @@
+// Reproduces paper Table 6: observed approximation factors of Greedy A and
+// Greedy B averaged over 5 (simulated) LETOR queries, top-50 documents,
+// p = 3..7.
+//
+//   Columns: p, AF_GreedyA, AF_GreedyB
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "algorithms/brute_force.h"
+#include "bench_util.h"
+#include "data/letor_sim.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace diverse {
+namespace {
+
+int Run(int queries, int corpus, int top_k, int p_min, int p_max,
+        double lambda, std::uint64_t seed) {
+  std::cout << "Table 6: Greedy A vs Greedy B AFs, averaged over " << queries
+            << " simulated LETOR queries, top " << top_k
+            << " documents (lambda = " << lambda << ")\n\n";
+  Rng rng(seed);
+  // Build the query datasets once; reuse across p values as the paper does.
+  std::vector<LetorQuery> tops;
+  tops.reserve(queries);
+  for (int q = 0; q < queries; ++q) {
+    LetorConfig config;
+    config.num_documents = corpus;
+    tops.push_back(TopKDocuments(MakeLetorQuery(config, rng), top_k));
+  }
+
+  TextTable table({"p", "AF_GreedyA", "AF_GreedyB"});
+  for (int p = p_min; p <= p_max; ++p) {
+    double af_a = 0.0;
+    double af_b = 0.0;
+    for (const LetorQuery& query : tops) {
+      const ModularFunction weights(query.data.weights);
+      const DiversificationProblem problem(&query.data.metric, &weights,
+                                           lambda);
+      const double opt = BruteForceCardinality(problem, {.p = p}).objective;
+      af_a += bench::Af(opt,
+                        GreedyEdge(problem, weights, {.p = p}).objective);
+      af_b += bench::Af(opt, GreedyVertex(problem, {.p = p}).objective);
+    }
+    table.NewRow()
+        .AddInt(p)
+        .AddDouble(af_a / queries)
+        .AddDouble(af_b / queries);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace diverse
+
+int main(int argc, char** argv) {
+  int queries = 5;
+  int corpus = 370;
+  int top_k = 50;
+  int p_min = 3;
+  int p_max = 7;
+  double lambda = 0.2;
+  std::int64_t seed = 6;
+  diverse::FlagSet flags("Paper Table 6: LETOR AFs averaged over queries");
+  flags.AddInt("queries", &queries, "number of simulated queries");
+  flags.AddInt("corpus", &corpus, "documents retrieved per query");
+  flags.AddInt("topk", &top_k, "documents kept (by relevance)");
+  flags.AddInt("pmin", &p_min, "smallest cardinality");
+  flags.AddInt("pmax", &p_max, "largest cardinality");
+  flags.AddDouble("lambda", &lambda, "quality/diversity trade-off");
+  flags.AddInt64("seed", &seed, "random seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  return diverse::Run(queries, corpus, top_k, p_min, p_max, lambda,
+                      static_cast<std::uint64_t>(seed));
+}

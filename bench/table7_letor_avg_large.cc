@@ -1,0 +1,86 @@
+// Reproduces paper Table 7: relative approximation factors and times of
+// Greedy A, Greedy B and LS, averaged over 5 (simulated) LETOR queries
+// using all documents, p = 5..75 step 5.
+//
+//   Columns: p, AF_B/A, AF_LS/B, TimeA_ms, TimeB_ms, TimeA/TimeB
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/letor_sim.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace diverse {
+namespace {
+
+int Run(int queries, int corpus, int p_min, int p_max, int p_step,
+        double lambda, std::uint64_t seed) {
+  std::cout << "Table 7: Greedy A vs Greedy B vs LS, averaged over "
+            << queries << " simulated LETOR queries, all " << corpus
+            << " documents (lambda = " << lambda << ")\n\n";
+  Rng rng(seed);
+  std::vector<LetorQuery> data;
+  data.reserve(queries);
+  for (int q = 0; q < queries; ++q) {
+    LetorConfig config;
+    config.num_documents = corpus;
+    data.push_back(MakeLetorQuery(config, rng));
+  }
+
+  TextTable table(
+      {"p", "AF_B/A", "AF_LS/B", "TimeA_ms", "TimeB_ms", "TimeA/TimeB"});
+  for (int p = p_min; p <= p_max; p += p_step) {
+    double rel_ba = 0.0;
+    double rel_lsb = 0.0;
+    double time_a = 0.0;
+    double time_b = 0.0;
+    for (const LetorQuery& query : data) {
+      const ModularFunction weights(query.data.weights);
+      const DiversificationProblem problem(&query.data.metric, &weights,
+                                           lambda);
+      const AlgorithmResult a = GreedyEdge(problem, weights, {.p = p});
+      const AlgorithmResult b = GreedyVertex(problem, {.p = p});
+      const AlgorithmResult ls = bench::RunPaperLs(problem, b, p);
+      rel_ba += a.objective > 0 ? b.objective / a.objective : 0.0;
+      rel_lsb += b.objective > 0 ? ls.objective / b.objective : 0.0;
+      time_a += a.elapsed_seconds;
+      time_b += b.elapsed_seconds;
+    }
+    table.NewRow()
+        .AddInt(p)
+        .AddDouble(rel_ba / queries)
+        .AddDouble(rel_lsb / queries)
+        .AddDouble(time_a / queries * 1e3)
+        .AddDouble(time_b / queries * 1e3)
+        .AddDouble(time_b > 0 ? time_a / time_b : 0.0);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace diverse
+
+int main(int argc, char** argv) {
+  int queries = 5;
+  int corpus = 370;
+  int p_min = 5;
+  int p_max = 75;
+  int p_step = 5;
+  double lambda = 0.2;
+  std::int64_t seed = 7;
+  diverse::FlagSet flags("Paper Table 7: LETOR averages at scale");
+  flags.AddInt("queries", &queries, "number of simulated queries");
+  flags.AddInt("corpus", &corpus, "documents per query");
+  flags.AddInt("pmin", &p_min, "smallest cardinality");
+  flags.AddInt("pmax", &p_max, "largest cardinality");
+  flags.AddInt("pstep", &p_step, "cardinality step");
+  flags.AddDouble("lambda", &lambda, "quality/diversity trade-off");
+  flags.AddInt64("seed", &seed, "random seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  return diverse::Run(queries, corpus, p_min, p_max, p_step, lambda,
+                      static_cast<std::uint64_t>(seed));
+}

@@ -1,0 +1,80 @@
+// Facility placement on a road network — the original dispersion setting
+// the paper builds on (§3: locating facilities on a network so that some
+// function of their pairwise distances is maximized, e.g. franchises that
+// should not compete with each other).
+//
+// We build a random road network (GraphMetric: shortest-path distances),
+// give every candidate site a desirability score, and compare:
+//   * max-sum diversification (Greedy B): score + total pairwise spread,
+//   * pure max-sum dispersion (f == 0, the Ravi et al. greedy),
+//   * max-min dispersion (farthest-point greedy): no two facilities close.
+#include <iostream>
+#include <vector>
+
+#include "algorithms/greedy_vertex.h"
+#include "core/diversification_problem.h"
+#include "dispersion/dispersion.h"
+#include "metric/graph_metric.h"
+#include "metric/metric_utils.h"
+#include "submodular/modular_function.h"
+#include "submodular/set_function.h"
+#include "util/random.h"
+#include "util/table.h"
+
+int main() {
+  diverse::Rng rng(17);
+  const int num_sites = 50;
+  const int num_facilities = 6;
+
+  // Random connected road network: a ring road plus random shortcuts.
+  std::vector<diverse::WeightedEdge> roads;
+  for (int v = 0; v < num_sites; ++v) {
+    roads.push_back({v, (v + 1) % num_sites, rng.Uniform(1.0, 4.0)});
+  }
+  for (int extra = 0; extra < 40; ++extra) {
+    const auto pair = rng.SampleWithoutReplacement(num_sites, 2);
+    roads.push_back({pair[0], pair[1], rng.Uniform(2.0, 8.0)});
+  }
+  const diverse::GraphMetric network(num_sites, roads);
+
+  // Site desirability (foot traffic, rent, ...).
+  std::vector<double> desirability(num_sites);
+  for (double& d : desirability) d = rng.Uniform(0.0, 1.0);
+  const diverse::ModularFunction quality(desirability);
+  const diverse::ZeroFunction no_quality(num_sites);
+
+  const diverse::DiversificationProblem diversify(&network, &quality, 0.2);
+  const diverse::DiversificationProblem disperse(&network, &no_quality, 1.0);
+
+  const diverse::AlgorithmResult with_quality =
+      diverse::GreedyVertex(diversify, {.p = num_facilities});
+  const diverse::AlgorithmResult pure_dispersion =
+      diverse::GreedyVertex(disperse, {.p = num_facilities});
+  const diverse::AlgorithmResult max_min =
+      diverse::MaxMinDispersionGreedy(network, num_facilities);
+
+  std::cout << "Placing " << num_facilities << " facilities on a "
+            << num_sites << "-junction road network\n\n";
+  diverse::TextTable table({"strategy", "sum score", "sum pairwise dist",
+                            "min pairwise dist"});
+  auto report = [&](const std::string& name, const std::vector<int>& sites) {
+    double score = 0.0;
+    for (int s : sites) score += desirability[s];
+    table.NewRow()
+        .AddCell(name)
+        .AddDouble(score, 2)
+        .AddDouble(diverse::SumPairwise(network, sites), 1)
+        .AddDouble(diverse::MinPairwiseDistance(network, sites), 2);
+  };
+  report("max-sum diversification", with_quality.elements);
+  report("max-sum dispersion", pure_dispersion.elements);
+  report("max-min dispersion", max_min.elements);
+  table.Print(std::cout);
+
+  std::cout << "\nChosen junctions (max-sum diversification):";
+  for (int s : with_quality.elements) std::cout << ' ' << s;
+  std::cout << "\n\nDiversification keeps most of the spread of pure "
+               "dispersion while capturing\nfar more site desirability; "
+               "max-min guards the worst pair instead of the sum.\n";
+  return 0;
+}

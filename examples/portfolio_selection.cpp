@@ -1,0 +1,94 @@
+// Stock-portfolio construction — the paper's §1 finance example, end to
+// end:
+//   * quality: a monotone submodular utility (concave over expected
+//     profit — decreasing marginal utility for more of the same return),
+//   * diversity: Euclidean distance between (risk, return, momentum)
+//     profiles,
+//   * constraint: a PARTITION MATROID "at most k_i stocks per sector" plus
+//     an overall cap, i.e. exactly the matroid setting of §5,
+//   * solver: the single-swap local search of Theorem 2 (2-approximation).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algorithms/local_search.h"
+#include "core/diversification_problem.h"
+#include "matroid/partition_matroid.h"
+#include "metric/dense_metric.h"
+#include "metric/euclidean_metric.h"
+#include "submodular/concave_over_modular.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+constexpr int kNumSectors = 5;
+const char* kSectorNames[kNumSectors] = {"tech", "energy", "health",
+                                         "finance", "consumer"};
+
+}  // namespace
+
+int main() {
+  // Simulated market: 60 stocks across 5 sectors. Each stock has a
+  // (risk, return, momentum) profile; expected profit drives utility.
+  diverse::Rng rng(11);
+  const int num_stocks = 60;
+  std::vector<int> sector(num_stocks);
+  std::vector<std::vector<double>> profile(num_stocks);
+  std::vector<double> expected_profit(num_stocks);
+  for (int s = 0; s < num_stocks; ++s) {
+    sector[s] = rng.UniformInt(0, kNumSectors - 1);
+    const double risk = rng.Uniform(0.1, 1.0);
+    // Higher risk correlates with higher expected return plus noise.
+    const double ret = 0.6 * risk + rng.Uniform(0.0, 0.4);
+    const double momentum = rng.Uniform(-0.5, 0.5);
+    profile[s] = {risk, ret, momentum};
+    expected_profit[s] = std::max(0.05, ret + rng.Gaussian(0.0, 0.05));
+  }
+
+  // Diversity = distance between risk/return/momentum profiles.
+  const diverse::EuclideanMetric profiles(profile, diverse::Norm::kL2);
+  const diverse::DenseMetric metric =
+      diverse::DenseMetric::Materialize(profiles);
+
+  // Utility: sqrt of total expected profit — monotone submodular
+  // (decreasing marginal utility, paper §4's setting).
+  const diverse::ConcaveOverModularFunction utility(
+      expected_profit, diverse::ConcaveShape::kSqrt);
+
+  const diverse::DiversificationProblem problem(&metric, &utility,
+                                                /*lambda=*/0.15);
+
+  // Constraint: at most 2 stocks per sector (partition matroid). Rank = 10.
+  const diverse::PartitionMatroid matroid(sector,
+                                          std::vector<int>(kNumSectors, 2));
+
+  const diverse::AlgorithmResult portfolio =
+      diverse::LocalSearch(problem, matroid, {});
+
+  std::cout << "Portfolio selected by matroid local search (<= 2 per "
+               "sector):\n\n";
+  diverse::TextTable table({"stock", "sector", "risk", "return", "profit"});
+  for (int s : portfolio.elements) {
+    table.NewRow()
+        .AddInt(s)
+        .AddCell(kSectorNames[sector[s]])
+        .AddDouble(profile[s][0], 2)
+        .AddDouble(profile[s][1], 2)
+        .AddDouble(expected_profit[s], 2);
+  }
+  table.Print(std::cout);
+  std::cout << "\nphi(portfolio) = " << portfolio.objective << " after "
+            << portfolio.steps
+            << " improving swaps (2-approximation by Theorem 2)\n";
+
+  // Sector balance check.
+  std::vector<int> per_sector(kNumSectors, 0);
+  for (int s : portfolio.elements) ++per_sector[sector[s]];
+  std::cout << "sector counts:";
+  for (int i = 0; i < kNumSectors; ++i) {
+    std::cout << ' ' << kSectorNames[i] << '=' << per_sector[i];
+  }
+  std::cout << '\n';
+  return 0;
+}

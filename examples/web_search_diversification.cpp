@@ -1,0 +1,82 @@
+// Web-search result diversification — the paper's motivating application
+// (§1, §7.2).
+//
+// A (simulated) LETOR query returns 200 documents with relevance grades and
+// feature vectors; we must fill a 10-slot result page. Pure relevance
+// ranking returns near-duplicates from the dominant query aspect; the MMR
+// heuristic and the paper's Greedy B both trade relevance against cosine
+// diversity, with Greedy B carrying the 2-approximation guarantee.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "algorithms/greedy_vertex.h"
+#include "algorithms/mmr.h"
+#include "core/diversification_problem.h"
+#include "data/letor_sim.h"
+#include "metric/metric_utils.h"
+#include "submodular/modular_function.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+// Relevance-only baseline: the top-p documents by grade.
+std::vector<int> TopByRelevance(const diverse::LetorQuery& query, int p) {
+  return diverse::TopKByWeight(query.data, p);
+}
+
+void Report(const std::string& name, const diverse::LetorQuery& query,
+            const diverse::DiversificationProblem& problem,
+            const std::vector<int>& picks, diverse::TextTable* table) {
+  double relevance = 0.0;
+  for (int d : picks) relevance += query.relevance[d];
+  const double diversity = diverse::SumPairwise(query.data.metric, picks);
+  table->NewRow()
+      .AddCell(name)
+      .AddDouble(problem.Objective(picks))
+      .AddDouble(relevance, 0)
+      .AddDouble(diversity)
+      .AddDouble(diversity / (picks.size() * (picks.size() - 1) / 2.0));
+}
+
+}  // namespace
+
+int main() {
+  diverse::Rng rng(7);
+  diverse::LetorConfig config;
+  config.num_documents = 200;
+  const diverse::LetorQuery query = diverse::MakeLetorQuery(config, rng);
+  const diverse::ModularFunction weights(query.data.weights);
+  const double lambda = 0.2;
+  const diverse::DiversificationProblem problem(&query.data.metric, &weights,
+                                                lambda);
+  const int page_size = 10;
+
+  const std::vector<int> by_relevance = TopByRelevance(query, page_size);
+  const diverse::AlgorithmResult mmr =
+      diverse::Mmr(problem, weights, {.p = page_size, .mu = 0.6});
+  const diverse::AlgorithmResult greedy_b =
+      diverse::GreedyVertex(problem, {.p = page_size});
+
+  std::cout << "Filling a " << page_size << "-slot result page from "
+            << query.size() << " retrieved documents (lambda = " << lambda
+            << ")\n\n";
+  diverse::TextTable table(
+      {"method", "phi(S)", "sum relevance", "sum distance", "avg distance"});
+  Report("relevance-only", query, problem, by_relevance, &table);
+  Report("MMR (mu=0.6)", query, problem, mmr.elements, &table);
+  Report("Greedy B", query, problem, greedy_b.elements, &table);
+  table.Print(std::cout);
+
+  std::cout << "\nGreedy B page (doc: grade):";
+  std::vector<int> picks = greedy_b.elements;
+  std::sort(picks.begin(), picks.end());
+  for (int d : picks) {
+    std::cout << "  " << d << ":" << query.relevance[d];
+  }
+  std::cout << "\n\nGreedy B keeps nearly all the relevance of the pure "
+               "ranking while spreading\nresults across query aspects "
+               "(higher avg pairwise distance).\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Batch (d-at-a-time) greedy for max-sum diversification, generalizing the
+// Birnbaum–Goldman analysis the paper cites in §3: greedily choosing a
+// BLOCK of d vertices per round gives a 2(p-1)/(p+d-2) approximation for
+// max-sum p-dispersion (d = 1 recovers the Ravi et al. / Greedy B vertex
+// greedy; d = p is brute force). Each round exhaustively scans all
+// C(n, d) candidate blocks for the one with the largest potential gain
+// phi'_{block}(S) = 1/2 [f(S+block) - f(S)] + lambda [d(block) +
+// d(block, S)], so the per-round cost grows as n^d — d <= 3 is enforced.
+#ifndef DIVERSE_ALGORITHMS_BATCH_GREEDY_H_
+#define DIVERSE_ALGORITHMS_BATCH_GREEDY_H_
+
+#include "algorithms/result.h"
+#include "core/diversification_problem.h"
+
+namespace diverse {
+
+struct BatchGreedyOptions {
+  int p = 0;
+  // Block size per greedy round (1, 2 or 3). The final round shrinks to
+  // p mod d when necessary.
+  int batch = 2;
+};
+
+AlgorithmResult BatchGreedy(const DiversificationProblem& problem,
+                            const BatchGreedyOptions& options);
+
+// The Birnbaum–Goldman approximation guarantee for batch-d greedy on
+// max-sum p-dispersion: (2p - 2) / (p + d - 2).
+double BatchGreedyDispersionBound(int p, int d);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_ALGORITHMS_BATCH_GREEDY_H_

@@ -1,0 +1,147 @@
+#include "algorithms/brute_force.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace diverse {
+namespace {
+
+// DFS state for the cardinality solver. Distances to the chosen prefix are
+// accumulated directly (O(depth) per node), which makes the whole
+// enumeration O(C(n,p) * p) rather than O(C(n,p) * p^2).
+class CardinalitySearch {
+ public:
+  CardinalitySearch(const DiversificationProblem& problem, int p, bool prune)
+      : problem_(problem),
+        metric_(problem.metric()),
+        eval_(problem.quality().MakeEvaluator()),
+        p_(p),
+        prune_(prune) {
+    const int n = problem.size();
+    // Optimistic per-step bound ingredients: the largest singleton quality
+    // gain (>= any later marginal by submodularity) and the largest
+    // distance.
+    max_singleton_gain_ = 0.0;
+    for (int u = 0; u < n; ++u) {
+      max_singleton_gain_ = std::max(max_singleton_gain_, eval_->Gain(u));
+    }
+    max_distance_ = 0.0;
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        max_distance_ = std::max(max_distance_, metric_.Distance(u, v));
+      }
+    }
+  }
+
+  AlgorithmResult Run() {
+    AlgorithmResult result;
+    best_value_ = -1.0;
+    chosen_.clear();
+    Dfs(0, 0.0, &result);
+    result.elements = best_set_;
+    result.objective = best_value_;
+    return result;
+  }
+
+ private:
+  // Upper bound on the objective reachable from a node with `value` and
+  // k = |chosen_| elements: each of the r remaining picks adds at most the
+  // best singleton quality gain plus lambda times max_distance to every
+  // already-present element.
+  double Bound(double value) const {
+    const int k = static_cast<int>(chosen_.size());
+    const int r = p_ - k;
+    const double pair_terms =
+        static_cast<double>(r) * k + 0.5 * r * (r - 1);
+    return value + r * max_singleton_gain_ +
+           problem_.lambda() * max_distance_ * pair_terms;
+  }
+
+  void Dfs(int start, double value, AlgorithmResult* result) {
+    ++result->steps;
+    if (static_cast<int>(chosen_.size()) == p_) {
+      if (value > best_value_) {
+        best_value_ = value;
+        best_set_ = chosen_;
+      }
+      return;
+    }
+    if (prune_ && Bound(value) <= best_value_) return;
+    const int n = problem_.size();
+    const int remaining = p_ - static_cast<int>(chosen_.size());
+    for (int v = start; v + remaining <= n; ++v) {
+      double dist_gain = 0.0;
+      for (int c : chosen_) dist_gain += metric_.Distance(v, c);
+      const double delta = eval_->Gain(v) + problem_.lambda() * dist_gain;
+      eval_->Add(v);
+      chosen_.push_back(v);
+      Dfs(v + 1, value + delta, result);
+      chosen_.pop_back();
+      eval_->Remove(v);
+    }
+  }
+
+  const DiversificationProblem& problem_;
+  const MetricSpace& metric_;
+  std::unique_ptr<SetFunctionEvaluator> eval_;
+  int p_;
+  bool prune_;
+  double max_singleton_gain_ = 0.0;
+  double max_distance_ = 0.0;
+  std::vector<int> chosen_;
+  std::vector<int> best_set_;
+  double best_value_ = -1.0;
+};
+
+void MatroidDfs(const DiversificationProblem& problem, const Matroid& matroid,
+                int start, std::vector<int>* chosen, AlgorithmResult* result,
+                std::vector<int>* best_set, double* best_value) {
+  ++result->steps;
+  if (static_cast<int>(chosen->size()) == matroid.rank()) {
+    const double value = problem.Objective(*chosen);
+    if (value > *best_value) {
+      *best_value = value;
+      *best_set = *chosen;
+    }
+    return;
+  }
+  for (int v = start; v < problem.size(); ++v) {
+    if (!matroid.CanAdd(*chosen, v)) continue;
+    chosen->push_back(v);
+    MatroidDfs(problem, matroid, v + 1, chosen, result, best_set, best_value);
+    chosen->pop_back();
+  }
+}
+
+}  // namespace
+
+AlgorithmResult BruteForceCardinality(const DiversificationProblem& problem,
+                                      const BruteForceOptions& options) {
+  const int p = std::min(options.p, problem.size());
+  WallTimer timer;
+  CardinalitySearch search(problem, p, options.prune);
+  AlgorithmResult result = search.Run();
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+AlgorithmResult BruteForceMatroid(const DiversificationProblem& problem,
+                                  const Matroid& matroid) {
+  DIVERSE_CHECK_MSG(matroid.ground_size() == problem.size(),
+                    "matroid and problem ground sets differ");
+  WallTimer timer;
+  AlgorithmResult result;
+  std::vector<int> chosen;
+  std::vector<int> best_set;
+  double best_value = -1.0;
+  MatroidDfs(problem, matroid, 0, &chosen, &result, &best_set, &best_value);
+  result.elements = best_set;
+  result.objective = best_value < 0.0 ? 0.0 : best_value;
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace diverse

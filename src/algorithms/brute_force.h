@@ -1,0 +1,33 @@
+// Exact solvers by exhaustive search — OPT references for the experimental
+// tables (paper §7 computes OPT for N = 50) and for the property tests that
+// certify the 2- and 3-approximation guarantees.
+#ifndef DIVERSE_ALGORITHMS_BRUTE_FORCE_H_
+#define DIVERSE_ALGORITHMS_BRUTE_FORCE_H_
+
+#include "algorithms/result.h"
+#include "core/diversification_problem.h"
+#include "matroid/matroid.h"
+
+namespace diverse {
+
+struct BruteForceOptions {
+  int p = 0;
+  // Prune subtrees whose optimistic completion bound cannot beat the
+  // incumbent. Exact either way; pruning only saves time.
+  bool prune = true;
+};
+
+// Optimal phi over all subsets of size min(p, n), via DFS with incremental
+// objective maintenance. Cost grows as C(n, p); intended for n <= ~60 with
+// small p.
+AlgorithmResult BruteForceCardinality(const DiversificationProblem& problem,
+                                      const BruteForceOptions& options);
+
+// Optimal phi over all BASES of `matroid` (phi is monotone, so some optimal
+// solution is a basis). Intended for small ground sets.
+AlgorithmResult BruteForceMatroid(const DiversificationProblem& problem,
+                                  const Matroid& matroid);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_ALGORITHMS_BRUTE_FORCE_H_

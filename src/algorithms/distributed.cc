@@ -1,0 +1,102 @@
+#include "algorithms/distributed.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/solution_state.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace diverse {
+
+AlgorithmResult GreedyVertexOnCandidates(
+    const DiversificationProblem& problem, const std::vector<int>& candidates,
+    int p) {
+  WallTimer timer;
+  SolutionState state(&problem);
+  AlgorithmResult result;
+  const int target = std::min<int>(p, static_cast<int>(candidates.size()));
+  while (state.size() < target) {
+    int best = -1;
+    double best_gain = 0.0;
+    for (int u : candidates) {
+      if (state.Contains(u)) continue;
+      const double gain = state.PrimeGain(u);
+      if (best < 0 || gain > best_gain) {
+        best = u;
+        best_gain = gain;
+      }
+    }
+    DIVERSE_CHECK(best >= 0);
+    state.Add(best);
+    ++result.steps;
+  }
+  result.elements = state.members();
+  result.objective = state.objective();
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+AlgorithmResult DistributedGreedy(const DiversificationProblem& problem,
+                                  const DistributedOptions& options,
+                                  Rng& rng) {
+  const int n = problem.size();
+  DIVERSE_CHECK(options.p >= 0);
+  DIVERSE_CHECK_MSG(options.num_shards >= 1, "need at least one shard");
+  const int per_shard =
+      options.per_shard > 0 ? options.per_shard : options.p;
+  WallTimer timer;
+
+  // Round 1: random partition, local greedy per shard.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+  std::vector<std::vector<int>> shards(options.num_shards);
+  for (int i = 0; i < n; ++i) {
+    shards[i % options.num_shards].push_back(order[i]);
+  }
+
+  AlgorithmResult result;
+  std::vector<int> kernel;
+  AlgorithmResult best_local;
+  best_local.objective = -1.0;
+  for (const std::vector<int>& shard : shards) {
+    if (shard.empty()) continue;
+    AlgorithmResult local =
+        GreedyVertexOnCandidates(problem, shard, per_shard);
+    result.steps += local.steps;
+    kernel.insert(kernel.end(), local.elements.begin(),
+                  local.elements.end());
+    // Score the local solution truncated to p (it may carry per_shard > p
+    // elements; evaluate its best prefix, which is its greedy order).
+    std::vector<int> prefix = local.elements;
+    if (static_cast<int>(prefix.size()) > options.p) {
+      prefix.resize(options.p);
+    }
+    const double value = problem.Objective(prefix);
+    if (value > best_local.objective) {
+      best_local.objective = value;
+      best_local.elements = prefix;
+    }
+  }
+
+  // Round 2: greedy over the unioned kernel.
+  std::sort(kernel.begin(), kernel.end());
+  kernel.erase(std::unique(kernel.begin(), kernel.end()), kernel.end());
+  AlgorithmResult merged =
+      GreedyVertexOnCandidates(problem, kernel, options.p);
+  result.steps += merged.steps;
+
+  // Composable-core-set safeguard: return the better of the two rounds.
+  if (best_local.objective > merged.objective) {
+    result.elements = best_local.elements;
+    result.objective = best_local.objective;
+  } else {
+    result.elements = merged.elements;
+    result.objective = merged.objective;
+  }
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace diverse

@@ -1,0 +1,43 @@
+// Distributed (two-round, GreeDi-style) max-sum diversification — the
+// direction the paper's §8 points to ("approximation and application of
+// diversification maximization in a distributed setting is pursued in
+// Abbasi-Zadeh et al."): partition the universe across m machines, run
+// Greedy B locally on each shard, union the m local solutions into a small
+// kernel, and run Greedy B again on the kernel. Returns the better of the
+// kernel solution and the best single-shard solution (the standard
+// composable-core-set safeguard).
+//
+// No worst-case guarantee is claimed here (that is the cited follow-up
+// work); tests and bench/ablation_distributed measure empirical quality
+// against the sequential algorithm.
+#ifndef DIVERSE_ALGORITHMS_DISTRIBUTED_H_
+#define DIVERSE_ALGORITHMS_DISTRIBUTED_H_
+
+#include <vector>
+
+#include "algorithms/result.h"
+#include "core/diversification_problem.h"
+#include "util/random.h"
+
+namespace diverse {
+
+struct DistributedOptions {
+  int p = 0;
+  // Number of shards ("machines"); universe elements are assigned randomly.
+  int num_shards = 4;
+  // Elements each shard returns; defaults to p when <= 0.
+  int per_shard = 0;
+};
+
+// Runs Greedy B restricted to `candidates` (exposed for reuse/testing).
+AlgorithmResult GreedyVertexOnCandidates(const DiversificationProblem& problem,
+                                         const std::vector<int>& candidates,
+                                         int p);
+
+AlgorithmResult DistributedGreedy(const DiversificationProblem& problem,
+                                  const DistributedOptions& options,
+                                  Rng& rng);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_ALGORITHMS_DISTRIBUTED_H_

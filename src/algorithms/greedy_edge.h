@@ -1,0 +1,47 @@
+// Greedy A — the Gollapudi–Sharma algorithm [3] the paper compares against
+// (§7). It applies only to MODULAR quality functions f(S) = sum w(u):
+//
+//   1. Reduce diversification to max-sum p-dispersion on the derived
+//      distance  d'(u,v) = (w(u) + w(v)) / (p-1) + lambda * d(u,v),
+//      which is again a metric, and whose p-dispersion equals phi exactly:
+//      sum_{pairs in S} d'(u,v) = f(S) + lambda * d(S) for |S| = p.
+//   2. Run the Hassin–Rubinstein–Tamir edge greedy: repeatedly take the
+//      pair {u,v} of still-unchosen elements maximizing d'(u,v) (this is a
+//      greedy matching), then — when p is odd — one final vertex.
+//
+// The paper notes Greedy A's weakness: the final odd vertex is arbitrary;
+// `best_last_vertex` selects it by true objective gain instead (§7.1
+// "improved Greedy A").
+#ifndef DIVERSE_ALGORITHMS_GREEDY_EDGE_H_
+#define DIVERSE_ALGORITHMS_GREEDY_EDGE_H_
+
+#include "algorithms/result.h"
+#include "core/diversification_problem.h"
+#include "submodular/modular_function.h"
+
+namespace diverse {
+
+struct GreedyEdgeOptions {
+  int p = 0;
+  // Choose the final vertex (odd p) by objective gain rather than lowest
+  // index.
+  bool best_last_vertex = false;
+};
+
+// `problem.quality()` must be the same ModularFunction passed as `weights`
+// (the reduction needs per-element weights, which the SetFunction interface
+// does not expose).
+AlgorithmResult GreedyEdge(const DiversificationProblem& problem,
+                           const ModularFunction& weights,
+                           const GreedyEdgeOptions& options);
+
+// The reduced Gollapudi–Sharma distance d'. Exposed for tests, which verify
+// it is a metric and that its dispersion equals the diversification
+// objective.
+double ReducedDistance(const ModularFunction& weights,
+                       const MetricSpace& metric, double lambda, int p, int u,
+                       int v);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_ALGORITHMS_GREEDY_EDGE_H_

@@ -1,0 +1,65 @@
+#include "algorithms/greedy_vertex.h"
+
+#include <algorithm>
+
+#include "core/solution_state.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace diverse {
+
+AlgorithmResult GreedyVertex(const DiversificationProblem& problem,
+                             const GreedyVertexOptions& options) {
+  const int n = problem.size();
+  const int p = std::min(options.p, n);
+  DIVERSE_CHECK_MSG(options.p >= 0, "p must be non-negative");
+  WallTimer timer;
+  SolutionState state(&problem);
+  AlgorithmResult result;
+
+  if (options.best_first_pair && p >= 2) {
+    // Seed with the best pair under the true objective phi({x,y}).
+    int best_x = 0;
+    int best_y = 1;
+    double best_value = -1.0;
+    std::vector<int> pair(2);
+    for (int x = 0; x < n; ++x) {
+      for (int y = x + 1; y < n; ++y) {
+        pair[0] = x;
+        pair[1] = y;
+        const double value = problem.Objective(pair);
+        if (value > best_value) {
+          best_value = value;
+          best_x = x;
+          best_y = y;
+        }
+      }
+    }
+    state.Add(best_x);
+    state.Add(best_y);
+    result.steps += 2;
+  }
+
+  while (state.size() < p) {
+    int best = -1;
+    double best_gain = 0.0;
+    for (int u = 0; u < n; ++u) {
+      if (state.Contains(u)) continue;
+      const double gain = state.PrimeGain(u);
+      if (best < 0 || gain > best_gain) {
+        best = u;
+        best_gain = gain;
+      }
+    }
+    DIVERSE_CHECK(best >= 0);
+    state.Add(best);
+    ++result.steps;
+  }
+
+  result.elements = state.members();
+  result.objective = state.objective();
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace diverse

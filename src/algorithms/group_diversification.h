@@ -1,0 +1,46 @@
+// The (p, k) group generalization of max-sum dispersion from Hassin,
+// Rubinstein & Tamir, discussed in paper §2/§3: choose k DISJOINT groups
+// of p elements each, maximizing the total of within-group pairwise
+// distances (plus, in our diversification form, the groups' quality).
+// Applications: k result pages of p slots each, k balanced committees, k
+// franchise territories.
+//
+// We provide the natural greedy: build the k groups round-robin, each
+// addition maximizing the Greedy B potential against its own group. Exact
+// brute force (small n) serves as the test reference.
+#ifndef DIVERSE_ALGORITHMS_GROUP_DIVERSIFICATION_H_
+#define DIVERSE_ALGORITHMS_GROUP_DIVERSIFICATION_H_
+
+#include <vector>
+
+#include "core/diversification_problem.h"
+
+namespace diverse {
+
+struct GroupResult {
+  // groups[g] holds the p elements of group g (disjoint across groups).
+  std::vector<std::vector<int>> groups;
+  // sum over groups of [f(group) + lambda * d(group)].
+  double objective = 0.0;
+  long long steps = 0;
+};
+
+struct GroupOptions {
+  int p = 0;  // group size
+  int k = 1;  // number of groups; requires k * p <= n
+};
+
+GroupResult GroupGreedy(const DiversificationProblem& problem,
+                        const GroupOptions& options);
+
+// Exact optimum by exhaustive assignment (n <= ~12 and small k*p only).
+GroupResult GroupBruteForce(const DiversificationProblem& problem,
+                            const GroupOptions& options);
+
+// Objective of an explicit grouping under `problem`.
+double GroupObjective(const DiversificationProblem& problem,
+                      const std::vector<std::vector<int>>& groups);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_ALGORITHMS_GROUP_DIVERSIFICATION_H_

@@ -1,0 +1,129 @@
+#include "algorithms/local_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/solution_state.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace diverse {
+namespace {
+
+// Best independent pair {x,y} maximizing phi({x,y}).
+std::vector<int> BestIndependentPair(const DiversificationProblem& problem,
+                                     const Matroid& matroid) {
+  const int n = problem.size();
+  std::vector<int> best;
+  double best_value = -1.0;
+  std::vector<int> pair(2);
+  for (int x = 0; x < n; ++x) {
+    for (int y = x + 1; y < n; ++y) {
+      pair[0] = x;
+      pair[1] = y;
+      if (!matroid.IsIndependent(pair)) continue;
+      const double value = problem.Objective(pair);
+      if (value > best_value) {
+        best_value = value;
+        best = pair;
+      }
+    }
+  }
+  if (best.empty()) {
+    // Rank < 2: fall back to the best independent singleton, if any.
+    std::vector<int> single(1);
+    for (int x = 0; x < n; ++x) {
+      single[0] = x;
+      if (!matroid.IsIndependent(single)) continue;
+      const double value = problem.Objective(single);
+      if (best.empty() || value > best_value) {
+        best_value = value;
+        best = single;
+      }
+    }
+  }
+  return best;
+}
+
+// Extends `state` to a basis of `matroid`.
+void CompleteToBasis(const Matroid& matroid, bool greedy, SolutionState* state) {
+  const int n = state->universe_size();
+  while (true) {
+    const std::vector<int>& members = state->members();
+    int pick = -1;
+    double best_gain = 0.0;
+    for (int e = 0; e < n; ++e) {
+      if (state->Contains(e)) continue;
+      if (!matroid.CanAdd(members, e)) continue;
+      if (!greedy) {
+        pick = e;
+        break;
+      }
+      const double gain = state->AddGain(e);
+      if (pick < 0 || gain > best_gain) {
+        pick = e;
+        best_gain = gain;
+      }
+    }
+    if (pick < 0) break;
+    state->Add(pick);
+  }
+}
+
+}  // namespace
+
+AlgorithmResult LocalSearch(const DiversificationProblem& problem,
+                            const Matroid& matroid,
+                            const LocalSearchOptions& options) {
+  DIVERSE_CHECK_MSG(matroid.ground_size() == problem.size(),
+                    "matroid and problem ground sets differ");
+  WallTimer timer;
+  AlgorithmResult result;
+  SolutionState state(&problem);
+
+  if (options.initial.empty()) {
+    state.Assign(BestIndependentPair(problem, matroid));
+  } else {
+    DIVERSE_CHECK_MSG(matroid.IsIndependent(options.initial),
+                      "initial set must be independent");
+    state.Assign(options.initial);
+  }
+  CompleteToBasis(matroid, options.greedy_completion, &state);
+
+  const int n = problem.size();
+  while (options.max_swaps < 0 || result.steps < options.max_swaps) {
+    if (options.time_limit_seconds > 0.0 &&
+        timer.Seconds() >= options.time_limit_seconds) {
+      break;
+    }
+    const double threshold =
+        options.epsilon * std::max(std::abs(state.objective()), 1.0);
+    int best_out = -1;
+    int best_in = -1;
+    double best_gain = threshold;
+    const std::vector<int> members = state.members();  // copy: stable order
+    for (int out : members) {
+      for (int in = 0; in < n; ++in) {
+        if (state.Contains(in)) continue;
+        const double gain = state.SwapGain(out, in);
+        // Strictly-positive improvement beyond the epsilon threshold; the
+        // (cheaper) gain test runs before the matroid oracle.
+        if (gain <= best_gain || gain <= 1e-12) continue;
+        if (!matroid.CanExchange(members, out, in)) continue;
+        best_gain = gain;
+        best_out = out;
+        best_in = in;
+      }
+    }
+    if (best_out < 0) break;  // local optimum
+    state.Swap(best_out, best_in);
+    ++result.steps;
+  }
+
+  result.elements = state.SortedMembers();
+  result.objective = state.objective();
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace diverse

@@ -1,0 +1,46 @@
+// Oblivious single-swap local search for max-sum diversification under an
+// arbitrary matroid constraint (paper §5, Theorem 2): starting from a basis
+// containing the best independent pair {x,y} (by phi), repeatedly perform
+// the best objective-improving exchange S <- S - v + u with S - v + u
+// independent, until locally optimal. 2-approximation for monotone
+// submodular f.
+//
+// As the paper notes, polynomial running time requires accepting only
+// swaps that improve phi by a relative epsilon; epsilon = 0 accepts any
+// strict improvement.
+#ifndef DIVERSE_ALGORITHMS_LOCAL_SEARCH_H_
+#define DIVERSE_ALGORITHMS_LOCAL_SEARCH_H_
+
+#include <vector>
+
+#include "algorithms/result.h"
+#include "core/diversification_problem.h"
+#include "matroid/matroid.h"
+
+namespace diverse {
+
+struct LocalSearchOptions {
+  // Accept a swap only if gain > epsilon * max(|phi(S)|, 1).
+  double epsilon = 0.0;
+  // Stop after this many applied swaps; < 0 means unlimited.
+  long long max_swaps = -1;
+  // Stop when this much wall-clock time has elapsed; <= 0 means unlimited.
+  // Used by the paper's "LS runs for 10x the Greedy B time" protocol (§7).
+  double time_limit_seconds = 0.0;
+  // Starting set. If empty, the paper's initialization is used: the best
+  // independent pair extended to a basis. If non-empty it must be
+  // independent; it is extended to a basis before searching.
+  std::vector<int> initial;
+  // When extending the initial set to a basis, add elements by best
+  // objective gain (true) or by lowest index (false, the paper's
+  // "arbitrary" completion).
+  bool greedy_completion = true;
+};
+
+AlgorithmResult LocalSearch(const DiversificationProblem& problem,
+                            const Matroid& matroid,
+                            const LocalSearchOptions& options);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_ALGORITHMS_LOCAL_SEARCH_H_

@@ -1,0 +1,39 @@
+// Exact maximum-weight k-matching (bitmask DP) and the Hassin–Rubinstein–
+// Tamir matching-based diversifier that achieves 2 - 1/ceil(p/2) for
+// max-sum dispersion (paper §2/§3). Exact matching is exponential in n and
+// therefore restricted to small instances; Greedy A's edge greedy is the
+// scalable surrogate (a greedy matching).
+#ifndef DIVERSE_ALGORITHMS_MATCHING_H_
+#define DIVERSE_ALGORITHMS_MATCHING_H_
+
+#include <utility>
+#include <vector>
+
+#include "algorithms/result.h"
+#include "core/diversification_problem.h"
+#include "submodular/modular_function.h"
+
+namespace diverse {
+
+// Maximum-weight matching with exactly `k` edges in the complete graph on
+// n <= 20 vertices with symmetric weights `w` (row-major n*n). Returns the
+// chosen edges; total weight is the sum over them. Requires 2k <= n.
+std::vector<std::pair<int, int>> MaxWeightMatchingExact(
+    int n, const std::vector<double>& w, int k);
+
+struct MatchingDiversifierOptions {
+  int p = 0;
+  // Choose the final vertex (odd p) by objective gain.
+  bool best_last_vertex = true;
+};
+
+// Runs the HRT matching algorithm on the Gollapudi–Sharma reduced metric:
+// exact max-weight floor(p/2)-matching, endpoints as S, plus a final vertex
+// when p is odd. Modular quality only; n <= 20.
+AlgorithmResult MatchingDiversifier(const DiversificationProblem& problem,
+                                    const ModularFunction& weights,
+                                    const MatchingDiversifierOptions& options);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_ALGORITHMS_MATCHING_H_

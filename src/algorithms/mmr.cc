@@ -1,0 +1,65 @@
+#include "algorithms/mmr.h"
+
+#include <algorithm>
+
+#include "metric/metric_utils.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace diverse {
+
+AlgorithmResult Mmr(const DiversificationProblem& problem,
+                    const ModularFunction& weights,
+                    const MmrOptions& options) {
+  DIVERSE_CHECK(0.0 <= options.mu && options.mu <= 1.0);
+  const int n = problem.size();
+  const int p = std::min(options.p, n);
+  WallTimer timer;
+  AlgorithmResult result;
+
+  const double diameter = Diameter(problem.metric());
+  double max_weight = 0.0;
+  for (int u = 0; u < n; ++u) {
+    max_weight = std::max(max_weight, weights.weight(u));
+  }
+  auto relevance = [&](int u) {
+    return max_weight > 0.0 ? weights.weight(u) / max_weight : 0.0;
+  };
+  auto similarity = [&](int u, int v) {
+    return diameter > 0.0 ? 1.0 - problem.metric().Distance(u, v) / diameter
+                          : 1.0;
+  };
+
+  std::vector<int> selected;
+  std::vector<bool> chosen(n, false);
+  // max_sim[u] = max_{v in S} sim(u, v); maintained incrementally.
+  std::vector<double> max_sim(n, 0.0);
+  for (int step = 0; step < p; ++step) {
+    int best = -1;
+    double best_score = 0.0;
+    for (int u = 0; u < n; ++u) {
+      if (chosen[u]) continue;
+      const double novelty = selected.empty() ? 0.0 : max_sim[u];
+      const double score =
+          options.mu * relevance(u) - (1.0 - options.mu) * novelty;
+      if (best < 0 || score > best_score) {
+        best = u;
+        best_score = score;
+      }
+    }
+    DIVERSE_CHECK(best >= 0);
+    chosen[best] = true;
+    selected.push_back(best);
+    for (int u = 0; u < n; ++u) {
+      if (!chosen[u]) max_sim[u] = std::max(max_sim[u], similarity(u, best));
+    }
+    ++result.steps;
+  }
+
+  result.elements = selected;
+  result.objective = problem.Objective(selected);
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace diverse

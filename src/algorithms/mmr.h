@@ -1,0 +1,31 @@
+// Maximal Marginal Relevance (Carbonell & Goldstein 1998) — the classic
+// heuristic the paper's §2 discusses and whose theoretical justification
+// Greedy B provides. Included as an experimental baseline.
+//
+//   next = argmax_{u not in S} [ mu * rel(u) - (1-mu) * max_{v in S} sim(u,v) ]
+//
+// Relevance comes from modular weights normalized to [0,1]; similarity is
+// derived from the metric as sim(u,v) = 1 - d(u,v)/diameter.
+#ifndef DIVERSE_ALGORITHMS_MMR_H_
+#define DIVERSE_ALGORITHMS_MMR_H_
+
+#include "algorithms/result.h"
+#include "core/diversification_problem.h"
+#include "submodular/modular_function.h"
+
+namespace diverse {
+
+struct MmrOptions {
+  int p = 0;
+  // MMR's own trade-off in [0,1]; 1.0 is pure relevance ranking.
+  double mu = 0.5;
+};
+
+// The returned objective is phi under `problem`, so MMR is directly
+// comparable to the paper's algorithms.
+AlgorithmResult Mmr(const DiversificationProblem& problem,
+                    const ModularFunction& weights, const MmrOptions& options);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_ALGORITHMS_MMR_H_

@@ -1,0 +1,40 @@
+#include "algorithms/random_select.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/timer.h"
+
+namespace diverse {
+
+AlgorithmResult RandomSubset(const DiversificationProblem& problem, int p,
+                             Rng& rng) {
+  WallTimer timer;
+  AlgorithmResult result;
+  result.elements =
+      rng.SampleWithoutReplacement(problem.size(), std::min(p, problem.size()));
+  std::sort(result.elements.begin(), result.elements.end());
+  result.objective = problem.Objective(result.elements);
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+AlgorithmResult RandomBasis(const DiversificationProblem& problem,
+                            const Matroid& matroid, Rng& rng) {
+  WallTimer timer;
+  AlgorithmResult result;
+  std::vector<int> order(problem.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+  std::vector<int> basis;
+  for (int e : order) {
+    if (matroid.CanAdd(basis, e)) basis.push_back(e);
+  }
+  std::sort(basis.begin(), basis.end());
+  result.elements = basis;
+  result.objective = problem.Objective(basis);
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace diverse

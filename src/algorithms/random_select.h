@@ -1,0 +1,23 @@
+// Uniform-random baselines: a random p-subset, or a random basis of a
+// matroid. Sanity floor for the experiment tables.
+#ifndef DIVERSE_ALGORITHMS_RANDOM_SELECT_H_
+#define DIVERSE_ALGORITHMS_RANDOM_SELECT_H_
+
+#include "algorithms/result.h"
+#include "core/diversification_problem.h"
+#include "matroid/matroid.h"
+#include "util/random.h"
+
+namespace diverse {
+
+AlgorithmResult RandomSubset(const DiversificationProblem& problem, int p,
+                             Rng& rng);
+
+// Random maximal independent set (basis) built by scanning a random
+// permutation of U.
+AlgorithmResult RandomBasis(const DiversificationProblem& problem,
+                            const Matroid& matroid, Rng& rng);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_ALGORITHMS_RANDOM_SELECT_H_

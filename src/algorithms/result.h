@@ -1,0 +1,23 @@
+// Common result type returned by every diversification algorithm.
+#ifndef DIVERSE_ALGORITHMS_RESULT_H_
+#define DIVERSE_ALGORITHMS_RESULT_H_
+
+#include <vector>
+
+namespace diverse {
+
+struct AlgorithmResult {
+  // Selected elements, in selection order where the algorithm has one.
+  std::vector<int> elements;
+  // phi(elements) under the problem the algorithm was run on.
+  double objective = 0.0;
+  // Algorithm-specific work counter: greedy iterations, local-search swaps,
+  // or brute-force nodes explored.
+  long long steps = 0;
+  // Wall-clock seconds spent inside the algorithm.
+  double elapsed_seconds = 0.0;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_ALGORITHMS_RESULT_H_

@@ -1,0 +1,40 @@
+#include "algorithms/streaming.h"
+
+#include "util/check.h"
+
+namespace diverse {
+
+StreamingDiversifier::StreamingDiversifier(
+    const DiversificationProblem* problem, int p)
+    : state_(problem), p_(p) {
+  DIVERSE_CHECK(p >= 0);
+}
+
+bool StreamingDiversifier::Observe(int v) {
+  DIVERSE_CHECK(0 <= v && v < state_.universe_size());
+  DIVERSE_CHECK_MSG(!state_.Contains(v), "element observed twice");
+  if (p_ == 0) return false;
+  if (state_.size() < p_) {
+    state_.Add(v);
+    return true;
+  }
+  int best_out = -1;
+  double best_gain = 1e-12;
+  for (int out : state_.members()) {
+    const double gain = state_.SwapGain(out, v);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_out = out;
+    }
+  }
+  if (best_out < 0) return false;
+  state_.Swap(best_out, v);
+  ++swaps_;
+  return true;
+}
+
+void StreamingDiversifier::ObserveAll(const std::vector<int>& stream) {
+  for (int v : stream) Observe(v);
+}
+
+}  // namespace diverse

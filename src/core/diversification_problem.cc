@@ -1,0 +1,27 @@
+#include "core/diversification_problem.h"
+
+#include "metric/metric_utils.h"
+#include "util/check.h"
+
+namespace diverse {
+
+DiversificationProblem::DiversificationProblem(const MetricSpace* metric,
+                                               const SetFunction* quality,
+                                               double lambda)
+    : metric_(metric), quality_(quality), lambda_(lambda) {
+  DIVERSE_CHECK(metric != nullptr);
+  DIVERSE_CHECK(quality != nullptr);
+  DIVERSE_CHECK_MSG(metric->size() == quality->ground_size(),
+                    "metric and quality function ground sets differ");
+  DIVERSE_CHECK_MSG(lambda >= 0.0, "lambda must be non-negative");
+}
+
+double DiversificationProblem::Objective(std::span<const int> set) const {
+  return quality_->Value(set) + DispersionTerm(set);
+}
+
+double DiversificationProblem::DispersionTerm(std::span<const int> set) const {
+  return lambda_ * SumPairwise(*metric_, set);
+}
+
+}  // namespace diverse

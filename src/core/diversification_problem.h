@@ -1,0 +1,44 @@
+// The max-sum diversification problem instance (paper Problem 2):
+//
+//   maximize  phi(S) = f(S) + lambda * sum_{ {u,v} in S } d(u,v)
+//
+// over subsets S of {0..n-1}, where d is a metric, f a normalized monotone
+// submodular quality function and lambda >= 0 the trade-off parameter. The
+// constraint (|S| = p or matroid independence) is supplied separately to
+// each algorithm.
+#ifndef DIVERSE_CORE_DIVERSIFICATION_PROBLEM_H_
+#define DIVERSE_CORE_DIVERSIFICATION_PROBLEM_H_
+
+#include <span>
+
+#include "metric/metric_space.h"
+#include "submodular/set_function.h"
+
+namespace diverse {
+
+class DiversificationProblem {
+ public:
+  // `metric` and `quality` must outlive the problem and agree on ground size.
+  DiversificationProblem(const MetricSpace* metric, const SetFunction* quality,
+                         double lambda);
+
+  int size() const { return metric_->size(); }
+  const MetricSpace& metric() const { return *metric_; }
+  const SetFunction& quality() const { return *quality_; }
+  double lambda() const { return lambda_; }
+
+  // phi(S): full from-scratch evaluation, O(|S|^2) distance terms.
+  double Objective(std::span<const int> set) const;
+
+  // The dispersion part alone: lambda * d(S).
+  double DispersionTerm(std::span<const int> set) const;
+
+ private:
+  const MetricSpace* metric_;
+  const SetFunction* quality_;
+  double lambda_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_DIVERSIFICATION_PROBLEM_H_

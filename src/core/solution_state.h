@@ -1,0 +1,109 @@
+// Incremental solution state shared by all algorithms.
+//
+// Maintains, for a current set S:
+//   * membership flags and the member list,
+//   * dist_to_set[v] = sum_{u in S} d(v, u) for EVERY v in U   (O(n) per
+//     add/remove — the Birnbaum–Goldman bookkeeping that makes Greedy B run
+//     in O(n p) total, paper §4),
+//   * an incremental quality-function evaluator,
+//   * the current objective value phi(S).
+//
+// Gains:
+//   AddGain(v)        = phi(S + v) - phi(S)
+//   PrimeGain(v)      = 1/2 f_v(S) + lambda d_v(S)  (Greedy B's potential)
+//   RemoveGain(v)     = phi(S - v) - phi(S)  (<= 0 for monotone f)
+//   SwapGain(out,in)  = phi(S - out + in) - phi(S)
+#ifndef DIVERSE_CORE_SOLUTION_STATE_H_
+#define DIVERSE_CORE_SOLUTION_STATE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/diversification_problem.h"
+
+namespace diverse {
+
+class SolutionState {
+ public:
+  // `problem` must outlive the state. Starts at the empty set.
+  explicit SolutionState(const DiversificationProblem* problem);
+
+  // Copyable so algorithms can snapshot/restore candidate states.
+  SolutionState(const SolutionState& other);
+  SolutionState& operator=(const SolutionState& other);
+
+  const DiversificationProblem& problem() const { return *problem_; }
+  int universe_size() const { return problem_->size(); }
+  int size() const { return static_cast<int>(members_.size()); }
+  bool Contains(int v) const { return in_set_[v]; }
+  const std::vector<int>& members() const { return members_; }
+  // Members in ascending order (for reporting / comparisons).
+  std::vector<int> SortedMembers() const;
+
+  // phi(S), maintained incrementally.
+  double objective() const { return objective_; }
+  // f(S).
+  double quality_value() const;
+  // lambda * d(S).
+  double dispersion_term() const { return lambda() * dispersion_sum_; }
+  // d(S) (unweighted dispersion).
+  double dispersion_sum() const { return dispersion_sum_; }
+  double lambda() const { return problem_->lambda(); }
+
+  // d_v(S) = sum_{u in S} d(v, u); O(1). For v in S this excludes d(v,v)=0,
+  // so it equals d(v, S - v).
+  double DistanceToSet(int v) const { return dist_to_set_[v]; }
+
+  // phi(S + v) - phi(S); v must not be in S. O(1) plus one f-gain query.
+  double AddGain(int v) const;
+
+  // Greedy B's potential phi'_v(S) = 1/2 f_v(S) + lambda d_v(S).
+  double PrimeGain(int v) const;
+
+  // phi(S - v) - phi(S); v must be in S.
+  double RemoveGain(int v) const;
+
+  // phi(S - out + in) - phi(S); `out` in S, `in` not in S. Implemented
+  // without mutating the state. O(1) for modular f; for general f it
+  // temporarily adjusts the evaluator (still no net state change).
+  double SwapGain(int out, int in) const;
+
+  // Mutators; each is O(n) to refresh dist_to_set.
+  void Add(int v);
+  void Remove(int v);
+  void Swap(int out, int in);
+  void Clear();
+
+  // Recomputes all cached values from scratch (used after external metric or
+  // weight perturbations — paper §6 dynamic updates).
+  void Rebuild();
+
+  // O(1) cache patch after an external change of d(u, v) from `old_value`
+  // to `new_value` (the metric itself must already hold the new value).
+  // This is the fast path for paper §6 type (III)/(IV) perturbations; the
+  // equivalent Rebuild costs O(|S| * n).
+  void ApplyDistanceUpdate(int u, int v, double old_value, double new_value);
+
+  // O(|S|) refresh of the quality evaluator and objective after an external
+  // change to the quality function (paper §6 type (I)/(II) perturbations).
+  // Distance caches are untouched.
+  void RefreshQuality();
+
+  // Replaces the current set.
+  void Assign(const std::vector<int>& set);
+
+ private:
+  void RebuildFrom(const std::vector<int>& members);
+
+  const DiversificationProblem* problem_;
+  std::vector<int> members_;
+  std::vector<bool> in_set_;
+  std::vector<double> dist_to_set_;
+  std::unique_ptr<SetFunctionEvaluator> eval_;
+  double dispersion_sum_ = 0.0;  // d(S)
+  double objective_ = 0.0;       // phi(S)
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_SOLUTION_STATE_H_

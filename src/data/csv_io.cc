@@ -1,0 +1,124 @@
+#include "data/csv_io.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace diverse {
+namespace {
+
+// Splits a line on commas and parses doubles; returns false on any
+// malformed field.
+bool ParseRow(const std::string& line, std::vector<double>* out) {
+  out->clear();
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    const char* begin = field.c_str();
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) return false;
+    while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+    if (*end != '\0') return false;
+    if (!std::isfinite(value)) return false;
+    out->push_back(value);
+  }
+  return !out->empty();
+}
+
+// Next content line (skipping blanks and '#' comments); false at EOF.
+bool NextLine(std::istream& in, std::string* line) {
+  while (std::getline(in, *line)) {
+    std::size_t start = line->find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if ((*line)[start] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SaveDatasetCsv(const std::string& path, const Dataset& data) {
+  std::ofstream out(path);
+  if (!out) return false;
+  // Round-trippable doubles.
+  out.precision(17);
+  const int n = data.size();
+  out << "# diverse dataset: n, weights, symmetric distance matrix\n";
+  out << n << "\n";
+  for (int i = 0; i < n; ++i) {
+    out << data.weights[i] << (i + 1 < n ? "," : "");
+  }
+  out << "\n";
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      out << data.metric.Distance(u, v) << (v + 1 < n ? "," : "");
+    }
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Dataset> LoadDatasetCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  std::vector<double> row;
+
+  if (!NextLine(in, &line) || !ParseRow(line, &row) || row.size() != 1) {
+    return std::nullopt;
+  }
+  const int n = static_cast<int>(row[0]);
+  if (n < 0 || row[0] != n) return std::nullopt;
+  Dataset data(n);
+  if (n == 0) return data;
+
+  if (!NextLine(in, &line) || !ParseRow(line, &row) ||
+      static_cast<int>(row.size()) != n) {
+    return std::nullopt;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (row[i] < 0.0) return std::nullopt;
+    data.weights[i] = row[i];
+  }
+
+  std::vector<std::vector<double>> matrix(n);
+  for (int u = 0; u < n; ++u) {
+    if (!NextLine(in, &line) || !ParseRow(line, &matrix[u]) ||
+        static_cast<int>(matrix[u].size()) != n) {
+      return std::nullopt;
+    }
+  }
+  for (int u = 0; u < n; ++u) {
+    if (matrix[u][u] != 0.0) return std::nullopt;
+    for (int v = u + 1; v < n; ++v) {
+      if (matrix[u][v] != matrix[v][u] || matrix[u][v] < 0.0) {
+        return std::nullopt;
+      }
+      data.metric.SetDistance(u, v, matrix[u][v]);
+    }
+  }
+  return data;
+}
+
+std::optional<std::vector<std::vector<double>>> LoadPointsCsv(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<std::vector<double>> points;
+  std::string line;
+  while (NextLine(in, &line)) {
+    std::vector<double> row;
+    if (!ParseRow(line, &row)) return std::nullopt;
+    if (!points.empty() && row.size() != points.front().size()) {
+      return std::nullopt;
+    }
+    points.push_back(std::move(row));
+  }
+  if (points.empty()) return std::nullopt;
+  return points;
+}
+
+}  // namespace diverse

@@ -1,0 +1,37 @@
+// Plain-text persistence for datasets, so experiments can be re-run on
+// frozen inputs and external data can be brought in.
+//
+// Dataset format (CSV-ish, '#' comments allowed):
+//   line 1:  n
+//   line 2:  w_0, w_1, ..., w_{n-1}
+//   lines 3..n+2: row i of the symmetric distance matrix (n values)
+//
+// Points format: one row per point, comma-separated coordinates; loaded
+// into an L2 EuclideanMetric-ready vector of points.
+#ifndef DIVERSE_DATA_CSV_IO_H_
+#define DIVERSE_DATA_CSV_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace diverse {
+
+// Writes `data` to `path`. Returns false on IO failure.
+bool SaveDatasetCsv(const std::string& path, const Dataset& data);
+
+// Loads a dataset written by SaveDatasetCsv (or hand-authored in the same
+// format). Returns nullopt on IO or format errors (malformed numbers,
+// asymmetry, wrong counts).
+std::optional<Dataset> LoadDatasetCsv(const std::string& path);
+
+// Loads a points file (one comma-separated coordinate row per point; all
+// rows must have equal dimension). Returns nullopt on error.
+std::optional<std::vector<std::vector<double>>> LoadPointsCsv(
+    const std::string& path);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_DATA_CSV_IO_H_

@@ -1,0 +1,34 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace diverse {
+
+Dataset Restrict(const Dataset& data, const std::vector<int>& keep) {
+  const int k = static_cast<int>(keep.size());
+  Dataset out(k);
+  for (int i = 0; i < k; ++i) {
+    DIVERSE_CHECK(0 <= keep[i] && keep[i] < data.size());
+    out.weights[i] = data.weights[keep[i]];
+    for (int j = i + 1; j < k; ++j) {
+      out.metric.SetDistance(i, j, data.metric.Distance(keep[i], keep[j]));
+    }
+  }
+  return out;
+}
+
+std::vector<int> TopKByWeight(const Dataset& data, int k) {
+  DIVERSE_CHECK(0 <= k && k <= data.size());
+  std::vector<int> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return data.weights[a] > data.weights[b];
+  });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace diverse

@@ -1,0 +1,32 @@
+// Common container produced by the data generators: per-element quality
+// weights plus a materialized (mutable) distance matrix.
+#ifndef DIVERSE_DATA_DATASET_H_
+#define DIVERSE_DATA_DATASET_H_
+
+#include <vector>
+
+#include "metric/dense_metric.h"
+
+namespace diverse {
+
+struct Dataset {
+  std::vector<double> weights;
+  DenseMetric metric;
+
+  explicit Dataset(int n) : metric(n) { weights.assign(n, 0.0); }
+
+  int size() const { return metric.size(); }
+};
+
+// Restriction of a dataset to the elements in `keep` (re-indexed 0..k-1 in
+// the order given).
+Dataset Restrict(const Dataset& data, const std::vector<int>& keep);
+
+// Indices of the `k` heaviest elements of `data` (ties broken by lower
+// index), in descending weight order — the paper's "top-k documents by
+// relevance" selection (§7.2).
+std::vector<int> TopKByWeight(const Dataset& data, int k);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_DATA_DATASET_H_

@@ -1,0 +1,102 @@
+#include "data/letor_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metric/cosine_metric.h"
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+// Grade drawn from a skewed distribution whose mass shifts with the
+// document's aspect propensity: real ranked lists are mostly marginal
+// documents, and the relevant ones concentrate in a few query aspects —
+// which is exactly what creates the relevance/diversity tension the paper
+// exploits (the best documents are close to each other in cosine space).
+int DrawGrade(Rng& rng, int max_grade, double aspect_propensity) {
+  // Base propensity blended with per-document noise, squared to skew low.
+  const double mix = 0.75 * aspect_propensity + 0.25 * rng.Uniform(0.0, 1.0);
+  const double level = mix * mix;
+  const int grade = static_cast<int>(level * (max_grade + 1));
+  return std::min(grade, max_grade);
+}
+
+}  // namespace
+
+LetorQuery MakeLetorQuery(const LetorConfig& config, Rng& rng) {
+  DIVERSE_CHECK(config.num_documents >= 1);
+  DIVERSE_CHECK(config.dimension >= 1);
+  DIVERSE_CHECK(config.num_aspects >= 1);
+  DIVERSE_CHECK(1 <= config.max_grade && config.max_grade <= 5);
+
+  // Aspect prototypes and a global relevance direction, all non-negative.
+  // Each aspect carries a relevance propensity: a few aspects hold most of
+  // the relevant documents.
+  // Prototypes are SPARSE (like tf-idf / LETOR query-document features):
+  // each aspect activates a small random subset of dimensions, so
+  // cross-aspect cosine distances are large (toward 1) while same-aspect
+  // documents stay close — the bimodal distance profile of real ranked
+  // lists.
+  std::vector<std::vector<double>> aspects(config.num_aspects);
+  std::vector<double> aspect_propensity(config.num_aspects);
+  const int support =
+      std::max(2, config.dimension / std::max(2, config.num_aspects));
+  for (int a = 0; a < config.num_aspects; ++a) {
+    aspects[a].assign(config.dimension, 0.0);
+    for (int k : rng.SampleWithoutReplacement(config.dimension, support)) {
+      aspects[a][k] = std::abs(rng.Gaussian(0.0, 1.0)) + 0.2;
+    }
+    aspect_propensity[a] = rng.Uniform(0.0, 1.0);
+  }
+  std::vector<double> relevance_direction(config.dimension);
+  for (double& x : relevance_direction) x = std::abs(rng.Gaussian(0.0, 1.0));
+
+  LetorQuery query(config.num_documents);
+  query.relevance.resize(config.num_documents);
+  query.features.resize(config.num_documents);
+  for (int i = 0; i < config.num_documents; ++i) {
+    const int aspect_id = rng.UniformInt(0, config.num_aspects - 1);
+    query.relevance[i] =
+        DrawGrade(rng, config.max_grade, aspect_propensity[aspect_id]);
+    const auto& aspect = aspects[aspect_id];
+    auto& feat = query.features[i];
+    feat.resize(config.dimension);
+    const double grade_frac =
+        static_cast<double>(query.relevance[i]) / config.max_grade;
+    for (int k = 0; k < config.dimension; ++k) {
+      // Noise is applied only where the aspect (or occasionally another
+      // dimension) is active, keeping vectors sparse.
+      const bool active = aspect[k] > 0.0 || rng.Bernoulli(0.05);
+      feat[k] = aspect[k] +
+                config.relevance_signal * grade_frac * relevance_direction[k] +
+                (active ? std::abs(rng.Gaussian(0.0, config.noise)) : 0.0);
+    }
+    query.data.weights[i] = static_cast<double>(query.relevance[i]);
+  }
+
+  const CosineMetric cosine(query.features,
+                            CosineMetric::Form::kOneMinusCosine);
+  for (int u = 0; u < config.num_documents; ++u) {
+    for (int v = u + 1; v < config.num_documents; ++v) {
+      query.data.metric.SetDistance(u, v, cosine.Distance(u, v));
+    }
+  }
+  return query;
+}
+
+LetorQuery TopKDocuments(const LetorQuery& query, int k) {
+  DIVERSE_CHECK(0 <= k && k <= query.size());
+  const std::vector<int> keep = TopKByWeight(query.data, k);
+  LetorQuery out(k);
+  out.relevance.resize(k);
+  out.features.resize(k);
+  for (int i = 0; i < k; ++i) {
+    out.relevance[i] = query.relevance[keep[i]];
+    out.features[i] = query.features[keep[i]];
+  }
+  out.data = Restrict(query.data, keep);
+  return out;
+}
+
+}  // namespace diverse

@@ -1,0 +1,63 @@
+#include "data/synthetic.h"
+
+#include "metric/euclidean_metric.h"
+#include "util/check.h"
+
+namespace diverse {
+
+Dataset MakeUniformSynthetic(int n, Rng& rng, double weight_lo,
+                             double weight_hi, double dist_lo,
+                             double dist_hi) {
+  DIVERSE_CHECK(n >= 0);
+  DIVERSE_CHECK(0.0 <= weight_lo && weight_lo <= weight_hi);
+  DIVERSE_CHECK_MSG(dist_lo > 0.0 && 2.0 * dist_lo >= dist_hi,
+                    "distance range must satisfy 2*lo >= hi > 0 so every "
+                    "draw is a metric");
+  Dataset data(n);
+  for (int u = 0; u < n; ++u) {
+    data.weights[u] = rng.Uniform(weight_lo, weight_hi);
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      data.metric.SetDistance(u, v, rng.Uniform(dist_lo, dist_hi));
+    }
+  }
+  return data;
+}
+
+Dataset MakeClusteredEuclidean(const ClusteredConfig& config, Rng& rng) {
+  DIVERSE_CHECK(config.n >= 0);
+  DIVERSE_CHECK(config.dimension >= 1);
+  DIVERSE_CHECK(config.num_clusters >= 1);
+  std::vector<std::vector<double>> centers(config.num_clusters);
+  for (auto& c : centers) {
+    c.resize(config.dimension);
+    for (double& x : c) x = rng.Uniform(0.0, 10.0);
+  }
+  std::vector<std::vector<double>> points(config.n);
+  std::vector<int> cluster_of(config.n);
+  for (int i = 0; i < config.n; ++i) {
+    cluster_of[i] = rng.UniformInt(0, config.num_clusters - 1);
+    points[i].resize(config.dimension);
+    for (int k = 0; k < config.dimension; ++k) {
+      points[i][k] =
+          centers[cluster_of[i]][k] + rng.Gaussian(0.0, config.cluster_spread);
+    }
+  }
+  Dataset data(config.n);
+  if (config.n > 0) {
+    const EuclideanMetric metric(points, Norm::kL2);
+    for (int u = 0; u < config.n; ++u) {
+      for (int v = u + 1; v < config.n; ++v) {
+        data.metric.SetDistance(u, v, metric.Distance(u, v));
+      }
+    }
+  }
+  for (int i = 0; i < config.n; ++i) {
+    data.weights[i] = rng.Uniform(config.weight_lo, config.weight_hi);
+    if (cluster_of[i] == 0) data.weights[i] += config.hot_cluster_bonus;
+  }
+  return data;
+}
+
+}  // namespace diverse

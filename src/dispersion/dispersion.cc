@@ -1,0 +1,167 @@
+#include "dispersion/dispersion.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace diverse {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Shared farthest-point growth; returns the selection order.
+std::vector<int> FarthestPointGrowth(const MetricSpace& metric, int p) {
+  const int n = metric.size();
+  std::vector<int> selected;
+  if (p <= 0 || n == 0) return selected;
+  if (p == 1) {
+    selected.push_back(0);
+    return selected;
+  }
+  // Seed: the farthest pair.
+  int best_u = 0;
+  int best_v = std::min(1, n - 1);
+  double best = -1.0;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (metric.Distance(u, v) > best) {
+        best = metric.Distance(u, v);
+        best_u = u;
+        best_v = v;
+      }
+    }
+  }
+  selected = {best_u, best_v};
+  std::vector<bool> chosen(n, false);
+  chosen[best_u] = chosen[best_v] = true;
+  // min_dist[x] = min distance from x to the selected set.
+  std::vector<double> min_dist(n, kInf);
+  for (int x = 0; x < n; ++x) {
+    min_dist[x] = std::min(metric.Distance(x, best_u),
+                           metric.Distance(x, best_v));
+  }
+  while (static_cast<int>(selected.size()) < std::min(p, n)) {
+    int pick = -1;
+    double pick_dist = -1.0;
+    for (int x = 0; x < n; ++x) {
+      if (chosen[x]) continue;
+      if (min_dist[x] > pick_dist) {
+        pick_dist = min_dist[x];
+        pick = x;
+      }
+    }
+    DIVERSE_CHECK(pick >= 0);
+    chosen[pick] = true;
+    selected.push_back(pick);
+    for (int x = 0; x < n; ++x) {
+      min_dist[x] = std::min(min_dist[x], metric.Distance(x, pick));
+    }
+  }
+  return selected;
+}
+
+}  // namespace
+
+double MinPairwiseDistance(const MetricSpace& metric,
+                           std::span<const int> set) {
+  if (set.size() < 2) return 0.0;
+  double best = kInf;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      best = std::min(best, metric.Distance(set[i], set[j]));
+    }
+  }
+  return best;
+}
+
+double MstWeight(const MetricSpace& metric, std::span<const int> set) {
+  const int k = static_cast<int>(set.size());
+  if (k < 2) return 0.0;
+  // Prim's algorithm over the induced complete graph.
+  std::vector<double> key(k, kInf);
+  std::vector<bool> in_tree(k, false);
+  key[0] = 0.0;
+  double total = 0.0;
+  for (int round = 0; round < k; ++round) {
+    int u = -1;
+    for (int x = 0; x < k; ++x) {
+      if (!in_tree[x] && (u < 0 || key[x] < key[u])) u = x;
+    }
+    in_tree[u] = true;
+    total += key[u];
+    for (int x = 0; x < k; ++x) {
+      if (in_tree[x]) continue;
+      key[x] = std::min(key[x], metric.Distance(set[u], set[x]));
+    }
+  }
+  return total;
+}
+
+AlgorithmResult MaxMinDispersionGreedy(const MetricSpace& metric, int p) {
+  WallTimer timer;
+  AlgorithmResult result;
+  result.elements = FarthestPointGrowth(metric, p);
+  result.steps = static_cast<long long>(result.elements.size());
+  result.objective = MinPairwiseDistance(metric, result.elements);
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+AlgorithmResult MaxMstDispersionGreedy(const MetricSpace& metric, int p) {
+  WallTimer timer;
+  AlgorithmResult result;
+  result.elements = FarthestPointGrowth(metric, p);
+  result.steps = static_cast<long long>(result.elements.size());
+  result.objective = MstWeight(metric, result.elements);
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+namespace {
+
+void MaxMinDfs(const MetricSpace& metric, int p, int start,
+               std::vector<int>* chosen, double current_min,
+               std::vector<int>* best_set, double* best_value,
+               long long* nodes) {
+  ++*nodes;
+  if (static_cast<int>(chosen->size()) == p) {
+    if (current_min > *best_value) {
+      *best_value = current_min;
+      *best_set = *chosen;
+    }
+    return;
+  }
+  const int remaining = p - static_cast<int>(chosen->size());
+  for (int v = start; v + remaining <= metric.size(); ++v) {
+    double new_min = current_min;
+    for (int c : *chosen) {
+      new_min = std::min(new_min, metric.Distance(v, c));
+    }
+    if (new_min <= *best_value) continue;  // cannot improve: prune
+    chosen->push_back(v);
+    MaxMinDfs(metric, p, v + 1, chosen, new_min, best_set, best_value, nodes);
+    chosen->pop_back();
+  }
+}
+
+}  // namespace
+
+AlgorithmResult MaxMinDispersionExact(const MetricSpace& metric, int p) {
+  DIVERSE_CHECK_MSG(metric.size() <= 40,
+                    "MaxMinDispersionExact limited to small n");
+  WallTimer timer;
+  AlgorithmResult result;
+  std::vector<int> chosen;
+  std::vector<int> best_set;
+  double best_value = -1.0;
+  MaxMinDfs(metric, std::min(p, metric.size()), 0, &chosen, kInf, &best_set,
+            &best_value, &result.steps);
+  result.elements = best_set;
+  result.objective = best_set.size() < 2 ? 0.0 : best_value;
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace diverse

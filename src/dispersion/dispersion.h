@@ -1,0 +1,43 @@
+// Alternative dispersion objectives from the facility-location literature
+// the paper surveys in §3 (max-min, max-MST) and revisits in §8 as future
+// diversity notions. The paper's own objective is max-SUM (handled by
+// src/algorithms); this module provides the sibling criteria so users can
+// compare diversity notions on the same data.
+#ifndef DIVERSE_DISPERSION_DISPERSION_H_
+#define DIVERSE_DISPERSION_DISPERSION_H_
+
+#include <span>
+#include <vector>
+
+#include "algorithms/result.h"
+#include "metric/metric_space.h"
+
+namespace diverse {
+
+// min_{u != v in set} d(u, v); +inf convention avoided: returns 0 for
+// |set| < 2.
+double MinPairwiseDistance(const MetricSpace& metric,
+                           std::span<const int> set);
+
+// Weight of a minimum spanning tree over `set` (Prim, O(|set|^2)); 0 for
+// |set| < 2.
+double MstWeight(const MetricSpace& metric, std::span<const int> set);
+
+// Max-min p-dispersion greedy (the classic farthest-point heuristic of
+// White/Tamir, 2-approximation for metric max-min dispersion): start from
+// the farthest pair, then repeatedly add the element maximizing the
+// minimum distance to the chosen set. `objective` in the result is the
+// achieved min pairwise distance.
+AlgorithmResult MaxMinDispersionGreedy(const MetricSpace& metric, int p);
+
+// Max-MST dispersion heuristic: the same farthest-point growth, scored by
+// MST weight (a constant-factor heuristic for max-mst dispersion per
+// Halldorsson et al.). `objective` is the achieved MST weight.
+AlgorithmResult MaxMstDispersionGreedy(const MetricSpace& metric, int p);
+
+// Exact max-min p-dispersion by enumeration (small n; for tests).
+AlgorithmResult MaxMinDispersionExact(const MetricSpace& metric, int p);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_DISPERSION_DISPERSION_H_

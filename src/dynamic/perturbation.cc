@@ -1,0 +1,72 @@
+#include "dynamic/perturbation.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace diverse {
+
+std::string ToString(PerturbationType type) {
+  switch (type) {
+    case PerturbationType::kWeightIncrease:
+      return "weight_increase";
+    case PerturbationType::kWeightDecrease:
+      return "weight_decrease";
+    case PerturbationType::kDistanceIncrease:
+      return "distance_increase";
+    case PerturbationType::kDistanceDecrease:
+      return "distance_decrease";
+  }
+  return "unknown";
+}
+
+double Perturbation::delta() const { return std::abs(new_value - old_value); }
+
+Perturbation RandomWeightPerturbation(const ModularFunction& weights, Rng& rng,
+                                      double lo, double hi) {
+  DIVERSE_CHECK(weights.ground_size() >= 1);
+  DIVERSE_CHECK(0.0 <= lo && lo <= hi);
+  Perturbation p;
+  p.u = rng.UniformInt(0, weights.ground_size() - 1);
+  p.old_value = weights.weight(p.u);
+  p.new_value = rng.Uniform(lo, hi);
+  p.type = p.new_value >= p.old_value ? PerturbationType::kWeightIncrease
+                                      : PerturbationType::kWeightDecrease;
+  return p;
+}
+
+Perturbation RandomDistancePerturbation(const DenseMetric& metric, Rng& rng,
+                                        double lo, double hi) {
+  DIVERSE_CHECK(metric.size() >= 2);
+  DIVERSE_CHECK_MSG(lo > 0.0 && 2.0 * lo >= hi,
+                    "distance range must satisfy 2*lo >= hi > 0 to stay "
+                    "metric under arbitrary perturbations");
+  Perturbation p;
+  const std::vector<int> pair = rng.SampleWithoutReplacement(metric.size(), 2);
+  p.u = pair[0];
+  p.v = pair[1];
+  p.old_value = metric.Distance(p.u, p.v);
+  p.new_value = rng.Uniform(lo, hi);
+  p.type = p.new_value >= p.old_value ? PerturbationType::kDistanceIncrease
+                                      : PerturbationType::kDistanceDecrease;
+  return p;
+}
+
+void ApplyPerturbation(const Perturbation& perturbation,
+                       ModularFunction* weights, DenseMetric* metric) {
+  switch (perturbation.type) {
+    case PerturbationType::kWeightIncrease:
+    case PerturbationType::kWeightDecrease:
+      DIVERSE_CHECK(weights != nullptr);
+      weights->SetWeight(perturbation.u, perturbation.new_value);
+      return;
+    case PerturbationType::kDistanceIncrease:
+    case PerturbationType::kDistanceDecrease:
+      DIVERSE_CHECK(metric != nullptr);
+      metric->SetDistance(perturbation.u, perturbation.v,
+                          perturbation.new_value);
+      return;
+  }
+}
+
+}  // namespace diverse

@@ -1,0 +1,62 @@
+// Perturbation model for the dynamic-update setting (paper §6). Four types:
+//   (I)   weight increase on an element
+//   (II)  weight decrease on an element
+//   (III) distance increase between two elements
+//   (IV)  distance decrease between two elements
+// Distance perturbations must preserve the metric condition; the random
+// generators below draw from a range [lo, hi] with 2*lo >= hi so any
+// combination of values satisfies the triangle inequality (the paper's
+// synthetic [1,2] range has exactly this property).
+#ifndef DIVERSE_DYNAMIC_PERTURBATION_H_
+#define DIVERSE_DYNAMIC_PERTURBATION_H_
+
+#include <string>
+
+#include "metric/dense_metric.h"
+#include "submodular/modular_function.h"
+#include "util/random.h"
+
+namespace diverse {
+
+enum class PerturbationType {
+  kWeightIncrease,    // (I)
+  kWeightDecrease,    // (II)
+  kDistanceIncrease,  // (III)
+  kDistanceDecrease,  // (IV)
+};
+
+std::string ToString(PerturbationType type);
+
+struct Perturbation {
+  PerturbationType type;
+  // Weight perturbations use `u`; distance perturbations use the pair
+  // {u, v}.
+  int u = -1;
+  int v = -1;
+  double old_value = 0.0;
+  double new_value = 0.0;
+
+  // Magnitude delta = |new - old|.
+  double delta() const;
+};
+
+// Resets the weight of a random element to a fresh U[lo, hi] draw (the
+// paper's VPERTURBATION). Classified as increase/decrease by comparison
+// with the current value.
+Perturbation RandomWeightPerturbation(const ModularFunction& weights, Rng& rng,
+                                      double lo, double hi);
+
+// Resets the distance of a random pair to a fresh U[lo, hi] draw (the
+// paper's EPERTURBATION). Requires 2*lo >= hi > 0 so the perturbed space
+// stays metric, and n >= 2.
+Perturbation RandomDistancePerturbation(const DenseMetric& metric, Rng& rng,
+                                        double lo, double hi);
+
+// Applies `perturbation` to the matching structure. Weight perturbations
+// need `weights`; distance perturbations need `metric`.
+void ApplyPerturbation(const Perturbation& perturbation,
+                       ModularFunction* weights, DenseMetric* metric);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_DYNAMIC_PERTURBATION_H_

@@ -1,0 +1,87 @@
+#include "dynamic/simulator.h"
+
+#include <algorithm>
+
+#include "algorithms/brute_force.h"
+#include "algorithms/greedy_vertex.h"
+#include "core/diversification_problem.h"
+#include "data/synthetic.h"
+#include "dynamic/dynamic_updater.h"
+#include "submodular/modular_function.h"
+#include "util/check.h"
+
+namespace diverse {
+
+std::string ToString(PerturbationEnvironment env) {
+  switch (env) {
+    case PerturbationEnvironment::kVertex:
+      return "VPERTURBATION";
+    case PerturbationEnvironment::kEdge:
+      return "EPERTURBATION";
+    case PerturbationEnvironment::kMixed:
+      return "MPERTURBATION";
+  }
+  return "unknown";
+}
+
+DynamicSimulationResult RunDynamicSimulation(
+    const DynamicSimulationConfig& config) {
+  DIVERSE_CHECK(config.n >= 2);
+  DIVERSE_CHECK(config.p >= 1 && config.p <= config.n);
+  Rng rng(config.seed);
+  DynamicSimulationResult result;
+  result.worst_ratio = 1.0;
+  double ratio_sum = 0.0;
+
+  for (int run = 0; run < config.runs; ++run) {
+    Dataset data = MakeUniformSynthetic(config.n, rng, config.weight_lo,
+                                        config.weight_hi, config.dist_lo,
+                                        config.dist_hi);
+    ModularFunction weights(data.weights);
+    DiversificationProblem problem(&data.metric, &weights, config.lambda);
+
+    GreedyVertexOptions greedy_options;
+    greedy_options.p = config.p;
+    const AlgorithmResult initial = GreedyVertex(problem, greedy_options);
+    DynamicUpdater updater(&problem, &weights, &data.metric,
+                           initial.elements);
+
+    for (int step = 0; step < config.steps; ++step) {
+      bool vertex_perturbation = false;
+      switch (config.environment) {
+        case PerturbationEnvironment::kVertex:
+          vertex_perturbation = true;
+          break;
+        case PerturbationEnvironment::kEdge:
+          vertex_perturbation = false;
+          break;
+        case PerturbationEnvironment::kMixed:
+          vertex_perturbation = rng.Bernoulli(0.5);
+          break;
+      }
+      const Perturbation perturbation =
+          vertex_perturbation
+              ? RandomWeightPerturbation(weights, rng, config.weight_lo,
+                                         config.weight_hi)
+              : RandomDistancePerturbation(data.metric, rng, config.dist_lo,
+                                           config.dist_hi);
+      updater.Apply(perturbation);
+      if (updater.ObliviousUpdate()) ++result.total_swaps;
+
+      BruteForceOptions bf;
+      bf.p = config.p;
+      const AlgorithmResult opt = BruteForceCardinality(problem, bf);
+      DIVERSE_CHECK(opt.objective > 0.0);
+      const double ratio = opt.objective / updater.objective();
+      result.worst_ratio = std::max(result.worst_ratio, ratio);
+      ratio_sum += ratio;
+      ++result.total_steps;
+    }
+  }
+  result.mean_ratio = result.total_steps > 0
+                          ? ratio_sum / static_cast<double>(result.total_steps)
+                          : 1.0;
+  return result;
+}
+
+}  // namespace diverse

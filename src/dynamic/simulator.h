@@ -1,0 +1,55 @@
+// The dynamically-changing-environment experiment of paper §7.3 (Figure 1):
+// starting from the Greedy B solution, run `steps` perturbations, each
+// followed by a single oblivious update, in one of three environments:
+//   VPERTURBATION — random weight resets,
+//   EPERTURBATION — random distance resets,
+//   MPERTURBATION — a fair coin between the two;
+// repeat `runs` times and record the worst observed approximation ratio
+// OPT / phi(S) (OPT by brute force after every perturbation).
+#ifndef DIVERSE_DYNAMIC_SIMULATOR_H_
+#define DIVERSE_DYNAMIC_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.h"
+
+namespace diverse {
+
+enum class PerturbationEnvironment {
+  kVertex,  // VPERTURBATION
+  kEdge,    // EPERTURBATION
+  kMixed,   // MPERTURBATION
+};
+
+std::string ToString(PerturbationEnvironment env);
+
+struct DynamicSimulationConfig {
+  int n = 20;
+  int p = 4;
+  double lambda = 0.2;
+  int steps = 20;  // perturbations per run
+  int runs = 100;  // independent repetitions
+  PerturbationEnvironment environment = PerturbationEnvironment::kMixed;
+  // Synthetic generation ranges (paper §7.1 / §7.3).
+  double weight_lo = 0.0;
+  double weight_hi = 1.0;
+  double dist_lo = 1.0;
+  double dist_hi = 2.0;
+  std::uint64_t seed = 1;
+};
+
+struct DynamicSimulationResult {
+  // max over all runs and steps of OPT / phi(S) after the single update.
+  double worst_ratio = 1.0;
+  double mean_ratio = 1.0;
+  long long total_swaps = 0;
+  long long total_steps = 0;
+};
+
+DynamicSimulationResult RunDynamicSimulation(
+    const DynamicSimulationConfig& config);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_DYNAMIC_SIMULATOR_H_

@@ -1,0 +1,66 @@
+#include "matroid/graphic_matroid.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+// Minimal union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns false if x and y were already connected.
+  bool Union(int x, int y) {
+    const int rx = Find(x);
+    const int ry = Find(y);
+    if (rx == ry) return false;
+    parent_[rx] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+GraphicMatroid::GraphicMatroid(int num_vertices,
+                               std::vector<std::pair<int, int>> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  DIVERSE_CHECK(num_vertices >= 0);
+  for (const auto& [a, b] : edges_) {
+    DIVERSE_CHECK_MSG(0 <= a && a < num_vertices && 0 <= b && b < num_vertices,
+                      "edge endpoint out of range");
+  }
+  // Rank = num_vertices - number of connected components (spanning forest).
+  UnionFind uf(num_vertices_);
+  rank_ = 0;
+  for (const auto& [a, b] : edges_) {
+    if (a != b && uf.Union(a, b)) ++rank_;
+  }
+}
+
+bool GraphicMatroid::IsIndependent(std::span<const int> set) const {
+  UnionFind uf(num_vertices_);
+  for (int e : set) {
+    const auto& [a, b] = edges_[e];
+    if (a == b) return false;  // self-loop is a dependent element
+    if (!uf.Union(a, b)) return false;
+  }
+  return true;
+}
+
+}  // namespace diverse

@@ -1,0 +1,36 @@
+// Graphic matroid: ground-set elements are edges of an undirected graph and
+// a set is independent iff it is acyclic (a forest). Independence is decided
+// with a union-find pass.
+#ifndef DIVERSE_MATROID_GRAPHIC_MATROID_H_
+#define DIVERSE_MATROID_GRAPHIC_MATROID_H_
+
+#include <utility>
+#include <vector>
+
+#include "matroid/matroid.h"
+
+namespace diverse {
+
+class GraphicMatroid : public Matroid {
+ public:
+  // `edges[e]` = (a, b) endpoints in [0, num_vertices); self-loops are
+  // permitted and are never independent together with anything (a loop
+  // element is dependent by itself).
+  GraphicMatroid(int num_vertices, std::vector<std::pair<int, int>> edges);
+
+  int ground_size() const override { return static_cast<int>(edges_.size()); }
+  bool IsIndependent(std::span<const int> set) const override;
+  int rank() const override { return rank_; }
+
+  std::pair<int, int> edge(int e) const { return edges_[e]; }
+  int num_vertices() const { return num_vertices_; }
+
+ private:
+  int num_vertices_;
+  std::vector<std::pair<int, int>> edges_;
+  int rank_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_MATROID_GRAPHIC_MATROID_H_

@@ -1,0 +1,70 @@
+#include "matroid/laminar_matroid.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+// True when a and b (as sorted element lists) are disjoint or nested.
+bool DisjointOrNested(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> inter;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(inter));
+  if (inter.empty()) return true;
+  return inter.size() == a.size() || inter.size() == b.size();
+}
+
+}  // namespace
+
+LaminarMatroid::LaminarMatroid(int ground_size,
+                               std::vector<std::vector<int>> family,
+                               std::vector<int> capacities)
+    : n_(ground_size),
+      family_(std::move(family)),
+      capacities_(std::move(capacities)) {
+  DIVERSE_CHECK(ground_size >= 0);
+  DIVERSE_CHECK(family_.size() == capacities_.size());
+  for (auto& s : family_) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    for (int e : s) {
+      DIVERSE_CHECK_MSG(0 <= e && e < n_, "family element out of range");
+    }
+  }
+  for (int c : capacities_) DIVERSE_CHECK_MSG(c >= 0, "negative capacity");
+  for (std::size_t i = 0; i < family_.size(); ++i) {
+    for (std::size_t j = i + 1; j < family_.size(); ++j) {
+      DIVERSE_CHECK_MSG(DisjointOrNested(family_[i], family_[j]),
+                        "family is not laminar");
+    }
+  }
+  sets_of_element_.assign(n_, {});
+  for (int i = 0; i < num_sets(); ++i) {
+    for (int e : family_[i]) sets_of_element_[e].push_back(i);
+  }
+  rank_ = ComputeRank();
+}
+
+int LaminarMatroid::ComputeRank() const {
+  // Greedy: a maximal independent set is a basis in any matroid.
+  std::vector<int> basis;
+  for (int e = 0; e < n_; ++e) {
+    basis.push_back(e);
+    if (!IsIndependent(basis)) basis.pop_back();
+  }
+  return static_cast<int>(basis.size());
+}
+
+bool LaminarMatroid::IsIndependent(std::span<const int> set) const {
+  std::vector<int> used(capacities_.size(), 0);
+  for (int e : set) {
+    for (int s : sets_of_element_[e]) {
+      if (++used[s] > capacities_[s]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace diverse

@@ -1,0 +1,41 @@
+// Laminar matroid: a family of sets where any two are disjoint or nested,
+// each with a capacity; independent sets respect every capacity. Generalizes
+// the partition matroid (disjoint blocks) and the uniform matroid (single
+// set = U).
+#ifndef DIVERSE_MATROID_LAMINAR_MATROID_H_
+#define DIVERSE_MATROID_LAMINAR_MATROID_H_
+
+#include <vector>
+
+#include "matroid/matroid.h"
+
+namespace diverse {
+
+class LaminarMatroid : public Matroid {
+ public:
+  // `family[i]` lists the elements of the i-th family set; `capacities[i]`
+  // its bound. The family must be laminar (checked in O(m^2 * n)). An
+  // implicit top set U with capacity = computed rank is not required.
+  LaminarMatroid(int ground_size, std::vector<std::vector<int>> family,
+                 std::vector<int> capacities);
+
+  int ground_size() const override { return n_; }
+  bool IsIndependent(std::span<const int> set) const override;
+  int rank() const override { return rank_; }
+
+  int num_sets() const { return static_cast<int>(capacities_.size()); }
+
+ private:
+  int ComputeRank() const;
+
+  int n_;
+  // element -> indices of family sets containing it.
+  std::vector<std::vector<int>> sets_of_element_;
+  std::vector<std::vector<int>> family_;
+  std::vector<int> capacities_;
+  int rank_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_MATROID_LAMINAR_MATROID_H_

@@ -1,0 +1,69 @@
+#include "matroid/matroid.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace diverse {
+
+bool Matroid::CanAdd(std::span<const int> set, int e) const {
+  std::vector<int> extended(set.begin(), set.end());
+  extended.push_back(e);
+  return IsIndependent(extended);
+}
+
+bool Matroid::CanExchange(std::span<const int> set, int out, int in) const {
+  std::vector<int> swapped;
+  swapped.reserve(set.size());
+  for (int e : set) {
+    if (e != out) swapped.push_back(e);
+  }
+  swapped.push_back(in);
+  return IsIndependent(swapped);
+}
+
+std::vector<int> ExtendToBasis(const Matroid& matroid, std::vector<int> set) {
+  DIVERSE_CHECK_MSG(matroid.IsIndependent(set),
+                    "ExtendToBasis requires an independent starting set");
+  std::vector<bool> in_set(matroid.ground_size(), false);
+  for (int e : set) in_set[e] = true;
+  for (int e = 0; e < matroid.ground_size(); ++e) {
+    if (in_set[e]) continue;
+    if (matroid.CanAdd(set, e)) {
+      set.push_back(e);
+      in_set[e] = true;
+    }
+  }
+  return set;
+}
+
+namespace {
+
+void EnumerateBasesRec(const Matroid& matroid, int next,
+                       std::vector<int>* current, int target_rank,
+                       std::vector<std::vector<int>>* out) {
+  if (static_cast<int>(current->size()) == target_rank) {
+    out->push_back(*current);
+    return;
+  }
+  for (int e = next; e < matroid.ground_size(); ++e) {
+    if (matroid.CanAdd(*current, e)) {
+      current->push_back(e);
+      EnumerateBasesRec(matroid, e + 1, current, target_rank, out);
+      current->pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> EnumerateBases(const Matroid& matroid) {
+  DIVERSE_CHECK_MSG(matroid.ground_size() <= 24,
+                    "EnumerateBases limited to small ground sets");
+  std::vector<std::vector<int>> out;
+  std::vector<int> current;
+  EnumerateBasesRec(matroid, 0, &current, matroid.rank(), &out);
+  return out;
+}
+
+}  // namespace diverse

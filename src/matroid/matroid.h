@@ -1,0 +1,45 @@
+// Matroid independence oracles (paper §5). A matroid M = <U, F> is given by
+// its ground size and an independence test; all constraints consumed by the
+// local-search algorithm go through this interface.
+#ifndef DIVERSE_MATROID_MATROID_H_
+#define DIVERSE_MATROID_MATROID_H_
+
+#include <span>
+#include <vector>
+
+namespace diverse {
+
+class Matroid {
+ public:
+  virtual ~Matroid() = default;
+
+  // Size of the ground set U.
+  virtual int ground_size() const = 0;
+
+  // True when `set` (distinct elements of U) is independent.
+  virtual bool IsIndependent(std::span<const int> set) const = 0;
+
+  // Rank of the ground set, i.e. the common size of all bases.
+  virtual int rank() const = 0;
+
+  // True when `set` + `e` is independent (`set` must be independent and must
+  // not contain e). Default builds the extended set and calls
+  // IsIndependent; subclasses override with faster oracles.
+  virtual bool CanAdd(std::span<const int> set, int e) const;
+
+  // True when set - out + in is independent. `set` independent, `out` in
+  // set, `in` not in set.
+  virtual bool CanExchange(std::span<const int> set, int out, int in) const;
+};
+
+// Extends independent `set` to a basis of `matroid`, scanning candidates in
+// ascending element order. Returns the basis.
+std::vector<int> ExtendToBasis(const Matroid& matroid, std::vector<int> set);
+
+// Enumerates all bases of a (small) matroid by depth-first search; intended
+// for tests and exact baselines. Aborts if ground_size > 24.
+std::vector<std::vector<int>> EnumerateBases(const Matroid& matroid);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_MATROID_MATROID_H_

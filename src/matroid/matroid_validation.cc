@@ -1,0 +1,76 @@
+#include "matroid/matroid_validation.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+std::vector<int> BitsToSet(unsigned mask, int n) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) {
+    if (mask & (1u << i)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MatroidReport::ToString() const {
+  std::ostringstream os;
+  os << "MatroidReport{empty=" << empty_independent
+     << " hereditary=" << hereditary << " augmentation=" << augmentation
+     << " rank_consistent=" << rank_consistent << "}";
+  return os.str();
+}
+
+MatroidReport ValidateMatroid(const Matroid& matroid) {
+  const int n = matroid.ground_size();
+  DIVERSE_CHECK_MSG(n <= 18, "ValidateMatroid limited to n <= 18");
+  MatroidReport report;
+  const unsigned limit = 1u << n;
+
+  std::vector<bool> independent(limit);
+  int max_size = 0;
+  for (unsigned mask = 0; mask < limit; ++mask) {
+    independent[mask] = matroid.IsIndependent(BitsToSet(mask, n));
+    if (independent[mask]) {
+      max_size = std::max(max_size, std::popcount(mask));
+    }
+  }
+  if (!independent[0]) report.empty_independent = false;
+  if (max_size != matroid.rank()) report.rank_consistent = false;
+
+  // Hereditary: removing one element from an independent set stays
+  // independent (single-element downward closure implies full closure).
+  for (unsigned mask = 1; mask < limit; ++mask) {
+    if (!independent[mask]) continue;
+    for (int i = 0; i < n; ++i) {
+      if ((mask & (1u << i)) && !independent[mask & ~(1u << i)]) {
+        report.hereditary = false;
+      }
+    }
+  }
+
+  // Augmentation over all independent pairs with |A| > |B|.
+  for (unsigned a = 0; a < limit; ++a) {
+    if (!independent[a]) continue;
+    const int size_a = std::popcount(a);
+    for (unsigned b = 0; b < limit; ++b) {
+      if (!independent[b] || std::popcount(b) >= size_a) continue;
+      bool augmented = false;
+      for (int i = 0; i < n && !augmented; ++i) {
+        const unsigned bit = 1u << i;
+        if ((a & bit) && !(b & bit) && independent[b | bit]) augmented = true;
+      }
+      if (!augmented) report.augmentation = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace diverse

@@ -1,0 +1,32 @@
+// Exhaustive verification of the matroid axioms for small ground sets, used
+// by tests to certify every oracle implementation:
+//   hereditary:   S independent, S' subset of S  =>  S' independent
+//   augmentation: A, B independent, |A| > |B|    =>  exists e in A - B with
+//                                                    B + e independent
+#ifndef DIVERSE_MATROID_MATROID_VALIDATION_H_
+#define DIVERSE_MATROID_MATROID_VALIDATION_H_
+
+#include <string>
+
+#include "matroid/matroid.h"
+
+namespace diverse {
+
+struct MatroidReport {
+  bool empty_independent = true;
+  bool hereditary = true;
+  bool augmentation = true;
+  bool rank_consistent = true;  // declared rank == max independent-set size
+
+  bool IsMatroid() const {
+    return empty_independent && hereditary && augmentation && rank_consistent;
+  }
+  std::string ToString() const;
+};
+
+// Enumerates all 2^n subsets; requires ground_size <= 18.
+MatroidReport ValidateMatroid(const Matroid& matroid);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_MATROID_MATROID_VALIDATION_H_

@@ -1,0 +1,65 @@
+#include "matroid/transversal_matroid.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+// Kuhn's augmenting-path search: tries to match element index `i` (position
+// in `set`) to some collection.
+bool TryAugment(int i, std::span<const int> set,
+                const std::vector<std::vector<int>>& element_to_sets,
+                std::vector<int>* match_of_collection,
+                std::vector<bool>* visited) {
+  for (int c : element_to_sets[set[i]]) {
+    if ((*visited)[c]) continue;
+    (*visited)[c] = true;
+    if ((*match_of_collection)[c] < 0 ||
+        TryAugment((*match_of_collection)[c], set, element_to_sets,
+                   match_of_collection, visited)) {
+      (*match_of_collection)[c] = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TransversalMatroid::TransversalMatroid(
+    int ground_size, std::vector<std::vector<int>> collections)
+    : n_(ground_size), m_(static_cast<int>(collections.size())) {
+  DIVERSE_CHECK(ground_size >= 0);
+  element_to_sets_.assign(n_, {});
+  for (int c = 0; c < m_; ++c) {
+    for (int e : collections[c]) {
+      DIVERSE_CHECK_MSG(0 <= e && e < n_, "collection element out of range");
+      element_to_sets_[e].push_back(c);
+    }
+  }
+  // Rank = maximum matching of the whole ground set.
+  std::vector<int> all(n_);
+  std::iota(all.begin(), all.end(), 0);
+  rank_ = MaxMatching(all);
+}
+
+int TransversalMatroid::MaxMatching(std::span<const int> set) const {
+  std::vector<int> match_of_collection(m_, -1);
+  int matched = 0;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    std::vector<bool> visited(m_, false);
+    if (TryAugment(static_cast<int>(i), set, element_to_sets_,
+                   &match_of_collection, &visited)) {
+      ++matched;
+    }
+  }
+  return matched;
+}
+
+bool TransversalMatroid::IsIndependent(std::span<const int> set) const {
+  return MaxMatching(set) == static_cast<int>(set.size());
+}
+
+}  // namespace diverse

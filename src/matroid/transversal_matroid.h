@@ -1,0 +1,40 @@
+// Transversal matroid induced by a collection C_1..C_m of (possibly
+// overlapping) subsets of U: a set S is independent iff S has a system of
+// distinct representatives, i.e. a matching of S into the collection with
+// each s matched to a set containing it (paper §1/§5). Independence is
+// decided by augmenting-path bipartite matching.
+#ifndef DIVERSE_MATROID_TRANSVERSAL_MATROID_H_
+#define DIVERSE_MATROID_TRANSVERSAL_MATROID_H_
+
+#include <vector>
+
+#include "matroid/matroid.h"
+
+namespace diverse {
+
+class TransversalMatroid : public Matroid {
+ public:
+  // `collections[j]` lists the elements of U contained in set C_j.
+  TransversalMatroid(int ground_size,
+                     std::vector<std::vector<int>> collections);
+
+  int ground_size() const override { return n_; }
+  bool IsIndependent(std::span<const int> set) const override;
+  int rank() const override { return rank_; }
+
+  int num_collections() const { return m_; }
+
+ private:
+  // Maximum matching size between `set` and the collections.
+  int MaxMatching(std::span<const int> set) const;
+
+  int n_;
+  int m_;
+  // element -> indices of collections containing it.
+  std::vector<std::vector<int>> element_to_sets_;
+  int rank_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_MATROID_TRANSVERSAL_MATROID_H_

@@ -1,0 +1,27 @@
+#include "matroid/truncated_matroid.h"
+
+#include "util/check.h"
+
+namespace diverse {
+
+TruncatedMatroid::TruncatedMatroid(const Matroid* base, int k)
+    : base_(base), k_(k) {
+  DIVERSE_CHECK(base != nullptr);
+  DIVERSE_CHECK(k >= 0);
+}
+
+bool TruncatedMatroid::IsIndependent(std::span<const int> set) const {
+  return static_cast<int>(set.size()) <= k_ && base_->IsIndependent(set);
+}
+
+bool TruncatedMatroid::CanAdd(std::span<const int> set, int e) const {
+  return static_cast<int>(set.size()) < k_ && base_->CanAdd(set, e);
+}
+
+bool TruncatedMatroid::CanExchange(std::span<const int> set, int out,
+                                   int in) const {
+  return static_cast<int>(set.size()) <= k_ &&
+         base_->CanExchange(set, out, in);
+}
+
+}  // namespace diverse

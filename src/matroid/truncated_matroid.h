@@ -1,0 +1,35 @@
+// Truncation of a matroid: M|_k has the independent sets of M of size at
+// most k. The paper (§1) uses exactly this fact — "the intersection of any
+// matroid with a uniform matroid is still a matroid" — to add an overall
+// cardinality cap on top of partition/transversal constraints.
+#ifndef DIVERSE_MATROID_TRUNCATED_MATROID_H_
+#define DIVERSE_MATROID_TRUNCATED_MATROID_H_
+
+#include <algorithm>
+
+#include "matroid/matroid.h"
+
+namespace diverse {
+
+class TruncatedMatroid : public Matroid {
+ public:
+  // `base` must outlive the wrapper; `k` >= 0.
+  TruncatedMatroid(const Matroid* base, int k);
+
+  int ground_size() const override { return base_->ground_size(); }
+  bool IsIndependent(std::span<const int> set) const override;
+  int rank() const override { return std::min(base_->rank(), k_); }
+  bool CanAdd(std::span<const int> set, int e) const override;
+  bool CanExchange(std::span<const int> set, int out, int in) const override;
+
+  const Matroid& base() const { return *base_; }
+  int k() const { return k_; }
+
+ private:
+  const Matroid* base_;
+  int k_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_MATROID_TRUNCATED_MATROID_H_

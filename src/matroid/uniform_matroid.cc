@@ -1,0 +1,26 @@
+#include "matroid/uniform_matroid.h"
+
+#include "util/check.h"
+
+namespace diverse {
+
+UniformMatroid::UniformMatroid(int ground_size, int capacity)
+    : n_(ground_size), capacity_(capacity) {
+  DIVERSE_CHECK(ground_size >= 0);
+  DIVERSE_CHECK(0 <= capacity && capacity <= ground_size);
+}
+
+bool UniformMatroid::IsIndependent(std::span<const int> set) const {
+  return static_cast<int>(set.size()) <= capacity_;
+}
+
+bool UniformMatroid::CanAdd(std::span<const int> set, int /*e*/) const {
+  return static_cast<int>(set.size()) < capacity_;
+}
+
+bool UniformMatroid::CanExchange(std::span<const int> set, int /*out*/,
+                                 int /*in*/) const {
+  return static_cast<int>(set.size()) <= capacity_;
+}
+
+}  // namespace diverse

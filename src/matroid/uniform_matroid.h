@@ -1,0 +1,29 @@
+// Uniform matroid U_{n,p}: a set is independent iff |S| <= p. The paper's
+// cardinality constraint (§4) is exactly this matroid.
+#ifndef DIVERSE_MATROID_UNIFORM_MATROID_H_
+#define DIVERSE_MATROID_UNIFORM_MATROID_H_
+
+#include "matroid/matroid.h"
+
+namespace diverse {
+
+class UniformMatroid : public Matroid {
+ public:
+  UniformMatroid(int ground_size, int capacity);
+
+  int ground_size() const override { return n_; }
+  bool IsIndependent(std::span<const int> set) const override;
+  int rank() const override { return capacity_; }
+  bool CanAdd(std::span<const int> set, int e) const override;
+  bool CanExchange(std::span<const int> set, int out, int in) const override;
+
+  int capacity() const { return capacity_; }
+
+ private:
+  int n_;
+  int capacity_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_MATROID_UNIFORM_MATROID_H_

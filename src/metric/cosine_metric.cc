@@ -1,0 +1,49 @@
+#include "metric/cosine_metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace diverse {
+
+CosineMetric::CosineMetric(std::vector<std::vector<double>> vectors, Form form)
+    : vectors_(std::move(vectors)), form_(form) {
+  DIVERSE_CHECK(!vectors_.empty());
+  dim_ = static_cast<int>(vectors_[0].size());
+  DIVERSE_CHECK(dim_ >= 1);
+  norms_.reserve(vectors_.size());
+  for (const auto& v : vectors_) {
+    DIVERSE_CHECK_MSG(static_cast<int>(v.size()) == dim_,
+                      "vectors have mixed dimensions");
+    double sq = 0.0;
+    for (double x : v) sq += x * x;
+    const double norm = std::sqrt(sq);
+    DIVERSE_CHECK_MSG(norm > 0.0, "zero vector has no cosine distance");
+    norms_.push_back(norm);
+  }
+}
+
+double CosineMetric::Cosine(int u, int v) const {
+  const auto& a = vectors_[u];
+  const auto& b = vectors_[v];
+  double dot = 0.0;
+  for (int k = 0; k < dim_; ++k) dot += a[k] * b[k];
+  // Clamp against floating-point drift so arccos stays defined.
+  return std::clamp(dot / (norms_[u] * norms_[v]), -1.0, 1.0);
+}
+
+double CosineMetric::Distance(int u, int v) const {
+  DIVERSE_DCHECK(0 <= u && u < size() && 0 <= v && v < size());
+  if (u == v) return 0.0;
+  const double c = Cosine(u, v);
+  switch (form_) {
+    case Form::kOneMinusCosine:
+      return 1.0 - c;
+    case Form::kAngular:
+      return std::acos(c) / M_PI;
+  }
+  return 0.0;  // unreachable
+}
+
+}  // namespace diverse

@@ -1,0 +1,40 @@
+// Mutable dense (n x n) distance matrix. This is the workhorse metric for
+// the synthetic experiments and the only metric supporting dynamic distance
+// perturbations (paper §6, types III/IV).
+#ifndef DIVERSE_METRIC_DENSE_METRIC_H_
+#define DIVERSE_METRIC_DENSE_METRIC_H_
+
+#include <vector>
+
+#include "metric/metric_space.h"
+
+namespace diverse {
+
+class DenseMetric : public MetricSpace {
+ public:
+  // All distances zero.
+  explicit DenseMetric(int n);
+
+  // From a full row-major matrix; must be symmetric with a zero diagonal
+  // (checked).
+  static DenseMetric FromMatrix(int n, std::vector<double> matrix);
+
+  // Materializes any metric into a dense matrix (O(n^2) Distance calls).
+  static DenseMetric Materialize(const MetricSpace& metric);
+
+  int size() const override { return n_; }
+  double Distance(int u, int v) const override {
+    return matrix_[static_cast<std::size_t>(u) * n_ + v];
+  }
+
+  // Sets d(u,v) = d(v,u) = value. `value` must be non-negative; u != v.
+  void SetDistance(int u, int v, double value);
+
+ private:
+  int n_;
+  std::vector<double> matrix_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_METRIC_DENSE_METRIC_H_

@@ -1,0 +1,50 @@
+#include "metric/euclidean_metric.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace diverse {
+
+EuclideanMetric::EuclideanMetric(std::vector<std::vector<double>> points,
+                                 Norm norm)
+    : points_(std::move(points)), norm_(norm) {
+  DIVERSE_CHECK(!points_.empty());
+  dim_ = static_cast<int>(points_[0].size());
+  DIVERSE_CHECK(dim_ >= 1);
+  for (const auto& p : points_) {
+    DIVERSE_CHECK_MSG(static_cast<int>(p.size()) == dim_,
+                      "points have mixed dimensions");
+  }
+}
+
+double EuclideanMetric::Distance(int u, int v) const {
+  DIVERSE_DCHECK(0 <= u && u < size() && 0 <= v && v < size());
+  const auto& a = points_[u];
+  const auto& b = points_[v];
+  switch (norm_) {
+    case Norm::kL1: {
+      double sum = 0.0;
+      for (int k = 0; k < dim_; ++k) sum += std::abs(a[k] - b[k]);
+      return sum;
+    }
+    case Norm::kL2: {
+      double sum = 0.0;
+      for (int k = 0; k < dim_; ++k) {
+        const double d = a[k] - b[k];
+        sum += d * d;
+      }
+      return std::sqrt(sum);
+    }
+    case Norm::kLInf: {
+      double best = 0.0;
+      for (int k = 0; k < dim_; ++k) {
+        best = std::max(best, std::abs(a[k] - b[k]));
+      }
+      return best;
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+}  // namespace diverse

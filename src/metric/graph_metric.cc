@@ -1,0 +1,42 @@
+#include "metric/graph_metric.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace diverse {
+
+GraphMetric::GraphMetric(int n, const std::vector<WeightedEdge>& edges)
+    : n_(n) {
+  DIVERSE_CHECK(n >= 0);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  dist_.assign(static_cast<std::size_t>(n) * n, kInf);
+  for (int v = 0; v < n; ++v) dist_[static_cast<std::size_t>(v) * n + v] = 0.0;
+  for (const WeightedEdge& e : edges) {
+    DIVERSE_CHECK_MSG(0 <= e.a && e.a < n && 0 <= e.b && e.b < n,
+                      "edge endpoint out of range");
+    DIVERSE_CHECK_MSG(e.weight > 0.0, "edge weights must be positive");
+    auto& fwd = dist_[static_cast<std::size_t>(e.a) * n + e.b];
+    auto& bwd = dist_[static_cast<std::size_t>(e.b) * n + e.a];
+    fwd = std::min(fwd, e.weight);
+    bwd = fwd;
+  }
+  // Floyd–Warshall all-pairs shortest paths: O(n^3), run once.
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      const double dik = dist_[static_cast<std::size_t>(i) * n + k];
+      if (dik == kInf) continue;
+      for (int j = 0; j < n; ++j) {
+        const double cand = dik + dist_[static_cast<std::size_t>(k) * n + j];
+        auto& dij = dist_[static_cast<std::size_t>(i) * n + j];
+        if (cand < dij) dij = cand;
+      }
+    }
+  }
+  for (double d : dist_) {
+    DIVERSE_CHECK_MSG(d != kInf, "graph must be connected");
+  }
+}
+
+}  // namespace diverse

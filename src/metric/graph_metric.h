@@ -1,0 +1,40 @@
+// Shortest-path metric of a weighted undirected graph — the native setting
+// of the facility-dispersion literature the paper builds on (§3: "the
+// placement of facilities on a network to maximize some function of the
+// distances between facilities"). Distances are computed once with
+// Floyd–Warshall; the graph must be connected (unreachable pairs are a
+// construction error).
+#ifndef DIVERSE_METRIC_GRAPH_METRIC_H_
+#define DIVERSE_METRIC_GRAPH_METRIC_H_
+
+#include <vector>
+
+#include "metric/metric_space.h"
+
+namespace diverse {
+
+struct WeightedEdge {
+  int a = 0;
+  int b = 0;
+  double weight = 0.0;
+};
+
+class GraphMetric : public MetricSpace {
+ public:
+  // `n` vertices, undirected weighted edges (weights > 0). Parallel edges
+  // keep the lighter weight. The graph must be connected.
+  GraphMetric(int n, const std::vector<WeightedEdge>& edges);
+
+  int size() const override { return n_; }
+  double Distance(int u, int v) const override {
+    return dist_[static_cast<std::size_t>(u) * n_ + v];
+  }
+
+ private:
+  int n_;
+  std::vector<double> dist_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_METRIC_GRAPH_METRIC_H_

@@ -1,0 +1,39 @@
+#include "metric/jaccard_metric.h"
+
+#include <algorithm>
+
+namespace diverse {
+
+JaccardMetric::JaccardMetric(std::vector<std::vector<int>> attributes)
+    : attributes_(std::move(attributes)) {
+  for (auto& a : attributes_) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+}
+
+double JaccardMetric::Distance(int u, int v) const {
+  if (u == v) return 0.0;
+  const auto& a = attributes_[u];
+  const auto& b = attributes_[v];
+  if (a.empty() && b.empty()) return 0.0;
+  // Sorted-merge intersection count.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  const std::size_t uni = a.size() + b.size() - inter;
+  return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace diverse

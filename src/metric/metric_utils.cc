@@ -1,0 +1,57 @@
+#include "metric/metric_utils.h"
+
+#include <algorithm>
+
+namespace diverse {
+
+double SumPairwise(const MetricSpace& metric, std::span<const int> set) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      sum += metric.Distance(set[i], set[j]);
+    }
+  }
+  return sum;
+}
+
+double SumBetween(const MetricSpace& metric, std::span<const int> a,
+                  std::span<const int> b) {
+  double sum = 0.0;
+  for (int u : a) {
+    for (int v : b) {
+      sum += metric.Distance(u, v);
+    }
+  }
+  return sum;
+}
+
+double SumTo(const MetricSpace& metric, int u, std::span<const int> set) {
+  double sum = 0.0;
+  for (int v : set) sum += metric.Distance(u, v);
+  return sum;
+}
+
+double Diameter(const MetricSpace& metric) {
+  const int n = metric.size();
+  double best = 0.0;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      best = std::max(best, metric.Distance(u, v));
+    }
+  }
+  return best;
+}
+
+double AverageDistance(const MetricSpace& metric) {
+  const int n = metric.size();
+  if (n < 2) return 0.0;
+  double sum = 0.0;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      sum += metric.Distance(u, v);
+    }
+  }
+  return sum / (0.5 * n * (n - 1));
+}
+
+}  // namespace diverse

@@ -1,0 +1,31 @@
+// Aggregate helpers over metric spaces and element subsets.
+#ifndef DIVERSE_METRIC_METRIC_UTILS_H_
+#define DIVERSE_METRIC_METRIC_UTILS_H_
+
+#include <span>
+#include <vector>
+
+#include "metric/metric_space.h"
+
+namespace diverse {
+
+// Sum of d(u,v) over unordered pairs {u,v} within `set` — the dispersion
+// d(S) of paper §3.
+double SumPairwise(const MetricSpace& metric, std::span<const int> set);
+
+// Sum of d(u,v) over u in `a`, v in `b` (sets assumed disjoint) — d(A,B).
+double SumBetween(const MetricSpace& metric, std::span<const int> a,
+                  std::span<const int> b);
+
+// Sum of d(u, v) for v in `set` — the marginal distance gain d_u(S).
+double SumTo(const MetricSpace& metric, int u, std::span<const int> set);
+
+// Largest pairwise distance.
+double Diameter(const MetricSpace& metric);
+
+// Mean over all unordered pairs (0 for n < 2).
+double AverageDistance(const MetricSpace& metric);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_METRIC_METRIC_UTILS_H_

@@ -1,0 +1,73 @@
+#include "metric/metric_validation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace diverse {
+namespace {
+
+void CheckPairAxioms(const MetricSpace& metric, MetricReport* report) {
+  const int n = metric.size();
+  for (int u = 0; u < n; ++u) {
+    if (metric.Distance(u, u) != 0.0) report->zero_diagonal = false;
+    for (int v = u + 1; v < n; ++v) {
+      const double duv = metric.Distance(u, v);
+      const double dvu = metric.Distance(v, u);
+      if (duv != dvu) report->symmetric = false;
+      if (duv < 0.0 || !std::isfinite(duv)) report->non_negative = false;
+    }
+  }
+}
+
+void CheckTriple(const MetricSpace& metric, int x, int y, int z, double tol,
+                 MetricReport* report) {
+  const double dxy = metric.Distance(x, y);
+  const double dyz = metric.Distance(y, z);
+  const double dxz = metric.Distance(x, z);
+  if (dxz > dxy + dyz + tol) report->triangle_inequality = false;
+  if (dxz > 0.0) {
+    report->alpha = std::min(report->alpha, (dxy + dyz) / dxz);
+  }
+}
+
+}  // namespace
+
+std::string MetricReport::ToString() const {
+  std::ostringstream os;
+  os << "MetricReport{symmetric=" << symmetric
+     << " zero_diagonal=" << zero_diagonal << " non_negative=" << non_negative
+     << " triangle=" << triangle_inequality << " alpha=" << alpha << "}";
+  return os.str();
+}
+
+MetricReport ValidateMetric(const MetricSpace& metric, double tol) {
+  MetricReport report;
+  CheckPairAxioms(metric, &report);
+  const int n = metric.size();
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      if (y == x) continue;
+      for (int z = x + 1; z < n; ++z) {
+        if (z == y) continue;
+        CheckTriple(metric, x, y, z, tol, &report);
+      }
+    }
+  }
+  return report;
+}
+
+MetricReport ValidateMetricSampled(const MetricSpace& metric, Rng& rng,
+                                   int num_triples, double tol) {
+  MetricReport report;
+  CheckPairAxioms(metric, &report);
+  const int n = metric.size();
+  if (n < 3) return report;
+  for (int t = 0; t < num_triples; ++t) {
+    const std::vector<int> triple = rng.SampleWithoutReplacement(n, 3);
+    CheckTriple(metric, triple[0], triple[1], triple[2], tol, &report);
+  }
+  return report;
+}
+
+}  // namespace diverse

@@ -1,0 +1,42 @@
+// Validation of metric axioms. Used by tests, data generators, and as a
+// safety check before running algorithms whose guarantees need the triangle
+// inequality (paper Lemma 1 and all approximation proofs).
+#ifndef DIVERSE_METRIC_METRIC_VALIDATION_H_
+#define DIVERSE_METRIC_METRIC_VALIDATION_H_
+
+#include <string>
+
+#include "metric/metric_space.h"
+#include "util/random.h"
+
+namespace diverse {
+
+struct MetricReport {
+  bool symmetric = true;
+  bool zero_diagonal = true;
+  bool non_negative = true;
+  // True when every checked triple satisfies d(x,z) <= d(x,y) + d(y,z) + tol.
+  bool triangle_inequality = true;
+  // Smallest observed (d(x,y) + d(y,z)) / d(x,z) over checked triples with
+  // d(x,z) > 0; >= 1 for a true metric. This is the alpha of the relaxed
+  // triangle inequality d(x,y) + d(y,z) >= alpha * d(x,z) (paper §8).
+  double alpha = 1.0;
+
+  bool IsMetric() const {
+    return symmetric && zero_diagonal && non_negative && triangle_inequality;
+  }
+  std::string ToString() const;
+};
+
+// Exhaustive check over all O(n^3) triples. `tol` absorbs floating-point
+// noise in the triangle check.
+MetricReport ValidateMetric(const MetricSpace& metric, double tol = 1e-9);
+
+// Randomized check over `num_triples` sampled triples; for large n where the
+// cubic pass is too slow. Pair/diagonal axioms are still checked exactly.
+MetricReport ValidateMetricSampled(const MetricSpace& metric, Rng& rng,
+                                   int num_triples, double tol = 1e-9);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_METRIC_METRIC_VALIDATION_H_

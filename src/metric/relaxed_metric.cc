@@ -1,0 +1,22 @@
+#include "metric/relaxed_metric.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace diverse {
+
+PowerRelaxedMetric::PowerRelaxedMetric(const MetricSpace* base, double beta)
+    : base_(base), beta_(beta) {
+  DIVERSE_CHECK(base != nullptr);
+  DIVERSE_CHECK(beta > 0.0);
+}
+
+int PowerRelaxedMetric::size() const { return base_->size(); }
+
+double PowerRelaxedMetric::Distance(int u, int v) const {
+  const double d = base_->Distance(u, v);
+  return d == 0.0 ? 0.0 : std::pow(d, beta_);
+}
+
+}  // namespace diverse

@@ -1,0 +1,32 @@
+// Alpha-relaxed metric wrapper (paper §8 / Sydow 2014): a distance where
+// d(x,y) + d(y,z) >= alpha * d(x,z) for some alpha in (0, 1]. Raising a
+// metric's distances to a power beta > 1 relaxes the triangle inequality in
+// a controlled way; this wrapper implements that transform so the ablation
+// bench can sweep relaxation strength and observe approximation decay.
+#ifndef DIVERSE_METRIC_RELAXED_METRIC_H_
+#define DIVERSE_METRIC_RELAXED_METRIC_H_
+
+#include "metric/metric_space.h"
+
+namespace diverse {
+
+class PowerRelaxedMetric : public MetricSpace {
+ public:
+  // d'(u,v) = base.Distance(u,v) ^ beta. beta == 1 is the identity;
+  // beta in (0,1) tightens (still a metric); beta > 1 relaxes. `base` must
+  // outlive this wrapper.
+  PowerRelaxedMetric(const MetricSpace* base, double beta);
+
+  int size() const override;
+  double Distance(int u, int v) const override;
+
+  double beta() const { return beta_; }
+
+ private:
+  const MetricSpace* base_;
+  double beta_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_METRIC_RELAXED_METRIC_H_

@@ -1,0 +1,61 @@
+#include "submodular/concave_over_modular.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+class ConcaveOverModularEvaluator : public SetFunctionEvaluator {
+ public:
+  explicit ConcaveOverModularEvaluator(const ConcaveOverModularFunction* fn)
+      : fn_(fn) {}
+
+  double value() const override { return fn_->Concave(sum_); }
+  double Gain(int e) const override {
+    return fn_->Concave(sum_ + fn_->weight(e)) - fn_->Concave(sum_);
+  }
+  void Add(int e) override { sum_ += fn_->weight(e); }
+  void Remove(int e) override { sum_ -= fn_->weight(e); }
+  void Reset() override { sum_ = 0.0; }
+
+ private:
+  const ConcaveOverModularFunction* fn_;
+  double sum_ = 0.0;
+};
+
+}  // namespace
+
+ConcaveOverModularFunction::ConcaveOverModularFunction(
+    std::vector<double> weights, ConcaveShape shape, double cap)
+    : weights_(std::move(weights)), shape_(shape), cap_(cap) {
+  for (double w : weights_) {
+    DIVERSE_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+  }
+  if (shape_ == ConcaveShape::kCap) {
+    DIVERSE_CHECK_MSG(cap_ > 0.0, "kCap shape requires cap > 0");
+  }
+}
+
+double ConcaveOverModularFunction::Concave(double x) const {
+  DIVERSE_DCHECK(x >= -1e-9);
+  x = std::max(x, 0.0);
+  switch (shape_) {
+    case ConcaveShape::kSqrt:
+      return std::sqrt(x);
+    case ConcaveShape::kLog1p:
+      return std::log1p(x);
+    case ConcaveShape::kCap:
+      return std::min(x, cap_);
+  }
+  return 0.0;  // unreachable
+}
+
+std::unique_ptr<SetFunctionEvaluator>
+ConcaveOverModularFunction::MakeEvaluator() const {
+  return std::make_unique<ConcaveOverModularEvaluator>(this);
+}
+
+}  // namespace diverse

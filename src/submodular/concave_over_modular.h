@@ -1,0 +1,42 @@
+// Concave-over-modular functions f(S) = g(sum_{u in S} w(u)) for concave
+// non-decreasing g with g(0) = 0. Monotone submodular. Models the paper's
+// §1 motivation: users gain value from additional results at a decreasing
+// rate.
+#ifndef DIVERSE_SUBMODULAR_CONCAVE_OVER_MODULAR_H_
+#define DIVERSE_SUBMODULAR_CONCAVE_OVER_MODULAR_H_
+
+#include <vector>
+
+#include "submodular/set_function.h"
+
+namespace diverse {
+
+enum class ConcaveShape {
+  kSqrt,   // g(x) = sqrt(x)
+  kLog1p,  // g(x) = log(1 + x)
+  kCap,    // g(x) = min(x, cap) — saturating utility
+};
+
+class ConcaveOverModularFunction : public SetFunction {
+ public:
+  // `cap` is only used with ConcaveShape::kCap (must be > 0 then).
+  ConcaveOverModularFunction(std::vector<double> weights, ConcaveShape shape,
+                             double cap = 0.0);
+
+  int ground_size() const override {
+    return static_cast<int>(weights_.size());
+  }
+  std::unique_ptr<SetFunctionEvaluator> MakeEvaluator() const override;
+
+  double Concave(double x) const;
+  double weight(int e) const { return weights_[e]; }
+
+ private:
+  std::vector<double> weights_;
+  ConcaveShape shape_;
+  double cap_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_SUBMODULAR_CONCAVE_OVER_MODULAR_H_

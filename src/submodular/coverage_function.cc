@@ -1,0 +1,66 @@
+#include "submodular/coverage_function.h"
+
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+class CoverageEvaluator : public SetFunctionEvaluator {
+ public:
+  explicit CoverageEvaluator(const CoverageFunction* fn)
+      : fn_(fn), cover_count_(fn->num_topics(), 0) {}
+
+  double value() const override { return value_; }
+
+  double Gain(int e) const override {
+    double gain = 0.0;
+    for (int t : fn_->covers(e)) {
+      if (cover_count_[t] == 0) gain += fn_->topic_weight(t);
+    }
+    return gain;
+  }
+
+  void Add(int e) override {
+    for (int t : fn_->covers(e)) {
+      if (cover_count_[t]++ == 0) value_ += fn_->topic_weight(t);
+    }
+  }
+
+  void Remove(int e) override {
+    for (int t : fn_->covers(e)) {
+      DIVERSE_DCHECK(cover_count_[t] > 0);
+      if (--cover_count_[t] == 0) value_ -= fn_->topic_weight(t);
+    }
+  }
+
+  void Reset() override {
+    value_ = 0.0;
+    cover_count_.assign(cover_count_.size(), 0);
+  }
+
+ private:
+  const CoverageFunction* fn_;
+  std::vector<int> cover_count_;
+  double value_ = 0.0;
+};
+
+}  // namespace
+
+CoverageFunction::CoverageFunction(std::vector<std::vector<int>> covers,
+                                   std::vector<double> topic_weights)
+    : covers_(std::move(covers)), topic_weights_(std::move(topic_weights)) {
+  for (const auto& topic_list : covers_) {
+    for (int t : topic_list) {
+      DIVERSE_CHECK_MSG(0 <= t && t < num_topics(), "topic id out of range");
+    }
+  }
+  for (double w : topic_weights_) {
+    DIVERSE_CHECK_MSG(w >= 0.0, "topic weights must be non-negative");
+  }
+}
+
+std::unique_ptr<SetFunctionEvaluator> CoverageFunction::MakeEvaluator() const {
+  return std::make_unique<CoverageEvaluator>(this);
+}
+
+}  // namespace diverse

@@ -1,0 +1,36 @@
+// Weighted coverage function: each element covers a subset of "topics" and
+// f(S) = sum of weights of topics covered by at least one element of S.
+// The canonical monotone submodular function; used by the submodular
+// experiments and property tests (paper §4 considers general monotone
+// submodular quality).
+#ifndef DIVERSE_SUBMODULAR_COVERAGE_FUNCTION_H_
+#define DIVERSE_SUBMODULAR_COVERAGE_FUNCTION_H_
+
+#include <vector>
+
+#include "submodular/set_function.h"
+
+namespace diverse {
+
+class CoverageFunction : public SetFunction {
+ public:
+  // `covers[e]` lists the topic ids (in [0, num_topics)) covered by element
+  // e; `topic_weights` must be non-negative, one per topic.
+  CoverageFunction(std::vector<std::vector<int>> covers,
+                   std::vector<double> topic_weights);
+
+  int ground_size() const override { return static_cast<int>(covers_.size()); }
+  int num_topics() const { return static_cast<int>(topic_weights_.size()); }
+  std::unique_ptr<SetFunctionEvaluator> MakeEvaluator() const override;
+
+  const std::vector<int>& covers(int e) const { return covers_[e]; }
+  double topic_weight(int t) const { return topic_weights_[t]; }
+
+ private:
+  std::vector<std::vector<int>> covers_;
+  std::vector<double> topic_weights_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_SUBMODULAR_COVERAGE_FUNCTION_H_

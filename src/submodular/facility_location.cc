@@ -1,0 +1,94 @@
+#include "submodular/facility_location.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+class FacilityLocationEvaluator : public SetFunctionEvaluator {
+ public:
+  explicit FacilityLocationEvaluator(const FacilityLocationFunction* fn)
+      : fn_(fn), best_(fn->num_clients(), 0.0) {}
+
+  double value() const override { return value_; }
+
+  double Gain(int e) const override {
+    double gain = 0.0;
+    for (int i = 0; i < fn_->num_clients(); ++i) {
+      const double s = fn_->similarity(i, e);
+      if (s > best_[i]) gain += s - best_[i];
+    }
+    return gain;
+  }
+
+  void Add(int e) override {
+    members_.push_back(e);
+    for (int i = 0; i < fn_->num_clients(); ++i) {
+      const double s = fn_->similarity(i, e);
+      if (s > best_[i]) {
+        value_ += s - best_[i];
+        best_[i] = s;
+      }
+    }
+  }
+
+  void Remove(int e) override {
+    auto it = std::find(members_.begin(), members_.end(), e);
+    DIVERSE_CHECK_MSG(it != members_.end(), "Remove of non-member");
+    members_.erase(it);
+    // Per-client maxima can only be recomputed by scanning the remaining
+    // members: O(|clients| * |S|).
+    for (int i = 0; i < fn_->num_clients(); ++i) {
+      if (fn_->similarity(i, e) < best_[i]) continue;  // e was not the max
+      double new_best = 0.0;
+      for (int j : members_) {
+        new_best = std::max(new_best, fn_->similarity(i, j));
+      }
+      value_ -= best_[i] - new_best;
+      best_[i] = new_best;
+    }
+  }
+
+  void Reset() override {
+    members_.clear();
+    best_.assign(best_.size(), 0.0);
+    value_ = 0.0;
+  }
+
+ private:
+  const FacilityLocationFunction* fn_;
+  std::vector<int> members_;
+  std::vector<double> best_;
+  double value_ = 0.0;
+};
+
+}  // namespace
+
+FacilityLocationFunction::FacilityLocationFunction(
+    std::vector<std::vector<double>> similarity)
+    : similarity_(std::move(similarity)) {
+  DIVERSE_CHECK(!similarity_.empty());
+  num_facilities_ = static_cast<int>(similarity_[0].size());
+  DIVERSE_CHECK(num_facilities_ >= 1);
+  for (const auto& row : similarity_) {
+    DIVERSE_CHECK_MSG(static_cast<int>(row.size()) == num_facilities_,
+                      "ragged similarity matrix");
+    for (double s : row) {
+      DIVERSE_CHECK_MSG(s >= 0.0, "similarities must be non-negative");
+    }
+  }
+}
+
+FacilityLocationFunction FacilityLocationFunction::FromSymmetric(
+    std::vector<std::vector<double>> similarity) {
+  return FacilityLocationFunction(std::move(similarity));
+}
+
+std::unique_ptr<SetFunctionEvaluator> FacilityLocationFunction::MakeEvaluator()
+    const {
+  return std::make_unique<FacilityLocationEvaluator>(this);
+}
+
+}  // namespace diverse

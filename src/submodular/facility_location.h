@@ -1,0 +1,40 @@
+// Facility-location function f(S) = sum over clients i of max_{j in S}
+// sim(i, j), with f(empty) = 0. Monotone submodular; the standard
+// "representativeness" term in document summarization (Lin & Bilmes, cited
+// in paper §4).
+#ifndef DIVERSE_SUBMODULAR_FACILITY_LOCATION_H_
+#define DIVERSE_SUBMODULAR_FACILITY_LOCATION_H_
+
+#include <vector>
+
+#include "submodular/set_function.h"
+
+namespace diverse {
+
+class FacilityLocationFunction : public SetFunction {
+ public:
+  // `similarity[i][j]` >= 0 is the benefit client i derives from facility j;
+  // rows are clients, columns the ground set.
+  explicit FacilityLocationFunction(
+      std::vector<std::vector<double>> similarity);
+
+  // Symmetric self-similarity construction: clients == ground set.
+  static FacilityLocationFunction FromSymmetric(
+      std::vector<std::vector<double>> similarity);
+
+  int ground_size() const override { return num_facilities_; }
+  int num_clients() const { return static_cast<int>(similarity_.size()); }
+  std::unique_ptr<SetFunctionEvaluator> MakeEvaluator() const override;
+
+  double similarity(int client, int facility) const {
+    return similarity_[client][facility];
+  }
+
+ private:
+  std::vector<std::vector<double>> similarity_;
+  int num_facilities_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_SUBMODULAR_FACILITY_LOCATION_H_

@@ -1,0 +1,142 @@
+#include "submodular/function_validation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+std::vector<int> BitsToSet(unsigned mask, int n) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) {
+    if (mask & (1u << i)) out.push_back(i);
+  }
+  return out;
+}
+
+void CheckChain(const SetFunction& fn, const std::vector<int>& small_set,
+                const std::vector<int>& big_set, int extra, double tol,
+                FunctionReport* report) {
+  // small_set ⊆ big_set, extra ∉ big_set.
+  const double f_small = fn.Value(small_set);
+  const double f_big = fn.Value(big_set);
+  if (f_small > f_big + tol) report->monotone = false;
+  const double gain_small = fn.MarginalGain(small_set, extra);
+  const double gain_big = fn.MarginalGain(big_set, extra);
+  if (gain_big > gain_small + tol) report->submodular = false;
+  if (gain_small < -tol || gain_big < -tol) report->monotone = false;
+}
+
+void CheckEvaluatorConsistency(const SetFunction& fn,
+                               const std::vector<int>& set, double tol,
+                               FunctionReport* report) {
+  // Build incrementally, then remove half and compare against from-scratch.
+  auto eval = fn.MakeEvaluator();
+  for (int e : set) eval->Add(e);
+  if (std::abs(eval->value() - fn.Value(set)) > tol) {
+    report->evaluator_consistent = false;
+  }
+  std::vector<int> remaining = set;
+  while (remaining.size() > set.size() / 2) {
+    const int e = remaining.back();
+    remaining.pop_back();
+    eval->Remove(e);
+  }
+  if (std::abs(eval->value() - fn.Value(remaining)) > tol) {
+    report->evaluator_consistent = false;
+  }
+  eval->Reset();
+  if (std::abs(eval->value()) > tol) report->evaluator_consistent = false;
+}
+
+}  // namespace
+
+std::string FunctionReport::ToString() const {
+  std::ostringstream os;
+  os << "FunctionReport{normalized=" << normalized << " monotone=" << monotone
+     << " submodular=" << submodular
+     << " evaluator_consistent=" << evaluator_consistent << "}";
+  return os.str();
+}
+
+FunctionReport ValidateFunctionExhaustive(const SetFunction& fn, double tol) {
+  const int n = fn.ground_size();
+  DIVERSE_CHECK_MSG(n <= 16, "exhaustive validation limited to n <= 16");
+  FunctionReport report;
+  if (std::abs(fn.Value(std::vector<int>{})) > tol) report.normalized = false;
+  const unsigned limit = 1u << n;
+  for (unsigned small = 0; small < limit; ++small) {
+    const std::vector<int> small_set = BitsToSet(small, n);
+    // Supersets of `small`: iterate over masks of the complement.
+    const unsigned comp = (limit - 1) & ~small;
+    for (unsigned extra_bits = comp;; extra_bits = (extra_bits - 1) & comp) {
+      const unsigned big = small | extra_bits;
+      const std::vector<int> big_set = BitsToSet(big, n);
+      for (int u = 0; u < n; ++u) {
+        if (big & (1u << u)) continue;
+        CheckChain(fn, small_set, big_set, u, tol, &report);
+      }
+      if (extra_bits == 0) break;
+    }
+    CheckEvaluatorConsistency(fn, small_set, tol, &report);
+  }
+  return report;
+}
+
+FunctionReport ValidateFunctionSampled(const SetFunction& fn, Rng& rng,
+                                       int num_checks, double tol) {
+  const int n = fn.ground_size();
+  FunctionReport report;
+  if (std::abs(fn.Value(std::vector<int>{})) > tol) report.normalized = false;
+  if (n < 1) return report;
+  for (int c = 0; c < num_checks; ++c) {
+    const int big_size = rng.UniformInt(0, n - 1);
+    std::vector<int> big_set = rng.SampleWithoutReplacement(n, big_size);
+    const int small_size = big_size == 0 ? 0 : rng.UniformInt(0, big_size);
+    std::vector<int> small_set(big_set.begin(), big_set.begin() + small_size);
+    // Pick `extra` outside big_set.
+    std::vector<bool> in_big(n, false);
+    for (int e : big_set) in_big[e] = true;
+    int extra = -1;
+    for (int tries = 0; tries < 4 * n; ++tries) {
+      const int cand = rng.UniformInt(0, n - 1);
+      if (!in_big[cand]) {
+        extra = cand;
+        break;
+      }
+    }
+    if (extra < 0) continue;  // big_set nearly covers U; skip this sample
+    CheckChain(fn, small_set, big_set, extra, tol, &report);
+    CheckEvaluatorConsistency(fn, big_set, tol, &report);
+  }
+  return report;
+}
+
+double EstimateSubmodularityRatio(const SetFunction& fn, Rng& rng,
+                                  int num_samples, double tol) {
+  const int n = fn.ground_size();
+  double gamma = 1.0;
+  if (n < 2) return gamma;
+  for (int s = 0; s < num_samples; ++s) {
+    const int total = rng.UniformInt(2, n);
+    const std::vector<int> sample = rng.SampleWithoutReplacement(n, total);
+    const int s_size = rng.UniformInt(0, total - 1);
+    const std::vector<int> base(sample.begin(), sample.begin() + s_size);
+    const std::vector<int> extra(sample.begin() + s_size, sample.end());
+    std::vector<int> both = base;
+    both.insert(both.end(), extra.begin(), extra.end());
+
+    const double joint_gain = fn.Value(both) - fn.Value(base);
+    if (joint_gain < tol) continue;
+    double marginal_sum = 0.0;
+    for (int u : extra) marginal_sum += fn.MarginalGain(base, u);
+    gamma = std::min(gamma, marginal_sum / joint_gain);
+  }
+  return std::max(gamma, 0.0);
+}
+
+}  // namespace diverse

@@ -1,0 +1,49 @@
+// Empirical validation of set-function axioms: normalization, monotonicity,
+// submodularity, and evaluator consistency (incremental Add/Remove vs
+// from-scratch Value). Exhaustive for small ground sets, sampled otherwise.
+#ifndef DIVERSE_SUBMODULAR_FUNCTION_VALIDATION_H_
+#define DIVERSE_SUBMODULAR_FUNCTION_VALIDATION_H_
+
+#include <string>
+
+#include "submodular/set_function.h"
+#include "util/random.h"
+
+namespace diverse {
+
+struct FunctionReport {
+  bool normalized = true;      // f(empty) == 0
+  bool monotone = true;        // f(S) <= f(T) whenever S subset of T
+  bool submodular = true;      // f_u(T) <= f_u(S) whenever S subset of T
+  bool evaluator_consistent = true;  // incremental == from-scratch
+
+  bool IsMonotoneSubmodular() const {
+    return normalized && monotone && submodular && evaluator_consistent;
+  }
+  std::string ToString() const;
+};
+
+// Exhaustive over all chains S subset T subset U and all u; requires
+// ground_size <= 16 (2^16 subsets). `tol` absorbs floating-point noise.
+FunctionReport ValidateFunctionExhaustive(const SetFunction& fn,
+                                          double tol = 1e-9);
+
+// Randomized: samples `num_checks` (S, T, u) configurations with S subset T.
+FunctionReport ValidateFunctionSampled(const SetFunction& fn, Rng& rng,
+                                       int num_checks, double tol = 1e-9);
+
+// Estimate of the submodularity ratio
+//
+//   gamma = min over (S, T)  [ sum_{u in T\S} f_u(S) ] / [ f(S+T) - f(S) ]
+//
+// over `num_samples` random pairs. gamma == 1 characterizes submodularity;
+// gamma in (0, 1) is the "weak submodularity" regime the paper's footnote
+// 1 points to (Borodin, Le & Ye 2014 show max-sum dispersion is weakly
+// submodular). Pairs whose denominator is below `tol` are skipped; returns
+// 1.0 when every sampled pair is skipped. Requires monotone `fn`.
+double EstimateSubmodularityRatio(const SetFunction& fn, Rng& rng,
+                                  int num_samples, double tol = 1e-9);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_SUBMODULAR_FUNCTION_VALIDATION_H_

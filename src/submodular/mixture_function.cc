@@ -1,0 +1,73 @@
+#include "submodular/mixture_function.h"
+
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+class MixtureEvaluator : public SetFunctionEvaluator {
+ public:
+  MixtureEvaluator(const MixtureFunction* fn) : fn_(fn) {
+    evals_.reserve(fn->num_components());
+    for (int i = 0; i < fn->num_components(); ++i) {
+      evals_.push_back(fn->component(i)->MakeEvaluator());
+    }
+  }
+
+  double value() const override {
+    double sum = 0.0;
+    for (int i = 0; i < fn_->num_components(); ++i) {
+      sum += fn_->coefficient(i) * evals_[i]->value();
+    }
+    return sum;
+  }
+
+  double Gain(int e) const override {
+    double sum = 0.0;
+    for (int i = 0; i < fn_->num_components(); ++i) {
+      sum += fn_->coefficient(i) * evals_[i]->Gain(e);
+    }
+    return sum;
+  }
+
+  void Add(int e) override {
+    for (auto& eval : evals_) eval->Add(e);
+  }
+
+  void Remove(int e) override {
+    for (auto& eval : evals_) eval->Remove(e);
+  }
+
+  void Reset() override {
+    for (auto& eval : evals_) eval->Reset();
+  }
+
+ private:
+  const MixtureFunction* fn_;
+  std::vector<std::unique_ptr<SetFunctionEvaluator>> evals_;
+};
+
+}  // namespace
+
+MixtureFunction::MixtureFunction(std::vector<const SetFunction*> components,
+                                 std::vector<double> coefficients)
+    : components_(std::move(components)),
+      coefficients_(std::move(coefficients)) {
+  DIVERSE_CHECK(!components_.empty());
+  DIVERSE_CHECK(components_.size() == coefficients_.size());
+  n_ = components_[0]->ground_size();
+  for (const SetFunction* c : components_) {
+    DIVERSE_CHECK(c != nullptr);
+    DIVERSE_CHECK_MSG(c->ground_size() == n_,
+                      "mixture components must share a ground set");
+  }
+  for (double c : coefficients_) {
+    DIVERSE_CHECK_MSG(c >= 0.0, "mixture coefficients must be non-negative");
+  }
+}
+
+std::unique_ptr<SetFunctionEvaluator> MixtureFunction::MakeEvaluator() const {
+  return std::make_unique<MixtureEvaluator>(this);
+}
+
+}  // namespace diverse

@@ -1,0 +1,36 @@
+// Non-negative weighted sum of monotone submodular functions — closed under
+// this operation, so mixtures stay monotone submodular. Lets callers combine
+// e.g. coverage (novelty) with facility location (representativeness) as in
+// the summarization functions the paper cites.
+#ifndef DIVERSE_SUBMODULAR_MIXTURE_FUNCTION_H_
+#define DIVERSE_SUBMODULAR_MIXTURE_FUNCTION_H_
+
+#include <vector>
+
+#include "submodular/set_function.h"
+
+namespace diverse {
+
+class MixtureFunction : public SetFunction {
+ public:
+  // All components must share a ground size; coefficients must be >= 0.
+  // Components must outlive the mixture.
+  MixtureFunction(std::vector<const SetFunction*> components,
+                  std::vector<double> coefficients);
+
+  int ground_size() const override { return n_; }
+  std::unique_ptr<SetFunctionEvaluator> MakeEvaluator() const override;
+
+  int num_components() const { return static_cast<int>(components_.size()); }
+  double coefficient(int i) const { return coefficients_[i]; }
+  const SetFunction* component(int i) const { return components_[i]; }
+
+ private:
+  std::vector<const SetFunction*> components_;
+  std::vector<double> coefficients_;
+  int n_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_SUBMODULAR_MIXTURE_FUNCTION_H_

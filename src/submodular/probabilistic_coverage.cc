@@ -1,0 +1,76 @@
+#include "submodular/probabilistic_coverage.h"
+
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+class ProbabilisticCoverageEvaluator : public SetFunctionEvaluator {
+ public:
+  explicit ProbabilisticCoverageEvaluator(
+      const ProbabilisticCoverageFunction* fn)
+      : fn_(fn), miss_(fn->num_topics(), 1.0) {}
+
+  double value() const override {
+    double v = 0.0;
+    for (int t = 0; t < fn_->num_topics(); ++t) {
+      v += fn_->topic_weight(t) * (1.0 - miss_[t]);
+    }
+    return v;
+  }
+
+  double Gain(int e) const override {
+    double gain = 0.0;
+    for (int t = 0; t < fn_->num_topics(); ++t) {
+      gain += fn_->topic_weight(t) * miss_[t] * fn_->prob(e, t);
+    }
+    return gain;
+  }
+
+  void Add(int e) override {
+    for (int t = 0; t < fn_->num_topics(); ++t) {
+      miss_[t] *= 1.0 - fn_->prob(e, t);
+    }
+  }
+
+  void Remove(int e) override {
+    // Division is numerically safe only when (1 - p) > 0; a probability of
+    // exactly 1 would make removal ill-defined, so the constructor caps p
+    // slightly below 1.
+    for (int t = 0; t < fn_->num_topics(); ++t) {
+      miss_[t] /= 1.0 - fn_->prob(e, t);
+    }
+  }
+
+  void Reset() override { miss_.assign(miss_.size(), 1.0); }
+
+ private:
+  const ProbabilisticCoverageFunction* fn_;
+  std::vector<double> miss_;  // prod_{u in S} (1 - p_{u,t})
+};
+
+}  // namespace
+
+ProbabilisticCoverageFunction::ProbabilisticCoverageFunction(
+    std::vector<std::vector<double>> prob, std::vector<double> topic_weights)
+    : prob_(std::move(prob)), topic_weights_(std::move(topic_weights)) {
+  constexpr double kMaxProb = 1.0 - 1e-9;  // keep Remove well-defined
+  for (auto& row : prob_) {
+    DIVERSE_CHECK_MSG(row.size() == topic_weights_.size(),
+                      "probability row size must match topic count");
+    for (double& p : row) {
+      DIVERSE_CHECK_MSG(0.0 <= p && p <= 1.0, "probabilities must be [0,1]");
+      if (p > kMaxProb) p = kMaxProb;
+    }
+  }
+  for (double w : topic_weights_) {
+    DIVERSE_CHECK_MSG(w >= 0.0, "topic weights must be non-negative");
+  }
+}
+
+std::unique_ptr<SetFunctionEvaluator>
+ProbabilisticCoverageFunction::MakeEvaluator() const {
+  return std::make_unique<ProbabilisticCoverageEvaluator>(this);
+}
+
+}  // namespace diverse

@@ -1,0 +1,36 @@
+// Probabilistic coverage: element u covers topic t with probability
+// p_{u,t}, and f(S) = sum_t w_t * (1 - prod_{u in S} (1 - p_{u,t})) — the
+// expected covered topic weight under independent coverage. Monotone
+// submodular; the soft-coverage function widely used for diversified
+// retrieval (each extra result on a topic helps, at a decreasing rate —
+// the paper's §1 motivation in probabilistic form).
+#ifndef DIVERSE_SUBMODULAR_PROBABILISTIC_COVERAGE_H_
+#define DIVERSE_SUBMODULAR_PROBABILISTIC_COVERAGE_H_
+
+#include <vector>
+
+#include "submodular/set_function.h"
+
+namespace diverse {
+
+class ProbabilisticCoverageFunction : public SetFunction {
+ public:
+  // `prob[u][t]` in [0, 1]; `topic_weights[t]` >= 0.
+  ProbabilisticCoverageFunction(std::vector<std::vector<double>> prob,
+                                std::vector<double> topic_weights);
+
+  int ground_size() const override { return static_cast<int>(prob_.size()); }
+  int num_topics() const { return static_cast<int>(topic_weights_.size()); }
+  std::unique_ptr<SetFunctionEvaluator> MakeEvaluator() const override;
+
+  double prob(int u, int t) const { return prob_[u][t]; }
+  double topic_weight(int t) const { return topic_weights_[t]; }
+
+ private:
+  std::vector<std::vector<double>> prob_;
+  std::vector<double> topic_weights_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_SUBMODULAR_PROBABILISTIC_COVERAGE_H_

@@ -1,0 +1,80 @@
+#include "submodular/saturated_coverage.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+class SaturatedCoverageEvaluator : public SetFunctionEvaluator {
+ public:
+  explicit SaturatedCoverageEvaluator(const SaturatedCoverageFunction* fn)
+      : fn_(fn), load_(fn->num_clients(), 0.0) {}
+
+  double value() const override {
+    double v = 0.0;
+    for (int i = 0; i < fn_->num_clients(); ++i) {
+      v += std::min(load_[i], fn_->cap(i));
+    }
+    return v;
+  }
+
+  double Gain(int e) const override {
+    double gain = 0.0;
+    for (int i = 0; i < fn_->num_clients(); ++i) {
+      const double before = std::min(load_[i], fn_->cap(i));
+      const double after =
+          std::min(load_[i] + fn_->similarity(i, e), fn_->cap(i));
+      gain += after - before;
+    }
+    return gain;
+  }
+
+  void Add(int e) override {
+    for (int i = 0; i < fn_->num_clients(); ++i) {
+      load_[i] += fn_->similarity(i, e);
+    }
+  }
+
+  void Remove(int e) override {
+    for (int i = 0; i < fn_->num_clients(); ++i) {
+      load_[i] -= fn_->similarity(i, e);
+    }
+  }
+
+  void Reset() override { load_.assign(load_.size(), 0.0); }
+
+ private:
+  const SaturatedCoverageFunction* fn_;
+  std::vector<double> load_;  // C_i(S)
+};
+
+}  // namespace
+
+SaturatedCoverageFunction::SaturatedCoverageFunction(
+    std::vector<std::vector<double>> similarity, double alpha)
+    : similarity_(std::move(similarity)) {
+  DIVERSE_CHECK(!similarity_.empty());
+  DIVERSE_CHECK_MSG(0.0 < alpha && alpha <= 1.0, "alpha must be in (0, 1]");
+  num_elements_ = static_cast<int>(similarity_[0].size());
+  DIVERSE_CHECK(num_elements_ >= 1);
+  caps_.reserve(similarity_.size());
+  for (const auto& row : similarity_) {
+    DIVERSE_CHECK_MSG(static_cast<int>(row.size()) == num_elements_,
+                      "ragged similarity matrix");
+    double total = 0.0;
+    for (double s : row) {
+      DIVERSE_CHECK_MSG(s >= 0.0, "similarities must be non-negative");
+      total += s;
+    }
+    caps_.push_back(alpha * total);
+  }
+}
+
+std::unique_ptr<SetFunctionEvaluator>
+SaturatedCoverageFunction::MakeEvaluator() const {
+  return std::make_unique<SaturatedCoverageEvaluator>(this);
+}
+
+}  // namespace diverse

@@ -1,0 +1,42 @@
+// Saturated coverage (Lin & Bilmes 2011, the summarization family the
+// paper cites in §1/§4):
+//
+//   f(S) = sum_i min( C_i(S), alpha * C_i(U) ),   C_i(S) = sum_{j in S}
+//   sim(i, j)
+//
+// Each "client" i accumulates similarity benefit from the selected set but
+// saturates at an alpha fraction of its total attainable benefit — pushing
+// selections to spread across clients. Monotone submodular.
+#ifndef DIVERSE_SUBMODULAR_SATURATED_COVERAGE_H_
+#define DIVERSE_SUBMODULAR_SATURATED_COVERAGE_H_
+
+#include <vector>
+
+#include "submodular/set_function.h"
+
+namespace diverse {
+
+class SaturatedCoverageFunction : public SetFunction {
+ public:
+  // `similarity[i][j]` >= 0 (clients x ground set); alpha in (0, 1].
+  SaturatedCoverageFunction(std::vector<std::vector<double>> similarity,
+                            double alpha);
+
+  int ground_size() const override { return num_elements_; }
+  int num_clients() const { return static_cast<int>(similarity_.size()); }
+  std::unique_ptr<SetFunctionEvaluator> MakeEvaluator() const override;
+
+  double similarity(int client, int element) const {
+    return similarity_[client][element];
+  }
+  double cap(int client) const { return caps_[client]; }
+
+ private:
+  std::vector<std::vector<double>> similarity_;
+  std::vector<double> caps_;  // alpha * C_i(U)
+  int num_elements_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_SUBMODULAR_SATURATED_COVERAGE_H_

@@ -1,0 +1,41 @@
+#include "submodular/set_function.h"
+
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+class ZeroEvaluator : public SetFunctionEvaluator {
+ public:
+  double value() const override { return 0.0; }
+  double Gain(int /*e*/) const override { return 0.0; }
+  void Add(int /*e*/) override {}
+  void Remove(int /*e*/) override {}
+  void Reset() override {}
+};
+
+}  // namespace
+
+double SetFunction::Value(std::span<const int> set) const {
+  auto eval = MakeEvaluator();
+  for (int e : set) eval->Add(e);
+  return eval->value();
+}
+
+double SetFunction::MarginalGain(std::span<const int> set, int e) const {
+  auto eval = MakeEvaluator();
+  for (int u : set) eval->Add(u);
+  return eval->Gain(e);
+}
+
+ZeroFunction::ZeroFunction(int ground_size) : n_(ground_size) {
+  DIVERSE_CHECK(ground_size >= 0);
+}
+
+std::unique_ptr<SetFunctionEvaluator> ZeroFunction::MakeEvaluator() const {
+  return std::make_unique<ZeroEvaluator>();
+}
+
+double ZeroFunction::Value(std::span<const int> /*set*/) const { return 0.0; }
+
+}  // namespace diverse

@@ -1,0 +1,146 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace diverse {
+namespace {
+
+std::string BoolRepr(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+FlagSet::FlagSet(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagSet::AddInt(const std::string& name, int* value,
+                     const std::string& help) {
+  flags_.push_back({name, Type::kInt, value, help, std::to_string(*value)});
+}
+
+void FlagSet::AddInt64(const std::string& name, std::int64_t* value,
+                       const std::string& help) {
+  flags_.push_back({name, Type::kInt64, value, help, std::to_string(*value)});
+}
+
+void FlagSet::AddDouble(const std::string& name, double* value,
+                        const std::string& help) {
+  flags_.push_back({name, Type::kDouble, value, help, std::to_string(*value)});
+}
+
+void FlagSet::AddBool(const std::string& name, bool* value,
+                      const std::string& help) {
+  flags_.push_back({name, Type::kBool, value, help, BoolRepr(*value)});
+}
+
+void FlagSet::AddString(const std::string& name, std::string* value,
+                        const std::string& help) {
+  flags_.push_back({name, Type::kString, value, help, *value});
+}
+
+const FlagSet::Flag* FlagSet::Find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool FlagSet::SetValue(const Flag& flag, const std::string& text) {
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt: {
+      const long v = std::strtol(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') return false;
+      *static_cast<int*>(flag.target) = static_cast<int>(v);
+      return true;
+    }
+    case Type::kInt64: {
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') return false;
+      *static_cast<std::int64_t*>(flag.target) = v;
+      return true;
+    }
+    case Type::kDouble: {
+      const double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') return false;
+      *static_cast<double*>(flag.target) = v;
+      return true;
+    }
+    case Type::kBool: {
+      if (text == "true" || text == "1") {
+        *static_cast<bool*>(flag.target) = true;
+        return true;
+      }
+      if (text == "false" || text == "0") {
+        *static_cast<bool*>(flag.target) = false;
+        return true;
+      }
+      return false;
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = text;
+      return true;
+  }
+  return false;
+}
+
+bool FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cerr);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unexpected positional argument: " << arg << "\n";
+      PrintUsage(std::cerr);
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      const Flag* flag = Find(name);
+      if (flag != nullptr && flag->type == Type::kBool) {
+        value = "true";  // bare `--flag` enables a bool
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::cerr << "flag --" << name << " is missing a value\n";
+        PrintUsage(std::cerr);
+        return false;
+      }
+    }
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      std::cerr << "unknown flag: --" << name << "\n";
+      PrintUsage(std::cerr);
+      return false;
+    }
+    if (!SetValue(*flag, value)) {
+      std::cerr << "bad value for --" << name << ": '" << value << "'\n";
+      PrintUsage(std::cerr);
+      return false;
+    }
+  }
+  return true;
+}
+
+void FlagSet::PrintUsage(std::ostream& os) const {
+  if (!description_.empty()) os << description_ << "\n";
+  os << "flags:\n";
+  for (const Flag& f : flags_) {
+    os << "  --" << f.name << "  (default: " << f.default_repr << ")  "
+       << f.help << "\n";
+  }
+}
+
+}  // namespace diverse

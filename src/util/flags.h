@@ -1,0 +1,53 @@
+// A minimal command-line flag parser for the benchmark/experiment binaries.
+// Supports `--name=value` and `--name value` forms plus `--help`.
+#ifndef DIVERSE_UTIL_FLAGS_H_
+#define DIVERSE_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace diverse {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description = "");
+
+  // Registration. The pointed-to variable holds the default and receives the
+  // parsed value. Pointers must outlive Parse().
+  void AddInt(const std::string& name, int* value, const std::string& help);
+  void AddInt64(const std::string& name, std::int64_t* value,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* value, const std::string& help);
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+
+  // Parses argv. Returns false (after printing usage) on `--help` or any
+  // unknown/malformed flag.
+  bool Parse(int argc, char** argv);
+
+  void PrintUsage(std::ostream& os) const;
+
+ private:
+  enum class Type { kInt, kInt64, kDouble, kBool, kString };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  const Flag* Find(const std::string& name) const;
+  static bool SetValue(const Flag& flag, const std::string& text);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_UTIL_FLAGS_H_

@@ -1,0 +1,45 @@
+#include "util/random.h"
+
+#include "util/check.h"
+
+namespace diverse {
+
+double Rng::Uniform(double lo, double hi) {
+  DIVERSE_DCHECK(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  DIVERSE_DCHECK(lo <= hi);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double prob) {
+  std::bernoulli_distribution dist(prob);
+  return dist(engine_);
+}
+
+std::uint64_t Rng::NextSeed() { return engine_(); }
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  DIVERSE_CHECK(0 <= k && k <= n);
+  // Partial Fisher–Yates over an index array; O(n) memory, O(n + k) time.
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  std::vector<int> out(k);
+  for (int i = 0; i < k; ++i) {
+    const int j = UniformInt(i, n - 1);
+    std::swap(idx[i], idx[j]);
+    out[i] = idx[i];
+  }
+  return out;
+}
+
+}  // namespace diverse

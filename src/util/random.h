@@ -1,0 +1,51 @@
+// A small deterministic PRNG facade. All randomized code in the library
+// takes an explicit `Rng&` so that every experiment is reproducible from a
+// single seed.
+#ifndef DIVERSE_UTIL_RANDOM_H_
+#define DIVERSE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace diverse {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+
+  // Standard normal scaled to (mean, stddev).
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  // True with probability `prob`.
+  bool Bernoulli(double prob);
+
+  // A fresh seed suitable for a child Rng.
+  std::uint64_t NextSeed();
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (int i = static_cast<int>(v->size()) - 1; i > 0; --i) {
+      std::swap((*v)[i], (*v)[UniformInt(0, i)]);
+    }
+  }
+
+  // `k` distinct values from {0, ..., n-1}, in random order.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_UTIL_RANDOM_H_

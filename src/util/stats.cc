@@ -1,0 +1,66 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace diverse {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  OnlineStats s;
+  for (double x : xs) s.Add(x);
+  return s.stddev();
+}
+
+double Min(const std::vector<double>& xs) {
+  DIVERSE_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  DIVERSE_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Percentile(std::vector<double> xs, double q) {
+  DIVERSE_CHECK(!xs.empty());
+  DIVERSE_CHECK(0.0 <= q && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double Median(const std::vector<double>& xs) { return Percentile(xs, 0.5); }
+
+}  // namespace diverse

@@ -1,0 +1,41 @@
+// Summary statistics for experiment reporting.
+#ifndef DIVERSE_UTIL_STATS_H_
+#define DIVERSE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace diverse {
+
+// Single-pass accumulator (Welford's algorithm for variance).
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double Mean(const std::vector<double>& xs);
+double StdDev(const std::vector<double>& xs);
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+// Linear-interpolated percentile; `q` in [0, 1]. Sorts a copy.
+double Percentile(std::vector<double> xs, double q);
+double Median(const std::vector<double>& xs);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_UTIL_STATS_H_

@@ -1,0 +1,81 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace diverse {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DIVERSE_CHECK(!headers_.empty());
+}
+
+TextTable& TextTable::NewRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::AddCell(const std::string& value) {
+  DIVERSE_CHECK_MSG(!rows_.empty(), "call NewRow() before AddCell()");
+  DIVERSE_CHECK_MSG(rows_.back().size() < headers_.size(),
+                    "row has more cells than headers");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TextTable& TextTable::AddInt(long long value) {
+  return AddCell(std::to_string(value));
+}
+
+TextTable& TextTable::AddDouble(double value, int precision) {
+  return AddCell(FormatDouble(value, precision));
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      os << cell << std::string(width[c] - cell.size(), ' ');
+      if (c + 1 < headers_.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TextTable::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace diverse

@@ -1,0 +1,42 @@
+// Aligned text tables and CSV output for the experiment harnesses. Every
+// paper table is printed through this writer so all benches share one layout.
+#ifndef DIVERSE_UTIL_TABLE_H_
+#define DIVERSE_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace diverse {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Begins a new row. Subsequent Add* calls fill it left to right.
+  TextTable& NewRow();
+  TextTable& AddCell(const std::string& value);
+  TextTable& AddInt(long long value);
+  // Fixed-precision double (default 3 decimal places).
+  TextTable& AddDouble(double value, int precision = 3);
+
+  // Rendered with a header rule and space-padded columns.
+  void Print(std::ostream& os) const;
+  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision, e.g. FormatDouble(3.14159, 2) ==
+// "3.14".
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_UTIL_TABLE_H_

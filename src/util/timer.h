@@ -1,0 +1,29 @@
+// Wall-clock timer for experiment harnesses.
+#ifndef DIVERSE_UTIL_TIMER_H_
+#define DIVERSE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace diverse {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Milliseconds() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_UTIL_TIMER_H_

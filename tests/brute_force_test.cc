@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "algorithms/brute_force.h"
+#include "core/diversification_problem.h"
+#include "data/synthetic.h"
+#include "matroid/partition_matroid.h"
+#include "matroid/uniform_matroid.h"
+#include "submodular/coverage_function.h"
+#include "submodular/modular_function.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+// Reference: dumbest possible enumeration via combinations.
+AlgorithmResult ReferenceOptimal(const DiversificationProblem& problem,
+                                 int p) {
+  const int n = problem.size();
+  std::vector<bool> pick(n, false);
+  std::fill(pick.begin(), pick.begin() + p, true);
+  AlgorithmResult best;
+  best.objective = -1.0;
+  do {
+    std::vector<int> s;
+    for (int i = 0; i < n; ++i) {
+      if (pick[i]) s.push_back(i);
+    }
+    const double value = problem.Objective(s);
+    if (value > best.objective) {
+      best.objective = value;
+      best.elements = s;
+    }
+  } while (std::prev_permutation(pick.begin(), pick.end()));
+  return best;
+}
+
+TEST(BruteForceTest, MatchesReferenceEnumeration) {
+  for (int seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    Dataset data = MakeUniformSynthetic(9, rng);
+    const ModularFunction weights(data.weights);
+    const DiversificationProblem problem(&data.metric, &weights, 0.2);
+    for (int p : {1, 2, 4, 8, 9}) {
+      const AlgorithmResult fast = BruteForceCardinality(problem, {.p = p});
+      const AlgorithmResult ref = ReferenceOptimal(problem, p);
+      EXPECT_NEAR(fast.objective, ref.objective, 1e-9)
+          << "seed=" << seed << " p=" << p;
+      EXPECT_EQ(static_cast<int>(fast.elements.size()), p);
+    }
+  }
+}
+
+TEST(BruteForceTest, PruningDoesNotChangeTheAnswer) {
+  for (int seed = 10; seed <= 14; ++seed) {
+    Rng rng(seed);
+    Dataset data = MakeUniformSynthetic(12, rng);
+    const ModularFunction weights(data.weights);
+    const DiversificationProblem problem(&data.metric, &weights, 0.3);
+    const AlgorithmResult pruned =
+        BruteForceCardinality(problem, {.p = 5, .prune = true});
+    const AlgorithmResult full =
+        BruteForceCardinality(problem, {.p = 5, .prune = false});
+    EXPECT_NEAR(pruned.objective, full.objective, 1e-9);
+    EXPECT_LE(pruned.steps, full.steps);
+  }
+}
+
+TEST(BruteForceTest, WorksWithSubmodularQuality) {
+  Rng rng(20);
+  Dataset data = MakeUniformSynthetic(8, rng);
+  std::vector<std::vector<int>> covers(8);
+  for (auto& cv : covers) {
+    cv = rng.SampleWithoutReplacement(6, rng.UniformInt(1, 3));
+  }
+  const CoverageFunction coverage(covers, std::vector<double>(6, 1.0));
+  const DiversificationProblem problem(&data.metric, &coverage, 0.2);
+  const AlgorithmResult fast = BruteForceCardinality(problem, {.p = 3});
+  const AlgorithmResult ref = ReferenceOptimal(problem, 3);
+  EXPECT_NEAR(fast.objective, ref.objective, 1e-9);
+}
+
+TEST(BruteForceTest, PEqualsZero) {
+  Rng rng(21);
+  Dataset data = MakeUniformSynthetic(5, rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  const AlgorithmResult result = BruteForceCardinality(problem, {.p = 0});
+  EXPECT_TRUE(result.elements.empty());
+  EXPECT_DOUBLE_EQ(result.objective, 0.0);
+}
+
+TEST(BruteForceTest, PEqualsNTakesEverything) {
+  Rng rng(22);
+  Dataset data = MakeUniformSynthetic(6, rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  const AlgorithmResult result = BruteForceCardinality(problem, {.p = 6});
+  EXPECT_EQ(result.elements.size(), 6u);
+}
+
+TEST(BruteForceMatroidTest, MatchesCardinalityOnUniform) {
+  Rng rng(23);
+  Dataset data = MakeUniformSynthetic(9, rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  const UniformMatroid matroid(9, 4);
+  const AlgorithmResult via_matroid = BruteForceMatroid(problem, matroid);
+  const AlgorithmResult via_card = BruteForceCardinality(problem, {.p = 4});
+  EXPECT_NEAR(via_matroid.objective, via_card.objective, 1e-9);
+}
+
+TEST(BruteForceMatroidTest, RespectsPartitionConstraint) {
+  Rng rng(24);
+  Dataset data = MakeUniformSynthetic(8, rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  const PartitionMatroid matroid({0, 0, 0, 0, 1, 1, 1, 1}, {1, 2});
+  const AlgorithmResult result = BruteForceMatroid(problem, matroid);
+  EXPECT_EQ(static_cast<int>(result.elements.size()), matroid.rank());
+  EXPECT_TRUE(matroid.IsIndependent(result.elements));
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/diversification_problem.h"
+#include "core/solution_state.h"
+#include "data/synthetic.h"
+#include "metric/metric_utils.h"
+#include "submodular/coverage_function.h"
+#include "submodular/modular_function.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+struct Instance {
+  Dataset data;
+  ModularFunction weights;
+  DiversificationProblem problem;
+
+  Instance(int n, double lambda, std::uint64_t seed, Rng&& rng)
+      : data(MakeUniformSynthetic(n, rng)),
+        weights(data.weights),
+        problem(&data.metric, &weights, lambda) {
+    (void)seed;
+  }
+  Instance(int n, double lambda, std::uint64_t seed)
+      : Instance(n, lambda, seed, Rng(seed)) {}
+};
+
+TEST(DiversificationProblemTest, ObjectiveCombinesQualityAndDispersion) {
+  DenseMetric metric(3);
+  metric.SetDistance(0, 1, 1.0);
+  metric.SetDistance(0, 2, 2.0);
+  metric.SetDistance(1, 2, 4.0);
+  const ModularFunction f({10.0, 20.0, 30.0});
+  const DiversificationProblem problem(&metric, &f, 0.5);
+  const std::vector<int> s = {0, 2};
+  EXPECT_DOUBLE_EQ(problem.Objective(s), 40.0 + 0.5 * 2.0);
+  EXPECT_DOUBLE_EQ(problem.DispersionTerm(s), 1.0);
+  EXPECT_DOUBLE_EQ(problem.Objective(std::vector<int>{}), 0.0);
+}
+
+TEST(DiversificationProblemTest, LambdaZeroIsPureQuality) {
+  Instance inst(10, 0.0, 1);
+  const std::vector<int> s = {1, 4, 7};
+  EXPECT_DOUBLE_EQ(inst.problem.Objective(s), inst.weights.Value(s));
+}
+
+TEST(DiversificationProblemTest, RejectsMismatchedSizes) {
+  DenseMetric metric(3);
+  const ModularFunction f({1.0, 2.0});
+  EXPECT_DEATH(DiversificationProblem(&metric, &f, 0.2), "differ");
+}
+
+TEST(SolutionStateTest, EmptyState) {
+  Instance inst(5, 0.2, 2);
+  SolutionState state(&inst.problem);
+  EXPECT_EQ(state.size(), 0);
+  EXPECT_DOUBLE_EQ(state.objective(), 0.0);
+  EXPECT_DOUBLE_EQ(state.quality_value(), 0.0);
+  EXPECT_DOUBLE_EQ(state.dispersion_sum(), 0.0);
+}
+
+TEST(SolutionStateTest, AddTracksObjective) {
+  Instance inst(8, 0.2, 3);
+  SolutionState state(&inst.problem);
+  state.Add(2);
+  state.Add(5);
+  state.Add(7);
+  const std::vector<int> s = {2, 5, 7};
+  EXPECT_NEAR(state.objective(), inst.problem.Objective(s), 1e-9);
+  EXPECT_TRUE(state.Contains(5));
+  EXPECT_FALSE(state.Contains(0));
+  EXPECT_EQ(state.SortedMembers(), s);
+}
+
+TEST(SolutionStateTest, DistanceToSetMatchesSumTo) {
+  Instance inst(10, 0.3, 4);
+  SolutionState state(&inst.problem);
+  state.Add(1);
+  state.Add(3);
+  state.Add(8);
+  const std::vector<int> s = {1, 3, 8};
+  for (int v = 0; v < 10; ++v) {
+    if (state.Contains(v)) continue;
+    EXPECT_NEAR(state.DistanceToSet(v), SumTo(inst.data.metric, v, s), 1e-9);
+  }
+  // For members: distance to the rest of the set.
+  EXPECT_NEAR(state.DistanceToSet(1),
+              inst.data.metric.Distance(1, 3) + inst.data.metric.Distance(1, 8),
+              1e-9);
+}
+
+TEST(SolutionStateTest, AddGainMatchesObjectiveDelta) {
+  Instance inst(10, 0.2, 5);
+  SolutionState state(&inst.problem);
+  state.Add(0);
+  state.Add(4);
+  for (int v = 0; v < 10; ++v) {
+    if (state.Contains(v)) continue;
+    const double predicted = state.AddGain(v);
+    SolutionState copy = state;
+    copy.Add(v);
+    EXPECT_NEAR(copy.objective() - state.objective(), predicted, 1e-9);
+  }
+}
+
+TEST(SolutionStateTest, PrimeGainHalvesQualityPart) {
+  Instance inst(10, 0.2, 6);
+  SolutionState state(&inst.problem);
+  state.Add(3);
+  for (int v = 0; v < 10; ++v) {
+    if (state.Contains(v)) continue;
+    const double full = state.AddGain(v);
+    const double prime = state.PrimeGain(v);
+    EXPECT_NEAR(full - prime, 0.5 * inst.weights.weight(v), 1e-9);
+  }
+}
+
+TEST(SolutionStateTest, RemoveInvertsAdd) {
+  Instance inst(12, 0.25, 7);
+  SolutionState state(&inst.problem);
+  for (int v : {2, 5, 9, 11}) state.Add(v);
+  const double before = state.objective();
+  state.Add(6);
+  state.Remove(6);
+  EXPECT_NEAR(state.objective(), before, 1e-9);
+  EXPECT_EQ(state.size(), 4);
+}
+
+TEST(SolutionStateTest, RemoveGainMatchesObjectiveDelta) {
+  Instance inst(10, 0.4, 8);
+  SolutionState state(&inst.problem);
+  for (int v : {1, 4, 6, 8}) state.Add(v);
+  for (int v : {1, 4, 6, 8}) {
+    const double predicted = state.RemoveGain(v);
+    SolutionState copy = state;
+    copy.Remove(v);
+    EXPECT_NEAR(copy.objective() - state.objective(), predicted, 1e-9);
+  }
+}
+
+TEST(SolutionStateTest, SwapGainMatchesObjectiveDelta) {
+  Instance inst(12, 0.2, 9);
+  SolutionState state(&inst.problem);
+  for (int v : {0, 3, 7}) state.Add(v);
+  for (int out : {0, 3, 7}) {
+    for (int in = 0; in < 12; ++in) {
+      if (state.Contains(in)) continue;
+      const double predicted = state.SwapGain(out, in);
+      SolutionState copy = state;
+      copy.Swap(out, in);
+      EXPECT_NEAR(copy.objective() - state.objective(), predicted, 1e-9)
+          << "swap " << out << " -> " << in;
+    }
+  }
+}
+
+TEST(SolutionStateTest, SwapGainDoesNotMutate) {
+  Instance inst(8, 0.2, 10);
+  SolutionState state(&inst.problem);
+  state.Add(1);
+  state.Add(2);
+  const double before = state.objective();
+  (void)state.SwapGain(1, 5);
+  (void)state.RemoveGain(2);
+  EXPECT_DOUBLE_EQ(state.objective(), before);
+  EXPECT_EQ(state.size(), 2);
+  EXPECT_NEAR(state.quality_value(),
+              inst.weights.weight(1) + inst.weights.weight(2), 1e-12);
+}
+
+TEST(SolutionStateTest, AssignReplacesSet) {
+  Instance inst(10, 0.2, 11);
+  SolutionState state(&inst.problem);
+  state.Add(0);
+  state.Assign({3, 6, 9});
+  EXPECT_EQ(state.SortedMembers(), (std::vector<int>{3, 6, 9}));
+  EXPECT_NEAR(state.objective(),
+              inst.problem.Objective(std::vector<int>{3, 6, 9}), 1e-9);
+}
+
+TEST(SolutionStateTest, RebuildAfterExternalMetricChange) {
+  Instance inst(6, 0.5, 12);
+  SolutionState state(&inst.problem);
+  state.Add(0);
+  state.Add(1);
+  inst.data.metric.SetDistance(0, 1, 1.9);
+  state.Rebuild();
+  EXPECT_NEAR(state.objective(),
+              inst.weights.weight(0) + inst.weights.weight(1) + 0.5 * 1.9,
+              1e-9);
+}
+
+TEST(SolutionStateTest, RebuildAfterExternalWeightChange) {
+  Instance inst(6, 0.5, 13);
+  SolutionState state(&inst.problem);
+  state.Add(2);
+  inst.weights.SetWeight(2, 0.75);
+  state.Rebuild();
+  EXPECT_NEAR(state.quality_value(), 0.75, 1e-12);
+}
+
+TEST(SolutionStateTest, CopyIsIndependent) {
+  Instance inst(8, 0.2, 14);
+  SolutionState state(&inst.problem);
+  state.Add(1);
+  SolutionState copy = state;
+  copy.Add(2);
+  EXPECT_EQ(state.size(), 1);
+  EXPECT_EQ(copy.size(), 2);
+}
+
+TEST(SolutionStateTest, WorksWithSubmodularQuality) {
+  Rng rng(15);
+  Dataset data = MakeUniformSynthetic(8, rng);
+  const CoverageFunction coverage({{0, 1}, {1, 2}, {2}, {0, 3}, {3, 4},
+                                   {4}, {5}, {0, 5}},
+                                  {1.0, 1.5, 2.0, 2.5, 3.0, 3.5});
+  const DiversificationProblem problem(&data.metric, &coverage, 0.3);
+  SolutionState state(&problem);
+  for (int v : {0, 3, 5}) state.Add(v);
+  EXPECT_NEAR(state.objective(),
+              problem.Objective(std::vector<int>{0, 3, 5}), 1e-9);
+  // Swap gains must match for non-modular f too.
+  const double predicted = state.SwapGain(3, 6);
+  SolutionState copy = state;
+  copy.Swap(3, 6);
+  EXPECT_NEAR(copy.objective() - state.objective(), predicted, 1e-9);
+}
+
+// Randomized consistency sweep: a long random mutation trace keeps the
+// incremental objective equal to the from-scratch evaluation.
+class SolutionStateFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolutionStateFuzz, IncrementalMatchesFromScratch) {
+  Rng rng(GetParam());
+  Dataset data = MakeUniformSynthetic(15, rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  SolutionState state(&problem);
+  for (int step = 0; step < 200; ++step) {
+    const int v = rng.UniformInt(0, 14);
+    if (state.Contains(v)) {
+      state.Remove(v);
+    } else {
+      state.Add(v);
+    }
+    if (step % 25 == 0) {
+      EXPECT_NEAR(state.objective(), problem.Objective(state.members()),
+                  1e-9);
+    }
+  }
+  EXPECT_NEAR(state.objective(), problem.Objective(state.members()), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolutionStateFuzz, ::testing::Range(1, 21));
+
+// Same fuzz with a non-modular quality function: exercises the evaluator
+// Remove paths (coverage counts) under long mutation traces.
+class SubmodularStateFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubmodularStateFuzz, IncrementalMatchesFromScratch) {
+  Rng rng(GetParam() * 101);
+  Dataset data = MakeUniformSynthetic(12, rng);
+  std::vector<std::vector<int>> covers(12);
+  for (auto& cv : covers) {
+    cv = rng.SampleWithoutReplacement(9, rng.UniformInt(1, 5));
+  }
+  std::vector<double> topic_weights(9);
+  for (double& w : topic_weights) w = rng.Uniform(0.2, 1.5);
+  const CoverageFunction coverage(covers, topic_weights);
+  const DiversificationProblem problem(&data.metric, &coverage, 0.3);
+  SolutionState state(&problem);
+  for (int step = 0; step < 150; ++step) {
+    const int v = rng.UniformInt(0, 11);
+    if (state.Contains(v)) {
+      state.Remove(v);
+    } else {
+      state.Add(v);
+    }
+    if (step % 30 == 0) {
+      EXPECT_NEAR(state.objective(), problem.Objective(state.members()),
+                  1e-9);
+      EXPECT_NEAR(state.quality_value(), coverage.Value(state.members()),
+                  1e-9);
+    }
+  }
+  EXPECT_NEAR(state.objective(), problem.Objective(state.members()), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubmodularStateFuzz, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace diverse

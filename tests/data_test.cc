@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/letor_sim.h"
+#include "data/synthetic.h"
+#include "metric/metric_validation.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+TEST(SyntheticTest, UniformRangesRespected) {
+  Rng rng(1);
+  const Dataset data = MakeUniformSynthetic(30, rng, 0.0, 1.0, 1.0, 2.0);
+  EXPECT_EQ(data.size(), 30);
+  for (double w : data.weights) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+  for (int u = 0; u < 30; ++u) {
+    for (int v = u + 1; v < 30; ++v) {
+      EXPECT_GE(data.metric.Distance(u, v), 1.0);
+      EXPECT_LE(data.metric.Distance(u, v), 2.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, AlwaysAMetric) {
+  for (int seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Dataset data = MakeUniformSynthetic(12, rng);
+    EXPECT_TRUE(ValidateMetric(data.metric).IsMetric());
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  Rng a(9);
+  Rng b(9);
+  const Dataset da = MakeUniformSynthetic(10, a);
+  const Dataset db = MakeUniformSynthetic(10, b);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(da.weights[i], db.weights[i]);
+  }
+  EXPECT_DOUBLE_EQ(da.metric.Distance(2, 7), db.metric.Distance(2, 7));
+}
+
+TEST(SyntheticTest, RejectsMetricBreakingRange) {
+  Rng rng(2);
+  EXPECT_DEATH(MakeUniformSynthetic(5, rng, 0.0, 1.0, 0.5, 2.0), "metric");
+}
+
+TEST(ClusteredTest, GeneratesValidMetric) {
+  Rng rng(3);
+  ClusteredConfig config;
+  config.n = 25;
+  config.num_clusters = 4;
+  const Dataset data = MakeClusteredEuclidean(config, rng);
+  EXPECT_EQ(data.size(), 25);
+  EXPECT_TRUE(ValidateMetric(data.metric, 1e-6).IsMetric());
+}
+
+TEST(ClusteredTest, HotClusterBonusRaisesWeights) {
+  Rng rng(4);
+  ClusteredConfig config;
+  config.n = 200;
+  config.num_clusters = 2;
+  config.hot_cluster_bonus = 10.0;
+  const Dataset data = MakeClusteredEuclidean(config, rng);
+  int heavy = 0;
+  for (double w : data.weights) {
+    if (w > 5.0) ++heavy;
+  }
+  EXPECT_GT(heavy, 50);   // roughly half the points
+  EXPECT_LT(heavy, 150);
+}
+
+TEST(DatasetTest, RestrictReindexes) {
+  Rng rng(5);
+  const Dataset data = MakeUniformSynthetic(10, rng);
+  const std::vector<int> keep = {7, 2, 9};
+  const Dataset sub = Restrict(data, keep);
+  EXPECT_EQ(sub.size(), 3);
+  EXPECT_DOUBLE_EQ(sub.weights[0], data.weights[7]);
+  EXPECT_DOUBLE_EQ(sub.weights[2], data.weights[9]);
+  EXPECT_DOUBLE_EQ(sub.metric.Distance(0, 1), data.metric.Distance(7, 2));
+  EXPECT_DOUBLE_EQ(sub.metric.Distance(1, 2), data.metric.Distance(2, 9));
+}
+
+TEST(DatasetTest, TopKByWeightOrdersDescending) {
+  Dataset data(5);
+  data.weights = {0.1, 0.9, 0.5, 0.9, 0.2};
+  const std::vector<int> top = TopKByWeight(data, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1);  // stable: index 1 before 3 at weight 0.9
+  EXPECT_EQ(top[1], 3);
+  EXPECT_EQ(top[2], 2);
+}
+
+TEST(LetorSimTest, GradesInRangeAndSkewed) {
+  Rng rng(6);
+  LetorConfig config;
+  config.num_documents = 500;
+  const LetorQuery query = MakeLetorQuery(config, rng);
+  ASSERT_EQ(query.size(), 500);
+  std::vector<int> histogram(6, 0);
+  for (int g : query.relevance) {
+    ASSERT_GE(g, 0);
+    ASSERT_LE(g, 5);
+    ++histogram[g];
+  }
+  // Skew: grade 0 strictly more common than grade 5.
+  EXPECT_GT(histogram[0], histogram[5]);
+  // Weights mirror grades.
+  for (int i = 0; i < query.size(); ++i) {
+    EXPECT_DOUBLE_EQ(query.data.weights[i],
+                     static_cast<double>(query.relevance[i]));
+  }
+}
+
+TEST(LetorSimTest, CosineDistancesInZeroOne) {
+  Rng rng(7);
+  LetorConfig config;
+  config.num_documents = 60;
+  const LetorQuery query = MakeLetorQuery(config, rng);
+  for (int u = 0; u < query.size(); ++u) {
+    for (int v = u + 1; v < query.size(); ++v) {
+      const double d = query.data.metric.Distance(u, v);
+      EXPECT_GE(d, 0.0);
+      // Non-negative feature vectors: cosine in [0,1] so distance in [0,1].
+      EXPECT_LE(d, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(LetorSimTest, FeaturesAreNonNegativeAndRightDimension) {
+  Rng rng(8);
+  LetorConfig config;
+  config.num_documents = 40;
+  config.dimension = 46;
+  const LetorQuery query = MakeLetorQuery(config, rng);
+  for (const auto& f : query.features) {
+    ASSERT_EQ(f.size(), 46u);
+    for (double x : f) EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(LetorSimTest, TopKDocumentsKeepsHeaviest) {
+  Rng rng(9);
+  LetorConfig config;
+  config.num_documents = 100;
+  const LetorQuery query = MakeLetorQuery(config, rng);
+  const LetorQuery top = TopKDocuments(query, 20);
+  EXPECT_EQ(top.size(), 20);
+  // Smallest kept grade >= largest dropped grade.
+  int min_kept = 5;
+  for (int g : top.relevance) min_kept = std::min(min_kept, g);
+  std::multiset<int> all(query.relevance.begin(), query.relevance.end());
+  std::multiset<int> kept(top.relevance.begin(), top.relevance.end());
+  for (int g : kept) all.erase(all.find(g));
+  for (int g : all) EXPECT_LE(g, min_kept);
+}
+
+TEST(LetorSimTest, AspectClusteringMakesIntraAspectPairsCloser) {
+  // Statistical property: the generator builds documents around aspect
+  // prototypes, so the distribution of pairwise distances should have
+  // meaningful spread (not collapse to a point).
+  Rng rng(10);
+  LetorConfig config;
+  config.num_documents = 80;
+  const LetorQuery query = MakeLetorQuery(config, rng);
+  double min_d = 1.0;
+  double max_d = 0.0;
+  for (int u = 0; u < query.size(); ++u) {
+    for (int v = u + 1; v < query.size(); ++v) {
+      const double d = query.data.metric.Distance(u, v);
+      min_d = std::min(min_d, d);
+      max_d = std::max(max_d, d);
+    }
+  }
+  EXPECT_LT(min_d, 0.05);  // same-aspect neighbours are close
+  EXPECT_GT(max_d, 0.05);  // cross-aspect pairs are farther
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,196 @@
+// Tests for the distributed two-round diversifier, the Jaccard metric and
+// the submodularity-ratio estimator.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "algorithms/brute_force.h"
+#include "algorithms/distributed.h"
+#include "algorithms/greedy_vertex.h"
+#include "core/diversification_problem.h"
+#include "data/synthetic.h"
+#include "metric/jaccard_metric.h"
+#include "metric/metric_validation.h"
+#include "submodular/coverage_function.h"
+#include "submodular/function_validation.h"
+#include "submodular/modular_function.h"
+#include "submodular/set_function.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+TEST(DistributedTest, GreedyOnCandidatesRestrictsSelection) {
+  Rng rng(1);
+  Dataset data = MakeUniformSynthetic(20, rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  const std::vector<int> candidates = {2, 5, 8, 11, 14, 17};
+  const AlgorithmResult result =
+      GreedyVertexOnCandidates(problem, candidates, 4);
+  EXPECT_EQ(result.elements.size(), 4u);
+  for (int e : result.elements) {
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), e),
+              candidates.end());
+  }
+}
+
+TEST(DistributedTest, FullCandidateSetMatchesGreedyVertex) {
+  Rng rng(2);
+  Dataset data = MakeUniformSynthetic(15, rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  std::vector<int> all(15);
+  for (int i = 0; i < 15; ++i) all[i] = i;
+  const AlgorithmResult restricted =
+      GreedyVertexOnCandidates(problem, all, 5);
+  const AlgorithmResult plain = GreedyVertex(problem, {.p = 5});
+  EXPECT_EQ(restricted.elements, plain.elements);
+}
+
+TEST(DistributedTest, SelectsPDistinctElements) {
+  Rng data_rng(3);
+  Dataset data = MakeUniformSynthetic(40, data_rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  Rng rng(4);
+  for (int shards : {1, 2, 4, 8}) {
+    const AlgorithmResult result = DistributedGreedy(
+        problem, {.p = 6, .num_shards = shards}, rng);
+    EXPECT_EQ(result.elements.size(), 6u) << shards;
+    const std::set<int> unique(result.elements.begin(),
+                               result.elements.end());
+    EXPECT_EQ(unique.size(), 6u);
+    EXPECT_NEAR(result.objective, problem.Objective(result.elements), 1e-9);
+  }
+}
+
+TEST(DistributedTest, OneShardEqualsSequentialGreedy) {
+  Rng data_rng(5);
+  Dataset data = MakeUniformSynthetic(25, data_rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  Rng rng(6);
+  const AlgorithmResult dist =
+      DistributedGreedy(problem, {.p = 5, .num_shards = 1}, rng);
+  const AlgorithmResult seq = GreedyVertex(problem, {.p = 5});
+  // Same candidate pool => same greedy trajectory => same objective.
+  EXPECT_NEAR(dist.objective, seq.objective, 1e-9);
+}
+
+TEST(DistributedTest, QualityCloseToSequentialAcrossShardCounts) {
+  // The two-round scheme should land within a modest factor of the
+  // sequential greedy (and hence within ~2x of OPT) on random data.
+  for (int seed = 1; seed <= 8; ++seed) {
+    Rng data_rng(seed * 41);
+    Dataset data = MakeUniformSynthetic(36, data_rng);
+    const ModularFunction weights(data.weights);
+    const DiversificationProblem problem(&data.metric, &weights, 0.2);
+    const AlgorithmResult seq = GreedyVertex(problem, {.p = 6});
+    Rng rng(seed);
+    const AlgorithmResult dist =
+        DistributedGreedy(problem, {.p = 6, .num_shards = 4}, rng);
+    EXPECT_GE(dist.objective, 0.85 * seq.objective) << seed;
+  }
+}
+
+TEST(DistributedTest, MoreShardsThanElements) {
+  Rng data_rng(7);
+  Dataset data = MakeUniformSynthetic(5, data_rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  Rng rng(8);
+  const AlgorithmResult result =
+      DistributedGreedy(problem, {.p = 3, .num_shards = 10}, rng);
+  EXPECT_EQ(result.elements.size(), 3u);
+}
+
+TEST(JaccardMetricTest, KnownValues) {
+  const JaccardMetric m({{1, 2, 3}, {2, 3, 4}, {5, 6}, {}});
+  EXPECT_NEAR(m.Distance(0, 1), 1.0 - 2.0 / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.Distance(0, 2), 1.0);   // disjoint
+  EXPECT_DOUBLE_EQ(m.Distance(3, 3), 0.0);   // empty vs itself
+  EXPECT_DOUBLE_EQ(m.Distance(0, 3), 1.0);   // empty vs non-empty
+}
+
+TEST(JaccardMetricTest, DeduplicatesAttributes) {
+  const JaccardMetric m({{1, 1, 2}, {2, 2, 2}});
+  // {1,2} vs {2}: intersection 1, union 2.
+  EXPECT_NEAR(m.Distance(0, 1), 0.5, 1e-12);
+}
+
+TEST(JaccardMetricTest, IsAMetricOnRandomData) {
+  for (int seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    std::vector<std::vector<int>> attrs(12);
+    for (auto& a : attrs) {
+      a = rng.SampleWithoutReplacement(15, rng.UniformInt(1, 8));
+    }
+    const JaccardMetric m(attrs);
+    EXPECT_TRUE(ValidateMetric(m, 1e-12).IsMetric()) << seed;
+  }
+}
+
+TEST(JaccardMetricTest, WorksAsDiversificationDistance) {
+  Rng rng(9);
+  std::vector<std::vector<int>> attrs(12);
+  for (auto& a : attrs) {
+    a = rng.SampleWithoutReplacement(10, rng.UniformInt(2, 6));
+  }
+  const JaccardMetric metric(attrs);
+  std::vector<double> w(12);
+  for (double& x : w) x = rng.Uniform(0.0, 1.0);
+  const ModularFunction weights(w);
+  const DiversificationProblem problem(&metric, &weights, 0.5);
+  const AlgorithmResult greedy = GreedyVertex(problem, {.p = 4});
+  const AlgorithmResult opt = BruteForceCardinality(problem, {.p = 4});
+  EXPECT_GE(greedy.objective * 2.0 + 1e-9, opt.objective);
+}
+
+TEST(SubmodularityRatioTest, SubmodularFunctionsScoreOne) {
+  Rng rng(10);
+  const ModularFunction modular({0.2, 0.5, 0.9, 0.1, 0.7, 0.4});
+  Rng est_rng(11);
+  EXPECT_NEAR(EstimateSubmodularityRatio(modular, est_rng, 300), 1.0, 1e-9);
+
+  std::vector<std::vector<int>> covers(8);
+  for (auto& c : covers) {
+    c = rng.SampleWithoutReplacement(6, rng.UniformInt(1, 4));
+  }
+  const CoverageFunction coverage(covers, std::vector<double>(6, 1.0));
+  Rng est_rng2(12);
+  EXPECT_GE(EstimateSubmodularityRatio(coverage, est_rng2, 300), 1.0 - 1e-9);
+}
+
+TEST(SubmodularityRatioTest, SupermodularFunctionScoresBelowOne) {
+  // f(S) = |S|^2: sum of marginals underestimates the joint gain.
+  class Square : public SetFunction {
+   public:
+    int ground_size() const override { return 8; }
+    std::unique_ptr<SetFunctionEvaluator> MakeEvaluator() const override {
+      class Eval : public SetFunctionEvaluator {
+       public:
+        double value() const override {
+          return static_cast<double>(k_) * k_;
+        }
+        double Gain(int) const override { return 2.0 * k_ + 1.0; }
+        void Add(int) override { ++k_; }
+        void Remove(int) override { --k_; }
+        void Reset() override { k_ = 0; }
+
+       private:
+        int k_ = 0;
+      };
+      return std::make_unique<Eval>();
+    }
+  };
+  const Square square;
+  Rng rng(13);
+  const double gamma = EstimateSubmodularityRatio(square, rng, 300);
+  EXPECT_LT(gamma, 0.9);
+  EXPECT_GT(gamma, 0.0);
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algorithms/brute_force.h"
+#include "algorithms/greedy_vertex.h"
+#include "core/diversification_problem.h"
+#include "data/synthetic.h"
+#include "dynamic/dynamic_updater.h"
+#include "dynamic/perturbation.h"
+#include "dynamic/simulator.h"
+#include "submodular/modular_function.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+TEST(PerturbationTest, WeightPerturbationClassifiesDirection) {
+  Rng rng(1);
+  ModularFunction weights({0.5, 0.5, 0.5});
+  for (int i = 0; i < 50; ++i) {
+    const Perturbation p = RandomWeightPerturbation(weights, rng, 0.0, 1.0);
+    EXPECT_GE(p.u, 0);
+    EXPECT_LT(p.u, 3);
+    if (p.new_value >= p.old_value) {
+      EXPECT_EQ(p.type, PerturbationType::kWeightIncrease);
+    } else {
+      EXPECT_EQ(p.type, PerturbationType::kWeightDecrease);
+    }
+    EXPECT_NEAR(p.delta(), std::abs(p.new_value - p.old_value), 1e-15);
+  }
+}
+
+TEST(PerturbationTest, DistancePerturbationStaysMetric) {
+  Rng rng(2);
+  Dataset data = MakeUniformSynthetic(10, rng);
+  ModularFunction weights(data.weights);
+  for (int i = 0; i < 200; ++i) {
+    const Perturbation p =
+        RandomDistancePerturbation(data.metric, rng, 1.0, 2.0);
+    ApplyPerturbation(p, &weights, &data.metric);
+  }
+  // Every distance still in [1,2] => still a metric.
+  for (int u = 0; u < 10; ++u) {
+    for (int v = u + 1; v < 10; ++v) {
+      EXPECT_GE(data.metric.Distance(u, v), 1.0);
+      EXPECT_LE(data.metric.Distance(u, v), 2.0);
+    }
+  }
+}
+
+TEST(PerturbationTest, RejectsMetricBreakingRange) {
+  Rng rng(3);
+  Dataset data = MakeUniformSynthetic(5, rng);
+  EXPECT_DEATH(RandomDistancePerturbation(data.metric, rng, 0.1, 2.0),
+               "metric");
+}
+
+TEST(PerturbationTest, ApplyWeightChangesFunction) {
+  ModularFunction weights({0.3, 0.4});
+  Perturbation p;
+  p.type = PerturbationType::kWeightIncrease;
+  p.u = 1;
+  p.old_value = 0.4;
+  p.new_value = 0.9;
+  ApplyPerturbation(p, &weights, nullptr);
+  EXPECT_DOUBLE_EQ(weights.weight(1), 0.9);
+}
+
+TEST(PerturbationTest, ToStringNames) {
+  EXPECT_EQ(ToString(PerturbationType::kWeightIncrease), "weight_increase");
+  EXPECT_EQ(ToString(PerturbationType::kDistanceDecrease),
+            "distance_decrease");
+}
+
+TEST(RequiredUpdatesTest, SmallPerturbationNeedsOneUpdate) {
+  EXPECT_EQ(RequiredUpdatesForWeightDecrease(10, 8.0, 0.5), 1);
+  EXPECT_EQ(RequiredUpdatesForWeightDecrease(10, 8.0, 1.0), 1);  // == w/(p-2)
+}
+
+TEST(RequiredUpdatesTest, SmallPAlwaysOne) {
+  EXPECT_EQ(RequiredUpdatesForWeightDecrease(3, 1.0, 0.99), 1);
+  EXPECT_EQ(RequiredUpdatesForWeightDecrease(2, 1.0, 0.5), 1);
+}
+
+TEST(RequiredUpdatesTest, LargeDecreaseNeedsMore) {
+  // p = 5, w = 1, delta = 0.9: ceil(log_{3/2}(10)) = ceil(5.68) = 6.
+  EXPECT_EQ(RequiredUpdatesForWeightDecrease(5, 1.0, 0.9), 6);
+}
+
+TEST(RequiredUpdatesTest, MonotoneInDelta) {
+  int prev = 0;
+  for (double delta : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const int cur = RequiredUpdatesForWeightDecrease(6, 1.0, delta);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+struct DynamicFixture {
+  Dataset data;
+  ModularFunction weights;
+  DiversificationProblem problem;
+
+  explicit DynamicFixture(int n, double lambda, Rng& rng)
+      : data(MakeUniformSynthetic(n, rng)),
+        weights(data.weights),
+        problem(&data.metric, &weights, lambda) {}
+};
+
+TEST(DynamicUpdaterTest, ObliviousUpdateOnlyImproves) {
+  Rng rng(4);
+  DynamicFixture fx(15, 0.2, rng);
+  const AlgorithmResult greedy = GreedyVertex(fx.problem, {.p = 5});
+  DynamicUpdater updater(&fx.problem, &fx.weights, &fx.data.metric,
+                         greedy.elements);
+  const double before = updater.objective();
+  updater.ObliviousUpdate();
+  EXPECT_GE(updater.objective() + 1e-12, before);
+}
+
+TEST(DynamicUpdaterTest, NoSwapAtLocalOptimum) {
+  Rng rng(5);
+  DynamicFixture fx(10, 0.2, rng);
+  const AlgorithmResult greedy = GreedyVertex(fx.problem, {.p = 4});
+  DynamicUpdater updater(&fx.problem, &fx.weights, &fx.data.metric,
+                         greedy.elements);
+  // Drain all improving swaps, then the rule must report no-op.
+  int guard = 0;
+  while (updater.ObliviousUpdate()) {
+    ASSERT_LT(++guard, 100);
+  }
+  EXPECT_FALSE(updater.ObliviousUpdate());
+}
+
+TEST(DynamicUpdaterTest, ApplyRefreshesObjective) {
+  Rng rng(6);
+  DynamicFixture fx(8, 0.5, rng);
+  const AlgorithmResult greedy = GreedyVertex(fx.problem, {.p = 3});
+  DynamicUpdater updater(&fx.problem, &fx.weights, &fx.data.metric,
+                         greedy.elements);
+  Perturbation p;
+  p.type = PerturbationType::kWeightIncrease;
+  p.u = greedy.elements[0];
+  p.old_value = fx.weights.weight(p.u);
+  p.new_value = p.old_value + 2.0;
+  updater.Apply(p);
+  EXPECT_NEAR(updater.objective(),
+              fx.problem.Objective(updater.solution()), 1e-9);
+}
+
+// Theorems 3, 5, 6: a single oblivious update maintains a 3-approximation
+// after weight increases and distance changes; Theorem 4: the prescribed
+// number of updates handles weight decreases. Verified against brute force
+// over random perturbation traces.
+class DynamicGuaranteeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DynamicGuaranteeSweep, ThreeApproxMaintainedOverTrace) {
+  Rng rng(GetParam());
+  const int n = 12;
+  const int p = 5;
+  DynamicFixture fx(n, 0.2, rng);
+  const AlgorithmResult greedy = GreedyVertex(fx.problem, {.p = p});
+  DynamicUpdater updater(&fx.problem, &fx.weights, &fx.data.metric,
+                         greedy.elements);
+  for (int step = 0; step < 25; ++step) {
+    const Perturbation perturbation =
+        rng.Bernoulli(0.5)
+            ? RandomWeightPerturbation(fx.weights, rng, 0.0, 1.0)
+            : RandomDistancePerturbation(fx.data.metric, rng, 1.0, 2.0);
+    updater.ApplyAndUpdate(perturbation);
+    const AlgorithmResult opt = BruteForceCardinality(fx.problem, {.p = p});
+    EXPECT_GE(updater.objective() * 3.0 + 1e-9, opt.objective)
+        << "step " << step << " type " << ToString(perturbation.type);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicGuaranteeSweep, ::testing::Range(1, 9));
+
+TEST(DynamicUpdaterTest, WeightDecreaseBudgetRecovers) {
+  // Crush the heaviest solution element to zero weight; Theorem 4's budget
+  // of updates must restore a 3-approximation.
+  Rng rng(30);
+  const int p = 6;
+  DynamicFixture fx(14, 0.2, rng);
+  const AlgorithmResult greedy = GreedyVertex(fx.problem, {.p = p});
+  DynamicUpdater updater(&fx.problem, &fx.weights, &fx.data.metric,
+                         greedy.elements);
+  int heaviest = greedy.elements[0];
+  for (int e : greedy.elements) {
+    if (fx.weights.weight(e) > fx.weights.weight(heaviest)) heaviest = e;
+  }
+  Perturbation p2;
+  p2.type = PerturbationType::kWeightDecrease;
+  p2.u = heaviest;
+  p2.old_value = fx.weights.weight(heaviest);
+  p2.new_value = 0.0;
+  updater.ApplyAndUpdate(p2);
+  const AlgorithmResult opt = BruteForceCardinality(fx.problem, {.p = p});
+  EXPECT_GE(updater.objective() * 3.0 + 1e-9, opt.objective);
+}
+
+TEST(SimulatorTest, SmokeRunProducesSaneRatios) {
+  DynamicSimulationConfig config;
+  config.n = 10;
+  config.p = 3;
+  config.lambda = 0.2;
+  config.steps = 5;
+  config.runs = 3;
+  config.environment = PerturbationEnvironment::kMixed;
+  config.seed = 7;
+  const DynamicSimulationResult result = RunDynamicSimulation(config);
+  EXPECT_GE(result.worst_ratio, 1.0);
+  EXPECT_LE(result.worst_ratio, 3.0 + 1e-9);  // the provable bound
+  EXPECT_GE(result.mean_ratio, 1.0);
+  EXPECT_LE(result.mean_ratio, result.worst_ratio + 1e-12);
+  EXPECT_EQ(result.total_steps, 15);
+}
+
+TEST(SimulatorTest, EnvironmentNames) {
+  EXPECT_EQ(ToString(PerturbationEnvironment::kVertex), "VPERTURBATION");
+  EXPECT_EQ(ToString(PerturbationEnvironment::kEdge), "EPERTURBATION");
+  EXPECT_EQ(ToString(PerturbationEnvironment::kMixed), "MPERTURBATION");
+}
+
+TEST(SimulatorTest, WorstRatiosStayFarBelowProvableBound) {
+  // Paper Fig. 1 observation 1: in every environment the maintained ratio
+  // stays far below the provable 3 (the paper's worst observation is about
+  // 1.11 at their scale; we allow headroom for the miniature instance).
+  for (double lambda : {0.1, 0.6, 2.0}) {
+    DynamicSimulationConfig config;
+    config.n = 10;
+    config.p = 3;
+    config.steps = 5;
+    config.runs = 5;
+    config.seed = 11;
+    config.lambda = lambda;
+    const double worst = RunDynamicSimulation(config).worst_ratio;
+    EXPECT_GE(worst, 1.0);
+    EXPECT_LE(worst, 1.5) << "lambda=" << lambda;
+  }
+}
+
+}  // namespace
+}  // namespace diverse

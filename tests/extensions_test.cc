@@ -1,0 +1,420 @@
+// Tests for the extension modules: graph metric, truncated matroid, the
+// extra submodular families, alternative dispersion criteria, CSV IO,
+// batch greedy, partial enumeration, and the O(1) incremental dynamic
+// cache updates.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algorithms/batch_greedy.h"
+#include "algorithms/brute_force.h"
+#include "algorithms/greedy_vertex.h"
+#include "algorithms/local_search.h"
+#include "algorithms/partial_enumeration.h"
+#include "core/solution_state.h"
+#include "data/csv_io.h"
+#include "data/synthetic.h"
+#include "dispersion/dispersion.h"
+#include "dynamic/dynamic_updater.h"
+#include "matroid/matroid_validation.h"
+#include "matroid/partition_matroid.h"
+#include "matroid/truncated_matroid.h"
+#include "metric/graph_metric.h"
+#include "metric/metric_validation.h"
+#include "submodular/function_validation.h"
+#include "submodular/modular_function.h"
+#include "submodular/probabilistic_coverage.h"
+#include "submodular/saturated_coverage.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+// ---------------------------------------------------------------- graph --
+TEST(GraphMetricTest, PathGraphDistances) {
+  // 0 -1- 1 -2- 2: d(0,2) = 3 via the path.
+  const GraphMetric m(3, {{0, 1, 1.0}, {1, 2, 2.0}});
+  EXPECT_DOUBLE_EQ(m.Distance(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.Distance(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.Distance(0, 2), 3.0);
+}
+
+TEST(GraphMetricTest, ShortcutBeatsDirectEdge) {
+  const GraphMetric m(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 5.0}});
+  EXPECT_DOUBLE_EQ(m.Distance(0, 2), 2.0);
+}
+
+TEST(GraphMetricTest, ParallelEdgesKeepLighter) {
+  const GraphMetric m(2, {{0, 1, 3.0}, {0, 1, 1.5}});
+  EXPECT_DOUBLE_EQ(m.Distance(0, 1), 1.5);
+}
+
+TEST(GraphMetricTest, ShortestPathsAreAlwaysMetric) {
+  for (int seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const int n = 12;
+    std::vector<WeightedEdge> edges;
+    // Random connected graph: a random spanning path plus extras.
+    for (int v = 1; v < n; ++v) {
+      edges.push_back({v - 1, v, rng.Uniform(0.5, 2.0)});
+    }
+    for (int e = 0; e < 12; ++e) {
+      const auto pair = rng.SampleWithoutReplacement(n, 2);
+      edges.push_back({pair[0], pair[1], rng.Uniform(0.5, 2.0)});
+    }
+    const GraphMetric m(n, edges);
+    EXPECT_TRUE(ValidateMetric(m, 1e-9).IsMetric());
+  }
+}
+
+TEST(GraphMetricTest, DisconnectedGraphIsRejected) {
+  EXPECT_DEATH(GraphMetric(3, {{0, 1, 1.0}}), "connected");
+}
+
+// ------------------------------------------------------------ truncation --
+TEST(TruncatedMatroidTest, CapsIndependentSetSize) {
+  const PartitionMatroid base({0, 0, 1, 1, 2, 2}, {2, 2, 2});
+  const TruncatedMatroid truncated(&base, 3);
+  EXPECT_EQ(truncated.rank(), 3);
+  EXPECT_TRUE(truncated.IsIndependent(std::vector<int>{0, 2, 4}));
+  EXPECT_FALSE(truncated.IsIndependent(std::vector<int>{0, 1, 2, 4}));
+  // Still respects the base constraint below the cap.
+  EXPECT_TRUE(base.IsIndependent(std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(truncated.IsIndependent(std::vector<int>{0, 1, 2}));
+}
+
+TEST(TruncatedMatroidTest, IsAMatroid) {
+  const PartitionMatroid base({0, 0, 0, 1, 1, 1}, {2, 3});
+  const TruncatedMatroid truncated(&base, 3);
+  EXPECT_TRUE(ValidateMatroid(truncated).IsMatroid());
+}
+
+TEST(TruncatedMatroidTest, LocalSearchUnderTruncation) {
+  Rng rng(3);
+  Dataset data = MakeUniformSynthetic(10, rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  const PartitionMatroid base({0, 0, 0, 0, 0, 1, 1, 1, 1, 1}, {3, 3});
+  const TruncatedMatroid truncated(&base, 4);
+  const AlgorithmResult ls = LocalSearch(problem, truncated, {});
+  EXPECT_EQ(static_cast<int>(ls.elements.size()), 4);
+  EXPECT_TRUE(truncated.IsIndependent(ls.elements));
+  const AlgorithmResult opt = BruteForceMatroid(problem, truncated);
+  EXPECT_GE(ls.objective * 2.0 + 1e-9, opt.objective);
+}
+
+// ------------------------------------------------- submodular extensions --
+TEST(ProbabilisticCoverageTest, KnownValues) {
+  // One topic, weight 10; two elements with p = 0.5 each.
+  const ProbabilisticCoverageFunction f({{0.5}, {0.5}}, {10.0});
+  EXPECT_DOUBLE_EQ(f.Value(std::vector<int>{0}), 5.0);
+  EXPECT_DOUBLE_EQ(f.Value(std::vector<int>{0, 1}), 7.5);
+  EXPECT_DOUBLE_EQ(f.MarginalGain(std::vector<int>{0}, 1), 2.5);
+}
+
+TEST(ProbabilisticCoverageTest, IsMonotoneSubmodular) {
+  Rng rng(4);
+  std::vector<std::vector<double>> prob(8, std::vector<double>(5));
+  for (auto& row : prob) {
+    for (double& p : row) p = rng.Uniform(0.0, 1.0);
+  }
+  std::vector<double> w(5);
+  for (double& x : w) x = rng.Uniform(0.2, 1.5);
+  const ProbabilisticCoverageFunction f(prob, w);
+  EXPECT_TRUE(ValidateFunctionExhaustive(f, 1e-7).IsMonotoneSubmodular());
+}
+
+TEST(ProbabilisticCoverageTest, CertainCoverageHandled) {
+  // p == 1 would break Remove; the constructor caps it just below 1.
+  const ProbabilisticCoverageFunction f({{1.0}}, {4.0});
+  auto eval = f.MakeEvaluator();
+  eval->Add(0);
+  EXPECT_NEAR(eval->value(), 4.0, 1e-6);
+  eval->Remove(0);
+  EXPECT_NEAR(eval->value(), 0.0, 1e-6);
+}
+
+TEST(SaturatedCoverageTest, SaturatesAtAlphaFraction) {
+  // One client; total similarity 10, alpha 0.4 -> cap 4.
+  const SaturatedCoverageFunction f({{3.0, 3.0, 4.0}}, 0.4);
+  EXPECT_DOUBLE_EQ(f.Value(std::vector<int>{0}), 3.0);
+  EXPECT_DOUBLE_EQ(f.Value(std::vector<int>{0, 1}), 4.0);  // capped
+  EXPECT_DOUBLE_EQ(f.Value(std::vector<int>{0, 1, 2}), 4.0);
+  EXPECT_DOUBLE_EQ(f.MarginalGain(std::vector<int>{0}, 2), 1.0);
+}
+
+TEST(SaturatedCoverageTest, IsMonotoneSubmodular) {
+  Rng rng(5);
+  std::vector<std::vector<double>> sim(6, std::vector<double>(8));
+  for (auto& row : sim) {
+    for (double& s : row) s = rng.Uniform(0.0, 1.0);
+  }
+  const SaturatedCoverageFunction f(sim, 0.35);
+  EXPECT_TRUE(ValidateFunctionExhaustive(f).IsMonotoneSubmodular());
+}
+
+// -------------------------------------------------------- dispersion alt --
+TEST(DispersionTest, MinPairwiseAndMst) {
+  DenseMetric m(4);
+  m.SetDistance(0, 1, 1.0);
+  m.SetDistance(0, 2, 2.0);
+  m.SetDistance(0, 3, 3.0);
+  m.SetDistance(1, 2, 4.0);
+  m.SetDistance(1, 3, 5.0);
+  m.SetDistance(2, 3, 6.0);
+  const std::vector<int> all = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(MinPairwiseDistance(m, all), 1.0);
+  // MST: edges 0-1 (1), 0-2 (2), 0-3 (3) => 6.
+  EXPECT_DOUBLE_EQ(MstWeight(m, all), 6.0);
+  EXPECT_DOUBLE_EQ(MstWeight(m, std::vector<int>{2}), 0.0);
+}
+
+TEST(DispersionTest, MaxMinGreedyWithinFactorTwo) {
+  // The farthest-point greedy is a 2-approximation for metric max-min
+  // dispersion; check against exact on random instances.
+  for (int seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 3);
+    Dataset data = MakeUniformSynthetic(14, rng);
+    for (int p : {3, 5}) {
+      const AlgorithmResult greedy = MaxMinDispersionGreedy(data.metric, p);
+      const AlgorithmResult exact = MaxMinDispersionExact(data.metric, p);
+      EXPECT_GE(greedy.objective * 2.0 + 1e-9, exact.objective)
+          << "seed " << seed << " p " << p;
+      EXPECT_EQ(static_cast<int>(greedy.elements.size()), p);
+    }
+  }
+}
+
+TEST(DispersionTest, MaxMstGreedyProducesSpanningSelection) {
+  Rng rng(9);
+  Dataset data = MakeUniformSynthetic(20, rng);
+  const AlgorithmResult result = MaxMstDispersionGreedy(data.metric, 6);
+  EXPECT_EQ(result.elements.size(), 6u);
+  EXPECT_GT(result.objective, 0.0);
+  EXPECT_NEAR(result.objective, MstWeight(data.metric, result.elements),
+              1e-12);
+}
+
+TEST(DispersionTest, DegenerateSizes) {
+  Rng rng(10);
+  Dataset data = MakeUniformSynthetic(5, rng);
+  EXPECT_TRUE(MaxMinDispersionGreedy(data.metric, 0).elements.empty());
+  EXPECT_EQ(MaxMinDispersionGreedy(data.metric, 1).elements.size(), 1u);
+  EXPECT_EQ(MaxMinDispersionGreedy(data.metric, 99).elements.size(), 5u);
+}
+
+// ---------------------------------------------------------------- csv io --
+TEST(CsvIoTest, SaveLoadRoundTrip) {
+  Rng rng(11);
+  const Dataset original = MakeUniformSynthetic(9, rng);
+  const std::string path = ::testing::TempDir() + "/diverse_roundtrip.csv";
+  ASSERT_TRUE(SaveDatasetCsv(path, original));
+  const auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 9);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_NEAR(loaded->weights[i], original.weights[i], 1e-9);
+    for (int j = 0; j < 9; ++j) {
+      EXPECT_NEAR(loaded->metric.Distance(i, j),
+                  original.metric.Distance(i, j), 1e-9);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, RejectsMissingFile) {
+  EXPECT_FALSE(LoadDatasetCsv("/nonexistent/nowhere.csv").has_value());
+}
+
+TEST(CsvIoTest, RejectsAsymmetricMatrix) {
+  const std::string path = ::testing::TempDir() + "/diverse_bad.csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("2\n1,2\n0,1\n2,0\n", f);  // d(0,1)=1 but d(1,0)=2
+  std::fclose(f);
+  EXPECT_FALSE(LoadDatasetCsv(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, LoadPointsHandlesCommentsAndBlanks) {
+  const std::string path = ::testing::TempDir() + "/diverse_points.csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# points\n1.0,2.0\n\n3.0,4.0\n", f);
+  std::fclose(f);
+  const auto points = LoadPointsCsv(path);
+  ASSERT_TRUE(points.has_value());
+  ASSERT_EQ(points->size(), 2u);
+  EXPECT_DOUBLE_EQ((*points)[1][1], 4.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, RejectsRaggedPoints) {
+  const std::string path = ::testing::TempDir() + "/diverse_ragged.csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("1.0,2.0\n3.0\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadPointsCsv(path).has_value());
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- batch greedy --
+TEST(BatchGreedyTest, BatchOneMatchesGreedyVertex) {
+  Rng rng(12);
+  Dataset data = MakeUniformSynthetic(15, rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  const AlgorithmResult batch = BatchGreedy(problem, {.p = 5, .batch = 1});
+  const AlgorithmResult vertex = GreedyVertex(problem, {.p = 5});
+  EXPECT_EQ(batch.elements, vertex.elements);
+  EXPECT_NEAR(batch.objective, vertex.objective, 1e-9);
+}
+
+TEST(BatchGreedyTest, SelectsExactlyPForAllBatches) {
+  Rng rng(13);
+  Dataset data = MakeUniformSynthetic(12, rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  for (int d : {1, 2, 3}) {
+    for (int p : {4, 5, 7}) {
+      const AlgorithmResult result =
+          BatchGreedy(problem, {.p = p, .batch = d});
+      EXPECT_EQ(static_cast<int>(result.elements.size()), p)
+          << "d=" << d << " p=" << p;
+      EXPECT_NEAR(result.objective, problem.Objective(result.elements),
+                  1e-9);
+    }
+  }
+}
+
+TEST(BatchGreedyTest, DispersionBoundFormula) {
+  EXPECT_DOUBLE_EQ(BatchGreedyDispersionBound(10, 1), 2.0);
+  EXPECT_NEAR(BatchGreedyDispersionBound(10, 2), 18.0 / 10.0, 1e-12);
+  EXPECT_NEAR(BatchGreedyDispersionBound(4, 3), 6.0 / 5.0, 1e-12);
+}
+
+TEST(BatchGreedyTest, LargerBatchesRespectTheirTighterBound) {
+  // Birnbaum–Goldman: batch-d greedy is a (2p-2)/(p+d-2) approximation for
+  // dispersion. Check on random instances against brute force.
+  for (int seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 7);
+    Dataset data = MakeUniformSynthetic(12, rng);
+    const ZeroFunction zero(12);
+    const DiversificationProblem problem(&data.metric, &zero, 1.0);
+    const int p = 6;
+    const AlgorithmResult opt = BruteForceCardinality(problem, {.p = p});
+    for (int d : {1, 2, 3}) {
+      const AlgorithmResult result =
+          BatchGreedy(problem, {.p = p, .batch = d});
+      EXPECT_GE(result.objective * BatchGreedyDispersionBound(p, d) + 1e-9,
+                opt.objective)
+          << "seed " << seed << " d " << d;
+    }
+  }
+}
+
+// ---------------------------------------------------- partial enumeration --
+TEST(PartialEnumerationTest, SeedZeroMatchesGreedy) {
+  Rng rng(14);
+  Dataset data = MakeUniformSynthetic(12, rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  const AlgorithmResult pe =
+      PartialEnumerationGreedy(problem, {.p = 5, .seed_size = 0});
+  const AlgorithmResult greedy = GreedyVertex(problem, {.p = 5});
+  EXPECT_NEAR(pe.objective, greedy.objective, 1e-9);
+}
+
+TEST(PartialEnumerationTest, LargerSeedsNeverHurt) {
+  for (int seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 11);
+    Dataset data = MakeUniformSynthetic(12, rng);
+    const ModularFunction weights(data.weights);
+    const DiversificationProblem problem(&data.metric, &weights, 0.2);
+    double prev = -1.0;
+    for (int d : {0, 1, 2}) {
+      const AlgorithmResult result =
+          PartialEnumerationGreedy(problem, {.p = 5, .seed_size = d});
+      EXPECT_GE(result.objective + 1e-9, prev) << "seed " << seed;
+      prev = result.objective;
+    }
+  }
+}
+
+TEST(PartialEnumerationTest, ClosesInOnOptimum) {
+  Rng rng(15);
+  Dataset data = MakeUniformSynthetic(11, rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  const AlgorithmResult pe =
+      PartialEnumerationGreedy(problem, {.p = 4, .seed_size = 2});
+  const AlgorithmResult opt = BruteForceCardinality(problem, {.p = 4});
+  EXPECT_GE(pe.objective, 0.98 * opt.objective);
+}
+
+// ------------------------------------------------ incremental dyn updates --
+TEST(IncrementalUpdateTest, DistancePatchMatchesRebuild) {
+  Rng rng(16);
+  Dataset data = MakeUniformSynthetic(12, rng);
+  const ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.3);
+  SolutionState state(&problem);
+  for (int v : {1, 4, 7, 9}) state.Add(v);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pair = rng.SampleWithoutReplacement(12, 2);
+    const double old_value = data.metric.Distance(pair[0], pair[1]);
+    const double new_value = rng.Uniform(1.0, 2.0);
+    data.metric.SetDistance(pair[0], pair[1], new_value);
+    state.ApplyDistanceUpdate(pair[0], pair[1], old_value, new_value);
+
+    SolutionState reference(&problem);
+    reference.Assign(state.members());
+    EXPECT_NEAR(state.objective(), reference.objective(), 1e-9);
+    for (int x = 0; x < 12; ++x) {
+      EXPECT_NEAR(state.DistanceToSet(x), reference.DistanceToSet(x), 1e-9);
+    }
+  }
+}
+
+TEST(IncrementalUpdateTest, QualityRefreshMatchesRebuild) {
+  Rng rng(17);
+  Dataset data = MakeUniformSynthetic(10, rng);
+  ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  SolutionState state(&problem);
+  for (int v : {0, 3, 6}) state.Add(v);
+
+  weights.SetWeight(3, 0.99);
+  weights.SetWeight(8, 0.01);  // not in S; no effect on value
+  state.RefreshQuality();
+  SolutionState reference(&problem);
+  reference.Assign(state.members());
+  EXPECT_NEAR(state.objective(), reference.objective(), 1e-12);
+  EXPECT_NEAR(state.quality_value(), reference.quality_value(), 1e-12);
+}
+
+TEST(IncrementalUpdateTest, UpdaterStaysConsistentOverLongTrace) {
+  Rng rng(18);
+  Dataset data = MakeUniformSynthetic(15, rng);
+  ModularFunction weights(data.weights);
+  const DiversificationProblem problem(&data.metric, &weights, 0.2);
+  const AlgorithmResult greedy = GreedyVertex(problem, {.p = 5});
+  DynamicUpdater updater(&problem, &weights, &data.metric, greedy.elements);
+  for (int step = 0; step < 100; ++step) {
+    const Perturbation perturbation =
+        rng.Bernoulli(0.5)
+            ? RandomWeightPerturbation(weights, rng, 0.0, 1.0)
+            : RandomDistancePerturbation(data.metric, rng, 1.0, 2.0);
+    updater.ApplyAndUpdate(perturbation);
+    EXPECT_NEAR(updater.objective(),
+                problem.Objective(updater.solution()), 1e-8)
+        << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,276 @@
+// Numerical verification of every lemma the paper's proofs rest on,
+// property-checked over random instances. These tests pin the library's
+// primitives (metric sums, submodular marginals, matroid exchanges) to the
+// exact inequalities used in Theorems 1 and 2.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "matroid/matroid.h"
+#include "matroid/partition_matroid.h"
+#include "matroid/transversal_matroid.h"
+#include "matroid/uniform_matroid.h"
+#include "metric/metric_utils.h"
+#include "submodular/coverage_function.h"
+#include "submodular/facility_location.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+// Random monotone submodular function for the lemma checks.
+CoverageFunction RandomCoverage(int n, Rng& rng) {
+  std::vector<std::vector<int>> covers(n);
+  for (auto& c : covers) {
+    c = rng.SampleWithoutReplacement(10, rng.UniformInt(1, 6));
+  }
+  std::vector<double> w(10);
+  for (double& x : w) x = rng.Uniform(0.1, 1.0);
+  return CoverageFunction(std::move(covers), std::move(w));
+}
+
+// Union helper respecting "sets as sorted vectors".
+std::vector<int> Union(std::vector<int> a, const std::vector<int>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  return a;
+}
+
+std::vector<int> Minus(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> out;
+  for (int x : a) {
+    if (std::find(b.begin(), b.end(), x) == b.end()) out.push_back(x);
+  }
+  return out;
+}
+
+// Lemma 1 (Ravi et al.): (|X| - 1) d(X, Y) >= |Y| d(X) for disjoint X, Y.
+TEST(PaperLemmasTest, Lemma1) {
+  for (int seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    Dataset data = MakeUniformSynthetic(16, rng);
+    const int x_size = rng.UniformInt(2, 7);
+    const int y_size = rng.UniformInt(1, 7);
+    const auto sample =
+        rng.SampleWithoutReplacement(data.size(), x_size + y_size);
+    const std::vector<int> x(sample.begin(), sample.begin() + x_size);
+    const std::vector<int> y(sample.begin() + x_size, sample.end());
+    EXPECT_GE((x_size - 1) * SumBetween(data.metric, x, y) + 1e-9,
+              y_size * SumPairwise(data.metric, x));
+  }
+}
+
+// Lemma 3: f(S) + sum_i f(S - b_i + c_i) >= f(S - B) + sum_i f(S + c_i)
+// for S containing B = {b_1..b_t}, C = {c_1..c_t} disjoint from S.
+TEST(PaperLemmasTest, Lemma3) {
+  for (int seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed + 50);
+    const CoverageFunction f = RandomCoverage(14, rng);
+    const int t = rng.UniformInt(2, 4);
+    const int s_extra = rng.UniformInt(0, 4);
+    const auto sample = rng.SampleWithoutReplacement(14, 2 * t + s_extra);
+    const std::vector<int> b(sample.begin(), sample.begin() + t);
+    const std::vector<int> c(sample.begin() + t, sample.begin() + 2 * t);
+    std::vector<int> s(sample.begin() + 2 * t, sample.end());
+    s.insert(s.end(), b.begin(), b.end());  // S contains B
+    std::sort(s.begin(), s.end());
+
+    double lhs = f.Value(s);
+    double rhs = f.Value(Minus(s, b));
+    for (int i = 0; i < t; ++i) {
+      std::vector<int> swapped = Minus(s, {b[i]});
+      swapped.push_back(c[i]);
+      lhs += f.Value(swapped);
+      rhs += f.Value(Union(s, {c[i]}));
+    }
+    EXPECT_GE(lhs + 1e-9, rhs) << "seed " << seed;
+  }
+}
+
+// Lemma 4: sum_i f(S + c_i) >= (t - 1) f(S) + f(S + C).
+TEST(PaperLemmasTest, Lemma4) {
+  for (int seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed + 100);
+    const CoverageFunction f = RandomCoverage(14, rng);
+    const int t = rng.UniformInt(2, 5);
+    const int s_size = rng.UniformInt(0, 6);
+    const auto sample = rng.SampleWithoutReplacement(14, t + s_size);
+    const std::vector<int> c(sample.begin(), sample.begin() + t);
+    const std::vector<int> s(sample.begin() + t, sample.end());
+
+    double lhs = 0.0;
+    for (int i = 0; i < t; ++i) lhs += f.Value(Union(s, {c[i]}));
+    const double rhs = (t - 1) * f.Value(s) + f.Value(Union(s, c));
+    EXPECT_GE(lhs + 1e-9, rhs) << "seed " << seed;
+  }
+}
+
+// Lemma 6: for |B| = |C| = t > 2 (disjoint),
+// d(B, C) - sum_i d(b_i, c_i) >= d(C).
+TEST(PaperLemmasTest, Lemma6) {
+  for (int seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed + 150);
+    Dataset data = MakeUniformSynthetic(16, rng);
+    const int t = rng.UniformInt(3, 7);
+    const auto sample = rng.SampleWithoutReplacement(16, 2 * t);
+    const std::vector<int> b(sample.begin(), sample.begin() + t);
+    const std::vector<int> c(sample.begin() + t, sample.end());
+    double paired = 0.0;
+    for (int i = 0; i < t; ++i) {
+      paired += data.metric.Distance(b[i], c[i]);
+    }
+    EXPECT_GE(SumBetween(data.metric, b, c) - paired + 1e-9,
+              SumPairwise(data.metric, c))
+        << "seed " << seed;
+  }
+}
+
+// Lemma 7: sum_i d(S - b_i + c_i) >= (t - 2) d(S) + d(O) where S = A + B,
+// O = A + C, |B| = |C| = t >= 2 (and A non-empty when t == 2).
+TEST(PaperLemmasTest, Lemma7) {
+  for (int seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed + 200);
+    Dataset data = MakeUniformSynthetic(16, rng);
+    const int t = rng.UniformInt(2, 5);
+    const int a_size = rng.UniformInt(1, 5);
+    const auto sample = rng.SampleWithoutReplacement(16, 2 * t + a_size);
+    const std::vector<int> b(sample.begin(), sample.begin() + t);
+    const std::vector<int> c(sample.begin() + t, sample.begin() + 2 * t);
+    const std::vector<int> a(sample.begin() + 2 * t, sample.end());
+    std::vector<int> s = a;
+    s.insert(s.end(), b.begin(), b.end());
+    std::vector<int> o = a;
+    o.insert(o.end(), c.begin(), c.end());
+
+    double lhs = 0.0;
+    for (int i = 0; i < t; ++i) {
+      std::vector<int> swapped = Minus(s, {b[i]});
+      swapped.push_back(c[i]);
+      lhs += SumPairwise(data.metric, swapped);
+    }
+    const double rhs = (t - 2) * SumPairwise(data.metric, s) +
+                       SumPairwise(data.metric, o);
+    EXPECT_GE(lhs + 1e-9, rhs) << "seed " << seed << " t " << t;
+  }
+}
+
+// Lemma 2 (Brualdi): for any two bases X, Y of a matroid there is a
+// bijection g: X -> Y with X - x + g(x) independent for all x. Verified by
+// finding such a bijection exhaustively (via augmenting-path matching over
+// the exchange graph) on random small matroids.
+TEST(PaperLemmasTest, Lemma2BrualdiExchange) {
+  for (int seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed + 250);
+    // Random transversal matroid on 8 elements.
+    const int n = 8;
+    const int m = rng.UniformInt(2, 4);
+    std::vector<std::vector<int>> collections(m);
+    for (auto& col : collections) {
+      col = rng.SampleWithoutReplacement(n, rng.UniformInt(2, n));
+    }
+    const TransversalMatroid matroid(n, collections);
+    const auto bases = EnumerateBases(matroid);
+    if (bases.size() < 2) continue;
+    // Pick two random bases.
+    const auto& x = bases[rng.UniformInt(0, bases.size() - 1)];
+    const auto& y = bases[rng.UniformInt(0, bases.size() - 1)];
+    const int r = static_cast<int>(x.size());
+    // Exchange feasibility matrix: ok[i][j] = X - x_i + y_j independent.
+    std::vector<std::vector<int>> feasible(r);
+    for (int i = 0; i < r; ++i) {
+      for (int j = 0; j < r; ++j) {
+        if (x[i] == y[j]) {
+          feasible[i].push_back(j);
+          continue;
+        }
+        if (std::find(x.begin(), x.end(), y[j]) != x.end()) {
+          // y_j already in X - swapping x_i for it only works if x_i == y_j
+          // (handled) — a duplicate would not be a set; skip.
+          continue;
+        }
+        std::vector<int> swapped = Minus(x, {x[i]});
+        swapped.push_back(y[j]);
+        if (matroid.IsIndependent(swapped)) feasible[i].push_back(j);
+      }
+    }
+    // Perfect matching must exist (Kuhn's algorithm).
+    std::vector<int> match(r, -1);
+    int matched = 0;
+    for (int i = 0; i < r; ++i) {
+      std::vector<bool> used(r, false);
+      std::function<bool(int)> augment = [&](int u) -> bool {
+        for (int j : feasible[u]) {
+          if (used[j]) continue;
+          used[j] = true;
+          if (match[j] < 0 || augment(match[j])) {
+            match[j] = u;
+            return true;
+          }
+        }
+        return false;
+      };
+      if (augment(i)) ++matched;
+    }
+    // A perfect exchange bijection exists when y_j in X cases are treated
+    // as identity; elements shared by both bases map to themselves and are
+    // feasible by construction.
+    EXPECT_EQ(matched, r) << "seed " << seed;
+  }
+}
+
+// Equation (4) of the proof of Theorem 1: d(A, C) + d(A) + d(C) = d(O)
+// for a partition O = A + C.
+TEST(PaperLemmasTest, Equation4Partition) {
+  for (int seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed + 300);
+    Dataset data = MakeUniformSynthetic(14, rng);
+    const int a_size = rng.UniformInt(1, 6);
+    const int c_size = rng.UniformInt(1, 6);
+    const auto sample =
+        rng.SampleWithoutReplacement(14, a_size + c_size);
+    const std::vector<int> a(sample.begin(), sample.begin() + a_size);
+    const std::vector<int> c(sample.begin() + a_size, sample.end());
+    std::vector<int> o = a;
+    o.insert(o.end(), c.begin(), c.end());
+    EXPECT_NEAR(SumBetween(data.metric, a, c) + SumPairwise(data.metric, a) +
+                    SumPairwise(data.metric, c),
+                SumPairwise(data.metric, o), 1e-9);
+  }
+}
+
+// Lemma 8's identity: sum_{y in Y} phi_y(S \ y) = f(Y) + 2 lambda d(Y) +
+// lambda d(Z, Y) for S = Z + Y and modular f. (phi_y(S \ y) = w(y) +
+// lambda d(y, S - y).)
+TEST(PaperLemmasTest, Lemma8Identity) {
+  for (int seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed + 350);
+    Dataset data = MakeUniformSynthetic(14, rng);
+    const double lambda = rng.Uniform(0.1, 1.0);
+    const int z_size = rng.UniformInt(1, 5);
+    const int y_size = rng.UniformInt(1, 5);
+    const auto sample =
+        rng.SampleWithoutReplacement(14, z_size + y_size);
+    const std::vector<int> z(sample.begin(), sample.begin() + z_size);
+    const std::vector<int> y(sample.begin() + z_size, sample.end());
+    std::vector<int> s = z;
+    s.insert(s.end(), y.begin(), y.end());
+
+    double lhs = 0.0;
+    for (int elem : y) {
+      const std::vector<int> rest = Minus(s, {elem});
+      lhs += data.weights[elem] + lambda * SumTo(data.metric, elem, rest);
+    }
+    double f_y = 0.0;
+    for (int elem : y) f_y += data.weights[elem];
+    const double rhs = f_y + 2.0 * lambda * SumPairwise(data.metric, y) +
+                       lambda * SumBetween(data.metric, z, y);
+    EXPECT_NEAR(lhs, rhs, 1e-9) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "matroid/graphic_matroid.h"
+#include "matroid/laminar_matroid.h"
+#include "matroid/matroid.h"
+#include "matroid/matroid_validation.h"
+#include "matroid/partition_matroid.h"
+#include "matroid/transversal_matroid.h"
+#include "matroid/uniform_matroid.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+TEST(UniformMatroidTest, IndependenceBySize) {
+  const UniformMatroid m(6, 3);
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{}));
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(m.rank(), 3);
+}
+
+TEST(UniformMatroidTest, CanAddAndExchange) {
+  const UniformMatroid m(6, 2);
+  const std::vector<int> s = {0, 1};
+  EXPECT_FALSE(m.CanAdd(s, 2));
+  EXPECT_TRUE(m.CanExchange(s, 0, 5));
+  EXPECT_TRUE(m.CanAdd(std::vector<int>{0}, 2));
+}
+
+TEST(UniformMatroidTest, SatisfiesAxioms) {
+  EXPECT_TRUE(ValidateMatroid(UniformMatroid(7, 3)).IsMatroid());
+  EXPECT_TRUE(ValidateMatroid(UniformMatroid(5, 0)).IsMatroid());
+  EXPECT_TRUE(ValidateMatroid(UniformMatroid(5, 5)).IsMatroid());
+}
+
+TEST(PartitionMatroidTest, RespectsBlockCapacities) {
+  // Blocks: {0,1,2} cap 1, {3,4} cap 2.
+  const PartitionMatroid m({0, 0, 0, 1, 1}, {1, 2});
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{0, 3, 4}));
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{0, 1}));
+  EXPECT_EQ(m.rank(), 3);
+}
+
+TEST(PartitionMatroidTest, RankCapsAtBlockSizes) {
+  // Capacity larger than the block: rank contribution is the block size.
+  const PartitionMatroid m({0, 0, 1}, {5, 1});
+  EXPECT_EQ(m.rank(), 3);
+}
+
+TEST(PartitionMatroidTest, CanAddMatchesIsIndependent) {
+  const PartitionMatroid m({0, 0, 1, 1, 2}, {1, 1, 1});
+  const std::vector<int> s = {0, 2};
+  EXPECT_FALSE(m.CanAdd(s, 1));
+  EXPECT_FALSE(m.CanAdd(s, 3));
+  EXPECT_TRUE(m.CanAdd(s, 4));
+}
+
+TEST(PartitionMatroidTest, SatisfiesAxioms) {
+  EXPECT_TRUE(
+      ValidateMatroid(PartitionMatroid({0, 0, 1, 1, 2, 2}, {1, 2, 1}))
+          .IsMatroid());
+}
+
+TEST(TransversalMatroidTest, RequiresDistinctRepresentatives) {
+  // C1 = {0,1}, C2 = {1,2}. {0,2} independent, {0,1} independent,
+  // {0,1,2} dependent (only two sets).
+  const TransversalMatroid m(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{0, 2}));
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{0, 1}));
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{1, 2}));
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(m.rank(), 2);
+}
+
+TEST(TransversalMatroidTest, ElementOutsideAllSetsIsDependent) {
+  const TransversalMatroid m(3, {{0}});
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{1}));
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{2}));
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{0}));
+  EXPECT_EQ(m.rank(), 1);
+}
+
+TEST(TransversalMatroidTest, MatchingNeedsAugmentingPaths) {
+  // C1 = {0,1}, C2 = {0}. {0,1}: match 0->C2, 1->C1 (needs augmentation if
+  // 0 grabbed C1 first).
+  const TransversalMatroid m(2, {{0, 1}, {0}});
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{0, 1}));
+}
+
+TEST(TransversalMatroidTest, SatisfiesAxioms) {
+  const TransversalMatroid m(6, {{0, 1, 2}, {2, 3}, {3, 4, 5}, {5, 0}});
+  EXPECT_TRUE(ValidateMatroid(m).IsMatroid());
+}
+
+TEST(GraphicMatroidTest, ForestsAreIndependent) {
+  // Triangle on vertices {0,1,2}: edges 0=(0,1), 1=(1,2), 2=(0,2).
+  const GraphicMatroid m(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{0, 1}));
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{0, 1, 2}));  // cycle
+  EXPECT_EQ(m.rank(), 2);
+}
+
+TEST(GraphicMatroidTest, SelfLoopIsDependent) {
+  const GraphicMatroid m(2, {{0, 0}, {0, 1}});
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{0}));
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{1}));
+  EXPECT_EQ(m.rank(), 1);
+}
+
+TEST(GraphicMatroidTest, ParallelEdgesFormCycle) {
+  const GraphicMatroid m(2, {{0, 1}, {0, 1}});
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{0}));
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{0, 1}));
+}
+
+TEST(GraphicMatroidTest, SatisfiesAxioms) {
+  // K4: 6 edges, rank 3.
+  const GraphicMatroid m(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(m.rank(), 3);
+  EXPECT_TRUE(ValidateMatroid(m).IsMatroid());
+}
+
+TEST(LaminarMatroidTest, NestedCapacities) {
+  // Family: {0,1,2,3} cap 3; {0,1} cap 1.
+  const LaminarMatroid m(4, {{0, 1, 2, 3}, {0, 1}}, {3, 1});
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{0, 2, 3}));
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{0, 1}));
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(m.rank(), 3);
+}
+
+TEST(LaminarMatroidTest, RejectsNonLaminarFamily) {
+  EXPECT_DEATH(LaminarMatroid(4, {{0, 1}, {1, 2}}, {1, 1}), "laminar");
+}
+
+TEST(LaminarMatroidTest, GeneralizesPartition) {
+  const LaminarMatroid laminar(5, {{0, 1}, {2, 3, 4}}, {1, 2});
+  const PartitionMatroid partition({0, 0, 1, 1, 1}, {1, 2});
+  // Same independent sets on a few probes.
+  for (const auto& probe :
+       std::vector<std::vector<int>>{{0}, {0, 1}, {0, 2, 3}, {2, 3, 4},
+                                     {0, 2, 3, 4}, {1, 3}}) {
+    EXPECT_EQ(laminar.IsIndependent(probe), partition.IsIndependent(probe));
+  }
+  EXPECT_EQ(laminar.rank(), partition.rank());
+}
+
+TEST(LaminarMatroidTest, SatisfiesAxioms) {
+  const LaminarMatroid m(6, {{0, 1, 2, 3, 4, 5}, {0, 1, 2}, {0, 1}, {4, 5}},
+                         {4, 2, 1, 1});
+  EXPECT_TRUE(ValidateMatroid(m).IsMatroid());
+}
+
+TEST(ExtendToBasisTest, ReachesRank) {
+  const PartitionMatroid m({0, 0, 1, 1, 2}, {1, 1, 1});
+  const std::vector<int> basis = ExtendToBasis(m, {1});
+  EXPECT_EQ(static_cast<int>(basis.size()), m.rank());
+  EXPECT_TRUE(m.IsIndependent(basis));
+}
+
+TEST(ExtendToBasisTest, KeepsSeedElements) {
+  const UniformMatroid m(6, 3);
+  const std::vector<int> basis = ExtendToBasis(m, {4, 5});
+  EXPECT_EQ(basis.size(), 3u);
+  EXPECT_EQ(basis[0], 4);
+  EXPECT_EQ(basis[1], 5);
+}
+
+TEST(EnumerateBasesTest, CountsUniformBases) {
+  const UniformMatroid m(5, 2);
+  EXPECT_EQ(EnumerateBases(m).size(), 10u);  // C(5,2)
+}
+
+TEST(EnumerateBasesTest, AllBasesIndependentAndMaximal) {
+  const TransversalMatroid m(5, {{0, 1, 2}, {2, 3}, {3, 4}});
+  const auto bases = EnumerateBases(m);
+  ASSERT_FALSE(bases.empty());
+  for (const auto& b : bases) {
+    EXPECT_EQ(static_cast<int>(b.size()), m.rank());
+    EXPECT_TRUE(m.IsIndependent(b));
+  }
+}
+
+TEST(MatroidValidationTest, DetectsNonMatroid) {
+  // "Independent iff size != 2" violates hereditary.
+  class Broken : public Matroid {
+   public:
+    int ground_size() const override { return 4; }
+    bool IsIndependent(std::span<const int> set) const override {
+      return set.size() != 2;
+    }
+    int rank() const override { return 4; }
+  };
+  const Broken m;
+  const MatroidReport report = ValidateMatroid(m);
+  EXPECT_FALSE(report.hereditary);
+  EXPECT_FALSE(report.IsMatroid());
+}
+
+class RandomTransversalSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTransversalSweep, RandomCollectionsAreMatroids) {
+  Rng rng(GetParam());
+  const int n = 7;
+  const int m = rng.UniformInt(1, 4);
+  std::vector<std::vector<int>> collections(m);
+  for (auto& c : collections) {
+    c = rng.SampleWithoutReplacement(n, rng.UniformInt(1, n));
+  }
+  const TransversalMatroid matroid(n, collections);
+  EXPECT_TRUE(ValidateMatroid(matroid).IsMatroid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTransversalSweep,
+                         ::testing::Range(1, 13));
+
+class RandomGraphicSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphicSweep, RandomGraphsAreMatroids) {
+  Rng rng(GetParam());
+  const int vertices = rng.UniformInt(3, 5);
+  const int edges = rng.UniformInt(3, 8);
+  std::vector<std::pair<int, int>> edge_list;
+  for (int e = 0; e < edges; ++e) {
+    edge_list.emplace_back(rng.UniformInt(0, vertices - 1),
+                           rng.UniformInt(0, vertices - 1));
+  }
+  const GraphicMatroid matroid(vertices, edge_list);
+  EXPECT_TRUE(ValidateMatroid(matroid).IsMatroid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphicSweep, ::testing::Range(20, 32));
+
+}  // namespace
+}  // namespace diverse

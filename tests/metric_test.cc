@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "metric/cosine_metric.h"
+#include "metric/dense_metric.h"
+#include "metric/euclidean_metric.h"
+#include "metric/metric_utils.h"
+#include "metric/metric_validation.h"
+#include "metric/relaxed_metric.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+TEST(DenseMetricTest, StartsAtZero) {
+  DenseMetric m(4);
+  EXPECT_EQ(m.size(), 4);
+  for (int u = 0; u < 4; ++u) {
+    for (int v = 0; v < 4; ++v) {
+      EXPECT_DOUBLE_EQ(m.Distance(u, v), 0.0);
+    }
+  }
+}
+
+TEST(DenseMetricTest, SetDistanceIsSymmetric) {
+  DenseMetric m(3);
+  m.SetDistance(0, 2, 1.5);
+  EXPECT_DOUBLE_EQ(m.Distance(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(m.Distance(2, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m.Distance(0, 1), 0.0);
+}
+
+TEST(DenseMetricTest, FromMatrixRoundTrips) {
+  const std::vector<double> matrix = {0, 1, 2,  //
+                                      1, 0, 3,  //
+                                      2, 3, 0};
+  const DenseMetric m = DenseMetric::FromMatrix(3, matrix);
+  EXPECT_DOUBLE_EQ(m.Distance(1, 2), 3.0);
+}
+
+TEST(DenseMetricTest, FromMatrixRejectsAsymmetry) {
+  const std::vector<double> matrix = {0, 1, 2, 0};
+  EXPECT_DEATH(DenseMetric::FromMatrix(2, matrix), "symmetric");
+}
+
+TEST(DenseMetricTest, MaterializeCopiesAnyMetric) {
+  const EuclideanMetric base({{0.0, 0.0}, {3.0, 4.0}, {6.0, 8.0}});
+  const DenseMetric dense = DenseMetric::Materialize(base);
+  EXPECT_DOUBLE_EQ(dense.Distance(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(dense.Distance(0, 2), 10.0);
+  EXPECT_DOUBLE_EQ(dense.Distance(1, 2), 5.0);
+}
+
+TEST(EuclideanMetricTest, L1L2LInfDiffer) {
+  const std::vector<std::vector<double>> pts = {{0.0, 0.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(EuclideanMetric(pts, Norm::kL1).Distance(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(EuclideanMetric(pts, Norm::kL2).Distance(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanMetric(pts, Norm::kLInf).Distance(0, 1), 4.0);
+}
+
+TEST(EuclideanMetricTest, AllNormsAreMetrics) {
+  Rng rng(3);
+  std::vector<std::vector<double>> pts(12, std::vector<double>(3));
+  for (auto& p : pts) {
+    for (double& x : p) x = rng.Uniform(-5.0, 5.0);
+  }
+  for (Norm norm : {Norm::kL1, Norm::kL2, Norm::kLInf}) {
+    const EuclideanMetric m(pts, norm);
+    EXPECT_TRUE(ValidateMetric(m).IsMetric());
+  }
+}
+
+TEST(CosineMetricTest, IdenticalDirectionsHaveZeroDistance) {
+  const CosineMetric m({{1.0, 0.0}, {2.0, 0.0}, {0.0, 1.0}});
+  EXPECT_NEAR(m.Distance(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(m.Distance(0, 2), 1.0, 1e-12);  // orthogonal: 1 - cos = 1
+}
+
+TEST(CosineMetricTest, AngularFormIsMetric) {
+  Rng rng(5);
+  std::vector<std::vector<double>> vecs(10, std::vector<double>(4));
+  for (auto& v : vecs) {
+    for (double& x : v) x = std::abs(rng.Gaussian()) + 0.01;
+  }
+  const CosineMetric m(vecs, CosineMetric::Form::kAngular);
+  EXPECT_TRUE(ValidateMetric(m, 1e-9).IsMetric());
+}
+
+TEST(CosineMetricTest, SelfDistanceIsZero) {
+  const CosineMetric m({{1.0, 2.0}, {2.0, 1.0}});
+  EXPECT_DOUBLE_EQ(m.Distance(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.Distance(1, 1), 0.0);
+}
+
+TEST(RelaxedMetricTest, BetaOneIsIdentity) {
+  Rng rng(1);
+  Dataset data = MakeUniformSynthetic(8, rng);
+  const PowerRelaxedMetric relaxed(&data.metric, 1.0);
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      EXPECT_DOUBLE_EQ(relaxed.Distance(u, v), data.metric.Distance(u, v));
+    }
+  }
+}
+
+TEST(RelaxedMetricTest, LargerBetaRelaxesAlpha) {
+  Rng rng(2);
+  Dataset data = MakeUniformSynthetic(10, rng);
+  const double alpha1 = ValidateMetric(data.metric).alpha;
+  const PowerRelaxedMetric relaxed2(&data.metric, 2.0);
+  const PowerRelaxedMetric relaxed3(&data.metric, 3.0);
+  const double alpha2 = ValidateMetric(relaxed2).alpha;
+  const double alpha3 = ValidateMetric(relaxed3).alpha;
+  EXPECT_GE(alpha1, 1.0);  // base is a metric
+  EXPECT_LT(alpha2, alpha1);
+  EXPECT_LT(alpha3, alpha2);
+  EXPECT_GT(alpha3, 0.0);
+}
+
+TEST(MetricUtilsTest, SumPairwiseSmallCases) {
+  DenseMetric m(3);
+  m.SetDistance(0, 1, 1.0);
+  m.SetDistance(0, 2, 2.0);
+  m.SetDistance(1, 2, 4.0);
+  const std::vector<int> all = {0, 1, 2};
+  const std::vector<int> pair = {0, 2};
+  const std::vector<int> single = {1};
+  EXPECT_DOUBLE_EQ(SumPairwise(m, all), 7.0);
+  EXPECT_DOUBLE_EQ(SumPairwise(m, pair), 2.0);
+  EXPECT_DOUBLE_EQ(SumPairwise(m, single), 0.0);
+  EXPECT_DOUBLE_EQ(SumPairwise(m, std::vector<int>{}), 0.0);
+}
+
+TEST(MetricUtilsTest, SumBetweenAndSumTo) {
+  DenseMetric m(4);
+  m.SetDistance(0, 2, 1.0);
+  m.SetDistance(0, 3, 2.0);
+  m.SetDistance(1, 2, 3.0);
+  m.SetDistance(1, 3, 4.0);
+  const std::vector<int> a = {0, 1};
+  const std::vector<int> b = {2, 3};
+  EXPECT_DOUBLE_EQ(SumBetween(m, a, b), 10.0);
+  EXPECT_DOUBLE_EQ(SumTo(m, 0, b), 3.0);
+}
+
+TEST(MetricUtilsTest, PartitionIdentity) {
+  // d(A ∪ C) = d(A) + d(C) + d(A, C) — used implicitly throughout the
+  // paper's proofs (equation (4)).
+  Rng rng(17);
+  Dataset data = MakeUniformSynthetic(12, rng);
+  const std::vector<int> a = {0, 2, 4};
+  const std::vector<int> c = {1, 3, 5, 7};
+  std::vector<int> both = a;
+  both.insert(both.end(), c.begin(), c.end());
+  EXPECT_NEAR(SumPairwise(data.metric, both),
+              SumPairwise(data.metric, a) + SumPairwise(data.metric, c) +
+                  SumBetween(data.metric, a, c),
+              1e-9);
+}
+
+TEST(MetricUtilsTest, DiameterAndAverage) {
+  DenseMetric m(3);
+  m.SetDistance(0, 1, 1.0);
+  m.SetDistance(0, 2, 5.0);
+  m.SetDistance(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(Diameter(m), 5.0);
+  EXPECT_DOUBLE_EQ(AverageDistance(m), 3.0);
+}
+
+TEST(MetricUtilsTest, AverageDistanceDegenerate) {
+  DenseMetric m(1);
+  EXPECT_DOUBLE_EQ(AverageDistance(m), 0.0);
+  EXPECT_DOUBLE_EQ(Diameter(m), 0.0);
+}
+
+TEST(MetricValidationTest, AcceptsOneTwoMetric) {
+  Rng rng(4);
+  Dataset data = MakeUniformSynthetic(15, rng, 0.0, 1.0, 1.0, 2.0);
+  const MetricReport report = ValidateMetric(data.metric);
+  EXPECT_TRUE(report.IsMetric());
+  EXPECT_GE(report.alpha, 1.0);
+}
+
+TEST(MetricValidationTest, DetectsTriangleViolation) {
+  DenseMetric m(3);
+  m.SetDistance(0, 1, 1.0);
+  m.SetDistance(1, 2, 1.0);
+  m.SetDistance(0, 2, 5.0);  // violates 5 <= 1 + 1
+  const MetricReport report = ValidateMetric(m);
+  EXPECT_FALSE(report.triangle_inequality);
+  EXPECT_FALSE(report.IsMetric());
+  EXPECT_NEAR(report.alpha, 2.0 / 5.0, 1e-12);
+}
+
+TEST(MetricValidationTest, SampledAgreesOnValidMetric) {
+  Rng rng(6);
+  Dataset data = MakeUniformSynthetic(30, rng);
+  Rng check_rng(7);
+  const MetricReport report =
+      ValidateMetricSampled(data.metric, check_rng, 2000);
+  EXPECT_TRUE(report.IsMetric());
+}
+
+// Lemma 1 of the paper (Ravi et al.): for a metric and disjoint X, Y,
+// (|X| - 1) * d(X, Y) >= |Y| * d(X). Property-checked on random instances.
+TEST(MetricValidationTest, Lemma1HoldsOnRandomInstances) {
+  for (int trial = 0; trial < 30; ++trial) {
+    Rng rng(100 + trial);
+    Dataset data = MakeUniformSynthetic(14, rng);
+    const int x_size = rng.UniformInt(2, 6);
+    const int y_size = rng.UniformInt(1, 6);
+    const auto sample =
+        rng.SampleWithoutReplacement(data.size(), x_size + y_size);
+    const std::vector<int> x(sample.begin(), sample.begin() + x_size);
+    const std::vector<int> y(sample.begin() + x_size, sample.end());
+    const double lhs = (x_size - 1) * SumBetween(data.metric, x, y);
+    const double rhs = y_size * SumPairwise(data.metric, x);
+    EXPECT_GE(lhs, rhs - 1e-9) << "trial " << trial;
+  }
+}
+
+class OneTwoMetricSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OneTwoMetricSweep, GeneratedSpacesAreAlwaysMetric) {
+  Rng rng(GetParam());
+  Dataset data = MakeUniformSynthetic(12, rng);
+  EXPECT_TRUE(ValidateMetric(data.metric).IsMetric());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OneTwoMetricSweep,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace diverse
