@@ -1,0 +1,92 @@
+// Minimal machine-readable timing output for the bench binaries. Each
+// binary appends flat records (string/double fields) and writes
+// BENCH_<name>.json into the working directory, giving future PRs a
+// comparable perf trajectory without any JSON dependency.
+#ifndef DIVERSE_BENCH_BENCH_JSON_H_
+#define DIVERSE_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace diverse {
+namespace bench {
+
+class BenchJson {
+ public:
+  // `bench_name` names the output file BENCH_<bench_name>.json.
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  BenchJson& NewRecord(const std::string& name) {
+    records_.emplace_back();
+    return Add("name", name);
+  }
+
+  BenchJson& Add(const std::string& key, const std::string& value) {
+    records_.back().emplace_back(key, "\"" + Escaped(value) + "\"");
+    return *this;
+  }
+
+  BenchJson& Add(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    records_.back().emplace_back(key, buffer);
+    return *this;
+  }
+
+  BenchJson& Add(const std::string& key, long long value) {
+    records_.back().emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  std::string ToString() const {
+    std::string out = "{\n  \"bench\": \"" + Escaped(bench_name_) +
+                      "\",\n  \"records\": [\n";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      out += "    {";
+      for (std::size_t f = 0; f < records_[r].size(); ++f) {
+        if (f > 0) out += ", ";
+        out += "\"" + Escaped(records_[r][f].first) +
+               "\": " + records_[r][f].second;
+      }
+      out += r + 1 < records_.size() ? "},\n" : "}\n";
+    }
+    return out + "  ]\n}\n";
+  }
+
+  // Writes BENCH_<name>.json into the working directory; reports the path
+  // on stdout so runs leave a discoverable artifact trail.
+  bool WriteFile() const {
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return false;
+    }
+    out << ToString();
+    std::cout << "\nwrote " << path << "\n";
+    return true;
+  }
+
+ private:
+  static std::string Escaped(const std::string& raw) {
+    std::string out;
+    for (char c : raw) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
+
+}  // namespace bench
+}  // namespace diverse
+
+#endif  // DIVERSE_BENCH_BENCH_JSON_H_

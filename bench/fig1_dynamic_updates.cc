@@ -14,9 +14,11 @@
 #include <cstdint>
 #include <iostream>
 
+#include "bench_json.h"
 #include "dynamic/simulator.h"
 #include "util/flags.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 namespace diverse {
 namespace {
@@ -29,6 +31,8 @@ int Run(int n, int p, int steps, int runs, double lambda_min,
             << " steps)\n\n";
   TextTable table({"lambda", "VPERTURBATION", "EPERTURBATION",
                    "MPERTURBATION"});
+  bench::BenchJson json("fig1_dynamic_updates");
+  WallTimer total_timer;
   for (double lambda = lambda_min; lambda <= lambda_max + 1e-9;
        lambda += lambda_step) {
     table.NewRow().AddDouble(lambda, 2);
@@ -43,12 +47,25 @@ int Run(int n, int p, int steps, int runs, double lambda_min,
       config.runs = runs;
       config.environment = env;
       config.seed = seed;
-      table.AddDouble(RunDynamicSimulation(config).worst_ratio, 4);
+      WallTimer cell_timer;
+      const double worst = RunDynamicSimulation(config).worst_ratio;
+      table.AddDouble(worst, 4);
+      json.NewRecord("cell")
+          .Add("environment", ToString(env))
+          .Add("lambda", lambda)
+          .Add("n", static_cast<long long>(n))
+          .Add("p", static_cast<long long>(p))
+          .Add("steps", static_cast<long long>(steps))
+          .Add("runs", static_cast<long long>(runs))
+          .Add("worst_ratio", worst)
+          .Add("seconds", cell_timer.Seconds());
     }
   }
+  json.NewRecord("total").Add("seconds", total_timer.Seconds());
   table.Print(std::cout);
   std::cout << "\n(each cell: max over runs*steps of OPT/phi(S) after a "
                "single oblivious update)\n";
+  json.WriteFile();
   return 0;
 }
 

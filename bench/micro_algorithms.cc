@@ -1,18 +1,34 @@
 // Micro-benchmarks (google-benchmark) for the per-operation costs that
 // determine the experiment-scale running times: greedy steps, swap-gain
 // evaluation, evaluator updates, and the exact solver.
+//
+// In addition to the google-benchmark suite, main() times the incremental
+// evaluation path (SolutionState + IncrementalEvaluator) against the
+// from-scratch DiversificationProblem::Objective path for greedy and
+// local search at n >= 2000, and writes the timings (and speedups) to
+// BENCH_micro_algorithms.json. Pass --compare_only to skip the
+// google-benchmark suite.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "algorithms/brute_force.h"
 #include "algorithms/greedy_edge.h"
 #include "algorithms/greedy_vertex.h"
 #include "algorithms/local_search.h"
+#include "bench_json.h"
 #include "core/solution_state.h"
 #include "data/synthetic.h"
 #include "matroid/uniform_matroid.h"
 #include "submodular/coverage_function.h"
 #include "submodular/modular_function.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace diverse {
 namespace {
@@ -128,7 +144,167 @@ void BM_CoverageEvaluatorGain(benchmark::State& state) {
 }
 BENCHMARK(BM_CoverageEvaluatorGain);
 
+// ---- Incremental vs from-scratch evaluation comparison --------------------
+
+// Greedy B with every candidate potential evaluated from scratch:
+// 1/2 [f(S+u) - f(S)] + lambda [d(S+u) - d(S)], each term via a full
+// O(|S|^2) DiversificationProblem evaluation. This is the path the
+// incremental subsystem replaces; kept here as the timing baseline.
+AlgorithmResult ScratchGreedyVertex(const DiversificationProblem& problem,
+                                    int p) {
+  const int n = problem.size();
+  AlgorithmResult result;
+  std::vector<int> members;
+  while (static_cast<int>(members.size()) < p) {
+    const double f_base = problem.quality().Value(members);
+    const double d_base = problem.DispersionTerm(members);
+    int best = -1;
+    double best_gain = 0.0;
+    std::vector<int> extended = members;
+    extended.push_back(-1);
+    for (int u = 0; u < n; ++u) {
+      if (std::find(members.begin(), members.end(), u) != members.end()) {
+        continue;
+      }
+      extended.back() = u;
+      const double gain =
+          0.5 * (problem.quality().Value(extended) - f_base) +
+          (problem.DispersionTerm(extended) - d_base);
+      if (best < 0 || gain > best_gain) {
+        best = u;
+        best_gain = gain;
+      }
+    }
+    members.push_back(best);
+    ++result.steps;
+  }
+  result.elements = members;
+  result.objective = problem.Objective(members);
+  return result;
+}
+
+// Best-improvement single swaps with every gain evaluated from scratch.
+AlgorithmResult ScratchLocalSearch(const DiversificationProblem& problem,
+                                   std::vector<int> members,
+                                   long long max_swaps) {
+  const int n = problem.size();
+  AlgorithmResult result;
+  while (result.steps < max_swaps) {
+    const double base = problem.Objective(members);
+    int best_pos = -1;
+    int best_in = -1;
+    double best_gain = 0.0;
+    std::vector<int> swapped = members;
+    for (std::size_t pos = 0; pos < members.size(); ++pos) {
+      for (int in = 0; in < n; ++in) {
+        if (std::find(members.begin(), members.end(), in) != members.end()) {
+          continue;
+        }
+        swapped[pos] = in;
+        const double gain = problem.Objective(swapped) - base;
+        if (gain > best_gain && gain > 1e-12) {
+          best_gain = gain;
+          best_pos = static_cast<int>(pos);
+          best_in = in;
+        }
+      }
+      swapped[pos] = members[pos];
+    }
+    if (best_pos < 0) break;
+    members[best_pos] = best_in;
+    ++result.steps;
+  }
+  std::sort(members.begin(), members.end());
+  result.elements = members;
+  result.objective = problem.Objective(members);
+  return result;
+}
+
+void RunEvaluatorComparison() {
+  bench::BenchJson json("micro_algorithms");
+  std::cout << "\nIncremental evaluation vs from-scratch objective "
+               "evaluation\n";
+  for (int n : {2000, 4000}) {
+    const int p = 16;
+    Shared shared(n);
+    const UniformMatroid matroid(n, p);
+
+    WallTimer timer;
+    const AlgorithmResult scratch_greedy =
+        ScratchGreedyVertex(shared.problem, p);
+    const double scratch_greedy_s = timer.Seconds();
+    timer.Restart();
+    const AlgorithmResult fast_greedy = GreedyVertex(shared.problem, {.p = p});
+    const double fast_greedy_s = timer.Seconds();
+    if (std::abs(scratch_greedy.objective - fast_greedy.objective) > 1e-6) {
+      std::cerr << "warning: greedy paths disagree: "
+                << scratch_greedy.objective << " vs "
+                << fast_greedy.objective << "\n";
+    }
+    json.NewRecord("greedy_vertex")
+        .Add("n", static_cast<long long>(n))
+        .Add("p", static_cast<long long>(p))
+        .Add("scratch_seconds", scratch_greedy_s)
+        .Add("incremental_seconds", fast_greedy_s)
+        .Add("speedup", scratch_greedy_s / std::max(fast_greedy_s, 1e-12))
+        .Add("objective", fast_greedy.objective);
+    std::cout << "  greedy n=" << n << ": scratch " << scratch_greedy_s
+              << "s, incremental " << fast_greedy_s << "s ("
+              << scratch_greedy_s / std::max(fast_greedy_s, 1e-12)
+              << "x)\n";
+
+    // Local search from the same greedy start, identical swap budget.
+    const long long max_swaps = 8;
+    timer.Restart();
+    const AlgorithmResult scratch_ls = ScratchLocalSearch(
+        shared.problem, fast_greedy.elements, max_swaps);
+    const double scratch_ls_s = timer.Seconds();
+    LocalSearchOptions options;
+    options.initial = fast_greedy.elements;
+    options.max_swaps = max_swaps;
+    timer.Restart();
+    const AlgorithmResult fast_ls =
+        LocalSearch(shared.problem, matroid, options);
+    const double fast_ls_s = timer.Seconds();
+    if (std::abs(scratch_ls.objective - fast_ls.objective) > 1e-6) {
+      std::cerr << "warning: local-search paths disagree: "
+                << scratch_ls.objective << " vs " << fast_ls.objective
+                << "\n";
+    }
+    json.NewRecord("local_search")
+        .Add("n", static_cast<long long>(n))
+        .Add("p", static_cast<long long>(p))
+        .Add("max_swaps", max_swaps)
+        .Add("scratch_seconds", scratch_ls_s)
+        .Add("incremental_seconds", fast_ls_s)
+        .Add("speedup", scratch_ls_s / std::max(fast_ls_s, 1e-12))
+        .Add("objective", fast_ls.objective);
+    std::cout << "  local_search n=" << n << ": scratch " << scratch_ls_s
+              << "s, incremental " << fast_ls_s << "s ("
+              << scratch_ls_s / std::max(fast_ls_s, 1e-12) << "x)\n";
+  }
+  json.WriteFile();
+}
+
 }  // namespace
 }  // namespace diverse
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool compare_only = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compare_only") == 0) {
+      compare_only = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  if (!compare_only) benchmark::RunSpecifiedBenchmarks();
+  diverse::RunEvaluatorComparison();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/incremental_evaluator.h"
 #include "core/solution_state.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -14,30 +15,6 @@ double BatchGreedyDispersionBound(int p, int d) {
   return (2.0 * p - 2.0) / (p + d - 2.0);
 }
 
-namespace {
-
-// Potential gain of adding `block` to the current state:
-// 1/2 * [f(S + block) - f(S)] + lambda * [d(block) + d(block, S)].
-double BlockPrimeGain(const SolutionState& state,
-                      const std::vector<int>& block) {
-  const DiversificationProblem& problem = state.problem();
-  // Quality part through a scratch evaluation: f(S + block) - f(S).
-  std::vector<int> extended = state.members();
-  extended.insert(extended.end(), block.begin(), block.end());
-  const double f_gain = problem.quality().Value(extended) -
-                        problem.quality().Value(state.members());
-  double dist = 0.0;
-  for (std::size_t i = 0; i < block.size(); ++i) {
-    dist += state.DistanceToSet(block[i]);  // d(b_i, S)
-    for (std::size_t j = i + 1; j < block.size(); ++j) {
-      dist += problem.metric().Distance(block[i], block[j]);
-    }
-  }
-  return 0.5 * f_gain + problem.lambda() * dist;
-}
-
-}  // namespace
-
 AlgorithmResult BatchGreedy(const DiversificationProblem& problem,
                             const BatchGreedyOptions& options) {
   const int n = problem.size();
@@ -46,6 +23,7 @@ AlgorithmResult BatchGreedy(const DiversificationProblem& problem,
                     "batch size must be 1, 2 or 3");
   WallTimer timer;
   SolutionState state(&problem);
+  const IncrementalEvaluator eval(&state);
   AlgorithmResult result;
 
   while (state.size() < p) {
@@ -64,7 +42,7 @@ AlgorithmResult BatchGreedy(const DiversificationProblem& problem,
     for (int i = 0; i < d; ++i) idx[i] = i;
     while (true) {
       for (int i = 0; i < d; ++i) block[i] = candidates[idx[i]];
-      const double gain = BlockPrimeGain(state, block);
+      const double gain = eval.BlockPrimeAddGain(block);
       if (gain > best_gain) {
         best_gain = gain;
         best_block = block;

@@ -1,8 +1,15 @@
 #include "algorithms/greedy_edge.h"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
+#include <vector>
 
+#include "core/distance_cache.h"
+#include "core/incremental_evaluator.h"
+#include "core/parallel_scan.h"
 #include "core/solution_state.h"
+#include "metric/dense_metric.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -26,34 +33,42 @@ AlgorithmResult GreedyEdge(const DiversificationProblem& problem,
                     "weights must be the problem's quality function");
   WallTimer timer;
   AlgorithmResult result;
-  const MetricSpace& metric = problem.metric();
+  // The edge greedy rescans surviving pairs every round. For metrics that
+  // compute distances on demand, serve those scans from contiguous cached
+  // storage; metrics that are already materialized matrices (DenseMetric,
+  // an outer DistanceCache) are used directly.
+  const MetricSpace& base_metric = problem.metric();
+  const bool wrap_metric =
+      p >= 2 && dynamic_cast<const DenseMetric*>(&base_metric) == nullptr &&
+      dynamic_cast<const DistanceCache*>(&base_metric) == nullptr;
+  std::optional<DistanceCache> cache;
+  if (wrap_metric) cache.emplace(&base_metric);
+  const MetricSpace& metric = wrap_metric ? *cache : base_metric;
   const double lambda = problem.lambda();
+  std::atomic<long long> scored{0};
 
   std::vector<bool> chosen(n, false);
   std::vector<int> selected;
 
   if (p >= 2) {
-    // Edge greedy over d': each round scans all unchosen pairs.
+    // Edge greedy over d': each round scans all unchosen pairs in
+    // parallel.
+    std::vector<int> unchosen;
+    unchosen.reserve(n);
     while (static_cast<int>(selected.size()) + 2 <= p) {
-      int best_u = -1;
-      int best_v = -1;
-      double best = -1.0;
+      unchosen.clear();
       for (int u = 0; u < n; ++u) {
-        if (chosen[u]) continue;
-        for (int v = u + 1; v < n; ++v) {
-          if (chosen[v]) continue;
-          const double d = ReducedDistance(weights, metric, lambda, p, u, v);
-          if (d > best) {
-            best = d;
-            best_u = u;
-            best_v = v;
-          }
-        }
+        if (!chosen[u]) unchosen.push_back(u);
       }
-      DIVERSE_CHECK(best_u >= 0);
-      chosen[best_u] = chosen[best_v] = true;
-      selected.push_back(best_u);
-      selected.push_back(best_v);
+      const ScoredPair best = ParallelArgmaxPairs(
+          std::span<const int>(unchosen), /*num_threads=*/0,
+          /*grain=*/2048, scored, [&](int u, int v) {
+            return ReducedDistance(weights, metric, lambda, p, u, v);
+          });
+      DIVERSE_CHECK(best.valid());
+      chosen[best.first] = chosen[best.second] = true;
+      selected.push_back(best.first);
+      selected.push_back(best.second);
       ++result.steps;
     }
   }
@@ -64,15 +79,12 @@ AlgorithmResult GreedyEdge(const DiversificationProblem& problem,
     if (options.best_last_vertex) {
       SolutionState state(&problem);
       state.Assign(selected);
-      double best_gain = -1.0;
+      const IncrementalEvaluator eval(&state);
+      std::vector<int> candidates;
       for (int u = 0; u < n; ++u) {
-        if (chosen[u]) continue;
-        const double gain = state.AddGain(u);
-        if (pick < 0 || gain > best_gain) {
-          pick = u;
-          best_gain = gain;
-        }
+        if (!chosen[u]) candidates.push_back(u);
       }
+      pick = eval.BestAddOver(candidates).element;
     } else {
       // "Arbitrary" vertex, deterministically the lowest unchosen index —
       // mirroring the paper's observation that Greedy A as defined does not

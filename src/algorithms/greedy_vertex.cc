@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/incremental_evaluator.h"
 #include "core/solution_state.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -15,44 +16,38 @@ AlgorithmResult GreedyVertex(const DiversificationProblem& problem,
   DIVERSE_CHECK_MSG(options.p >= 0, "p must be non-negative");
   WallTimer timer;
   SolutionState state(&problem);
+  const IncrementalEvaluator eval(&state);
   AlgorithmResult result;
 
   if (options.best_first_pair && p >= 2) {
-    // Seed with the best pair under the true objective phi({x,y}).
-    int best_x = 0;
-    int best_y = 1;
+    // Seed with the best pair under the true objective: phi({x,y}) =
+    // phi({x}) + AddGain(y | {x}), scanned through the incremental state
+    // (one temporary Add per x) instead of O(n^2) from-scratch objective
+    // evaluations.
+    int best_x = -1;
+    int best_y = -1;
     double best_value = -1.0;
-    std::vector<int> pair(2);
-    for (int x = 0; x < n; ++x) {
-      for (int y = x + 1; y < n; ++y) {
-        pair[0] = x;
-        pair[1] = y;
-        const double value = problem.Objective(pair);
-        if (value > best_value) {
-          best_value = value;
-          best_x = x;
-          best_y = y;
-        }
+    const std::span<const int> universe = eval.Universe();
+    for (int x = 0; x + 1 < n; ++x) {
+      state.Add(x);
+      const ScoredCandidate y = eval.BestAddOver(universe.subspan(x + 1));
+      if (y.valid() && state.objective() + y.gain > best_value) {
+        best_value = state.objective() + y.gain;
+        best_x = x;
+        best_y = y.element;
       }
+      state.Remove(x);
     }
+    DIVERSE_CHECK(best_x >= 0);
     state.Add(best_x);
     state.Add(best_y);
     result.steps += 2;
   }
 
   while (state.size() < p) {
-    int best = -1;
-    double best_gain = 0.0;
-    for (int u = 0; u < n; ++u) {
-      if (state.Contains(u)) continue;
-      const double gain = state.PrimeGain(u);
-      if (best < 0 || gain > best_gain) {
-        best = u;
-        best_gain = gain;
-      }
-    }
-    DIVERSE_CHECK(best >= 0);
-    state.Add(best);
+    const ScoredCandidate best = eval.BestPrimeAddOver(eval.Universe());
+    DIVERSE_CHECK(best.valid());
+    state.Add(best.element);
     ++result.steps;
   }
 

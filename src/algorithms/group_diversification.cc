@@ -1,7 +1,9 @@
 #include "algorithms/group_diversification.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "core/incremental_evaluator.h"
 #include "core/solution_state.h"
 #include "util/check.h"
 
@@ -24,30 +26,32 @@ GroupResult GroupGreedy(const DiversificationProblem& problem,
   result.groups.assign(options.k, {});
   if (options.p == 0) return result;
 
-  // One incremental state per group; global chosen-flags keep groups
-  // disjoint. Groups are filled round-robin so that early groups do not
-  // starve late ones.
+  // One incremental state + batched evaluator per group; global
+  // chosen-flags keep groups disjoint. Groups are filled round-robin so
+  // that early groups do not starve late ones.
   std::vector<SolutionState> states;
   states.reserve(options.k);
   for (int g = 0; g < options.k; ++g) states.emplace_back(&problem);
+  std::vector<std::unique_ptr<IncrementalEvaluator>> evals;
+  evals.reserve(options.k);
+  for (int g = 0; g < options.k; ++g) {
+    evals.push_back(std::make_unique<IncrementalEvaluator>(&states[g]));
+  }
   std::vector<bool> taken(n, false);
+  std::vector<int> available;
+  available.reserve(n);
 
   for (int round = 0; round < options.p; ++round) {
     for (int g = 0; g < options.k; ++g) {
-      int best = -1;
-      double best_gain = 0.0;
+      available.clear();
       for (int u = 0; u < n; ++u) {
-        if (taken[u]) continue;
-        const double gain = states[g].PrimeGain(u);
-        if (best < 0 || gain > best_gain) {
-          best = u;
-          best_gain = gain;
-        }
+        if (!taken[u]) available.push_back(u);
       }
-      DIVERSE_CHECK(best >= 0);
-      taken[best] = true;
-      states[g].Add(best);
-      result.groups[g].push_back(best);
+      const ScoredCandidate best = evals[g]->BestPrimeAddOver(available);
+      DIVERSE_CHECK(best.valid());
+      taken[best.element] = true;
+      states[g].Add(best.element);
+      result.groups[g].push_back(best.element);
       ++result.steps;
     }
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/incremental_evaluator.h"
 #include "core/solution_state.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -16,28 +17,20 @@ double TotalCost(const std::vector<double>& costs,
   return sum;
 }
 
-// Completes `state` greedily by potential-per-cost among elements that fit.
+// Completes the state greedily by potential-per-cost among elements that
+// fit. The per-iteration candidate scan runs through the evaluator's
+// batched density argmax (a tiny epsilon denominator ranks zero-cost
+// elements with positive gain first).
 void DensityGreedyComplete(const std::vector<double>& costs, double budget,
+                           const IncrementalEvaluator& eval,
                            SolutionState* state, long long* steps) {
   double used = TotalCost(costs, state->members());
-  const int n = state->universe_size();
   while (true) {
-    int best = -1;
-    double best_density = 0.0;
-    for (int u = 0; u < n; ++u) {
-      if (state->Contains(u)) continue;
-      if (used + costs[u] > budget + 1e-12) continue;
-      // Zero-cost elements with positive gain are always worth taking; use
-      // a tiny epsilon denominator to rank them first.
-      const double density = state->PrimeGain(u) / std::max(costs[u], 1e-12);
-      if (best < 0 || density > best_density) {
-        best = u;
-        best_density = density;
-      }
-    }
-    if (best < 0) break;
-    used += costs[best];
-    state->Add(best);
+    const ScoredCandidate best =
+        eval.BestDensityAddOver(eval.Universe(), costs, budget - used);
+    if (!best.valid()) break;
+    used += costs[best.element];
+    state->Add(best.element);
     ++*steps;
   }
 }
@@ -76,12 +69,14 @@ AlgorithmResult KnapsackGreedy(const DiversificationProblem& problem,
   AlgorithmResult best;
   best.objective = -1.0;
   SolutionState state(&problem);
+  const IncrementalEvaluator eval(&state);
 
   auto try_seed = [&](const std::vector<int>& seed) {
     if (TotalCost(options.costs, seed) > options.budget + 1e-12) return;
     state.Assign(seed);
     long long steps = 0;
-    DensityGreedyComplete(options.costs, options.budget, &state, &steps);
+    DensityGreedyComplete(options.costs, options.budget, eval, &state,
+                          &steps);
     if (state.objective() > best.objective) {
       best.objective = state.objective();
       best.elements = state.SortedMembers();

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "core/incremental_evaluator.h"
 #include "core/solution_state.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -46,29 +48,36 @@ std::vector<int> BestIndependentPair(const DiversificationProblem& problem,
 }
 
 // Extends `state` to a basis of `matroid`.
-void CompleteToBasis(const Matroid& matroid, bool greedy, SolutionState* state) {
+void CompleteToBasis(const Matroid& matroid, bool greedy,
+                     const IncrementalEvaluator& eval, SolutionState* state) {
   const int n = state->universe_size();
+  std::vector<int> feasible;
+  feasible.reserve(n);
   while (true) {
     const std::vector<int>& members = state->members();
+    feasible.clear();
     int pick = -1;
-    double best_gain = 0.0;
     for (int e = 0; e < n; ++e) {
       if (state->Contains(e)) continue;
       if (!matroid.CanAdd(members, e)) continue;
       if (!greedy) {
-        pick = e;
+        pick = e;  // lowest feasible index suffices
         break;
       }
-      const double gain = state->AddGain(e);
-      if (pick < 0 || gain > best_gain) {
-        pick = e;
-        best_gain = gain;
-      }
+      feasible.push_back(e);
     }
+    if (greedy) pick = eval.BestAddOver(feasible).element;
     if (pick < 0) break;
     state->Add(pick);
   }
 }
+
+// One candidate exchange surfaced by the batched swap scan.
+struct SwapCandidate {
+  double gain;
+  int out_rank;  // position of `out` in the scanned member order
+  int in;
+};
 
 }  // namespace
 
@@ -80,6 +89,7 @@ AlgorithmResult LocalSearch(const DiversificationProblem& problem,
   WallTimer timer;
   AlgorithmResult result;
   SolutionState state(&problem);
+  const IncrementalEvaluator eval(&state);
 
   if (options.initial.empty()) {
     state.Assign(BestIndependentPair(problem, matroid));
@@ -88,9 +98,11 @@ AlgorithmResult LocalSearch(const DiversificationProblem& problem,
                       "initial set must be independent");
     state.Assign(options.initial);
   }
-  CompleteToBasis(matroid, options.greedy_completion, &state);
+  CompleteToBasis(matroid, options.greedy_completion, eval, &state);
 
   const int n = problem.size();
+  std::vector<double> gains(n);
+  std::vector<SwapCandidate> candidates;
   while (options.max_swaps < 0 || result.steps < options.max_swaps) {
     if (options.time_limit_seconds > 0.0 &&
         timer.Seconds() >= options.time_limit_seconds) {
@@ -98,22 +110,32 @@ AlgorithmResult LocalSearch(const DiversificationProblem& problem,
     }
     const double threshold =
         options.epsilon * std::max(std::abs(state.objective()), 1.0);
+    const std::vector<int> members = state.members();  // copy: stable order
+    // Batch-score every exchange, then test the (expensive) matroid oracle
+    // in descending-gain order: the first feasible candidate is the best
+    // feasible exchange, matching the scalar scan's result.
+    candidates.clear();
+    for (int rank = 0; rank < static_cast<int>(members.size()); ++rank) {
+      eval.ScoreSwapsFor(members[rank], eval.Universe(), gains);
+      for (int in = 0; in < n; ++in) {
+        const double gain = gains[in];
+        if (gain <= threshold || gain <= 1e-12) continue;
+        candidates.push_back({gain, rank, in});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const SwapCandidate& a, const SwapCandidate& b) {
+                if (a.gain != b.gain) return a.gain > b.gain;
+                if (a.out_rank != b.out_rank) return a.out_rank < b.out_rank;
+                return a.in < b.in;
+              });
     int best_out = -1;
     int best_in = -1;
-    double best_gain = threshold;
-    const std::vector<int> members = state.members();  // copy: stable order
-    for (int out : members) {
-      for (int in = 0; in < n; ++in) {
-        if (state.Contains(in)) continue;
-        const double gain = state.SwapGain(out, in);
-        // Strictly-positive improvement beyond the epsilon threshold; the
-        // (cheaper) gain test runs before the matroid oracle.
-        if (gain <= best_gain || gain <= 1e-12) continue;
-        if (!matroid.CanExchange(members, out, in)) continue;
-        best_gain = gain;
-        best_out = out;
-        best_in = in;
-      }
+    for (const SwapCandidate& c : candidates) {
+      if (!matroid.CanExchange(members, members[c.out_rank], c.in)) continue;
+      best_out = members[c.out_rank];
+      best_in = c.in;
+      break;
     }
     if (best_out < 0) break;  // local optimum
     state.Swap(best_out, best_in);

@@ -6,7 +6,7 @@ namespace diverse {
 
 StreamingDiversifier::StreamingDiversifier(
     const DiversificationProblem* problem, int p)
-    : state_(problem), p_(p) {
+    : state_(problem), eval_(&state_), p_(p) {
   DIVERSE_CHECK(p >= 0);
 }
 
@@ -18,17 +18,10 @@ bool StreamingDiversifier::Observe(int v) {
     state_.Add(v);
     return true;
   }
-  int best_out = -1;
-  double best_gain = 1e-12;
-  for (int out : state_.members()) {
-    const double gain = state_.SwapGain(out, v);
-    if (gain > best_gain) {
-      best_gain = gain;
-      best_out = out;
-    }
-  }
-  if (best_out < 0) return false;
-  state_.Swap(best_out, v);
+  const BestSwapResult best =
+      eval_.BestSwapOver(state_.members(), std::span<const int>(&v, 1));
+  if (!best.valid() || best.gain <= 1e-12) return false;
+  state_.Swap(best.out, best.in);
   ++swaps_;
   return true;
 }

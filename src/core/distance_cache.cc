@@ -1,0 +1,107 @@
+#include "core/distance_cache.h"
+
+#include "util/check.h"
+
+namespace diverse {
+
+DistanceCache::DistanceCache(const MetricSpace* base)
+    : DistanceCache(base, Options()) {}
+
+DistanceCache::DistanceCache(const MetricSpace* base, Options options)
+    : base_(base), n_(base != nullptr ? base->size() : 0) {
+  DIVERSE_CHECK(base != nullptr);
+  dense_ = static_cast<std::size_t>(n_) <= options.dense_threshold;
+  if (dense_) {
+    MaterializeDense();
+  } else {
+    rows_.assign(n_, {});
+    ready_ = std::make_unique<std::atomic<bool>[]>(n_);
+    for (int u = 0; u < n_; ++u) ready_[u].store(false);
+  }
+}
+
+void DistanceCache::MaterializeDense() {
+  matrix_.assign(static_cast<std::size_t>(n_) * n_, 0.0);
+  for (int u = 0; u < n_; ++u) {
+    for (int v = u + 1; v < n_; ++v) {
+      const double d = base_->Distance(u, v);
+      matrix_[static_cast<std::size_t>(u) * n_ + v] = d;
+      matrix_[static_cast<std::size_t>(v) * n_ + u] = d;
+    }
+  }
+  base_calls_.fetch_add(static_cast<long long>(n_) * (n_ - 1) / 2,
+                        std::memory_order_relaxed);
+  rows_built_.fetch_add(n_, std::memory_order_relaxed);
+}
+
+const double* DistanceCache::LazyRow(int u) const {
+  if (!ready_[u].load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(materialize_mu_);
+    if (!ready_[u].load(std::memory_order_relaxed)) {
+      std::vector<double>& row = rows_[u];
+      row.resize(n_);
+      for (int v = 0; v < n_; ++v) row[v] = base_->Distance(u, v);
+      base_calls_.fetch_add(n_, std::memory_order_relaxed);
+      rows_built_.fetch_add(1, std::memory_order_relaxed);
+      ready_[u].store(true, std::memory_order_release);
+    }
+  }
+  return rows_[u].data();
+}
+
+double DistanceCache::Distance(int u, int v) const {
+  DIVERSE_DCHECK(0 <= u && u < n_);
+  DIVERSE_DCHECK(0 <= v && v < n_);
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (dense_) return matrix_[static_cast<std::size_t>(u) * n_ + v];
+  // Serve from whichever endpoint's row is already built before paying for
+  // a new row.
+  if (ready_[u].load(std::memory_order_acquire)) return rows_[u][v];
+  if (ready_[v].load(std::memory_order_acquire)) return rows_[v][u];
+  return LazyRow(u)[v];
+}
+
+bool DistanceCache::RowMaterialized(int u) const {
+  DIVERSE_CHECK(0 <= u && u < n_);
+  if (dense_) return true;
+  return ready_[u].load(std::memory_order_acquire);
+}
+
+void DistanceCache::Refresh(int u, int v) {
+  DIVERSE_CHECK(0 <= u && u < n_);
+  DIVERSE_CHECK(0 <= v && v < n_);
+  if (u == v) return;
+  const double d = base_->Distance(u, v);
+  base_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (dense_) {
+    matrix_[static_cast<std::size_t>(u) * n_ + v] = d;
+    matrix_[static_cast<std::size_t>(v) * n_ + u] = d;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(materialize_mu_);
+  if (ready_[u].load(std::memory_order_relaxed)) rows_[u][v] = d;
+  if (ready_[v].load(std::memory_order_relaxed)) rows_[v][u] = d;
+}
+
+void DistanceCache::Invalidate() {
+  if (dense_) {
+    MaterializeDense();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(materialize_mu_);
+  for (int u = 0; u < n_; ++u) {
+    ready_[u].store(false, std::memory_order_release);
+    rows_[u].clear();
+    rows_[u].shrink_to_fit();
+  }
+}
+
+DistanceCache::Stats DistanceCache::stats() const {
+  Stats stats;
+  stats.base_distance_calls = base_calls_.load(std::memory_order_relaxed);
+  stats.rows_materialized = rows_built_.load(std::memory_order_relaxed);
+  stats.lookups = lookups_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace diverse

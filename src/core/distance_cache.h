@@ -1,0 +1,92 @@
+// Materialized distance cache behind the MetricSpace interface.
+//
+// Metric implementations like EuclideanMetric or GraphMetric recompute
+// d(u, v) on every call; the greedy / local-search / dynamic hot loops ask
+// for the same distances thousands of times. DistanceCache wraps any base
+// metric and serves lookups from contiguous storage:
+//
+//   * dense mode (n <= options.dense_threshold): the full row-major n x n
+//     matrix is materialized eagerly at construction (each unordered pair
+//     queried once, then mirrored);
+//   * lazy mode (larger n): rows are materialized on first touch, so a
+//     scan that only ever visits a working set pays only for the rows it
+//     uses. Row materialization is guarded for concurrent readers — the
+//     parallel scans in IncrementalEvaluator may fault rows from worker
+//     threads.
+//
+// The cache is a snapshot: if the base metric changes (paper §6 dynamic
+// perturbations), call Refresh(u, v) for a point fix or Invalidate() to
+// drop everything. Always-on counters report base-metric traffic.
+#ifndef DIVERSE_CORE_DISTANCE_CACHE_H_
+#define DIVERSE_CORE_DISTANCE_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "metric/metric_space.h"
+
+namespace diverse {
+
+class DistanceCache : public MetricSpace {
+ public:
+  static constexpr std::size_t kDefaultDenseThreshold = 4096;
+
+  struct Options {
+    // Largest n for which the full matrix is materialized eagerly.
+    std::size_t dense_threshold = kDefaultDenseThreshold;
+  };
+
+  // Profiling counters (cheap, always on).
+  struct Stats {
+    long long base_distance_calls = 0;  // Distance() calls on the base
+    long long rows_materialized = 0;    // lazy rows built (dense: n)
+    long long lookups = 0;              // Distance() calls served
+  };
+
+  // `base` must outlive the cache and be safe for concurrent const
+  // Distance() calls (all metrics in src/metric are).
+  explicit DistanceCache(const MetricSpace* base);
+  DistanceCache(const MetricSpace* base, Options options);
+
+  int size() const override { return n_; }
+  double Distance(int u, int v) const override;
+
+  bool dense() const { return dense_; }
+  bool RowMaterialized(int u) const;
+
+  // Re-pulls d(u, v) (both orientations) from the base metric. O(1); only
+  // touches storage that is already materialized.
+  void Refresh(int u, int v);
+
+  // Drops all cached values. Dense mode re-materializes eagerly.
+  void Invalidate();
+
+  Stats stats() const;
+
+ private:
+  void MaterializeDense();
+  // Returns the row for u, building it under the lock on first touch.
+  const double* LazyRow(int u) const;
+
+  const MetricSpace* base_;
+  int n_;
+  bool dense_;
+  std::vector<double> matrix_;  // dense mode, row-major n x n
+
+  // Lazy mode: rows_[u] is empty until first touch; ready_[u] flips with
+  // release ordering once the row is fully written.
+  mutable std::vector<std::vector<double>> rows_;
+  mutable std::unique_ptr<std::atomic<bool>[]> ready_;
+  mutable std::mutex materialize_mu_;
+
+  mutable std::atomic<long long> base_calls_{0};
+  mutable std::atomic<long long> rows_built_{0};
+  mutable std::atomic<long long> lookups_{0};
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_DISTANCE_CACHE_H_

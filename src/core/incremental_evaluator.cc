@@ -1,0 +1,185 @@
+#include "core/incremental_evaluator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace diverse {
+
+IncrementalEvaluator::IncrementalEvaluator(SolutionState* state)
+    : IncrementalEvaluator(state, Options()) {}
+
+IncrementalEvaluator::IncrementalEvaluator(SolutionState* state,
+                                           Options options)
+    : state_(state), options_(options) {
+  DIVERSE_CHECK(state != nullptr);
+}
+
+double IncrementalEvaluator::GainOfAdd(int u) const {
+  add_gain_queries_.fetch_add(1, std::memory_order_relaxed);
+  return state_->AddGain(u);
+}
+
+double IncrementalEvaluator::GainOfPrimeAdd(int u) const {
+  add_gain_queries_.fetch_add(1, std::memory_order_relaxed);
+  return state_->PrimeGain(u);
+}
+
+double IncrementalEvaluator::GainOfRemove(int u) const {
+  remove_gain_queries_.fetch_add(1, std::memory_order_relaxed);
+  return state_->RemoveGain(u);
+}
+
+double IncrementalEvaluator::GainOfSwap(int out, int in) const {
+  swap_gain_queries_.fetch_add(1, std::memory_order_relaxed);
+  return state_->SwapGain(out, in);
+}
+
+ScoredCandidate IncrementalEvaluator::BestAddOver(
+    std::span<const int> candidates) const {
+  batch_scans_.fetch_add(1, std::memory_order_relaxed);
+  return ParallelArgmax(candidates, options_.num_threads,
+                        options_.parallel_grain, candidates_scored_,
+                        [this](int e, double* gain) {
+                          if (state_->Contains(e)) return false;
+                          *gain = state_->AddGain(e);
+                          return true;
+                        });
+}
+
+ScoredCandidate IncrementalEvaluator::BestPrimeAddOver(
+    std::span<const int> candidates) const {
+  batch_scans_.fetch_add(1, std::memory_order_relaxed);
+  return ParallelArgmax(candidates, options_.num_threads,
+                        options_.parallel_grain, candidates_scored_,
+                        [this](int e, double* gain) {
+                          if (state_->Contains(e)) return false;
+                          *gain = state_->PrimeGain(e);
+                          return true;
+                        });
+}
+
+ScoredCandidate IncrementalEvaluator::BestDensityAddOver(
+    std::span<const int> candidates, std::span<const double> costs,
+    double budget_left, double cost_floor) const {
+  batch_scans_.fetch_add(1, std::memory_order_relaxed);
+  return ParallelArgmax(
+      candidates, options_.num_threads, options_.parallel_grain,
+      candidates_scored_, [&](int e, double* gain) {
+        if (state_->Contains(e)) return false;
+        if (costs[e] > budget_left + 1e-12) return false;
+        *gain = state_->PrimeGain(e) / std::max(costs[e], cost_floor);
+        return true;
+      });
+}
+
+template <typename Fn>
+auto IncrementalEvaluator::WithQualityRemoved(int out, Fn&& fn) const {
+  SetFunctionEvaluator* eval = state_->eval_.get();
+  eval->Remove(out);
+  auto result = fn(*eval);
+  eval->Add(out);
+  return result;
+}
+
+ScoredCandidate IncrementalEvaluator::BestSwapInFor(
+    int out, std::span<const int> ins) const {
+  DIVERSE_DCHECK(state_->Contains(out));
+  batch_scans_.fetch_add(1, std::memory_order_relaxed);
+  const double lambda = state_->lambda();
+  const MetricSpace& metric = state_->problem().metric();
+  const double dist_out = state_->DistanceToSet(out);
+  return WithQualityRemoved(out, [&](const SetFunctionEvaluator& eval) {
+    const double f_out = eval.Gain(out);  // f(S) - f(S - out)
+    return ParallelArgmax(
+        ins, options_.num_threads, options_.parallel_grain,
+        candidates_scored_, [&](int in, double* gain) {
+          if (in == out || state_->Contains(in)) return false;
+          *gain = (eval.Gain(in) - f_out) +
+                  lambda * (state_->DistanceToSet(in) -
+                            metric.Distance(in, out) - dist_out);
+          return true;
+        });
+  });
+}
+
+BestSwapResult IncrementalEvaluator::BestSwapOver(
+    std::span<const int> outs, std::span<const int> ins) const {
+  BestSwapResult best;
+  for (int out : outs) {
+    const ScoredCandidate in = BestSwapInFor(out, ins);
+    if (!in.valid()) continue;
+    if (!best.valid() || in.gain > best.gain) {
+      best = {out, in.element, in.gain};
+    }
+  }
+  return best;
+}
+
+void IncrementalEvaluator::ScoreSwapsFor(int out, std::span<const int> ins,
+                                         std::span<double> gains) const {
+  DIVERSE_DCHECK(state_->Contains(out));
+  DIVERSE_CHECK(gains.size() == ins.size());
+  batch_scans_.fetch_add(1, std::memory_order_relaxed);
+  const double lambda = state_->lambda();
+  const MetricSpace& metric = state_->problem().metric();
+  const double dist_out = state_->DistanceToSet(out);
+  WithQualityRemoved(out, [&](const SetFunctionEvaluator& eval) {
+    const double f_out = eval.Gain(out);
+    ParallelScore(ins, options_.num_threads, options_.parallel_grain,
+                  candidates_scored_, gains, [&](int in, double* gain) {
+                    if (in == out || state_->Contains(in)) return false;
+                    *gain = (eval.Gain(in) - f_out) +
+                            lambda * (state_->DistanceToSet(in) -
+                                      metric.Distance(in, out) - dist_out);
+                    return true;
+                  });
+    return 0;
+  });
+}
+
+double IncrementalEvaluator::BlockPrimeAddGain(
+    std::span<const int> block) const {
+  add_gain_queries_.fetch_add(static_cast<long long>(block.size()),
+                              std::memory_order_relaxed);
+  SetFunctionEvaluator* eval = state_->eval_.get();
+  double f_gain = 0.0;
+  for (int b : block) {
+    DIVERSE_DCHECK(!state_->Contains(b));
+    f_gain += eval->Gain(b);
+    eval->Add(b);
+  }
+  for (int b : block) eval->Remove(b);
+  const MetricSpace& metric = state_->problem().metric();
+  double dist = 0.0;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    dist += state_->DistanceToSet(block[i]);  // d(b_i, S)
+    for (std::size_t j = i + 1; j < block.size(); ++j) {
+      dist += metric.Distance(block[i], block[j]);
+    }
+  }
+  return 0.5 * f_gain + state_->lambda() * dist;
+}
+
+std::span<const int> IncrementalEvaluator::Universe() const {
+  if (static_cast<int>(universe_.size()) != state_->universe_size()) {
+    universe_.resize(state_->universe_size());
+    std::iota(universe_.begin(), universe_.end(), 0);
+  }
+  return universe_;
+}
+
+IncrementalEvaluator::Stats IncrementalEvaluator::stats() const {
+  Stats stats;
+  stats.add_gain_queries = add_gain_queries_.load(std::memory_order_relaxed);
+  stats.remove_gain_queries =
+      remove_gain_queries_.load(std::memory_order_relaxed);
+  stats.swap_gain_queries = swap_gain_queries_.load(std::memory_order_relaxed);
+  stats.batch_scans = batch_scans_.load(std::memory_order_relaxed);
+  stats.candidates_scored =
+      candidates_scored_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace diverse

@@ -1,0 +1,232 @@
+// Deterministic thread-parallel argmax scans over candidate lists.
+//
+// The batched candidate-scoring hot loops (greedy steps, swap scans, edge
+// scans) all reduce to "score every candidate, keep the best". These
+// helpers chunk the candidate range over std::thread workers and merge the
+// per-worker bests with a fixed tie-break (earlier candidate position
+// wins), so results are bit-identical regardless of thread count — a
+// requirement for the randomized equivalence tests.
+//
+// Score callables must be safe for concurrent invocation: they may only
+// perform const reads of shared state (dist-to-set arrays, metric lookups,
+// const SetFunctionEvaluator::Gain queries).
+#ifndef DIVERSE_CORE_PARALLEL_SCAN_H_
+#define DIVERSE_CORE_PARALLEL_SCAN_H_
+
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace diverse {
+
+// Result of an argmax scan over single candidates.
+struct ScoredCandidate {
+  int element = -1;
+  double gain = 0.0;
+  bool valid() const { return element >= 0; }
+};
+
+// Result of an argmax scan over ordered candidate pairs.
+struct ScoredPair {
+  int first = -1;
+  int second = -1;
+  double gain = 0.0;
+  bool valid() const { return first >= 0; }
+};
+
+// Worker count for `count` scored items: one worker per `grain` items,
+// capped at `num_threads` (0 = hardware concurrency).
+inline int PlanScanThreads(std::size_t count, int num_threads,
+                           std::size_t grain) {
+  if (grain == 0) grain = 1;
+  int hw = num_threads > 0
+               ? num_threads
+               : static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) hw = 1;
+  const std::size_t wanted = (count + grain - 1) / grain;
+  if (wanted < static_cast<std::size_t>(hw)) hw = static_cast<int>(wanted);
+  return hw < 1 ? 1 : hw;
+}
+
+// Argmax of score(e) over `candidates`. `score(e, &gain)` returns false to
+// skip a candidate (members, over-budget elements). Ties keep the earliest
+// candidate position, matching a sequential first-wins scan. `scored`
+// accumulates the number of scored candidates (relaxed; profiling only).
+template <typename Score>
+ScoredCandidate ParallelArgmax(std::span<const int> candidates,
+                               int num_threads, std::size_t grain,
+                               std::atomic<long long>& scored, Score&& score) {
+  struct Local {
+    ScoredCandidate best;
+    std::size_t position = 0;
+    long long count = 0;
+  };
+  auto scan = [&score](std::span<const int> part, std::size_t offset) {
+    Local local;
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      double gain = 0.0;
+      if (!score(part[i], &gain)) continue;
+      ++local.count;
+      if (!local.best.valid() || gain > local.best.gain) {
+        local.best = {part[i], gain};
+        local.position = offset + i;
+      }
+    }
+    return local;
+  };
+
+  const int threads = PlanScanThreads(candidates.size(), num_threads, grain);
+  std::vector<Local> locals(threads);
+  if (threads <= 1) {
+    locals[0] = scan(candidates, 0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const std::size_t chunk = (candidates.size() + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end = std::min(begin + chunk, candidates.size());
+      if (begin >= end) break;
+      workers.emplace_back([&, t, begin, end] {
+        locals[t] = scan(candidates.subspan(begin, end - begin), begin);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  ScoredCandidate best;
+  std::size_t best_position = 0;
+  long long total = 0;
+  for (const Local& local : locals) {
+    total += local.count;
+    if (!local.best.valid()) continue;
+    if (!best.valid() || local.best.gain > best.gain ||
+        (local.best.gain == best.gain && local.position < best_position)) {
+      best = local.best;
+      best_position = local.position;
+    }
+  }
+  scored.fetch_add(total, std::memory_order_relaxed);
+  return best;
+}
+
+// Fills out[i] with score(candidates[i]) or -infinity for skipped
+// candidates. Same concurrency contract as ParallelArgmax.
+template <typename Score>
+void ParallelScore(std::span<const int> candidates, int num_threads,
+                   std::size_t grain, std::atomic<long long>& scored,
+                   std::span<double> out, Score&& score) {
+  constexpr double kSkipped = -std::numeric_limits<double>::infinity();
+  auto scan = [&score, out](std::span<const int> part, std::size_t offset) {
+    long long count = 0;
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      double gain = 0.0;
+      if (score(part[i], &gain)) {
+        out[offset + i] = gain;
+        ++count;
+      } else {
+        out[offset + i] = kSkipped;
+      }
+    }
+    return count;
+  };
+
+  const int threads = PlanScanThreads(candidates.size(), num_threads, grain);
+  long long total = 0;
+  if (threads <= 1) {
+    total = scan(candidates, 0);
+  } else {
+    std::vector<std::thread> workers;
+    std::vector<long long> counts(threads, 0);
+    workers.reserve(threads);
+    const std::size_t chunk = (candidates.size() + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end = std::min(begin + chunk, candidates.size());
+      if (begin >= end) break;
+      workers.emplace_back([&, t, begin, end] {
+        counts[t] = scan(candidates.subspan(begin, end - begin), begin);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (long long c : counts) total += c;
+  }
+  scored.fetch_add(total, std::memory_order_relaxed);
+}
+
+// Argmax of score(a, b) over all ordered pairs (items[i], items[j]), i < j.
+// Workers take strided first-indices so the triangular workload stays
+// balanced. Ties keep the lexicographically earliest (i, j).
+template <typename Score>
+ScoredPair ParallelArgmaxPairs(std::span<const int> items, int num_threads,
+                               std::size_t grain,
+                               std::atomic<long long>& scored, Score&& score) {
+  struct Local {
+    ScoredPair best;
+    std::size_t pos_i = 0;
+    std::size_t pos_j = 0;
+    long long count = 0;
+  };
+  const std::size_t m = items.size();
+  auto scan = [&score, items, m](std::size_t start, std::size_t stride) {
+    Local local;
+    for (std::size_t i = start; i + 1 < m; i += stride) {
+      for (std::size_t j = i + 1; j < m; ++j) {
+        const double gain = score(items[i], items[j]);
+        ++local.count;
+        if (!local.best.valid() || gain > local.best.gain) {
+          local.best = {items[i], items[j], gain};
+          local.pos_i = i;
+          local.pos_j = j;
+        }
+      }
+    }
+    return local;
+  };
+
+  // Pair scans are quadratic in m; plan threads against the pair count.
+  const std::size_t pairs = m >= 2 ? m * (m - 1) / 2 : 0;
+  const int threads = PlanScanThreads(pairs, num_threads, grain);
+  std::vector<Local> locals(threads);
+  if (threads <= 1) {
+    locals[0] = scan(0, 1);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        locals[t] = scan(static_cast<std::size_t>(t),
+                         static_cast<std::size_t>(threads));
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  ScoredPair best;
+  std::size_t best_i = 0;
+  std::size_t best_j = 0;
+  long long total = 0;
+  for (const Local& local : locals) {
+    total += local.count;
+    if (!local.best.valid()) continue;
+    const bool better =
+        !best.valid() || local.best.gain > best.gain ||
+        (local.best.gain == best.gain &&
+         (local.pos_i < best_i || (local.pos_i == best_i && local.pos_j < best_j)));
+    if (better) {
+      best = local.best;
+      best_i = local.pos_i;
+      best_j = local.pos_j;
+    }
+  }
+  scored.fetch_add(total, std::memory_order_relaxed);
+  return best;
+}
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_PARALLEL_SCAN_H_

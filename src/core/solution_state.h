@@ -93,6 +93,10 @@ class SolutionState {
   void Assign(const std::vector<int>& set);
 
  private:
+  // The batched oracle hoists quality-evaluator repositioning out of its
+  // parallel swap scans (core/incremental_evaluator.h).
+  friend class IncrementalEvaluator;
+
   void RebuildFrom(const std::vector<int>& members);
 
   const DiversificationProblem* problem_;

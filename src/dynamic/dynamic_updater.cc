@@ -27,7 +27,7 @@ int RequiredUpdatesForWeightDecrease(int p, double solution_weight,
 DynamicUpdater::DynamicUpdater(const DiversificationProblem* problem,
                                ModularFunction* weights, DenseMetric* metric,
                                std::vector<int> initial_solution)
-    : state_(problem), weights_(weights), metric_(metric) {
+    : state_(problem), eval_(&state_), weights_(weights), metric_(metric) {
   DIVERSE_CHECK(weights != nullptr);
   DIVERSE_CHECK(metric != nullptr);
   DIVERSE_CHECK_MSG(&problem->quality() == weights,
@@ -57,23 +57,10 @@ void DynamicUpdater::Apply(const Perturbation& perturbation) {
 }
 
 bool DynamicUpdater::ObliviousUpdate() {
-  const int n = state_.universe_size();
-  int best_out = -1;
-  int best_in = -1;
-  double best_gain = 1e-12;
-  for (int out : state_.members()) {
-    for (int in = 0; in < n; ++in) {
-      if (state_.Contains(in)) continue;
-      const double gain = state_.SwapGain(out, in);
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_out = out;
-        best_in = in;
-      }
-    }
-  }
-  if (best_out < 0) return false;
-  state_.Swap(best_out, best_in);
+  const BestSwapResult best =
+      eval_.BestSwapOver(state_.members(), eval_.Universe());
+  if (!best.valid() || best.gain <= 1e-12) return false;
+  state_.Swap(best.out, best.in);
   ++total_swaps_;
   return true;
 }

@@ -19,6 +19,10 @@ class MetricSpace {
 
   // Distance between elements u and v; symmetric, non-negative, zero iff
   // conceptually identical. Both indices must be in [0, size()).
+  // Must be safe for concurrent calls while the metric is not being
+  // mutated (the parallel scans in core/ read distances from worker
+  // threads); core/distance_cache.h wraps expensive implementations in
+  // contiguous storage under the same interface.
   virtual double Distance(int u, int v) const = 0;
 };
 

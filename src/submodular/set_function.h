@@ -16,6 +16,11 @@ namespace diverse {
 
 // Incremental evaluator positioned at a current set S (initially empty).
 // Elements are indices into the ground set of the owning SetFunction.
+//
+// Thread-safety contract: the const queries (value(), Gain()) must be safe
+// for concurrent calls at a fixed S — the batched candidate scans in
+// core/incremental_evaluator.h issue Gain() from worker threads. Mutators
+// (Add/Remove/Reset) require exclusive access.
 class SetFunctionEvaluator {
  public:
   virtual ~SetFunctionEvaluator() = default;

@@ -1,0 +1,141 @@
+#include "core/distance_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "metric/euclidean_metric.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+EuclideanMetric MakeRandomPoints(int n, int dim, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points(n, std::vector<double>(dim));
+  for (auto& point : points) {
+    for (double& x : point) x = rng.Uniform(0.0, 10.0);
+  }
+  return EuclideanMetric(std::move(points));
+}
+
+TEST(DistanceCacheTest, DenseModeAgreesWithRawMetric) {
+  const EuclideanMetric base = MakeRandomPoints(40, 3, 1);
+  const DistanceCache cache(&base);
+  ASSERT_TRUE(cache.dense());
+  EXPECT_EQ(cache.size(), 40);
+  for (int u = 0; u < 40; ++u) {
+    for (int v = 0; v < 40; ++v) {
+      EXPECT_DOUBLE_EQ(cache.Distance(u, v), base.Distance(u, v))
+          << "(" << u << ", " << v << ")";
+    }
+  }
+}
+
+TEST(DistanceCacheTest, DenseModeQueriesEachPairOnce) {
+  const EuclideanMetric base = MakeRandomPoints(30, 2, 2);
+  const DistanceCache cache(&base);
+  const long long pairs = 30 * 29 / 2;
+  EXPECT_EQ(cache.stats().base_distance_calls, pairs);
+  // Lookups never go back to the base.
+  for (int u = 0; u < 30; ++u) {
+    for (int v = 0; v < 30; ++v) (void)cache.Distance(u, v);
+  }
+  EXPECT_EQ(cache.stats().base_distance_calls, pairs);
+  EXPECT_EQ(cache.stats().lookups, 30 * 30);
+}
+
+TEST(DistanceCacheTest, LazyModeAgreesWithRawMetric) {
+  const EuclideanMetric base = MakeRandomPoints(50, 3, 3);
+  DistanceCache::Options options;
+  options.dense_threshold = 10;  // force lazy rows
+  const DistanceCache cache(&base, options);
+  ASSERT_FALSE(cache.dense());
+  for (int u = 0; u < 50; ++u) {
+    for (int v = 0; v < 50; ++v) {
+      EXPECT_DOUBLE_EQ(cache.Distance(u, v), base.Distance(u, v));
+    }
+  }
+}
+
+TEST(DistanceCacheTest, LazyModeMaterializesOnlyTouchedRows) {
+  const EuclideanMetric base = MakeRandomPoints(64, 2, 4);
+  DistanceCache::Options options;
+  options.dense_threshold = 8;
+  const DistanceCache cache(&base, options);
+  EXPECT_EQ(cache.stats().rows_materialized, 0);
+  (void)cache.Distance(5, 9);
+  EXPECT_TRUE(cache.RowMaterialized(5));
+  EXPECT_FALSE(cache.RowMaterialized(9));
+  EXPECT_EQ(cache.stats().rows_materialized, 1);
+  EXPECT_EQ(cache.stats().base_distance_calls, 64);
+  // The mirrored entry is served from row 5 without building row 9.
+  EXPECT_DOUBLE_EQ(cache.Distance(9, 5), base.Distance(9, 5));
+  EXPECT_FALSE(cache.RowMaterialized(9));
+  EXPECT_EQ(cache.stats().rows_materialized, 1);
+}
+
+TEST(DistanceCacheTest, LazyModeConcurrentReadersAgree) {
+  const EuclideanMetric base = MakeRandomPoints(48, 3, 5);
+  DistanceCache::Options options;
+  options.dense_threshold = 4;
+  const DistanceCache cache(&base, options);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int u = t; u < 48; u += 4) {
+        for (int v = 0; v < 48; ++v) {
+          if (cache.Distance(u, v) != base.Distance(u, v)) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cache.stats().rows_materialized, 48);
+}
+
+TEST(DistanceCacheTest, RefreshPicksUpBaseMutation) {
+  Rng rng(6);
+  Dataset data = MakeUniformSynthetic(12, rng);
+  DistanceCache cache(&data.metric);
+  const double before = cache.Distance(2, 7);
+  data.metric.SetDistance(2, 7, 1.75);
+  EXPECT_DOUBLE_EQ(cache.Distance(2, 7), before);  // snapshot semantics
+  cache.Refresh(2, 7);
+  EXPECT_DOUBLE_EQ(cache.Distance(2, 7), 1.75);
+  EXPECT_DOUBLE_EQ(cache.Distance(7, 2), 1.75);
+}
+
+TEST(DistanceCacheTest, InvalidateDropsEverything) {
+  Rng rng(7);
+  Dataset data = MakeUniformSynthetic(20, rng);
+  // Exercise both modes.
+  for (std::size_t threshold : {std::size_t{64}, std::size_t{4}}) {
+    DistanceCache::Options options;
+    options.dense_threshold = threshold;
+    DistanceCache cache(&data.metric, options);
+    (void)cache.Distance(1, 2);
+    data.metric.SetDistance(1, 2, 1.5);
+    data.metric.SetDistance(3, 4, 1.25);
+    cache.Invalidate();
+    EXPECT_DOUBLE_EQ(cache.Distance(1, 2), 1.5);
+    EXPECT_DOUBLE_EQ(cache.Distance(3, 4), 1.25);
+    data.metric.SetDistance(1, 2, 1.9);  // restore-ish for next loop
+  }
+}
+
+TEST(DistanceCacheTest, ZeroDiagonal) {
+  const EuclideanMetric base = MakeRandomPoints(10, 2, 8);
+  const DistanceCache cache(&base);
+  for (int u = 0; u < 10; ++u) EXPECT_DOUBLE_EQ(cache.Distance(u, u), 0.0);
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,389 @@
+// Randomized equivalence suite for the incremental evaluation subsystem:
+// every batched gain the IncrementalEvaluator reports must equal the
+// corresponding brute-force DiversificationProblem::Objective delta to
+// 1e-9, with the parallel scan paths forced on.
+#include "core/incremental_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "algorithms/batch_greedy.h"
+#include "algorithms/greedy_edge.h"
+#include "algorithms/greedy_vertex.h"
+#include "algorithms/group_diversification.h"
+#include "algorithms/knapsack_greedy.h"
+#include "algorithms/local_search.h"
+#include "algorithms/streaming.h"
+#include "core/diversification_problem.h"
+#include "core/solution_state.h"
+#include "data/synthetic.h"
+#include "dynamic/dynamic_updater.h"
+#include "dynamic/perturbation.h"
+#include "matroid/uniform_matroid.h"
+#include "submodular/coverage_function.h"
+#include "submodular/modular_function.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+// Forces the thread-parallel scan paths even at test-sized n.
+IncrementalEvaluator::Options ForcedThreads() {
+  IncrementalEvaluator::Options options;
+  options.num_threads = 4;
+  options.parallel_grain = 1;
+  return options;
+}
+
+// phi(S + v) - phi(S) via two from-scratch evaluations.
+double BruteAddDelta(const DiversificationProblem& problem,
+                     const std::vector<int>& members, int v) {
+  std::vector<int> extended = members;
+  extended.push_back(v);
+  return problem.Objective(extended) - problem.Objective(members);
+}
+
+double BruteRemoveDelta(const DiversificationProblem& problem,
+                        const std::vector<int>& members, int v) {
+  std::vector<int> reduced;
+  for (int u : members) {
+    if (u != v) reduced.push_back(u);
+  }
+  return problem.Objective(reduced) - problem.Objective(members);
+}
+
+double BruteSwapDelta(const DiversificationProblem& problem,
+                      const std::vector<int>& members, int out, int in) {
+  std::vector<int> swapped;
+  for (int u : members) {
+    if (u != out) swapped.push_back(u);
+  }
+  swapped.push_back(in);
+  return problem.Objective(swapped) - problem.Objective(members);
+}
+
+struct Instance {
+  Dataset data;
+  ModularFunction weights;
+  DiversificationProblem problem;
+
+  Instance(int n, double lambda, std::uint64_t seed, Rng&& rng)
+      : data(MakeUniformSynthetic(n, rng)),
+        weights(data.weights),
+        problem(&data.metric, &weights, lambda) {
+    (void)seed;
+  }
+  Instance(int n, double lambda, std::uint64_t seed)
+      : Instance(n, lambda, seed, Rng(seed)) {}
+};
+
+class EvaluatorFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvaluatorFuzz, GainsMatchBruteForceDeltasUnderRandomMutations) {
+  Rng rng(GetParam());
+  Instance inst(14, 0.3, GetParam() * 7 + 1);
+  SolutionState state(&inst.problem);
+  const IncrementalEvaluator eval(&state, ForcedThreads());
+  for (int step = 0; step < 120; ++step) {
+    const int v = rng.UniformInt(0, 13);
+    if (state.Contains(v) && state.size() > 1 && state.size() < 14 &&
+        rng.Uniform() < 0.3) {
+      // Randomized swap with some non-member.
+      int in = rng.UniformInt(0, 13);
+      while (state.Contains(in)) in = rng.UniformInt(0, 13);
+      EXPECT_NEAR(eval.GainOfSwap(v, in),
+                  BruteSwapDelta(inst.problem, state.members(), v, in), 1e-9);
+      state.Swap(v, in);
+    } else if (state.Contains(v)) {
+      EXPECT_NEAR(eval.GainOfRemove(v),
+                  BruteRemoveDelta(inst.problem, state.members(), v), 1e-9);
+      state.Remove(v);
+    } else {
+      EXPECT_NEAR(eval.GainOfAdd(v),
+                  BruteAddDelta(inst.problem, state.members(), v), 1e-9);
+      state.Add(v);
+    }
+    EXPECT_NEAR(eval.Objective(), inst.problem.Objective(state.members()),
+                1e-9);
+  }
+  const IncrementalEvaluator::Stats stats = eval.stats();
+  EXPECT_GT(stats.add_gain_queries + stats.swap_gain_queries, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorFuzz, ::testing::Range(1, 11));
+
+TEST(IncrementalEvaluatorTest, BestAddOverMatchesSequentialArgmax) {
+  Instance inst(40, 0.25, 21);
+  SolutionState state(&inst.problem);
+  const IncrementalEvaluator eval(&state, ForcedThreads());
+  for (int v : {3, 11, 27}) state.Add(v);
+  const ScoredCandidate best = eval.BestAddOver(eval.Universe());
+  int expected = -1;
+  double expected_gain = 0.0;
+  for (int u = 0; u < 40; ++u) {
+    if (state.Contains(u)) continue;
+    const double gain = BruteAddDelta(inst.problem, state.members(), u);
+    if (expected < 0 || gain > expected_gain) {
+      expected = u;
+      expected_gain = gain;
+    }
+  }
+  EXPECT_EQ(best.element, expected);
+  EXPECT_NEAR(best.gain, expected_gain, 1e-9);
+}
+
+TEST(IncrementalEvaluatorTest, BestPrimeAddOverMatchesStatePrimeGain) {
+  Instance inst(30, 0.4, 22);
+  SolutionState state(&inst.problem);
+  const IncrementalEvaluator eval(&state, ForcedThreads());
+  for (int v : {1, 5}) state.Add(v);
+  const ScoredCandidate best = eval.BestPrimeAddOver(eval.Universe());
+  int expected = -1;
+  double expected_gain = 0.0;
+  for (int u = 0; u < 30; ++u) {
+    if (state.Contains(u)) continue;
+    const double gain = state.PrimeGain(u);
+    if (expected < 0 || gain > expected_gain) {
+      expected = u;
+      expected_gain = gain;
+    }
+  }
+  EXPECT_EQ(best.element, expected);
+  EXPECT_NEAR(best.gain, expected_gain, 1e-12);
+}
+
+TEST(IncrementalEvaluatorTest, SwapScansMatchBruteForceDeltas) {
+  Instance inst(25, 0.35, 23);
+  SolutionState state(&inst.problem);
+  const IncrementalEvaluator eval(&state, ForcedThreads());
+  for (int v : {2, 9, 17, 21}) state.Add(v);
+  std::vector<double> gains(25);
+  for (int out : {2, 9, 17, 21}) {
+    eval.ScoreSwapsFor(out, eval.Universe(), gains);
+    for (int in = 0; in < 25; ++in) {
+      if (state.Contains(in) || in == out) {
+        EXPECT_EQ(gains[in], -std::numeric_limits<double>::infinity());
+        continue;
+      }
+      EXPECT_NEAR(gains[in],
+                  BruteSwapDelta(inst.problem, state.members(), out, in),
+                  1e-9)
+          << "swap " << out << " -> " << in;
+    }
+    const ScoredCandidate best = eval.BestSwapInFor(out, eval.Universe());
+    ASSERT_TRUE(best.valid());
+    EXPECT_NEAR(best.gain, *std::max_element(gains.begin(), gains.end()),
+                1e-12);
+  }
+  // BestSwapOver agrees with the max over all (out, in) pairs.
+  const BestSwapResult best =
+      eval.BestSwapOver(state.members(), eval.Universe());
+  ASSERT_TRUE(best.valid());
+  double expected = -std::numeric_limits<double>::infinity();
+  for (int out : state.members()) {
+    for (int in = 0; in < 25; ++in) {
+      if (state.Contains(in)) continue;
+      expected = std::max(
+          expected, BruteSwapDelta(inst.problem, state.members(), out, in));
+    }
+  }
+  EXPECT_NEAR(best.gain, expected, 1e-9);
+}
+
+TEST(IncrementalEvaluatorTest, SwapScansWorkWithSubmodularQuality) {
+  Rng rng(24);
+  Dataset data = MakeUniformSynthetic(12, rng);
+  std::vector<std::vector<int>> covers(12);
+  for (auto& cv : covers) {
+    cv = rng.SampleWithoutReplacement(8, rng.UniformInt(1, 4));
+  }
+  const CoverageFunction coverage(covers, std::vector<double>(8, 1.0));
+  const DiversificationProblem problem(&data.metric, &coverage, 0.3);
+  SolutionState state(&problem);
+  const IncrementalEvaluator eval(&state, ForcedThreads());
+  for (int v : {0, 4, 8}) state.Add(v);
+  const double objective_before = state.objective();
+  std::vector<double> gains(12);
+  for (int out : {0, 4, 8}) {
+    eval.ScoreSwapsFor(out, eval.Universe(), gains);
+    for (int in = 0; in < 12; ++in) {
+      if (state.Contains(in) || in == out) continue;
+      EXPECT_NEAR(gains[in],
+                  BruteSwapDelta(problem, state.members(), out, in), 1e-9);
+    }
+  }
+  // The hoisted quality-evaluator repositioning must leave no net change.
+  EXPECT_DOUBLE_EQ(state.objective(), objective_before);
+  EXPECT_NEAR(state.quality_value(), coverage.Value(state.members()), 1e-9);
+}
+
+TEST(IncrementalEvaluatorTest, BestDensityAddOverRespectsBudgetAndCosts) {
+  Instance inst(20, 0.2, 25);
+  Rng rng(26);
+  std::vector<double> costs(20);
+  for (double& c : costs) c = rng.Uniform(0.5, 2.0);
+  SolutionState state(&inst.problem);
+  const IncrementalEvaluator eval(&state, ForcedThreads());
+  state.Add(4);
+  const double budget_left = 1.4;
+  const ScoredCandidate best =
+      eval.BestDensityAddOver(eval.Universe(), costs, budget_left);
+  int expected = -1;
+  double expected_density = 0.0;
+  for (int u = 0; u < 20; ++u) {
+    if (state.Contains(u)) continue;
+    if (costs[u] > budget_left + 1e-12) continue;
+    const double density = state.PrimeGain(u) / std::max(costs[u], 1e-12);
+    if (expected < 0 || density > expected_density) {
+      expected = u;
+      expected_density = density;
+    }
+  }
+  EXPECT_EQ(best.element, expected);
+  if (expected >= 0) EXPECT_NEAR(best.gain, expected_density, 1e-12);
+  // An empty budget admits nothing.
+  EXPECT_FALSE(eval.BestDensityAddOver(eval.Universe(), costs, 0.0).valid());
+}
+
+TEST(IncrementalEvaluatorTest, BlockPrimeAddGainMatchesFromScratch) {
+  Instance inst(15, 0.3, 27);
+  SolutionState state(&inst.problem);
+  const IncrementalEvaluator eval(&state, ForcedThreads());
+  for (int v : {0, 7}) state.Add(v);
+  const std::vector<int> block = {2, 5, 11};
+  std::vector<int> extended = state.members();
+  extended.insert(extended.end(), block.begin(), block.end());
+  const double f_gain = inst.problem.quality().Value(extended) -
+                        inst.problem.quality().Value(state.members());
+  double dist = 0.0;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    dist += state.DistanceToSet(block[i]);
+    for (std::size_t j = i + 1; j < block.size(); ++j) {
+      dist += inst.data.metric.Distance(block[i], block[j]);
+    }
+  }
+  const double expected = 0.5 * f_gain + inst.problem.lambda() * dist;
+  EXPECT_NEAR(eval.BlockPrimeAddGain(block), expected, 1e-9);
+  // No net state change.
+  EXPECT_NEAR(state.objective(), inst.problem.Objective(state.members()),
+              1e-9);
+}
+
+TEST(IncrementalEvaluatorTest, ScanResultsIndependentOfThreadCount) {
+  Instance inst(60, 0.3, 28);
+  SolutionState seq_state(&inst.problem);
+  SolutionState par_state(&inst.problem);
+  IncrementalEvaluator::Options sequential;
+  sequential.num_threads = 1;
+  const IncrementalEvaluator seq(&seq_state, sequential);
+  const IncrementalEvaluator par(&par_state, ForcedThreads());
+  for (int v : {10, 20, 30}) {
+    seq_state.Add(v);
+    par_state.Add(v);
+  }
+  const ScoredCandidate a = seq.BestAddOver(seq.Universe());
+  const ScoredCandidate b = par.BestAddOver(par.Universe());
+  EXPECT_EQ(a.element, b.element);
+  EXPECT_EQ(a.gain, b.gain);  // bit-identical, not just close
+  const BestSwapResult sa = seq.BestSwapOver(seq_state.members(),
+                                             seq.Universe());
+  const BestSwapResult sb = par.BestSwapOver(par_state.members(),
+                                             par.Universe());
+  EXPECT_EQ(sa.out, sb.out);
+  EXPECT_EQ(sa.in, sb.in);
+  EXPECT_EQ(sa.gain, sb.gain);
+}
+
+// The rewired algorithms must report objectives that equal a from-scratch
+// evaluation of the sets they return.
+class RewiredAlgorithmsFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewiredAlgorithmsFuzz, ReportedObjectivesMatchFromScratch) {
+  const int seed = GetParam();
+  Instance inst(24, 0.1 * (seed % 5) + 0.05, seed * 13 + 3);
+
+  const AlgorithmResult greedy = GreedyVertex(inst.problem, {.p = 6});
+  EXPECT_NEAR(greedy.objective, inst.problem.Objective(greedy.elements),
+              1e-9);
+
+  const AlgorithmResult greedy_pair =
+      GreedyVertex(inst.problem, {.p = 6, .best_first_pair = true});
+  EXPECT_NEAR(greedy_pair.objective,
+              inst.problem.Objective(greedy_pair.elements), 1e-9);
+  EXPECT_GE(greedy_pair.objective + 1e-9, 0.0);
+
+  for (int p : {5, 6}) {  // odd p exercises the final-vertex path
+    const AlgorithmResult edge = GreedyEdge(
+        inst.problem, inst.weights, {.p = p, .best_last_vertex = true});
+    EXPECT_EQ(static_cast<int>(edge.elements.size()), p);
+    EXPECT_NEAR(edge.objective, inst.problem.Objective(edge.elements), 1e-9);
+  }
+
+  const AlgorithmResult batch =
+      BatchGreedy(inst.problem, {.p = 6, .batch = 2});
+  EXPECT_NEAR(batch.objective, inst.problem.Objective(batch.elements), 1e-9);
+
+  const UniformMatroid matroid(24, 5);
+  const AlgorithmResult ls = LocalSearch(inst.problem, matroid, {});
+  EXPECT_NEAR(ls.objective, inst.problem.Objective(ls.elements), 1e-9);
+
+  Rng rng(seed);
+  std::vector<double> costs(24);
+  for (double& c : costs) c = rng.Uniform(0.2, 1.5);
+  KnapsackOptions knapsack;
+  knapsack.costs = costs;
+  knapsack.budget = 3.0;
+  knapsack.seed_size = 1;
+  const AlgorithmResult ks = KnapsackGreedy(inst.problem, knapsack);
+  EXPECT_NEAR(ks.objective, inst.problem.Objective(ks.elements), 1e-9);
+
+  GroupOptions group;
+  group.p = 3;
+  group.k = 2;
+  const GroupResult groups = GroupGreedy(inst.problem, group);
+  EXPECT_NEAR(groups.objective, GroupObjective(inst.problem, groups.groups),
+              1e-9);
+
+  StreamingDiversifier streaming(&inst.problem, 5);
+  std::vector<int> stream(24);
+  for (int i = 0; i < 24; ++i) stream[i] = i;
+  rng.Shuffle(&stream);
+  streaming.ObserveAll(stream);
+  EXPECT_NEAR(streaming.objective(),
+              inst.problem.Objective(streaming.current()), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewiredAlgorithmsFuzz, ::testing::Range(1, 9));
+
+// The dynamic-update path: random perturbations + oblivious updates keep
+// the incremental objective equal to a from-scratch evaluation.
+class DynamicPathFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DynamicPathFuzz, UpdaterObjectiveMatchesFromScratch) {
+  Rng rng(GetParam() * 31 + 5);
+  Dataset data = MakeUniformSynthetic(16, rng);
+  ModularFunction weights(data.weights);
+  DiversificationProblem problem(&data.metric, &weights, 0.4);
+  const AlgorithmResult initial = GreedyVertex(problem, {.p = 5});
+  DynamicUpdater updater(&problem, &weights, &data.metric, initial.elements);
+  for (int step = 0; step < 40; ++step) {
+    const Perturbation perturbation =
+        rng.Uniform() < 0.5
+            ? RandomWeightPerturbation(weights, rng, 0.0, 1.0)
+            : RandomDistancePerturbation(data.metric, rng, 1.0, 2.0);
+    updater.ApplyAndUpdate(perturbation);
+    EXPECT_NEAR(updater.objective(), problem.Objective(updater.solution()),
+                1e-9)
+        << "after step " << step << " (" << ToString(perturbation.type)
+        << ")";
+  }
+  EXPECT_GE(updater.total_swaps(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicPathFuzz, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace diverse
