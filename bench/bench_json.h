@@ -27,7 +27,14 @@ class BenchJson {
   }
 
   BenchJson& Add(const std::string& key, const std::string& value) {
-    records_.back().emplace_back(key, "\"" + Escaped(value) + "\"");
+    // Built with append() rather than operator+ chains: GCC 12's -O3
+    // -Wrestrict false-positives on the latter.
+    std::string quoted;
+    quoted.reserve(value.size() + 2);
+    quoted.push_back('"');
+    quoted.append(Escaped(value));
+    quoted.push_back('"');
+    records_.back().emplace_back(key, std::move(quoted));
     return *this;
   }
 
@@ -44,18 +51,22 @@ class BenchJson {
   }
 
   std::string ToString() const {
-    std::string out = "{\n  \"bench\": \"" + Escaped(bench_name_) +
-                      "\",\n  \"records\": [\n";
+    std::string out = "{\n  \"bench\": \"";
+    out.append(Escaped(bench_name_));
+    out.append("\",\n  \"records\": [\n");
     for (std::size_t r = 0; r < records_.size(); ++r) {
-      out += "    {";
+      out.append("    {");
       for (std::size_t f = 0; f < records_[r].size(); ++f) {
-        if (f > 0) out += ", ";
-        out += "\"" + Escaped(records_[r][f].first) +
-               "\": " + records_[r][f].second;
+        if (f > 0) out.append(", ");
+        out.push_back('"');
+        out.append(Escaped(records_[r][f].first));
+        out.append("\": ");
+        out.append(records_[r][f].second);
       }
-      out += r + 1 < records_.size() ? "},\n" : "}\n";
+      out.append(r + 1 < records_.size() ? "},\n" : "}\n");
     }
-    return out + "  ]\n}\n";
+    out.append("  ]\n}\n");
+    return out;
   }
 
   // Writes BENCH_<name>.json into the working directory; reports the path

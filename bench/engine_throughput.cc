@@ -1,0 +1,187 @@
+// Closed-loop throughput of the serving engine: one-query-at-a-time
+// baseline (RunSync on the caller thread) vs. the batched worker pool at
+// several pool sizes, and the sharded execution plan at several shard
+// counts — all under a mixed query/update workload (an update epoch every
+// --update_every queries). Emits BENCH_engine.json.
+//
+// The headline record is speedup_vs_sync for pooled_w4: the acceptance
+// target is >= 2x on multi-core CI hardware (a single-core container
+// reports ~1x by construction).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "data/synthetic.h"
+#include "engine/engine.h"
+#include "engine/workload.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace diverse {
+namespace {
+
+struct RunConfig {
+  std::string name;
+  int workers = 1;       // pool size; 0 workers = sync baseline
+  int shards = 0;        // > 0: sharded plan
+  int max_batch = 8;
+};
+
+struct RunOutcome {
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  long long batches = 0;
+};
+
+RunOutcome RunOnce(const Dataset& data, const RunConfig& config, int queries,
+                   int p, double lambda, int update_every,
+                   std::uint64_t seed) {
+  engine::DiversificationEngine::Options options;
+  options.num_workers = std::max(config.workers, 1);
+  options.max_batch = config.max_batch;
+  Dataset copy = data;  // fresh corpus per run; runs stay independent
+  engine::DiversificationEngine server(copy.weights, std::move(copy.metric),
+                                       lambda, options);
+  const int n = data.size();
+
+  Rng rng(seed);
+  engine::SyntheticQueryConfig query_config;
+  query_config.p = p;
+  query_config.universe = n;
+  query_config.sharded = config.shards > 0;
+  query_config.num_shards = config.shards;
+  std::vector<engine::Query> trace;
+  trace.reserve(queries);
+  for (int i = 0; i < queries; ++i) {
+    trace.push_back(engine::MakeSyntheticQuery(query_config, rng));
+  }
+
+  int epoch = 0;
+  auto maybe_update = [&](int i) {
+    if (update_every <= 0 || i == 0 || i % update_every != 0) return;
+    server.ApplyUpdates(
+        engine::MakeSyntheticEpoch(n, /*churn=*/false, epoch++, rng));
+  };
+
+  WallTimer wall;
+  std::vector<double> latencies;
+  latencies.reserve(queries);
+  if (config.workers == 0) {
+    for (int i = 0; i < queries; ++i) {
+      maybe_update(i);
+      latencies.push_back(server.RunSync(trace[i]).latency_seconds);
+    }
+  } else {
+    std::vector<std::future<engine::QueryResult>> futures;
+    futures.reserve(queries);
+    for (int i = 0; i < queries; ++i) {
+      maybe_update(i);
+      futures.push_back(server.Submit(trace[i]));
+    }
+    for (auto& future : futures) {
+      latencies.push_back(future.get().latency_seconds);
+    }
+  }
+
+  RunOutcome outcome;
+  outcome.wall_seconds = wall.Seconds();
+  outcome.qps = queries / outcome.wall_seconds;
+  outcome.p50_ms = Percentile(latencies, 0.50) * 1e3;
+  outcome.p99_ms = Percentile(latencies, 0.99) * 1e3;
+  outcome.batches = server.stats().batches;
+  return outcome;
+}
+
+int RunBench(int n, int p, int queries, int update_every,
+             std::uint64_t seed) {
+  if (queries < 1 || n < 2) {
+    std::fprintf(stderr, "error: need --queries >= 1 and --n >= 2\n");
+    return 1;
+  }
+  Rng rng(seed);
+  const Dataset data = MakeUniformSynthetic(n, rng);
+  const double lambda = 0.2;
+
+  std::vector<RunConfig> configs;
+  configs.push_back({.name = "sync", .workers = 0});
+  for (int workers : {1, 2, 4}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "pooled_w%d", workers);
+    configs.push_back({.name = name, .workers = workers});
+  }
+  for (int shards : {2, 4}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "sharded_w4_s%d", shards);
+    configs.push_back({.name = name, .workers = 4, .shards = shards});
+  }
+
+  bench::BenchJson json("engine");
+  double sync_qps = 0.0;
+  double pooled4_speedup = 0.0;
+  for (const RunConfig& config : configs) {
+    const RunOutcome outcome =
+        RunOnce(data, config, queries, p, lambda, update_every, seed + 1);
+    if (config.name == "sync") sync_qps = outcome.qps;
+    const double speedup = sync_qps > 0.0 ? outcome.qps / sync_qps : 0.0;
+    if (config.name == "pooled_w4") pooled4_speedup = speedup;
+    json.NewRecord(config.name)
+        .Add("n", static_cast<long long>(n))
+        .Add("p", static_cast<long long>(p))
+        .Add("queries", static_cast<long long>(queries))
+        .Add("update_every", static_cast<long long>(update_every))
+        .Add("workers", static_cast<long long>(config.workers))
+        .Add("shards", static_cast<long long>(config.shards))
+        .Add("wall_seconds", outcome.wall_seconds)
+        .Add("qps", outcome.qps)
+        .Add("p50_ms", outcome.p50_ms)
+        .Add("p99_ms", outcome.p99_ms)
+        .Add("batches", outcome.batches)
+        .Add("speedup_vs_sync", speedup);
+    std::printf("%-16s workers=%d shards=%d  %8.1f qps  p50 %6.3f ms  "
+                "p99 %6.3f ms  %5.2fx vs sync\n",
+                config.name.c_str(), config.workers, config.shards,
+                outcome.qps, outcome.p50_ms, outcome.p99_ms, speedup);
+  }
+  std::printf("\npooled_w4 speedup vs sync: %.2fx (target >= 2x on "
+              "multi-core hardware)\n",
+              pooled4_speedup);
+  json.WriteFile();
+  return 0;
+}
+
+}  // namespace
+}  // namespace diverse
+
+int main(int argc, char** argv) {
+  int n = 1500;
+  int p = 12;
+  int queries = 120;
+  int update_every = 10;
+  std::int64_t seed = 1;
+  bool quick = false;
+  diverse::FlagSet flags(
+      "engine_throughput — closed-loop serving throughput: sync baseline "
+      "vs batched worker pool vs sharded plan, mixed query/update load");
+  flags.AddInt("n", &n, "corpus size");
+  flags.AddInt("p", &p, "subset size per query");
+  flags.AddInt("queries", &queries, "queries per configuration");
+  flags.AddInt("update_every", &update_every,
+               "publish an update epoch every K queries (0 = none)");
+  flags.AddInt64("seed", &seed, "random seed");
+  flags.AddBool("quick", &quick, "small sizes for smoke runs");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (quick) {
+    n = std::min(n, 400);
+    queries = std::min(queries, 30);
+  }
+  return diverse::RunBench(n, p, queries, update_every,
+                           static_cast<std::uint64_t>(seed));
+}

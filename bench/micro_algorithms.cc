@@ -38,7 +38,7 @@ struct Shared {
   ModularFunction weights;
   DiversificationProblem problem;
 
-  Shared(int n, double lambda, std::uint64_t seed, Rng&& rng)
+  Shared(int n, double lambda, std::uint64_t /*seed*/, Rng&& rng)
       : data(MakeUniformSynthetic(n, rng)),
         weights(data.weights),
         problem(&data.metric, &weights, lambda) {}

@@ -54,10 +54,9 @@ int main() {
     const int swaps = updater.ApplyAndUpdate(perturbation);
     std::cout << "  step " << step << ": " << diverse::ToString(
                      perturbation.type)
-              << " on " << perturbation.u
-              << (perturbation.v >= 0 ? "," + std::to_string(perturbation.v)
-                                      : "")
-              << "  -> " << (swaps > 0 ? "swapped" : "kept")
+              << " on " << perturbation.u;
+    if (perturbation.v >= 0) std::cout << ',' << perturbation.v;
+    std::cout << "  -> " << (swaps > 0 ? "swapped" : "kept")
               << ", phi = " << updater.objective() << "\n";
   }
   std::cout << "\nFinal panel:";

@@ -7,12 +7,20 @@
 // kernel solution and the best single-shard solution (the standard
 // composable-core-set safeguard).
 //
+// Shard assignment is a pure hash of (salt, element id), so a given seed
+// reproduces the same partition no matter how the universe is ordered or
+// how candidate lists were built — the property the serving engine's
+// sharded execution plan (src/engine) relies on for results that are
+// independent of worker-pool size.
+//
 // No worst-case guarantee is claimed here (that is the cited follow-up
 // work); tests and bench/ablation_distributed measure empirical quality
 // against the sequential algorithm.
 #ifndef DIVERSE_ALGORITHMS_DISTRIBUTED_H_
 #define DIVERSE_ALGORITHMS_DISTRIBUTED_H_
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "algorithms/result.h"
@@ -23,16 +31,38 @@ namespace diverse {
 
 struct DistributedOptions {
   int p = 0;
-  // Number of shards ("machines"); universe elements are assigned randomly.
+  // Number of shards ("machines"); elements are assigned by a seed-derived
+  // hash, deterministically given the Rng seed.
   int num_shards = 4;
   // Elements each shard returns; defaults to p when <= 0.
   int per_shard = 0;
 };
 
+// Shard id in [0, num_shards) for `element` under `salt` — a pure function
+// (SplitMix64 finalizer), independent of universe size and ordering.
+int ShardOf(std::uint64_t salt, int element, int num_shards);
+
+// Partitions `candidates` into num_shards lists by ShardOf, preserving the
+// candidates' relative order within each shard. Shards may be empty.
+std::vector<std::vector<int>> AssignShards(std::span<const int> candidates,
+                                           int num_shards, std::uint64_t salt);
+
 // Runs Greedy B restricted to `candidates` (exposed for reuse/testing).
+// Scans run through the batched incremental evaluator; ties keep the
+// earliest candidate position, matching GreedyVertex on the full universe.
 AlgorithmResult GreedyVertexOnCandidates(const DiversificationProblem& problem,
                                          const std::vector<int>& candidates,
                                          int p);
+
+// The two-round scheme over an explicit candidate pool: hash-partition with
+// `salt`, Greedy B per shard (per_shard <= 0 defaults to p), union the
+// local solutions into a kernel, Greedy B on the kernel, and return the
+// better of the kernel solution and the best truncated local solution.
+// Deterministic given (candidates, p, num_shards, per_shard, salt).
+AlgorithmResult ShardedGreedy(const DiversificationProblem& problem,
+                              std::span<const int> candidates, int p,
+                              int num_shards, int per_shard,
+                              std::uint64_t salt);
 
 AlgorithmResult DistributedGreedy(const DiversificationProblem& problem,
                                   const DistributedOptions& options,

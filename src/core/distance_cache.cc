@@ -67,7 +67,7 @@ bool DistanceCache::RowMaterialized(int u) const {
   return ready_[u].load(std::memory_order_acquire);
 }
 
-void DistanceCache::Refresh(int u, int v) {
+void DistanceCache::RefreshOne(int u, int v) {
   DIVERSE_CHECK(0 <= u && u < n_);
   DIVERSE_CHECK(0 <= v && v < n_);
   if (u == v) return;
@@ -83,17 +83,28 @@ void DistanceCache::Refresh(int u, int v) {
   if (ready_[v].load(std::memory_order_relaxed)) rows_[v][u] = d;
 }
 
+void DistanceCache::Refresh(int u, int v) {
+  RefreshOne(u, v);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void DistanceCache::RefreshMany(std::span<const std::pair<int, int>> pairs) {
+  for (const auto& [u, v] : pairs) RefreshOne(u, v);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
 void DistanceCache::Invalidate() {
   if (dense_) {
     MaterializeDense();
-    return;
+  } else {
+    std::lock_guard<std::mutex> lock(materialize_mu_);
+    for (int u = 0; u < n_; ++u) {
+      ready_[u].store(false, std::memory_order_release);
+      rows_[u].clear();
+      rows_[u].shrink_to_fit();
+    }
   }
-  std::lock_guard<std::mutex> lock(materialize_mu_);
-  for (int u = 0; u < n_; ++u) {
-    ready_[u].store(false, std::memory_order_release);
-    rows_[u].clear();
-    rows_[u].shrink_to_fit();
-  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 DistanceCache::Stats DistanceCache::stats() const {

@@ -22,8 +22,11 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "metric/metric_space.h"
@@ -61,13 +64,31 @@ class DistanceCache : public MetricSpace {
   // touches storage that is already materialized.
   void Refresh(int u, int v);
 
+  // Batch Refresh: re-pulls every listed pair in one pass, bumping
+  // version() once — an epoch's worth of base-metric perturbations
+  // applied as a single logical update for long-lived caches over
+  // mutable metrics. (The engine's Corpus keeps per-snapshot DenseMetric
+  // copies instead; this hook serves cache-over-mutable-metric setups
+  // like the §6 perturbation studies.)
+  void RefreshMany(std::span<const std::pair<int, int>> pairs);
+
   // Drops all cached values. Dense mode re-materializes eagerly.
   void Invalidate();
+
+  // Monotone counter, bumped by Refresh/RefreshMany/Invalidate. Layers
+  // that derive state from cached distances compare it against the
+  // version they materialized from to detect staleness without
+  // re-reading the matrix.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   Stats stats() const;
 
  private:
   void MaterializeDense();
+  // Refresh without the version bump (shared by Refresh/RefreshMany).
+  void RefreshOne(int u, int v);
   // Returns the row for u, building it under the lock on first touch.
   const double* LazyRow(int u) const;
 
@@ -82,6 +103,7 @@ class DistanceCache : public MetricSpace {
   mutable std::unique_ptr<std::atomic<bool>[]> ready_;
   mutable std::mutex materialize_mu_;
 
+  std::atomic<std::uint64_t> version_{0};
   mutable std::atomic<long long> base_calls_{0};
   mutable std::atomic<long long> rows_built_{0};
   mutable std::atomic<long long> lookups_{0};

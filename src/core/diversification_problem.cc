@@ -24,4 +24,14 @@ double DiversificationProblem::DispersionTerm(std::span<const int> set) const {
   return lambda_ * SumPairwise(*metric_, set);
 }
 
+DiversificationProblem DiversificationProblem::WithQuality(
+    const SetFunction* quality) const {
+  return DiversificationProblem(metric_, quality, lambda_);
+}
+
+DiversificationProblem DiversificationProblem::WithLambda(
+    double lambda) const {
+  return DiversificationProblem(metric_, quality_, lambda);
+}
+
 }  // namespace diverse

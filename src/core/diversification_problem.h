@@ -33,6 +33,12 @@ class DiversificationProblem {
   // The dispersion part alone: lambda * d(S).
   double DispersionTerm(std::span<const int> set) const;
 
+  // Snapshot/serving hooks (src/engine): cheap per-query problem views
+  // that share this problem's metric. `quality` must match the metric's
+  // ground size and outlive the returned problem.
+  DiversificationProblem WithQuality(const SetFunction* quality) const;
+  DiversificationProblem WithLambda(double lambda) const;
+
  private:
   const MetricSpace* metric_;
   const SetFunction* quality_;

@@ -216,7 +216,8 @@ ScoredPair ParallelArgmaxPairs(std::span<const int> items, int num_threads,
     const bool better =
         !best.valid() || local.best.gain > best.gain ||
         (local.best.gain == best.gain &&
-         (local.pos_i < best_i || (local.pos_i == best_i && local.pos_j < best_j)));
+         (local.pos_i < best_i ||
+          (local.pos_i == best_i && local.pos_j < best_j)));
     if (better) {
       best = local.best;
       best_i = local.pos_i;

@@ -1,0 +1,167 @@
+#include "engine/corpus.h"
+
+#include <utility>
+
+#include "core/distance_cache.h"
+#include "util/check.h"
+
+namespace diverse {
+namespace engine {
+
+CorpusUpdate CorpusUpdate::SetWeight(int u, double w) {
+  CorpusUpdate update;
+  update.kind = Kind::kSetWeight;
+  update.u = u;
+  update.value = w;
+  return update;
+}
+
+CorpusUpdate CorpusUpdate::SetDistance(int u, int v, double d) {
+  CorpusUpdate update;
+  update.kind = Kind::kSetDistance;
+  update.u = u;
+  update.v = v;
+  update.value = d;
+  return update;
+}
+
+CorpusUpdate CorpusUpdate::Insert(double weight,
+                                  std::vector<double> distances) {
+  CorpusUpdate update;
+  update.kind = Kind::kInsert;
+  update.value = weight;
+  update.distances = std::move(distances);
+  return update;
+}
+
+CorpusUpdate CorpusUpdate::Erase(int u) {
+  CorpusUpdate update;
+  update.kind = Kind::kErase;
+  update.u = u;
+  return update;
+}
+
+CorpusUpdate CorpusUpdate::FromPerturbation(const Perturbation& p) {
+  switch (p.type) {
+    case PerturbationType::kWeightIncrease:
+    case PerturbationType::kWeightDecrease:
+      return SetWeight(p.u, p.new_value);
+    case PerturbationType::kDistanceIncrease:
+    case PerturbationType::kDistanceDecrease:
+      return SetDistance(p.u, p.v, p.new_value);
+  }
+  DIVERSE_CHECK_MSG(false, "unknown perturbation type");
+}
+
+CorpusSnapshot::CorpusSnapshot(std::uint64_t version,
+                               std::vector<double> weights,
+                               std::shared_ptr<const DenseMetric> metric,
+                               std::vector<char> alive, double lambda)
+    : version_(version),
+      weights_(std::move(weights)),
+      metric_(std::move(metric)),
+      alive_(std::move(alive)),
+      problem_(metric_.get(), &weights_, lambda) {
+  const int n = weights_.ground_size();
+  DIVERSE_CHECK(metric_->size() == n);
+  DIVERSE_CHECK(static_cast<int>(alive_.size()) == n);
+  candidates_.reserve(n);
+  for (int id = 0; id < n; ++id) {
+    if (alive_[id]) candidates_.push_back(id);
+  }
+}
+
+Corpus::Corpus(std::vector<double> weights, DenseMetric metric,
+               double lambda)
+    : weights_(std::move(weights)),
+      metric_(std::make_shared<const DenseMetric>(std::move(metric))),
+      alive_(weights_.size(), 1),
+      lambda_(lambda) {
+  DIVERSE_CHECK(metric_->size() == static_cast<int>(weights_.size()));
+  DIVERSE_CHECK(lambda_ >= 0.0);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  current_.store(Build(), std::memory_order_release);
+}
+
+Corpus Corpus::FromBaseMetric(const MetricSpace& base,
+                              std::vector<double> weights, double lambda) {
+  // The cache's eager dense mode pulls each unordered pair from the base
+  // metric exactly once; Materialize then reads back cached values only.
+  const DistanceCache cache(
+      &base, {.dense_threshold = static_cast<std::size_t>(base.size())});
+  return Corpus(std::move(weights), DenseMetric::Materialize(cache), lambda);
+}
+
+SnapshotPtr Corpus::Build() const {
+  return SnapshotPtr(new CorpusSnapshot(version_, weights_, metric_, alive_,
+                                        lambda_));
+}
+
+std::uint64_t Corpus::Apply(std::span<const CorpusUpdate> updates) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  int n = static_cast<int>(weights_.size());
+
+  // Published snapshots share `metric_`, so distance-mutating epochs work
+  // on a private copy — made exactly once per epoch, pre-grown to the
+  // epoch's final size so a batch of k inserts costs one O((n+k)^2) copy,
+  // not k of them.
+  int inserts = 0;
+  bool writes_distances = false;
+  for (const CorpusUpdate& update : updates) {
+    if (update.kind == CorpusUpdate::Kind::kInsert) ++inserts;
+    if (update.kind == CorpusUpdate::Kind::kSetDistance) {
+      writes_distances = true;
+    }
+  }
+  std::shared_ptr<DenseMetric> owned;
+  if (inserts > 0) {
+    owned = std::make_shared<DenseMetric>(n + inserts);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        owned->SetDistance(u, v, metric_->Distance(u, v));
+      }
+    }
+  } else if (writes_distances) {
+    owned = std::make_shared<DenseMetric>(*metric_);
+  }
+
+  for (const CorpusUpdate& update : updates) {
+    switch (update.kind) {
+      case CorpusUpdate::Kind::kSetWeight:
+        DIVERSE_CHECK(0 <= update.u && update.u < n);
+        DIVERSE_CHECK(update.value >= 0.0);
+        weights_[update.u] = update.value;
+        break;
+      case CorpusUpdate::Kind::kSetDistance:
+        DIVERSE_CHECK(0 <= update.u && update.u < n);
+        DIVERSE_CHECK(0 <= update.v && update.v < n);
+        owned->SetDistance(update.u, update.v, update.value);
+        break;
+      case CorpusUpdate::Kind::kInsert:
+        DIVERSE_CHECK_MSG(
+            static_cast<int>(update.distances.size()) == n,
+            "insert needs one distance per existing id");
+        DIVERSE_CHECK(update.value >= 0.0);
+        for (int u = 0; u < n; ++u) {
+          owned->SetDistance(u, n, update.distances[u]);
+        }
+        weights_.push_back(update.value);
+        alive_.push_back(1);
+        ++n;
+        break;
+      case CorpusUpdate::Kind::kErase:
+        DIVERSE_CHECK(0 <= update.u && update.u < n);
+        alive_[update.u] = 0;
+        break;
+    }
+  }
+  if (owned) metric_ = std::move(owned);
+
+  ++version_;
+  SnapshotPtr next = Build();
+  current_.store(next, std::memory_order_release);
+  return version_;
+}
+
+}  // namespace engine
+}  // namespace diverse

@@ -1,0 +1,148 @@
+// Snapshot-isolated corpus for the serving engine.
+//
+// A Corpus owns the mutable master copy of the served data — per-element
+// quality weights, the dense distance matrix, a liveness mask — and
+// publishes immutable, versioned CorpusSnapshots. The protocol is
+// epoch-based copy-on-write:
+//
+//   * readers (query workers) acquire the current snapshot with one atomic
+//     shared_ptr load and never take a lock; the snapshot pins every
+//     object a query touches for as long as the query runs;
+//   * writers serialize on a writer mutex, apply a batch of CorpusUpdates
+//     to the master copy, build the next snapshot, and publish it with one
+//     atomic store. In-flight queries keep reading the version they
+//     started on — pre- or post-update, never a torn mix.
+//
+// Weight-only epochs share the previous snapshot's distance matrix
+// (shared_ptr, O(n) to publish); distance/insert/erase epochs clone it
+// (O(n^2), writer-side only). Element ids are stable: Erase retires an id
+// (it stays out of candidates()) and Insert appends a fresh one.
+#ifndef DIVERSE_ENGINE_CORPUS_H_
+#define DIVERSE_ENGINE_CORPUS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/diversification_problem.h"
+#include "dynamic/perturbation.h"
+#include "metric/dense_metric.h"
+#include "metric/metric_space.h"
+#include "submodular/modular_function.h"
+
+namespace diverse {
+namespace engine {
+
+// One corpus mutation. Batches of these form an update epoch.
+struct CorpusUpdate {
+  enum class Kind {
+    kSetWeight,    // weight(u) <- value
+    kSetDistance,  // d(u, v) <- value (caller preserves metricity)
+    kInsert,       // append element with `value` as weight, `distances`
+                   // giving d(new, i) for every existing id i (dead ids
+                   // included; any non-negative filler works for them)
+    kErase,        // retire id u: excluded from candidates from now on
+  };
+
+  Kind kind = Kind::kSetWeight;
+  int u = -1;
+  int v = -1;
+  double value = 0.0;
+  std::vector<double> distances;  // kInsert only
+
+  static CorpusUpdate SetWeight(int u, double w);
+  static CorpusUpdate SetDistance(int u, int v, double d);
+  static CorpusUpdate Insert(double weight, std::vector<double> distances);
+  static CorpusUpdate Erase(int u);
+  // Bridges the paper-§6 dynamic machinery (dynamic/perturbation.h): a
+  // weight or distance perturbation becomes the equivalent corpus update.
+  static CorpusUpdate FromPerturbation(const Perturbation& perturbation);
+};
+
+// Immutable view of one corpus version. Address-stable (always held by
+// shared_ptr); the contained DiversificationProblem points at the
+// snapshot's own weights and metric.
+class CorpusSnapshot {
+ public:
+  std::uint64_t version() const { return version_; }
+  // Size of the id space (including retired ids).
+  int universe_size() const { return weights_.ground_size(); }
+  // Live element ids, ascending. The candidate pool every query draws
+  // from; retired ids never appear.
+  const std::vector<int>& candidates() const { return candidates_; }
+  bool alive(int id) const { return alive_[id]; }
+  bool has_retired() const {
+    return static_cast<int>(candidates_.size()) < universe_size();
+  }
+
+  const ModularFunction& weights() const { return weights_; }
+  const DenseMetric& metric() const { return *metric_; }
+  double lambda() const { return problem_.lambda(); }
+  // The base problem (corpus weights, corpus lambda). Per-query views are
+  // derived via the WithQuality/WithLambda hooks.
+  const DiversificationProblem& problem() const { return problem_; }
+
+ private:
+  friend class Corpus;
+  CorpusSnapshot(std::uint64_t version, std::vector<double> weights,
+                 std::shared_ptr<const DenseMetric> metric,
+                 std::vector<char> alive, double lambda);
+  CorpusSnapshot(const CorpusSnapshot&) = delete;
+  CorpusSnapshot& operator=(const CorpusSnapshot&) = delete;
+
+  std::uint64_t version_;
+  ModularFunction weights_;
+  std::shared_ptr<const DenseMetric> metric_;
+  std::vector<char> alive_;
+  std::vector<int> candidates_;
+  DiversificationProblem problem_;  // must follow weights_/metric_
+};
+
+using SnapshotPtr = std::shared_ptr<const CorpusSnapshot>;
+
+class Corpus {
+ public:
+  // Initial corpus; `metric` must be n x n for n = weights.size().
+  Corpus(std::vector<double> weights, DenseMetric metric, double lambda);
+
+  // Materializes `base` into the dense master copy through a DistanceCache
+  // (each unordered pair is pulled from the base metric exactly once),
+  // for corpora whose natural metric is expensive (graph, cosine, ...).
+  static Corpus FromBaseMetric(const MetricSpace& base,
+                               std::vector<double> weights, double lambda);
+
+  // Lock-free acquisition of the current version.
+  SnapshotPtr snapshot() const {
+    return current_.load(std::memory_order_acquire);
+  }
+  std::uint64_t version() const { return snapshot()->version(); }
+
+  // Applies one update epoch and publishes the next snapshot. Serializes
+  // with other writers; never blocks readers. Returns the new version.
+  std::uint64_t Apply(std::span<const CorpusUpdate> updates);
+  std::uint64_t Apply(const CorpusUpdate& update) {
+    return Apply(std::span<const CorpusUpdate>(&update, 1));
+  }
+
+ private:
+  SnapshotPtr Build() const;  // caller holds writer_mu_
+
+  mutable std::mutex writer_mu_;
+  // Master state, guarded by writer_mu_. The metric is shared with
+  // published snapshots; distance-mutating epochs clone before writing.
+  std::vector<double> weights_;
+  std::shared_ptr<const DenseMetric> metric_;
+  std::vector<char> alive_;
+  double lambda_;
+  std::uint64_t version_ = 0;
+
+  std::atomic<SnapshotPtr> current_;
+};
+
+}  // namespace engine
+}  // namespace diverse
+
+#endif  // DIVERSE_ENGINE_CORPUS_H_

@@ -1,0 +1,172 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/check.h"
+
+namespace diverse {
+namespace engine {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Query-shape contract, enforced on the submitting thread: a malformed
+// request must fail at its own call site, not abort a worker mid-batch
+// and take every other in-flight query down with it.
+void ValidateQuery(const Query& query) {
+  DIVERSE_CHECK_MSG(query.p >= 0, "query.p must be non-negative");
+  DIVERSE_CHECK_MSG(query.num_shards >= 0,
+                    "query.num_shards must be non-negative");
+  for (double r : query.relevance) {
+    DIVERSE_CHECK_MSG(r >= 0.0, "relevance scores must be non-negative");
+  }
+  if (query.plan == PlanKind::kSharded) {
+    DIVERSE_CHECK_MSG(query.algorithm == QueryAlgorithm::kGreedy,
+                      "sharded plan supports the greedy kernel only");
+  }
+  if (query.algorithm == QueryAlgorithm::kKnapsack) {
+    DIVERSE_CHECK_MSG(query.budget >= 0.0,
+                      "knapsack budget must be non-negative");
+    for (double c : query.costs) {
+      DIVERSE_CHECK_MSG(c >= 0.0, "knapsack costs must be non-negative");
+    }
+  }
+}
+
+}  // namespace
+
+DiversificationEngine::DiversificationEngine(std::vector<double> weights,
+                                             DenseMetric metric,
+                                             double lambda)
+    : DiversificationEngine(std::move(weights), std::move(metric), lambda,
+                            Options()) {}
+
+DiversificationEngine::DiversificationEngine(std::vector<double> weights,
+                                             DenseMetric metric,
+                                             double lambda, Options options)
+    : corpus_(std::move(weights), std::move(metric), lambda),
+      options_(options) {
+  DIVERSE_CHECK(options_.max_batch >= 1);
+  DIVERSE_CHECK(options_.default_num_shards >= 1);
+  plan_defaults_.num_shards = options_.default_num_shards;
+  int workers = options_.num_workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers < 1) workers = 1;
+  }
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+DiversificationEngine::~DiversificationEngine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<QueryResult> DiversificationEngine::Submit(Query query) {
+  ValidateQuery(query);
+  Job job;
+  job.query = std::move(query);
+  job.enqueued = std::chrono::steady_clock::now();
+  std::future<QueryResult> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    DIVERSE_CHECK_MSG(!stopping_, "Submit after engine shutdown");
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::vector<std::future<QueryResult>> DiversificationEngine::SubmitBatch(
+    std::vector<Query> queries) {
+  for (const Query& query : queries) ValidateQuery(query);
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(queries.size());
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    DIVERSE_CHECK_MSG(!stopping_, "SubmitBatch after engine shutdown");
+    for (Query& query : queries) {
+      Job job;
+      job.query = std::move(query);
+      job.enqueued = now;
+      futures.push_back(job.promise.get_future());
+      queue_.push_back(std::move(job));
+    }
+  }
+  queue_cv_.notify_all();
+  return futures;
+}
+
+QueryResult DiversificationEngine::RunSync(const Query& query) const {
+  ValidateQuery(query);
+  const auto start = std::chrono::steady_clock::now();
+  const SnapshotPtr snapshot = corpus_.snapshot();
+  snapshots_acquired_.fetch_add(1, std::memory_order_relaxed);
+  QueryResult result = ExecuteQuery(*snapshot, query, plan_defaults_);
+  result.latency_seconds = SecondsSince(start);
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+std::uint64_t DiversificationEngine::ApplyUpdates(
+    std::span<const CorpusUpdate> updates) {
+  const std::uint64_t version = corpus_.Apply(updates);
+  update_epochs_.fetch_add(1, std::memory_order_relaxed);
+  return version;
+}
+
+void DiversificationEngine::WorkerLoop() {
+  std::vector<Job> batch;
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      const int take = std::min<int>(options_.max_batch,
+                                     static_cast<int>(queue_.size()));
+      for (int i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    // One snapshot serves the whole batch: every job in it observes the
+    // same corpus version, and acquisition cost is amortized.
+    const SnapshotPtr snapshot = corpus_.snapshot();
+    snapshots_acquired_.fetch_add(1, std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    for (Job& job : batch) {
+      QueryResult result = ExecuteQuery(*snapshot, job.query, plan_defaults_);
+      result.latency_seconds = SecondsSince(job.enqueued);
+      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      job.promise.set_value(std::move(result));
+    }
+  }
+}
+
+DiversificationEngine::Stats DiversificationEngine::stats() const {
+  Stats stats;
+  stats.queries_served = queries_served_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.snapshots_acquired =
+      snapshots_acquired_.load(std::memory_order_relaxed);
+  stats.update_epochs = update_epochs_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace engine
+}  // namespace diverse

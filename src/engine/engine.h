@@ -1,0 +1,126 @@
+// DiversificationEngine — the long-lived concurrent serving layer.
+//
+// The engine owns a Corpus and a worker pool. Callers submit Queries and
+// get futures; workers drain the queue in batches (up to
+// Options::max_batch jobs per wakeup), acquire ONE corpus snapshot per
+// batch, and answer every job in the batch from that snapshot through the
+// execution plans. Batching amortizes snapshot acquisition and keeps the
+// corpus rows hot across consecutive queries; the per-batch snapshot is
+// also the consistency unit — every query in a batch observes the same
+// corpus version.
+//
+// Updates go through ApplyUpdates, which forwards to the corpus's
+// epoch/copy-on-write protocol: writers never block readers, and a query
+// that started on version v keeps reading v even while v+1 is published
+// mid-flight. The query hot path takes no lock on corpus data — only the
+// job-queue mutex, held for a pop.
+//
+// Determinism: results are a pure function of (corpus version, query) —
+// the same query answered on the same version returns the same elements
+// regardless of worker count, batch boundaries, or which worker ran it.
+#ifndef DIVERSE_ENGINE_ENGINE_H_
+#define DIVERSE_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "engine/corpus.h"
+#include "engine/execution_plan.h"
+#include "engine/query.h"
+#include "metric/dense_metric.h"
+
+namespace diverse {
+namespace engine {
+
+class DiversificationEngine {
+ public:
+  struct Options {
+    // Worker threads; 0 = hardware concurrency (at least 1).
+    int num_workers = 0;
+    // Jobs a worker drains per queue wakeup (one snapshot per batch).
+    int max_batch = 8;
+    // Default shard count for sharded-plan queries that leave it 0.
+    int default_num_shards = 4;
+  };
+
+  // Always-on counters.
+  struct Stats {
+    long long queries_served = 0;
+    long long batches = 0;            // worker wakeups that served >= 1 job
+    long long snapshots_acquired = 0; // == batches + sync queries
+    long long update_epochs = 0;
+  };
+
+  // The engine owns its corpus; `metric` must match weights.size().
+  DiversificationEngine(std::vector<double> weights, DenseMetric metric,
+                        double lambda);
+  DiversificationEngine(std::vector<double> weights, DenseMetric metric,
+                        double lambda, Options options);
+  // Drains outstanding queries, then joins the workers.
+  ~DiversificationEngine();
+
+  DiversificationEngine(const DiversificationEngine&) = delete;
+  DiversificationEngine& operator=(const DiversificationEngine&) = delete;
+
+  const Corpus& corpus() const { return corpus_; }
+
+  // Enqueues one query; the future resolves when a worker answers it.
+  // Query-shape contract violations (negative p, sharded plan with a
+  // non-greedy algorithm, negative knapsack budget/costs) CHECK-abort on
+  // the submitting thread, before the job can reach a worker.
+  std::future<QueryResult> Submit(Query query);
+  // Enqueues a batch under one queue lock; futures align with `queries`.
+  std::vector<std::future<QueryResult>> SubmitBatch(
+      std::vector<Query> queries);
+
+  // Answers on the caller's thread against the current snapshot — the
+  // one-query-at-a-time baseline the bench compares the pool against.
+  QueryResult RunSync(const Query& query) const;
+
+  // Applies one update epoch (insert / erase / set-weight / set-distance)
+  // and returns the published version. In-flight queries are unaffected.
+  std::uint64_t ApplyUpdates(std::span<const CorpusUpdate> updates);
+  std::uint64_t ApplyUpdate(const CorpusUpdate& update) {
+    return ApplyUpdates(std::span<const CorpusUpdate>(&update, 1));
+  }
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  Stats stats() const;
+
+ private:
+  struct Job {
+    Query query;
+    std::promise<QueryResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+
+  Corpus corpus_;
+  Options options_;
+  PlanDefaults plan_defaults_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  mutable std::atomic<long long> queries_served_{0};
+  mutable std::atomic<long long> batches_{0};
+  mutable std::atomic<long long> snapshots_acquired_{0};
+  std::atomic<long long> update_epochs_{0};
+};
+
+}  // namespace engine
+}  // namespace diverse
+
+#endif  // DIVERSE_ENGINE_ENGINE_H_

@@ -1,0 +1,37 @@
+// Pluggable execution plans: how one Query is answered on one snapshot.
+//
+// ExecuteQuery is a pure function of (snapshot, query): it builds the
+// per-query problem view (relevance + lambda rebinding via the
+// DiversificationProblem snapshot hooks), restricts every algorithm to the
+// snapshot's live candidates, and dispatches on the plan:
+//
+//   * kSingleNode — one batched incremental-evaluator run (Greedy B over
+//     candidates, matroid local search, or density knapsack greedy);
+//   * kSharded — the deterministic hash-partitioned two-round plan
+//     (algorithms/distributed.h), reusing GreedyVertexOnCandidates as the
+//     per-shard kernel and the composable-core-set safeguard as merge.
+//
+// Purity is what makes the engine's answers independent of worker-pool
+// size and of when the worker picked the job up within an epoch.
+#ifndef DIVERSE_ENGINE_EXECUTION_PLAN_H_
+#define DIVERSE_ENGINE_EXECUTION_PLAN_H_
+
+#include "engine/corpus.h"
+#include "engine/query.h"
+
+namespace diverse {
+namespace engine {
+
+struct PlanDefaults {
+  int num_shards = 4;  // used when query.num_shards == 0
+};
+
+// Answers `query` on `snapshot`. latency_seconds is the execution time
+// only; the engine overwrites it with queue-inclusive latency.
+QueryResult ExecuteQuery(const CorpusSnapshot& snapshot, const Query& query,
+                         const PlanDefaults& defaults = {});
+
+}  // namespace engine
+}  // namespace diverse
+
+#endif  // DIVERSE_ENGINE_EXECUTION_PLAN_H_

@@ -1,0 +1,49 @@
+#include "engine/workload.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace diverse {
+namespace engine {
+
+Query MakeSyntheticQuery(const SyntheticQueryConfig& config, Rng& rng) {
+  DIVERSE_CHECK(config.universe >= 1);
+  Query query;
+  query.p = config.p;
+  query.lambda = config.lambda;
+  query.relevance.resize(config.universe);
+  for (double& r : query.relevance) r = rng.Uniform(0.0, 1.0);
+  if (config.sharded) {
+    query.plan = PlanKind::kSharded;
+    query.num_shards = config.num_shards;
+    query.per_shard = config.per_shard;
+    query.shard_salt = rng.NextSeed();
+  }
+  return query;
+}
+
+std::vector<CorpusUpdate> MakeSyntheticEpoch(int universe, bool churn,
+                                             int epoch, Rng& rng) {
+  DIVERSE_CHECK(universe >= 2);
+  std::vector<CorpusUpdate> updates;
+  updates.push_back(CorpusUpdate::SetWeight(
+      rng.UniformInt(0, universe - 1), rng.Uniform(0.0, 1.0)));
+  const int u = rng.UniformInt(0, universe - 2);
+  updates.push_back(CorpusUpdate::SetDistance(
+      u, rng.UniformInt(u + 1, universe - 1), rng.Uniform(1.0, 2.0)));
+  if (churn && epoch % 3 == 0) {
+    std::vector<double> distances(universe);
+    for (double& d : distances) d = rng.Uniform(1.0, 2.0);
+    updates.push_back(
+        CorpusUpdate::Insert(rng.Uniform(0.0, 1.0), std::move(distances)));
+  }
+  if (churn && epoch % 3 == 1) {
+    updates.push_back(
+        CorpusUpdate::Erase(rng.UniformInt(0, universe - 1)));
+  }
+  return updates;
+}
+
+}  // namespace engine
+}  // namespace diverse

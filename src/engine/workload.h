@@ -1,0 +1,44 @@
+// Synthetic serving workloads shared by the trace drivers
+// (tools/engine_server_cli, bench/engine_throughput): per-user queries
+// with fresh U[0,1] relevance draws, and paper-§6-style update epochs
+// (weight + distance perturbations, optional insert/erase churn). Keeping
+// one builder guarantees both drivers replay the same workload shape for
+// the same parameters.
+#ifndef DIVERSE_ENGINE_WORKLOAD_H_
+#define DIVERSE_ENGINE_WORKLOAD_H_
+
+#include <vector>
+
+#include "engine/corpus.h"
+#include "engine/query.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace engine {
+
+struct SyntheticQueryConfig {
+  int p = 10;
+  // Per-query lambda override; negative = corpus default.
+  double lambda = -1.0;
+  // Relevance vector length (the corpus id-space size).
+  int universe = 0;
+  bool sharded = false;
+  int num_shards = 0;  // 0 = engine default
+  int per_shard = 0;   // 0 = p
+};
+
+// One synthetic user request; relevance ~ U[0,1]^universe. Sharded
+// queries draw a fresh shard salt from `rng`.
+Query MakeSyntheticQuery(const SyntheticQueryConfig& config, Rng& rng);
+
+// One synthetic update epoch against a live id space of size `universe`:
+// a weight reset and a distance reset (the [1,2] range keeps any metric
+// with [1,2] distances valid); with `churn`, every third epoch inserts a
+// fresh element and every third-plus-one retires one.
+std::vector<CorpusUpdate> MakeSyntheticEpoch(int universe, bool churn,
+                                             int epoch, Rng& rng);
+
+}  // namespace engine
+}  // namespace diverse
+
+#endif  // DIVERSE_ENGINE_WORKLOAD_H_

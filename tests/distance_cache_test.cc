@@ -137,5 +137,23 @@ TEST(DistanceCacheTest, ZeroDiagonal) {
   for (int u = 0; u < 10; ++u) EXPECT_DOUBLE_EQ(cache.Distance(u, u), 0.0);
 }
 
+TEST(DistanceCacheTest, RefreshManyAppliesBatchAndBumpsVersionOnce) {
+  Rng rng(9);
+  Dataset data = MakeUniformSynthetic(12, rng);
+  DistanceCache cache(&data.metric);
+  EXPECT_EQ(cache.version(), 0u);
+  data.metric.SetDistance(1, 4, 1.9);
+  data.metric.SetDistance(2, 5, 1.1);
+  const std::vector<std::pair<int, int>> pairs = {{1, 4}, {2, 5}};
+  cache.RefreshMany(pairs);
+  EXPECT_EQ(cache.version(), 1u);  // one epoch, one bump
+  EXPECT_DOUBLE_EQ(cache.Distance(1, 4), 1.9);
+  EXPECT_DOUBLE_EQ(cache.Distance(5, 2), 1.1);
+  cache.Refresh(1, 4);
+  EXPECT_EQ(cache.version(), 2u);
+  cache.Invalidate();
+  EXPECT_EQ(cache.version(), 3u);
+}
+
 }  // namespace
 }  // namespace diverse

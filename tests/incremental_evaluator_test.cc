@@ -243,7 +243,9 @@ TEST(IncrementalEvaluatorTest, BestDensityAddOverRespectsBudgetAndCosts) {
     }
   }
   EXPECT_EQ(best.element, expected);
-  if (expected >= 0) EXPECT_NEAR(best.gain, expected_density, 1e-12);
+  if (expected >= 0) {
+    EXPECT_NEAR(best.gain, expected_density, 1e-12);
+  }
   // An empty budget admits nothing.
   EXPECT_FALSE(eval.BestDensityAddOver(eval.Universe(), costs, 0.0).valid());
 }

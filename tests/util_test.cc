@@ -202,7 +202,7 @@ TEST(FlagsTest, DefaultsSurviveWhenUnset) {
 TEST(TimerTest, MeasuresNonNegativeTime) {
   WallTimer timer;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(timer.Seconds(), 0.0);
   EXPECT_GE(timer.Milliseconds(), timer.Seconds());  // ms >= s for t >= 0
 }

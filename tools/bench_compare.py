@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json perf artifacts against a baseline directory.
+
+The bench binaries (bench/bench_json.h) write flat BENCH_<name>.json files
+into their working directory. This script pairs every bench file found in
+--current with the file of the same name in --baseline, matches records by
+their "name" field, and prints a table of every shared numeric field with
+the current/baseline ratio — the seed-vs-current perf trajectory.
+
+Usage:
+  tools/bench_compare.py --baseline bench/baselines --current .
+  tools/bench_compare.py --baseline bench/baselines --current . \
+      --fields seconds,qps
+
+Exit status is always 0 unless inputs are unreadable: the table is a
+report, not a gate (CI hardware varies run to run).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_bench(path):
+    """Returns {record_name: [records...]} for one BENCH_*.json file.
+
+    Names are not unique (e.g. fig1's per-cell records all share one
+    name), so records are kept as ordered lists per name and later paired
+    positionally — the bench binaries emit them in a deterministic order.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    records = {}
+    for record in data.get("records", []):
+        name = record.get("name")
+        if name is None:
+            continue
+        records.setdefault(name, []).append(record)
+    return records
+
+
+def numeric_fields(record, allowed):
+    for key, value in record.items():
+        if key == "name" or isinstance(value, (bool, str)):
+            continue
+        if allowed and key not in allowed:
+            continue
+        yield key, value
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Print a baseline-vs-current table for BENCH_*.json")
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding baseline BENCH_*.json files")
+    parser.add_argument("--current", required=True,
+                        help="directory holding freshly produced files")
+    parser.add_argument("--fields", default="",
+                        help="comma-separated allowlist of fields to show "
+                             "(default: every numeric field)")
+    args = parser.parse_args()
+
+    allowed = {f for f in args.fields.split(",") if f}
+    try:
+        current_files = sorted(
+            f for f in os.listdir(args.current)
+            if f.startswith("BENCH_") and f.endswith(".json"))
+    except OSError as error:
+        print(f"error: cannot list {args.current}: {error}", file=sys.stderr)
+        return 1
+    if not current_files:
+        print(f"no BENCH_*.json files under {args.current}")
+        return 0
+
+    header = f"{'bench/record':44s} {'field':18s} " \
+             f"{'baseline':>12s} {'current':>12s} {'ratio':>7s}"
+    rows = []
+    fresh = []
+    for filename in current_files:
+        baseline_path = os.path.join(args.baseline, filename)
+        current = load_bench(os.path.join(args.current, filename))
+        if not os.path.exists(baseline_path):
+            fresh.append(filename)
+            continue
+        baseline = load_bench(baseline_path)
+        bench = filename[len("BENCH_"):-len(".json")]
+        for name, group in current.items():
+            base_group = baseline.get(name, [])
+            multiple = len(group) > 1 or len(base_group) > 1
+            for index, (record, base_record) in enumerate(
+                    zip(group, base_group)):
+                label = f"{bench}/{name}"
+                if multiple:
+                    label += f"[{index}]"
+                for field, value in numeric_fields(record, allowed):
+                    base_value = base_record.get(field)
+                    if isinstance(base_value, (bool, str)) \
+                            or base_value is None:
+                        continue
+                    if base_value:
+                        ratio = value / base_value
+                    else:
+                        ratio = 1.0 if not value else float("inf")
+                    rows.append(f"{label:44.44s} {field:18.18s} "
+                                f"{base_value:12.5g} {value:12.5g} "
+                                f"{ratio:7.2f}")
+
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(row)
+    if not rows:
+        print("(no overlapping records)")
+    if fresh:
+        print(f"\nnew benches with no baseline yet: {', '.join(fresh)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

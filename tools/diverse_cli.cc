@@ -14,6 +14,7 @@
 #include <string>
 
 #include "algorithms/brute_force.h"
+#include "algorithms/distributed.h"
 #include "algorithms/greedy_edge.h"
 #include "algorithms/greedy_vertex.h"
 #include "algorithms/local_search.h"
@@ -33,7 +34,7 @@ namespace {
 
 int RunCli(const std::string& input, int generate, const std::string& save,
            const std::string& algorithm, int p, double lambda, double mu,
-           std::uint64_t seed) {
+           int num_shards, int per_shard, std::uint64_t seed) {
   // ---- Data ---------------------------------------------------------------
   Rng rng(seed);
   Dataset data(0);
@@ -73,6 +74,14 @@ int RunCli(const std::string& input, int generate, const std::string& save,
     result = PartialEnumerationGreedy(problem, {.p = p, .seed_size = 2});
   } else if (algorithm == "mmr") {
     result = Mmr(problem, weights, {.p = p, .mu = mu});
+  } else if (algorithm == "distributed") {
+    if (num_shards < 1) {
+      std::cerr << "error: --num_shards must be >= 1\n";
+      return 1;
+    }
+    result = DistributedGreedy(
+        problem, {.p = p, .num_shards = num_shards, .per_shard = per_shard},
+        rng);
   } else if (algorithm == "random") {
     result = RandomSubset(problem, p, rng);
   } else if (algorithm == "exact") {
@@ -84,7 +93,7 @@ int RunCli(const std::string& input, int generate, const std::string& save,
   } else {
     std::cerr << "error: unknown algorithm '" << algorithm
               << "' (greedy | greedy_pair | greedy_edge | local_search | "
-                 "partial_enum | mmr | random | exact)\n";
+                 "partial_enum | mmr | distributed | random | exact)\n";
     return 1;
   }
 
@@ -116,6 +125,8 @@ int main(int argc, char** argv) {
   int p = 10;
   double lambda = 0.2;
   double mu = 0.5;
+  int num_shards = 4;
+  int per_shard = 0;
   std::int64_t seed = 1;
   diverse::FlagSet flags(
       "diverse_cli — max-sum diversification from the command line");
@@ -124,12 +135,17 @@ int main(int argc, char** argv) {
   flags.AddString("save", &save, "write the (possibly generated) dataset here");
   flags.AddString("algorithm", &algorithm,
                   "greedy | greedy_pair | greedy_edge | local_search | "
-                  "partial_enum | mmr | random | exact");
+                  "partial_enum | mmr | distributed | random | exact");
   flags.AddInt("p", &p, "number of elements to select");
   flags.AddDouble("lambda", &lambda, "quality/diversity trade-off");
   flags.AddDouble("mu", &mu, "MMR trade-off (only --algorithm=mmr)");
+  flags.AddInt("num_shards", &num_shards,
+               "shard count (only --algorithm=distributed)");
+  flags.AddInt("per_shard", &per_shard,
+               "elements per shard, 0 = p (only --algorithm=distributed)");
   flags.AddInt64("seed", &seed, "random seed");
   if (!flags.Parse(argc, argv)) return 1;
   return diverse::RunCli(input, generate, save, algorithm, p, lambda, mu,
+                         num_shards, per_shard,
                          static_cast<std::uint64_t>(seed));
 }

@@ -1,0 +1,184 @@
+// engine_server_cli — request-stream driver for the serving engine.
+//
+// Loads or generates a corpus, stands up a DiversificationEngine, replays
+// a mixed query/update trace against it, and reports throughput (QPS) and
+// submit-to-completion latency percentiles. Queries draw per-query
+// relevance vectors (a fresh "user" per request); every --update_every
+// queries the driver publishes an update epoch (weight + distance
+// perturbations in the paper-§6 style, plus occasional insert/erase when
+// --churn is set).
+//
+// Examples:
+//   engine_server_cli --generate=2000 --queries=200 --p=10 --workers=4
+//   engine_server_cli --generate=1000 --queries=100 --plan=sharded
+//       --shards=8 --update_every=10 --churn
+//   engine_server_cli --input=data.csv --queries=50 --sync
+#include <algorithm>
+#include <cstdint>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/csv_io.h"
+#include "data/synthetic.h"
+#include "engine/engine.h"
+#include "engine/workload.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace diverse {
+namespace {
+
+int RunServer(const std::string& input, int generate, int queries, int p,
+              double lambda, const std::string& plan, int shards,
+              int per_shard, int workers, int batch, int update_every,
+              bool churn, bool sync, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(0);
+  if (!input.empty()) {
+    auto loaded = LoadDatasetCsv(input);
+    if (!loaded) {
+      std::cerr << "error: cannot load dataset from '" << input << "'\n";
+      return 1;
+    }
+    data = std::move(*loaded);
+  } else if (generate > 0) {
+    data = MakeUniformSynthetic(generate, rng);
+  } else {
+    std::cerr << "error: provide --input=FILE or --generate=N\n";
+    return 1;
+  }
+  if (plan != "single" && plan != "sharded") {
+    std::cerr << "error: --plan must be single | sharded\n";
+    return 1;
+  }
+  if (queries < 1) {
+    std::cerr << "error: --queries must be >= 1\n";
+    return 1;
+  }
+  const int n = data.size();
+  p = std::min(p, n);
+
+  engine::DiversificationEngine::Options options;
+  options.num_workers = workers;
+  options.max_batch = batch;
+  options.default_num_shards = shards;
+  engine::DiversificationEngine server(data.weights, std::move(data.metric),
+                                       lambda, options);
+
+  // Pre-generate the trace so request construction stays off the clock.
+  engine::SyntheticQueryConfig query_config;
+  query_config.p = p;
+  query_config.lambda = lambda;
+  query_config.universe = n;
+  query_config.sharded = plan == "sharded";
+  query_config.num_shards = shards;
+  query_config.per_shard = per_shard;
+  std::vector<engine::Query> trace;
+  trace.reserve(queries);
+  for (int i = 0; i < queries; ++i) {
+    trace.push_back(engine::MakeSyntheticQuery(query_config, rng));
+  }
+  // Update epochs are built against the live universe size at publish
+  // time (churn grows the id space as the trace runs).
+  int epoch = 0;
+  auto maybe_update = [&](int i, std::uint64_t* last_version) {
+    if (update_every <= 0 || i == 0 || i % update_every != 0) return;
+    const int universe = server.corpus().snapshot()->universe_size();
+    *last_version = server.ApplyUpdates(
+        engine::MakeSyntheticEpoch(universe, churn, epoch++, rng));
+  };
+
+  WallTimer wall;
+  std::vector<double> latencies;
+  latencies.reserve(queries);
+  std::uint64_t last_version = 0;
+  if (sync) {
+    for (int i = 0; i < queries; ++i) {
+      maybe_update(i, &last_version);
+      latencies.push_back(server.RunSync(trace[i]).latency_seconds);
+    }
+  } else {
+    std::vector<std::future<engine::QueryResult>> futures;
+    futures.reserve(queries);
+    for (int i = 0; i < queries; ++i) {
+      maybe_update(i, &last_version);
+      futures.push_back(server.Submit(trace[i]));
+    }
+    for (auto& future : futures) {
+      latencies.push_back(future.get().latency_seconds);
+    }
+  }
+  const double elapsed = wall.Seconds();
+
+  const engine::DiversificationEngine::Stats stats = server.stats();
+  std::cout << "corpus n:        " << n << "\n"
+            << "mode:            " << (sync ? "sync" : "pooled") << "\n"
+            << "plan:            " << plan << "\n"
+            << "workers:         " << server.num_workers() << "\n"
+            << "max batch:       " << batch << "\n"
+            << "queries:         " << queries << "\n"
+            << "update epochs:   " << stats.update_epochs
+            << " (final version " << last_version << ")\n"
+            << "wall time:       " << elapsed * 1e3 << " ms\n"
+            << "throughput:      " << queries / elapsed << " qps\n"
+            << "latency p50:     " << Percentile(latencies, 0.50) * 1e3
+            << " ms\n"
+            << "latency p90:     " << Percentile(latencies, 0.90) * 1e3
+            << " ms\n"
+            << "latency p99:     " << Percentile(latencies, 0.99) * 1e3
+            << " ms\n"
+            << "batches:         " << stats.batches << "\n"
+            << "snapshots:       " << stats.snapshots_acquired << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace diverse
+
+int main(int argc, char** argv) {
+  std::string input;
+  int generate = 1000;
+  int queries = 100;
+  int p = 10;
+  double lambda = 0.2;
+  std::string plan = "single";
+  int shards = 4;
+  int per_shard = 0;
+  int workers = 0;
+  int batch = 8;
+  int update_every = 0;
+  bool churn = false;
+  bool sync = false;
+  std::int64_t seed = 1;
+  diverse::FlagSet flags(
+      "engine_server_cli — replay a query/update trace against the serving "
+      "engine and report QPS + latency percentiles");
+  flags.AddString("input", &input, "dataset CSV to load");
+  flags.AddInt("generate", &generate,
+               "generate a synthetic corpus of size N (default)");
+  flags.AddInt("queries", &queries, "number of queries to replay");
+  flags.AddInt("p", &p, "subset size per query");
+  flags.AddDouble("lambda", &lambda, "quality/diversity trade-off");
+  flags.AddString("plan", &plan, "execution plan: single | sharded");
+  flags.AddInt("shards", &shards, "shard count for --plan=sharded");
+  flags.AddInt("per_shard", &per_shard,
+               "elements per shard (0 = p) for --plan=sharded");
+  flags.AddInt("workers", &workers, "worker threads (0 = hardware)");
+  flags.AddInt("batch", &batch, "max queries drained per worker wakeup");
+  flags.AddInt("update_every", &update_every,
+               "publish an update epoch every K queries (0 = none)");
+  flags.AddBool("churn", &churn,
+                "include insert/erase churn in update epochs");
+  flags.AddBool("sync", &sync,
+                "serve one query at a time on the caller thread (baseline)");
+  flags.AddInt64("seed", &seed, "random seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  return diverse::RunServer(input, generate, queries, p, lambda, plan,
+                            shards, per_shard, workers, batch, update_every,
+                            churn, sync,
+                            static_cast<std::uint64_t>(seed));
+}
