@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batch_greedy.dir/bench/ablation_batch_greedy.cc.o"
+  "CMakeFiles/ablation_batch_greedy.dir/bench/ablation_batch_greedy.cc.o.d"
+  "ablation_batch_greedy"
+  "ablation_batch_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

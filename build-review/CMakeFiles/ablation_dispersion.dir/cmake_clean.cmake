@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dispersion.dir/bench/ablation_dispersion.cc.o"
+  "CMakeFiles/ablation_dispersion.dir/bench/ablation_dispersion.cc.o.d"
+  "ablation_dispersion"
+  "ablation_dispersion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dispersion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distributed.dir/bench/ablation_distributed.cc.o"
+  "CMakeFiles/ablation_distributed.dir/bench/ablation_distributed.cc.o.d"
+  "ablation_distributed"
+  "ablation_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

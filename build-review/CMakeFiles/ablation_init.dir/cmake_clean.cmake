@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_init.dir/bench/ablation_init.cc.o"
+  "CMakeFiles/ablation_init.dir/bench/ablation_init.cc.o.d"
+  "ablation_init"
+  "ablation_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_knapsack.dir/bench/ablation_knapsack.cc.o"
+  "CMakeFiles/ablation_knapsack.dir/bench/ablation_knapsack.cc.o.d"
+  "ablation_knapsack"
+  "ablation_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_matroid_greedy_failure.dir/bench/ablation_matroid_greedy_failure.cc.o"
+  "CMakeFiles/ablation_matroid_greedy_failure.dir/bench/ablation_matroid_greedy_failure.cc.o.d"
+  "ablation_matroid_greedy_failure"
+  "ablation_matroid_greedy_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_matroid_greedy_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

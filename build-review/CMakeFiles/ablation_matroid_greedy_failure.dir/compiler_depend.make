@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_matroid_greedy_failure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relaxed_metric.dir/bench/ablation_relaxed_metric.cc.o"
+  "CMakeFiles/ablation_relaxed_metric.dir/bench/ablation_relaxed_metric.cc.o.d"
+  "ablation_relaxed_metric"
+  "ablation_relaxed_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relaxed_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_relaxed_metric.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_streaming.dir/bench/ablation_streaming.cc.o"
+  "CMakeFiles/ablation_streaming.dir/bench/ablation_streaming.cc.o.d"
+  "ablation_streaming"
+  "ablation_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

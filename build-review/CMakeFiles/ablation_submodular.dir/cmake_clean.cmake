@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_submodular.dir/bench/ablation_submodular.cc.o"
+  "CMakeFiles/ablation_submodular.dir/bench/ablation_submodular.cc.o.d"
+  "ablation_submodular"
+  "ablation_submodular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_submodular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brute_force_test.dir/tests/brute_force_test.cc.o"
+  "CMakeFiles/brute_force_test.dir/tests/brute_force_test.cc.o.d"
+  "brute_force_test"
+  "brute_force_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brute_force_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_cache_test.dir/tests/distance_cache_test.cc.o"
+  "CMakeFiles/distance_cache_test.dir/tests/distance_cache_test.cc.o.d"
+  "distance_cache_test"
+  "distance_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

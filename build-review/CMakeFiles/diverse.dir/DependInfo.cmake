@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/batch_greedy.cc" "CMakeFiles/diverse.dir/src/algorithms/batch_greedy.cc.o" "gcc" "CMakeFiles/diverse.dir/src/algorithms/batch_greedy.cc.o.d"
+  "/root/repo/src/algorithms/brute_force.cc" "CMakeFiles/diverse.dir/src/algorithms/brute_force.cc.o" "gcc" "CMakeFiles/diverse.dir/src/algorithms/brute_force.cc.o.d"
+  "/root/repo/src/algorithms/distributed.cc" "CMakeFiles/diverse.dir/src/algorithms/distributed.cc.o" "gcc" "CMakeFiles/diverse.dir/src/algorithms/distributed.cc.o.d"
+  "/root/repo/src/algorithms/greedy_edge.cc" "CMakeFiles/diverse.dir/src/algorithms/greedy_edge.cc.o" "gcc" "CMakeFiles/diverse.dir/src/algorithms/greedy_edge.cc.o.d"
+  "/root/repo/src/algorithms/greedy_vertex.cc" "CMakeFiles/diverse.dir/src/algorithms/greedy_vertex.cc.o" "gcc" "CMakeFiles/diverse.dir/src/algorithms/greedy_vertex.cc.o.d"
+  "/root/repo/src/algorithms/group_diversification.cc" "CMakeFiles/diverse.dir/src/algorithms/group_diversification.cc.o" "gcc" "CMakeFiles/diverse.dir/src/algorithms/group_diversification.cc.o.d"
+  "/root/repo/src/algorithms/knapsack_greedy.cc" "CMakeFiles/diverse.dir/src/algorithms/knapsack_greedy.cc.o" "gcc" "CMakeFiles/diverse.dir/src/algorithms/knapsack_greedy.cc.o.d"
+  "/root/repo/src/algorithms/local_search.cc" "CMakeFiles/diverse.dir/src/algorithms/local_search.cc.o" "gcc" "CMakeFiles/diverse.dir/src/algorithms/local_search.cc.o.d"
+  "/root/repo/src/algorithms/matching.cc" "CMakeFiles/diverse.dir/src/algorithms/matching.cc.o" "gcc" "CMakeFiles/diverse.dir/src/algorithms/matching.cc.o.d"
+  "/root/repo/src/algorithms/mmr.cc" "CMakeFiles/diverse.dir/src/algorithms/mmr.cc.o" "gcc" "CMakeFiles/diverse.dir/src/algorithms/mmr.cc.o.d"
+  "/root/repo/src/algorithms/partial_enumeration.cc" "CMakeFiles/diverse.dir/src/algorithms/partial_enumeration.cc.o" "gcc" "CMakeFiles/diverse.dir/src/algorithms/partial_enumeration.cc.o.d"
+  "/root/repo/src/algorithms/random_select.cc" "CMakeFiles/diverse.dir/src/algorithms/random_select.cc.o" "gcc" "CMakeFiles/diverse.dir/src/algorithms/random_select.cc.o.d"
+  "/root/repo/src/algorithms/streaming.cc" "CMakeFiles/diverse.dir/src/algorithms/streaming.cc.o" "gcc" "CMakeFiles/diverse.dir/src/algorithms/streaming.cc.o.d"
+  "/root/repo/src/core/distance_cache.cc" "CMakeFiles/diverse.dir/src/core/distance_cache.cc.o" "gcc" "CMakeFiles/diverse.dir/src/core/distance_cache.cc.o.d"
+  "/root/repo/src/core/diversification_problem.cc" "CMakeFiles/diverse.dir/src/core/diversification_problem.cc.o" "gcc" "CMakeFiles/diverse.dir/src/core/diversification_problem.cc.o.d"
+  "/root/repo/src/core/incremental_evaluator.cc" "CMakeFiles/diverse.dir/src/core/incremental_evaluator.cc.o" "gcc" "CMakeFiles/diverse.dir/src/core/incremental_evaluator.cc.o.d"
+  "/root/repo/src/core/solution_state.cc" "CMakeFiles/diverse.dir/src/core/solution_state.cc.o" "gcc" "CMakeFiles/diverse.dir/src/core/solution_state.cc.o.d"
+  "/root/repo/src/data/csv_io.cc" "CMakeFiles/diverse.dir/src/data/csv_io.cc.o" "gcc" "CMakeFiles/diverse.dir/src/data/csv_io.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "CMakeFiles/diverse.dir/src/data/dataset.cc.o" "gcc" "CMakeFiles/diverse.dir/src/data/dataset.cc.o.d"
+  "/root/repo/src/data/letor_sim.cc" "CMakeFiles/diverse.dir/src/data/letor_sim.cc.o" "gcc" "CMakeFiles/diverse.dir/src/data/letor_sim.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "CMakeFiles/diverse.dir/src/data/synthetic.cc.o" "gcc" "CMakeFiles/diverse.dir/src/data/synthetic.cc.o.d"
+  "/root/repo/src/dispersion/dispersion.cc" "CMakeFiles/diverse.dir/src/dispersion/dispersion.cc.o" "gcc" "CMakeFiles/diverse.dir/src/dispersion/dispersion.cc.o.d"
+  "/root/repo/src/dynamic/dynamic_updater.cc" "CMakeFiles/diverse.dir/src/dynamic/dynamic_updater.cc.o" "gcc" "CMakeFiles/diverse.dir/src/dynamic/dynamic_updater.cc.o.d"
+  "/root/repo/src/dynamic/perturbation.cc" "CMakeFiles/diverse.dir/src/dynamic/perturbation.cc.o" "gcc" "CMakeFiles/diverse.dir/src/dynamic/perturbation.cc.o.d"
+  "/root/repo/src/dynamic/simulator.cc" "CMakeFiles/diverse.dir/src/dynamic/simulator.cc.o" "gcc" "CMakeFiles/diverse.dir/src/dynamic/simulator.cc.o.d"
+  "/root/repo/src/engine/corpus.cc" "CMakeFiles/diverse.dir/src/engine/corpus.cc.o" "gcc" "CMakeFiles/diverse.dir/src/engine/corpus.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "CMakeFiles/diverse.dir/src/engine/engine.cc.o" "gcc" "CMakeFiles/diverse.dir/src/engine/engine.cc.o.d"
+  "/root/repo/src/engine/execution_plan.cc" "CMakeFiles/diverse.dir/src/engine/execution_plan.cc.o" "gcc" "CMakeFiles/diverse.dir/src/engine/execution_plan.cc.o.d"
+  "/root/repo/src/engine/workload.cc" "CMakeFiles/diverse.dir/src/engine/workload.cc.o" "gcc" "CMakeFiles/diverse.dir/src/engine/workload.cc.o.d"
+  "/root/repo/src/matroid/graphic_matroid.cc" "CMakeFiles/diverse.dir/src/matroid/graphic_matroid.cc.o" "gcc" "CMakeFiles/diverse.dir/src/matroid/graphic_matroid.cc.o.d"
+  "/root/repo/src/matroid/laminar_matroid.cc" "CMakeFiles/diverse.dir/src/matroid/laminar_matroid.cc.o" "gcc" "CMakeFiles/diverse.dir/src/matroid/laminar_matroid.cc.o.d"
+  "/root/repo/src/matroid/matroid.cc" "CMakeFiles/diverse.dir/src/matroid/matroid.cc.o" "gcc" "CMakeFiles/diverse.dir/src/matroid/matroid.cc.o.d"
+  "/root/repo/src/matroid/matroid_validation.cc" "CMakeFiles/diverse.dir/src/matroid/matroid_validation.cc.o" "gcc" "CMakeFiles/diverse.dir/src/matroid/matroid_validation.cc.o.d"
+  "/root/repo/src/matroid/partition_matroid.cc" "CMakeFiles/diverse.dir/src/matroid/partition_matroid.cc.o" "gcc" "CMakeFiles/diverse.dir/src/matroid/partition_matroid.cc.o.d"
+  "/root/repo/src/matroid/transversal_matroid.cc" "CMakeFiles/diverse.dir/src/matroid/transversal_matroid.cc.o" "gcc" "CMakeFiles/diverse.dir/src/matroid/transversal_matroid.cc.o.d"
+  "/root/repo/src/matroid/truncated_matroid.cc" "CMakeFiles/diverse.dir/src/matroid/truncated_matroid.cc.o" "gcc" "CMakeFiles/diverse.dir/src/matroid/truncated_matroid.cc.o.d"
+  "/root/repo/src/matroid/uniform_matroid.cc" "CMakeFiles/diverse.dir/src/matroid/uniform_matroid.cc.o" "gcc" "CMakeFiles/diverse.dir/src/matroid/uniform_matroid.cc.o.d"
+  "/root/repo/src/metric/cosine_metric.cc" "CMakeFiles/diverse.dir/src/metric/cosine_metric.cc.o" "gcc" "CMakeFiles/diverse.dir/src/metric/cosine_metric.cc.o.d"
+  "/root/repo/src/metric/dense_metric.cc" "CMakeFiles/diverse.dir/src/metric/dense_metric.cc.o" "gcc" "CMakeFiles/diverse.dir/src/metric/dense_metric.cc.o.d"
+  "/root/repo/src/metric/euclidean_metric.cc" "CMakeFiles/diverse.dir/src/metric/euclidean_metric.cc.o" "gcc" "CMakeFiles/diverse.dir/src/metric/euclidean_metric.cc.o.d"
+  "/root/repo/src/metric/graph_metric.cc" "CMakeFiles/diverse.dir/src/metric/graph_metric.cc.o" "gcc" "CMakeFiles/diverse.dir/src/metric/graph_metric.cc.o.d"
+  "/root/repo/src/metric/jaccard_metric.cc" "CMakeFiles/diverse.dir/src/metric/jaccard_metric.cc.o" "gcc" "CMakeFiles/diverse.dir/src/metric/jaccard_metric.cc.o.d"
+  "/root/repo/src/metric/metric_utils.cc" "CMakeFiles/diverse.dir/src/metric/metric_utils.cc.o" "gcc" "CMakeFiles/diverse.dir/src/metric/metric_utils.cc.o.d"
+  "/root/repo/src/metric/metric_validation.cc" "CMakeFiles/diverse.dir/src/metric/metric_validation.cc.o" "gcc" "CMakeFiles/diverse.dir/src/metric/metric_validation.cc.o.d"
+  "/root/repo/src/metric/relaxed_metric.cc" "CMakeFiles/diverse.dir/src/metric/relaxed_metric.cc.o" "gcc" "CMakeFiles/diverse.dir/src/metric/relaxed_metric.cc.o.d"
+  "/root/repo/src/submodular/concave_over_modular.cc" "CMakeFiles/diverse.dir/src/submodular/concave_over_modular.cc.o" "gcc" "CMakeFiles/diverse.dir/src/submodular/concave_over_modular.cc.o.d"
+  "/root/repo/src/submodular/coverage_function.cc" "CMakeFiles/diverse.dir/src/submodular/coverage_function.cc.o" "gcc" "CMakeFiles/diverse.dir/src/submodular/coverage_function.cc.o.d"
+  "/root/repo/src/submodular/facility_location.cc" "CMakeFiles/diverse.dir/src/submodular/facility_location.cc.o" "gcc" "CMakeFiles/diverse.dir/src/submodular/facility_location.cc.o.d"
+  "/root/repo/src/submodular/function_validation.cc" "CMakeFiles/diverse.dir/src/submodular/function_validation.cc.o" "gcc" "CMakeFiles/diverse.dir/src/submodular/function_validation.cc.o.d"
+  "/root/repo/src/submodular/mixture_function.cc" "CMakeFiles/diverse.dir/src/submodular/mixture_function.cc.o" "gcc" "CMakeFiles/diverse.dir/src/submodular/mixture_function.cc.o.d"
+  "/root/repo/src/submodular/modular_function.cc" "CMakeFiles/diverse.dir/src/submodular/modular_function.cc.o" "gcc" "CMakeFiles/diverse.dir/src/submodular/modular_function.cc.o.d"
+  "/root/repo/src/submodular/probabilistic_coverage.cc" "CMakeFiles/diverse.dir/src/submodular/probabilistic_coverage.cc.o" "gcc" "CMakeFiles/diverse.dir/src/submodular/probabilistic_coverage.cc.o.d"
+  "/root/repo/src/submodular/saturated_coverage.cc" "CMakeFiles/diverse.dir/src/submodular/saturated_coverage.cc.o" "gcc" "CMakeFiles/diverse.dir/src/submodular/saturated_coverage.cc.o.d"
+  "/root/repo/src/submodular/set_function.cc" "CMakeFiles/diverse.dir/src/submodular/set_function.cc.o" "gcc" "CMakeFiles/diverse.dir/src/submodular/set_function.cc.o.d"
+  "/root/repo/src/util/flags.cc" "CMakeFiles/diverse.dir/src/util/flags.cc.o" "gcc" "CMakeFiles/diverse.dir/src/util/flags.cc.o.d"
+  "/root/repo/src/util/random.cc" "CMakeFiles/diverse.dir/src/util/random.cc.o" "gcc" "CMakeFiles/diverse.dir/src/util/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/diverse.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/diverse.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/diverse.dir/src/util/table.cc.o" "gcc" "CMakeFiles/diverse.dir/src/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

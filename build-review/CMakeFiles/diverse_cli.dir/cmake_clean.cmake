@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diverse_cli.dir/tools/diverse_cli.cc.o"
+  "CMakeFiles/diverse_cli.dir/tools/diverse_cli.cc.o.d"
+  "diverse_cli"
+  "diverse_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diverse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

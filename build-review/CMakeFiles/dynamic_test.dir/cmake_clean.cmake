@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_test.dir/tests/dynamic_test.cc.o"
+  "CMakeFiles/dynamic_test.dir/tests/dynamic_test.cc.o.d"
+  "dynamic_test"
+  "dynamic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_theorems_test.dir/tests/dynamic_theorems_test.cc.o"
+  "CMakeFiles/dynamic_theorems_test.dir/tests/dynamic_theorems_test.cc.o.d"
+  "dynamic_theorems_test"
+  "dynamic_theorems_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_theorems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_server_cli.dir/tools/engine_server_cli.cc.o"
+  "CMakeFiles/engine_server_cli.dir/tools/engine_server_cli.cc.o.d"
+  "engine_server_cli"
+  "engine_server_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_server_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for engine_server_cli.
+# This may be replaced when dependencies are built.

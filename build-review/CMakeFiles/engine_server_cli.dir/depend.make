@@ -1,0 +1,2 @@
+# Empty dependencies file for engine_server_cli.
+# This may be replaced when dependencies are built.

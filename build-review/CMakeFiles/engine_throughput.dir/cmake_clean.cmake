@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_throughput.dir/bench/engine_throughput.cc.o"
+  "CMakeFiles/engine_throughput.dir/bench/engine_throughput.cc.o.d"
+  "engine_throughput"
+  "engine_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_facility_placement.dir/examples/facility_placement.cpp.o"
+  "CMakeFiles/example_facility_placement.dir/examples/facility_placement.cpp.o.d"
+  "example_facility_placement"
+  "example_facility_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_facility_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_facility_placement.
+# This may be replaced when dependencies are built.

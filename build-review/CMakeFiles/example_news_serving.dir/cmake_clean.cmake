@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_news_serving.dir/examples/news_serving.cpp.o"
+  "CMakeFiles/example_news_serving.dir/examples/news_serving.cpp.o.d"
+  "example_news_serving"
+  "example_news_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_news_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_news_stream_dynamic.dir/examples/news_stream_dynamic.cpp.o"
+  "CMakeFiles/example_news_stream_dynamic.dir/examples/news_stream_dynamic.cpp.o.d"
+  "example_news_stream_dynamic"
+  "example_news_stream_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_news_stream_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_news_stream_dynamic.
+# This may be replaced when dependencies are built.

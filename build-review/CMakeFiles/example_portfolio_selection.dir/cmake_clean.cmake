@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_portfolio_selection.dir/examples/portfolio_selection.cpp.o"
+  "CMakeFiles/example_portfolio_selection.dir/examples/portfolio_selection.cpp.o.d"
+  "example_portfolio_selection"
+  "example_portfolio_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_portfolio_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_web_search_diversification.dir/examples/web_search_diversification.cpp.o"
+  "CMakeFiles/example_web_search_diversification.dir/examples/web_search_diversification.cpp.o.d"
+  "example_web_search_diversification"
+  "example_web_search_diversification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_web_search_diversification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

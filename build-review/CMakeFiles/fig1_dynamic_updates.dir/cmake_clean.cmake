@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_dynamic_updates.dir/bench/fig1_dynamic_updates.cc.o"
+  "CMakeFiles/fig1_dynamic_updates.dir/bench/fig1_dynamic_updates.cc.o.d"
+  "fig1_dynamic_updates"
+  "fig1_dynamic_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dynamic_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

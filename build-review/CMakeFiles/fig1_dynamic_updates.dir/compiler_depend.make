@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_dynamic_updates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_test.dir/tests/greedy_test.cc.o"
+  "CMakeFiles/greedy_test.dir/tests/greedy_test.cc.o.d"
+  "greedy_test"
+  "greedy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_evaluator_test.dir/tests/incremental_evaluator_test.cc.o"
+  "CMakeFiles/incremental_evaluator_test.dir/tests/incremental_evaluator_test.cc.o.d"
+  "incremental_evaluator_test"
+  "incremental_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemmas_test.dir/tests/lemmas_test.cc.o"
+  "CMakeFiles/lemmas_test.dir/tests/lemmas_test.cc.o.d"
+  "lemmas_test"
+  "lemmas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemmas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

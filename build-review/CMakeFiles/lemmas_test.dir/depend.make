@@ -1,0 +1,2 @@
+# Empty dependencies file for lemmas_test.
+# This may be replaced when dependencies are built.

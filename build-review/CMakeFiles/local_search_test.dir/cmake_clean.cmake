@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_search_test.dir/tests/local_search_test.cc.o"
+  "CMakeFiles/local_search_test.dir/tests/local_search_test.cc.o.d"
+  "local_search_test"
+  "local_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matroid_test.dir/tests/matroid_test.cc.o"
+  "CMakeFiles/matroid_test.dir/tests/matroid_test.cc.o.d"
+  "matroid_test"
+  "matroid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matroid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

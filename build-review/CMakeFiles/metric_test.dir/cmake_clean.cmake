@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_test.dir/tests/metric_test.cc.o"
+  "CMakeFiles/metric_test.dir/tests/metric_test.cc.o.d"
+  "metric_test"
+  "metric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_algorithms.dir/bench/micro_algorithms.cc.o"
+  "CMakeFiles/micro_algorithms.dir/bench/micro_algorithms.cc.o.d"
+  "micro_algorithms"
+  "micro_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

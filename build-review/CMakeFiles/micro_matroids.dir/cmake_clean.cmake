@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_matroids.dir/bench/micro_matroids.cc.o"
+  "CMakeFiles/micro_matroids.dir/bench/micro_matroids.cc.o.d"
+  "micro_matroids"
+  "micro_matroids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_matroids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

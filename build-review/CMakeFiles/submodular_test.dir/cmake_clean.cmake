@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/submodular_test.dir/tests/submodular_test.cc.o"
+  "CMakeFiles/submodular_test.dir/tests/submodular_test.cc.o.d"
+  "submodular_test"
+  "submodular_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/submodular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

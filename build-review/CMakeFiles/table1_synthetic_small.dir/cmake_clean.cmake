@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_synthetic_small.dir/bench/table1_synthetic_small.cc.o"
+  "CMakeFiles/table1_synthetic_small.dir/bench/table1_synthetic_small.cc.o.d"
+  "table1_synthetic_small"
+  "table1_synthetic_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_synthetic_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

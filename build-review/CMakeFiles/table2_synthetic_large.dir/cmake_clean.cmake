@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_synthetic_large.dir/bench/table2_synthetic_large.cc.o"
+  "CMakeFiles/table2_synthetic_large.dir/bench/table2_synthetic_large.cc.o.d"
+  "table2_synthetic_large"
+  "table2_synthetic_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_synthetic_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_improved_variants.dir/bench/table3_improved_variants.cc.o"
+  "CMakeFiles/table3_improved_variants.dir/bench/table3_improved_variants.cc.o.d"
+  "table3_improved_variants"
+  "table3_improved_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_improved_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

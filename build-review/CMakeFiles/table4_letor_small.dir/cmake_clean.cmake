@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_letor_small.dir/bench/table4_letor_small.cc.o"
+  "CMakeFiles/table4_letor_small.dir/bench/table4_letor_small.cc.o.d"
+  "table4_letor_small"
+  "table4_letor_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_letor_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

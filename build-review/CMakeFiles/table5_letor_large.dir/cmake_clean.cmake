@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_letor_large.dir/bench/table5_letor_large.cc.o"
+  "CMakeFiles/table5_letor_large.dir/bench/table5_letor_large.cc.o.d"
+  "table5_letor_large"
+  "table5_letor_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_letor_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

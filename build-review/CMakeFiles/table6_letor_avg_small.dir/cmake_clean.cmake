@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_letor_avg_small.dir/bench/table6_letor_avg_small.cc.o"
+  "CMakeFiles/table6_letor_avg_small.dir/bench/table6_letor_avg_small.cc.o.d"
+  "table6_letor_avg_small"
+  "table6_letor_avg_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_letor_avg_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

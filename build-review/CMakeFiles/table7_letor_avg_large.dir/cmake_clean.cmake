@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_letor_avg_large.dir/bench/table7_letor_avg_large.cc.o"
+  "CMakeFiles/table7_letor_avg_large.dir/bench/table7_letor_avg_large.cc.o.d"
+  "table7_letor_avg_large"
+  "table7_letor_avg_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_letor_avg_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

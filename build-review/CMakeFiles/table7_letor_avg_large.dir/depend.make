@@ -1,0 +1,2 @@
+# Empty dependencies file for table7_letor_avg_large.
+# This may be replaced when dependencies are built.

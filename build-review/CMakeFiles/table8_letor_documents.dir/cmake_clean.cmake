@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_letor_documents.dir/bench/table8_letor_documents.cc.o"
+  "CMakeFiles/table8_letor_documents.dir/bench/table8_letor_documents.cc.o.d"
+  "table8_letor_documents"
+  "table8_letor_documents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_letor_documents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table8_letor_documents.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table8_letor_documents.
+# This may be replaced when dependencies are built.

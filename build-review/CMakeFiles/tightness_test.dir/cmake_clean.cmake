@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tightness_test.dir/tests/tightness_test.cc.o"
+  "CMakeFiles/tightness_test.dir/tests/tightness_test.cc.o.d"
+  "tightness_test"
+  "tightness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tightness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
