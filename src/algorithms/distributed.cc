@@ -57,6 +57,40 @@ AlgorithmResult GreedyVertexOnCandidates(
   return result;
 }
 
+AlgorithmResult MergeShardSolutions(
+    const DiversificationProblem& problem,
+    const std::vector<std::vector<int>>& local_solutions, int p) {
+  std::vector<int> kernel;
+  std::vector<int> best_local;
+  // -infinity, not -1: per-query relevance can drive objectives negative,
+  // and a finite sentinel would then beat every real shard solution and
+  // return an empty set.
+  double best_local_objective = -std::numeric_limits<double>::infinity();
+  for (const std::vector<int>& local : local_solutions) {
+    kernel.insert(kernel.end(), local.begin(), local.end());
+    // Score the local solution truncated to p (it may carry per_shard > p
+    // elements; evaluate its best prefix, which is its greedy order).
+    std::vector<int> prefix = local;
+    if (static_cast<int>(prefix.size()) > p) prefix.resize(p);
+    const double value = problem.Objective(prefix);
+    if (value > best_local_objective) {
+      best_local_objective = value;
+      best_local = std::move(prefix);
+    }
+  }
+
+  // Greedy over the unioned kernel, then the composable-core-set
+  // safeguard: the better of the two rounds.
+  std::sort(kernel.begin(), kernel.end());
+  kernel.erase(std::unique(kernel.begin(), kernel.end()), kernel.end());
+  AlgorithmResult merged = GreedyVertexOnCandidates(problem, kernel, p);
+  if (best_local_objective > merged.objective) {
+    merged.elements = std::move(best_local);
+    merged.objective = best_local_objective;
+  }
+  return merged;
+}
+
 AlgorithmResult ShardedGreedy(const DiversificationProblem& problem,
                               std::span<const int> candidates, int p,
                               int num_shards, int per_shard,
@@ -69,44 +103,21 @@ AlgorithmResult ShardedGreedy(const DiversificationProblem& problem,
   const std::vector<std::vector<int>> shards =
       AssignShards(candidates, num_shards, salt);
   AlgorithmResult result;
-  std::vector<int> kernel;
-  AlgorithmResult best_local;
-  // -infinity, not -1: per-query relevance can drive objectives negative,
-  // and a finite sentinel would then beat every real shard solution and
-  // return an empty set.
-  best_local.objective = -std::numeric_limits<double>::infinity();
+  std::vector<std::vector<int>> local_solutions;
+  local_solutions.reserve(shards.size());
   for (const std::vector<int>& shard : shards) {
     if (shard.empty()) continue;
     AlgorithmResult local = GreedyVertexOnCandidates(problem, shard,
                                                      per_shard);
     result.steps += local.steps;
-    kernel.insert(kernel.end(), local.elements.begin(),
-                  local.elements.end());
-    // Score the local solution truncated to p (it may carry per_shard > p
-    // elements; evaluate its best prefix, which is its greedy order).
-    std::vector<int> prefix = local.elements;
-    if (static_cast<int>(prefix.size()) > p) prefix.resize(p);
-    const double value = problem.Objective(prefix);
-    if (value > best_local.objective) {
-      best_local.objective = value;
-      best_local.elements = prefix;
-    }
+    local_solutions.push_back(std::move(local.elements));
   }
 
-  // Round 2: greedy over the unioned kernel.
-  std::sort(kernel.begin(), kernel.end());
-  kernel.erase(std::unique(kernel.begin(), kernel.end()), kernel.end());
-  AlgorithmResult merged = GreedyVertexOnCandidates(problem, kernel, p);
+  // Round 2 + safeguard (shared with the RPC coordinator).
+  AlgorithmResult merged = MergeShardSolutions(problem, local_solutions, p);
   result.steps += merged.steps;
-
-  // Composable-core-set safeguard: return the better of the two rounds.
-  if (best_local.objective > merged.objective) {
-    result.elements = best_local.elements;
-    result.objective = best_local.objective;
-  } else {
-    result.elements = merged.elements;
-    result.objective = merged.objective;
-  }
+  result.elements = std::move(merged.elements);
+  result.objective = merged.objective;
   result.elapsed_seconds = timer.Seconds();
   return result;
 }

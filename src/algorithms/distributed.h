@@ -7,11 +7,23 @@
 // kernel solution and the best single-shard solution (the standard
 // composable-core-set safeguard).
 //
-// Shard assignment is a pure hash of (salt, element id), so a given seed
-// reproduces the same partition no matter how the universe is ordered or
-// how candidate lists were built — the property the serving engine's
-// sharded execution plan (src/engine) relies on for results that are
-// independent of worker-pool size.
+// Seed-stability contract (ShardOf / AssignShards): the shard of an
+// element is a pure function of (salt, element id, num_shards) — a
+// SplitMix64 finalizer of salt ^ id reduced mod num_shards. It does NOT
+// depend on the universe size, the ordering or contents of any candidate
+// list, the process, the thread, or the host: two machines that agree on
+// the salt agree on every element's shard, forever. AssignShards adds one
+// guarantee on top: within each shard, elements keep the relative order
+// of the input candidate list. Callers may therefore reconstruct a
+// shard's candidate range independently (as the RPC shard nodes do from
+// their replicas in src/rpc/shard_node.cc) and obtain byte-identical
+// kernel inputs, provided they filter an identical candidate list. This
+// is what makes the serving engine's sharded plans (in-process and
+// cross-node) pure functions of (snapshot, query), independent of
+// worker-pool size and node placement; tests/rpc_test.cc asserts both.
+// Changing Mix64, the salt mixing, or the mod reduction is a
+// wire-protocol-level break: coordinator and shard nodes must be
+// upgraded together (bump rpc::kWireVersion to force it).
 //
 // No worst-case guarantee is claimed here (that is the cited follow-up
 // work); tests and bench/ablation_distributed measure empirical quality
@@ -53,6 +65,19 @@ std::vector<std::vector<int>> AssignShards(std::span<const int> candidates,
 AlgorithmResult GreedyVertexOnCandidates(const DiversificationProblem& problem,
                                          const std::vector<int>& candidates,
                                          int p);
+
+// Round 2 of the two-round scheme, shared verbatim by ShardedGreedy and
+// the RPC coordinator (src/rpc/coordinator.cc) so the two paths cannot
+// drift apart — their bit-equality IS the RPC layer's correctness
+// contract. `local_solutions` holds the per-shard greedy solutions in
+// shard order (skip empty shards, exactly as ShardedGreedy does): each is
+// scored truncated to its best p-prefix, their union forms the kernel for
+// the final Greedy B run, and the better of kernel solution and best
+// truncated local solution wins (strict >, earlier shard wins ties).
+// steps counts the kernel run only; callers add the per-shard steps.
+AlgorithmResult MergeShardSolutions(
+    const DiversificationProblem& problem,
+    const std::vector<std::vector<int>>& local_solutions, int p);
 
 // The two-round scheme over an explicit candidate pool: hash-partition with
 // `salt`, Greedy B per shard (per_shard <= 0 defaults to p), union the

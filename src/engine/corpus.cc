@@ -1,5 +1,6 @@
 #include "engine/corpus.h"
 
+#include <cmath>
 #include <utility>
 
 #include "core/distance_cache.h"
@@ -129,7 +130,7 @@ std::uint64_t Corpus::Apply(std::span<const CorpusUpdate> updates) {
     switch (update.kind) {
       case CorpusUpdate::Kind::kSetWeight:
         DIVERSE_CHECK(0 <= update.u && update.u < n);
-        DIVERSE_CHECK(update.value >= 0.0);
+        DIVERSE_CHECK(update.value >= 0.0 && std::isfinite(update.value));
         weights_[update.u] = update.value;
         break;
       case CorpusUpdate::Kind::kSetDistance:
@@ -141,7 +142,7 @@ std::uint64_t Corpus::Apply(std::span<const CorpusUpdate> updates) {
         DIVERSE_CHECK_MSG(
             static_cast<int>(update.distances.size()) == n,
             "insert needs one distance per existing id");
-        DIVERSE_CHECK(update.value >= 0.0);
+        DIVERSE_CHECK(update.value >= 0.0 && std::isfinite(update.value));
         for (int u = 0; u < n; ++u) {
           owned->SetDistance(u, n, update.distances[u]);
         }

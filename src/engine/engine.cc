@@ -19,16 +19,21 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 // Query-shape contract, enforced on the submitting thread: a malformed
 // request must fail at its own call site, not abort a worker mid-batch
 // and take every other in-flight query down with it.
-void ValidateQuery(const Query& query) {
+void ValidateQuery(const Query& query, const PlanDefaults& defaults) {
   DIVERSE_CHECK_MSG(query.p >= 0, "query.p must be non-negative");
   DIVERSE_CHECK_MSG(query.num_shards >= 0,
                     "query.num_shards must be non-negative");
   for (double r : query.relevance) {
     DIVERSE_CHECK_MSG(r >= 0.0, "relevance scores must be non-negative");
   }
-  if (query.plan == PlanKind::kSharded) {
+  if (query.plan == PlanKind::kSharded ||
+      query.plan == PlanKind::kRemoteSharded) {
     DIVERSE_CHECK_MSG(query.algorithm == QueryAlgorithm::kGreedy,
                       "sharded plan supports the greedy kernel only");
+  }
+  if (query.plan == PlanKind::kRemoteSharded) {
+    DIVERSE_CHECK_MSG(defaults.remote != nullptr,
+                      "remote sharded plan needs Options::remote configured");
   }
   if (query.algorithm == QueryAlgorithm::kKnapsack) {
     DIVERSE_CHECK_MSG(query.budget >= 0.0,
@@ -55,6 +60,7 @@ DiversificationEngine::DiversificationEngine(std::vector<double> weights,
   DIVERSE_CHECK(options_.max_batch >= 1);
   DIVERSE_CHECK(options_.default_num_shards >= 1);
   plan_defaults_.num_shards = options_.default_num_shards;
+  plan_defaults_.remote = options_.remote;
   int workers = options_.num_workers;
   if (workers <= 0) {
     workers = static_cast<int>(std::thread::hardware_concurrency());
@@ -76,7 +82,7 @@ DiversificationEngine::~DiversificationEngine() {
 }
 
 std::future<QueryResult> DiversificationEngine::Submit(Query query) {
-  ValidateQuery(query);
+  ValidateQuery(query, plan_defaults_);
   Job job;
   job.query = std::move(query);
   job.enqueued = std::chrono::steady_clock::now();
@@ -92,7 +98,7 @@ std::future<QueryResult> DiversificationEngine::Submit(Query query) {
 
 std::vector<std::future<QueryResult>> DiversificationEngine::SubmitBatch(
     std::vector<Query> queries) {
-  for (const Query& query : queries) ValidateQuery(query);
+  for (const Query& query : queries) ValidateQuery(query, plan_defaults_);
   std::vector<std::future<QueryResult>> futures;
   futures.reserve(queries.size());
   const auto now = std::chrono::steady_clock::now();
@@ -112,7 +118,7 @@ std::vector<std::future<QueryResult>> DiversificationEngine::SubmitBatch(
 }
 
 QueryResult DiversificationEngine::RunSync(const Query& query) const {
-  ValidateQuery(query);
+  ValidateQuery(query, plan_defaults_);
   const auto start = std::chrono::steady_clock::now();
   const SnapshotPtr snapshot = corpus_.snapshot();
   snapshots_acquired_.fetch_add(1, std::memory_order_relaxed);

@@ -49,6 +49,11 @@ class DiversificationEngine {
     int max_batch = 8;
     // Default shard count for sharded-plan queries that leave it 0.
     int default_num_shards = 4;
+    // Executor for PlanKind::kRemoteSharded queries (an rpc::Coordinator);
+    // must outlive the engine. Submitting a remote query without one
+    // CHECK-aborts at the call site. Implementations must be thread-safe:
+    // every worker may call ExecuteSharded concurrently.
+    RemoteExecutor* remote = nullptr;
   };
 
   // Always-on counters.

@@ -100,6 +100,19 @@ std::vector<double> FitToUniverse(const std::vector<double>& values, int n,
 
 }  // namespace
 
+ProblemView MakeProblemView(const CorpusSnapshot& snapshot,
+                            const std::vector<double>& relevance,
+                            double lambda) {
+  ProblemView view{nullptr, snapshot.problem()};
+  if (!relevance.empty()) {
+    view.relevance = std::make_unique<ModularFunction>(
+        FitToUniverse(relevance, snapshot.universe_size(), 0.0));
+    view.problem = view.problem.WithQuality(view.relevance.get());
+  }
+  if (lambda >= 0.0) view.problem = view.problem.WithLambda(lambda);
+  return view;
+}
+
 QueryResult ExecuteQuery(const CorpusSnapshot& snapshot, const Query& query,
                          const PlanDefaults& defaults) {
   DIVERSE_CHECK_MSG(query.p >= 0, "query.p must be non-negative");
@@ -107,14 +120,20 @@ QueryResult ExecuteQuery(const CorpusSnapshot& snapshot, const Query& query,
   const std::vector<int>& candidates = snapshot.candidates();
   const int p = std::min<int>(query.p, static_cast<int>(candidates.size()));
 
-  // Per-query problem view over the shared snapshot (core snapshot hooks).
-  std::optional<ModularFunction> relevance;
-  DiversificationProblem problem = snapshot.problem();
-  if (!query.relevance.empty()) {
-    relevance.emplace(FitToUniverse(query.relevance, n, 0.0));
-    problem = problem.WithQuality(&*relevance);
+  if (query.plan == PlanKind::kRemoteSharded) {
+    DIVERSE_CHECK_MSG(query.algorithm == QueryAlgorithm::kGreedy,
+                      "sharded plan supports the greedy kernel only");
+    DIVERSE_CHECK_MSG(defaults.remote != nullptr,
+                      "remote sharded plan needs a configured RemoteExecutor");
+    const int shards =
+        query.num_shards > 0 ? query.num_shards : defaults.num_shards;
+    return defaults.remote->ExecuteSharded(snapshot, query, shards);
   }
-  if (query.lambda >= 0.0) problem = problem.WithLambda(query.lambda);
+
+  // Per-query problem view over the shared snapshot (core snapshot hooks).
+  const ProblemView view =
+      MakeProblemView(snapshot, query.relevance, query.lambda);
+  const DiversificationProblem& problem = view.problem;
 
   AlgorithmResult algo;
   if (query.plan == PlanKind::kSharded) {

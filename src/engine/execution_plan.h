@@ -9,12 +9,20 @@
 //     candidates, matroid local search, or density knapsack greedy);
 //   * kSharded — the deterministic hash-partitioned two-round plan
 //     (algorithms/distributed.h), reusing GreedyVertexOnCandidates as the
-//     per-shard kernel and the composable-core-set safeguard as merge.
+//     per-shard kernel and the composable-core-set safeguard as merge;
+//   * kRemoteSharded — the same two-round plan with the per-shard kernels
+//     executed on remote replicas through the RemoteExecutor seam below
+//     (implemented by rpc::Coordinator). Because the remote kernels run
+//     the identical code on version-checked replicas, its answers are
+//     bit-equal to kSharded on the same snapshot.
 //
 // Purity is what makes the engine's answers independent of worker-pool
 // size and of when the worker picked the job up within an epoch.
 #ifndef DIVERSE_ENGINE_EXECUTION_PLAN_H_
 #define DIVERSE_ENGINE_EXECUTION_PLAN_H_
+
+#include <memory>
+#include <vector>
 
 #include "engine/corpus.h"
 #include "engine/query.h"
@@ -22,8 +30,41 @@
 namespace diverse {
 namespace engine {
 
+// The per-query problem view over one snapshot: per-query relevance
+// (resized to the snapshot's id space, missing entries 0) rebound via
+// WithQuality, and an optional lambda override (negative keeps the corpus
+// default). Shared by every execution path — local plans, the RPC
+// coordinator's merge round, and shard-node kernels — so that all of them
+// evaluate the exact same objective. `relevance` owns the rebound quality
+// function (heap-allocated so the view is movable); null when the corpus
+// weights serve.
+struct ProblemView {
+  std::unique_ptr<ModularFunction> relevance;
+  DiversificationProblem problem;
+};
+
+ProblemView MakeProblemView(const CorpusSnapshot& snapshot,
+                            const std::vector<double>& relevance,
+                            double lambda);
+
+// Executes the sharded two-round plan with per-shard kernels off-box.
+// Implementations must be pure functions of (snapshot, query, num_shards)
+// — rpc::Coordinator achieves this by enforcing snapshot-version agreement
+// with its replicas and falling back to local kernel execution when a node
+// cannot serve the version.
+class RemoteExecutor {
+ public:
+  virtual ~RemoteExecutor() = default;
+  // `num_shards` is the resolved shard count (query.num_shards or the
+  // engine default). Must set result.corpus_version = snapshot.version().
+  virtual QueryResult ExecuteSharded(const CorpusSnapshot& snapshot,
+                                     const Query& query, int num_shards) = 0;
+};
+
 struct PlanDefaults {
   int num_shards = 4;  // used when query.num_shards == 0
+  // Required for PlanKind::kRemoteSharded queries; unused otherwise.
+  RemoteExecutor* remote = nullptr;
 };
 
 // Answers `query` on `snapshot`. latency_seconds is the execution time

@@ -25,8 +25,11 @@ enum class QueryAlgorithm {
 };
 
 enum class PlanKind {
-  kSingleNode,  // one incremental-evaluator run over all live candidates
-  kSharded,     // hash-partitioned two-round GreeDi plan (greedy only)
+  kSingleNode,     // one incremental-evaluator run over all live candidates
+  kSharded,        // hash-partitioned two-round GreeDi plan (greedy only)
+  kRemoteSharded,  // same plan, per-shard kernels on remote nodes via the
+                   // configured RemoteExecutor (src/rpc/coordinator.h);
+                   // bit-equal to kSharded at the same snapshot version
 };
 
 struct Query {
@@ -59,6 +62,10 @@ struct Query {
 struct QueryResult {
   std::vector<int> elements;
   double objective = 0.0;
+  // kRemoteSharded only: false when a shard RPC failed and the
+  // coordinator's failure policy is kFail (elements is empty then). Every
+  // other plan always answers, so this stays true.
+  bool ok = true;
   // Corpus version the query was served from — the snapshot-isolation
   // witness: the result is exactly what the chosen algorithm produces on
   // this version, regardless of concurrent updates.

@@ -15,7 +15,8 @@ Query MakeSyntheticQuery(const SyntheticQueryConfig& config, Rng& rng) {
   query.relevance.resize(config.universe);
   for (double& r : query.relevance) r = rng.Uniform(0.0, 1.0);
   if (config.sharded) {
-    query.plan = PlanKind::kSharded;
+    query.plan =
+        config.remote ? PlanKind::kRemoteSharded : PlanKind::kSharded;
     query.num_shards = config.num_shards;
     query.per_shard = config.per_shard;
     query.shard_salt = rng.NextSeed();

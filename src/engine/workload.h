@@ -23,6 +23,9 @@ struct SyntheticQueryConfig {
   // Relevance vector length (the corpus id-space size).
   int universe = 0;
   bool sharded = false;
+  // With sharded: route the per-shard kernels through the engine's
+  // RemoteExecutor (PlanKind::kRemoteSharded) instead of in-process.
+  bool remote = false;
   int num_shards = 0;  // 0 = engine default
   int per_shard = 0;   // 0 = p
 };

@@ -1,0 +1,263 @@
+#include "rpc/coordinator.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "algorithms/distributed.h"
+#include "algorithms/result.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace diverse {
+namespace rpc {
+namespace {
+
+// A kernel solution a replica sent back must be something the in-process
+// plan could have produced for this shard: live ids of the right shard,
+// no more than per_shard of them, no duplicates. Anything else marks the
+// node as misbehaving and triggers the failure policy.
+bool ValidShardSolution(const engine::CorpusSnapshot& snapshot,
+                        const ShardQueryRequest& request,
+                        const std::vector<int>& elements) {
+  if (static_cast<int>(elements.size()) > request.per_shard) return false;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const int e = elements[i];
+    if (e < 0 || e >= snapshot.universe_size() || !snapshot.alive(e)) {
+      return false;
+    }
+    if (ShardOf(request.shard_salt, e, request.num_shards) !=
+        request.shard_index) {
+      return false;
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (elements[j] == e) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(std::vector<Transport*> nodes, Options options)
+    : nodes_(std::move(nodes)), options_(options) {
+  DIVERSE_CHECK_MSG(!nodes_.empty(), "coordinator needs at least one node");
+  DIVERSE_CHECK(options_.max_catchup_rounds >= 0);
+  for (Transport* node : nodes_) DIVERSE_CHECK(node != nullptr);
+}
+
+void Coordinator::PublishEpoch(std::uint64_t version,
+                               std::span<const engine::CorpusUpdate> updates) {
+  DIVERSE_CHECK_MSG(version >= 1,
+                    "pass the version Corpus::Apply/ApplyUpdates returned");
+  CorpusUpdateBatch batch;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    if (epochs_.size() < version) {
+      epochs_.resize(version);
+      epoch_filled_.resize(version, false);
+    }
+    DIVERSE_CHECK_MSG(!epoch_filled_[version - 1],
+                      "epoch published twice for the same corpus version");
+    epochs_[version - 1].assign(updates.begin(), updates.end());
+    epoch_filled_[version - 1] = true;
+    batch.from_version = version - 1;
+    batch.epochs.push_back(epochs_[version - 1]);
+  }
+  const std::vector<std::uint8_t> encoded = Encode(batch);
+  for (Transport* node : nodes_) {
+    std::vector<std::uint8_t> reply;
+    if (!node->Call(encoded, &reply)) continue;  // query-time catch-up
+    UpdateAck ack;
+    if (!Decode(reply, &ack)) continue;
+    if (ack.status == RpcStatus::kVersionMismatch &&
+        ack.node_version < batch.from_version) {
+      // The node missed earlier epochs too; re-sync it now rather than on
+      // the next query's critical path.
+      SendCatchUp(node, ack.node_version, version);
+    }
+  }
+}
+
+std::uint64_t Coordinator::published_version() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  std::uint64_t filled = 0;
+  while (filled < epoch_filled_.size() && epoch_filled_[filled]) ++filled;
+  return filled;
+}
+
+bool Coordinator::SendCatchUp(Transport* node, std::uint64_t from,
+                              std::uint64_t to) {
+  CorpusUpdateBatch batch;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    // Epochs that never went through PublishEpoch (or whose concurrent
+    // publish has not landed in the log yet) cannot be replayed; the
+    // shard falls back to local execution (still bit-equal).
+    if (from >= to || to > epochs_.size()) return false;
+    for (std::uint64_t k = from; k < to; ++k) {
+      if (!epoch_filled_[k]) return false;
+    }
+    batch.from_version = from;
+    batch.epochs.assign(
+        epochs_.begin() + static_cast<std::ptrdiff_t>(from),
+        epochs_.begin() + static_cast<std::ptrdiff_t>(to));
+  }
+  catchup_batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::uint8_t> reply;
+  if (!node->Call(Encode(batch), &reply)) return false;
+  UpdateAck ack;
+  return Decode(reply, &ack) && ack.status == RpcStatus::kOk &&
+         ack.node_version >= to;
+}
+
+bool Coordinator::RunShardRemote(const engine::CorpusSnapshot& snapshot,
+                                 const ShardQueryRequest& request,
+                                 std::vector<int>* elements,
+                                 long long* steps) {
+  Transport* node = nodes_[request.shard_index % nodes_.size()];
+  const std::vector<std::uint8_t> encoded = Encode(request);
+  for (int round = 0; round <= options_.max_catchup_rounds; ++round) {
+    std::vector<std::uint8_t> reply;
+    if (!node->Call(encoded, &reply)) return false;
+    ShardQueryResponse response;
+    if (!Decode(reply, &response)) return false;
+    if (response.status == RpcStatus::kOk) {
+      if (!ValidShardSolution(snapshot, request, response.elements)) {
+        return false;
+      }
+      *elements = std::move(response.elements);
+      *steps = response.steps;
+      return true;
+    }
+    if (response.status != RpcStatus::kVersionMismatch) return false;
+    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    // A replica ahead of this snapshot cannot rewind; one behind is
+    // brought up by replaying the missing epoch-log suffix.
+    if (response.node_version >= request.snapshot_version) return false;
+    if (!SendCatchUp(node, response.node_version,
+                     request.snapshot_version)) {
+      return false;
+    }
+  }
+  return false;
+}
+
+engine::QueryResult Coordinator::ExecuteSharded(
+    const engine::CorpusSnapshot& snapshot, const engine::Query& query,
+    int num_shards) {
+  DIVERSE_CHECK(num_shards >= 1);
+  WallTimer timer;
+  const std::vector<int>& candidates = snapshot.candidates();
+  const int p = std::min<int>(query.p, static_cast<int>(candidates.size()));
+  const int per_shard = query.per_shard > 0 ? query.per_shard : p;
+  const engine::ProblemView view =
+      engine::MakeProblemView(snapshot, query.relevance, query.lambda);
+  const std::vector<std::vector<int>> shards =
+      AssignShards(candidates, num_shards, query.shard_salt);
+
+  // Round 1, remote: fan out in parallel, one worker thread per node
+  // with work (shards on the same node would only serialize on its
+  // transport mutex, so more threads than nodes buys nothing); results
+  // land in shard-indexed slots, so completion order is irrelevant to
+  // the merge below. The single-busy-node case runs inline.
+  struct ShardRun {
+    bool attempted = false;
+    bool remote_ok = false;
+    std::vector<int> elements;
+    long long steps = 0;
+  };
+  std::vector<ShardRun> runs(num_shards);
+  {
+    std::vector<std::vector<int>> node_shards(nodes_.size());
+    for (int s = 0; s < num_shards; ++s) {
+      if (shards[s].empty()) continue;  // mirrors ShardedGreedy's skip
+      runs[s].attempted = true;
+      node_shards[s % nodes_.size()].push_back(s);
+    }
+    const auto run_node = [&](const std::vector<int>& shard_list) {
+      for (const int s : shard_list) {
+        ShardQueryRequest request;
+        request.snapshot_version = snapshot.version();
+        request.shard_salt = query.shard_salt;
+        request.num_shards = num_shards;
+        request.shard_index = s;
+        request.p = p;
+        request.per_shard = per_shard;
+        request.lambda = query.lambda;
+        request.relevance = query.relevance;
+        runs[s].remote_ok = RunShardRemote(snapshot, request,
+                                           &runs[s].elements,
+                                           &runs[s].steps);
+      }
+    };
+    int busy_nodes = 0;
+    for (const std::vector<int>& list : node_shards) {
+      if (!list.empty()) ++busy_nodes;
+    }
+    if (busy_nodes <= 1) {
+      for (const std::vector<int>& list : node_shards) run_node(list);
+    } else {
+      std::vector<std::thread> fanout;
+      fanout.reserve(busy_nodes);
+      for (const std::vector<int>& list : node_shards) {
+        if (list.empty()) continue;
+        fanout.emplace_back([&run_node, &list] { run_node(list); });
+      }
+      for (std::thread& t : fanout) t.join();
+    }
+  }
+
+  engine::QueryResult result;
+  result.corpus_version = snapshot.version();
+
+  // Collect in shard order, resolving failures by policy. The fallback
+  // runs the identical kernel on the identical shard of the identical
+  // snapshot, so taking it never changes the answer.
+  std::vector<std::vector<int>> local_solutions;
+  local_solutions.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    if (!runs[s].attempted) continue;
+    if (runs[s].remote_ok) {
+      remote_shards_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      if (options_.on_unreachable == FailurePolicy::kFail) {
+        failed_queries_.fetch_add(1, std::memory_order_relaxed);
+        result.ok = false;
+        result.latency_seconds = timer.Seconds();
+        return result;
+      }
+      local_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      AlgorithmResult local =
+          GreedyVertexOnCandidates(view.problem, shards[s], per_shard);
+      runs[s].elements = std::move(local.elements);
+      runs[s].steps = local.steps;
+    }
+    result.steps += runs[s].steps;
+    local_solutions.push_back(std::move(runs[s].elements));
+  }
+
+  // Round 2 + composable-core-set safeguard: the exact code path
+  // ShardedGreedy runs, on the coordinator's own problem view.
+  AlgorithmResult merged =
+      MergeShardSolutions(view.problem, local_solutions, p);
+  result.steps += merged.steps;
+  result.elements = std::move(merged.elements);
+  result.objective = merged.objective;
+  result.latency_seconds = timer.Seconds();
+  return result;
+}
+
+Coordinator::Stats Coordinator::stats() const {
+  Stats stats;
+  stats.remote_shards = remote_shards_.load(std::memory_order_relaxed);
+  stats.local_fallbacks = local_fallbacks_.load(std::memory_order_relaxed);
+  stats.version_mismatches =
+      version_mismatches_.load(std::memory_order_relaxed);
+  stats.catchup_batches = catchup_batches_.load(std::memory_order_relaxed);
+  stats.failed_queries = failed_queries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace rpc
+}  // namespace diverse

@@ -1,0 +1,130 @@
+// Coordinator — the query-side half of the cross-node sharded plan.
+//
+// Owns one Transport per shard node and implements engine::RemoteExecutor:
+// for a kRemoteSharded query it hash-partitions the snapshot's candidates
+// (AssignShards — identical to the in-process plan), fans the non-empty
+// shards out to the nodes in parallel (shard s -> node s mod nodes), and
+// runs the second greedy round over the unioned kernel locally, with the
+// composable-core-set safeguard. Every scoring decision (prefix
+// objectives, the final merge) uses the coordinator's own problem view of
+// the SAME snapshot the replicas are version-checked against, so the
+// answer is bit-equal to engine PlanKind::kSharded — the property
+// tests/rpc_test.cc asserts.
+//
+// Replica sync: the corpus owner publishes every update epoch through
+// PublishEpoch, which appends it to the coordinator's epoch log and pushes
+// it to all nodes best-effort. A node that missed epochs (down, restarted)
+// answers queries with kVersionMismatch + its version; the coordinator
+// replays the missing log suffix (a CorpusUpdateBatch) and retries, up to
+// max_catchup_rounds per shard.
+//
+// Degradation is configurable: with kFallbackLocal (default) a shard whose
+// node is unreachable, misbehaving, or unrecoverably out of sync runs its
+// kernel on the coordinator's snapshot instead — same pure function, so
+// the merged answer is unchanged, only the latency budget moves on-box.
+// With kFail the query returns ok = false and no elements.
+//
+// Thread-safety: ExecuteSharded and PublishEpoch may be called
+// concurrently from any threads (engine workers, an updater).
+#ifndef DIVERSE_RPC_COORDINATOR_H_
+#define DIVERSE_RPC_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "engine/corpus.h"
+#include "engine/execution_plan.h"
+#include "engine/query.h"
+#include "rpc/transport.h"
+#include "rpc/wire.h"
+
+namespace diverse {
+namespace rpc {
+
+class Coordinator : public engine::RemoteExecutor {
+ public:
+  enum class FailurePolicy {
+    kFallbackLocal,  // run the shard's kernel on the coordinator (default)
+    kFail,           // answer ok = false, empty elements
+  };
+
+  struct Options {
+    FailurePolicy on_unreachable = FailurePolicy::kFallbackLocal;
+    // Catch-up attempts per shard per query before the failure policy
+    // applies: each round replays the node's missing epochs and re-asks.
+    int max_catchup_rounds = 3;
+  };
+
+  // `nodes` (one transport per shard node, all distinct) must outlive the
+  // coordinator and hold at least one entry.
+  Coordinator(std::vector<Transport*> nodes, Options options);
+  explicit Coordinator(std::vector<Transport*> nodes)
+      : Coordinator(std::move(nodes), Options()) {}
+
+  // Records the update epoch that advanced the corpus owner to `version`
+  // (i.e. pass exactly what ApplyUpdates was given and what it returned)
+  // and pushes it to every node, best-effort: an unreachable or lagging
+  // node is left to the query-time catch-up path. Safe to call from
+  // concurrent updater threads: the epoch is slotted into the log at
+  // version - 1, so a race between publishers cannot reorder the replay
+  // log relative to the versions Corpus::Apply assigned. Publishing the
+  // same version twice is a caller bug and CHECK-aborts.
+  void PublishEpoch(std::uint64_t version,
+                    std::span<const engine::CorpusUpdate> updates);
+
+  // Length of the contiguous published prefix of the epoch log — the
+  // corpus version replicas can currently converge to.
+  std::uint64_t published_version() const;
+
+  // engine::RemoteExecutor. Pure function of (snapshot, query, num_shards)
+  // regardless of replica state, by construction (version check + local
+  // fallback). Sets ok = false only under FailurePolicy::kFail.
+  engine::QueryResult ExecuteSharded(const engine::CorpusSnapshot& snapshot,
+                                     const engine::Query& query,
+                                     int num_shards) override;
+
+  struct Stats {
+    long long remote_shards = 0;      // shard kernels answered by a node
+    long long local_fallbacks = 0;    // shard kernels run on-box instead
+    long long version_mismatches = 0; // stale-replica query responses seen
+    long long catchup_batches = 0;    // replay batches sent
+    long long failed_queries = 0;     // queries answered ok = false
+  };
+  Stats stats() const;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  // One shard's remote round-trip including catch-up rounds; false means
+  // the failure policy decides. On success *elements/*steps hold the
+  // validated kernel solution.
+  bool RunShardRemote(const engine::CorpusSnapshot& snapshot,
+                      const ShardQueryRequest& request,
+                      std::vector<int>* elements, long long* steps);
+  bool SendCatchUp(Transport* node, std::uint64_t from, std::uint64_t to);
+
+  const std::vector<Transport*> nodes_;
+  const Options options_;
+
+  mutable std::mutex log_mu_;
+  // epochs_[k] advances a replica from version k to k + 1. Slots are
+  // filled by PublishEpoch keyed on the publisher's corpus version, so a
+  // slot can be temporarily empty while an earlier concurrent publish is
+  // still in flight; replays stop at the first unfilled slot.
+  std::vector<std::vector<engine::CorpusUpdate>> epochs_;
+  std::vector<bool> epoch_filled_;
+
+  mutable std::atomic<long long> remote_shards_{0};
+  mutable std::atomic<long long> local_fallbacks_{0};
+  mutable std::atomic<long long> version_mismatches_{0};
+  mutable std::atomic<long long> catchup_batches_{0};
+  mutable std::atomic<long long> failed_queries_{0};
+};
+
+}  // namespace rpc
+}  // namespace diverse
+
+#endif  // DIVERSE_RPC_COORDINATOR_H_

@@ -1,0 +1,171 @@
+#include "rpc/shard_node.h"
+
+#include <cmath>
+#include <utility>
+
+#include "algorithms/distributed.h"
+#include "algorithms/result.h"
+#include "engine/execution_plan.h"
+
+namespace diverse {
+namespace rpc {
+namespace {
+
+// Would `update` pass Corpus::Apply's preconditions against a universe of
+// size n (updating *n for inserts)? The batch crossed a trust boundary,
+// so precondition violations must turn into a kError reply instead of the
+// CHECK-abort a local caller would get.
+bool ValidUpdate(const engine::CorpusUpdate& update, int* n) {
+  using Kind = engine::CorpusUpdate::Kind;
+  switch (update.kind) {
+    case Kind::kSetWeight:
+      return 0 <= update.u && update.u < *n && update.value >= 0.0 &&
+             std::isfinite(update.value);
+    case Kind::kSetDistance:
+      return 0 <= update.u && update.u < *n && 0 <= update.v &&
+             update.v < *n && update.u != update.v && update.value >= 0.0 &&
+             std::isfinite(update.value);
+    case Kind::kInsert: {
+      if (static_cast<int>(update.distances.size()) != *n) return false;
+      if (update.value < 0.0 || !std::isfinite(update.value)) return false;
+      for (double d : update.distances) {
+        if (d < 0.0 || !std::isfinite(d)) return false;
+      }
+      ++*n;
+      return true;
+    }
+    case Kind::kErase:
+      return 0 <= update.u && update.u < *n;
+  }
+  return false;
+}
+
+}  // namespace
+
+ShardNode::ShardNode(std::vector<double> weights, DenseMetric metric,
+                     double lambda)
+    : replica_(std::move(weights), std::move(metric), lambda) {}
+
+std::vector<std::uint8_t> ShardNode::Handle(
+    std::span<const std::uint8_t> request_payload) {
+  const std::optional<MessageType> type = PeekType(request_payload);
+  if (type == MessageType::kShardQueryRequest) {
+    ShardQueryRequest request;
+    if (Decode(request_payload, &request)) return HandleQuery(request);
+  } else if (type == MessageType::kCorpusUpdateBatch) {
+    CorpusUpdateBatch batch;
+    if (Decode(request_payload, &batch)) return HandleUpdates(batch);
+  }
+  // Truncated/garbled frame or a type this node does not serve. The ack
+  // shape decodes as neither expected response, so callers waiting on a
+  // query reply treat it as a node failure — which it is.
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  UpdateAck nack;
+  nack.status = RpcStatus::kError;
+  nack.node_version = replica_.version();
+  return Encode(nack);
+}
+
+std::vector<std::uint8_t> ShardNode::HandleQuery(
+    const ShardQueryRequest& request) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const engine::SnapshotPtr snapshot = replica_.snapshot();
+  ShardQueryResponse response;
+  response.shard_index = request.shard_index;
+  response.node_version = snapshot->version();
+
+  if (request.num_shards < 1 || request.shard_index < 0 ||
+      request.shard_index >= request.num_shards || request.p < 0 ||
+      request.per_shard < 0) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    response.status = RpcStatus::kError;
+    return Encode(response);
+  }
+  for (double r : request.relevance) {
+    if (r < 0.0 || !std::isfinite(r)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      response.status = RpcStatus::kError;
+      return Encode(response);
+    }
+  }
+  // Replicas ahead of the requested version cannot serve it either: the
+  // epoch protocol has no rewind. The coordinator resolves both directions
+  // (catch-up or local fallback) from node_version.
+  if (snapshot->version() != request.snapshot_version) {
+    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    response.status = RpcStatus::kVersionMismatch;
+    return Encode(response);
+  }
+
+  // This shard's candidate range, derived exactly as AssignShards does:
+  // filter the snapshot's live candidates (ascending) through the pure
+  // (salt, id) hash. Version agreement guarantees the coordinator's
+  // AssignShards produced the identical list.
+  std::vector<int> shard;
+  for (int id : snapshot->candidates()) {
+    if (ShardOf(request.shard_salt, id, request.num_shards) ==
+        request.shard_index) {
+      shard.push_back(id);
+    }
+  }
+
+  const engine::ProblemView view =
+      engine::MakeProblemView(*snapshot, request.relevance, request.lambda);
+  const AlgorithmResult local =
+      GreedyVertexOnCandidates(view.problem, shard, request.per_shard);
+  response.status = RpcStatus::kOk;
+  response.elements = local.elements;
+  response.objective = local.objective;
+  response.steps = local.steps;
+  return Encode(response);
+}
+
+std::vector<std::uint8_t> ShardNode::HandleUpdates(
+    const CorpusUpdateBatch& batch) {
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  UpdateAck ack;
+  const std::uint64_t current = replica_.version();
+  if (batch.from_version > current) {
+    // Gap: accepting would skip epochs and desynchronize the replica for
+    // good. Report where we are so the coordinator resends from there.
+    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    ack.status = RpcStatus::kVersionMismatch;
+    ack.node_version = current;
+    return Encode(ack);
+  }
+  // Epochs at or below the current version were already applied (the
+  // coordinator may replay on retry); skip them, then validate the rest
+  // before touching the replica so a bad batch is all-or-nothing.
+  const std::uint64_t skip = current - batch.from_version;
+  int universe = replica_.snapshot()->universe_size();
+  for (std::uint64_t i = skip; i < batch.epochs.size(); ++i) {
+    for (const engine::CorpusUpdate& update : batch.epochs[i]) {
+      if (!ValidUpdate(update, &universe)) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        ack.status = RpcStatus::kError;
+        ack.node_version = current;
+        return Encode(ack);
+      }
+    }
+  }
+  for (std::uint64_t i = skip; i < batch.epochs.size(); ++i) {
+    replica_.Apply(batch.epochs[i]);
+    epochs_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ack.status = RpcStatus::kOk;
+  ack.node_version = replica_.version();
+  return Encode(ack);
+}
+
+ShardNode::Stats ShardNode::stats() const {
+  Stats stats;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.version_mismatches =
+      version_mismatches_.load(std::memory_order_relaxed);
+  stats.epochs_applied = epochs_applied_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace rpc
+}  // namespace diverse

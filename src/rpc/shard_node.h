@@ -1,0 +1,72 @@
+// ShardNode — one RPC worker holding a full corpus replica and answering
+// per-shard Greedy B kernel queries for the coordinator.
+//
+// The replica is an engine::Corpus seeded from the same baseline (weights,
+// metric, lambda — version 0) as the coordinator's corpus and kept in sync
+// by applying CorpusUpdateBatch epochs strictly in version order: a batch
+// whose from_version is ahead of the replica is refused with
+// kVersionMismatch (the coordinator then resends the gap), and epochs at
+// or below the replica's version are skipped, making replayed batches
+// idempotent. Kernel queries run only when the replica is exactly at the
+// requested snapshot version, which is what makes the coordinator's merged
+// answer bit-equal to the in-process ShardedGreedy plan.
+//
+// Handle() is the transport-agnostic entry point: one decoded-validated-
+// executed request per call, always returning an encoded reply (malformed
+// input yields a kError reply, never an abort — the frame crossed a trust
+// boundary). Queries are lock-free on corpus data (snapshot acquisition);
+// update batches serialize on an apply mutex. Safe to call from multiple
+// transport threads.
+#ifndef DIVERSE_RPC_SHARD_NODE_H_
+#define DIVERSE_RPC_SHARD_NODE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "engine/corpus.h"
+#include "metric/dense_metric.h"
+#include "rpc/wire.h"
+
+namespace diverse {
+namespace rpc {
+
+class ShardNode {
+ public:
+  struct Stats {
+    long long queries = 0;
+    long long version_mismatches = 0;
+    long long epochs_applied = 0;
+    long long rejected = 0;  // decode failures + invalid requests
+  };
+
+  // Version-0 replica baseline; must match the coordinator's corpus.
+  ShardNode(std::vector<double> weights, DenseMetric metric, double lambda);
+
+  // Serves one request payload (wire.h), returning the encoded reply.
+  std::vector<std::uint8_t> Handle(
+      std::span<const std::uint8_t> request_payload);
+
+  std::uint64_t version() const { return replica_.version(); }
+  const engine::Corpus& replica() const { return replica_; }
+  Stats stats() const;
+
+ private:
+  std::vector<std::uint8_t> HandleQuery(const ShardQueryRequest& request);
+  std::vector<std::uint8_t> HandleUpdates(const CorpusUpdateBatch& batch);
+
+  engine::Corpus replica_;
+  std::mutex apply_mu_;  // serializes update batches (version-order gate)
+
+  std::atomic<long long> queries_{0};
+  std::atomic<long long> version_mismatches_{0};
+  std::atomic<long long> epochs_applied_{0};
+  std::atomic<long long> rejected_{0};
+};
+
+}  // namespace rpc
+}  // namespace diverse
+
+#endif  // DIVERSE_RPC_SHARD_NODE_H_

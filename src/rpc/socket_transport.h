@@ -1,0 +1,98 @@
+// Blocking TCP transport for the RPC sharding layer — plain POSIX sockets,
+// no external dependencies.
+//
+// Framing on the stream is [u32 little-endian payload length][payload],
+// with the payload bytes exactly as produced by wire.h Encode. Lengths
+// beyond wire.h's kMaxFrameBytes are treated as a protocol error and drop
+// the connection: a corrupt prefix must not drive an allocation.
+//
+// SocketTransport is the client half the coordinator holds, one per shard
+// node. It connects lazily on the first Call, and on any I/O failure
+// reports false and tears the connection down; the next Call reconnects.
+// That makes a restarted shard_node_cli transparently reusable — the
+// replica it lost is re-synced by the coordinator's catch-up protocol.
+//
+// SocketServer is the node half: it binds a loopback-reachable listening
+// socket, then serves one connection at a time — read frame, ShardNode::
+// Handle, write frame — until Stop(). One connection at a time matches the
+// one-coordinator deployment model; node-side parallelism across shards
+// comes from running more nodes, not more threads per node.
+#ifndef DIVERSE_RPC_SOCKET_TRANSPORT_H_
+#define DIVERSE_RPC_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/transport.h"
+
+namespace diverse {
+namespace rpc {
+
+class SocketTransport : public Transport {
+ public:
+  // Does not connect; the first Call does. `host` is a dotted-quad IPv4
+  // address or a name resolvable by getaddrinfo. `timeout_ms` bounds
+  // connect, send, and receive individually: a node that hangs (SIGSTOP,
+  // blackholed network) fails the Call within the timeout instead of
+  // wedging the coordinator's fan-out — without it the failure policy
+  // could never engage for hung-but-not-dead nodes. <= 0 disables.
+  SocketTransport(std::string host, int port, int timeout_ms = 5000);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  bool Call(const std::vector<std::uint8_t>& request,
+            std::vector<std::uint8_t>* response) override;
+
+ private:
+  bool EnsureConnected();  // caller holds mu_
+  void Disconnect();       // caller holds mu_
+
+  const std::string host_;
+  const int port_;
+  const int timeout_ms_;
+  std::mutex mu_;  // serializes calls: one in-flight frame per connection
+  int fd_ = -1;
+};
+
+class ShardNode;
+
+class SocketServer {
+ public:
+  // Binds and listens on `port` (0 picks an ephemeral port, see port()).
+  // `node` must outlive the server. CHECK-aborts if the socket cannot be
+  // bound — a node that cannot listen has nothing else to do.
+  SocketServer(ShardNode* node, int port);
+  ~SocketServer();  // implies Stop()
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  int port() const { return port_; }
+
+  // Accept/serve loop; returns after Stop(). Run directly (shard_node_cli)
+  // or via Start() on a background thread (tests).
+  void Serve();
+  void Start();
+  void Stop();
+
+ private:
+  bool ServeConnection(int client_fd);  // false once stopping
+
+  ShardNode* node_;
+  std::atomic<int> listen_fd_{-1};  // closed by Stop() to unblock accept
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> client_fd_{-1};  // shut down by Stop() to unblock reads
+  std::thread thread_;
+};
+
+}  // namespace rpc
+}  // namespace diverse
+
+#endif  // DIVERSE_RPC_SOCKET_TRANSPORT_H_

@@ -1,0 +1,16 @@
+#include "rpc/transport.h"
+
+#include "rpc/shard_node.h"
+
+namespace diverse {
+namespace rpc {
+
+bool InProcessTransport::Call(const std::vector<std::uint8_t>& request,
+                              std::vector<std::uint8_t>* response) {
+  if (down()) return false;
+  *response = node_->Handle(request);
+  return true;
+}
+
+}  // namespace rpc
+}  // namespace diverse

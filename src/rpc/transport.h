@@ -1,0 +1,63 @@
+// Transport abstraction for the RPC sharding layer: one blocking
+// request/response exchange of wire.h payloads with a single shard node.
+//
+// Two implementations ship:
+//
+//   * InProcessTransport (below) — calls straight into a ShardNode in this
+//     process. Deterministic and dependency-free; what the tests and
+//     bench/rpc_sharding drive, and the reference behavior SocketTransport
+//     must match. A `down` switch injects unreachable-node failures.
+//   * SocketTransport (socket_transport.h) — blocking TCP over POSIX
+//     sockets, length-prefixed frames, lazy reconnect.
+//
+// A transport addresses exactly one node; the coordinator owns one per
+// node and round-robins shards across them. Call() is serialized per
+// transport (internally locked), so one connection carries one in-flight
+// request at a time — cross-node parallelism comes from the coordinator
+// fanning out over distinct transports.
+#ifndef DIVERSE_RPC_TRANSPORT_H_
+#define DIVERSE_RPC_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace diverse {
+namespace rpc {
+
+class ShardNode;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Sends one encoded payload and blocks for the node's reply. Returns
+  // false on transport failure (node unreachable, connection lost,
+  // oversized frame); *response is unspecified then. A true return means
+  // bytes came back — the caller still validates them with wire.h Decode.
+  virtual bool Call(const std::vector<std::uint8_t>& request,
+                    std::vector<std::uint8_t>* response) = 0;
+};
+
+class InProcessTransport : public Transport {
+ public:
+  // `node` must outlive the transport.
+  explicit InProcessTransport(ShardNode* node) : node_(node) {}
+
+  bool Call(const std::vector<std::uint8_t>& request,
+            std::vector<std::uint8_t>* response) override;
+
+  // Simulates a killed/unreachable node: while down, Call fails without
+  // reaching the node. Thread-safe; tests flip it mid-run.
+  void set_down(bool down) { down_.store(down, std::memory_order_relaxed); }
+  bool down() const { return down_.load(std::memory_order_relaxed); }
+
+ private:
+  ShardNode* node_;
+  std::atomic<bool> down_{false};
+};
+
+}  // namespace rpc
+}  // namespace diverse
+
+#endif  // DIVERSE_RPC_TRANSPORT_H_

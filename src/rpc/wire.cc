@@ -1,0 +1,329 @@
+#include "rpc/wire.h"
+
+#include <cstring>
+
+namespace diverse {
+namespace rpc {
+namespace {
+
+// ---- Encoding ------------------------------------------------------------
+
+void AppendU8(std::vector<std::uint8_t>* out, std::uint8_t value) {
+  out->push_back(value);
+}
+
+void AppendU16(std::vector<std::uint8_t>* out, std::uint16_t value) {
+  out->push_back(static_cast<std::uint8_t>(value));
+  out->push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void AppendI32(std::vector<std::uint8_t>* out, std::int32_t value) {
+  AppendU32(out, static_cast<std::uint32_t>(value));
+}
+
+void AppendI64(std::vector<std::uint8_t>* out, std::int64_t value) {
+  AppendU64(out, static_cast<std::uint64_t>(value));
+}
+
+void AppendF64(std::vector<std::uint8_t>* out, double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendHeader(std::vector<std::uint8_t>* out, MessageType type) {
+  AppendU16(out, kWireVersion);
+  AppendU8(out, static_cast<std::uint8_t>(type));
+}
+
+// ---- Decoding ------------------------------------------------------------
+
+// Bounds-checked cursor over one payload. Every Read* either consumes its
+// bytes or returns false with the cursor unchanged-enough to abort decode.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool Done() const { return remaining() == 0; }
+
+  bool ReadU8(std::uint8_t* value) {
+    if (remaining() < 1) return false;
+    *value = data_[pos_++];
+    return true;
+  }
+
+  bool ReadU16(std::uint16_t* value) {
+    if (remaining() < 2) return false;
+    *value = static_cast<std::uint16_t>(data_[pos_] |
+                                        (std::uint16_t{data_[pos_ + 1]} << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool ReadU32(std::uint32_t* value) {
+    if (remaining() < 4) return false;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= std::uint32_t{data_[pos_ + i]} << (8 * i);
+    }
+    *value = v;
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(std::uint64_t* value) {
+    if (remaining() < 8) return false;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= std::uint64_t{data_[pos_ + i]} << (8 * i);
+    }
+    *value = v;
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadI32(std::int32_t* value) {
+    std::uint32_t raw;
+    if (!ReadU32(&raw)) return false;
+    *value = static_cast<std::int32_t>(raw);
+    return true;
+  }
+
+  bool ReadI64(std::int64_t* value) {
+    std::uint64_t raw;
+    if (!ReadU64(&raw)) return false;
+    *value = static_cast<std::int64_t>(raw);
+    return true;
+  }
+
+  bool ReadF64(double* value) {
+    std::uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(value, &bits, sizeof(bits));
+    return true;
+  }
+
+  // Element count for a vector whose entries take `stride` bytes each.
+  // Bounding by the bytes actually remaining means a corrupt count can
+  // never drive a huge allocation: the subsequent reads fail first.
+  bool ReadCount(std::size_t stride, std::size_t* count) {
+    std::uint32_t raw;
+    if (!ReadU32(&raw)) return false;
+    if (std::size_t{raw} * stride > remaining()) return false;
+    *count = raw;
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+bool ReadHeader(Reader* reader, MessageType expected) {
+  std::uint16_t version;
+  std::uint8_t type;
+  if (!reader->ReadU16(&version) || !reader->ReadU8(&type)) return false;
+  return version == kWireVersion &&
+         type == static_cast<std::uint8_t>(expected);
+}
+
+bool ReadStatus(Reader* reader, RpcStatus* status) {
+  std::uint8_t raw;
+  if (!reader->ReadU8(&raw)) return false;
+  if (raw > static_cast<std::uint8_t>(RpcStatus::kError)) return false;
+  *status = static_cast<RpcStatus>(raw);
+  return true;
+}
+
+void AppendUpdate(std::vector<std::uint8_t>* out,
+                  const engine::CorpusUpdate& update) {
+  AppendU8(out, static_cast<std::uint8_t>(update.kind));
+  AppendI32(out, update.u);
+  AppendI32(out, update.v);
+  AppendF64(out, update.value);
+  AppendU32(out, static_cast<std::uint32_t>(update.distances.size()));
+  for (double d : update.distances) AppendF64(out, d);
+}
+
+bool ReadUpdate(Reader* reader, engine::CorpusUpdate* update) {
+  std::uint8_t kind;
+  if (!reader->ReadU8(&kind)) return false;
+  if (kind > static_cast<std::uint8_t>(engine::CorpusUpdate::Kind::kErase)) {
+    return false;
+  }
+  update->kind = static_cast<engine::CorpusUpdate::Kind>(kind);
+  if (!reader->ReadI32(&update->u) || !reader->ReadI32(&update->v) ||
+      !reader->ReadF64(&update->value)) {
+    return false;
+  }
+  std::size_t count;
+  if (!reader->ReadCount(8, &count)) return false;
+  update->distances.resize(count);
+  for (double& d : update->distances) {
+    if (!reader->ReadF64(&d)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Encode(const ShardQueryRequest& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(3 + 8 * 2 + 4 * 4 + 8 + 4 + 8 * message.relevance.size());
+  AppendHeader(&out, MessageType::kShardQueryRequest);
+  AppendU64(&out, message.snapshot_version);
+  AppendU64(&out, message.shard_salt);
+  AppendI32(&out, message.num_shards);
+  AppendI32(&out, message.shard_index);
+  AppendI32(&out, message.p);
+  AppendI32(&out, message.per_shard);
+  AppendF64(&out, message.lambda);
+  AppendU32(&out, static_cast<std::uint32_t>(message.relevance.size()));
+  for (double r : message.relevance) AppendF64(&out, r);
+  return out;
+}
+
+std::vector<std::uint8_t> Encode(const ShardQueryResponse& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(3 + 1 + 8 + 4 + 4 + 4 * message.elements.size() + 8 + 8);
+  AppendHeader(&out, MessageType::kShardQueryResponse);
+  AppendU8(&out, static_cast<std::uint8_t>(message.status));
+  AppendU64(&out, message.node_version);
+  AppendI32(&out, message.shard_index);
+  AppendU32(&out, static_cast<std::uint32_t>(message.elements.size()));
+  for (int e : message.elements) AppendI32(&out, e);
+  AppendF64(&out, message.objective);
+  AppendI64(&out, message.steps);
+  return out;
+}
+
+std::vector<std::uint8_t> Encode(const CorpusUpdateBatch& message) {
+  std::vector<std::uint8_t> out;
+  AppendHeader(&out, MessageType::kCorpusUpdateBatch);
+  AppendU64(&out, message.from_version);
+  AppendU32(&out, static_cast<std::uint32_t>(message.epochs.size()));
+  for (const std::vector<engine::CorpusUpdate>& epoch : message.epochs) {
+    AppendU32(&out, static_cast<std::uint32_t>(epoch.size()));
+    for (const engine::CorpusUpdate& update : epoch) {
+      AppendUpdate(&out, update);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Encode(const UpdateAck& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(3 + 1 + 8);
+  AppendHeader(&out, MessageType::kUpdateAck);
+  AppendU8(&out, static_cast<std::uint8_t>(message.status));
+  AppendU64(&out, message.node_version);
+  return out;
+}
+
+std::optional<MessageType> PeekType(std::span<const std::uint8_t> payload) {
+  Reader reader(payload);
+  std::uint16_t version;
+  std::uint8_t type;
+  if (!reader.ReadU16(&version) || !reader.ReadU8(&type)) return std::nullopt;
+  if (version != kWireVersion) return std::nullopt;
+  if (type < static_cast<std::uint8_t>(MessageType::kShardQueryRequest) ||
+      type > static_cast<std::uint8_t>(MessageType::kUpdateAck)) {
+    return std::nullopt;
+  }
+  return static_cast<MessageType>(type);
+}
+
+bool Decode(std::span<const std::uint8_t> payload,
+            ShardQueryRequest* message) {
+  Reader reader(payload);
+  if (!ReadHeader(&reader, MessageType::kShardQueryRequest)) return false;
+  if (!reader.ReadU64(&message->snapshot_version) ||
+      !reader.ReadU64(&message->shard_salt) ||
+      !reader.ReadI32(&message->num_shards) ||
+      !reader.ReadI32(&message->shard_index) || !reader.ReadI32(&message->p) ||
+      !reader.ReadI32(&message->per_shard) ||
+      !reader.ReadF64(&message->lambda)) {
+    return false;
+  }
+  std::size_t count;
+  if (!reader.ReadCount(8, &count)) return false;
+  message->relevance.resize(count);
+  for (double& r : message->relevance) {
+    if (!reader.ReadF64(&r)) return false;
+  }
+  return reader.Done();
+}
+
+bool Decode(std::span<const std::uint8_t> payload,
+            ShardQueryResponse* message) {
+  Reader reader(payload);
+  if (!ReadHeader(&reader, MessageType::kShardQueryResponse)) return false;
+  if (!ReadStatus(&reader, &message->status) ||
+      !reader.ReadU64(&message->node_version) ||
+      !reader.ReadI32(&message->shard_index)) {
+    return false;
+  }
+  std::size_t count;
+  if (!reader.ReadCount(4, &count)) return false;
+  message->elements.resize(count);
+  for (int& e : message->elements) {
+    std::int32_t value;
+    if (!reader.ReadI32(&value)) return false;
+    e = value;
+  }
+  if (!reader.ReadF64(&message->objective) ||
+      !reader.ReadI64(&message->steps)) {
+    return false;
+  }
+  return reader.Done();
+}
+
+bool Decode(std::span<const std::uint8_t> payload,
+            CorpusUpdateBatch* message) {
+  Reader reader(payload);
+  if (!ReadHeader(&reader, MessageType::kCorpusUpdateBatch)) return false;
+  if (!reader.ReadU64(&message->from_version)) return false;
+  std::size_t epochs;
+  // An epoch takes at least 4 bytes (its update count), an update at
+  // least 21 (kind + u + v + value + distance count).
+  if (!reader.ReadCount(4, &epochs)) return false;
+  message->epochs.clear();
+  message->epochs.reserve(epochs);
+  for (std::size_t i = 0; i < epochs; ++i) {
+    std::size_t updates;
+    if (!reader.ReadCount(21, &updates)) return false;
+    std::vector<engine::CorpusUpdate>& epoch = message->epochs.emplace_back();
+    epoch.resize(updates);
+    for (engine::CorpusUpdate& update : epoch) {
+      if (!ReadUpdate(&reader, &update)) return false;
+    }
+  }
+  return reader.Done();
+}
+
+bool Decode(std::span<const std::uint8_t> payload, UpdateAck* message) {
+  Reader reader(payload);
+  if (!ReadHeader(&reader, MessageType::kUpdateAck)) return false;
+  if (!ReadStatus(&reader, &message->status) ||
+      !reader.ReadU64(&message->node_version)) {
+    return false;
+  }
+  return reader.Done();
+}
+
+}  // namespace rpc
+}  // namespace diverse

@@ -1,0 +1,135 @@
+// Versioned binary wire format for the cross-node sharded serving layer.
+//
+// Every message is encoded as one self-contained payload
+//
+//   [u16 wire version][u8 message type][message body]
+//
+// with all integers little-endian and doubles as IEEE-754 bit patterns.
+// Transports add their own framing around the payload (SocketTransport
+// length-prefixes it; InProcessTransport passes the byte vector through).
+//
+// Three messages cross the wire:
+//
+//   * ShardQueryRequest — "run the per-shard Greedy B kernel for shard
+//     `shard_index` of `num_shards` under `shard_salt`, on your replica at
+//     `snapshot_version`". The candidate range is intensional: the worker
+//     derives its shard by filtering its replica's live candidates through
+//     ShardOf (algorithms/distributed.h), so frames stay O(1) in corpus
+//     size apart from the optional per-query relevance vector. Replica
+//     agreement is enforced by the version check, not by shipping ids.
+//   * ShardQueryResponse — the kernel solution (greedy order), its
+//     objective and step count, or a version-mismatch/error status. On
+//     mismatch `node_version` tells the coordinator which epochs to
+//     replay.
+//   * CorpusUpdateBatch — consecutive update epochs `from_version ->
+//     from_version + epochs.size()`, applied one Corpus::Apply per epoch
+//     so replica version numbers stay aligned with the coordinator's.
+//     Answered by an UpdateAck.
+//
+// Decoding is total: truncated buffers, trailing garbage, unknown wire
+// versions, unknown message types, and out-of-range enum values are all
+// rejected with `false` — a malformed frame can never abort a node.
+#ifndef DIVERSE_RPC_WIRE_H_
+#define DIVERSE_RPC_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "engine/corpus.h"
+
+namespace diverse {
+namespace rpc {
+
+// Bumped on any incompatible layout change; decoders reject other values.
+inline constexpr std::uint16_t kWireVersion = 1;
+
+// Hard ceiling on one payload (and on any decoded vector), shared with the
+// socket framing: a corrupt length prefix must not turn into an OOM.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 26;  // 64 MiB
+
+enum class MessageType : std::uint8_t {
+  kShardQueryRequest = 1,
+  kShardQueryResponse = 2,
+  kCorpusUpdateBatch = 3,
+  kUpdateAck = 4,
+};
+
+enum class RpcStatus : std::uint8_t {
+  kOk = 0,
+  // Query: replica is not at the requested snapshot version (see
+  // `node_version`). Update batch: `from_version` is ahead of the replica
+  // — the coordinator must resend from `node_version`.
+  kVersionMismatch = 1,
+  // Malformed or infeasible request; not retryable.
+  kError = 2,
+};
+
+struct ShardQueryRequest {
+  std::uint64_t snapshot_version = 0;
+  std::uint64_t shard_salt = 0;
+  std::int32_t num_shards = 1;
+  std::int32_t shard_index = 0;
+  // Resolved by the coordinator: p is already clamped to the candidate
+  // count and per_shard defaulted to p, so every replica runs the exact
+  // kernel call the in-process ShardedGreedy would.
+  std::int32_t p = 0;
+  std::int32_t per_shard = 0;
+  // Per-query view knobs, forwarded verbatim from engine::Query: lambda
+  // < 0 keeps the corpus default; an empty relevance vector keeps corpus
+  // weights (see engine::MakeProblemView).
+  double lambda = -1.0;
+  std::vector<double> relevance;
+};
+
+struct ShardQueryResponse {
+  RpcStatus status = RpcStatus::kOk;
+  // The replica's current version (== the request's snapshot_version on
+  // kOk; the catch-up starting point on kVersionMismatch).
+  std::uint64_t node_version = 0;
+  std::int32_t shard_index = 0;
+  std::vector<int> elements;  // kernel solution, greedy order
+  double objective = 0.0;
+  std::int64_t steps = 0;
+};
+
+struct CorpusUpdateBatch {
+  // epochs[i] advances the replica from version from_version + i to
+  // from_version + i + 1; the batch as a whole is the half-open version
+  // range [from_version, to_version()).
+  std::uint64_t from_version = 0;
+  std::vector<std::vector<engine::CorpusUpdate>> epochs;
+
+  std::uint64_t to_version() const { return from_version + epochs.size(); }
+};
+
+struct UpdateAck {
+  RpcStatus status = RpcStatus::kOk;
+  std::uint64_t node_version = 0;  // replica version after the batch
+};
+
+// Encoders never fail; the result always starts with the version/type
+// header and is accepted by the matching decoder.
+std::vector<std::uint8_t> Encode(const ShardQueryRequest& message);
+std::vector<std::uint8_t> Encode(const ShardQueryResponse& message);
+std::vector<std::uint8_t> Encode(const CorpusUpdateBatch& message);
+std::vector<std::uint8_t> Encode(const UpdateAck& message);
+
+// Message type of a payload, or nullopt when the header is truncated or
+// the wire version does not match kWireVersion.
+std::optional<MessageType> PeekType(std::span<const std::uint8_t> payload);
+
+// Each decoder returns false (leaving *message unspecified) unless the
+// payload is a complete, well-formed message of the matching type at
+// kWireVersion with no trailing bytes.
+bool Decode(std::span<const std::uint8_t> payload, ShardQueryRequest* message);
+bool Decode(std::span<const std::uint8_t> payload,
+            ShardQueryResponse* message);
+bool Decode(std::span<const std::uint8_t> payload, CorpusUpdateBatch* message);
+bool Decode(std::span<const std::uint8_t> payload, UpdateAck* message);
+
+}  // namespace rpc
+}  // namespace diverse
+
+#endif  // DIVERSE_RPC_WIRE_H_

@@ -1,0 +1,406 @@
+// End-to-end tests for the cross-node RPC sharding layer (src/rpc/):
+// coordinator answers must be bit-equal to the in-process sharded plan at
+// the same snapshot version — over InProcessTransport and loopback
+// SocketTransport, through replica-sync epochs, query-time catch-up of
+// lagging replicas, killed nodes (both failure policies), concurrent
+// corpus updates, and across engine worker-pool sizes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "engine/engine.h"
+#include "engine/execution_plan.h"
+#include "engine/workload.h"
+#include "rpc/coordinator.h"
+#include "rpc/shard_node.h"
+#include "rpc/socket_transport.h"
+#include "rpc/transport.h"
+#include "rpc/wire.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace rpc {
+namespace {
+
+using engine::CorpusUpdate;
+using engine::DiversificationEngine;
+using engine::PlanKind;
+using engine::Query;
+using engine::QueryResult;
+
+// One corpus served three ways: the engine (coordinator side), and
+// `num_nodes` ShardNode replicas behind InProcessTransports.
+struct RemoteCluster {
+  std::vector<std::unique_ptr<ShardNode>> nodes;
+  std::vector<std::unique_ptr<InProcessTransport>> transports;
+  std::unique_ptr<Coordinator> coordinator;
+  std::unique_ptr<DiversificationEngine> engine;
+
+  std::uint64_t ApplyAndPublish(const std::vector<CorpusUpdate>& updates) {
+    const std::uint64_t version = engine->ApplyUpdates(updates);
+    coordinator->PublishEpoch(version, updates);
+    return version;
+  }
+};
+
+RemoteCluster MakeCluster(
+    int n, int num_nodes, std::uint64_t seed, double lambda,
+    Coordinator::Options coordinator_options = {},
+    DiversificationEngine::Options engine_options = {}) {
+  Rng rng(seed);
+  const Dataset data = MakeUniformSynthetic(n, rng);
+  RemoteCluster cluster;
+  std::vector<Transport*> raw;
+  for (int i = 0; i < num_nodes; ++i) {
+    Dataset replica = data;
+    cluster.nodes.push_back(std::make_unique<ShardNode>(
+        replica.weights, std::move(replica.metric), lambda));
+    cluster.transports.push_back(
+        std::make_unique<InProcessTransport>(cluster.nodes.back().get()));
+    raw.push_back(cluster.transports.back().get());
+  }
+  cluster.coordinator =
+      std::make_unique<Coordinator>(raw, coordinator_options);
+  engine_options.remote = cluster.coordinator.get();
+  Dataset mine = data;
+  cluster.engine = std::make_unique<DiversificationEngine>(
+      mine.weights, std::move(mine.metric), lambda, engine_options);
+  return cluster;
+}
+
+Query MakeQuery(int universe, int p, int num_shards, std::uint64_t salt,
+                Rng& rng, bool remote = true) {
+  engine::SyntheticQueryConfig config;
+  config.p = p;
+  config.universe = universe;
+  config.sharded = true;
+  config.remote = remote;
+  config.num_shards = num_shards;
+  Query query = engine::MakeSyntheticQuery(config, rng);
+  query.shard_salt = salt;
+  return query;
+}
+
+// The acceptance assertion: remote and in-process sharded answers on the
+// same snapshot must agree bitwise (elements, objective, steps, version).
+void ExpectBitEqual(DiversificationEngine& engine, const Query& remote) {
+  const QueryResult remote_result = engine.RunSync(remote);
+  Query local = remote;
+  local.plan = PlanKind::kSharded;
+  const QueryResult local_result = engine.RunSync(local);
+  EXPECT_TRUE(remote_result.ok);
+  EXPECT_EQ(remote_result.corpus_version, local_result.corpus_version);
+  EXPECT_EQ(remote_result.elements, local_result.elements);
+  EXPECT_EQ(remote_result.objective, local_result.objective);
+  EXPECT_EQ(remote_result.steps, local_result.steps);
+}
+
+TEST(RpcTest, CoordinatorBitEqualToInProcessSharded) {
+  RemoteCluster cluster = MakeCluster(80, 3, 1, 0.3);
+  Rng rng(2);
+  // Shard counts below, at, and above the node count; varying salts and
+  // per-query relevance draws.
+  for (int num_shards : {1, 2, 3, 4, 8}) {
+    for (int q = 0; q < 4; ++q) {
+      ExpectBitEqual(*cluster.engine,
+                     MakeQuery(80, 9, num_shards, rng.NextSeed(), rng));
+    }
+  }
+  const Coordinator::Stats stats = cluster.coordinator->stats();
+  EXPECT_GT(stats.remote_shards, 0);
+  EXPECT_EQ(stats.local_fallbacks, 0);
+  EXPECT_EQ(stats.failed_queries, 0);
+}
+
+TEST(RpcTest, PerShardAndLambdaOverridesStayBitEqual) {
+  RemoteCluster cluster = MakeCluster(60, 2, 3, 0.25);
+  Rng rng(4);
+  Query query = MakeQuery(60, 8, 4, 77, rng);
+  query.per_shard = 12;  // per-shard yield larger than p
+  query.lambda = 0.9;
+  ExpectBitEqual(*cluster.engine, query);
+  query.per_shard = 3;  // smaller than p
+  ExpectBitEqual(*cluster.engine, query);
+  query.relevance.clear();  // corpus weights, corpus lambda
+  query.lambda = -1.0;
+  ExpectBitEqual(*cluster.engine, query);
+}
+
+TEST(RpcTest, ReplicasApplyEpochsInVersionOrder) {
+  RemoteCluster cluster = MakeCluster(50, 2, 5, 0.3);
+  Rng rng(6);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    const int universe =
+        cluster.engine->corpus().snapshot()->universe_size();
+    const std::uint64_t version = cluster.ApplyAndPublish(
+        engine::MakeSyntheticEpoch(universe, /*churn=*/true, epoch, rng));
+    EXPECT_EQ(version, static_cast<std::uint64_t>(epoch + 1));
+    for (const auto& node : cluster.nodes) {
+      EXPECT_EQ(node->version(), version);
+    }
+    const int new_universe =
+        cluster.engine->corpus().snapshot()->universe_size();
+    ExpectBitEqual(*cluster.engine,
+                   MakeQuery(new_universe, 7, 4, rng.NextSeed(), rng));
+  }
+}
+
+TEST(RpcTest, LaggingReplicaCatchesUpAtQueryTime) {
+  RemoteCluster cluster = MakeCluster(50, 2, 7, 0.3);
+  Rng rng(8);
+  // Node 1 misses three epochs.
+  cluster.transports[1]->set_down(true);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    cluster.ApplyAndPublish(
+        engine::MakeSyntheticEpoch(50, /*churn=*/false, epoch, rng));
+  }
+  EXPECT_EQ(cluster.nodes[0]->version(), 3u);
+  EXPECT_EQ(cluster.nodes[1]->version(), 0u);
+
+  cluster.transports[1]->set_down(false);
+  ExpectBitEqual(*cluster.engine, MakeQuery(50, 6, 4, 99, rng));
+  // The stale replica was caught up by replaying the missed epochs, not
+  // bypassed: it is now current and served its shards remotely.
+  EXPECT_EQ(cluster.nodes[1]->version(), 3u);
+  const Coordinator::Stats stats = cluster.coordinator->stats();
+  EXPECT_GT(stats.version_mismatches, 0);
+  EXPECT_GT(stats.catchup_batches, 0);
+  EXPECT_EQ(stats.local_fallbacks, 0);
+}
+
+TEST(RpcTest, ProactiveResyncOnPublish) {
+  RemoteCluster cluster = MakeCluster(40, 2, 9, 0.3);
+  Rng rng(10);
+  cluster.transports[1]->set_down(true);
+  cluster.ApplyAndPublish(
+      engine::MakeSyntheticEpoch(40, /*churn=*/false, 0, rng));
+  cluster.ApplyAndPublish(
+      engine::MakeSyntheticEpoch(40, /*churn=*/false, 1, rng));
+  cluster.transports[1]->set_down(false);
+  // The next publish finds node 1 at version 0 (mismatch ack) and replays
+  // the whole missing suffix off the query path.
+  cluster.ApplyAndPublish(
+      engine::MakeSyntheticEpoch(40, /*churn=*/false, 2, rng));
+  EXPECT_EQ(cluster.nodes[1]->version(), 3u);
+  EXPECT_GT(cluster.coordinator->stats().catchup_batches, 0);
+}
+
+// Two updater threads racing ApplyUpdates + PublishEpoch: the log slots
+// epochs by the version Corpus::Apply actually assigned, so a publish
+// that loses the race cannot land its epoch at the wrong replay index.
+// If the log ever reordered, replicas would reach a version whose
+// content differs from the coordinator's and the bit-equality check
+// below would fail.
+TEST(RpcTest, ConcurrentPublishersKeepLogInVersionOrder) {
+  RemoteCluster cluster = MakeCluster(50, 2, 23, 0.3);
+  auto updater = [&cluster](std::uint64_t seed) {
+    Rng rng(seed);
+    for (int e = 0; e < 8; ++e) {
+      cluster.ApplyAndPublish(
+          engine::MakeSyntheticEpoch(50, /*churn=*/false, e, rng));
+    }
+  };
+  std::thread a(updater, 24);
+  std::thread b(updater, 25);
+  a.join();
+  b.join();
+  EXPECT_EQ(cluster.engine->corpus().version(), 16u);
+  EXPECT_EQ(cluster.coordinator->published_version(), 16u);
+  Rng qrng(26);
+  ExpectBitEqual(*cluster.engine, MakeQuery(50, 7, 4, 31, qrng));
+  // Query-time catch-up converged any replica that missed racing pushes.
+  for (const auto& node : cluster.nodes) {
+    EXPECT_EQ(node->version(), 16u);
+  }
+}
+
+TEST(RpcTest, KilledNodeFallsBackLocallyBitEqual) {
+  RemoteCluster cluster = MakeCluster(60, 2, 11, 0.3);
+  Rng rng(12);
+  cluster.transports[0]->set_down(true);  // killed for good
+  for (int q = 0; q < 3; ++q) {
+    ExpectBitEqual(*cluster.engine,
+                   MakeQuery(60, 8, 4, rng.NextSeed(), rng));
+  }
+  const Coordinator::Stats stats = cluster.coordinator->stats();
+  EXPECT_GT(stats.local_fallbacks, 0);
+  EXPECT_GT(stats.remote_shards, 0);  // the healthy node kept serving
+  EXPECT_EQ(stats.failed_queries, 0);
+}
+
+TEST(RpcTest, KilledNodeFailPolicyReportsFailure) {
+  Coordinator::Options options;
+  options.on_unreachable = Coordinator::FailurePolicy::kFail;
+  RemoteCluster cluster = MakeCluster(40, 2, 13, 0.3, options);
+  Rng rng(14);
+  const Query query = MakeQuery(40, 6, 4, 5, rng);
+  ExpectBitEqual(*cluster.engine, query);  // healthy: still bit-equal
+  cluster.transports[1]->set_down(true);
+  const QueryResult failed = cluster.engine->RunSync(query);
+  EXPECT_FALSE(failed.ok);
+  EXPECT_TRUE(failed.elements.empty());
+  EXPECT_GT(cluster.coordinator->stats().failed_queries, 0);
+}
+
+// A node that answers with bytes that decode but are not a solution its
+// shard could produce (wrong shard's ids) is treated as failed, and the
+// fallback keeps the answer bit-equal.
+class CorruptingTransport : public Transport {
+ public:
+  explicit CorruptingTransport(ShardNode* node) : node_(node) {}
+  bool Call(const std::vector<std::uint8_t>& request,
+            std::vector<std::uint8_t>* response) override {
+    *response = node_->Handle(request);
+    ShardQueryResponse decoded;
+    if (Decode(*response, &decoded) &&
+        decoded.status == RpcStatus::kOk) {
+      decoded.elements.assign(1, 0);  // id 0 rarely hashes to every shard
+      decoded.elements.push_back(0);  // and duplicates are never valid
+      *response = Encode(decoded);
+    }
+    return true;
+  }
+
+ private:
+  ShardNode* node_;
+};
+
+TEST(RpcTest, MisbehavingNodeTriggersFallback) {
+  Rng rng(15);
+  Dataset data = MakeUniformSynthetic(50, rng);
+  Dataset replica = data;
+  ShardNode node(replica.weights, std::move(replica.metric), 0.3);
+  CorruptingTransport transport(&node);
+  Coordinator coordinator({&transport});
+  DiversificationEngine::Options options;
+  options.remote = &coordinator;
+  options.num_workers = 1;
+  DiversificationEngine engine(data.weights, std::move(data.metric), 0.3,
+                               options);
+  Rng qrng(16);
+  ExpectBitEqual(engine, MakeQuery(50, 7, 4, 21, qrng));
+  EXPECT_GT(coordinator.stats().local_fallbacks, 0);
+}
+
+// Pooled remote queries racing an updater thread: every result must be
+// exactly the in-process sharded answer at the snapshot version it
+// reports (snapshot isolation + purity, now across the RPC boundary).
+TEST(RpcTest, ConcurrentUpdatesStaySnapshotConsistent) {
+  DiversificationEngine::Options engine_options;
+  engine_options.num_workers = 3;
+  engine_options.max_batch = 2;
+  RemoteCluster cluster = MakeCluster(60, 2, 17, 0.3, {}, engine_options);
+  Rng rng(18);
+
+  std::map<std::uint64_t, engine::SnapshotPtr> snapshots;
+  snapshots[0] = cluster.engine->corpus().snapshot();
+
+  std::vector<Query> queries;
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 30; ++i) {
+    if (i % 5 == 0) {
+      const std::uint64_t version = cluster.ApplyAndPublish(
+          engine::MakeSyntheticEpoch(60, /*churn=*/false, i / 5, rng));
+      snapshots[version] = cluster.engine->corpus().snapshot();
+    }
+    queries.push_back(MakeQuery(60, 8, 4, rng.NextSeed(), rng));
+    futures.push_back(cluster.engine->Submit(queries.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const QueryResult result = futures[i].get();
+    ASSERT_TRUE(result.ok);
+    ASSERT_TRUE(snapshots.count(result.corpus_version));
+    Query local = queries[i];
+    local.plan = PlanKind::kSharded;
+    const QueryResult reference = engine::ExecuteQuery(
+        *snapshots[result.corpus_version], local, engine::PlanDefaults{});
+    EXPECT_EQ(result.elements, reference.elements);
+    EXPECT_EQ(result.objective, reference.objective);
+  }
+}
+
+// Satellite: the sharded plans are a pure function of (snapshot, query) —
+// identical answers across worker-pool sizes, per plan, for a fixed salt.
+TEST(RpcTest, ShardedPlansDeterministicAcrossWorkerCounts) {
+  for (const bool remote : {false, true}) {
+    std::vector<int> reference;
+    double reference_objective = 0.0;
+    for (const int workers : {1, 2, 4}) {
+      DiversificationEngine::Options engine_options;
+      engine_options.num_workers = workers;
+      RemoteCluster cluster =
+          MakeCluster(70, 2, /*seed=*/19, 0.3, {}, engine_options);
+      Rng rng(20);  // same trace per pool size
+      Query query = MakeQuery(70, 9, 4, /*salt=*/1234, rng, remote);
+      const QueryResult result = cluster.engine->Submit(query).get();
+      if (workers == 1) {
+        reference = result.elements;
+        reference_objective = result.objective;
+        EXPECT_FALSE(reference.empty());
+      } else {
+        EXPECT_EQ(result.elements, reference);
+        EXPECT_EQ(result.objective, reference_objective);
+      }
+    }
+  }
+}
+
+// The acceptance path over real sockets: two shard nodes behind loopback
+// SocketServers, coordinator on SocketTransports — bit-equal before and
+// after replica-sync epochs, and after both nodes die (local fallback).
+TEST(RpcTest, SocketLoopbackEndToEnd) {
+  Rng rng(21);
+  const Dataset data = MakeUniformSynthetic(50, rng);
+
+  std::vector<std::unique_ptr<ShardNode>> nodes;
+  std::vector<std::unique_ptr<SocketServer>> servers;
+  std::vector<std::unique_ptr<SocketTransport>> transports;
+  std::vector<Transport*> raw;
+  for (int i = 0; i < 2; ++i) {
+    Dataset replica = data;
+    nodes.push_back(std::make_unique<ShardNode>(
+        replica.weights, std::move(replica.metric), 0.3));
+    servers.push_back(
+        std::make_unique<SocketServer>(nodes.back().get(), /*port=*/0));
+    servers.back()->Start();
+    transports.push_back(std::make_unique<SocketTransport>(
+        "127.0.0.1", servers.back()->port()));
+    raw.push_back(transports.back().get());
+  }
+  Coordinator coordinator(raw);
+  DiversificationEngine::Options options;
+  options.remote = &coordinator;
+  options.num_workers = 2;
+  Dataset mine = data;
+  DiversificationEngine engine(mine.weights, std::move(mine.metric), 0.3,
+                               options);
+
+  Rng qrng(22);
+  ExpectBitEqual(engine, MakeQuery(50, 7, 4, qrng.NextSeed(), qrng));
+
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const std::vector<CorpusUpdate> updates =
+        engine::MakeSyntheticEpoch(50, /*churn=*/false, epoch, qrng);
+    coordinator.PublishEpoch(engine.ApplyUpdates(updates), updates);
+  }
+  EXPECT_EQ(nodes[0]->version(), 3u);
+  EXPECT_EQ(nodes[1]->version(), 3u);
+  ExpectBitEqual(engine, MakeQuery(50, 7, 4, qrng.NextSeed(), qrng));
+  EXPECT_GT(coordinator.stats().remote_shards, 0);
+
+  // Kill both nodes; the coordinator degrades to local execution with the
+  // same answers.
+  for (auto& server : servers) server->Stop();
+  ExpectBitEqual(engine, MakeQuery(50, 7, 4, qrng.NextSeed(), qrng));
+  EXPECT_GT(coordinator.stats().local_fallbacks, 0);
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace diverse

@@ -1,0 +1,249 @@
+// Wire-format tests (src/rpc/wire.h): randomized round-trip property
+// tests for every message, and totality of decoding — truncated buffers,
+// trailing garbage, wire-version and message-type mismatches, and corrupt
+// enum values must all be rejected, never crash or misparse.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/corpus.h"
+#include "rpc/wire.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace rpc {
+namespace {
+
+using engine::CorpusUpdate;
+
+ShardQueryRequest RandomRequest(Rng& rng) {
+  ShardQueryRequest request;
+  request.snapshot_version = rng.NextSeed();
+  request.shard_salt = rng.NextSeed();
+  request.num_shards = rng.UniformInt(1, 16);
+  request.shard_index = rng.UniformInt(0, request.num_shards - 1);
+  request.p = rng.UniformInt(0, 40);
+  request.per_shard = rng.UniformInt(0, 40);
+  request.lambda = rng.Bernoulli(0.5) ? rng.Uniform(0.0, 2.0) : -1.0;
+  request.relevance.resize(rng.UniformInt(0, 32));
+  for (double& r : request.relevance) r = rng.Uniform(0.0, 1.0);
+  return request;
+}
+
+ShardQueryResponse RandomResponse(Rng& rng) {
+  ShardQueryResponse response;
+  response.status = static_cast<RpcStatus>(rng.UniformInt(0, 2));
+  response.node_version = rng.NextSeed();
+  response.shard_index = rng.UniformInt(0, 15);
+  response.elements.resize(rng.UniformInt(0, 24));
+  for (int& e : response.elements) e = rng.UniformInt(0, 10000);
+  response.objective = rng.Uniform(-5.0, 50.0);
+  response.steps = rng.UniformInt(0, 1 << 20);
+  return response;
+}
+
+CorpusUpdateBatch RandomBatch(Rng& rng) {
+  CorpusUpdateBatch batch;
+  batch.from_version = rng.UniformInt(0, 1000);
+  const int epochs = rng.UniformInt(0, 4);
+  for (int i = 0; i < epochs; ++i) {
+    std::vector<CorpusUpdate>& epoch = batch.epochs.emplace_back();
+    const int updates = rng.UniformInt(0, 3);
+    for (int j = 0; j < updates; ++j) {
+      switch (rng.UniformInt(0, 3)) {
+        case 0:
+          epoch.push_back(CorpusUpdate::SetWeight(rng.UniformInt(0, 99),
+                                                  rng.Uniform(0.0, 1.0)));
+          break;
+        case 1:
+          epoch.push_back(CorpusUpdate::SetDistance(
+              rng.UniformInt(0, 49), rng.UniformInt(50, 99),
+              rng.Uniform(1.0, 2.0)));
+          break;
+        case 2: {
+          std::vector<double> distances(rng.UniformInt(0, 8));
+          for (double& d : distances) d = rng.Uniform(1.0, 2.0);
+          epoch.push_back(CorpusUpdate::Insert(rng.Uniform(0.0, 1.0),
+                                               std::move(distances)));
+          break;
+        }
+        default:
+          epoch.push_back(CorpusUpdate::Erase(rng.UniformInt(0, 99)));
+      }
+    }
+  }
+  return batch;
+}
+
+void ExpectEqual(const CorpusUpdate& a, const CorpusUpdate& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.u, b.u);
+  EXPECT_EQ(a.v, b.v);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.distances, b.distances);
+}
+
+TEST(RpcWireTest, RequestRoundTrip) {
+  Rng rng(11);
+  for (int iter = 0; iter < 100; ++iter) {
+    const ShardQueryRequest original = RandomRequest(rng);
+    const std::vector<std::uint8_t> payload = Encode(original);
+    EXPECT_EQ(PeekType(payload), MessageType::kShardQueryRequest);
+    ShardQueryRequest decoded;
+    ASSERT_TRUE(Decode(payload, &decoded));
+    EXPECT_EQ(decoded.snapshot_version, original.snapshot_version);
+    EXPECT_EQ(decoded.shard_salt, original.shard_salt);
+    EXPECT_EQ(decoded.num_shards, original.num_shards);
+    EXPECT_EQ(decoded.shard_index, original.shard_index);
+    EXPECT_EQ(decoded.p, original.p);
+    EXPECT_EQ(decoded.per_shard, original.per_shard);
+    EXPECT_EQ(decoded.lambda, original.lambda);
+    EXPECT_EQ(decoded.relevance, original.relevance);
+  }
+}
+
+TEST(RpcWireTest, ResponseRoundTrip) {
+  Rng rng(12);
+  for (int iter = 0; iter < 100; ++iter) {
+    const ShardQueryResponse original = RandomResponse(rng);
+    const std::vector<std::uint8_t> payload = Encode(original);
+    EXPECT_EQ(PeekType(payload), MessageType::kShardQueryResponse);
+    ShardQueryResponse decoded;
+    ASSERT_TRUE(Decode(payload, &decoded));
+    EXPECT_EQ(decoded.status, original.status);
+    EXPECT_EQ(decoded.node_version, original.node_version);
+    EXPECT_EQ(decoded.shard_index, original.shard_index);
+    EXPECT_EQ(decoded.elements, original.elements);
+    EXPECT_EQ(decoded.objective, original.objective);
+    EXPECT_EQ(decoded.steps, original.steps);
+  }
+}
+
+TEST(RpcWireTest, UpdateBatchRoundTrip) {
+  Rng rng(13);
+  for (int iter = 0; iter < 100; ++iter) {
+    const CorpusUpdateBatch original = RandomBatch(rng);
+    const std::vector<std::uint8_t> payload = Encode(original);
+    EXPECT_EQ(PeekType(payload), MessageType::kCorpusUpdateBatch);
+    CorpusUpdateBatch decoded;
+    ASSERT_TRUE(Decode(payload, &decoded));
+    EXPECT_EQ(decoded.from_version, original.from_version);
+    EXPECT_EQ(decoded.to_version(), original.to_version());
+    ASSERT_EQ(decoded.epochs.size(), original.epochs.size());
+    for (std::size_t i = 0; i < original.epochs.size(); ++i) {
+      ASSERT_EQ(decoded.epochs[i].size(), original.epochs[i].size());
+      for (std::size_t j = 0; j < original.epochs[i].size(); ++j) {
+        ExpectEqual(decoded.epochs[i][j], original.epochs[i][j]);
+      }
+    }
+  }
+}
+
+TEST(RpcWireTest, AckRoundTrip) {
+  for (RpcStatus status : {RpcStatus::kOk, RpcStatus::kVersionMismatch,
+                           RpcStatus::kError}) {
+    UpdateAck original;
+    original.status = status;
+    original.node_version = 42;
+    const std::vector<std::uint8_t> payload = Encode(original);
+    EXPECT_EQ(PeekType(payload), MessageType::kUpdateAck);
+    UpdateAck decoded;
+    ASSERT_TRUE(Decode(payload, &decoded));
+    EXPECT_EQ(decoded.status, original.status);
+    EXPECT_EQ(decoded.node_version, original.node_version);
+  }
+}
+
+// Every strict prefix of a valid payload must be rejected — the decoder
+// can never read past the buffer or accept a half message.
+TEST(RpcWireTest, TruncatedPayloadsRejected) {
+  Rng rng(14);
+  const std::vector<std::uint8_t> request = Encode(RandomRequest(rng));
+  const std::vector<std::uint8_t> response = Encode(RandomResponse(rng));
+  const std::vector<std::uint8_t> batch = Encode(RandomBatch(rng));
+  for (std::size_t len = 0; len < request.size(); ++len) {
+    ShardQueryRequest decoded;
+    EXPECT_FALSE(Decode(std::span(request.data(), len), &decoded))
+        << "prefix length " << len;
+  }
+  for (std::size_t len = 0; len < response.size(); ++len) {
+    ShardQueryResponse decoded;
+    EXPECT_FALSE(Decode(std::span(response.data(), len), &decoded));
+  }
+  for (std::size_t len = 0; len < batch.size(); ++len) {
+    CorpusUpdateBatch decoded;
+    EXPECT_FALSE(Decode(std::span(batch.data(), len), &decoded));
+  }
+}
+
+TEST(RpcWireTest, TrailingGarbageRejected) {
+  Rng rng(15);
+  std::vector<std::uint8_t> payload = Encode(RandomRequest(rng));
+  payload.push_back(0);
+  ShardQueryRequest decoded;
+  EXPECT_FALSE(Decode(payload, &decoded));
+}
+
+TEST(RpcWireTest, WireVersionMismatchRejected) {
+  Rng rng(16);
+  std::vector<std::uint8_t> payload = Encode(RandomRequest(rng));
+  payload[0] ^= 0xff;  // low byte of the u16 wire version
+  EXPECT_EQ(PeekType(payload), std::nullopt);
+  ShardQueryRequest decoded;
+  EXPECT_FALSE(Decode(payload, &decoded));
+}
+
+TEST(RpcWireTest, MessageTypeMismatchRejected) {
+  Rng rng(17);
+  const std::vector<std::uint8_t> request = Encode(RandomRequest(rng));
+  ShardQueryResponse response;
+  EXPECT_FALSE(Decode(request, &response));
+  CorpusUpdateBatch batch;
+  EXPECT_FALSE(Decode(request, &batch));
+  UpdateAck ack;
+  EXPECT_FALSE(Decode(request, &ack));
+}
+
+TEST(RpcWireTest, UnknownTypeAndCorruptEnumsRejected) {
+  Rng rng(18);
+  std::vector<std::uint8_t> payload = Encode(RandomRequest(rng));
+  payload[2] = 99;  // message type byte
+  EXPECT_EQ(PeekType(payload), std::nullopt);
+
+  std::vector<std::uint8_t> response = Encode(RandomResponse(rng));
+  response[3] = 7;  // status byte out of the RpcStatus range
+  ShardQueryResponse decoded_response;
+  EXPECT_FALSE(Decode(response, &decoded_response));
+
+  CorpusUpdateBatch batch;
+  batch.from_version = 0;
+  batch.epochs.push_back({engine::CorpusUpdate::Erase(3)});
+  std::vector<std::uint8_t> encoded = Encode(batch);
+  // The update's kind byte follows header(3) + from_version(8) +
+  // epoch count(4) + update count(4).
+  encoded[19] = 99;
+  CorpusUpdateBatch decoded_batch;
+  EXPECT_FALSE(Decode(encoded, &decoded_batch));
+}
+
+// A corrupt element/relevance count larger than the remaining bytes must
+// fail fast instead of allocating or over-reading.
+TEST(RpcWireTest, OversizedCountsRejected) {
+  ShardQueryRequest request;
+  request.relevance = {0.5, 0.25};
+  std::vector<std::uint8_t> payload = Encode(request);
+  // Relevance count sits 4 + 8 bytes from the end (count + 2 doubles
+  // from the end is count offset: end - 16 - 4).
+  const std::size_t count_at = payload.size() - 16 - 4;
+  payload[count_at] = 0xff;
+  payload[count_at + 1] = 0xff;
+  payload[count_at + 2] = 0xff;
+  payload[count_at + 3] = 0x7f;
+  ShardQueryRequest decoded;
+  EXPECT_FALSE(Decode(payload, &decoded));
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace diverse

@@ -7,19 +7,50 @@ into their working directory. This script pairs every bench file found in
 their "name" field, and prints a table of every shared numeric field with
 the current/baseline ratio — the seed-vs-current perf trajectory.
 
+With --gate the script is also a CI gate: any gated field that regresses
+beyond --tolerance (default 15%) versus its baseline fails the run with
+exit status 2. Direction is known per field (qps up is good, wall_seconds
+up is bad); fields with unknown direction are report-only. Gate on
+machine-relative fields (--gate-fields speedup_vs_sync,speedup) rather
+than absolute timings, which vary with CI hardware. The escape hatch for
+a deliberate, explained regression is the DIVERSE_BENCH_NO_GATE
+environment variable (any non-empty value): the table still prints, the
+gate reports what it would have failed, and the exit stays 0.
+
 Usage:
   tools/bench_compare.py --baseline bench/baselines --current .
   tools/bench_compare.py --baseline bench/baselines --current . \
       --fields seconds,qps
+  tools/bench_compare.py --baseline bench/baselines --current . \
+      --gate --gate-fields speedup_vs_sync,speedup --tolerance 0.15
 
-Exit status is always 0 unless inputs are unreadable: the table is a
-report, not a gate (CI hardware varies run to run).
+Exit status: 1 on unreadable inputs, 2 on gated regressions, else 0.
 """
 
 import argparse
 import json
 import os
 import sys
+
+# Per-field regression direction. A field absent from both sets has no
+# known direction and is never gated.
+HIGHER_IS_BETTER = {
+    "qps",
+    "speedup",
+    "speedup_vs_sync",
+    "epochs_per_second",
+    "bit_equal",
+}
+LOWER_IS_BETTER = {
+    "wall_seconds",
+    "seconds",
+    "incremental_seconds",
+    "scratch_seconds",
+    "p50_ms",
+    "p90_ms",
+    "p99_ms",
+    "rpc_overhead_x",
+}
 
 
 def load_bench(path):
@@ -49,9 +80,18 @@ def numeric_fields(record, allowed):
         yield key, value
 
 
+def is_regression(field, ratio, tolerance):
+    if field in HIGHER_IS_BETTER:
+        return ratio < 1.0 - tolerance
+    if field in LOWER_IS_BETTER:
+        return ratio > 1.0 + tolerance
+    return False
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="Print a baseline-vs-current table for BENCH_*.json")
+        description="Print a baseline-vs-current table for BENCH_*.json "
+                    "and optionally gate on regressions")
     parser.add_argument("--baseline", required=True,
                         help="directory holding baseline BENCH_*.json files")
     parser.add_argument("--current", required=True,
@@ -59,9 +99,19 @@ def main():
     parser.add_argument("--fields", default="",
                         help="comma-separated allowlist of fields to show "
                              "(default: every numeric field)")
+    parser.add_argument("--gate", action="store_true",
+                        help="fail (exit 2) when a gated field regresses "
+                             "beyond --tolerance vs baseline")
+    parser.add_argument("--gate-fields", default="",
+                        help="comma-separated fields the gate checks "
+                             "(default: every shown field with a known "
+                             "direction)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative regression (default 0.15)")
     args = parser.parse_args()
 
     allowed = {f for f in args.fields.split(",") if f}
+    gate_fields = {f for f in args.gate_fields.split(",") if f}
     try:
         current_files = sorted(
             f for f in os.listdir(args.current)
@@ -77,6 +127,7 @@ def main():
              f"{'baseline':>12s} {'current':>12s} {'ratio':>7s}"
     rows = []
     fresh = []
+    regressions = []
     for filename in current_files:
         baseline_path = os.path.join(args.baseline, filename)
         current = load_bench(os.path.join(args.current, filename))
@@ -102,9 +153,17 @@ def main():
                         ratio = value / base_value
                     else:
                         ratio = 1.0 if not value else float("inf")
+                    gated = not gate_fields or field in gate_fields
+                    flag = ""
+                    if gated and is_regression(field, ratio,
+                                               args.tolerance):
+                        regressions.append(
+                            f"{label} {field}: baseline {base_value:g} "
+                            f"-> current {value:g} (ratio {ratio:.2f})")
+                        flag = "  <-- regression"
                     rows.append(f"{label:44.44s} {field:18.18s} "
                                 f"{base_value:12.5g} {value:12.5g} "
-                                f"{ratio:7.2f}")
+                                f"{ratio:7.2f}{flag}")
 
     print(header)
     print("-" * len(header))
@@ -114,6 +173,20 @@ def main():
         print("(no overlapping records)")
     if fresh:
         print(f"\nnew benches with no baseline yet: {', '.join(fresh)}")
+
+    if regressions:
+        tol_pct = args.tolerance * 100.0
+        print(f"\n{len(regressions)} field(s) regressed beyond "
+              f"{tol_pct:.0f}% vs baseline:")
+        for line in regressions:
+            print(f"  {line}")
+        if not args.gate:
+            return 0
+        if os.environ.get("DIVERSE_BENCH_NO_GATE"):
+            print("DIVERSE_BENCH_NO_GATE set: reporting only, not failing")
+            return 0
+        print("failing (set DIVERSE_BENCH_NO_GATE=1 to override)")
+        return 2
     return 0
 
 

@@ -8,15 +8,25 @@
 // perturbations in the paper-§6 style, plus occasional insert/erase when
 // --churn is set).
 //
+// --plan=remote executes the sharded plan's per-shard kernels on remote
+// shard_node_cli workers (--nodes=host:port,...) through an rpc::
+// Coordinator; update epochs are published to the replicas as they are
+// applied locally. --verify additionally re-answers every remote query
+// with the in-process sharded plan on the same snapshot and fails unless
+// the two are bit-equal — the end-to-end check CI runs over loopback.
+//
 // Examples:
 //   engine_server_cli --generate=2000 --queries=200 --p=10 --workers=4
 //   engine_server_cli --generate=1000 --queries=100 --plan=sharded
 //       --shards=8 --update_every=10 --churn
+//   engine_server_cli --generate=400 --queries=50 --plan=remote
+//       --nodes=127.0.0.1:7411,127.0.0.1:7412 --update_every=5 --verify
 //   engine_server_cli --input=data.csv --queries=50 --sync
 #include <algorithm>
 #include <cstdint>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +34,8 @@
 #include "data/synthetic.h"
 #include "engine/engine.h"
 #include "engine/workload.h"
+#include "rpc/coordinator.h"
+#include "rpc/socket_transport.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -32,10 +44,39 @@
 namespace diverse {
 namespace {
 
+// "host:port,host:port" -> SocketTransports; empty on parse failure.
+std::vector<std::unique_ptr<rpc::SocketTransport>> ParseNodes(
+    const std::string& nodes) {
+  std::vector<std::unique_ptr<rpc::SocketTransport>> transports;
+  std::size_t start = 0;
+  while (start <= nodes.size()) {
+    std::size_t comma = nodes.find(',', start);
+    if (comma == std::string::npos) comma = nodes.size();
+    const std::string entry = nodes.substr(start, comma - start);
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= entry.size()) {
+      return {};
+    }
+    int port = 0;
+    for (char c : entry.substr(colon + 1)) {
+      if (c < '0' || c > '9') return {};
+      port = port * 10 + (c - '0');
+      if (port > 65535) return {};  // bound before the next *10 overflows
+    }
+    if (port <= 0) return {};
+    transports.push_back(std::make_unique<rpc::SocketTransport>(
+        entry.substr(0, colon), port));
+    start = comma + 1;
+  }
+  return transports;
+}
+
 int RunServer(const std::string& input, int generate, int queries, int p,
-              double lambda, const std::string& plan, int shards,
-              int per_shard, int workers, int batch, int update_every,
-              bool churn, bool sync, std::uint64_t seed) {
+              double lambda, const std::string& plan,
+              const std::string& nodes, int shards, int per_shard,
+              int workers, int batch, int update_every, bool churn,
+              bool sync, bool verify, std::uint64_t seed) {
   Rng rng(seed);
   Dataset data(0);
   if (!input.empty()) {
@@ -51,13 +92,31 @@ int RunServer(const std::string& input, int generate, int queries, int p,
     std::cerr << "error: provide --input=FILE or --generate=N\n";
     return 1;
   }
-  if (plan != "single" && plan != "sharded") {
-    std::cerr << "error: --plan must be single | sharded\n";
+  const bool remote = plan == "remote";
+  if (plan != "single" && plan != "sharded" && !remote) {
+    std::cerr << "error: --plan must be single | sharded | remote\n";
     return 1;
   }
   if (queries < 1) {
     std::cerr << "error: --queries must be >= 1\n";
     return 1;
+  }
+  if (verify && !remote) {
+    std::cerr << "error: --verify requires --plan=remote\n";
+    return 1;
+  }
+  std::vector<std::unique_ptr<rpc::SocketTransport>> transports;
+  std::unique_ptr<rpc::Coordinator> coordinator;
+  if (remote) {
+    transports = ParseNodes(nodes);
+    if (transports.empty()) {
+      std::cerr << "error: --plan=remote needs --nodes=host:port[,...]\n";
+      return 1;
+    }
+    std::vector<rpc::Transport*> raw;
+    raw.reserve(transports.size());
+    for (const auto& t : transports) raw.push_back(t.get());
+    coordinator = std::make_unique<rpc::Coordinator>(std::move(raw));
   }
   const int n = data.size();
   p = std::min(p, n);
@@ -66,6 +125,7 @@ int RunServer(const std::string& input, int generate, int queries, int p,
   options.num_workers = workers;
   options.max_batch = batch;
   options.default_num_shards = shards;
+  options.remote = coordinator.get();
   engine::DiversificationEngine server(data.weights, std::move(data.metric),
                                        lambda, options);
 
@@ -74,7 +134,8 @@ int RunServer(const std::string& input, int generate, int queries, int p,
   query_config.p = p;
   query_config.lambda = lambda;
   query_config.universe = n;
-  query_config.sharded = plan == "sharded";
+  query_config.sharded = plan != "single";
+  query_config.remote = remote;
   query_config.num_shards = shards;
   query_config.per_shard = per_shard;
   std::vector<engine::Query> trace;
@@ -83,20 +144,58 @@ int RunServer(const std::string& input, int generate, int queries, int p,
     trace.push_back(engine::MakeSyntheticQuery(query_config, rng));
   }
   // Update epochs are built against the live universe size at publish
-  // time (churn grows the id space as the trace runs).
+  // time (churn grows the id space as the trace runs). Remote runs
+  // publish every epoch to the replicas right after applying it locally.
   int epoch = 0;
   auto maybe_update = [&](int i, std::uint64_t* last_version) {
     if (update_every <= 0 || i == 0 || i % update_every != 0) return;
     const int universe = server.corpus().snapshot()->universe_size();
-    *last_version = server.ApplyUpdates(
-        engine::MakeSyntheticEpoch(universe, churn, epoch++, rng));
+    const std::vector<engine::CorpusUpdate> updates =
+        engine::MakeSyntheticEpoch(universe, churn, epoch++, rng);
+    *last_version = server.ApplyUpdates(updates);
+    if (coordinator) coordinator->PublishEpoch(*last_version, updates);
   };
 
   WallTimer wall;
   std::vector<double> latencies;
   latencies.reserve(queries);
   std::uint64_t last_version = 0;
-  if (sync) {
+  long long verified = 0;
+  if (verify) {
+    // Bit-equality audit: answer each query synchronously through the
+    // coordinator AND through the in-process sharded plan. No updates
+    // land between the two calls, so both see the same snapshot; any
+    // divergence is a wire/replica-sync bug.
+    for (int i = 0; i < queries; ++i) {
+      maybe_update(i, &last_version);
+      const engine::QueryResult remote_result = server.RunSync(trace[i]);
+      engine::Query local = trace[i];
+      local.plan = engine::PlanKind::kSharded;
+      const engine::QueryResult local_result = server.RunSync(local);
+      if (!remote_result.ok ||
+          remote_result.elements != local_result.elements ||
+          remote_result.objective != local_result.objective ||
+          remote_result.corpus_version != local_result.corpus_version) {
+        std::cerr << "VERIFY FAILED at query " << i << ": remote ok="
+                  << remote_result.ok << " version "
+                  << remote_result.corpus_version << " objective "
+                  << remote_result.objective << " vs local version "
+                  << local_result.corpus_version << " objective "
+                  << local_result.objective << "\n";
+        return 1;
+      }
+      ++verified;
+      latencies.push_back(remote_result.latency_seconds);
+    }
+    // Bit-equality alone cannot distinguish remote execution from the
+    // (also bit-equal) local fallback; a verify run that never reached a
+    // node proved nothing about the wire, so fail it.
+    if (coordinator->stats().remote_shards == 0) {
+      std::cerr << "VERIFY FAILED: no shard was answered remotely (all "
+                   "fell back locally) — nodes unreachable?\n";
+      return 1;
+    }
+  } else if (sync) {
     for (int i = 0; i < queries; ++i) {
       maybe_update(i, &last_version);
       latencies.push_back(server.RunSync(trace[i]).latency_seconds);
@@ -116,7 +215,8 @@ int RunServer(const std::string& input, int generate, int queries, int p,
 
   const engine::DiversificationEngine::Stats stats = server.stats();
   std::cout << "corpus n:        " << n << "\n"
-            << "mode:            " << (sync ? "sync" : "pooled") << "\n"
+            << "mode:            "
+            << (verify ? "verify" : sync ? "sync" : "pooled") << "\n"
             << "plan:            " << plan << "\n"
             << "workers:         " << server.num_workers() << "\n"
             << "max batch:       " << batch << "\n"
@@ -133,6 +233,17 @@ int RunServer(const std::string& input, int generate, int queries, int p,
             << " ms\n"
             << "batches:         " << stats.batches << "\n"
             << "snapshots:       " << stats.snapshots_acquired << "\n";
+  if (coordinator) {
+    const rpc::Coordinator::Stats rpc_stats = coordinator->stats();
+    std::cout << "remote shards:   " << rpc_stats.remote_shards << "\n"
+              << "local fallbacks: " << rpc_stats.local_fallbacks << "\n"
+              << "catchup batches: " << rpc_stats.catchup_batches << "\n"
+              << "version misses:  " << rpc_stats.version_mismatches << "\n";
+  }
+  if (verify) {
+    std::cout << "verified:        " << verified
+              << " queries bit-equal (remote vs in-process sharded)\n";
+  }
   return 0;
 }
 
@@ -146,6 +257,7 @@ int main(int argc, char** argv) {
   int p = 10;
   double lambda = 0.2;
   std::string plan = "single";
+  std::string nodes;
   int shards = 4;
   int per_shard = 0;
   int workers = 0;
@@ -153,6 +265,7 @@ int main(int argc, char** argv) {
   int update_every = 0;
   bool churn = false;
   bool sync = false;
+  bool verify = false;
   std::int64_t seed = 1;
   diverse::FlagSet flags(
       "engine_server_cli — replay a query/update trace against the serving "
@@ -163,10 +276,15 @@ int main(int argc, char** argv) {
   flags.AddInt("queries", &queries, "number of queries to replay");
   flags.AddInt("p", &p, "subset size per query");
   flags.AddDouble("lambda", &lambda, "quality/diversity trade-off");
-  flags.AddString("plan", &plan, "execution plan: single | sharded");
-  flags.AddInt("shards", &shards, "shard count for --plan=sharded");
+  flags.AddString("plan", &plan,
+                  "execution plan: single | sharded | remote");
+  flags.AddString("nodes", &nodes,
+                  "shard nodes as host:port[,host:port...] for "
+                  "--plan=remote");
+  flags.AddInt("shards", &shards,
+               "shard count for --plan=sharded|remote");
   flags.AddInt("per_shard", &per_shard,
-               "elements per shard (0 = p) for --plan=sharded");
+               "elements per shard (0 = p) for --plan=sharded|remote");
   flags.AddInt("workers", &workers, "worker threads (0 = hardware)");
   flags.AddInt("batch", &batch, "max queries drained per worker wakeup");
   flags.AddInt("update_every", &update_every,
@@ -175,10 +293,13 @@ int main(int argc, char** argv) {
                 "include insert/erase churn in update epochs");
   flags.AddBool("sync", &sync,
                 "serve one query at a time on the caller thread (baseline)");
+  flags.AddBool("verify", &verify,
+                "remote plan only: re-answer every query with the "
+                "in-process sharded plan and require bit-equality");
   flags.AddInt64("seed", &seed, "random seed");
   if (!flags.Parse(argc, argv)) return 1;
-  return diverse::RunServer(input, generate, queries, p, lambda, plan,
+  return diverse::RunServer(input, generate, queries, p, lambda, plan, nodes,
                             shards, per_shard, workers, batch, update_every,
-                            churn, sync,
+                            churn, sync, verify,
                             static_cast<std::uint64_t>(seed));
 }

@@ -1,0 +1,84 @@
+// shard_node_cli — one cross-node RPC shard worker.
+//
+// Stands up a ShardNode (full corpus replica at version 0) behind a
+// SocketServer and serves coordinator traffic — per-shard Greedy B kernel
+// queries and CorpusUpdateBatch replica-sync epochs — until killed. The
+// replica baseline must match the coordinator's corpus: either both load
+// the same CSV, or both generate synthetically from the same --generate
+// and --seed (the dataset is the first thing drawn from the seed on both
+// sides, so the corpora are identical).
+//
+// Pairs with `engine_server_cli --plan=remote --nodes=...`:
+//
+//   shard_node_cli --generate=400 --seed=7 --port=7411 &
+//   shard_node_cli --generate=400 --seed=7 --port=7412 &
+//   engine_server_cli --generate=400 --seed=7 --plan=remote
+//       --nodes=127.0.0.1:7411,127.0.0.1:7412 --queries=50 --verify
+#include <iostream>
+#include <string>
+
+#include "data/csv_io.h"
+#include "data/synthetic.h"
+#include "rpc/shard_node.h"
+#include "rpc/socket_transport.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace {
+
+int RunNode(const std::string& input, int generate, double lambda, int port,
+            std::uint64_t seed) {
+  Dataset data(0);
+  if (!input.empty()) {
+    auto loaded = LoadDatasetCsv(input);
+    if (!loaded) {
+      std::cerr << "error: cannot load dataset from '" << input << "'\n";
+      return 1;
+    }
+    data = std::move(*loaded);
+  } else if (generate > 0) {
+    Rng rng(seed);
+    data = MakeUniformSynthetic(generate, rng);
+  } else {
+    std::cerr << "error: provide --input=FILE or --generate=N\n";
+    return 1;
+  }
+
+  const int n = data.size();
+  rpc::ShardNode node(data.weights, std::move(data.metric), lambda);
+  rpc::SocketServer server(&node, port);
+  std::cout << "shard node listening on port " << server.port()
+            << " (corpus n=" << n << ", version 0)" << std::endl;
+  server.Serve();
+  const rpc::ShardNode::Stats stats = node.stats();
+  std::cout << "served queries:      " << stats.queries << "\n"
+            << "epochs applied:      " << stats.epochs_applied << "\n"
+            << "version mismatches:  " << stats.version_mismatches << "\n"
+            << "rejected frames:     " << stats.rejected << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace diverse
+
+int main(int argc, char** argv) {
+  std::string input;
+  int generate = 1000;
+  double lambda = 0.2;
+  int port = 7400;
+  std::int64_t seed = 1;
+  diverse::FlagSet flags(
+      "shard_node_cli — serve one RPC shard worker (corpus replica + "
+      "per-shard greedy kernel) over a listening TCP socket");
+  flags.AddString("input", &input, "dataset CSV to load");
+  flags.AddInt("generate", &generate,
+               "generate a synthetic corpus of size N (default)");
+  flags.AddDouble("lambda", &lambda, "quality/diversity trade-off");
+  flags.AddInt("port", &port, "TCP port to listen on (0 = ephemeral)");
+  flags.AddInt64("seed", &seed,
+                 "random seed; must match the coordinator's for --generate");
+  if (!flags.Parse(argc, argv)) return 1;
+  return diverse::RunNode(input, generate, lambda, port,
+                          static_cast<std::uint64_t>(seed));
+}
