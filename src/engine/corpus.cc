@@ -54,6 +54,51 @@ CorpusUpdate CorpusUpdate::FromPerturbation(const Perturbation& p) {
   DIVERSE_CHECK_MSG(false, "unknown perturbation type");
 }
 
+bool ValidWeight(double value) {
+  return value >= 0.0 && std::isfinite(value);
+}
+
+bool ValidDistance(double value) {
+  return value >= 0.0 && std::isfinite(value);
+}
+
+bool ValidUpdate(const CorpusUpdate& update, int* n) {
+  switch (update.kind) {
+    case CorpusUpdate::Kind::kSetWeight:
+      return 0 <= update.u && update.u < *n && ValidWeight(update.value);
+    case CorpusUpdate::Kind::kSetDistance:
+      return 0 <= update.u && update.u < *n && 0 <= update.v &&
+             update.v < *n && update.u != update.v &&
+             ValidDistance(update.value);
+    case CorpusUpdate::Kind::kInsert: {
+      if (static_cast<int>(update.distances.size()) != *n) return false;
+      if (!ValidWeight(update.value)) return false;
+      for (double d : update.distances) {
+        if (!ValidDistance(d)) return false;
+      }
+      ++*n;
+      return true;
+    }
+    case CorpusUpdate::Kind::kErase:
+      return 0 <= update.u && update.u < *n;
+  }
+  return false;
+}
+
+bool ValidState(const CorpusState& state) {
+  const std::size_t n = state.weights.size();
+  if (state.alive.size() != n) return false;
+  if (state.metric.size() != static_cast<int>(n)) return false;
+  if (!(state.lambda >= 0.0) || !std::isfinite(state.lambda)) return false;
+  for (double w : state.weights) {
+    if (!ValidWeight(w)) return false;
+  }
+  for (char a : state.alive) {
+    if (a != 0 && a != 1) return false;
+  }
+  return true;
+}
+
 CorpusSnapshot::CorpusSnapshot(std::uint64_t version,
                                std::vector<double> weights,
                                std::shared_ptr<const DenseMetric> metric,
@@ -72,6 +117,16 @@ CorpusSnapshot::CorpusSnapshot(std::uint64_t version,
   }
 }
 
+CorpusState CorpusSnapshot::State() const {
+  CorpusState state;
+  state.version = version_;
+  state.lambda = problem_.lambda();
+  state.weights = weights_.weights();
+  state.alive = alive_;
+  state.metric = *metric_;
+  return state;
+}
+
 Corpus::Corpus(std::vector<double> weights, DenseMetric metric,
                double lambda)
     : weights_(std::move(weights)),
@@ -82,6 +137,27 @@ Corpus::Corpus(std::vector<double> weights, DenseMetric metric,
   DIVERSE_CHECK(lambda_ >= 0.0);
   std::lock_guard<std::mutex> lock(writer_mu_);
   current_.store(Build(), std::memory_order_release);
+}
+
+Corpus::Corpus(CorpusState state) : lambda_(0.0) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  RestoreLocked(std::move(state));
+}
+
+std::uint64_t Corpus::Restore(CorpusState state) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return RestoreLocked(std::move(state));
+}
+
+std::uint64_t Corpus::RestoreLocked(CorpusState state) {
+  DIVERSE_CHECK_MSG(ValidState(state), "invalid corpus state image");
+  weights_ = std::move(state.weights);
+  metric_ = std::make_shared<const DenseMetric>(std::move(state.metric));
+  alive_ = std::move(state.alive);
+  lambda_ = state.lambda;
+  version_ = state.version;
+  current_.store(Build(), std::memory_order_release);
+  return version_;
 }
 
 Corpus Corpus::FromBaseMetric(const MetricSpace& base,

@@ -62,6 +62,34 @@ struct CorpusUpdate {
   static CorpusUpdate FromPerturbation(const Perturbation& perturbation);
 };
 
+// Plain-data image of one corpus version — what the snapshot subsystem
+// (src/snapshot/) serializes to disk/wire and what a cold replica restores
+// from. `alive` uses 1 = live, 0 = retired; the metric is the full dense
+// matrix of the id space (retired ids included, so ids stay stable).
+struct CorpusState {
+  std::uint64_t version = 0;
+  double lambda = 0.0;
+  std::vector<double> weights;
+  std::vector<char> alive;
+  DenseMetric metric{0};
+};
+
+// Shared value/update validation — the single path both epoch replay
+// (rpc::ShardNode) and snapshot/checkpoint load go through, so no
+// checkpoint can round-trip into a state an epoch replay would have
+// rejected. All of these mirror Corpus::Apply's CHECK preconditions but
+// report instead of aborting: the data crossed a trust boundary (wire,
+// disk).
+bool ValidWeight(double value);
+bool ValidDistance(double value);
+// Would `update` pass Corpus::Apply against a universe of size *n?
+// kInsert increments *n on success so a batch validates as a whole.
+bool ValidUpdate(const CorpusUpdate& update, int* n);
+// Structural validity of a state image: sizes agree, lambda/weights valid,
+// liveness is 0/1. (Individual distances are validated where the image is
+// decoded; DenseMetric construction enforces symmetry and zero diagonal.)
+bool ValidState(const CorpusState& state);
+
 // Immutable view of one corpus version. Address-stable (always held by
 // shared_ptr); the contained DiversificationProblem points at the
 // snapshot's own weights and metric.
@@ -84,6 +112,9 @@ class CorpusSnapshot {
   // The base problem (corpus weights, corpus lambda). Per-query views are
   // derived via the WithQuality/WithLambda hooks.
   const DiversificationProblem& problem() const { return problem_; }
+
+  // Deep-copies this version into a serializable state image.
+  CorpusState State() const;
 
  private:
   friend class Corpus;
@@ -108,6 +139,12 @@ class Corpus {
   // Initial corpus; `metric` must be n x n for n = weights.size().
   Corpus(std::vector<double> weights, DenseMetric metric, double lambda);
 
+  // Cold-starts at `state`'s version (a decoded checkpoint or transferred
+  // snapshot) instead of an empty version 0. CHECK-aborts on an invalid
+  // image — callers validate untrusted bytes with the snapshot codec
+  // first.
+  explicit Corpus(CorpusState state);
+
   // Materializes `base` into the dense master copy through a DistanceCache
   // (each unordered pair is pulled from the base metric exactly once),
   // for corpora whose natural metric is expensive (graph, cosine, ...).
@@ -127,8 +164,15 @@ class Corpus {
     return Apply(std::span<const CorpusUpdate>(&update, 1));
   }
 
+  // Replaces the whole corpus with `state` and publishes it — the replica
+  // bootstrap path (snapshot transfer / checkpoint load). The version may
+  // jump forward arbitrarily; in-flight readers keep their old snapshot.
+  // Returns the published version. CHECK-aborts on an invalid image.
+  std::uint64_t Restore(CorpusState state);
+
  private:
-  SnapshotPtr Build() const;  // caller holds writer_mu_
+  SnapshotPtr Build() const;             // caller holds writer_mu_
+  std::uint64_t RestoreLocked(CorpusState state);
 
   mutable std::mutex writer_mu_;
   // Master state, guarded by writer_mu_. The metric is shared with

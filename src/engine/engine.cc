@@ -57,6 +57,16 @@ DiversificationEngine::DiversificationEngine(std::vector<double> weights,
                                              double lambda, Options options)
     : corpus_(std::move(weights), std::move(metric), lambda),
       options_(options) {
+  Start();
+}
+
+DiversificationEngine::DiversificationEngine(CorpusState state,
+                                             Options options)
+    : corpus_(std::move(state)), options_(options) {
+  Start();
+}
+
+void DiversificationEngine::Start() {
   DIVERSE_CHECK(options_.max_batch >= 1);
   DIVERSE_CHECK(options_.default_num_shards >= 1);
   plan_defaults_.num_shards = options_.default_num_shards;

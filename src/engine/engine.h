@@ -69,6 +69,9 @@ class DiversificationEngine {
                         double lambda);
   DiversificationEngine(std::vector<double> weights, DenseMetric metric,
                         double lambda, Options options);
+  // Cold start from a decoded checkpoint (snapshot/checkpoint_store.h):
+  // the corpus resumes at `state`'s version instead of an empty v0.
+  DiversificationEngine(CorpusState state, Options options);
   // Drains outstanding queries, then joins the workers.
   ~DiversificationEngine();
 
@@ -101,6 +104,8 @@ class DiversificationEngine {
   Stats stats() const;
 
  private:
+  void Start();  // shared ctor tail: option checks + worker spawn
+
   struct Job {
     Query query;
     std::promise<QueryResult> promise;

@@ -13,10 +13,24 @@
 //
 // Replica sync: the corpus owner publishes every update epoch through
 // PublishEpoch, which appends it to the coordinator's epoch log and pushes
-// it to all nodes best-effort. A node that missed epochs (down, restarted)
-// answers queries with kVersionMismatch + its version; the coordinator
-// replays the missing log suffix (a CorpusUpdateBatch) and retries, up to
+// it to all nodes best-effort. The coordinator tracks every node's last
+// authoritative version (from acks and query replies) and, when a query
+// targets a version ahead of a node's tracked version, replays the missing
+// epochs PROACTIVELY before asking — the kVersionMismatch round-trip only
+// happens when the tracking is stale (node silently restarted). Failing
+// that, the mismatch reply still drives the same catch-up, up to
 // max_catchup_rounds per shard.
+//
+// Compaction & bootstrap (src/snapshot): CompactLog folds a corpus
+// snapshot into a retained, pre-encoded bootstrap image and truncates the
+// epoch log below min(every node's acked version, image version) — the
+// log stops growing without bound once replicas keep up. A node whose
+// version predates the truncated log (cold start from nothing, restart
+// from an old checkpoint) is bootstrapped by streaming it the retained
+// image (SnapshotOffer + SnapshotChunk, resumable mid-transfer), then
+// replaying the remaining epoch suffix; the bit-equality contract holds
+// through kill/restart-from-snapshot cycles because queries still only
+// accept exact-version replicas.
 //
 // Degradation is configurable: with kFallbackLocal (default) a shard whose
 // node is unreachable, misbehaving, or unrecoverably out of sync runs its
@@ -24,13 +38,16 @@
 // the merged answer is unchanged, only the latency budget moves on-box.
 // With kFail the query returns ok = false and no elements.
 //
-// Thread-safety: ExecuteSharded and PublishEpoch may be called
-// concurrently from any threads (engine workers, an updater).
+// Thread-safety: ExecuteSharded, PublishEpoch, and CompactLog may be
+// called concurrently from any threads (engine workers, an updater, a
+// checkpointing loop).
 #ifndef DIVERSE_RPC_COORDINATOR_H_
 #define DIVERSE_RPC_COORDINATOR_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -56,6 +73,9 @@ class Coordinator : public engine::RemoteExecutor {
     // Catch-up attempts per shard per query before the failure policy
     // applies: each round replays the node's missing epochs and re-asks.
     int max_catchup_rounds = 3;
+    // Slice size for snapshot transfers; must leave frame headroom
+    // (clamped to wire.h kMaxFrameBytes - 64).
+    std::uint32_t snapshot_chunk_bytes = 1u << 20;
   };
 
   // `nodes` (one transport per shard node, all distinct) must outlive the
@@ -75,9 +95,27 @@ class Coordinator : public engine::RemoteExecutor {
   void PublishEpoch(std::uint64_t version,
                     std::span<const engine::CorpusUpdate> updates);
 
+  // Folds `snapshot` into the retained bootstrap image (if it is newer
+  // than the current one) and truncates the epoch log below
+  // min(min over nodes of acked version, image version, contiguous
+  // published prefix — acks cross a trust boundary and must not truncate
+  // a slot a concurrent publish has not filled yet). Epochs below the
+  // cut survive only inside the image; nodes that still needed them are
+  // bootstrapped by snapshot transfer instead. Returns the new log start.
+  // A node that never acks (down since birth) pins truncation at 0 but
+  // not the bootstrap image — it is still snapshot-reachable. A corpus
+  // too large for the image format is not retained and nothing is
+  // truncated (the log keeps growing; see snapshot::FitsSnapshotFormat).
+  std::uint64_t CompactLog(const engine::CorpusSnapshot& snapshot);
+
   // Length of the contiguous published prefix of the epoch log — the
   // corpus version replicas can currently converge to.
   std::uint64_t published_version() const;
+  // First version still replayable from the epoch log (0 = never
+  // compacted). Epochs in [log_start, published_version) are retained.
+  std::uint64_t log_start() const;
+  // Version of the retained bootstrap image (0 = none retained).
+  std::uint64_t retained_snapshot_version() const;
 
   // engine::RemoteExecutor. Pure function of (snapshot, query, num_shards)
   // regardless of replica state, by construction (version check + local
@@ -91,36 +129,72 @@ class Coordinator : public engine::RemoteExecutor {
     long long local_fallbacks = 0;    // shard kernels run on-box instead
     long long version_mismatches = 0; // stale-replica query responses seen
     long long catchup_batches = 0;    // replay batches sent
-    long long failed_queries = 0;     // queries answered ok = false
+    long long proactive_catchups = 0; // catch-ups sent before the query
+                                      // (tracked version, no mismatch
+                                      // round-trip)
+    long long snapshots_sent = 0;       // bootstrap transfers started
+    long long snapshot_chunks_sent = 0; // chunk frames sent
+    long long compactions = 0;          // CompactLog calls
+    long long failed_queries = 0;       // queries answered ok = false
   };
   Stats stats() const;
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
 
  private:
-  // One shard's remote round-trip including catch-up rounds; false means
-  // the failure policy decides. On success *elements/*steps hold the
-  // validated kernel solution.
+  // One shard's remote round-trip including proactive catch-up and
+  // mismatch-driven rounds; false means the failure policy decides. On
+  // success *elements/*steps hold the validated kernel solution.
   bool RunShardRemote(const engine::CorpusSnapshot& snapshot,
                       const ShardQueryRequest& request,
                       std::vector<int>* elements, long long* steps);
-  bool SendCatchUp(Transport* node, std::uint64_t from, std::uint64_t to);
+  // Brings the node from `from` to exactly `to`: snapshot transfer when
+  // the log no longer reaches back to `from` (or the node refuses replay
+  // outright — a bootstrap node), epoch replay for the rest.
+  bool CatchUpNode(int node_index, std::uint64_t from, std::uint64_t to);
+  // One epoch-log replay batch [from, to). kRefused means the node
+  // answered kVersionMismatch — its real version is in *node_version.
+  enum class EpochSendResult { kOk, kFailed, kRefused };
+  EpochSendResult SendEpochs(int node_index, std::uint64_t from,
+                             std::uint64_t to, std::uint64_t* node_version);
+  // Streams the retained bootstrap image, resuming where the node's
+  // SnapshotAck points. On success *installed_version is the node's
+  // (authoritative) version afterwards — the image's version, or higher
+  // when the node was already past it.
+  bool SendSnapshot(int node_index, std::uint64_t* installed_version);
+  void SetAcked(int node_index, std::uint64_t version);
+  std::uint64_t GetAcked(int node_index) const;
 
   const std::vector<Transport*> nodes_;
   const Options options_;
 
   mutable std::mutex log_mu_;
-  // epochs_[k] advances a replica from version k to k + 1. Slots are
-  // filled by PublishEpoch keyed on the publisher's corpus version, so a
-  // slot can be temporarily empty while an earlier concurrent publish is
-  // still in flight; replays stop at the first unfilled slot.
-  std::vector<std::vector<engine::CorpusUpdate>> epochs_;
-  std::vector<bool> epoch_filled_;
+  // epochs_[k] advances a replica from version log_start_ + k to
+  // log_start_ + k + 1. Slots are filled by PublishEpoch keyed on the
+  // publisher's corpus version, so a slot can be temporarily empty while
+  // an earlier concurrent publish is still in flight; replays stop at the
+  // first unfilled slot. CompactLog pops fully-acked epochs off the
+  // front.
+  std::deque<std::vector<engine::CorpusUpdate>> epochs_;
+  std::deque<bool> epoch_filled_;
+  std::uint64_t log_start_ = 0;
+  // Last authoritative replica version per node (acks + query replies);
+  // assigned, not maxed, so a silently restarted node corrects the
+  // tracking on first contact.
+  std::vector<std::uint64_t> acked_;
+  // Pre-encoded bootstrap image; shared_ptr so transfers stream it
+  // without holding log_mu_ while a concurrent CompactLog swaps it.
+  std::shared_ptr<const std::vector<std::uint8_t>> retained_image_;
+  std::uint64_t retained_version_ = 0;
 
   mutable std::atomic<long long> remote_shards_{0};
   mutable std::atomic<long long> local_fallbacks_{0};
   mutable std::atomic<long long> version_mismatches_{0};
   mutable std::atomic<long long> catchup_batches_{0};
+  mutable std::atomic<long long> proactive_catchups_{0};
+  mutable std::atomic<long long> snapshots_sent_{0};
+  mutable std::atomic<long long> snapshot_chunks_sent_{0};
+  mutable std::atomic<long long> compactions_{0};
   mutable std::atomic<long long> failed_queries_{0};
 };
 

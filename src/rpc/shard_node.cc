@@ -1,50 +1,29 @@
 #include "rpc/shard_node.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
 #include "algorithms/distributed.h"
 #include "algorithms/result.h"
 #include "engine/execution_plan.h"
+#include "snapshot/snapshot_codec.h"
 
 namespace diverse {
 namespace rpc {
-namespace {
-
-// Would `update` pass Corpus::Apply's preconditions against a universe of
-// size n (updating *n for inserts)? The batch crossed a trust boundary,
-// so precondition violations must turn into a kError reply instead of the
-// CHECK-abort a local caller would get.
-bool ValidUpdate(const engine::CorpusUpdate& update, int* n) {
-  using Kind = engine::CorpusUpdate::Kind;
-  switch (update.kind) {
-    case Kind::kSetWeight:
-      return 0 <= update.u && update.u < *n && update.value >= 0.0 &&
-             std::isfinite(update.value);
-    case Kind::kSetDistance:
-      return 0 <= update.u && update.u < *n && 0 <= update.v &&
-             update.v < *n && update.u != update.v && update.value >= 0.0 &&
-             std::isfinite(update.value);
-    case Kind::kInsert: {
-      if (static_cast<int>(update.distances.size()) != *n) return false;
-      if (update.value < 0.0 || !std::isfinite(update.value)) return false;
-      for (double d : update.distances) {
-        if (d < 0.0 || !std::isfinite(d)) return false;
-      }
-      ++*n;
-      return true;
-    }
-    case Kind::kErase:
-      return 0 <= update.u && update.u < *n;
-  }
-  return false;
-}
-
-}  // namespace
 
 ShardNode::ShardNode(std::vector<double> weights, DenseMetric metric,
-                     double lambda)
-    : replica_(std::move(weights), std::move(metric), lambda) {}
+                     double lambda, Options options)
+    : replica_(std::move(weights), std::move(metric), lambda),
+      options_(options) {}
+
+ShardNode::ShardNode(engine::CorpusState state, Options options)
+    : replica_(std::move(state)), options_(options) {}
+
+ShardNode::ShardNode(Options options)
+    : replica_({}, DenseMetric(0), 0.0), options_(options) {
+  awaiting_bootstrap_.store(true, std::memory_order_release);
+}
 
 std::vector<std::uint8_t> ShardNode::Handle(
     std::span<const std::uint8_t> request_payload) {
@@ -55,6 +34,12 @@ std::vector<std::uint8_t> ShardNode::Handle(
   } else if (type == MessageType::kCorpusUpdateBatch) {
     CorpusUpdateBatch batch;
     if (Decode(request_payload, &batch)) return HandleUpdates(batch);
+  } else if (type == MessageType::kSnapshotOffer) {
+    SnapshotOffer offer;
+    if (Decode(request_payload, &offer)) return HandleOffer(offer);
+  } else if (type == MessageType::kSnapshotChunk) {
+    SnapshotChunk chunk;
+    if (Decode(request_payload, &chunk)) return HandleChunk(chunk);
   }
   // Truncated/garbled frame or a type this node does not serve. The ack
   // shape decodes as neither expected response, so callers waiting on a
@@ -87,6 +72,14 @@ std::vector<std::uint8_t> ShardNode::HandleQuery(
       response.status = RpcStatus::kError;
       return Encode(response);
     }
+  }
+  // A bootstrap node has no baseline at all: its "version 0" is an empty
+  // corpus, not the coordinator's, so serving would silently desync the
+  // merge. Report mismatch until a snapshot installs.
+  if (awaiting_bootstrap()) {
+    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    response.status = RpcStatus::kVersionMismatch;
+    return Encode(response);
   }
   // Replicas ahead of the requested version cannot serve it either: the
   // epoch protocol has no rewind. The coordinator resolves both directions
@@ -125,6 +118,13 @@ std::vector<std::uint8_t> ShardNode::HandleUpdates(
   std::lock_guard<std::mutex> lock(apply_mu_);
   UpdateAck ack;
   const std::uint64_t current = replica_.version();
+  // No baseline to replay onto — the coordinator must snapshot us first.
+  if (awaiting_bootstrap()) {
+    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    ack.status = RpcStatus::kVersionMismatch;
+    ack.node_version = current;
+    return Encode(ack);
+  }
   if (batch.from_version > current) {
     // Gap: accepting would skip epochs and desynchronize the replica for
     // good. Report where we are so the coordinator resends from there.
@@ -135,12 +135,14 @@ std::vector<std::uint8_t> ShardNode::HandleUpdates(
   }
   // Epochs at or below the current version were already applied (the
   // coordinator may replay on retry); skip them, then validate the rest
-  // before touching the replica so a bad batch is all-or-nothing.
+  // before touching the replica so a bad batch is all-or-nothing. The
+  // validation path is engine::ValidUpdate — the same predicates the
+  // snapshot codec applies to checkpoint images.
   const std::uint64_t skip = current - batch.from_version;
   int universe = replica_.snapshot()->universe_size();
   for (std::uint64_t i = skip; i < batch.epochs.size(); ++i) {
     for (const engine::CorpusUpdate& update : batch.epochs[i]) {
-      if (!ValidUpdate(update, &universe)) {
+      if (!engine::ValidUpdate(update, &universe)) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         ack.status = RpcStatus::kError;
         ack.node_version = current;
@@ -151,10 +153,136 @@ std::vector<std::uint8_t> ShardNode::HandleUpdates(
   for (std::uint64_t i = skip; i < batch.epochs.size(); ++i) {
     replica_.Apply(batch.epochs[i]);
     epochs_applied_.fetch_add(1, std::memory_order_relaxed);
+    ++epochs_since_checkpoint_;
   }
+  if (batch.epochs.size() > skip) MaybeCheckpoint(nullptr);
   ack.status = RpcStatus::kOk;
   ack.node_version = replica_.version();
   return Encode(ack);
+}
+
+std::vector<std::uint8_t> ShardNode::HandleOffer(const SnapshotOffer& offer) {
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  SnapshotAck ack;
+  ack.snapshot_version = offer.snapshot_version;
+  ack.node_version = replica_.version();
+  // A replica already at or past the image has nothing to gain from it;
+  // epoch replay (from node_version) is the cheaper path.
+  if (!awaiting_bootstrap() && offer.snapshot_version <= ack.node_version) {
+    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    ack.status = RpcStatus::kVersionMismatch;
+    return Encode(ack);
+  }
+  const bool shape_ok =
+      offer.total_bytes > 0 &&
+      offer.total_bytes <= snapshot::kMaxSnapshotBytes &&
+      offer.chunk_bytes > 0 && offer.chunk_bytes <= kMaxSnapshotChunkBytes &&
+      offer.num_chunks > 0 &&
+      (offer.total_bytes + offer.chunk_bytes - 1) / offer.chunk_bytes ==
+          offer.num_chunks;
+  if (!shape_ok) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    ack.status = RpcStatus::kError;
+    return Encode(ack);
+  }
+  const bool resumes = pending_ &&
+                       pending_->version == offer.snapshot_version &&
+                       pending_->total_bytes == offer.total_bytes &&
+                       pending_->chunk_bytes == offer.chunk_bytes;
+  if (!resumes) {
+    pending_.emplace();
+    pending_->version = offer.snapshot_version;
+    pending_->total_bytes = offer.total_bytes;
+    pending_->chunk_bytes = offer.chunk_bytes;
+    pending_->num_chunks = offer.num_chunks;
+    // No upfront reserve of the remote-claimed size: the buffer grows
+    // only with bytes that actually arrived, so a forged offer cannot
+    // allocate kMaxSnapshotBytes with one cheap frame.
+  }
+  ack.status = RpcStatus::kOk;
+  ack.next_chunk = pending_->next_chunk;
+  return Encode(ack);
+}
+
+std::vector<std::uint8_t> ShardNode::HandleChunk(const SnapshotChunk& chunk) {
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  SnapshotAck ack;
+  ack.snapshot_version = chunk.snapshot_version;
+  ack.node_version = replica_.version();
+  if (!pending_ || pending_->version != chunk.snapshot_version) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    ack.status = RpcStatus::kError;
+    return Encode(ack);
+  }
+  ack.next_chunk = pending_->next_chunk;
+  // A duplicate of an already-applied chunk (coordinator retry after a
+  // lost ack) is acknowledged without re-appending; a gap is a protocol
+  // error but keeps the partial image so the transfer can resume.
+  if (chunk.chunk_index < pending_->next_chunk) {
+    ack.status = RpcStatus::kOk;
+    return Encode(ack);
+  }
+  const std::uint64_t offset =
+      std::uint64_t{chunk.chunk_index} * pending_->chunk_bytes;
+  const std::uint64_t expected =
+      std::min<std::uint64_t>(pending_->chunk_bytes,
+                              pending_->total_bytes - offset);
+  if (chunk.chunk_index != pending_->next_chunk ||
+      chunk.chunk_index >= pending_->num_chunks ||
+      chunk.data.size() != expected) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    ack.status = RpcStatus::kError;
+    return Encode(ack);
+  }
+  pending_->bytes.insert(pending_->bytes.end(), chunk.data.begin(),
+                         chunk.data.end());
+  ++pending_->next_chunk;
+  snapshot_chunks_.fetch_add(1, std::memory_order_relaxed);
+  ack.next_chunk = pending_->next_chunk;
+  if (pending_->next_chunk < pending_->num_chunks) {
+    ack.status = RpcStatus::kOk;
+    return Encode(ack);
+  }
+
+  // Final chunk: decode, validate, and install the image. The codec is
+  // the trust boundary — only a fully valid image reaches Restore.
+  engine::CorpusState state;
+  if (!snapshot::DecodeSnapshot(pending_->bytes, &state) ||
+      state.version != pending_->version) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    pending_.reset();
+    ack.status = RpcStatus::kError;
+    return Encode(ack);
+  }
+  const std::vector<std::uint8_t> image = std::move(pending_->bytes);
+  pending_.reset();
+  ack.node_version = replica_.Restore(std::move(state));
+  awaiting_bootstrap_.store(false, std::memory_order_release);
+  snapshots_installed_.fetch_add(1, std::memory_order_relaxed);
+  epochs_since_checkpoint_ = 0;
+  MaybeCheckpoint(&image);
+  ack.status = RpcStatus::kOk;
+  return Encode(ack);
+}
+
+// Persists the replica if a store is configured and due. When the caller
+// already holds the encoded image (snapshot install) it is written as-is;
+// the epoch path re-encodes the current snapshot. Caller holds apply_mu_.
+void ShardNode::MaybeCheckpoint(const std::vector<std::uint8_t>* image) {
+  if (options_.checkpoint == nullptr) return;
+  if (image == nullptr && (options_.checkpoint_every <= 0 ||
+                           epochs_since_checkpoint_ <
+                               options_.checkpoint_every)) {
+    return;
+  }
+  const bool saved =
+      image != nullptr
+          ? options_.checkpoint->SaveEncoded(replica_.version(), *image)
+          : options_.checkpoint->Save(*replica_.snapshot());
+  if (saved) {
+    checkpoints_saved_.fetch_add(1, std::memory_order_relaxed);
+    epochs_since_checkpoint_ = 0;
+  }
 }
 
 ShardNode::Stats ShardNode::stats() const {
@@ -164,6 +292,11 @@ ShardNode::Stats ShardNode::stats() const {
       version_mismatches_.load(std::memory_order_relaxed);
   stats.epochs_applied = epochs_applied_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.snapshot_chunks = snapshot_chunks_.load(std::memory_order_relaxed);
+  stats.snapshots_installed =
+      snapshots_installed_.load(std::memory_order_relaxed);
+  stats.checkpoints_saved =
+      checkpoints_saved_.load(std::memory_order_relaxed);
   return stats;
 }
 

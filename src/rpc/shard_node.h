@@ -11,39 +11,78 @@
 // requested snapshot version, which is what makes the coordinator's merged
 // answer bit-equal to the in-process ShardedGreedy plan.
 //
+// Durability & bootstrap (src/snapshot): a node can also cold-start from a
+// decoded checkpoint (engine::CorpusState) at any version, or completely
+// empty — an empty node answers every query and epoch batch with
+// kVersionMismatch at version 0 until the coordinator streams it a full
+// snapshot image (SnapshotOffer + SnapshotChunk, resumable across
+// reconnects), after which it joins ordinary epoch replay. With a
+// CheckpointStore configured the node persists its replica every
+// checkpoint_every epochs and after every snapshot install, so a restart
+// resumes from disk instead of re-replaying or re-transferring.
+//
 // Handle() is the transport-agnostic entry point: one decoded-validated-
 // executed request per call, always returning an encoded reply (malformed
 // input yields a kError reply, never an abort — the frame crossed a trust
 // boundary). Queries are lock-free on corpus data (snapshot acquisition);
-// update batches serialize on an apply mutex. Safe to call from multiple
-// transport threads.
+// update batches and snapshot chunks serialize on an apply mutex. Safe to
+// call from multiple transport threads.
 #ifndef DIVERSE_RPC_SHARD_NODE_H_
 #define DIVERSE_RPC_SHARD_NODE_H_
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "engine/corpus.h"
 #include "metric/dense_metric.h"
 #include "rpc/wire.h"
+#include "snapshot/checkpoint_store.h"
 
 namespace diverse {
 namespace rpc {
 
 class ShardNode {
  public:
+  struct Options {
+    // When set, the replica checkpoints itself into this store (which
+    // must outlive the node) every `checkpoint_every` applied epochs and
+    // after every snapshot install. Saves happen on the apply path —
+    // replica sync pauses for the write, queries do not.
+    snapshot::CheckpointStore* checkpoint = nullptr;
+    int checkpoint_every = 16;
+  };
+
   struct Stats {
     long long queries = 0;
     long long version_mismatches = 0;
     long long epochs_applied = 0;
     long long rejected = 0;  // decode failures + invalid requests
+    long long snapshot_chunks = 0;     // chunk frames accepted
+    long long snapshots_installed = 0; // full images decoded + restored
+    long long checkpoints_saved = 0;
   };
 
   // Version-0 replica baseline; must match the coordinator's corpus.
-  ShardNode(std::vector<double> weights, DenseMetric metric, double lambda);
+  ShardNode(std::vector<double> weights, DenseMetric metric, double lambda,
+            Options options);
+  ShardNode(std::vector<double> weights, DenseMetric metric, double lambda)
+      : ShardNode(std::move(weights), std::move(metric), lambda, Options()) {}
+
+  // Cold start from a loaded checkpoint or transferred image, at the
+  // image's version.
+  ShardNode(engine::CorpusState state, Options options);
+  explicit ShardNode(engine::CorpusState state)
+      : ShardNode(std::move(state), Options()) {}
+
+  // Bootstrap node: empty replica with no baseline. Refuses queries and
+  // epoch replay (kVersionMismatch at version 0) until the coordinator
+  // installs a snapshot.
+  explicit ShardNode(Options options);
+  ShardNode() : ShardNode(Options()) {}
 
   // Serves one request payload (wire.h), returning the encoded reply.
   std::vector<std::uint8_t> Handle(
@@ -51,19 +90,45 @@ class ShardNode {
 
   std::uint64_t version() const { return replica_.version(); }
   const engine::Corpus& replica() const { return replica_; }
+  bool awaiting_bootstrap() const {
+    return awaiting_bootstrap_.load(std::memory_order_acquire);
+  }
   Stats stats() const;
 
  private:
+  // A partially transferred snapshot image, kept across interrupted
+  // transfers so a reconnecting coordinator resumes at next_chunk
+  // instead of restarting from zero. Guarded by apply_mu_.
+  struct PendingSnapshot {
+    std::uint64_t version = 0;
+    std::uint64_t total_bytes = 0;
+    std::uint32_t chunk_bytes = 0;
+    std::uint32_t num_chunks = 0;
+    std::uint32_t next_chunk = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
   std::vector<std::uint8_t> HandleQuery(const ShardQueryRequest& request);
   std::vector<std::uint8_t> HandleUpdates(const CorpusUpdateBatch& batch);
+  std::vector<std::uint8_t> HandleOffer(const SnapshotOffer& offer);
+  std::vector<std::uint8_t> HandleChunk(const SnapshotChunk& chunk);
+  void MaybeCheckpoint(const std::vector<std::uint8_t>* encoded_image);
 
   engine::Corpus replica_;
+  const Options options_;
+  std::atomic<bool> awaiting_bootstrap_{false};
   std::mutex apply_mu_;  // serializes update batches (version-order gate)
+                         // and snapshot transfers
+  std::optional<PendingSnapshot> pending_;  // guarded by apply_mu_
+  int epochs_since_checkpoint_ = 0;         // guarded by apply_mu_
 
   std::atomic<long long> queries_{0};
   std::atomic<long long> version_mismatches_{0};
   std::atomic<long long> epochs_applied_{0};
   std::atomic<long long> rejected_{0};
+  std::atomic<long long> snapshot_chunks_{0};
+  std::atomic<long long> snapshots_installed_{0};
+  std::atomic<long long> checkpoints_saved_{0};
 };
 
 }  // namespace rpc

@@ -8,7 +8,7 @@ namespace rpc {
 bool InProcessTransport::Call(const std::vector<std::uint8_t>& request,
                               std::vector<std::uint8_t>* response) {
   if (down()) return false;
-  *response = node_->Handle(request);
+  *response = node_.load(std::memory_order_acquire)->Handle(request);
   return true;
 }
 

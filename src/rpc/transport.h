@@ -52,8 +52,16 @@ class InProcessTransport : public Transport {
   void set_down(bool down) { down_.store(down, std::memory_order_relaxed); }
   bool down() const { return down_.load(std::memory_order_relaxed); }
 
+  // Swaps the node behind this address — the tests' "process restart"
+  // hook (a restarted node keeps its transport, as a restarted
+  // shard_node_cli keeps its host:port). `node` must outlive the
+  // transport.
+  void set_node(ShardNode* node) {
+    node_.store(node, std::memory_order_release);
+  }
+
  private:
-  ShardNode* node_;
+  std::atomic<ShardNode*> node_;
   std::atomic<bool> down_{false};
 };
 

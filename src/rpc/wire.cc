@@ -117,6 +117,13 @@ class Reader {
     return true;
   }
 
+  bool ReadBytes(std::uint8_t* out, std::size_t count) {
+    if (remaining() < count) return false;
+    if (count > 0) std::memcpy(out, data_.data() + pos_, count);
+    pos_ += count;
+    return true;
+  }
+
   // Element count for a vector whose entries take `stride` bytes each.
   // Bounding by the bytes actually remaining means a corrupt count can
   // never drive a huge allocation: the subsequent reads fail first.
@@ -234,6 +241,39 @@ std::vector<std::uint8_t> Encode(const UpdateAck& message) {
   return out;
 }
 
+std::vector<std::uint8_t> Encode(const SnapshotOffer& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(3 + 8 + 8 + 4 + 4);
+  AppendHeader(&out, MessageType::kSnapshotOffer);
+  AppendU64(&out, message.snapshot_version);
+  AppendU64(&out, message.total_bytes);
+  AppendU32(&out, message.chunk_bytes);
+  AppendU32(&out, message.num_chunks);
+  return out;
+}
+
+std::vector<std::uint8_t> Encode(const SnapshotChunk& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(3 + 8 + 4 + 4 + message.data.size());
+  AppendHeader(&out, MessageType::kSnapshotChunk);
+  AppendU64(&out, message.snapshot_version);
+  AppendU32(&out, message.chunk_index);
+  AppendU32(&out, static_cast<std::uint32_t>(message.data.size()));
+  out.insert(out.end(), message.data.begin(), message.data.end());
+  return out;
+}
+
+std::vector<std::uint8_t> Encode(const SnapshotAck& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(3 + 1 + 8 + 8 + 4);
+  AppendHeader(&out, MessageType::kSnapshotAck);
+  AppendU8(&out, static_cast<std::uint8_t>(message.status));
+  AppendU64(&out, message.node_version);
+  AppendU64(&out, message.snapshot_version);
+  AppendU32(&out, message.next_chunk);
+  return out;
+}
+
 std::optional<MessageType> PeekType(std::span<const std::uint8_t> payload) {
   Reader reader(payload);
   std::uint16_t version;
@@ -241,7 +281,7 @@ std::optional<MessageType> PeekType(std::span<const std::uint8_t> payload) {
   if (!reader.ReadU16(&version) || !reader.ReadU8(&type)) return std::nullopt;
   if (version != kWireVersion) return std::nullopt;
   if (type < static_cast<std::uint8_t>(MessageType::kShardQueryRequest) ||
-      type > static_cast<std::uint8_t>(MessageType::kUpdateAck)) {
+      type > static_cast<std::uint8_t>(MessageType::kSnapshotAck)) {
     return std::nullopt;
   }
   return static_cast<MessageType>(type);
@@ -320,6 +360,44 @@ bool Decode(std::span<const std::uint8_t> payload, UpdateAck* message) {
   if (!ReadHeader(&reader, MessageType::kUpdateAck)) return false;
   if (!ReadStatus(&reader, &message->status) ||
       !reader.ReadU64(&message->node_version)) {
+    return false;
+  }
+  return reader.Done();
+}
+
+bool Decode(std::span<const std::uint8_t> payload, SnapshotOffer* message) {
+  Reader reader(payload);
+  if (!ReadHeader(&reader, MessageType::kSnapshotOffer)) return false;
+  if (!reader.ReadU64(&message->snapshot_version) ||
+      !reader.ReadU64(&message->total_bytes) ||
+      !reader.ReadU32(&message->chunk_bytes) ||
+      !reader.ReadU32(&message->num_chunks)) {
+    return false;
+  }
+  return reader.Done();
+}
+
+bool Decode(std::span<const std::uint8_t> payload, SnapshotChunk* message) {
+  Reader reader(payload);
+  if (!ReadHeader(&reader, MessageType::kSnapshotChunk)) return false;
+  if (!reader.ReadU64(&message->snapshot_version) ||
+      !reader.ReadU32(&message->chunk_index)) {
+    return false;
+  }
+  std::size_t count;
+  if (!reader.ReadCount(1, &count)) return false;
+  message->data.resize(count);
+  if (!reader.ReadBytes(message->data.data(), count)) return false;
+  return reader.Done();
+}
+
+bool Decode(std::span<const std::uint8_t> payload, SnapshotAck* message) {
+  Reader reader(payload);
+  if (!ReadHeader(&reader, MessageType::kSnapshotAck)) return false;
+  if (!ReadStatus(&reader, &message->status) ||
+      !reader.ReadU64(&message->node_version) ||
+      !reader.ReadU64(&message->snapshot_version) ||
+      !reader.ReadU32(&message->next_chunk)) {
     return false;
   }
   return reader.Done();

@@ -25,6 +25,12 @@
 //     from_version + epochs.size()`, applied one Corpus::Apply per epoch
 //     so replica version numbers stay aligned with the coordinator's.
 //     Answered by an UpdateAck.
+//   * SnapshotOffer / SnapshotChunk — replica bootstrap for a node whose
+//     version predates the coordinator's compacted epoch log: the offer
+//     announces one snapshot_codec image (version, size, chunking), each
+//     chunk carries one consecutive slice, and both are answered by a
+//     SnapshotAck whose `next_chunk` makes interrupted transfers
+//     resumable (the node keeps its partial image across reconnects).
 //
 // Decoding is total: truncated buffers, trailing garbage, unknown wire
 // versions, unknown message types, and out-of-range enum values are all
@@ -49,11 +55,20 @@ inline constexpr std::uint16_t kWireVersion = 1;
 // socket framing: a corrupt length prefix must not turn into an OOM.
 inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 26;  // 64 MiB
 
+// Ceiling on one SnapshotChunk's data slice, leaving headroom for the
+// frame header + length fields. One definition keeps the coordinator's
+// chunk-size clamp and the node's offer shape check agreeing.
+inline constexpr std::uint32_t kMaxSnapshotChunkBytes =
+    static_cast<std::uint32_t>(kMaxFrameBytes - 64);
+
 enum class MessageType : std::uint8_t {
   kShardQueryRequest = 1,
   kShardQueryResponse = 2,
   kCorpusUpdateBatch = 3,
   kUpdateAck = 4,
+  kSnapshotOffer = 5,
+  kSnapshotChunk = 6,
+  kSnapshotAck = 7,
 };
 
 enum class RpcStatus : std::uint8_t {
@@ -109,12 +124,48 @@ struct UpdateAck {
   std::uint64_t node_version = 0;  // replica version after the batch
 };
 
+// Announces one snapshot_codec image about to be chunked over. The node
+// answers with a SnapshotAck: kOk + next_chunk tells the coordinator
+// where to (re)start streaming (0 for a fresh transfer, further along
+// when a previous transfer of the same image was interrupted);
+// kVersionMismatch + node_version means the replica is already at or
+// past the image and wants epoch replay instead.
+struct SnapshotOffer {
+  std::uint64_t snapshot_version = 0;
+  std::uint64_t total_bytes = 0;
+  // Bytes per chunk (every chunk but the last is exactly this long);
+  // num_chunks = ceil(total_bytes / chunk_bytes).
+  std::uint32_t chunk_bytes = 0;
+  std::uint32_t num_chunks = 0;
+};
+
+// One consecutive slice of the offered image. Chunks must arrive in
+// order; the ack's next_chunk confirms progress. The final chunk's ack
+// reports kOk + the restored replica version, or kError when the
+// assembled image fails to decode/validate.
+struct SnapshotChunk {
+  std::uint64_t snapshot_version = 0;
+  std::uint32_t chunk_index = 0;
+  std::vector<std::uint8_t> data;
+};
+
+struct SnapshotAck {
+  RpcStatus status = RpcStatus::kOk;
+  std::uint64_t node_version = 0;      // replica version (post-install on
+                                       // the final chunk's ack)
+  std::uint64_t snapshot_version = 0;  // image the ack refers to
+  std::uint32_t next_chunk = 0;        // first chunk index still missing
+};
+
 // Encoders never fail; the result always starts with the version/type
 // header and is accepted by the matching decoder.
 std::vector<std::uint8_t> Encode(const ShardQueryRequest& message);
 std::vector<std::uint8_t> Encode(const ShardQueryResponse& message);
 std::vector<std::uint8_t> Encode(const CorpusUpdateBatch& message);
 std::vector<std::uint8_t> Encode(const UpdateAck& message);
+std::vector<std::uint8_t> Encode(const SnapshotOffer& message);
+std::vector<std::uint8_t> Encode(const SnapshotChunk& message);
+std::vector<std::uint8_t> Encode(const SnapshotAck& message);
 
 // Message type of a payload, or nullopt when the header is truncated or
 // the wire version does not match kWireVersion.
@@ -128,6 +179,9 @@ bool Decode(std::span<const std::uint8_t> payload,
             ShardQueryResponse* message);
 bool Decode(std::span<const std::uint8_t> payload, CorpusUpdateBatch* message);
 bool Decode(std::span<const std::uint8_t> payload, UpdateAck* message);
+bool Decode(std::span<const std::uint8_t> payload, SnapshotOffer* message);
+bool Decode(std::span<const std::uint8_t> payload, SnapshotChunk* message);
+bool Decode(std::span<const std::uint8_t> payload, SnapshotAck* message);
 
 }  // namespace rpc
 }  // namespace diverse

@@ -1,0 +1,190 @@
+#include "snapshot/checkpoint_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "snapshot/snapshot_codec.h"
+#include "util/check.h"
+
+namespace diverse {
+namespace snapshot {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kPrefix[] = "checkpoint-";
+constexpr char kSuffix[] = ".snap";
+constexpr int kVersionDigits = 20;
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+// checkpoint-<20 digits>.snap -> version; nullopt for anything else
+// (including the .tmp leftovers of a crashed writer).
+std::optional<std::uint64_t> ParseVersion(const std::string& filename) {
+  const std::size_t prefix = sizeof(kPrefix) - 1;
+  const std::size_t suffix = sizeof(kSuffix) - 1;
+  if (filename.size() != prefix + kVersionDigits + suffix) return std::nullopt;
+  if (filename.compare(0, prefix, kPrefix) != 0) return std::nullopt;
+  if (filename.compare(prefix + kVersionDigits, suffix, kSuffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t version = 0;
+  for (int i = 0; i < kVersionDigits; ++i) {
+    const char c = filename[prefix + i];
+    if (c < '0' || c > '9') return std::nullopt;
+    version = version * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return version;
+}
+
+// Writes `bytes` to `path` and flushes them to stable storage. POSIX fds
+// rather than iostreams: durability needs fsync.
+bool WriteDurable(const std::string& path,
+                  const std::vector<std::uint8_t>& bytes,
+                  std::string* error) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    SetError(error, "cannot create " + path + ": " + std::strerror(errno));
+    return false;
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, "cannot write " + path + ": " + std::strerror(errno));
+      ::close(fd);
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    SetError(error, "cannot fsync " + path + ": " + std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+// Makes a completed rename in `dir` durable (fsync on the directory fd).
+// Best-effort: some filesystems refuse directory fsync; the rename itself
+// is still atomic.
+void SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  DIVERSE_CHECK_MSG(!dir_.empty(), "checkpoint directory must be named");
+  DIVERSE_CHECK(options_.retain >= 1);
+}
+
+std::string CheckpointStore::PathFor(std::uint64_t version) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%0*llu%s", kPrefix, kVersionDigits,
+                static_cast<unsigned long long>(version), kSuffix);
+  return (fs::path(dir_) / name).string();
+}
+
+bool CheckpointStore::Save(const engine::CorpusSnapshot& snapshot,
+                           std::string* error) {
+  if (!FitsSnapshotFormat(snapshot.universe_size())) {
+    SetError(error, "corpus too large for the snapshot format (n=" +
+                        std::to_string(snapshot.universe_size()) + ")");
+    return false;
+  }
+  return SaveEncoded(snapshot.version(), EncodeSnapshot(snapshot), error);
+}
+
+bool CheckpointStore::SaveEncoded(std::uint64_t version,
+                                  const std::vector<std::uint8_t>& image,
+                                  std::string* error) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    SetError(error, "cannot create " + dir_ + ": " + ec.message());
+    return false;
+  }
+  const std::string final_path = PathFor(version);
+  const std::string temp_path = final_path + ".tmp";
+  if (!WriteDurable(temp_path, image, error)) return false;
+  if (std::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+    SetError(error, "cannot rename " + temp_path + ": " +
+                        std::strerror(errno));
+    std::remove(temp_path.c_str());
+    return false;
+  }
+  SyncDir(dir_);
+
+  // Retention: newest `retain` survive. Only run after a successful save
+  // so a failing disk never deletes the one checkpoint that still loads.
+  std::vector<std::uint64_t> versions = ListVersions();
+  if (static_cast<int>(versions.size()) > options_.retain) {
+    for (std::size_t i = 0;
+         i + static_cast<std::size_t>(options_.retain) < versions.size();
+         ++i) {
+      fs::remove(PathFor(versions[i]), ec);
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> CheckpointStore::ListVersions() const {
+  std::vector<std::uint64_t> versions;
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return versions;
+  for (const fs::directory_entry& entry : it) {
+    const std::optional<std::uint64_t> version =
+        ParseVersion(entry.path().filename().string());
+    if (version) versions.push_back(*version);
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+std::optional<engine::CorpusState> CheckpointStore::LoadLatest(
+    std::string* error) const {
+  const std::vector<std::uint64_t> versions = ListVersions();
+  std::string last_error = "no checkpoint under " + dir_;
+  for (std::size_t i = versions.size(); i-- > 0;) {
+    const std::string path = PathFor(versions[i]);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      last_error = "cannot open " + path;
+      continue;
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    engine::CorpusState state;
+    if (!DecodeSnapshot(bytes, &state)) {
+      // Corrupt or truncated: fall back to the previous checkpoint.
+      last_error = "corrupt checkpoint " + path;
+      continue;
+    }
+    return state;
+  }
+  SetError(error, last_error);
+  return std::nullopt;
+}
+
+}  // namespace snapshot
+}  // namespace diverse

@@ -1,0 +1,83 @@
+// Atomic on-disk persistence of corpus snapshots — the cold-start story
+// for both shard_node_cli and engine_server_cli.
+//
+// One store manages one directory of checkpoint files named
+//
+//   checkpoint-<version, 20 zero-padded digits>.snap
+//
+// each holding exactly one snapshot_codec image. Writes are crash-safe by
+// construction: the image is written to a `.tmp` sibling, flushed to
+// stable storage (fsync, then a directory fsync so the rename itself is
+// durable), and renamed into place — a reader can never observe a torn
+// checkpoint under its final name, and LoadLatest skips `.tmp` leftovers
+// from a crashed writer entirely. After each successful save the store
+// prunes all but the newest `retain` checkpoints, bounding disk use.
+//
+// Loading is as defensive as the codec: LoadLatest walks checkpoints from
+// newest to oldest and returns the first one that fully decodes and
+// validates, so a corrupt or truncated latest file degrades to the
+// previous good checkpoint instead of failing the cold start.
+#ifndef DIVERSE_SNAPSHOT_CHECKPOINT_STORE_H_
+#define DIVERSE_SNAPSHOT_CHECKPOINT_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/corpus.h"
+
+namespace diverse {
+namespace snapshot {
+
+class CheckpointStore {
+ public:
+  struct Options {
+    // Checkpoints kept after a successful save (>= 1). Older ones are
+    // deleted; keeping a few shields cold start from one corrupt file.
+    int retain = 3;
+  };
+
+  // `dir` is created (recursively) on the first save if missing. The
+  // store holds no file handles between calls; several stores may point
+  // at distinct directories, but two writers on one directory race their
+  // retention scans and must be avoided by the caller.
+  CheckpointStore(std::string dir, Options options);
+  explicit CheckpointStore(std::string dir)
+      : CheckpointStore(std::move(dir), Options()) {}
+
+  // Encodes `snapshot` and atomically publishes it as the checkpoint for
+  // its version. Returns false (with a diagnostic on *error when
+  // non-null) if the directory or file cannot be written; an existing
+  // checkpoint of the same version is replaced atomically.
+  bool Save(const engine::CorpusSnapshot& snapshot,
+            std::string* error = nullptr);
+  // Same, from pre-encoded image bytes at `version` (the replica path:
+  // a transferred snapshot is persisted without re-encoding).
+  bool SaveEncoded(std::uint64_t version,
+                   const std::vector<std::uint8_t>& image,
+                   std::string* error = nullptr);
+
+  // Decodes the newest checkpoint that validates, skipping torn temp
+  // files and corrupt images. nullopt when no loadable checkpoint exists.
+  std::optional<engine::CorpusState> LoadLatest(
+      std::string* error = nullptr) const;
+
+  // Versions with a (final-named) checkpoint file, ascending. Unreadable
+  // directories yield an empty list.
+  std::vector<std::uint64_t> ListVersions() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string PathFor(std::uint64_t version) const;
+
+  const std::string dir_;
+  const Options options_;
+};
+
+}  // namespace snapshot
+}  // namespace diverse
+
+#endif  // DIVERSE_SNAPSHOT_CHECKPOINT_STORE_H_

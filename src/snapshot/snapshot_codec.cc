@@ -1,0 +1,229 @@
+#include "snapshot/snapshot_codec.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace diverse {
+namespace snapshot {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x504E5344;  // "DSNP" little-endian
+
+// The largest id space whose image could still fit kMaxSnapshotBytes.
+// Anything above is rejected before any size arithmetic that could
+// overflow (n <= 2^17 keeps n^2 * 8 well inside std::uint64_t).
+constexpr std::uint64_t kMaxUniverse = std::uint64_t{1} << 17;
+
+constexpr std::size_t kHeaderBytes = 4 + 2 + 8 + 8 + 4;
+constexpr std::size_t kTrailerBytes = 4;
+
+void AppendU16(std::vector<std::uint8_t>* out, std::uint16_t value) {
+  out->push_back(static_cast<std::uint8_t>(value));
+  out->push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void AppendF64(std::vector<std::uint8_t>* out, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+// Appends `count` doubles starting at `values`. The image is defined as
+// little-endian; on little-endian hosts (every supported target) the IEEE
+// bit patterns are already in image order, so the bulk path is one memcpy
+// — this is what makes checkpoint load/store run at memory bandwidth.
+void AppendF64Array(std::vector<std::uint8_t>* out, const double* values,
+                    std::size_t count) {
+  if constexpr (std::endian::native == std::endian::little) {
+    const std::size_t offset = out->size();
+    out->resize(offset + count * sizeof(double));
+    std::memcpy(out->data() + offset, values, count * sizeof(double));
+  } else {
+    for (std::size_t i = 0; i < count; ++i) AppendF64(out, values[i]);
+  }
+}
+
+double ReadF64At(std::span<const std::uint8_t> data, std::size_t pos) {
+  if constexpr (std::endian::native == std::endian::little) {
+    double value;
+    std::memcpy(&value, data.data() + pos, sizeof(value));
+    return value;
+  } else {
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= std::uint64_t{data[pos + i]} << (8 * i);
+    }
+    double value;
+    std::memcpy(&value, &bits, sizeof(bits));
+    return value;
+  }
+}
+
+std::uint32_t ReadU32At(std::span<const std::uint8_t> data, std::size_t pos) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= std::uint32_t{data[pos + i]} << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t ReadU64At(std::span<const std::uint8_t> data, std::size_t pos) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= std::uint64_t{data[pos + i]} << (8 * i);
+  }
+  return value;
+}
+
+std::vector<std::uint8_t> EncodeImage(std::uint64_t version, double lambda,
+                                      const std::vector<double>& weights,
+                                      const std::vector<char>& alive,
+                                      const DenseMetric& metric) {
+  const std::uint64_t n = weights.size();
+  DIVERSE_CHECK_MSG(FitsSnapshotFormat(static_cast<int>(n)),
+                    "corpus too large for the snapshot format — callers "
+                    "pre-check with FitsSnapshotFormat");
+  std::vector<std::uint8_t> out;
+  out.reserve(EncodedSnapshotBytes(static_cast<int>(n)));
+  AppendU32(&out, kMagic);
+  AppendU16(&out, kSnapshotFormatVersion);
+  AppendU64(&out, version);
+  AppendF64(&out, lambda);
+  AppendU32(&out, static_cast<std::uint32_t>(n));
+  AppendF64Array(&out, weights.data(), weights.size());
+  for (char a : alive) out.push_back(a ? 1 : 0);
+  // Strict upper triangle in row order; one bulk append per row.
+  std::vector<double> row;
+  for (std::uint64_t u = 0; u + 1 < n; ++u) {
+    row.clear();
+    for (std::uint64_t v = u + 1; v < n; ++v) {
+      row.push_back(metric.Distance(static_cast<int>(u),
+                                    static_cast<int>(v)));
+    }
+    AppendF64Array(&out, row.data(), row.size());
+  }
+  AppendU32(&out, Crc32(out));
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t EncodedSnapshotBytes(int universe_size) {
+  const std::uint64_t n = static_cast<std::uint64_t>(universe_size);
+  const std::uint64_t triangle = n * (n - (n > 0 ? 1 : 0)) / 2;
+  return kHeaderBytes + n * 8 + n + triangle * 8 + kTrailerBytes;
+}
+
+bool FitsSnapshotFormat(int universe_size) {
+  // The kMaxUniverse bound comes first: it keeps the size arithmetic
+  // itself overflow-free.
+  return universe_size >= 0 &&
+         static_cast<std::uint64_t>(universe_size) <= kMaxUniverse &&
+         EncodedSnapshotBytes(universe_size) <= kMaxSnapshotBytes;
+}
+
+std::vector<std::uint8_t> EncodeSnapshot(
+    const engine::CorpusSnapshot& snapshot) {
+  std::vector<char> alive(snapshot.universe_size());
+  for (int id = 0; id < snapshot.universe_size(); ++id) {
+    alive[id] = snapshot.alive(id) ? 1 : 0;
+  }
+  return EncodeImage(snapshot.version(), snapshot.lambda(),
+                     snapshot.weights().weights(), alive, snapshot.metric());
+}
+
+std::vector<std::uint8_t> EncodeState(const engine::CorpusState& state) {
+  return EncodeImage(state.version, state.lambda, state.weights, state.alive,
+                     state.metric);
+}
+
+bool DecodeSnapshot(std::span<const std::uint8_t> payload,
+                    engine::CorpusState* state) {
+  if (payload.size() < kHeaderBytes + kTrailerBytes) return false;
+  if (payload.size() > kMaxSnapshotBytes) return false;
+  // Integrity first: a flipped bit anywhere (header included) fails here.
+  const std::size_t body = payload.size() - kTrailerBytes;
+  if (Crc32(payload.subspan(0, body)) != ReadU32At(payload, body)) {
+    return false;
+  }
+  std::size_t pos = 0;
+  if (ReadU32At(payload, pos) != kMagic) return false;
+  pos += 4;
+  const std::uint16_t format = static_cast<std::uint16_t>(
+      payload[pos] | (std::uint16_t{payload[pos + 1]} << 8));
+  if (format != kSnapshotFormatVersion) return false;
+  pos += 2;
+  state->version = ReadU64At(payload, pos);
+  pos += 8;
+  state->lambda = ReadF64At(payload, pos);
+  pos += 8;
+  const std::uint64_t n = ReadU32At(payload, pos);
+  pos += 4;
+  // The exact-size equation doubles as the truncation/trailing-garbage
+  // check: every field below is then known to be in bounds.
+  if (n > kMaxUniverse) return false;
+  if (payload.size() != EncodedSnapshotBytes(static_cast<int>(n))) {
+    return false;
+  }
+  if (!(state->lambda >= 0.0) || !std::isfinite(state->lambda)) return false;
+
+  state->weights.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i, pos += 8) {
+    state->weights[i] = ReadF64At(payload, pos);
+    if (!engine::ValidWeight(state->weights[i])) return false;
+  }
+  state->alive.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i, ++pos) {
+    const std::uint8_t a = payload[pos];
+    if (a > 1) return false;
+    state->alive[i] = static_cast<char>(a);
+  }
+  state->metric = DenseMetric(static_cast<int>(n));
+  for (std::uint64_t u = 0; u + 1 < n; ++u) {
+    for (std::uint64_t v = u + 1; v < n; ++v, pos += 8) {
+      const double d = ReadF64At(payload, pos);
+      if (!engine::ValidDistance(d)) return false;
+      state->metric.SetDistance(static_cast<int>(u), static_cast<int>(v), d);
+    }
+  }
+  return engine::ValidState(*state);
+}
+
+std::uint32_t Crc32(std::span<const std::uint8_t> data) {
+  // Table-driven reflected CRC-32; the table is built once, on first use.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace snapshot
+}  // namespace diverse

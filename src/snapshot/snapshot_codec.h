@@ -1,0 +1,76 @@
+// Versioned binary codec for full corpus snapshots — the durability format
+// shared by on-disk checkpoints (snapshot/checkpoint_store.h) and the RPC
+// snapshot-transfer messages (rpc/wire.h SnapshotOffer/SnapshotChunk).
+//
+// One snapshot image is a self-contained little-endian payload
+//
+//   [u32 magic "DSNP"][u16 format version]
+//   [u64 corpus version][f64 lambda][u32 n]
+//   [n x f64 weights][n x u8 liveness]
+//   [n(n-1)/2 x f64 upper-triangle distances (u < v, row order)]
+//   [u32 CRC-32 of everything above]
+//
+// Only the strict upper triangle is stored: the matrix is reconstructed
+// symmetric with a zero diagonal by construction, halving the image size
+// (the n x n matrix dominates — ~64 MB at n = 4000).
+//
+// Decoding is total, to the same hardening bar as rpc/wire: a truncated,
+// oversized, garbled, version-skewed, or checksum-mismatched image — and
+// any image whose values an epoch replay would have rejected (negative or
+// non-finite weights/distances, non-0/1 liveness) — is rejected with
+// `false`, never an abort or an unbounded allocation. DecodeSnapshot
+// validates through the same engine::ValidWeight/ValidDistance predicates
+// rpc::ShardNode applies to epoch batches, so a checkpoint cannot
+// round-trip into a state a replay would have refused.
+#ifndef DIVERSE_SNAPSHOT_SNAPSHOT_CODEC_H_
+#define DIVERSE_SNAPSHOT_SNAPSHOT_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/corpus.h"
+
+namespace diverse {
+namespace snapshot {
+
+// Bumped on any incompatible layout change; decoders reject other values.
+inline constexpr std::uint16_t kSnapshotFormatVersion = 1;
+
+// Ceiling on one decoded image (and on the id-space size implied by its
+// header): a corrupt element count must not drive an OOM. 1 GiB covers
+// n ~ 16000 with the dense triangle; raise alongside kSnapshotFormatVersion
+// if corpora outgrow it.
+inline constexpr std::uint64_t kMaxSnapshotBytes = std::uint64_t{1} << 30;
+
+// Exact encoded size of a snapshot of `universe_size` ids.
+std::uint64_t EncodedSnapshotBytes(int universe_size);
+
+// Whether a corpus of `universe_size` ids fits the format's size
+// ceiling. EncodeSnapshot/EncodeState CHECK-abort outside this bound,
+// so durability call sites (checkpoint save, log compaction) pre-check
+// and degrade gracefully instead of killing a serving process.
+bool FitsSnapshotFormat(int universe_size);
+
+// Serializes one immutable corpus version. Never fails; the result is
+// accepted by DecodeSnapshot and is deterministic for a given snapshot.
+std::vector<std::uint8_t> EncodeSnapshot(
+    const engine::CorpusSnapshot& snapshot);
+// Same image from a plain state (used by tests and tools that hold a
+// decoded state rather than a live corpus).
+std::vector<std::uint8_t> EncodeState(const engine::CorpusState& state);
+
+// Decodes and fully validates one image. On success fills *state with a
+// corpus image that Corpus::Restore accepts; on any malformation returns
+// false and leaves *state unspecified.
+bool DecodeSnapshot(std::span<const std::uint8_t> payload,
+                    engine::CorpusState* state);
+
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `data` — exposed for the
+// checkpoint store's trailer verification and for tests.
+std::uint32_t Crc32(std::span<const std::uint8_t> data);
+
+}  // namespace snapshot
+}  // namespace diverse
+
+#endif  // DIVERSE_SNAPSHOT_SNAPSHOT_CODEC_H_

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,6 +24,8 @@
 #include "rpc/socket_transport.h"
 #include "rpc/transport.h"
 #include "rpc/wire.h"
+#include "snapshot/checkpoint_store.h"
+#include "snapshot/snapshot_codec.h"
 #include "util/random.h"
 
 namespace diverse {
@@ -151,10 +155,11 @@ TEST(RpcTest, ReplicasApplyEpochsInVersionOrder) {
   }
 }
 
-TEST(RpcTest, LaggingReplicaCatchesUpAtQueryTime) {
+TEST(RpcTest, LaggingReplicaCaughtUpProactivelyWithoutMismatchRoundTrip) {
   RemoteCluster cluster = MakeCluster(50, 2, 7, 0.3);
   Rng rng(8);
-  // Node 1 misses three epochs.
+  // Node 1 misses three epochs; the coordinator's per-node tracking saw
+  // the failed publishes, so it knows the replica is behind.
   cluster.transports[1]->set_down(true);
   for (int epoch = 0; epoch < 3; ++epoch) {
     cluster.ApplyAndPublish(
@@ -165,9 +170,38 @@ TEST(RpcTest, LaggingReplicaCatchesUpAtQueryTime) {
 
   cluster.transports[1]->set_down(false);
   ExpectBitEqual(*cluster.engine, MakeQuery(50, 6, 4, 99, rng));
-  // The stale replica was caught up by replaying the missed epochs, not
-  // bypassed: it is now current and served its shards remotely.
+  // The stale replica was caught up by replaying the missed epochs
+  // BEFORE the kernel request went out (tracked version, no
+  // kVersionMismatch round-trip), and then served its shards remotely.
   EXPECT_EQ(cluster.nodes[1]->version(), 3u);
+  const Coordinator::Stats stats = cluster.coordinator->stats();
+  EXPECT_GT(stats.proactive_catchups, 0);
+  EXPECT_EQ(stats.version_mismatches, 0);
+  EXPECT_EQ(cluster.nodes[1]->stats().version_mismatches, 0);
+  EXPECT_GT(stats.catchup_batches, 0);
+  EXPECT_EQ(stats.local_fallbacks, 0);
+}
+
+// The reactive mismatch path remains the backstop when the tracking is
+// stale: a silently restarted replica (fresh version-0 process behind the
+// same address) corrects the tracking on first contact.
+TEST(RpcTest, StaleTrackingFallsBackToMismatchRoundTrip) {
+  RemoteCluster cluster = MakeCluster(40, 1, 27, 0.3);
+  Rng rng(28);
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    cluster.ApplyAndPublish(
+        engine::MakeSyntheticEpoch(40, /*churn=*/false, epoch, rng));
+  }
+  EXPECT_EQ(cluster.nodes[0]->version(), 2u);
+  // "Restart" the node: same baseline (same seed as MakeCluster), fresh
+  // version-0 replica. The coordinator still tracks it at version 2.
+  Rng baseline_rng(27);
+  Dataset data = MakeUniformSynthetic(40, baseline_rng);
+  ShardNode restarted(data.weights, std::move(data.metric), 0.3);
+  cluster.transports[0]->set_node(&restarted);
+
+  ExpectBitEqual(*cluster.engine, MakeQuery(40, 6, 4, 77, rng));
+  EXPECT_EQ(restarted.version(), 2u);
   const Coordinator::Stats stats = cluster.coordinator->stats();
   EXPECT_GT(stats.version_mismatches, 0);
   EXPECT_GT(stats.catchup_batches, 0);
@@ -349,6 +383,290 @@ TEST(RpcTest, ShardedPlansDeterministicAcrossWorkerCounts) {
       }
     }
   }
+}
+
+// Compaction + bootstrap: after the epoch log is truncated below what a
+// cold node would need, the node is imaged by snapshot transfer, then
+// joins ordinary epoch replay — and every answer stays bit-equal.
+TEST(RpcTest, CompactedLogBootstrapsEmptyNodeViaSnapshotTransfer) {
+  RemoteCluster cluster = MakeCluster(45, 2, 33, 0.3);
+  Rng rng(34);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    cluster.ApplyAndPublish(engine::MakeSyntheticEpoch(
+        cluster.engine->corpus().snapshot()->universe_size(),
+        /*churn=*/true, epoch, rng));
+  }
+  // Both replicas acked version 3: compaction truncates the whole log
+  // into the retained image.
+  cluster.coordinator->CompactLog(*cluster.engine->corpus().snapshot());
+  EXPECT_EQ(cluster.coordinator->log_start(), 3u);
+  EXPECT_EQ(cluster.coordinator->retained_snapshot_version(), 3u);
+  EXPECT_EQ(cluster.coordinator->published_version(), 3u);
+
+  // Node 1 dies and comes back EMPTY — no baseline, no checkpoint. The
+  // truncated log could never replay it back; only the snapshot can.
+  ShardNode empty_node;
+  EXPECT_TRUE(empty_node.awaiting_bootstrap());
+  cluster.transports[1]->set_node(&empty_node);
+
+  const int universe = cluster.engine->corpus().snapshot()->universe_size();
+  ExpectBitEqual(*cluster.engine,
+                 MakeQuery(universe, 7, 4, rng.NextSeed(), rng));
+  EXPECT_FALSE(empty_node.awaiting_bootstrap());
+  EXPECT_EQ(empty_node.version(), 3u);
+  EXPECT_EQ(empty_node.stats().snapshots_installed, 1);
+  const Coordinator::Stats stats = cluster.coordinator->stats();
+  EXPECT_GT(stats.snapshots_sent, 0);
+  EXPECT_EQ(stats.local_fallbacks, 0);
+
+  // Subsequent epochs reach the bootstrapped node as ordinary replay.
+  cluster.ApplyAndPublish(engine::MakeSyntheticEpoch(
+      cluster.engine->corpus().snapshot()->universe_size(),
+      /*churn=*/true, 9, rng));
+  EXPECT_EQ(empty_node.version(), 4u);
+  ExpectBitEqual(*cluster.engine,
+                 MakeQuery(cluster.engine->corpus().snapshot()
+                               ->universe_size(),
+                           7, 4, rng.NextSeed(), rng));
+}
+
+// The ISSUE acceptance cycle: a node checkpoints itself, is killed, is
+// restarted FROM ITS CHECKPOINT (not the baseline), catches up on the
+// epochs it missed — here from a log compacted exactly down to its acked
+// version — and answers stay bit-equal throughout.
+TEST(RpcTest, KilledNodeRestartsFromCheckpointAndStaysBitEqual) {
+  const std::string dir =
+      (std::filesystem::path(testing::TempDir()) / "rpc_ckpt").string();
+  std::filesystem::remove_all(dir);
+  snapshot::CheckpointStore store(dir);
+  ShardNode::Options node_options;
+  node_options.checkpoint = &store;
+  node_options.checkpoint_every = 1;
+
+  Rng rng(35);
+  const Dataset data = MakeUniformSynthetic(40, rng);
+  Dataset replica = data;
+  auto node = std::make_unique<ShardNode>(
+      replica.weights, std::move(replica.metric), 0.3, node_options);
+  InProcessTransport transport(node.get());
+  Coordinator coordinator({&transport});
+  DiversificationEngine::Options engine_options;
+  engine_options.remote = &coordinator;
+  engine_options.num_workers = 1;
+  Dataset mine = data;
+  DiversificationEngine engine(mine.weights, std::move(mine.metric), 0.3,
+                               engine_options);
+  auto publish = [&](int epoch) {
+    const std::vector<CorpusUpdate> updates = engine::MakeSyntheticEpoch(
+        engine.corpus().snapshot()->universe_size(), /*churn=*/true, epoch,
+        rng);
+    coordinator.PublishEpoch(engine.ApplyUpdates(updates), updates);
+  };
+
+  for (int epoch = 0; epoch < 4; ++epoch) publish(epoch);
+  EXPECT_EQ(node->version(), 4u);
+  EXPECT_GE(node->stats().checkpoints_saved, 3);
+
+  // Kill the node; the corpus moves on without it.
+  transport.set_down(true);
+  for (int epoch = 4; epoch < 7; ++epoch) publish(epoch);
+  // Compaction truncates exactly down to the dead node's acked version —
+  // the epochs it missed are still in the log, everything older is not.
+  coordinator.CompactLog(*engine.corpus().snapshot());
+  EXPECT_EQ(coordinator.log_start(), 4u);
+
+  // Restart from disk: the newest checkpoint is the replica's own
+  // version-4 state, so catch-up is pure epoch replay — no snapshot
+  // transfer, no version-0 re-sync.
+  std::optional<engine::CorpusState> state = store.LoadLatest();
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->version, 4u);
+  auto restarted = std::make_unique<ShardNode>(std::move(*state),
+                                               node_options);
+  transport.set_node(restarted.get());
+  transport.set_down(false);
+  node.reset();
+
+  Rng qrng(36);
+  for (int q = 0; q < 3; ++q) {
+    ExpectBitEqual(engine,
+                   MakeQuery(engine.corpus().snapshot()->universe_size(), 7,
+                             4, qrng.NextSeed(), qrng));
+  }
+  EXPECT_EQ(restarted->version(), 7u);
+  const Coordinator::Stats stats = coordinator.stats();
+  EXPECT_EQ(stats.snapshots_sent, 0);
+  EXPECT_EQ(stats.local_fallbacks, 0);
+  EXPECT_GT(stats.remote_shards, 0);
+}
+
+// A RESTARTED coordinator has an empty epoch log (log_start 0, nothing
+// in it): the epochs a lagging replica needs may simply not exist in
+// this process. Once the first CompactLog retains a bootstrap image,
+// catch-up must bridge such nodes by snapshot transfer — epoch replay
+// alone can never reach them again.
+TEST(RpcTest, RestartedCoordinatorResyncsLaggingReplicaViaSnapshot) {
+  Rng rng(41);
+  const Dataset data = MakeUniformSynthetic(40, rng);
+  Dataset replica = data;
+  ShardNode node(replica.weights, std::move(replica.metric), 0.3);
+  InProcessTransport transport(&node);
+  DiversificationEngine::Options engine_options;
+  engine_options.num_workers = 1;
+  Dataset mine = data;
+  DiversificationEngine engine(mine.weights, std::move(mine.metric), 0.3,
+                               engine_options);
+  {
+    // First coordinator lifetime: one epoch reaches the node...
+    Coordinator first({&transport});
+    const std::vector<CorpusUpdate> updates =
+        engine::MakeSyntheticEpoch(40, /*churn=*/false, 0, rng);
+    first.PublishEpoch(engine.ApplyUpdates(updates), updates);
+    EXPECT_EQ(node.version(), 1u);
+  }
+  // ...then the coordinator dies; the corpus moves on without publishing.
+  for (int epoch = 1; epoch < 3; ++epoch) {
+    engine.ApplyUpdates(
+        engine::MakeSyntheticEpoch(40, /*churn=*/false, epoch, rng));
+  }
+
+  // Restarted coordinator: empty log, node stuck at version 1. Its
+  // first compaction recreates the bootstrap image from the live corpus.
+  Coordinator restarted({&transport});
+  restarted.CompactLog(*engine.corpus().snapshot());
+  EXPECT_EQ(restarted.retained_snapshot_version(), 3u);
+
+  Rng qrng(42);
+  engine::Query query = MakeQuery(40, 7, 4, qrng.NextSeed(), qrng);
+  const engine::SnapshotPtr snapshot = engine.corpus().snapshot();
+  const QueryResult remote = restarted.ExecuteSharded(*snapshot, query, 4);
+  Query local = query;
+  local.plan = PlanKind::kSharded;
+  const QueryResult reference =
+      engine::ExecuteQuery(*snapshot, local, engine::PlanDefaults{});
+  EXPECT_TRUE(remote.ok);
+  EXPECT_EQ(remote.elements, reference.elements);
+  EXPECT_EQ(remote.objective, reference.objective);
+  EXPECT_EQ(node.version(), 3u);
+  const Coordinator::Stats stats = restarted.stats();
+  EXPECT_GT(stats.snapshots_sent, 0);
+  EXPECT_EQ(stats.local_fallbacks, 0);
+}
+
+// Transport whose acks claim an arbitrary replica version — nodes are a
+// trust boundary, and an inflated ack must not be able to truncate an
+// epoch slot a concurrent publish has not filled yet (which would
+// CHECK-abort the straggling publish).
+class LyingAckTransport : public Transport {
+ public:
+  bool Call(const std::vector<std::uint8_t>& request,
+            std::vector<std::uint8_t>* response) override {
+    (void)request;
+    UpdateAck ack;
+    ack.status = RpcStatus::kOk;
+    ack.node_version = 1000000;  // far beyond anything published
+    *response = Encode(ack);
+    return true;
+  }
+};
+
+TEST(RpcTest, InflatedAckCannotTruncateUnpublishedEpochs) {
+  Rng rng(43);
+  Dataset data = MakeUniformSynthetic(30, rng);
+  LyingAckTransport lying;
+  Coordinator coordinator({&lying});
+  DiversificationEngine::Options engine_options;
+  engine_options.num_workers = 1;
+  DiversificationEngine engine(data.weights, std::move(data.metric), 0.3,
+                               engine_options);
+  const std::vector<CorpusUpdate> epoch1{CorpusUpdate::SetWeight(0, 0.5)};
+  const std::vector<CorpusUpdate> epoch2{CorpusUpdate::SetWeight(1, 0.25)};
+  EXPECT_EQ(engine.ApplyUpdates(epoch1), 1u);
+  EXPECT_EQ(engine.ApplyUpdates(epoch2), 2u);
+  // Out-of-order publish (the version-slotted log supports this):
+  // version 2 lands first, leaving version 1's slot allocated but
+  // unfilled.
+  coordinator.PublishEpoch(2, epoch2);
+  EXPECT_EQ(coordinator.published_version(), 0u);  // hole at slot 0
+  // Compaction with the lying node's inflated ack on record must stop
+  // at the contiguous published prefix (version 0), not at min(acked).
+  EXPECT_EQ(coordinator.CompactLog(*engine.corpus().snapshot()), 0u);
+  // The straggling publish must still land, not CHECK-abort.
+  coordinator.PublishEpoch(1, epoch1);
+  EXPECT_EQ(coordinator.published_version(), 2u);
+}
+
+// Transport that fails every Call once its budget runs out — for cutting
+// a snapshot transfer off mid-stream.
+class BudgetedTransport : public Transport {
+ public:
+  explicit BudgetedTransport(ShardNode* node) : node_(node) {}
+  bool Call(const std::vector<std::uint8_t>& request,
+            std::vector<std::uint8_t>* response) override {
+    if (budget_ == 0) return false;
+    if (budget_ > 0) --budget_;
+    *response = node_->Handle(request);
+    return true;
+  }
+  void set_budget(int budget) { budget_ = budget; }  // -1 = unlimited
+
+ private:
+  ShardNode* node_;
+  int budget_ = -1;
+};
+
+// An interrupted snapshot transfer resumes at the node's next missing
+// chunk instead of restarting from zero: every chunk crosses the wire
+// exactly once.
+TEST(RpcTest, InterruptedSnapshotTransferResumes) {
+  Rng rng(37);
+  const int n = 40;
+  const Dataset data = MakeUniformSynthetic(n, rng);
+  ShardNode bootstrap_node;  // empty, awaiting snapshot
+  BudgetedTransport transport(&bootstrap_node);
+  Coordinator::Options coordinator_options;
+  coordinator_options.snapshot_chunk_bytes = 512;
+  Coordinator coordinator({&transport}, coordinator_options);
+  DiversificationEngine::Options engine_options;
+  engine_options.remote = &coordinator;
+  engine_options.num_workers = 1;
+  Dataset mine = data;
+  DiversificationEngine engine(mine.weights, std::move(mine.metric), 0.3,
+                               engine_options);
+
+  const std::vector<CorpusUpdate> updates = engine::MakeSyntheticEpoch(
+      n, /*churn=*/false, 0, rng);
+  coordinator.PublishEpoch(engine.ApplyUpdates(updates), updates);
+  coordinator.CompactLog(*engine.corpus().snapshot());
+  const std::uint32_t num_chunks = static_cast<std::uint32_t>(
+      (snapshot::EncodedSnapshotBytes(n) + 511) / 512);
+  ASSERT_GT(num_chunks, 5u);
+
+  // Budget: 1 refused epoch batch + the offer + 3 chunks, then the wire
+  // dies. The query falls back locally — still bit-equal.
+  transport.set_budget(5);
+  Rng qrng(38);
+  ExpectBitEqual(engine, MakeQuery(n, 6, 4, qrng.NextSeed(), qrng));
+  EXPECT_EQ(bootstrap_node.stats().snapshot_chunks, 3);
+  EXPECT_TRUE(bootstrap_node.awaiting_bootstrap());
+  EXPECT_GT(coordinator.stats().local_fallbacks, 0);
+
+  // Wire heals: the next query's catch-up resumes at chunk 3 and
+  // completes the install; the node then serves remotely.
+  transport.set_budget(-1);
+  ExpectBitEqual(engine, MakeQuery(n, 6, 4, qrng.NextSeed(), qrng));
+  EXPECT_FALSE(bootstrap_node.awaiting_bootstrap());
+  EXPECT_EQ(bootstrap_node.version(), 1u);
+  const ShardNode::Stats node_stats = bootstrap_node.stats();
+  EXPECT_EQ(node_stats.snapshots_installed, 1);
+  // Exactly once per chunk — 3 before the cut, the remaining after.
+  EXPECT_EQ(node_stats.snapshot_chunks,
+            static_cast<long long>(num_chunks));
+  const Coordinator::Stats stats = coordinator.stats();
+  EXPECT_EQ(stats.snapshots_sent, 2);  // two transfer attempts
+  EXPECT_EQ(stats.snapshot_chunks_sent,
+            static_cast<long long>(num_chunks));
+  EXPECT_GT(stats.remote_shards, 0);
 }
 
 // The acceptance path over real sockets: two shard nodes behind loopback

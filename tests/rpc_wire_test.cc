@@ -227,6 +227,99 @@ TEST(RpcWireTest, UnknownTypeAndCorruptEnumsRejected) {
   EXPECT_FALSE(Decode(encoded, &decoded_batch));
 }
 
+SnapshotOffer RandomOffer(Rng& rng) {
+  SnapshotOffer offer;
+  offer.snapshot_version = rng.NextSeed();
+  offer.total_bytes = static_cast<std::uint64_t>(rng.UniformInt(1, 1 << 24));
+  offer.chunk_bytes = static_cast<std::uint32_t>(rng.UniformInt(1, 1 << 20));
+  offer.num_chunks = static_cast<std::uint32_t>(
+      (offer.total_bytes + offer.chunk_bytes - 1) / offer.chunk_bytes);
+  return offer;
+}
+
+SnapshotChunk RandomChunk(Rng& rng) {
+  SnapshotChunk chunk;
+  chunk.snapshot_version = rng.NextSeed();
+  chunk.chunk_index = static_cast<std::uint32_t>(rng.UniformInt(0, 1 << 16));
+  chunk.data.resize(rng.UniformInt(0, 64));
+  for (std::uint8_t& byte : chunk.data) {
+    byte = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  }
+  return chunk;
+}
+
+SnapshotAck RandomSnapshotAck(Rng& rng) {
+  SnapshotAck ack;
+  ack.status = static_cast<RpcStatus>(rng.UniformInt(0, 2));
+  ack.node_version = rng.NextSeed();
+  ack.snapshot_version = rng.NextSeed();
+  ack.next_chunk = static_cast<std::uint32_t>(rng.UniformInt(0, 1 << 16));
+  return ack;
+}
+
+TEST(RpcWireTest, SnapshotMessagesRoundTrip) {
+  Rng rng(21);
+  for (int iter = 0; iter < 100; ++iter) {
+    const SnapshotOffer offer = RandomOffer(rng);
+    std::vector<std::uint8_t> payload = Encode(offer);
+    EXPECT_EQ(PeekType(payload), MessageType::kSnapshotOffer);
+    SnapshotOffer decoded_offer;
+    ASSERT_TRUE(Decode(payload, &decoded_offer));
+    EXPECT_EQ(decoded_offer.snapshot_version, offer.snapshot_version);
+    EXPECT_EQ(decoded_offer.total_bytes, offer.total_bytes);
+    EXPECT_EQ(decoded_offer.chunk_bytes, offer.chunk_bytes);
+    EXPECT_EQ(decoded_offer.num_chunks, offer.num_chunks);
+
+    const SnapshotChunk chunk = RandomChunk(rng);
+    payload = Encode(chunk);
+    EXPECT_EQ(PeekType(payload), MessageType::kSnapshotChunk);
+    SnapshotChunk decoded_chunk;
+    ASSERT_TRUE(Decode(payload, &decoded_chunk));
+    EXPECT_EQ(decoded_chunk.snapshot_version, chunk.snapshot_version);
+    EXPECT_EQ(decoded_chunk.chunk_index, chunk.chunk_index);
+    EXPECT_EQ(decoded_chunk.data, chunk.data);
+
+    const SnapshotAck ack = RandomSnapshotAck(rng);
+    payload = Encode(ack);
+    EXPECT_EQ(PeekType(payload), MessageType::kSnapshotAck);
+    SnapshotAck decoded_ack;
+    ASSERT_TRUE(Decode(payload, &decoded_ack));
+    EXPECT_EQ(decoded_ack.status, ack.status);
+    EXPECT_EQ(decoded_ack.node_version, ack.node_version);
+    EXPECT_EQ(decoded_ack.snapshot_version, ack.snapshot_version);
+    EXPECT_EQ(decoded_ack.next_chunk, ack.next_chunk);
+  }
+}
+
+TEST(RpcWireTest, SnapshotMessagesTruncationAndGarbageRejected) {
+  Rng rng(22);
+  const std::vector<std::uint8_t> offer = Encode(RandomOffer(rng));
+  const std::vector<std::uint8_t> chunk = Encode(RandomChunk(rng));
+  const std::vector<std::uint8_t> ack = Encode(RandomSnapshotAck(rng));
+  for (std::size_t len = 0; len < offer.size(); ++len) {
+    SnapshotOffer decoded;
+    EXPECT_FALSE(Decode(std::span(offer.data(), len), &decoded));
+  }
+  for (std::size_t len = 0; len < chunk.size(); ++len) {
+    SnapshotChunk decoded;
+    EXPECT_FALSE(Decode(std::span(chunk.data(), len), &decoded));
+  }
+  for (std::size_t len = 0; len < ack.size(); ++len) {
+    SnapshotAck decoded;
+    EXPECT_FALSE(Decode(std::span(ack.data(), len), &decoded));
+  }
+  std::vector<std::uint8_t> trailing = chunk;
+  trailing.push_back(0);
+  SnapshotChunk decoded_chunk;
+  EXPECT_FALSE(Decode(trailing, &decoded_chunk));
+  // Cross-type confusion and a corrupt ack status byte.
+  SnapshotAck decoded_ack;
+  EXPECT_FALSE(Decode(offer, &decoded_ack));
+  std::vector<std::uint8_t> bad_status = ack;
+  bad_status[3] = 9;
+  EXPECT_FALSE(Decode(bad_status, &decoded_ack));
+}
+
 // A corrupt element/relevance count larger than the remaining bytes must
 // fail fast instead of allocating or over-reading.
 TEST(RpcWireTest, OversizedCountsRejected) {

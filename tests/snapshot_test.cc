@@ -1,0 +1,330 @@
+// Tests for the snapshot & durability subsystem (src/snapshot/): codec
+// round-trips over randomized corpora (churned, weight-only-epoch, and
+// lazy-metric ones), totality of decoding under truncation and
+// corruption, Corpus::Restore semantics, and the checkpoint store's
+// atomicity/retention/torn-file behavior.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "engine/corpus.h"
+#include "engine/workload.h"
+#include "snapshot/checkpoint_store.h"
+#include "snapshot/snapshot_codec.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace snapshot {
+namespace {
+
+namespace fs = std::filesystem;
+using engine::Corpus;
+using engine::CorpusSnapshot;
+using engine::CorpusState;
+using engine::CorpusUpdate;
+using engine::SnapshotPtr;
+
+Corpus MakeCorpus(int n, std::uint64_t seed, double lambda = 0.3) {
+  Rng rng(seed);
+  Dataset data = MakeUniformSynthetic(n, rng);
+  return Corpus(data.weights, std::move(data.metric), lambda);
+}
+
+// Every field bit-equal between a live snapshot and a decoded state.
+void ExpectStateMatches(const CorpusSnapshot& snapshot,
+                        const CorpusState& state) {
+  EXPECT_EQ(state.version, snapshot.version());
+  EXPECT_EQ(state.lambda, snapshot.lambda());
+  const int n = snapshot.universe_size();
+  ASSERT_EQ(static_cast<int>(state.weights.size()), n);
+  ASSERT_EQ(static_cast<int>(state.alive.size()), n);
+  ASSERT_EQ(state.metric.size(), n);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(state.weights[i], snapshot.weights().weight(i));
+    EXPECT_EQ(state.alive[i] != 0, snapshot.alive(i));
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      EXPECT_EQ(state.metric.Distance(u, v), snapshot.metric().Distance(u, v))
+          << "d(" << u << "," << v << ")";
+    }
+  }
+}
+
+TEST(SnapshotCodecTest, EncodedSizeMatchesFormula) {
+  for (int n : {0, 1, 2, 7, 40}) {
+    Corpus corpus = MakeCorpus(n, 5);
+    const std::vector<std::uint8_t> image =
+        EncodeSnapshot(*corpus.snapshot());
+    EXPECT_EQ(image.size(), EncodedSnapshotBytes(n)) << "n=" << n;
+  }
+}
+
+TEST(SnapshotCodecTest, RoundTripRandomizedChurnedCorpora) {
+  Rng rng(17);
+  for (int iter = 0; iter < 8; ++iter) {
+    const int n = rng.UniformInt(1, 60);
+    Corpus corpus = MakeCorpus(n, rng.NextSeed());
+    // A deep epoch history with churn: inserts, erases, weight and
+    // distance perturbations, so the snapshot carries retired ids and a
+    // grown universe.
+    const int epochs = rng.UniformInt(0, 12);
+    for (int e = 0; e < epochs; ++e) {
+      const int universe = corpus.snapshot()->universe_size();
+      corpus.Apply(engine::MakeSyntheticEpoch(universe, /*churn=*/true, e,
+                                              rng));
+    }
+    const SnapshotPtr snapshot = corpus.snapshot();
+    const std::vector<std::uint8_t> image = EncodeSnapshot(*snapshot);
+    CorpusState state;
+    ASSERT_TRUE(DecodeSnapshot(image, &state));
+    ExpectStateMatches(*snapshot, state);
+    // Deterministic encode: same snapshot, same bytes.
+    EXPECT_EQ(EncodeSnapshot(*snapshot), image);
+    // EncodeState of the decoded state reproduces the image exactly.
+    EXPECT_EQ(EncodeState(state), image);
+  }
+}
+
+// Weight-only epochs share the predecessor's distance matrix; the image
+// must capture that state like any other.
+TEST(SnapshotCodecTest, RoundTripWeightOnlyEpochSnapshot) {
+  Corpus corpus = MakeCorpus(24, 7);
+  corpus.Apply(CorpusUpdate::SetWeight(3, 0.125));
+  corpus.Apply(CorpusUpdate::SetWeight(9, 2.5));
+  const SnapshotPtr snapshot = corpus.snapshot();
+  EXPECT_EQ(snapshot->version(), 2u);
+  CorpusState state;
+  ASSERT_TRUE(DecodeSnapshot(EncodeSnapshot(*snapshot), &state));
+  ExpectStateMatches(*snapshot, state);
+}
+
+// Corpora materialized from a lazy base metric (Corpus::FromBaseMetric's
+// DistanceCache path) snapshot like dense-native ones.
+TEST(SnapshotCodecTest, RoundTripLazyMetricCorpus) {
+  Rng rng(23);
+  ClusteredConfig config;
+  config.n = 30;
+  Dataset data = MakeClusteredEuclidean(config, rng);
+  Corpus corpus = Corpus::FromBaseMetric(data.metric, data.weights, 0.4);
+  const SnapshotPtr snapshot = corpus.snapshot();
+  CorpusState state;
+  ASSERT_TRUE(DecodeSnapshot(EncodeSnapshot(*snapshot), &state));
+  ExpectStateMatches(*snapshot, state);
+}
+
+TEST(SnapshotCodecTest, RestoreRebuildsTheExactVersion) {
+  Rng rng(29);
+  Corpus corpus = MakeCorpus(20, 31);
+  for (int e = 0; e < 5; ++e) {
+    corpus.Apply(engine::MakeSyntheticEpoch(
+        corpus.snapshot()->universe_size(), /*churn=*/true, e, rng));
+  }
+  const SnapshotPtr original = corpus.snapshot();
+  CorpusState state;
+  ASSERT_TRUE(DecodeSnapshot(EncodeSnapshot(*original), &state));
+
+  // Restore into a fresh, unrelated corpus.
+  Corpus restored = MakeCorpus(3, 99);
+  EXPECT_EQ(restored.Restore(std::move(state)), original->version());
+  const SnapshotPtr snapshot = restored.snapshot();
+  EXPECT_EQ(snapshot->version(), original->version());
+  EXPECT_EQ(snapshot->candidates(), original->candidates());
+  EXPECT_EQ(snapshot->lambda(), original->lambda());
+  // Applying the same epoch to both yields the same next version.
+  const std::vector<CorpusUpdate> epoch{CorpusUpdate::SetWeight(0, 0.5)};
+  EXPECT_EQ(corpus.Apply(epoch), restored.Apply(epoch));
+}
+
+TEST(SnapshotCodecTest, EveryPrefixTruncationRejected) {
+  Corpus corpus = MakeCorpus(8, 3);
+  const std::vector<std::uint8_t> image = EncodeSnapshot(*corpus.snapshot());
+  CorpusState state;
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    EXPECT_FALSE(DecodeSnapshot(std::span(image.data(), len), &state))
+        << "prefix length " << len;
+  }
+  std::vector<std::uint8_t> trailing = image;
+  trailing.push_back(0);
+  EXPECT_FALSE(DecodeSnapshot(trailing, &state));
+}
+
+TEST(SnapshotCodecTest, EveryByteCorruptionRejected) {
+  Corpus corpus = MakeCorpus(6, 9);
+  const std::vector<std::uint8_t> image = EncodeSnapshot(*corpus.snapshot());
+  CorpusState state;
+  ASSERT_TRUE(DecodeSnapshot(image, &state));
+  // Single-bit flips anywhere — header, payload, or the CRC trailer —
+  // must be caught (n=6 keeps this exhaustive loop cheap).
+  for (std::size_t pos = 0; pos < image.size(); ++pos) {
+    std::vector<std::uint8_t> corrupt = image;
+    corrupt[pos] ^= 0x20;
+    EXPECT_FALSE(DecodeSnapshot(corrupt, &state)) << "byte " << pos;
+  }
+}
+
+// Re-checksummed tampering: the CRC passes, so the semantic validation
+// has to reject it (format version skew, non-finite values, bad liveness).
+std::vector<std::uint8_t> Rechecksum(std::vector<std::uint8_t> image) {
+  const std::uint32_t crc =
+      Crc32(std::span(image.data(), image.size() - 4));
+  for (int i = 0; i < 4; ++i) {
+    image[image.size() - 4 + i] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  return image;
+}
+
+TEST(SnapshotCodecTest, RechecksummedTamperingStillRejected) {
+  Corpus corpus = MakeCorpus(5, 13);
+  const std::vector<std::uint8_t> image = EncodeSnapshot(*corpus.snapshot());
+  CorpusState state;
+
+  std::vector<std::uint8_t> bad_magic = image;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(bad_magic), &state));
+
+  std::vector<std::uint8_t> bad_format = image;
+  bad_format[4] = 0xfe;  // format version low byte
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(bad_format), &state));
+
+  std::vector<std::uint8_t> bad_count = image;
+  bad_count[22] ^= 0x01;  // universe size: image length no longer matches
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(bad_count), &state));
+
+  // First weight -> NaN (exponent bits all-ones + mantissa bit).
+  std::vector<std::uint8_t> nan_weight = image;
+  for (int i = 0; i < 8; ++i) nan_weight[26 + i] = 0xff;
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(nan_weight), &state));
+
+  // First liveness byte out of {0, 1}.
+  const int n = corpus.snapshot()->universe_size();
+  std::vector<std::uint8_t> bad_alive = image;
+  bad_alive[26 + 8 * n] = 2;
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(bad_alive), &state));
+
+  // First distance -> negative (sign bit of the first triangle double).
+  std::vector<std::uint8_t> bad_distance = image;
+  bad_distance[26 + 9 * n + 7] |= 0x80;
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(bad_distance), &state));
+
+  // NaN lambda.
+  std::vector<std::uint8_t> bad_lambda = image;
+  for (int i = 0; i < 8; ++i) bad_lambda[14 + i] = 0xff;
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(bad_lambda), &state));
+}
+
+// EncodeState is not a validator; DecodeSnapshot is the trust boundary
+// and must reject values an epoch replay would have refused even when
+// the checksum is intact.
+TEST(SnapshotCodecTest, InvalidValuesInWellFormedImageRejected) {
+  Corpus corpus = MakeCorpus(4, 41);
+  CorpusState state;
+  ASSERT_TRUE(DecodeSnapshot(EncodeSnapshot(*corpus.snapshot()), &state));
+  state.weights[1] = -0.25;
+  CorpusState decoded;
+  EXPECT_FALSE(DecodeSnapshot(EncodeState(state), &decoded));
+}
+
+std::string TestDir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+TEST(CheckpointStoreTest, SaveLoadRoundTrip) {
+  const std::string dir = TestDir("ckpt_roundtrip");
+  CheckpointStore store(dir);
+  Rng rng(51);
+  Corpus corpus = MakeCorpus(15, 53);
+  ASSERT_TRUE(store.Save(*corpus.snapshot()));
+  for (int e = 0; e < 3; ++e) {
+    corpus.Apply(engine::MakeSyntheticEpoch(
+        corpus.snapshot()->universe_size(), /*churn=*/true, e, rng));
+    ASSERT_TRUE(store.Save(*corpus.snapshot()));
+  }
+  EXPECT_EQ(store.ListVersions(), (std::vector<std::uint64_t>{1, 2, 3}));
+
+  std::string error;
+  std::optional<CorpusState> loaded = store.LoadLatest(&error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ExpectStateMatches(*corpus.snapshot(), *loaded);
+}
+
+TEST(CheckpointStoreTest, RetentionKeepsNewestK) {
+  const std::string dir = TestDir("ckpt_retain");
+  CheckpointStore::Options options;
+  options.retain = 2;
+  CheckpointStore store(dir, options);
+  Corpus corpus = MakeCorpus(6, 57);
+  ASSERT_TRUE(store.Save(*corpus.snapshot()));
+  for (int e = 0; e < 4; ++e) {
+    corpus.Apply(CorpusUpdate::SetWeight(e, 0.25 * (e + 1)));
+    ASSERT_TRUE(store.Save(*corpus.snapshot()));
+  }
+  EXPECT_EQ(store.ListVersions(), (std::vector<std::uint64_t>{3, 4}));
+  std::optional<CorpusState> loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->version, 4u);
+}
+
+TEST(CheckpointStoreTest, EmptyDirHasNothingToLoad) {
+  CheckpointStore store(TestDir("ckpt_empty"));
+  std::string error;
+  EXPECT_FALSE(store.LoadLatest(&error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(store.ListVersions().empty());
+}
+
+// A crashed writer leaves a .tmp file (possibly garbage); load must not
+// even consider it.
+TEST(CheckpointStoreTest, TornTempFilesIgnored) {
+  const std::string dir = TestDir("ckpt_torn");
+  CheckpointStore store(dir);
+  Corpus corpus = MakeCorpus(10, 61);
+  ASSERT_TRUE(store.Save(*corpus.snapshot()));
+  {
+    std::ofstream torn(
+        fs::path(dir) / "checkpoint-00000000000000000009.snap.tmp",
+        std::ios::binary);
+    torn << "half-written garbage";
+  }
+  EXPECT_EQ(store.ListVersions(), (std::vector<std::uint64_t>{0}));
+  std::optional<CorpusState> loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->version, 0u);
+}
+
+// A corrupt newest checkpoint degrades to the previous good one instead
+// of failing the cold start.
+TEST(CheckpointStoreTest, CorruptLatestFallsBackToOlder) {
+  const std::string dir = TestDir("ckpt_corrupt");
+  CheckpointStore store(dir);
+  Corpus corpus = MakeCorpus(12, 67);
+  ASSERT_TRUE(store.Save(*corpus.snapshot()));  // version 0, good
+  corpus.Apply(CorpusUpdate::SetWeight(1, 0.75));
+  ASSERT_TRUE(store.Save(*corpus.snapshot()));  // version 1: truncate it
+  const fs::path newest =
+      fs::path(dir) / "checkpoint-00000000000000000001.snap";
+  ASSERT_TRUE(fs::exists(newest));
+  fs::resize_file(newest, fs::file_size(newest) / 2);
+
+  std::optional<CorpusState> loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->version, 0u);
+
+  // Zero-length (just-created-then-crashed) newest behaves the same.
+  fs::resize_file(newest, 0);
+  loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->version, 0u);
+}
+
+}  // namespace
+}  // namespace snapshot
+}  // namespace diverse

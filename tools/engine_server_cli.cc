@@ -15,19 +15,31 @@
 // with the in-process sharded plan on the same snapshot and fails unless
 // the two are bit-equal — the end-to-end check CI runs over loopback.
 //
+// Durability (src/snapshot): --checkpoint_dir cold-starts the engine from
+// the newest loadable checkpoint (falling back to --input/--generate) and
+// persists one every --checkpoint_every update epochs plus a final one at
+// exit. --compact_every=K additionally folds every K-th epoch's snapshot
+// into the coordinator's retained bootstrap image and truncates its epoch
+// log below the replicas' acked versions — lagging or empty nodes then
+// bootstrap by snapshot transfer instead of unbounded epoch replay.
+//
 // Examples:
 //   engine_server_cli --generate=2000 --queries=200 --p=10 --workers=4
 //   engine_server_cli --generate=1000 --queries=100 --plan=sharded
 //       --shards=8 --update_every=10 --churn
 //   engine_server_cli --generate=400 --queries=50 --plan=remote
-//       --nodes=127.0.0.1:7411,127.0.0.1:7412 --update_every=5 --verify
+//       --nodes=127.0.0.1:7411,127.0.0.1:7412 --update_every=5
+//       --compact_every=10 --verify
 //   engine_server_cli --input=data.csv --queries=50 --sync
+//       --checkpoint_dir=/var/tmp/engine_ckpt
 #include <algorithm>
 #include <cstdint>
 #include <future>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/csv_io.h"
@@ -36,6 +48,7 @@
 #include "engine/workload.h"
 #include "rpc/coordinator.h"
 #include "rpc/socket_transport.h"
+#include "snapshot/checkpoint_store.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -76,10 +89,24 @@ int RunServer(const std::string& input, int generate, int queries, int p,
               double lambda, const std::string& plan,
               const std::string& nodes, int shards, int per_shard,
               int workers, int batch, int update_every, bool churn,
-              bool sync, bool verify, std::uint64_t seed) {
+              bool sync, bool verify, const std::string& checkpoint_dir,
+              int checkpoint_every, int compact_every, std::uint64_t seed) {
   Rng rng(seed);
+  std::unique_ptr<snapshot::CheckpointStore> store;
+  std::optional<engine::CorpusState> restored;
+  if (!checkpoint_dir.empty()) {
+    store = std::make_unique<snapshot::CheckpointStore>(checkpoint_dir);
+    restored = store->LoadLatest();
+    if (restored) {
+      std::cout << "cold start from checkpoint version "
+                << restored->version << " (n=" << restored->weights.size()
+                << ")" << std::endl;
+    }
+  }
   Dataset data(0);
-  if (!input.empty()) {
+  if (restored) {
+    // Corpus comes from disk below; data stays empty.
+  } else if (!input.empty()) {
     auto loaded = LoadDatasetCsv(input);
     if (!loaded) {
       std::cerr << "error: cannot load dataset from '" << input << "'\n";
@@ -89,7 +116,8 @@ int RunServer(const std::string& input, int generate, int queries, int p,
   } else if (generate > 0) {
     data = MakeUniformSynthetic(generate, rng);
   } else {
-    std::cerr << "error: provide --input=FILE or --generate=N\n";
+    std::cerr << "error: provide --input=FILE, --generate=N, or a loadable "
+                 "--checkpoint_dir\n";
     return 1;
   }
   const bool remote = plan == "remote";
@@ -118,16 +146,19 @@ int RunServer(const std::string& input, int generate, int queries, int p,
     for (const auto& t : transports) raw.push_back(t.get());
     coordinator = std::make_unique<rpc::Coordinator>(std::move(raw));
   }
-  const int n = data.size();
-  p = std::min(p, n);
-
   engine::DiversificationEngine::Options options;
   options.num_workers = workers;
   options.max_batch = batch;
   options.default_num_shards = shards;
   options.remote = coordinator.get();
-  engine::DiversificationEngine server(data.weights, std::move(data.metric),
-                                       lambda, options);
+  std::unique_ptr<engine::DiversificationEngine> server_owner =
+      restored ? std::make_unique<engine::DiversificationEngine>(
+                     std::move(*restored), options)
+               : std::make_unique<engine::DiversificationEngine>(
+                     data.weights, std::move(data.metric), lambda, options);
+  engine::DiversificationEngine& server = *server_owner;
+  const int n = server.corpus().snapshot()->universe_size();
+  p = std::min(p, n);
 
   // Pre-generate the trace so request construction stays off the clock.
   engine::SyntheticQueryConfig query_config;
@@ -154,6 +185,17 @@ int RunServer(const std::string& input, int generate, int queries, int p,
         engine::MakeSyntheticEpoch(universe, churn, epoch++, rng);
     *last_version = server.ApplyUpdates(updates);
     if (coordinator) coordinator->PublishEpoch(*last_version, updates);
+    // Durability + log compaction ride the update path: they see the
+    // snapshot the epoch just published.
+    if (store && checkpoint_every > 0 && epoch % checkpoint_every == 0) {
+      std::string error;
+      if (!store->Save(*server.corpus().snapshot(), &error)) {
+        std::cerr << "warning: checkpoint failed: " << error << "\n";
+      }
+    }
+    if (coordinator && compact_every > 0 && epoch % compact_every == 0) {
+      coordinator->CompactLog(*server.corpus().snapshot());
+    }
   };
 
   WallTimer wall;
@@ -213,6 +255,15 @@ int RunServer(const std::string& input, int generate, int queries, int p,
   }
   const double elapsed = wall.Seconds();
 
+  if (store) {
+    // Final checkpoint so the next run resumes from this corpus even
+    // when no epoch boundary hit --checkpoint_every.
+    std::string error;
+    if (!store->Save(*server.corpus().snapshot(), &error)) {
+      std::cerr << "warning: final checkpoint failed: " << error << "\n";
+    }
+  }
+
   const engine::DiversificationEngine::Stats stats = server.stats();
   std::cout << "corpus n:        " << n << "\n"
             << "mode:            "
@@ -238,7 +289,13 @@ int RunServer(const std::string& input, int generate, int queries, int p,
     std::cout << "remote shards:   " << rpc_stats.remote_shards << "\n"
               << "local fallbacks: " << rpc_stats.local_fallbacks << "\n"
               << "catchup batches: " << rpc_stats.catchup_batches << "\n"
-              << "version misses:  " << rpc_stats.version_mismatches << "\n";
+              << "proactive syncs: " << rpc_stats.proactive_catchups << "\n"
+              << "version misses:  " << rpc_stats.version_mismatches << "\n"
+              << "snapshots sent:  " << rpc_stats.snapshots_sent << " ("
+              << rpc_stats.snapshot_chunks_sent << " chunks)\n"
+              << "log compactions: " << rpc_stats.compactions
+              << " (log starts at version " << coordinator->log_start()
+              << ")\n";
   }
   if (verify) {
     std::cout << "verified:        " << verified
@@ -266,6 +323,9 @@ int main(int argc, char** argv) {
   bool churn = false;
   bool sync = false;
   bool verify = false;
+  std::string checkpoint_dir;
+  int checkpoint_every = 16;
+  int compact_every = 0;
   std::int64_t seed = 1;
   diverse::FlagSet flags(
       "engine_server_cli — replay a query/update trace against the serving "
@@ -296,10 +356,20 @@ int main(int argc, char** argv) {
   flags.AddBool("verify", &verify,
                 "remote plan only: re-answer every query with the "
                 "in-process sharded plan and require bit-equality");
+  flags.AddString("checkpoint_dir", &checkpoint_dir,
+                  "cold-start from / persist corpus checkpoints in this "
+                  "directory");
+  flags.AddInt("checkpoint_every", &checkpoint_every,
+               "checkpoint every K update epochs (<= 0: final only)");
+  flags.AddInt("compact_every", &compact_every,
+               "remote plan: fold every K-th epoch's snapshot into the "
+               "coordinator's bootstrap image and truncate its epoch log "
+               "(0 = never)");
   flags.AddInt64("seed", &seed, "random seed");
   if (!flags.Parse(argc, argv)) return 1;
   return diverse::RunServer(input, generate, queries, p, lambda, plan, nodes,
                             shards, per_shard, workers, batch, update_every,
-                            churn, sync, verify,
+                            churn, sync, verify, checkpoint_dir,
+                            checkpoint_every, compact_every,
                             static_cast<std::uint64_t>(seed));
 }

@@ -1,26 +1,40 @@
 // shard_node_cli — one cross-node RPC shard worker.
 //
-// Stands up a ShardNode (full corpus replica at version 0) behind a
-// SocketServer and serves coordinator traffic — per-shard Greedy B kernel
-// queries and CorpusUpdateBatch replica-sync epochs — until killed. The
-// replica baseline must match the coordinator's corpus: either both load
-// the same CSV, or both generate synthetically from the same --generate
-// and --seed (the dataset is the first thing drawn from the seed on both
-// sides, so the corpora are identical).
+// Stands up a ShardNode (full corpus replica) behind a SocketServer and
+// serves coordinator traffic — per-shard Greedy B kernel queries,
+// CorpusUpdateBatch replica-sync epochs, and snapshot bootstrap transfers
+// — until killed. The replica baseline comes from, in priority order:
+//
+//   1. --checkpoint_dir with a loadable checkpoint: cold start at the
+//      checkpoint's version (the durability path — a restarted node
+//      resumes from disk and catches up via epoch replay);
+//   2. --input / --generate: the version-0 baseline, which must match the
+//      coordinator's corpus (same CSV, or same --generate and --seed);
+//   3. --bootstrap: no baseline at all — the node refuses traffic with
+//      kVersionMismatch until the coordinator streams it a full snapshot.
+//
+// With --checkpoint_dir the node also persists its replica every
+// --checkpoint_every applied epochs and after every snapshot install.
 //
 // Pairs with `engine_server_cli --plan=remote --nodes=...`:
 //
-//   shard_node_cli --generate=400 --seed=7 --port=7411 &
-//   shard_node_cli --generate=400 --seed=7 --port=7412 &
+//   shard_node_cli --generate=400 --seed=7 --port=7411
+//       --checkpoint_dir=/tmp/node1 &
+//   shard_node_cli --bootstrap --port=7412 &
 //   engine_server_cli --generate=400 --seed=7 --plan=remote
-//       --nodes=127.0.0.1:7411,127.0.0.1:7412 --queries=50 --verify
+//       --nodes=127.0.0.1:7411,127.0.0.1:7412 --queries=50
+//       --update_every=5 --compact_every=10 --verify
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "data/csv_io.h"
 #include "data/synthetic.h"
 #include "rpc/shard_node.h"
 #include "rpc/socket_transport.h"
+#include "snapshot/checkpoint_store.h"
 #include "util/flags.h"
 #include "util/random.h"
 
@@ -28,34 +42,69 @@ namespace diverse {
 namespace {
 
 int RunNode(const std::string& input, int generate, double lambda, int port,
-            std::uint64_t seed) {
-  Dataset data(0);
-  if (!input.empty()) {
+            const std::string& checkpoint_dir, int checkpoint_every,
+            bool bootstrap, std::uint64_t seed) {
+  std::unique_ptr<snapshot::CheckpointStore> store;
+  rpc::ShardNode::Options options;
+  if (!checkpoint_dir.empty()) {
+    store = std::make_unique<snapshot::CheckpointStore>(checkpoint_dir);
+    options.checkpoint = store.get();
+    options.checkpoint_every = checkpoint_every;
+  }
+
+  std::unique_ptr<rpc::ShardNode> node;
+  std::string origin;
+  if (store != nullptr) {
+    // Durability first: a checkpoint, when present, outranks the seed
+    // flags — it is the replica's own later state.
+    std::optional<engine::CorpusState> state = store->LoadLatest();
+    if (state) {
+      origin = "checkpoint version " + std::to_string(state->version);
+      node = std::make_unique<rpc::ShardNode>(std::move(*state), options);
+    }
+  }
+  if (node == nullptr && !input.empty()) {
     auto loaded = LoadDatasetCsv(input);
     if (!loaded) {
       std::cerr << "error: cannot load dataset from '" << input << "'\n";
       return 1;
     }
-    data = std::move(*loaded);
-  } else if (generate > 0) {
+    origin = "csv baseline (version 0)";
+    node = std::make_unique<rpc::ShardNode>(
+        loaded->weights, std::move(loaded->metric), lambda, options);
+  }
+  if (node == nullptr && !bootstrap && generate > 0) {
     Rng rng(seed);
-    data = MakeUniformSynthetic(generate, rng);
-  } else {
-    std::cerr << "error: provide --input=FILE or --generate=N\n";
-    return 1;
+    Dataset data = MakeUniformSynthetic(generate, rng);
+    origin = "synthetic baseline (version 0)";
+    node = std::make_unique<rpc::ShardNode>(
+        data.weights, std::move(data.metric), lambda, options);
+  }
+  if (node == nullptr) {
+    if (!bootstrap && checkpoint_dir.empty()) {
+      std::cerr << "error: provide --input=FILE, --generate=N, "
+                   "--checkpoint_dir=DIR, or --bootstrap\n";
+      return 1;
+    }
+    // Empty replica: wait for the coordinator's snapshot transfer.
+    origin = "bootstrap (awaiting snapshot)";
+    node = std::make_unique<rpc::ShardNode>(options);
   }
 
-  const int n = data.size();
-  rpc::ShardNode node(data.weights, std::move(data.metric), lambda);
-  rpc::SocketServer server(&node, port);
-  std::cout << "shard node listening on port " << server.port()
-            << " (corpus n=" << n << ", version 0)" << std::endl;
+  rpc::SocketServer server(node.get(), port);
+  std::cout << "shard node listening on port " << server.port() << " ("
+            << origin << ", corpus n="
+            << node->replica().snapshot()->universe_size() << ", version "
+            << node->version() << ")" << std::endl;
   server.Serve();
-  const rpc::ShardNode::Stats stats = node.stats();
+  const rpc::ShardNode::Stats stats = node->stats();
   std::cout << "served queries:      " << stats.queries << "\n"
             << "epochs applied:      " << stats.epochs_applied << "\n"
             << "version mismatches:  " << stats.version_mismatches << "\n"
-            << "rejected frames:     " << stats.rejected << "\n";
+            << "rejected frames:     " << stats.rejected << "\n"
+            << "snapshot chunks:     " << stats.snapshot_chunks << "\n"
+            << "snapshots installed: " << stats.snapshots_installed << "\n"
+            << "checkpoints saved:   " << stats.checkpoints_saved << "\n";
   return 0;
 }
 
@@ -67,6 +116,9 @@ int main(int argc, char** argv) {
   int generate = 1000;
   double lambda = 0.2;
   int port = 7400;
+  std::string checkpoint_dir;
+  int checkpoint_every = 16;
+  bool bootstrap = false;
   std::int64_t seed = 1;
   diverse::FlagSet flags(
       "shard_node_cli — serve one RPC shard worker (corpus replica + "
@@ -76,9 +128,19 @@ int main(int argc, char** argv) {
                "generate a synthetic corpus of size N (default)");
   flags.AddDouble("lambda", &lambda, "quality/diversity trade-off");
   flags.AddInt("port", &port, "TCP port to listen on (0 = ephemeral)");
+  flags.AddString("checkpoint_dir", &checkpoint_dir,
+                  "persist/load replica checkpoints in this directory "
+                  "(a loadable checkpoint outranks --input/--generate)");
+  flags.AddInt("checkpoint_every", &checkpoint_every,
+               "checkpoint every K applied epochs (<= 0: only on "
+               "snapshot install)");
+  flags.AddBool("bootstrap", &bootstrap,
+                "start with an empty replica and wait for the "
+                "coordinator's snapshot transfer");
   flags.AddInt64("seed", &seed,
                  "random seed; must match the coordinator's for --generate");
   if (!flags.Parse(argc, argv)) return 1;
-  return diverse::RunNode(input, generate, lambda, port,
+  return diverse::RunNode(input, generate, lambda, port, checkpoint_dir,
+                          checkpoint_every, bootstrap,
                           static_cast<std::uint64_t>(seed));
 }
