@@ -1,0 +1,178 @@
+// Failover bench: active coordinator + standby mirror over in-process
+// transports; publish an epoch stream, kill the active, promote the
+// standby, and measure the takeover. Emits BENCH_failover.json.
+//
+// promotion latency (promote_ms) = Promote() [probe + log adoption] +
+// engine construction from the mirrored fold + the first remote query
+// answered by the promoted coordinator. bit_equal re-checks every
+// post-promotion answer against an in-process sharded reference engine
+// that NEVER failed over — a 0 is a correctness regression in the
+// failover path, not a perf one (gated by tools/bench_compare.py).
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bench_json.h"
+#include "data/synthetic.h"
+#include "engine/engine.h"
+#include "engine/execution_plan.h"
+#include "engine/workload.h"
+#include "replication/standby_coordinator.h"
+#include "rpc/coordinator.h"
+#include "rpc/shard_node.h"
+#include "rpc/transport.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace diverse {
+namespace {
+
+engine::Query MakeQuery(int universe, int p, std::uint64_t salt, Rng& rng) {
+  engine::SyntheticQueryConfig config;
+  config.p = p;
+  config.universe = universe;
+  config.sharded = true;
+  config.remote = true;
+  config.num_shards = 4;
+  engine::Query query = engine::MakeSyntheticQuery(config, rng);
+  query.shard_salt = salt;
+  return query;
+}
+
+int Run(int n, int epochs, std::uint64_t seed) {
+  const double lambda = 0.3;
+  Rng rng(seed);
+  const Dataset data = MakeUniformSynthetic(n, rng);
+
+  // One fixed epoch stream, applied to the failover cluster AND to a
+  // reference engine that never fails over.
+  std::vector<std::vector<engine::CorpusUpdate>> stream;
+  {
+    Dataset scratch_data = data;
+    engine::Corpus scratch(scratch_data.weights,
+                           std::move(scratch_data.metric), lambda);
+    Rng erng(seed + 1);
+    for (int e = 0; e < epochs; ++e) {
+      stream.push_back(engine::MakeSyntheticEpoch(
+          scratch.snapshot()->universe_size(), /*churn=*/true, e, erng));
+      scratch.Apply(stream.back());
+    }
+  }
+  const int pre_epochs = epochs / 2;
+
+  Dataset ref_data = data;
+  engine::DiversificationEngine reference(
+      ref_data.weights, std::move(ref_data.metric), lambda, {});
+
+  // Cluster: 2 replicas + 1 standby behind the active coordinator.
+  std::vector<std::unique_ptr<rpc::ShardNode>> nodes;
+  std::vector<std::unique_ptr<rpc::InProcessTransport>> transports;
+  std::vector<rpc::Transport*> raw;
+  for (int i = 0; i < 2; ++i) {
+    Dataset replica = data;
+    nodes.push_back(std::make_unique<rpc::ShardNode>(
+        replica.weights, std::move(replica.metric), lambda));
+    transports.push_back(
+        std::make_unique<rpc::InProcessTransport>(nodes.back().get()));
+    raw.push_back(transports.back().get());
+  }
+  Dataset mirror = data;
+  replication::StandbyCoordinator standby(mirror.weights,
+                                          std::move(mirror.metric), lambda);
+  rpc::InProcessTransport standby_transport(&standby);
+
+  bench::BenchJson json("failover");
+  Rng qrng(seed + 2);
+  std::uint64_t version = 0;
+  double publish_seconds;
+  {
+    auto active = std::make_unique<rpc::Coordinator>(
+        raw, std::vector<rpc::Transport*>{&standby_transport},
+        rpc::Coordinator::Options());
+    Dataset mine = data;
+    engine::DiversificationEngine::Options engine_options;
+    engine_options.remote = active.get();
+    engine_options.num_workers = 1;
+    engine::DiversificationEngine engine(
+        mine.weights, std::move(mine.metric), lambda, engine_options);
+    WallTimer publish_wall;
+    for (int e = 0; e < pre_epochs; ++e) {
+      reference.ApplyUpdates(stream[e]);
+      version = engine.ApplyUpdates(stream[e]);
+      active->PublishEpoch(version, stream[e]);
+    }
+    publish_seconds = publish_wall.Seconds();
+    // Warm remote serving, then the active dies (scope exit).
+    engine.RunSync(MakeQuery(n, 10, qrng.NextSeed(), qrng));
+  }
+
+  // Takeover: promote, rebuild the serving engine from the mirrored
+  // fold, answer one query remotely.
+  WallTimer promote_wall;
+  std::unique_ptr<rpc::Coordinator> promoted =
+      standby.Promote(raw, rpc::Coordinator::Options());
+  engine::DiversificationEngine::Options takeover_options;
+  takeover_options.remote = promoted.get();
+  takeover_options.num_workers = 1;
+  engine::DiversificationEngine takeover(standby.state(), takeover_options);
+  engine::QueryResult first =
+      takeover.RunSync(MakeQuery(n, 10, qrng.NextSeed(), qrng));
+  const double promote_seconds = promote_wall.Seconds();
+
+  // Post-promotion: finish the stream and audit bit-equality against the
+  // never-failed reference at every version.
+  long long equal = first.ok ? 1 : 0;
+  for (int e = pre_epochs; e < epochs; ++e) {
+    reference.ApplyUpdates(stream[e]);
+    version = takeover.ApplyUpdates(stream[e]);
+    promoted->PublishEpoch(version, stream[e]);
+    const engine::Query query =
+        MakeQuery(takeover.corpus().snapshot()->universe_size(), 10,
+                  qrng.NextSeed(), qrng);
+    const engine::QueryResult remote = takeover.RunSync(query);
+    engine::Query local = query;
+    local.plan = engine::PlanKind::kSharded;
+    const engine::QueryResult expected = engine::ExecuteQuery(
+        *reference.corpus().snapshot(), local, engine::PlanDefaults{});
+    if (!remote.ok || remote.corpus_version != version ||
+        remote.elements != expected.elements ||
+        remote.objective != expected.objective) {
+      equal = 0;
+    }
+  }
+  // Bit-equality alone cannot distinguish remote serving from the (also
+  // bit-equal) local fallback; a run that never reached a node proves
+  // nothing about the promoted sync state.
+  if (promoted->stats().remote_shards == 0) equal = 0;
+
+  json.NewRecord("failover")
+      .Add("n", static_cast<long long>(n))
+      .Add("epochs", static_cast<long long>(epochs))
+      .Add("promote_ms", promote_seconds * 1e3)
+      .Add("publish_epochs_per_second", pre_epochs / publish_seconds)
+      .Add("bit_equal", equal);
+  std::cout << "promotion: " << promote_seconds * 1e3 << " ms ("
+            << pre_epochs << " mirrored epochs, n=" << n
+            << "), post-promotion bit_equal=" << equal << "\n";
+
+  json.WriteFile();
+  return equal == 1 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace diverse
+
+int main(int argc, char** argv) {
+  int n = 400;
+  int epochs = 24;
+  std::int64_t seed = 1;
+  diverse::FlagSet flags(
+      "failover — kill-active/promote-standby cycle over in-process "
+      "transports; writes BENCH_failover.json");
+  flags.AddInt("n", &n, "corpus size");
+  flags.AddInt("epochs", &epochs, "update epochs across the whole run");
+  flags.AddInt64("seed", &seed, "random seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  return diverse::Run(n, epochs, static_cast<std::uint64_t>(seed));
+}

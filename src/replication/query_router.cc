@@ -1,0 +1,217 @@
+#include "replication/query_router.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "algorithms/distributed.h"
+#include "algorithms/result.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace diverse {
+namespace replication {
+namespace {
+
+// A kernel solution a replica sent back must be something the in-process
+// plan could have produced for this shard: live ids of the right shard,
+// no more than per_shard of them, no duplicates. Anything else marks the
+// node as misbehaving and triggers the failure policy.
+bool ValidShardSolution(const engine::CorpusSnapshot& snapshot,
+                        const rpc::ShardQueryRequest& request,
+                        const std::vector<int>& elements) {
+  if (static_cast<int>(elements.size()) > request.per_shard) return false;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const int e = elements[i];
+    if (e < 0 || e >= snapshot.universe_size() || !snapshot.alive(e)) {
+      return false;
+    }
+    if (ShardOf(request.shard_salt, e, request.num_shards) !=
+        request.shard_index) {
+      return false;
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (elements[j] == e) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryRouter::QueryRouter(ReplicaSyncService* sync, Options options)
+    : sync_(sync), options_(options) {
+  DIVERSE_CHECK(sync_ != nullptr);
+  DIVERSE_CHECK(options_.max_catchup_rounds >= 0);
+}
+
+bool QueryRouter::RunShardRemote(const engine::CorpusSnapshot& snapshot,
+                                 const rpc::ShardQueryRequest& request,
+                                 std::vector<int>* elements,
+                                 long long* steps) {
+  const int node_index = request.shard_index % sync_->num_nodes();
+  rpc::Transport* node = sync_->transport(node_index);
+  // A quarantined node holds another coordinator lineage's epochs; its
+  // answers at a numerically matching version would not be this
+  // snapshot's. Catch-up below is snapshot-only and queries stay on-box
+  // until the re-image lands.
+  // Proactive catch-up: when the tracked replica version already says the
+  // node is behind this snapshot, replay (or bootstrap) BEFORE asking —
+  // the kVersionMismatch round-trip below then only fires when the
+  // tracking was stale (e.g. the node silently restarted).
+  const std::uint64_t tracked = sync_->GetAcked(node_index);
+  if (tracked < request.snapshot_version || sync_->NeedsReimage(node_index)) {
+    proactive_catchups_.fetch_add(1, std::memory_order_relaxed);
+    sync_->CatchUpTarget(node_index, tracked, request.snapshot_version);
+    // Best-effort: the query's own mismatch loop is the backstop.
+    if (sync_->NeedsReimage(node_index)) return false;
+  }
+  const std::vector<std::uint8_t> encoded = Encode(request);
+  for (int round = 0; round <= options_.max_catchup_rounds; ++round) {
+    std::vector<std::uint8_t> reply;
+    if (!node->Call(encoded, &reply)) return false;
+    rpc::ShardQueryResponse response;
+    if (!rpc::Decode(reply, &response)) return false;
+    if (response.status == rpc::RpcStatus::kOk) {
+      if (!ValidShardSolution(snapshot, request, response.elements)) {
+        return false;
+      }
+      sync_->SetAcked(node_index, request.snapshot_version);
+      *elements = std::move(response.elements);
+      *steps = response.steps;
+      return true;
+    }
+    if (response.status != rpc::RpcStatus::kVersionMismatch) return false;
+    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    sync_->SetAcked(node_index, response.node_version);
+    // A replica ahead of this snapshot cannot rewind; one behind is
+    // brought up by snapshot transfer and/or epoch replay.
+    if (response.node_version >= request.snapshot_version) return false;
+    if (!sync_->CatchUpTarget(node_index, response.node_version,
+                              request.snapshot_version)) {
+      return false;
+    }
+  }
+  return false;
+}
+
+engine::QueryResult QueryRouter::ExecuteSharded(
+    const engine::CorpusSnapshot& snapshot, const engine::Query& query,
+    int num_shards) {
+  DIVERSE_CHECK(num_shards >= 1);
+  WallTimer timer;
+  const int num_nodes = sync_->num_nodes();
+  const std::vector<int>& candidates = snapshot.candidates();
+  const int p = std::min<int>(query.p, static_cast<int>(candidates.size()));
+  const int per_shard = query.per_shard > 0 ? query.per_shard : p;
+  const engine::ProblemView view =
+      engine::MakeProblemView(snapshot, query.relevance, query.lambda);
+  const std::vector<std::vector<int>> shards =
+      AssignShards(candidates, num_shards, query.shard_salt);
+
+  // Round 1, remote: fan out in parallel, one worker thread per node
+  // with work (shards on the same node would only serialize on its
+  // transport mutex, so more threads than nodes buys nothing); results
+  // land in shard-indexed slots, so completion order is irrelevant to
+  // the merge below. The single-busy-node case runs inline.
+  struct ShardRun {
+    bool attempted = false;
+    bool remote_ok = false;
+    std::vector<int> elements;
+    long long steps = 0;
+  };
+  std::vector<ShardRun> runs(num_shards);
+  {
+    std::vector<std::vector<int>> node_shards(num_nodes);
+    for (int s = 0; s < num_shards; ++s) {
+      if (shards[s].empty()) continue;  // mirrors ShardedGreedy's skip
+      runs[s].attempted = true;
+      node_shards[s % num_nodes].push_back(s);
+    }
+    const auto run_node = [&](const std::vector<int>& shard_list) {
+      for (const int s : shard_list) {
+        rpc::ShardQueryRequest request;
+        request.snapshot_version = snapshot.version();
+        request.shard_salt = query.shard_salt;
+        request.num_shards = num_shards;
+        request.shard_index = s;
+        request.p = p;
+        request.per_shard = per_shard;
+        request.lambda = query.lambda;
+        request.relevance = query.relevance;
+        runs[s].remote_ok = RunShardRemote(snapshot, request,
+                                           &runs[s].elements,
+                                           &runs[s].steps);
+      }
+    };
+    int busy_nodes = 0;
+    for (const std::vector<int>& list : node_shards) {
+      if (!list.empty()) ++busy_nodes;
+    }
+    if (busy_nodes <= 1) {
+      for (const std::vector<int>& list : node_shards) run_node(list);
+    } else {
+      std::vector<std::thread> fanout;
+      fanout.reserve(busy_nodes);
+      for (const std::vector<int>& list : node_shards) {
+        if (list.empty()) continue;
+        fanout.emplace_back([&run_node, &list] { run_node(list); });
+      }
+      for (std::thread& t : fanout) t.join();
+    }
+  }
+
+  engine::QueryResult result;
+  result.corpus_version = snapshot.version();
+
+  // Collect in shard order, resolving failures by policy. The fallback
+  // runs the identical kernel on the identical shard of the identical
+  // snapshot, so taking it never changes the answer.
+  std::vector<std::vector<int>> local_solutions;
+  local_solutions.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    if (!runs[s].attempted) continue;
+    if (runs[s].remote_ok) {
+      remote_shards_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      if (options_.on_unreachable == FailurePolicy::kFail) {
+        failed_queries_.fetch_add(1, std::memory_order_relaxed);
+        result.ok = false;
+        result.latency_seconds = timer.Seconds();
+        return result;
+      }
+      local_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      AlgorithmResult local =
+          GreedyVertexOnCandidates(view.problem, shards[s], per_shard);
+      runs[s].elements = std::move(local.elements);
+      runs[s].steps = local.steps;
+    }
+    result.steps += runs[s].steps;
+    local_solutions.push_back(std::move(runs[s].elements));
+  }
+
+  // Round 2 + composable-core-set safeguard: the exact code path
+  // ShardedGreedy runs, on the router's own problem view.
+  AlgorithmResult merged =
+      MergeShardSolutions(view.problem, local_solutions, p);
+  result.steps += merged.steps;
+  result.elements = std::move(merged.elements);
+  result.objective = merged.objective;
+  result.latency_seconds = timer.Seconds();
+  return result;
+}
+
+QueryRouter::Stats QueryRouter::stats() const {
+  Stats stats;
+  stats.remote_shards = remote_shards_.load(std::memory_order_relaxed);
+  stats.local_fallbacks = local_fallbacks_.load(std::memory_order_relaxed);
+  stats.version_mismatches =
+      version_mismatches_.load(std::memory_order_relaxed);
+  stats.proactive_catchups =
+      proactive_catchups_.load(std::memory_order_relaxed);
+  stats.failed_queries = failed_queries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace replication
+}  // namespace diverse

@@ -1,0 +1,95 @@
+// QueryRouter — the "who routes queries" third of the former monolithic
+// rpc::Coordinator: an engine::RemoteExecutor that hash-partitions a
+// snapshot's candidates (AssignShards — identical to the in-process
+// plan), fans the non-empty shards out to the sync service's nodes in
+// parallel (shard s -> node s mod nodes), and runs the second greedy
+// round over the unioned kernel locally, with the composable-core-set
+// safeguard. Every scoring decision (prefix objectives, the final merge)
+// uses the router's own problem view of the SAME snapshot the replicas
+// are version-checked against, so the answer is bit-equal to engine
+// PlanKind::kSharded — the property tests/rpc_test.cc asserts.
+//
+// The router owns no replication state: replica tracking and catch-up
+// come from the ReplicaSyncService it is parameterized over. When the
+// tracked version says a node is behind the query's snapshot, the router
+// catches it up PROACTIVELY before asking — the kVersionMismatch
+// round-trip only fires when the tracking is stale (node silently
+// restarted) — and a node that cannot serve the exact version runs its
+// kernel on-box instead (kFallbackLocal, bit-equality preserving) or
+// fails the query (kFail).
+//
+// Thread-safety: ExecuteSharded may be called concurrently from any
+// threads (engine workers).
+#ifndef DIVERSE_REPLICATION_QUERY_ROUTER_H_
+#define DIVERSE_REPLICATION_QUERY_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "engine/corpus.h"
+#include "engine/execution_plan.h"
+#include "engine/query.h"
+#include "replication/replica_sync.h"
+#include "rpc/wire.h"
+
+namespace diverse {
+namespace replication {
+
+class QueryRouter : public engine::RemoteExecutor {
+ public:
+  enum class FailurePolicy {
+    kFallbackLocal,  // run the shard's kernel on the router (default)
+    kFail,           // answer ok = false, empty elements
+  };
+
+  struct Options {
+    FailurePolicy on_unreachable = FailurePolicy::kFallbackLocal;
+    // Catch-up attempts per shard per query before the failure policy
+    // applies: each round replays the node's missing epochs and re-asks.
+    int max_catchup_rounds = 3;
+  };
+
+  // `sync` must outlive the router.
+  QueryRouter(ReplicaSyncService* sync, Options options);
+
+  // engine::RemoteExecutor. Pure function of (snapshot, query, num_shards)
+  // regardless of replica state, by construction (version check + local
+  // fallback). Sets ok = false only under FailurePolicy::kFail.
+  engine::QueryResult ExecuteSharded(const engine::CorpusSnapshot& snapshot,
+                                     const engine::Query& query,
+                                     int num_shards) override;
+
+  struct Stats {
+    long long remote_shards = 0;      // shard kernels answered by a node
+    long long local_fallbacks = 0;    // shard kernels run on-box instead
+    long long version_mismatches = 0; // stale-replica query responses seen
+    long long proactive_catchups = 0; // catch-ups sent before the query
+                                      // (tracked version, no mismatch
+                                      // round-trip)
+    long long failed_queries = 0;     // queries answered ok = false
+  };
+  Stats stats() const;
+
+ private:
+  // One shard's remote round-trip including proactive catch-up and
+  // mismatch-driven rounds; false means the failure policy decides. On
+  // success *elements/*steps hold the validated kernel solution.
+  bool RunShardRemote(const engine::CorpusSnapshot& snapshot,
+                      const rpc::ShardQueryRequest& request,
+                      std::vector<int>* elements, long long* steps);
+
+  ReplicaSyncService* const sync_;
+  const Options options_;
+
+  mutable std::atomic<long long> remote_shards_{0};
+  mutable std::atomic<long long> local_fallbacks_{0};
+  mutable std::atomic<long long> version_mismatches_{0};
+  mutable std::atomic<long long> proactive_catchups_{0};
+  mutable std::atomic<long long> failed_queries_{0};
+};
+
+}  // namespace replication
+}  // namespace diverse
+
+#endif  // DIVERSE_REPLICATION_QUERY_ROUTER_H_

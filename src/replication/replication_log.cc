@@ -1,0 +1,129 @@
+#include "replication/replication_log.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "snapshot/snapshot_codec.h"
+#include "util/check.h"
+
+namespace diverse {
+namespace replication {
+
+void ReplicationLog::Append(std::uint64_t version,
+                            std::span<const engine::CorpusUpdate> updates) {
+  DIVERSE_CHECK_MSG(version >= 1,
+                    "pass the version Corpus::Apply/ApplyUpdates returned");
+  std::lock_guard<std::mutex> lock(mu_);
+  DIVERSE_CHECK_MSG(version - 1 >= log_start_,
+                    "epoch version below the compacted log");
+  const std::uint64_t slot = version - 1 - log_start_;
+  while (epochs_.size() <= slot) {
+    epochs_.emplace_back();
+    filled_.push_back(false);
+  }
+  DIVERSE_CHECK_MSG(!filled_[slot],
+                    "epoch published twice for the same corpus version");
+  epochs_[slot].assign(updates.begin(), updates.end());
+  filled_[slot] = true;
+}
+
+std::uint64_t ReplicationLog::ContiguousLocked() const {
+  std::uint64_t filled = 0;
+  while (filled < filled_.size() && filled_[filled]) ++filled;
+  return filled;
+}
+
+std::uint64_t ReplicationLog::published_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_start_ + ContiguousLocked();
+}
+
+std::uint64_t ReplicationLog::log_start() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_start_;
+}
+
+std::uint64_t ReplicationLog::retained_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return image_version_;
+}
+
+std::uint64_t ReplicationLog::allocated_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_start_ + epochs_.size();
+}
+
+bool ReplicationLog::Slice(std::uint64_t from, std::uint64_t to,
+                           rpc::CorpusUpdateBatch* batch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from < log_start_ || to - log_start_ > epochs_.size()) return false;
+  for (std::uint64_t k = from - log_start_; k < to - log_start_; ++k) {
+    if (!filled_[k]) return false;
+  }
+  batch->from_version = from;
+  batch->epochs.assign(
+      epochs_.begin() + static_cast<std::ptrdiff_t>(from - log_start_),
+      epochs_.begin() + static_cast<std::ptrdiff_t>(to - log_start_));
+  return true;
+}
+
+bool ReplicationLog::Retain(const engine::CorpusSnapshot& snapshot) {
+  // A corpus beyond the image format's size ceiling cannot be retained;
+  // truncating without a bootstrap image would strand any replica below
+  // the cut, so the caller must leave the log alone.
+  if (!snapshot::FitsSnapshotFormat(snapshot.universe_size())) return false;
+  // Encode outside the lock — the image is the O(n^2) part.
+  auto image = std::make_shared<const std::vector<std::uint8_t>>(
+      snapshot::EncodeSnapshot(snapshot));
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (image_ == nullptr || snapshot.version() > image_version_) {
+    image_ = std::move(image);
+    image_version_ = snapshot.version();
+  }
+  return true;
+}
+
+void ReplicationLog::AdoptImage(
+    std::uint64_t version,
+    std::shared_ptr<const std::vector<std::uint8_t>> image) {
+  DIVERSE_CHECK(image != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (image_ != nullptr && version <= image_version_) return;
+  image_ = std::move(image);
+  image_version_ = version;
+  if (version > log_start_) {
+    const std::size_t drop = std::min<std::size_t>(
+        epochs_.size(), static_cast<std::size_t>(version - log_start_));
+    epochs_.erase(epochs_.begin(),
+                  epochs_.begin() + static_cast<std::ptrdiff_t>(drop));
+    filled_.erase(filled_.begin(),
+                  filled_.begin() + static_cast<std::ptrdiff_t>(drop));
+    log_start_ = version;
+  }
+}
+
+std::uint64_t ReplicationLog::TruncateBelow(std::uint64_t limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t target = std::min(limit, image_version_);
+  target = std::min(target, log_start_ + ContiguousLocked());
+  if (target > log_start_) {
+    const std::size_t drop = static_cast<std::size_t>(target - log_start_);
+    epochs_.erase(epochs_.begin(),
+                  epochs_.begin() + static_cast<std::ptrdiff_t>(drop));
+    filled_.erase(filled_.begin(),
+                  filled_.begin() + static_cast<std::ptrdiff_t>(drop));
+    log_start_ = target;
+  }
+  return log_start_;
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> ReplicationLog::image(
+    std::uint64_t* version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *version = image_version_;
+  return image_;
+}
+
+}  // namespace replication
+}  // namespace diverse

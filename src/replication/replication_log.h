@@ -1,0 +1,123 @@
+// ReplicationLog — the "who owns the log" third of the former monolithic
+// rpc::Coordinator, shared by an active coordinator and a standby mirror.
+//
+// The log is the durable heart of the Borodin–Lee–Ye dynamic-update
+// model as a replication primitive: corpus state is a deterministic fold
+// of a versioned epoch stream, so whoever holds (bootstrap image, epoch
+// suffix) can reconstruct — or hand a replica — any retained version.
+// One ReplicationLog owns exactly that pair:
+//
+//   * a version-slotted epoch deque: slot k advances a replica from
+//     version log_start + k to log_start + k + 1. Slots are filled by
+//     Append keyed on the publisher's corpus version, so a race between
+//     concurrent publishers cannot reorder the replay log relative to
+//     the versions Corpus::Apply assigned; a slot can be transiently
+//     empty while an earlier publish is still in flight, and replays
+//     (Slice) stop at the first unfilled slot.
+//   * a retained, pre-encoded bootstrap image (snapshot_codec) covering
+//     every version below log_start — the snapshot-transfer source for
+//     replicas the truncated log can no longer reach.
+//
+// An active coordinator fills the log through Append (via PublishEpoch)
+// and compacts it with Retain + TruncateBelow; a standby fills the same
+// structure from mirrored CorpusUpdateBatch / snapshot-transfer traffic
+// (Append + AdoptImage), which is what makes promotion resume publishing
+// from the mirrored tail with bit-equal content.
+//
+// Thread-safety: all methods may be called concurrently.
+#ifndef DIVERSE_REPLICATION_REPLICATION_LOG_H_
+#define DIVERSE_REPLICATION_REPLICATION_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "engine/corpus.h"
+#include "rpc/wire.h"
+
+namespace diverse {
+namespace replication {
+
+class ReplicationLog {
+ public:
+  ReplicationLog() = default;
+  ReplicationLog(const ReplicationLog&) = delete;
+  ReplicationLog& operator=(const ReplicationLog&) = delete;
+
+  // Records the epoch that advanced the corpus to `version` (pass exactly
+  // what ApplyUpdates was given and what it returned), slotting it at
+  // version - 1. Publishing the same version twice is a caller bug and
+  // CHECK-aborts, as is a version below the compacted start — compaction
+  // only drops epochs every replica acked, and acks trail publishes.
+  void Append(std::uint64_t version,
+              std::span<const engine::CorpusUpdate> updates);
+
+  // Length of the contiguous filled prefix — the corpus version replicas
+  // can currently converge to by replaying this log.
+  std::uint64_t published_version() const;
+  // First version still replayable (0 = never compacted). Epochs in
+  // [log_start, published_version) are retained.
+  std::uint64_t log_start() const;
+  // Version of the retained bootstrap image (0 = none retained).
+  std::uint64_t retained_version() const;
+  // One past the newest slot ever allocated (>= published_version; the
+  // gap is slots an out-of-order concurrent publish has not filled yet).
+  std::uint64_t allocated_version() const;
+
+  // Copies the epochs advancing `from` to `to` into *batch. Returns false
+  // when any of them is compacted away, beyond the head, or not yet
+  // filled — the caller degrades (snapshot transfer or local fallback).
+  bool Slice(std::uint64_t from, std::uint64_t to,
+             rpc::CorpusUpdateBatch* batch) const;
+
+  // Encodes `snapshot` and retains it as the bootstrap image when newer
+  // than the current one. Returns false — nothing retained, nothing safe
+  // to truncate — when the corpus exceeds the snapshot format's size
+  // ceiling (see snapshot::FitsSnapshotFormat).
+  bool Retain(const engine::CorpusSnapshot& snapshot);
+
+  // Adopts an already-encoded image — the standby path, mirroring a
+  // snapshot transfer without re-encoding. Retains it when newer AND
+  // drops every log slot below its version, filled or not: the mirrored
+  // replica jumped over them, so they can never be needed again (a
+  // sparse pre-image log would otherwise pin published_version forever).
+  void AdoptImage(std::uint64_t version,
+                  std::shared_ptr<const std::vector<std::uint8_t>> image);
+
+  // Truncates the log below min(limit, retained image version,
+  // contiguous filled prefix) — epochs below the cut survive only inside
+  // the image. The prefix clamp is a trust-boundary guard: `limit` is
+  // derived from replica acks, and an inflated ack must not truncate a
+  // slot a concurrent publish has not filled yet. Returns the new start.
+  std::uint64_t TruncateBelow(std::uint64_t limit);
+
+  // The retained image and its version; nullptr when none is retained.
+  // shared_ptr so transfers stream it while a concurrent Retain swaps it.
+  std::shared_ptr<const std::vector<std::uint8_t>> image(
+      std::uint64_t* version) const;
+
+  // Retain calls that actually encoded an image (the CompactLog counter).
+  long long compactions() const {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t ContiguousLocked() const;  // caller holds mu_
+
+  mutable std::mutex mu_;
+  std::deque<std::vector<engine::CorpusUpdate>> epochs_;
+  std::deque<bool> filled_;
+  std::uint64_t log_start_ = 0;
+  std::shared_ptr<const std::vector<std::uint8_t>> image_;
+  std::uint64_t image_version_ = 0;
+  std::atomic<long long> compactions_{0};
+};
+
+}  // namespace replication
+}  // namespace diverse
+
+#endif  // DIVERSE_REPLICATION_REPLICATION_LOG_H_

@@ -1,0 +1,130 @@
+// StandbyCoordinator — a promotable hot spare for the active coordinator.
+//
+// The standby is literally a sync target: it consumes the very same
+// CorpusUpdateBatch / SnapshotOffer / SnapshotChunk stream a shard
+// replica consumes (via an embedded rpc::ShardNode), plus the
+// AckedTableSync mirror of the active's replica tracking. Because corpus
+// state is a deterministic fold of the versioned epoch stream
+// (conf_pods_BorodinLY12's dynamic-update model), the standby's folded
+// replica is bit-identical to the active's corpus at the mirrored
+// version — and unlike a plain replica it also RECORDS the stream,
+// folding every applied epoch and installed image into its own
+// ReplicationLog through the ShardNode observer hooks.
+//
+// Promote() ends mirroring (further sync traffic is refused with kError,
+// fencing a zombie active) and builds a ready-to-serve rpc::Coordinator
+// that adopts the mirrored log, so publishing resumes from the mirrored
+// tail and lagging replicas are caught up with the exact epochs the dead
+// active published — answers are bit-equal across a kill-active /
+// promote-standby cycle by construction. Promotion probes every node for
+// its authoritative version first: a node AHEAD of the standby's fold
+// holds epochs the standby never mirrored (it was down or lagging when
+// the active died), and is quarantined for snapshot-only re-imaging
+// rather than silently interleaving two histories (see
+// ReplicaSyncService). The engine side of the promoted process seeds a
+// DiversificationEngine from state().
+//
+// With a CheckpointStore configured (checkpoint_every defaults to 1 —
+// delta checkpoints make that cheap) the mirrored fold is also durable,
+// which is what lets a separate process promote from disk after the
+// standby itself dies: cold-start the engine from the standby's
+// checkpoint, CompactLog immediately, and the restart catch-up paths do
+// the rest.
+//
+// Thread-safety: Handle may be called from multiple transport threads;
+// Promote must be called at most once, after which Handle only fences.
+#ifndef DIVERSE_REPLICATION_STANDBY_COORDINATOR_H_
+#define DIVERSE_REPLICATION_STANDBY_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "engine/corpus.h"
+#include "metric/dense_metric.h"
+#include "replication/replication_log.h"
+#include "rpc/coordinator.h"
+#include "rpc/shard_node.h"
+#include "rpc/transport.h"
+#include "snapshot/checkpoint_store.h"
+
+namespace diverse {
+namespace replication {
+
+class StandbyCoordinator : public rpc::Handler {
+ public:
+  struct Options {
+    // When set, the mirrored replica checkpoints into this store (which
+    // must outlive the standby). Every epoch by default: the checkpoint
+    // IS the promotable state, and delta checkpoints keep it O(epoch).
+    snapshot::CheckpointStore* checkpoint = nullptr;
+    int checkpoint_every = 1;
+  };
+
+  // Version-0 replica baseline; must match the active's corpus.
+  StandbyCoordinator(std::vector<double> weights, DenseMetric metric,
+                     double lambda, Options options);
+  StandbyCoordinator(std::vector<double> weights, DenseMetric metric,
+                     double lambda)
+      : StandbyCoordinator(std::move(weights), std::move(metric), lambda,
+                           Options()) {}
+  // Cold start from a loaded checkpoint, at its version.
+  StandbyCoordinator(engine::CorpusState state, Options options);
+  explicit StandbyCoordinator(engine::CorpusState state)
+      : StandbyCoordinator(std::move(state), Options()) {}
+  // Bootstrap standby: empty, refuses sync traffic with kVersionMismatch
+  // until the active streams it a snapshot.
+  explicit StandbyCoordinator(Options options);
+  StandbyCoordinator() : StandbyCoordinator(Options()) {}
+
+  // Serves one mirrored frame from the active (rpc::Handler). After
+  // Promote, every frame is refused with kError — the fence a zombie
+  // active trips over.
+  std::vector<std::uint8_t> Handle(
+      std::span<const std::uint8_t> request_payload) override;
+
+  // Ends mirroring and builds the promoted coordinator over the mirrored
+  // log: `nodes` are the shard replicas to adopt (probed for divergence),
+  // `mirrors` optional next-generation standbys. Call at most once.
+  std::unique_ptr<rpc::Coordinator> Promote(
+      std::vector<rpc::Transport*> nodes,
+      rpc::Coordinator::Options options = {},
+      std::vector<rpc::Transport*> mirrors = {});
+
+  std::uint64_t version() const { return node_.version(); }
+  bool promoted() const {
+    return promoted_.load(std::memory_order_acquire);
+  }
+  bool awaiting_bootstrap() const { return node_.awaiting_bootstrap(); }
+  // Deep copy of the mirrored fold — the promoted engine's seed corpus.
+  engine::CorpusState state() const {
+    return node_.replica().snapshot()->State();
+  }
+  // Last mirrored acked table (advisory; Promote re-probes the nodes).
+  std::vector<std::uint64_t> mirrored_acked() const;
+
+  const ReplicationLog& log() const { return *log_; }
+  const rpc::ShardNode& node() const { return node_; }
+
+ private:
+  rpc::ShardNode::Options NodeOptions(Options options);
+
+  std::shared_ptr<ReplicationLog> log_;
+  rpc::ShardNode node_;  // must follow log_ (observer hooks point at it)
+  std::atomic<bool> promoted_{false};
+
+  // Serializes whole frames against Promote: without it a frame that
+  // passed the fence check could still be mutating the fold while
+  // Promote reads version/log state (locking order: handle_mu_ -> mu_).
+  std::mutex handle_mu_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> mirrored_acked_;  // guarded by mu_
+};
+
+}  // namespace replication
+}  // namespace diverse
+
+#endif  // DIVERSE_REPLICATION_STANDBY_COORDINATOR_H_

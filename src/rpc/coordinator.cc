@@ -1,479 +1,67 @@
 #include "rpc/coordinator.h"
 
-#include <algorithm>
-#include <thread>
 #include <utility>
-
-#include "algorithms/distributed.h"
-#include "algorithms/result.h"
-#include "snapshot/snapshot_codec.h"
-#include "util/check.h"
-#include "util/timer.h"
 
 namespace diverse {
 namespace rpc {
 namespace {
 
-// A kernel solution a replica sent back must be something the in-process
-// plan could have produced for this shard: live ids of the right shard,
-// no more than per_shard of them, no duplicates. Anything else marks the
-// node as misbehaving and triggers the failure policy.
-bool ValidShardSolution(const engine::CorpusSnapshot& snapshot,
-                        const ShardQueryRequest& request,
-                        const std::vector<int>& elements) {
-  if (static_cast<int>(elements.size()) > request.per_shard) return false;
-  for (std::size_t i = 0; i < elements.size(); ++i) {
-    const int e = elements[i];
-    if (e < 0 || e >= snapshot.universe_size() || !snapshot.alive(e)) {
-      return false;
-    }
-    if (ShardOf(request.shard_salt, e, request.num_shards) !=
-        request.shard_index) {
-      return false;
-    }
-    for (std::size_t j = 0; j < i; ++j) {
-      if (elements[j] == e) return false;
-    }
-  }
-  return true;
+replication::ReplicaSyncService::Options SyncOptions(
+    const Coordinator::Options& options) {
+  replication::ReplicaSyncService::Options sync;
+  sync.snapshot_chunk_bytes = options.snapshot_chunk_bytes;
+  return sync;
+}
+
+replication::QueryRouter::Options RouterOptions(
+    const Coordinator::Options& options) {
+  replication::QueryRouter::Options router;
+  router.on_unreachable = options.on_unreachable;
+  router.max_catchup_rounds = options.max_catchup_rounds;
+  return router;
 }
 
 }  // namespace
 
-Coordinator::Coordinator(std::vector<Transport*> nodes, Options options)
-    : nodes_(std::move(nodes)), options_(options) {
-  DIVERSE_CHECK_MSG(!nodes_.empty(), "coordinator needs at least one node");
-  DIVERSE_CHECK(options_.max_catchup_rounds >= 0);
-  DIVERSE_CHECK(options_.snapshot_chunk_bytes >= 1);
-  for (Transport* node : nodes_) DIVERSE_CHECK(node != nullptr);
-  acked_.assign(nodes_.size(), 0);
-}
+Coordinator::Coordinator(std::vector<Transport*> nodes,
+                         std::vector<Transport*> mirrors, Options options)
+    : Coordinator(std::make_shared<replication::ReplicationLog>(), {},
+                  std::move(nodes), std::move(mirrors), options) {}
 
-void Coordinator::SetAcked(int node_index, std::uint64_t version) {
-  std::lock_guard<std::mutex> lock(log_mu_);
-  acked_[node_index] = version;
-}
-
-std::uint64_t Coordinator::GetAcked(int node_index) const {
-  std::lock_guard<std::mutex> lock(log_mu_);
-  return acked_[node_index];
-}
+Coordinator::Coordinator(std::shared_ptr<replication::ReplicationLog> log,
+                         std::vector<replication::ReplicaSeed> seeds,
+                         std::vector<Transport*> nodes,
+                         std::vector<Transport*> mirrors, Options options)
+    : log_(std::move(log)),
+      sync_(log_.get(), std::move(nodes), std::move(mirrors),
+            SyncOptions(options), std::move(seeds)),
+      router_(&sync_, RouterOptions(options)) {}
 
 void Coordinator::PublishEpoch(std::uint64_t version,
                                std::span<const engine::CorpusUpdate> updates) {
-  DIVERSE_CHECK_MSG(version >= 1,
-                    "pass the version Corpus::Apply/ApplyUpdates returned");
-  CorpusUpdateBatch batch;
-  {
-    std::lock_guard<std::mutex> lock(log_mu_);
-    // Compaction only drops epochs every node acked, and acks trail
-    // publishes — a fresh Apply version can never be below the cut.
-    DIVERSE_CHECK_MSG(version - 1 >= log_start_,
-                      "epoch version below the compacted log");
-    const std::uint64_t slot = version - 1 - log_start_;
-    while (epochs_.size() <= slot) {
-      epochs_.emplace_back();
-      epoch_filled_.push_back(false);
-    }
-    DIVERSE_CHECK_MSG(!epoch_filled_[slot],
-                      "epoch published twice for the same corpus version");
-    epochs_[slot].assign(updates.begin(), updates.end());
-    epoch_filled_[slot] = true;
-    batch.from_version = version - 1;
-    batch.epochs.push_back(epochs_[slot]);
-  }
-  const std::vector<std::uint8_t> encoded = Encode(batch);
-  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
-    std::vector<std::uint8_t> reply;
-    if (!nodes_[i]->Call(encoded, &reply)) continue;  // query-time catch-up
-    UpdateAck ack;
-    if (!Decode(reply, &ack)) continue;
-    SetAcked(i, ack.node_version);
-    if (ack.status == RpcStatus::kVersionMismatch &&
-        ack.node_version < batch.from_version) {
-      // The node missed earlier epochs too; re-sync it now rather than on
-      // the next query's critical path.
-      CatchUpNode(i, ack.node_version, version);
-    }
-  }
-}
-
-std::uint64_t Coordinator::published_version() const {
-  std::lock_guard<std::mutex> lock(log_mu_);
-  std::uint64_t filled = 0;
-  while (filled < epoch_filled_.size() && epoch_filled_[filled]) ++filled;
-  return log_start_ + filled;
-}
-
-std::uint64_t Coordinator::log_start() const {
-  std::lock_guard<std::mutex> lock(log_mu_);
-  return log_start_;
-}
-
-std::uint64_t Coordinator::retained_snapshot_version() const {
-  std::lock_guard<std::mutex> lock(log_mu_);
-  return retained_version_;
+  sync_.Publish(version, updates);
 }
 
 std::uint64_t Coordinator::CompactLog(
     const engine::CorpusSnapshot& snapshot) {
-  // A corpus beyond the image format's size ceiling cannot be retained;
-  // truncating without a bootstrap image would strand any node below
-  // the cut, so leave the log alone and report the unchanged start.
-  if (!snapshot::FitsSnapshotFormat(snapshot.universe_size())) {
-    return log_start();
-  }
-  // Encode outside the lock — the image is the O(n^2) part.
-  auto image = std::make_shared<const std::vector<std::uint8_t>>(
-      snapshot::EncodeSnapshot(snapshot));
-  compactions_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(log_mu_);
-  if (retained_image_ == nullptr || snapshot.version() > retained_version_) {
-    retained_image_ = std::move(image);
-    retained_version_ = snapshot.version();
-  }
-  std::uint64_t target = retained_version_;
-  for (std::uint64_t acked : acked_) target = std::min(target, acked);
-  // Never cut past the contiguous published prefix: a slot allocated by
-  // an out-of-order concurrent publish but not yet filled must survive,
-  // and acks cross a trust boundary — a node claiming a version ahead
-  // of what was ever published must not be able to truncate it away
-  // (and thereby CHECK-abort the straggling publish).
-  std::uint64_t filled = 0;
-  while (filled < epoch_filled_.size() && epoch_filled_[filled]) ++filled;
-  target = std::min(target, log_start_ + filled);
-  if (target > log_start_) {
-    const std::size_t drop = static_cast<std::size_t>(target - log_start_);
-    epochs_.erase(epochs_.begin(),
-                  epochs_.begin() + static_cast<std::ptrdiff_t>(drop));
-    epoch_filled_.erase(
-        epoch_filled_.begin(),
-        epoch_filled_.begin() + static_cast<std::ptrdiff_t>(drop));
-    log_start_ = target;
-  }
-  return log_start_;
-}
-
-Coordinator::EpochSendResult Coordinator::SendEpochs(
-    int node_index, std::uint64_t from, std::uint64_t to,
-    std::uint64_t* node_version) {
-  *node_version = 0;
-  if (from >= to) return EpochSendResult::kOk;
-  CorpusUpdateBatch batch;
-  {
-    std::lock_guard<std::mutex> lock(log_mu_);
-    // Epochs below the compaction cut, beyond the log head, or whose
-    // concurrent publish has not landed yet cannot be replayed; the
-    // shard falls back to local execution (still bit-equal).
-    if (from < log_start_ || to - log_start_ > epochs_.size()) {
-      return EpochSendResult::kFailed;
-    }
-    for (std::uint64_t k = from - log_start_; k < to - log_start_; ++k) {
-      if (!epoch_filled_[k]) return EpochSendResult::kFailed;
-    }
-    batch.from_version = from;
-    batch.epochs.assign(
-        epochs_.begin() + static_cast<std::ptrdiff_t>(from - log_start_),
-        epochs_.begin() + static_cast<std::ptrdiff_t>(to - log_start_));
-  }
-  catchup_batches_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<std::uint8_t> reply;
-  if (!nodes_[node_index]->Call(Encode(batch), &reply)) {
-    return EpochSendResult::kFailed;
-  }
-  UpdateAck ack;
-  if (!Decode(reply, &ack)) return EpochSendResult::kFailed;
-  SetAcked(node_index, ack.node_version);
-  *node_version = ack.node_version;
-  if (ack.status == RpcStatus::kOk && ack.node_version >= to) {
-    return EpochSendResult::kOk;
-  }
-  if (ack.status == RpcStatus::kVersionMismatch) {
-    return EpochSendResult::kRefused;
-  }
-  return EpochSendResult::kFailed;
-}
-
-bool Coordinator::SendSnapshot(int node_index,
-                               std::uint64_t* installed_version) {
-  std::shared_ptr<const std::vector<std::uint8_t>> image;
-  std::uint64_t version;
-  {
-    std::lock_guard<std::mutex> lock(log_mu_);
-    image = retained_image_;
-    version = retained_version_;
-  }
-  *installed_version = 0;
-  if (image == nullptr) return false;
-  Transport* node = nodes_[node_index];
-  const std::uint32_t chunk_bytes =
-      std::min(std::max<std::uint32_t>(options_.snapshot_chunk_bytes, 1),
-               kMaxSnapshotChunkBytes);
-  const std::uint32_t num_chunks = static_cast<std::uint32_t>(
-      (image->size() + chunk_bytes - 1) / chunk_bytes);
-
-  SnapshotOffer offer;
-  offer.snapshot_version = version;
-  offer.total_bytes = image->size();
-  offer.chunk_bytes = chunk_bytes;
-  offer.num_chunks = num_chunks;
-  std::vector<std::uint8_t> reply;
-  if (!node->Call(Encode(offer), &reply)) return false;
-  SnapshotAck ack;
-  if (!Decode(reply, &ack)) return false;
-  if (ack.status == RpcStatus::kVersionMismatch) {
-    // Already at or past the image; nothing to stream.
-    SetAcked(node_index, ack.node_version);
-    *installed_version = ack.node_version;
-    return ack.node_version >= version;
-  }
-  if (ack.status != RpcStatus::kOk || ack.snapshot_version != version ||
-      ack.next_chunk >= num_chunks) {
-    return false;
-  }
-  snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
-
-  // Stream from wherever the node's partial image ends (resume point).
-  for (std::uint32_t c = ack.next_chunk; c < num_chunks; ++c) {
-    SnapshotChunk chunk;
-    chunk.snapshot_version = version;
-    chunk.chunk_index = c;
-    const std::size_t offset = std::size_t{c} * chunk_bytes;
-    const std::size_t len =
-        std::min<std::size_t>(chunk_bytes, image->size() - offset);
-    chunk.data.assign(image->begin() + static_cast<std::ptrdiff_t>(offset),
-                      image->begin() +
-                          static_cast<std::ptrdiff_t>(offset + len));
-    if (!node->Call(Encode(chunk), &reply)) return false;
-    if (!Decode(reply, &ack) || ack.status != RpcStatus::kOk ||
-        ack.next_chunk != c + 1) {
-      return false;
-    }
-    snapshot_chunks_sent_.fetch_add(1, std::memory_order_relaxed);
-  }
-  // The final ack reported the post-install replica version.
-  SetAcked(node_index, ack.node_version);
-  *installed_version = ack.node_version;
-  return ack.node_version >= version;
-}
-
-bool Coordinator::CatchUpNode(int node_index, std::uint64_t from,
-                              std::uint64_t to) {
-  std::uint64_t start, retained;
-  bool has_image;
-  {
-    std::lock_guard<std::mutex> lock(log_mu_);
-    start = log_start_;
-    retained = retained_version_;
-    has_image = retained_image_ != nullptr;
-  }
-  // Can the retained image bridge a node at `from` toward `to`?
-  const auto image_bridges = [&](std::uint64_t node_at) {
-    return has_image && retained > node_at && retained <= to;
-  };
-  if (from < start) {
-    // The epochs the node needs first were compacted away — bootstrap by
-    // streaming the retained image, then replay the remaining suffix.
-    if (!image_bridges(from)) return false;
-    if (!SendSnapshot(node_index, &from)) return false;
-    if (from > to) return false;  // image ahead of this query's snapshot
-  }
-  std::uint64_t node_version = 0;
-  switch (SendEpochs(node_index, from, to, &node_version)) {
-    case EpochSendResult::kOk:
-      return true;
-    case EpochSendResult::kFailed:
-      // Either the transport died (the image attempt below fails the
-      // same way, harmlessly) or [from, to) is simply not in THIS
-      // process's log — a restarted coordinator starts with an empty
-      // log at log_start 0, so only its retained image (recreated by
-      // the first CompactLog) can reach nodes that predate it.
-      break;
-    case EpochSendResult::kRefused:
-      // The node is not where the tracking said. One that advanced
-      // concurrently just needs the shorter suffix; one that regressed
-      // (restart) or never had a baseline (bootstrap node) needs the
-      // image first.
-      if (node_version >= to) return node_version == to;
-      if (node_version > from) {
-        return SendEpochs(node_index, node_version, to, &node_version) ==
-               EpochSendResult::kOk;
-      }
-      break;
-  }
-  if (!image_bridges(from)) return false;
-  std::uint64_t installed = 0;
-  if (!SendSnapshot(node_index, &installed)) return false;
-  if (installed > to) return false;
-  return SendEpochs(node_index, installed, to, &node_version) ==
-         EpochSendResult::kOk;
-}
-
-bool Coordinator::RunShardRemote(const engine::CorpusSnapshot& snapshot,
-                                 const ShardQueryRequest& request,
-                                 std::vector<int>* elements,
-                                 long long* steps) {
-  const int node_index =
-      request.shard_index % static_cast<int>(nodes_.size());
-  Transport* node = nodes_[node_index];
-  // Proactive catch-up: when the tracked replica version already says the
-  // node is behind this snapshot, replay (or bootstrap) BEFORE asking —
-  // the kVersionMismatch round-trip below then only fires when the
-  // tracking was stale (e.g. the node silently restarted).
-  const std::uint64_t tracked = GetAcked(node_index);
-  if (tracked < request.snapshot_version) {
-    proactive_catchups_.fetch_add(1, std::memory_order_relaxed);
-    CatchUpNode(node_index, tracked, request.snapshot_version);
-    // Best-effort: the query's own mismatch loop is the backstop.
-  }
-  const std::vector<std::uint8_t> encoded = Encode(request);
-  for (int round = 0; round <= options_.max_catchup_rounds; ++round) {
-    std::vector<std::uint8_t> reply;
-    if (!node->Call(encoded, &reply)) return false;
-    ShardQueryResponse response;
-    if (!Decode(reply, &response)) return false;
-    if (response.status == RpcStatus::kOk) {
-      if (!ValidShardSolution(snapshot, request, response.elements)) {
-        return false;
-      }
-      SetAcked(node_index, request.snapshot_version);
-      *elements = std::move(response.elements);
-      *steps = response.steps;
-      return true;
-    }
-    if (response.status != RpcStatus::kVersionMismatch) return false;
-    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
-    SetAcked(node_index, response.node_version);
-    // A replica ahead of this snapshot cannot rewind; one behind is
-    // brought up by snapshot transfer and/or epoch replay.
-    if (response.node_version >= request.snapshot_version) return false;
-    if (!CatchUpNode(node_index, response.node_version,
-                     request.snapshot_version)) {
-      return false;
-    }
-  }
-  return false;
-}
-
-engine::QueryResult Coordinator::ExecuteSharded(
-    const engine::CorpusSnapshot& snapshot, const engine::Query& query,
-    int num_shards) {
-  DIVERSE_CHECK(num_shards >= 1);
-  WallTimer timer;
-  const std::vector<int>& candidates = snapshot.candidates();
-  const int p = std::min<int>(query.p, static_cast<int>(candidates.size()));
-  const int per_shard = query.per_shard > 0 ? query.per_shard : p;
-  const engine::ProblemView view =
-      engine::MakeProblemView(snapshot, query.relevance, query.lambda);
-  const std::vector<std::vector<int>> shards =
-      AssignShards(candidates, num_shards, query.shard_salt);
-
-  // Round 1, remote: fan out in parallel, one worker thread per node
-  // with work (shards on the same node would only serialize on its
-  // transport mutex, so more threads than nodes buys nothing); results
-  // land in shard-indexed slots, so completion order is irrelevant to
-  // the merge below. The single-busy-node case runs inline.
-  struct ShardRun {
-    bool attempted = false;
-    bool remote_ok = false;
-    std::vector<int> elements;
-    long long steps = 0;
-  };
-  std::vector<ShardRun> runs(num_shards);
-  {
-    std::vector<std::vector<int>> node_shards(nodes_.size());
-    for (int s = 0; s < num_shards; ++s) {
-      if (shards[s].empty()) continue;  // mirrors ShardedGreedy's skip
-      runs[s].attempted = true;
-      node_shards[s % nodes_.size()].push_back(s);
-    }
-    const auto run_node = [&](const std::vector<int>& shard_list) {
-      for (const int s : shard_list) {
-        ShardQueryRequest request;
-        request.snapshot_version = snapshot.version();
-        request.shard_salt = query.shard_salt;
-        request.num_shards = num_shards;
-        request.shard_index = s;
-        request.p = p;
-        request.per_shard = per_shard;
-        request.lambda = query.lambda;
-        request.relevance = query.relevance;
-        runs[s].remote_ok = RunShardRemote(snapshot, request,
-                                           &runs[s].elements,
-                                           &runs[s].steps);
-      }
-    };
-    int busy_nodes = 0;
-    for (const std::vector<int>& list : node_shards) {
-      if (!list.empty()) ++busy_nodes;
-    }
-    if (busy_nodes <= 1) {
-      for (const std::vector<int>& list : node_shards) run_node(list);
-    } else {
-      std::vector<std::thread> fanout;
-      fanout.reserve(busy_nodes);
-      for (const std::vector<int>& list : node_shards) {
-        if (list.empty()) continue;
-        fanout.emplace_back([&run_node, &list] { run_node(list); });
-      }
-      for (std::thread& t : fanout) t.join();
-    }
-  }
-
-  engine::QueryResult result;
-  result.corpus_version = snapshot.version();
-
-  // Collect in shard order, resolving failures by policy. The fallback
-  // runs the identical kernel on the identical shard of the identical
-  // snapshot, so taking it never changes the answer.
-  std::vector<std::vector<int>> local_solutions;
-  local_solutions.reserve(num_shards);
-  for (int s = 0; s < num_shards; ++s) {
-    if (!runs[s].attempted) continue;
-    if (runs[s].remote_ok) {
-      remote_shards_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      if (options_.on_unreachable == FailurePolicy::kFail) {
-        failed_queries_.fetch_add(1, std::memory_order_relaxed);
-        result.ok = false;
-        result.latency_seconds = timer.Seconds();
-        return result;
-      }
-      local_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-      AlgorithmResult local =
-          GreedyVertexOnCandidates(view.problem, shards[s], per_shard);
-      runs[s].elements = std::move(local.elements);
-      runs[s].steps = local.steps;
-    }
-    result.steps += runs[s].steps;
-    local_solutions.push_back(std::move(runs[s].elements));
-  }
-
-  // Round 2 + composable-core-set safeguard: the exact code path
-  // ShardedGreedy runs, on the coordinator's own problem view.
-  AlgorithmResult merged =
-      MergeShardSolutions(view.problem, local_solutions, p);
-  result.steps += merged.steps;
-  result.elements = std::move(merged.elements);
-  result.objective = merged.objective;
-  result.latency_seconds = timer.Seconds();
-  return result;
+  if (!log_->Retain(snapshot)) return log_->log_start();
+  return log_->TruncateBelow(sync_.MinAcked());
 }
 
 Coordinator::Stats Coordinator::stats() const {
+  const replication::QueryRouter::Stats router = router_.stats();
+  const replication::ReplicaSyncService::Stats sync = sync_.stats();
   Stats stats;
-  stats.remote_shards = remote_shards_.load(std::memory_order_relaxed);
-  stats.local_fallbacks = local_fallbacks_.load(std::memory_order_relaxed);
-  stats.version_mismatches =
-      version_mismatches_.load(std::memory_order_relaxed);
-  stats.catchup_batches = catchup_batches_.load(std::memory_order_relaxed);
-  stats.proactive_catchups =
-      proactive_catchups_.load(std::memory_order_relaxed);
-  stats.snapshots_sent = snapshots_sent_.load(std::memory_order_relaxed);
-  stats.snapshot_chunks_sent =
-      snapshot_chunks_sent_.load(std::memory_order_relaxed);
-  stats.compactions = compactions_.load(std::memory_order_relaxed);
-  stats.failed_queries = failed_queries_.load(std::memory_order_relaxed);
+  stats.remote_shards = router.remote_shards;
+  stats.local_fallbacks = router.local_fallbacks;
+  stats.version_mismatches = router.version_mismatches;
+  stats.proactive_catchups = router.proactive_catchups;
+  stats.failed_queries = router.failed_queries;
+  stats.catchup_batches = sync.catchup_batches;
+  stats.snapshots_sent = sync.snapshots_sent;
+  stats.snapshot_chunks_sent = sync.snapshot_chunks_sent;
+  stats.acked_syncs_sent = sync.acked_syncs_sent;
+  stats.compactions = log_->compactions();
   return stats;
 }
 

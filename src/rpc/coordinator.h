@@ -1,42 +1,31 @@
-// Coordinator — the query-side half of the cross-node sharded plan.
+// Coordinator — the query-side composition of the replication layers
+// (src/replication): one ReplicationLog (epoch log + retained bootstrap
+// image), one ReplicaSyncService (per-target acked tracking, publish
+// fan-out, catch-up, snapshot transfer, standby mirroring), and one
+// QueryRouter (the engine::RemoteExecutor that fans kernel requests out
+// and merges, bit-equal to the in-process sharded plan).
 //
-// Owns one Transport per shard node and implements engine::RemoteExecutor:
-// for a kRemoteSharded query it hash-partitions the snapshot's candidates
-// (AssignShards — identical to the in-process plan), fans the non-empty
-// shards out to the nodes in parallel (shard s -> node s mod nodes), and
-// runs the second greedy round over the unioned kernel locally, with the
-// composable-core-set safeguard. Every scoring decision (prefix
-// objectives, the final merge) uses the coordinator's own problem view of
-// the SAME snapshot the replicas are version-checked against, so the
-// answer is bit-equal to engine PlanKind::kSharded — the property
-// tests/rpc_test.cc asserts.
+// This facade exists so call sites — the engine, the CLIs, the tests —
+// see one object with the same contract the pre-split Coordinator had:
 //
-// Replica sync: the corpus owner publishes every update epoch through
-// PublishEpoch, which appends it to the coordinator's epoch log and pushes
-// it to all nodes best-effort. The coordinator tracks every node's last
-// authoritative version (from acks and query replies) and, when a query
-// targets a version ahead of a node's tracked version, replays the missing
-// epochs PROACTIVELY before asking — the kVersionMismatch round-trip only
-// happens when the tracking is stale (node silently restarted). Failing
-// that, the mismatch reply still drives the same catch-up, up to
-// max_catchup_rounds per shard.
+//   * PublishEpoch appends the epoch that advanced the corpus owner to
+//     `version` and pushes it to every target best-effort (standby
+//     mirrors FIRST, so a reachable standby never trails a replica),
+//     with unreachable or lagging targets left to catch-up.
+//   * CompactLog folds a corpus snapshot into the retained bootstrap
+//     image and truncates the epoch log below min(every target's acked
+//     version, image version, contiguous published prefix).
+//   * ExecuteSharded answers kRemoteSharded queries, a pure function of
+//     (snapshot, query, num_shards) by construction (version check +
+//     local fallback); ok = false only under FailurePolicy::kFail.
 //
-// Compaction & bootstrap (src/snapshot): CompactLog folds a corpus
-// snapshot into a retained, pre-encoded bootstrap image and truncates the
-// epoch log below min(every node's acked version, image version) — the
-// log stops growing without bound once replicas keep up. A node whose
-// version predates the truncated log (cold start from nothing, restart
-// from an old checkpoint) is bootstrapped by streaming it the retained
-// image (SnapshotOffer + SnapshotChunk, resumable mid-transfer), then
-// replaying the remaining epoch suffix; the bit-equality contract holds
-// through kill/restart-from-snapshot cycles because queries still only
-// accept exact-version replicas.
-//
-// Degradation is configurable: with kFallbackLocal (default) a shard whose
-// node is unreachable, misbehaving, or unrecoverably out of sync runs its
-// kernel on the coordinator's snapshot instead — same pure function, so
-// the merged answer is unchanged, only the latency budget moves on-box.
-// With kFail the query returns ok = false and no elements.
+// Active/standby: construct with `mirrors` naming the standby
+// coordinators to keep in sync; a replication::StandbyCoordinator on the
+// other end folds the same epoch stream into its own corpus and log, and
+// its Promote() builds a new Coordinator (via the log-adopting
+// constructor below) that resumes publishing from the mirrored tail —
+// answers bit-equal across a kill-active/promote-standby cycle because
+// corpus state is a deterministic fold of the versioned epoch stream.
 //
 // Thread-safety: ExecuteSharded, PublishEpoch, and CompactLog may be
 // called concurrently from any threads (engine workers, an updater, a
@@ -44,17 +33,17 @@
 #ifndef DIVERSE_RPC_COORDINATOR_H_
 #define DIVERSE_RPC_COORDINATOR_H_
 
-#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "engine/corpus.h"
 #include "engine/execution_plan.h"
 #include "engine/query.h"
+#include "replication/query_router.h"
+#include "replication/replica_sync.h"
+#include "replication/replication_log.h"
 #include "rpc/transport.h"
 #include "rpc/wire.h"
 
@@ -63,10 +52,7 @@ namespace rpc {
 
 class Coordinator : public engine::RemoteExecutor {
  public:
-  enum class FailurePolicy {
-    kFallbackLocal,  // run the shard's kernel on the coordinator (default)
-    kFail,           // answer ok = false, empty elements
-  };
+  using FailurePolicy = replication::QueryRouter::FailurePolicy;
 
   struct Options {
     FailurePolicy on_unreachable = FailurePolicy::kFallbackLocal;
@@ -79,15 +65,27 @@ class Coordinator : public engine::RemoteExecutor {
   };
 
   // `nodes` (one transport per shard node, all distinct) must outlive the
-  // coordinator and hold at least one entry.
-  Coordinator(std::vector<Transport*> nodes, Options options);
+  // coordinator and hold at least one entry; `mirrors` (possibly empty)
+  // names the standby coordinators to keep in sync.
+  Coordinator(std::vector<Transport*> nodes, std::vector<Transport*> mirrors,
+              Options options);
+  Coordinator(std::vector<Transport*> nodes, Options options)
+      : Coordinator(std::move(nodes), {}, options) {}
   explicit Coordinator(std::vector<Transport*> nodes)
-      : Coordinator(std::move(nodes), Options()) {}
+      : Coordinator(std::move(nodes), {}, Options()) {}
+
+  // Promotion path (replication::StandbyCoordinator::Promote): adopts a
+  // mirrored log and per-node tracking seeds instead of starting empty,
+  // so publishing resumes from the mirrored tail and lagging replicas
+  // are caught up with the exact epochs the dead active published.
+  Coordinator(std::shared_ptr<replication::ReplicationLog> log,
+              std::vector<replication::ReplicaSeed> seeds,
+              std::vector<Transport*> nodes, std::vector<Transport*> mirrors,
+              Options options);
 
   // Records the update epoch that advanced the corpus owner to `version`
   // (i.e. pass exactly what ApplyUpdates was given and what it returned)
-  // and pushes it to every node, best-effort: an unreachable or lagging
-  // node is left to the query-time catch-up path. Safe to call from
+  // and pushes it to every target, best-effort. Safe to call from
   // concurrent updater threads: the epoch is slotted into the log at
   // version - 1, so a race between publishers cannot reorder the replay
   // log relative to the versions Corpus::Apply assigned. Publishing the
@@ -97,33 +95,38 @@ class Coordinator : public engine::RemoteExecutor {
 
   // Folds `snapshot` into the retained bootstrap image (if it is newer
   // than the current one) and truncates the epoch log below
-  // min(min over nodes of acked version, image version, contiguous
+  // min(min over targets of acked version, image version, contiguous
   // published prefix — acks cross a trust boundary and must not truncate
   // a slot a concurrent publish has not filled yet). Epochs below the
-  // cut survive only inside the image; nodes that still needed them are
-  // bootstrapped by snapshot transfer instead. Returns the new log start.
-  // A node that never acks (down since birth) pins truncation at 0 but
-  // not the bootstrap image — it is still snapshot-reachable. A corpus
-  // too large for the image format is not retained and nothing is
-  // truncated (the log keeps growing; see snapshot::FitsSnapshotFormat).
+  // cut survive only inside the image; targets that still needed them
+  // are bootstrapped by snapshot transfer instead. Returns the new log
+  // start. A target that never acks (down since birth) pins truncation
+  // at 0 but not the bootstrap image — it is still snapshot-reachable.
+  // A corpus too large for the image format is not retained and nothing
+  // is truncated (see snapshot::FitsSnapshotFormat).
   std::uint64_t CompactLog(const engine::CorpusSnapshot& snapshot);
 
   // Length of the contiguous published prefix of the epoch log — the
   // corpus version replicas can currently converge to.
-  std::uint64_t published_version() const;
+  std::uint64_t published_version() const {
+    return log_->published_version();
+  }
   // First version still replayable from the epoch log (0 = never
   // compacted). Epochs in [log_start, published_version) are retained.
-  std::uint64_t log_start() const;
+  std::uint64_t log_start() const { return log_->log_start(); }
   // Version of the retained bootstrap image (0 = none retained).
-  std::uint64_t retained_snapshot_version() const;
+  std::uint64_t retained_snapshot_version() const {
+    return log_->retained_version();
+  }
 
-  // engine::RemoteExecutor. Pure function of (snapshot, query, num_shards)
-  // regardless of replica state, by construction (version check + local
-  // fallback). Sets ok = false only under FailurePolicy::kFail.
+  // engine::RemoteExecutor, delegated to the QueryRouter.
   engine::QueryResult ExecuteSharded(const engine::CorpusSnapshot& snapshot,
                                      const engine::Query& query,
-                                     int num_shards) override;
+                                     int num_shards) override {
+    return router_.ExecuteSharded(snapshot, query, num_shards);
+  }
 
+  // Merged view over the three layers (field set predates the split).
   struct Stats {
     long long remote_shards = 0;      // shard kernels answered by a node
     long long local_fallbacks = 0;    // shard kernels run on-box instead
@@ -136,66 +139,19 @@ class Coordinator : public engine::RemoteExecutor {
     long long snapshot_chunks_sent = 0; // chunk frames sent
     long long compactions = 0;          // CompactLog calls
     long long failed_queries = 0;       // queries answered ok = false
+    long long acked_syncs_sent = 0;     // acked-table frames mirrored
   };
   Stats stats() const;
 
-  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_nodes() const { return sync_.num_nodes(); }
+
+  const replication::ReplicationLog& log() const { return *log_; }
+  replication::ReplicaSyncService& sync() { return sync_; }
 
  private:
-  // One shard's remote round-trip including proactive catch-up and
-  // mismatch-driven rounds; false means the failure policy decides. On
-  // success *elements/*steps hold the validated kernel solution.
-  bool RunShardRemote(const engine::CorpusSnapshot& snapshot,
-                      const ShardQueryRequest& request,
-                      std::vector<int>* elements, long long* steps);
-  // Brings the node from `from` to exactly `to`: snapshot transfer when
-  // the log no longer reaches back to `from` (or the node refuses replay
-  // outright — a bootstrap node), epoch replay for the rest.
-  bool CatchUpNode(int node_index, std::uint64_t from, std::uint64_t to);
-  // One epoch-log replay batch [from, to). kRefused means the node
-  // answered kVersionMismatch — its real version is in *node_version.
-  enum class EpochSendResult { kOk, kFailed, kRefused };
-  EpochSendResult SendEpochs(int node_index, std::uint64_t from,
-                             std::uint64_t to, std::uint64_t* node_version);
-  // Streams the retained bootstrap image, resuming where the node's
-  // SnapshotAck points. On success *installed_version is the node's
-  // (authoritative) version afterwards — the image's version, or higher
-  // when the node was already past it.
-  bool SendSnapshot(int node_index, std::uint64_t* installed_version);
-  void SetAcked(int node_index, std::uint64_t version);
-  std::uint64_t GetAcked(int node_index) const;
-
-  const std::vector<Transport*> nodes_;
-  const Options options_;
-
-  mutable std::mutex log_mu_;
-  // epochs_[k] advances a replica from version log_start_ + k to
-  // log_start_ + k + 1. Slots are filled by PublishEpoch keyed on the
-  // publisher's corpus version, so a slot can be temporarily empty while
-  // an earlier concurrent publish is still in flight; replays stop at the
-  // first unfilled slot. CompactLog pops fully-acked epochs off the
-  // front.
-  std::deque<std::vector<engine::CorpusUpdate>> epochs_;
-  std::deque<bool> epoch_filled_;
-  std::uint64_t log_start_ = 0;
-  // Last authoritative replica version per node (acks + query replies);
-  // assigned, not maxed, so a silently restarted node corrects the
-  // tracking on first contact.
-  std::vector<std::uint64_t> acked_;
-  // Pre-encoded bootstrap image; shared_ptr so transfers stream it
-  // without holding log_mu_ while a concurrent CompactLog swaps it.
-  std::shared_ptr<const std::vector<std::uint8_t>> retained_image_;
-  std::uint64_t retained_version_ = 0;
-
-  mutable std::atomic<long long> remote_shards_{0};
-  mutable std::atomic<long long> local_fallbacks_{0};
-  mutable std::atomic<long long> version_mismatches_{0};
-  mutable std::atomic<long long> catchup_batches_{0};
-  mutable std::atomic<long long> proactive_catchups_{0};
-  mutable std::atomic<long long> snapshots_sent_{0};
-  mutable std::atomic<long long> snapshot_chunks_sent_{0};
-  mutable std::atomic<long long> compactions_{0};
-  mutable std::atomic<long long> failed_queries_{0};
+  std::shared_ptr<replication::ReplicationLog> log_;
+  replication::ReplicaSyncService sync_;
+  replication::QueryRouter router_;
 };
 
 }  // namespace rpc

@@ -15,13 +15,17 @@ namespace rpc {
 ShardNode::ShardNode(std::vector<double> weights, DenseMetric metric,
                      double lambda, Options options)
     : replica_(std::move(weights), std::move(metric), lambda),
-      options_(options) {}
+      options_(std::move(options)) {
+  pending_from_ = replica_.version();
+}
 
 ShardNode::ShardNode(engine::CorpusState state, Options options)
-    : replica_(std::move(state)), options_(options) {}
+    : replica_(std::move(state)), options_(std::move(options)) {
+  pending_from_ = replica_.version();
+}
 
 ShardNode::ShardNode(Options options)
-    : replica_({}, DenseMetric(0), 0.0), options_(options) {
+    : replica_({}, DenseMetric(0), 0.0), options_(std::move(options)) {
   awaiting_bootstrap_.store(true, std::memory_order_release);
 }
 
@@ -154,6 +158,20 @@ std::vector<std::uint8_t> ShardNode::HandleUpdates(
     replica_.Apply(batch.epochs[i]);
     epochs_applied_.fetch_add(1, std::memory_order_relaxed);
     ++epochs_since_checkpoint_;
+    if (options_.checkpoint != nullptr && options_.checkpoint_every > 0) {
+      // Keep the epoch around for the next delta checkpoint. Bounded by
+      // checkpoint_every in steady state; a persistently failing disk is
+      // cut off at kMaxPendingDeltaEpochs (the next save goes full).
+      constexpr std::size_t kMaxPendingDeltaEpochs = 1024;
+      pending_epochs_.push_back(batch.epochs[i]);
+      if (pending_epochs_.size() > kMaxPendingDeltaEpochs) {
+        pending_epochs_.clear();
+        pending_from_ = replica_.version();
+      }
+    }
+    if (options_.on_epoch_applied) {
+      options_.on_epoch_applied(replica_.version(), batch.epochs[i]);
+    }
   }
   if (batch.epochs.size() > skip) MaybeCheckpoint(nullptr);
   ack.status = RpcStatus::kOk;
@@ -254,20 +272,28 @@ std::vector<std::uint8_t> ShardNode::HandleChunk(const SnapshotChunk& chunk) {
     ack.status = RpcStatus::kError;
     return Encode(ack);
   }
-  const std::vector<std::uint8_t> image = std::move(pending_->bytes);
+  const auto image = std::make_shared<const std::vector<std::uint8_t>>(
+      std::move(pending_->bytes));
   pending_.reset();
   ack.node_version = replica_.Restore(std::move(state));
   awaiting_bootstrap_.store(false, std::memory_order_release);
   snapshots_installed_.fetch_add(1, std::memory_order_relaxed);
   epochs_since_checkpoint_ = 0;
-  MaybeCheckpoint(&image);
+  pending_epochs_.clear();
+  pending_from_ = ack.node_version;
+  if (options_.on_snapshot_installed) {
+    options_.on_snapshot_installed(ack.node_version, image);
+  }
+  MaybeCheckpoint(image.get());
   ack.status = RpcStatus::kOk;
   return Encode(ack);
 }
 
 // Persists the replica if a store is configured and due. When the caller
 // already holds the encoded image (snapshot install) it is written as-is;
-// the epoch path re-encodes the current snapshot. Caller holds apply_mu_.
+// the epoch path saves the pending epoch tail as a delta — O(epoch)
+// instead of re-encoding the whole replica — falling back to a full
+// image only when the delta chain cannot extend. Caller holds apply_mu_.
 void ShardNode::MaybeCheckpoint(const std::vector<std::uint8_t>* image) {
   if (options_.checkpoint == nullptr) return;
   if (image == nullptr && (options_.checkpoint_every <= 0 ||
@@ -275,13 +301,21 @@ void ShardNode::MaybeCheckpoint(const std::vector<std::uint8_t>* image) {
                                options_.checkpoint_every)) {
     return;
   }
-  const bool saved =
-      image != nullptr
-          ? options_.checkpoint->SaveEncoded(replica_.version(), *image)
-          : options_.checkpoint->Save(*replica_.snapshot());
+  bool saved;
+  if (image != nullptr) {
+    saved = options_.checkpoint->SaveEncoded(replica_.version(), *image);
+  } else {
+    saved = !pending_epochs_.empty() &&
+            pending_from_ + pending_epochs_.size() == replica_.version() &&
+            options_.checkpoint->SaveDelta(pending_from_, replica_.version(),
+                                           pending_epochs_);
+    if (!saved) saved = options_.checkpoint->Save(*replica_.snapshot());
+  }
   if (saved) {
     checkpoints_saved_.fetch_add(1, std::memory_order_relaxed);
     epochs_since_checkpoint_ = 0;
+    pending_from_ = replica_.version();
+    pending_epochs_.clear();
   }
 }
 

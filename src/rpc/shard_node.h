@@ -32,6 +32,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -39,21 +41,38 @@
 
 #include "engine/corpus.h"
 #include "metric/dense_metric.h"
+#include "rpc/transport.h"
 #include "rpc/wire.h"
 #include "snapshot/checkpoint_store.h"
 
 namespace diverse {
 namespace rpc {
 
-class ShardNode {
+class ShardNode : public Handler {
  public:
   struct Options {
     // When set, the replica checkpoints itself into this store (which
     // must outlive the node) every `checkpoint_every` applied epochs and
     // after every snapshot install. Saves happen on the apply path —
-    // replica sync pauses for the write, queries do not.
+    // replica sync pauses for the write, queries do not. Steady-state
+    // epoch checkpoints persist a delta (the epoch tail since the last
+    // save, see CheckpointStore::SaveDelta) instead of re-encoding the
+    // whole replica, which is what makes checkpoint_every=1 viable for
+    // large corpora.
     snapshot::CheckpointStore* checkpoint = nullptr;
     int checkpoint_every = 16;
+    // Mirror observers, called under the apply mutex AFTER the replica
+    // advanced: every applied epoch with the version it produced, and
+    // every installed snapshot image with its encoded bytes. This is how
+    // replication::StandbyCoordinator folds the sync stream it consumes
+    // into its own ReplicationLog.
+    std::function<void(std::uint64_t version,
+                       std::span<const engine::CorpusUpdate> updates)>
+        on_epoch_applied;
+    std::function<void(
+        std::uint64_t version,
+        const std::shared_ptr<const std::vector<std::uint8_t>>& image)>
+        on_snapshot_installed;
   };
 
   struct Stats {
@@ -86,7 +105,7 @@ class ShardNode {
 
   // Serves one request payload (wire.h), returning the encoded reply.
   std::vector<std::uint8_t> Handle(
-      std::span<const std::uint8_t> request_payload);
+      std::span<const std::uint8_t> request_payload) override;
 
   std::uint64_t version() const { return replica_.version(); }
   const engine::Corpus& replica() const { return replica_; }
@@ -121,6 +140,11 @@ class ShardNode {
                          // and snapshot transfers
   std::optional<PendingSnapshot> pending_;  // guarded by apply_mu_
   int epochs_since_checkpoint_ = 0;         // guarded by apply_mu_
+  // Epochs applied since the last successful checkpoint — the delta
+  // payload. pending_from_ is the replica version the chain extends.
+  // Guarded by apply_mu_; only accumulated while a store is configured.
+  std::uint64_t pending_from_ = 0;
+  std::vector<std::vector<engine::CorpusUpdate>> pending_epochs_;
 
   std::atomic<long long> queries_{0};
   std::atomic<long long> version_mismatches_{0};

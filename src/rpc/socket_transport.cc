@@ -16,7 +16,6 @@
 #include <string>
 #include <thread>
 
-#include "rpc/shard_node.h"
 #include "rpc/wire.h"
 #include "util/check.h"
 
@@ -164,9 +163,53 @@ bool SocketTransport::Call(const std::vector<std::uint8_t>& request,
   return true;
 }
 
+// ---- Endpoint parsing ------------------------------------------------------
+
+bool ParseEndpoints(const std::string& list, std::vector<Endpoint>* out,
+                    std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  out->clear();
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string entry = list.substr(start, comma - start);
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= entry.size()) {
+      return fail("malformed endpoint '" + entry + "' (want host:port)");
+    }
+    int port = 0;
+    for (char c : entry.substr(colon + 1)) {
+      if (c < '0' || c > '9') {
+        return fail("malformed port in '" + entry + "'");
+      }
+      port = port * 10 + (c - '0');
+      if (port > 65535) {  // bound before the next *10 overflows
+        return fail("port out of range in '" + entry + "'");
+      }
+    }
+    if (port <= 0) return fail("port out of range in '" + entry + "'");
+    Endpoint endpoint{entry.substr(0, colon), port};
+    for (const Endpoint& seen : *out) {
+      if (seen == endpoint) {
+        return fail("duplicate endpoint '" + entry +
+                    "' — each node must be listed once");
+      }
+    }
+    out->push_back(std::move(endpoint));
+    start = comma + 1;
+  }
+  if (out->empty()) return fail("empty endpoint list");
+  return true;
+}
+
 // ---- SocketServer (node) ---------------------------------------------------
 
-SocketServer::SocketServer(ShardNode* node, int port) : node_(node) {
+SocketServer::SocketServer(Handler* node, int port) : node_(node) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   DIVERSE_CHECK_MSG(listen_fd_ >= 0, "cannot create listening socket");
   const int one = 1;

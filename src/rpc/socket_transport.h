@@ -12,9 +12,10 @@
 // That makes a restarted shard_node_cli transparently reusable — the
 // replica it lost is re-synced by the coordinator's catch-up protocol.
 //
-// SocketServer is the node half: it binds a loopback-reachable listening
-// socket, then serves one connection at a time — read frame, ShardNode::
-// Handle, write frame — until Stop(). One connection at a time matches the
+// SocketServer is the server half: it binds a loopback-reachable listening
+// socket, then serves one connection at a time — read frame, Handler::
+// Handle (a ShardNode replica or a StandbyCoordinator mirror), write
+// frame — until Stop(). One connection at a time matches the
 // one-coordinator deployment model; node-side parallelism across shards
 // comes from running more nodes, not more threads per node.
 #ifndef DIVERSE_RPC_SOCKET_TRANSPORT_H_
@@ -60,14 +61,28 @@ class SocketTransport : public Transport {
   int fd_ = -1;
 };
 
-class ShardNode;
+// One "host:port" endpoint of a node or standby list.
+struct Endpoint {
+  std::string host;
+  int port = 0;
+
+  bool operator==(const Endpoint&) const = default;
+};
+
+// Parses "host:port[,host:port...]" into *out. Returns false with a
+// diagnostic in *error (when non-null) on a malformed entry, an
+// out-of-range port, or a DUPLICATE endpoint — two transports behind one
+// address would double-assign shards and race replica sync, so the
+// undefined fan-out is rejected up front.
+bool ParseEndpoints(const std::string& list, std::vector<Endpoint>* out,
+                    std::string* error = nullptr);
 
 class SocketServer {
  public:
   // Binds and listens on `port` (0 picks an ephemeral port, see port()).
   // `node` must outlive the server. CHECK-aborts if the socket cannot be
   // bound — a node that cannot listen has nothing else to do.
-  SocketServer(ShardNode* node, int port);
+  SocketServer(Handler* node, int port);
   ~SocketServer();  // implies Stop()
 
   SocketServer(const SocketServer&) = delete;
@@ -84,7 +99,7 @@ class SocketServer {
  private:
   bool ServeConnection(int client_fd);  // false once stopping
 
-  ShardNode* node_;
+  Handler* node_;
   std::atomic<int> listen_fd_{-1};  // closed by Stop() to unblock accept
   int port_ = 0;
   std::atomic<bool> stopping_{false};

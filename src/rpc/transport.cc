@@ -1,14 +1,12 @@
 #include "rpc/transport.h"
 
-#include "rpc/shard_node.h"
-
 namespace diverse {
 namespace rpc {
 
 bool InProcessTransport::Call(const std::vector<std::uint8_t>& request,
                               std::vector<std::uint8_t>* response) {
   if (down()) return false;
-  *response = node_.load(std::memory_order_acquire)->Handle(request);
+  *response = handler_.load(std::memory_order_acquire)->Handle(request);
   return true;
 }
 

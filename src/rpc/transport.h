@@ -1,16 +1,22 @@
 // Transport abstraction for the RPC sharding layer: one blocking
-// request/response exchange of wire.h payloads with a single shard node.
+// request/response exchange of wire.h payloads with a single remote
+// handler.
 //
-// Two implementations ship:
+// Handler is the server half's seam: anything that turns one decoded
+// request payload into one encoded reply — a ShardNode replica, a
+// replication::StandbyCoordinator mirror — can sit behind any transport
+// or SocketServer without the transport layer knowing which.
 //
-//   * InProcessTransport (below) — calls straight into a ShardNode in this
+// Two transport implementations ship:
+//
+//   * InProcessTransport (below) — calls straight into a Handler in this
 //     process. Deterministic and dependency-free; what the tests and
 //     bench/rpc_sharding drive, and the reference behavior SocketTransport
 //     must match. A `down` switch injects unreachable-node failures.
 //   * SocketTransport (socket_transport.h) — blocking TCP over POSIX
 //     sockets, length-prefixed frames, lazy reconnect.
 //
-// A transport addresses exactly one node; the coordinator owns one per
+// A transport addresses exactly one handler; the coordinator owns one per
 // node and round-robins shards across them. Call() is serialized per
 // transport (internally locked), so one connection carries one in-flight
 // request at a time — cross-node parallelism comes from the coordinator
@@ -20,12 +26,23 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace diverse {
 namespace rpc {
 
-class ShardNode;
+// One remote endpoint's request dispatcher: serves one wire.h request
+// payload, returning the encoded reply. Implementations must treat the
+// payload as having crossed a trust boundary (decode-validate-execute,
+// reply kError on malformed input, never abort) and be safe to call from
+// multiple transport threads.
+class Handler {
+ public:
+  virtual ~Handler() = default;
+  virtual std::vector<std::uint8_t> Handle(
+      std::span<const std::uint8_t> request_payload) = 0;
+};
 
 class Transport {
  public:
@@ -41,27 +58,27 @@ class Transport {
 
 class InProcessTransport : public Transport {
  public:
-  // `node` must outlive the transport.
-  explicit InProcessTransport(ShardNode* node) : node_(node) {}
+  // `handler` must outlive the transport.
+  explicit InProcessTransport(Handler* handler) : handler_(handler) {}
 
   bool Call(const std::vector<std::uint8_t>& request,
             std::vector<std::uint8_t>* response) override;
 
   // Simulates a killed/unreachable node: while down, Call fails without
-  // reaching the node. Thread-safe; tests flip it mid-run.
+  // reaching the handler. Thread-safe; tests flip it mid-run.
   void set_down(bool down) { down_.store(down, std::memory_order_relaxed); }
   bool down() const { return down_.load(std::memory_order_relaxed); }
 
-  // Swaps the node behind this address — the tests' "process restart"
+  // Swaps the handler behind this address — the tests' "process restart"
   // hook (a restarted node keeps its transport, as a restarted
-  // shard_node_cli keeps its host:port). `node` must outlive the
+  // shard_node_cli keeps its host:port). `handler` must outlive the
   // transport.
-  void set_node(ShardNode* node) {
-    node_.store(node, std::memory_order_release);
+  void set_node(Handler* handler) {
+    handler_.store(handler, std::memory_order_release);
   }
 
  private:
-  std::atomic<ShardNode*> node_;
+  std::atomic<Handler*> handler_;
   std::atomic<bool> down_{false};
 };
 

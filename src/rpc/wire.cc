@@ -274,6 +274,15 @@ std::vector<std::uint8_t> Encode(const SnapshotAck& message) {
   return out;
 }
 
+std::vector<std::uint8_t> Encode(const AckedTableSync& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(3 + 4 + 8 * message.acked.size());
+  AppendHeader(&out, MessageType::kAckedTableSync);
+  AppendU32(&out, static_cast<std::uint32_t>(message.acked.size()));
+  for (std::uint64_t version : message.acked) AppendU64(&out, version);
+  return out;
+}
+
 std::optional<MessageType> PeekType(std::span<const std::uint8_t> payload) {
   Reader reader(payload);
   std::uint16_t version;
@@ -281,7 +290,7 @@ std::optional<MessageType> PeekType(std::span<const std::uint8_t> payload) {
   if (!reader.ReadU16(&version) || !reader.ReadU8(&type)) return std::nullopt;
   if (version != kWireVersion) return std::nullopt;
   if (type < static_cast<std::uint8_t>(MessageType::kShardQueryRequest) ||
-      type > static_cast<std::uint8_t>(MessageType::kSnapshotAck)) {
+      type > static_cast<std::uint8_t>(MessageType::kAckedTableSync)) {
     return std::nullopt;
   }
   return static_cast<MessageType>(type);
@@ -399,6 +408,18 @@ bool Decode(std::span<const std::uint8_t> payload, SnapshotAck* message) {
       !reader.ReadU64(&message->snapshot_version) ||
       !reader.ReadU32(&message->next_chunk)) {
     return false;
+  }
+  return reader.Done();
+}
+
+bool Decode(std::span<const std::uint8_t> payload, AckedTableSync* message) {
+  Reader reader(payload);
+  if (!ReadHeader(&reader, MessageType::kAckedTableSync)) return false;
+  std::size_t count;
+  if (!reader.ReadCount(8, &count)) return false;
+  message->acked.resize(count);
+  for (std::uint64_t& version : message->acked) {
+    if (!reader.ReadU64(&version)) return false;
   }
   return reader.Done();
 }

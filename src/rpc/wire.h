@@ -31,6 +31,10 @@
 //     chunk carries one consecutive slice, and both are answered by a
 //     SnapshotAck whose `next_chunk` makes interrupted transfers
 //     resumable (the node keeps its partial image across reconnects).
+//   * AckedTableSync — the active coordinator's per-node acked-version
+//     table, mirrored to standby coordinators after every publish so a
+//     promoted standby starts with warm replica tracking. Answered by an
+//     UpdateAck.
 //
 // Decoding is total: truncated buffers, trailing garbage, unknown wire
 // versions, unknown message types, and out-of-range enum values are all
@@ -69,6 +73,7 @@ enum class MessageType : std::uint8_t {
   kSnapshotOffer = 5,
   kSnapshotChunk = 6,
   kSnapshotAck = 7,
+  kAckedTableSync = 8,
 };
 
 enum class RpcStatus : std::uint8_t {
@@ -157,6 +162,15 @@ struct SnapshotAck {
   std::uint32_t next_chunk = 0;        // first chunk index still missing
 };
 
+// The active coordinator's replica-tracking table, pushed to standby
+// coordinators (never to shard nodes) after every publish: acked[i] is
+// the last authoritative version of query node i. Best-effort and
+// advisory — a promoted standby re-probes the nodes before trusting it.
+// Answered by an UpdateAck carrying the standby's replica version.
+struct AckedTableSync {
+  std::vector<std::uint64_t> acked;
+};
+
 // Encoders never fail; the result always starts with the version/type
 // header and is accepted by the matching decoder.
 std::vector<std::uint8_t> Encode(const ShardQueryRequest& message);
@@ -166,6 +180,7 @@ std::vector<std::uint8_t> Encode(const UpdateAck& message);
 std::vector<std::uint8_t> Encode(const SnapshotOffer& message);
 std::vector<std::uint8_t> Encode(const SnapshotChunk& message);
 std::vector<std::uint8_t> Encode(const SnapshotAck& message);
+std::vector<std::uint8_t> Encode(const AckedTableSync& message);
 
 // Message type of a payload, or nullopt when the header is truncated or
 // the wire version does not match kWireVersion.
@@ -182,6 +197,7 @@ bool Decode(std::span<const std::uint8_t> payload, UpdateAck* message);
 bool Decode(std::span<const std::uint8_t> payload, SnapshotOffer* message);
 bool Decode(std::span<const std::uint8_t> payload, SnapshotChunk* message);
 bool Decode(std::span<const std::uint8_t> payload, SnapshotAck* message);
+bool Decode(std::span<const std::uint8_t> payload, AckedTableSync* message);
 
 }  // namespace rpc
 }  // namespace diverse

@@ -5,13 +5,15 @@
 #include <cmath>
 #include <cstring>
 
+#include "rpc/wire.h"
 #include "util/check.h"
 
 namespace diverse {
 namespace snapshot {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x504E5344;  // "DSNP" little-endian
+constexpr std::uint32_t kMagic = 0x504E5344;       // "DSNP" little-endian
+constexpr std::uint32_t kDeltaMagic = 0x544C4444;  // "DDLT" little-endian
 
 // The largest id space whose image could still fit kMaxSnapshotBytes.
 // Anything above is rejected before any size arithmetic that could
@@ -203,6 +205,49 @@ bool DecodeSnapshot(std::span<const std::uint8_t> payload,
     }
   }
   return engine::ValidState(*state);
+}
+
+std::vector<std::uint8_t> EncodeDelta(
+    std::uint64_t from_version,
+    std::span<const std::vector<engine::CorpusUpdate>> epochs) {
+  rpc::CorpusUpdateBatch batch;
+  batch.from_version = from_version;
+  batch.epochs.assign(epochs.begin(), epochs.end());
+  const std::vector<std::uint8_t> body = rpc::Encode(batch);
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 2 + body.size() + kTrailerBytes);
+  AppendU32(&out, kDeltaMagic);
+  AppendU16(&out, kDeltaFormatVersion);
+  out.insert(out.end(), body.begin(), body.end());
+  AppendU32(&out, Crc32(out));
+  return out;
+}
+
+bool DecodeDelta(std::span<const std::uint8_t> payload,
+                 std::uint64_t* from_version,
+                 std::vector<std::vector<engine::CorpusUpdate>>* epochs) {
+  constexpr std::size_t kDeltaHeaderBytes = 4 + 2;
+  if (payload.size() < kDeltaHeaderBytes + kTrailerBytes) return false;
+  if (payload.size() > kMaxSnapshotBytes) return false;
+  const std::size_t body = payload.size() - kTrailerBytes;
+  if (Crc32(payload.subspan(0, body)) != ReadU32At(payload, body)) {
+    return false;
+  }
+  if (ReadU32At(payload, 0) != kDeltaMagic) return false;
+  const std::uint16_t format = static_cast<std::uint16_t>(
+      payload[4] | (std::uint16_t{payload[5]} << 8));
+  if (format != kDeltaFormatVersion) return false;
+  // The body is one wire-format CorpusUpdateBatch; its decoder is total
+  // (truncation, corrupt counts, bad enum values all rejected).
+  rpc::CorpusUpdateBatch batch;
+  if (!rpc::Decode(payload.subspan(kDeltaHeaderBytes,
+                                   body - kDeltaHeaderBytes),
+                   &batch)) {
+    return false;
+  }
+  *from_version = batch.from_version;
+  *epochs = std::move(batch.epochs);
+  return true;
 }
 
 std::uint32_t Crc32(std::span<const std::uint8_t> data) {

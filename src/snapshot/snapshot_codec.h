@@ -70,6 +70,41 @@ bool DecodeSnapshot(std::span<const std::uint8_t> payload,
 // checkpoint store's trailer verification and for tests.
 std::uint32_t Crc32(std::span<const std::uint8_t> data);
 
+// ---- Delta images ---------------------------------------------------------
+//
+// A delta image persists the update epochs that advanced a corpus from
+// `from_version` to `from_version + epochs.size()` — O(epoch bytes)
+// instead of the O(n^2) full image, which is what makes frequent replica
+// checkpoints (--checkpoint_every=1) viable for large corpora. The
+// payload is
+//
+//   [u32 magic "DDLT"][u16 delta format version]
+//   [rpc/wire CorpusUpdateBatch payload]
+//   [u32 CRC-32 of everything above]
+//
+// reusing the wire codec's total, fuzz-hardened batch decoding. A delta
+// is only meaningful relative to the exact state it chained from;
+// CheckpointStore owns that chaining (SaveDelta/LoadLatest) and re-folds
+// deltas through the same engine::ValidUpdate predicates epoch replay
+// uses.
+
+// Bumped on any incompatible layout change; decoders reject other values.
+inline constexpr std::uint16_t kDeltaFormatVersion = 1;
+
+// Serializes the epochs [from_version, from_version + epochs.size()).
+// Never fails; the result is accepted by DecodeDelta.
+std::vector<std::uint8_t> EncodeDelta(
+    std::uint64_t from_version,
+    std::span<const std::vector<engine::CorpusUpdate>> epochs);
+
+// Decodes and structurally validates one delta image (magic, format,
+// checksum, total batch decode). Value-level validation happens at fold
+// time against the base state's universe. Returns false on any
+// malformation, leaving the outputs unspecified.
+bool DecodeDelta(std::span<const std::uint8_t> payload,
+                 std::uint64_t* from_version,
+                 std::vector<std::vector<engine::CorpusUpdate>>* epochs);
+
 }  // namespace snapshot
 }  // namespace diverse
 

@@ -1,0 +1,518 @@
+// Failover tests for the replication layers (src/replication/):
+// ReplicationLog slotting/compaction, standby mirroring (epoch stream +
+// acked table + snapshot transfer), and the kill-active/promote-standby
+// cycle — answers must stay bit-equal to an uninterrupted
+// single-coordinator run at the same corpus version, including a standby
+// that was mid-snapshot-transfer when the active died (resume via the
+// existing next_chunk machinery) and a stale standby whose promoted
+// coordinator must quarantine a diverged node until a newer image
+// replaces it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "engine/engine.h"
+#include "engine/execution_plan.h"
+#include "engine/workload.h"
+#include "replication/replication_log.h"
+#include "replication/standby_coordinator.h"
+#include "rpc/coordinator.h"
+#include "rpc/shard_node.h"
+#include "rpc/transport.h"
+#include "rpc/wire.h"
+#include "snapshot/snapshot_codec.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace replication {
+namespace {
+
+using engine::CorpusUpdate;
+using engine::DiversificationEngine;
+using engine::PlanKind;
+using engine::Query;
+using engine::QueryResult;
+using rpc::Coordinator;
+using rpc::InProcessTransport;
+using rpc::ShardNode;
+using rpc::Transport;
+
+Query MakeQuery(int universe, int p, int num_shards, std::uint64_t salt,
+                Rng& rng) {
+  engine::SyntheticQueryConfig config;
+  config.p = p;
+  config.universe = universe;
+  config.sharded = true;
+  config.remote = true;
+  config.num_shards = num_shards;
+  Query query = engine::MakeSyntheticQuery(config, rng);
+  query.shard_salt = salt;
+  return query;
+}
+
+void ExpectBitEqual(DiversificationEngine& engine, const Query& remote) {
+  const QueryResult remote_result = engine.RunSync(remote);
+  Query local = remote;
+  local.plan = PlanKind::kSharded;
+  const QueryResult local_result = engine.RunSync(local);
+  EXPECT_TRUE(remote_result.ok);
+  EXPECT_EQ(remote_result.corpus_version, local_result.corpus_version);
+  EXPECT_EQ(remote_result.elements, local_result.elements);
+  EXPECT_EQ(remote_result.objective, local_result.objective);
+  EXPECT_EQ(remote_result.steps, local_result.steps);
+}
+
+TEST(ReplicationLogTest, AppendSliceTruncate) {
+  ReplicationLog log;
+  const std::vector<CorpusUpdate> e1{CorpusUpdate::SetWeight(0, 0.5)};
+  const std::vector<CorpusUpdate> e2{CorpusUpdate::SetWeight(1, 0.25)};
+  const std::vector<CorpusUpdate> e3{CorpusUpdate::SetWeight(2, 0.75)};
+  EXPECT_EQ(log.published_version(), 0u);
+  // Out-of-order slotting: version 2 first leaves a hole at slot 0.
+  log.Append(2, e2);
+  EXPECT_EQ(log.published_version(), 0u);
+  EXPECT_EQ(log.allocated_version(), 2u);
+  rpc::CorpusUpdateBatch batch;
+  EXPECT_FALSE(log.Slice(0, 2, &batch));  // hole: slot 0 unfilled
+  log.Append(1, e1);
+  EXPECT_EQ(log.published_version(), 2u);
+  ASSERT_TRUE(log.Slice(0, 2, &batch));
+  EXPECT_EQ(batch.from_version, 0u);
+  ASSERT_EQ(batch.epochs.size(), 2u);
+  EXPECT_EQ(batch.epochs[0][0].u, 0);
+  EXPECT_EQ(batch.epochs[1][0].u, 1);
+  // Truncation clamps to the retained image version (none yet -> 0).
+  EXPECT_EQ(log.TruncateBelow(2), 0u);
+  log.Append(3, e3);
+  EXPECT_EQ(log.published_version(), 3u);
+}
+
+TEST(ReplicationLogTest, AdoptImageDropsSubsumedSlots) {
+  ReplicationLog log;
+  log.Append(1, {std::vector<CorpusUpdate>{CorpusUpdate::SetWeight(0, 0.5)}});
+  // A bootstrap standby's first contact can be an image far ahead of the
+  // sparse mirrored prefix; everything below it is dead history.
+  auto image = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>{1, 2, 3});
+  log.AdoptImage(5, image);
+  EXPECT_EQ(log.log_start(), 5u);
+  EXPECT_EQ(log.published_version(), 5u);
+  EXPECT_EQ(log.retained_version(), 5u);
+  std::uint64_t version = 0;
+  EXPECT_EQ(log.image(&version), image);
+  EXPECT_EQ(version, 5u);
+  // The next mirrored epoch lands at the fresh start.
+  log.Append(6, {std::vector<CorpusUpdate>{CorpusUpdate::SetWeight(1, 0.1)}});
+  EXPECT_EQ(log.published_version(), 6u);
+  // An older image never replaces a newer one.
+  log.AdoptImage(2, std::make_shared<const std::vector<std::uint8_t>>(
+                        std::vector<std::uint8_t>{9}));
+  EXPECT_EQ(log.retained_version(), 5u);
+}
+
+// One corpus served by `num_nodes` replicas plus a standby mirror behind
+// the active coordinator.
+struct FailoverCluster {
+  Dataset baseline{0};
+  std::vector<std::unique_ptr<ShardNode>> nodes;
+  std::vector<std::unique_ptr<InProcessTransport>> transports;
+  std::unique_ptr<StandbyCoordinator> standby;
+  std::unique_ptr<InProcessTransport> standby_transport;
+  std::unique_ptr<Coordinator> coordinator;
+  std::unique_ptr<DiversificationEngine> engine;
+
+  std::vector<Transport*> node_transports() const {
+    std::vector<Transport*> raw;
+    for (const auto& t : transports) raw.push_back(t.get());
+    return raw;
+  }
+
+  std::uint64_t ApplyAndPublish(const std::vector<CorpusUpdate>& updates) {
+    const std::uint64_t version = engine->ApplyUpdates(updates);
+    coordinator->PublishEpoch(version, updates);
+    return version;
+  }
+
+  // The active dies: coordinator and engine vanish, replicas and the
+  // standby keep their state and transports.
+  void KillActive() {
+    engine.reset();
+    coordinator.reset();
+  }
+};
+
+FailoverCluster MakeFailoverCluster(int n, int num_nodes, std::uint64_t seed,
+                                    double lambda) {
+  Rng rng(seed);
+  FailoverCluster cluster;
+  cluster.baseline = MakeUniformSynthetic(n, rng);
+  std::vector<Transport*> raw;
+  for (int i = 0; i < num_nodes; ++i) {
+    Dataset replica = cluster.baseline;
+    cluster.nodes.push_back(std::make_unique<ShardNode>(
+        replica.weights, std::move(replica.metric), lambda));
+    cluster.transports.push_back(
+        std::make_unique<InProcessTransport>(cluster.nodes.back().get()));
+    raw.push_back(cluster.transports.back().get());
+  }
+  Dataset mirror = cluster.baseline;
+  cluster.standby = std::make_unique<StandbyCoordinator>(
+      mirror.weights, std::move(mirror.metric), lambda);
+  cluster.standby_transport =
+      std::make_unique<InProcessTransport>(cluster.standby.get());
+  cluster.coordinator = std::make_unique<Coordinator>(
+      raw, std::vector<Transport*>{cluster.standby_transport.get()},
+      Coordinator::Options());
+  DiversificationEngine::Options engine_options;
+  engine_options.remote = cluster.coordinator.get();
+  engine_options.num_workers = 1;
+  Dataset mine = cluster.baseline;
+  cluster.engine = std::make_unique<DiversificationEngine>(
+      mine.weights, std::move(mine.metric), lambda, engine_options);
+  return cluster;
+}
+
+TEST(StandbyCoordinatorTest, MirrorsEpochStreamAndAckedTable) {
+  FailoverCluster cluster = MakeFailoverCluster(40, 2, 31, 0.3);
+  Rng rng(32);
+  std::vector<std::vector<CorpusUpdate>> epochs;
+  for (int e = 0; e < 4; ++e) {
+    epochs.push_back(engine::MakeSyntheticEpoch(
+        cluster.engine->corpus().snapshot()->universe_size(),
+        /*churn=*/true, e, rng));
+    cluster.ApplyAndPublish(epochs.back());
+  }
+  // The standby folded the same stream to the same version and recorded
+  // the epochs themselves.
+  EXPECT_EQ(cluster.standby->version(), 4u);
+  EXPECT_EQ(cluster.standby->log().published_version(), 4u);
+  rpc::CorpusUpdateBatch mirrored;
+  ASSERT_TRUE(cluster.standby->log().Slice(0, 4, &mirrored));
+  for (int e = 0; e < 4; ++e) {
+    ASSERT_EQ(mirrored.epochs[e].size(), epochs[e].size());
+    for (std::size_t j = 0; j < epochs[e].size(); ++j) {
+      EXPECT_EQ(mirrored.epochs[e][j].kind, epochs[e][j].kind);
+      EXPECT_EQ(mirrored.epochs[e][j].u, epochs[e][j].u);
+      EXPECT_EQ(mirrored.epochs[e][j].value, epochs[e][j].value);
+    }
+  }
+  // The acked table mirrored both nodes at the published tip.
+  EXPECT_EQ(cluster.standby->mirrored_acked(),
+            (std::vector<std::uint64_t>{4, 4}));
+  EXPECT_GT(cluster.coordinator->stats().acked_syncs_sent, 0);
+  // The standby's fold is bit-identical to the active corpus.
+  EXPECT_EQ(snapshot::EncodeState(cluster.standby->state()),
+            snapshot::EncodeSnapshot(*cluster.engine->corpus().snapshot()));
+}
+
+// The acceptance cycle: kill the active, Promote() the standby, keep
+// publishing THE SAME epoch stream — every answer must be bit-equal to an
+// uninterrupted single-coordinator reference run at the same version.
+TEST(StandbyCoordinatorTest, KillActivePromoteStandbyStaysBitEqual) {
+  const int n = 60;
+  const double lambda = 0.3;
+  // Generate one fixed epoch stream against a scratch corpus so the
+  // reference run and the failover run apply identical updates.
+  std::vector<std::vector<CorpusUpdate>> epochs;
+  {
+    Rng seed_rng(40);
+    Dataset data = MakeUniformSynthetic(n, seed_rng);
+    engine::Corpus scratch(data.weights, std::move(data.metric), lambda);
+    Rng rng(41);
+    for (int e = 0; e < 7; ++e) {
+      epochs.push_back(engine::MakeSyntheticEpoch(
+          scratch.snapshot()->universe_size(), /*churn=*/true, e, rng));
+      scratch.Apply(epochs.back());
+    }
+  }
+
+  // Reference: one engine, no failure, all 7 epochs.
+  Rng ref_rng(40);
+  Dataset ref_data = MakeUniformSynthetic(n, ref_rng);
+  DiversificationEngine reference(ref_data.weights,
+                                  std::move(ref_data.metric), lambda, {});
+  // Failover run: active + 2 replicas + standby, first 4 epochs.
+  FailoverCluster cluster = MakeFailoverCluster(n, 2, 40, lambda);
+  for (int e = 0; e < 4; ++e) {
+    reference.ApplyUpdates(epochs[e]);
+    cluster.ApplyAndPublish(epochs[e]);
+  }
+  Rng qrng(42);
+  ExpectBitEqual(*cluster.engine, MakeQuery(n, 8, 4, qrng.NextSeed(), qrng));
+
+  // Active dies. Promote the standby and serve from its fold.
+  cluster.KillActive();
+  std::unique_ptr<Coordinator> promoted =
+      cluster.standby->Promote(cluster.node_transports());
+  EXPECT_TRUE(cluster.standby->promoted());
+  EXPECT_EQ(promoted->published_version(), 4u);
+  DiversificationEngine::Options engine_options;
+  engine_options.remote = promoted.get();
+  engine_options.num_workers = 1;
+  DiversificationEngine takeover(cluster.standby->state(), engine_options);
+  EXPECT_EQ(takeover.corpus().version(), 4u);
+
+  // Queries at the mirrored tip are served remotely (nodes are at 4 and
+  // the promoted tracking knows it from the probe) and stay bit-equal.
+  ExpectBitEqual(takeover, MakeQuery(n, 8, 4, qrng.NextSeed(), qrng));
+
+  // Publishing resumes from the mirrored log tail with the same stream.
+  for (int e = 4; e < 7; ++e) {
+    reference.ApplyUpdates(epochs[e]);
+    const std::uint64_t version = takeover.ApplyUpdates(epochs[e]);
+    promoted->PublishEpoch(version, epochs[e]);
+  }
+  EXPECT_EQ(promoted->published_version(), 7u);
+  for (const auto& node : cluster.nodes) EXPECT_EQ(node->version(), 7u);
+
+  // Bit-equality against the NEVER-FAILED reference at the same version:
+  // same query, reference's in-process sharded answer vs the promoted
+  // remote answer.
+  const engine::SnapshotPtr ref_snapshot = reference.corpus().snapshot();
+  ASSERT_EQ(ref_snapshot->version(), 7u);
+  for (int q = 0; q < 3; ++q) {
+    Query query = MakeQuery(ref_snapshot->universe_size(), 8, 4,
+                            qrng.NextSeed(), qrng);
+    const QueryResult remote = takeover.RunSync(query);
+    Query local = query;
+    local.plan = PlanKind::kSharded;
+    const QueryResult expected = engine::ExecuteQuery(
+        *ref_snapshot, local, engine::PlanDefaults{});
+    EXPECT_TRUE(remote.ok);
+    EXPECT_EQ(remote.corpus_version, 7u);
+    EXPECT_EQ(remote.elements, expected.elements);
+    EXPECT_EQ(remote.objective, expected.objective);
+  }
+  const Coordinator::Stats stats = promoted->stats();
+  EXPECT_GT(stats.remote_shards, 0);
+  EXPECT_EQ(stats.local_fallbacks, 0);
+}
+
+TEST(StandbyCoordinatorTest, PromotedStandbyFencesMirrorTraffic) {
+  FailoverCluster cluster = MakeFailoverCluster(30, 1, 51, 0.3);
+  Rng rng(52);
+  cluster.ApplyAndPublish(
+      engine::MakeSyntheticEpoch(30, /*churn=*/false, 0, rng));
+  cluster.KillActive();
+  std::unique_ptr<Coordinator> promoted =
+      cluster.standby->Promote(cluster.node_transports());
+  // A zombie active's publish is refused with a hard error, not acked.
+  rpc::CorpusUpdateBatch zombie;
+  zombie.from_version = 1;
+  zombie.epochs.push_back({CorpusUpdate::SetWeight(0, 0.9)});
+  rpc::UpdateAck ack;
+  ASSERT_TRUE(rpc::Decode(cluster.standby->Handle(rpc::Encode(zombie)), &ack));
+  EXPECT_EQ(ack.status, rpc::RpcStatus::kError);
+  EXPECT_EQ(cluster.standby->version(), 1u);
+}
+
+// Transport that fails every Call once its budget runs out — for cutting
+// a snapshot transfer off mid-stream.
+class BudgetedTransport : public Transport {
+ public:
+  explicit BudgetedTransport(rpc::Handler* handler) : handler_(handler) {}
+  bool Call(const std::vector<std::uint8_t>& request,
+            std::vector<std::uint8_t>* response) override {
+    if (budget_ == 0) return false;
+    if (budget_ > 0) --budget_;
+    *response = handler_->Handle(request);
+    return true;
+  }
+  void set_budget(int budget) { budget_ = budget; }  // -1 = unlimited
+
+ private:
+  rpc::Handler* handler_;
+  int budget_ = -1;
+};
+
+// A bootstrap standby was MID-SNAPSHOT-TRANSFER when the active died.
+// The successor coordinator re-encodes the same corpus version into a
+// bit-identical image (deterministic fold => deterministic encode), so
+// the standby's next_chunk resume machinery continues the transfer where
+// the dead active stopped — every chunk crosses the wire exactly once
+// across both coordinator lifetimes — and the standby then promotes.
+TEST(StandbyCoordinatorTest, MidTransferStandbyResumesAcrossActiveDeath) {
+  const int n = 40;
+  Rng rng(61);
+  const Dataset data = MakeUniformSynthetic(n, rng);
+  Dataset replica = data;
+  ShardNode node(replica.weights, std::move(replica.metric), 0.3);
+  InProcessTransport node_transport(&node);
+
+  StandbyCoordinator standby;  // empty bootstrap standby
+  EXPECT_TRUE(standby.awaiting_bootstrap());
+  BudgetedTransport standby_transport(&standby);
+
+  Coordinator::Options options;
+  options.snapshot_chunk_bytes = 512;
+  DiversificationEngine::Options engine_options;
+  engine_options.num_workers = 1;
+  Dataset mine = data;
+  DiversificationEngine engine(mine.weights, std::move(mine.metric), 0.3,
+                               engine_options);
+  const std::vector<CorpusUpdate> updates =
+      engine::MakeSyntheticEpoch(n, /*churn=*/false, 0, rng);
+  const std::uint32_t num_chunks = static_cast<std::uint32_t>(
+      (snapshot::EncodedSnapshotBytes(n) + 511) / 512);
+  ASSERT_GT(num_chunks, 5u);
+
+  {
+    Coordinator active({&node_transport}, {&standby_transport}, options);
+    active.PublishEpoch(engine.ApplyUpdates(updates), updates);
+    active.CompactLog(*engine.corpus().snapshot());
+    EXPECT_EQ(active.retained_snapshot_version(), 1u);
+    // Budget: 1 refused epoch batch + the offer + 3 chunks, then the
+    // wire dies mid-transfer...
+    standby_transport.set_budget(5);
+    const int mirror = active.num_nodes();  // first mirror index
+    EXPECT_FALSE(active.sync().CatchUpTarget(mirror, 0, 1));
+    EXPECT_EQ(standby.node().stats().snapshot_chunks, 3);
+    EXPECT_TRUE(standby.awaiting_bootstrap());
+    // ...and the active dies with the transfer incomplete.
+  }
+
+  // Successor active (fresh empty log — a restarted process). Its first
+  // CompactLog re-encodes the SAME corpus version: bit-identical bytes,
+  // so the standby's pending transfer resumes at chunk 3.
+  standby_transport.set_budget(-1);
+  Coordinator successor({&node_transport}, {&standby_transport}, options);
+  successor.CompactLog(*engine.corpus().snapshot());
+  ASSERT_TRUE(successor.sync().CatchUpTarget(successor.num_nodes(), 0, 1));
+  EXPECT_FALSE(standby.awaiting_bootstrap());
+  EXPECT_EQ(standby.version(), 1u);
+  const ShardNode::Stats standby_stats = standby.node().stats();
+  EXPECT_EQ(standby_stats.snapshots_installed, 1);
+  // Exactly once per chunk, across BOTH coordinators.
+  EXPECT_EQ(standby_stats.snapshot_chunks,
+            static_cast<long long>(num_chunks));
+  EXPECT_EQ(successor.stats().snapshot_chunks_sent,
+            static_cast<long long>(num_chunks - 3));
+  // The standby's mirror log adopted the image (log_start jumped to 1).
+  EXPECT_EQ(standby.log().retained_version(), 1u);
+  EXPECT_EQ(standby.log().log_start(), 1u);
+
+  // The bootstrapped standby is promotable and serves bit-equal.
+  std::unique_ptr<Coordinator> promoted = standby.Promote({&node_transport});
+  DiversificationEngine::Options takeover_options;
+  takeover_options.remote = promoted.get();
+  takeover_options.num_workers = 1;
+  DiversificationEngine takeover(standby.state(), takeover_options);
+  EXPECT_EQ(takeover.corpus().version(), 1u);
+  Rng qrng(62);
+  ExpectBitEqual(takeover, MakeQuery(n, 7, 4, qrng.NextSeed(), qrng));
+  EXPECT_GT(promoted->stats().remote_shards, 0);
+}
+
+// A standby restarted from its own checkpoint (mid-history CorpusState
+// constructor) must seed its mirror log AT the restored version — left
+// at log_start 0, the unfillable slots below would pin
+// published_version at 0 and make the standby unpromotable.
+TEST(StandbyCoordinatorTest, CheckpointRestartedStandbyIsPromotable) {
+  const int n = 40;
+  FailoverCluster cluster = MakeFailoverCluster(n, 1, 81, 0.3);
+  Rng rng(82);
+  for (int e = 0; e < 2; ++e) {
+    cluster.ApplyAndPublish(
+        engine::MakeSyntheticEpoch(n, /*churn=*/false, e, rng));
+  }
+  // The standby process dies and restarts from its mirrored state (what
+  // a checkpoint-restored `shard_node_cli --standby` does).
+  StandbyCoordinator restarted(cluster.standby->state());
+  EXPECT_EQ(restarted.version(), 2u);
+  EXPECT_EQ(restarted.log().log_start(), 2u);
+  EXPECT_EQ(restarted.log().published_version(), 2u);
+  // The restored fold doubles as its bootstrap image.
+  EXPECT_EQ(restarted.log().retained_version(), 2u);
+  cluster.standby_transport->set_node(&restarted);
+
+  // Mirroring resumes mid-history...
+  cluster.ApplyAndPublish(
+      engine::MakeSyntheticEpoch(n, /*churn=*/false, 2, rng));
+  EXPECT_EQ(restarted.version(), 3u);
+  EXPECT_EQ(restarted.log().published_version(), 3u);
+
+  // ...and the restarted standby is promotable and bit-equal.
+  cluster.KillActive();
+  std::unique_ptr<Coordinator> promoted =
+      restarted.Promote(cluster.node_transports());
+  DiversificationEngine::Options engine_options;
+  engine_options.remote = promoted.get();
+  engine_options.num_workers = 1;
+  DiversificationEngine takeover(restarted.state(), engine_options);
+  Rng qrng(83);
+  ExpectBitEqual(takeover, MakeQuery(n, 7, 4, qrng.NextSeed(), qrng));
+  EXPECT_GT(promoted->stats().remote_shards, 0);
+}
+
+// A STALE standby (down when the active published its last epoch) must
+// not silently interleave histories after promotion: the node that is
+// ahead of the mirrored fold is quarantined — queries fall back locally,
+// still bit-equal — until a newer bootstrap image replaces its replica
+// wholesale, after which it rejoins remote serving.
+TEST(StandbyCoordinatorTest, StaleStandbyQuarantinesDivergedNodeUntilReimaged) {
+  const int n = 40;
+  FailoverCluster cluster = MakeFailoverCluster(n, 1, 71, 0.3);
+  Rng rng(72);
+  cluster.ApplyAndPublish(
+      engine::MakeSyntheticEpoch(n, /*churn=*/false, 0, rng));
+  EXPECT_EQ(cluster.standby->version(), 1u);
+  // The standby dies off the air; the active publishes one more epoch
+  // that only the node sees, then the active dies too.
+  cluster.standby_transport->set_down(true);
+  cluster.ApplyAndPublish(
+      engine::MakeSyntheticEpoch(n, /*churn=*/false, 1, rng));
+  EXPECT_EQ(cluster.nodes[0]->version(), 2u);
+  EXPECT_EQ(cluster.standby->version(), 1u);
+  cluster.KillActive();
+  cluster.standby_transport->set_down(false);
+
+  // Promotion probes the node, finds it AHEAD of the fold (2 > 1), and
+  // quarantines it.
+  std::unique_ptr<Coordinator> promoted =
+      cluster.standby->Promote(cluster.node_transports());
+  DiversificationEngine::Options engine_options;
+  engine_options.remote = promoted.get();
+  engine_options.num_workers = 1;
+  DiversificationEngine takeover(cluster.standby->state(), engine_options);
+  EXPECT_EQ(takeover.corpus().version(), 1u);
+
+  // Queries at version 1 cannot use the diverged node (its "version 1"
+  // history matches, but epoch replay to ANY later version would fork);
+  // the local fallback keeps answers bit-equal.
+  Rng qrng(73);
+  ExpectBitEqual(takeover, MakeQuery(n, 7, 4, qrng.NextSeed(), qrng));
+  EXPECT_GT(promoted->stats().local_fallbacks, 0);
+  EXPECT_EQ(promoted->stats().remote_shards, 0);
+
+  // The new lineage moves on: two fresh epochs (DIFFERENT from the dead
+  // active's epoch 2) and a compaction that retains an image at 3 —
+  // newer than the diverged node's 2, so the re-image can land.
+  for (int e = 0; e < 2; ++e) {
+    const std::vector<CorpusUpdate> updates =
+        engine::MakeSyntheticEpoch(n, /*churn=*/false, 10 + e, rng);
+    promoted->PublishEpoch(takeover.ApplyUpdates(updates), updates);
+  }
+  promoted->CompactLog(*takeover.corpus().snapshot());
+  EXPECT_EQ(promoted->retained_snapshot_version(), 3u);
+
+  // The next query re-images the node wholesale and serves remotely.
+  ExpectBitEqual(takeover, MakeQuery(n, 7, 4, qrng.NextSeed(), qrng));
+  EXPECT_EQ(cluster.nodes[0]->version(), 3u);
+  EXPECT_EQ(cluster.nodes[0]->stats().snapshots_installed, 1);
+  const Coordinator::Stats stats = promoted->stats();
+  EXPECT_GT(stats.snapshots_sent, 0);
+  EXPECT_GT(stats.remote_shards, 0);
+  // The replaced replica is the new lineage's fold: version 3 content
+  // equals the takeover corpus exactly.
+  EXPECT_EQ(snapshot::EncodeState(
+                cluster.nodes[0]->replica().snapshot()->State()),
+            snapshot::EncodeSnapshot(*takeover.corpus().snapshot()));
+}
+
+}  // namespace
+}  // namespace replication
+}  // namespace diverse

@@ -320,6 +320,51 @@ TEST(RpcWireTest, SnapshotMessagesTruncationAndGarbageRejected) {
   EXPECT_FALSE(Decode(bad_status, &decoded_ack));
 }
 
+AckedTableSync RandomAckedTable(Rng& rng) {
+  AckedTableSync table;
+  table.acked.resize(rng.UniformInt(0, 16));
+  for (std::uint64_t& version : table.acked) version = rng.NextSeed();
+  return table;
+}
+
+TEST(RpcWireTest, AckedTableSyncRoundTrip) {
+  Rng rng(23);
+  for (int iter = 0; iter < 100; ++iter) {
+    const AckedTableSync original = RandomAckedTable(rng);
+    const std::vector<std::uint8_t> payload = Encode(original);
+    EXPECT_EQ(PeekType(payload), MessageType::kAckedTableSync);
+    AckedTableSync decoded;
+    ASSERT_TRUE(Decode(payload, &decoded));
+    EXPECT_EQ(decoded.acked, original.acked);
+  }
+}
+
+TEST(RpcWireTest, AckedTableSyncTruncationAndGarbageRejected) {
+  Rng rng(24);
+  AckedTableSync table = RandomAckedTable(rng);
+  table.acked.push_back(7);  // never empty, so truncation bites the body
+  const std::vector<std::uint8_t> payload = Encode(table);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    AckedTableSync decoded;
+    EXPECT_FALSE(Decode(std::span(payload.data(), len), &decoded))
+        << "prefix length " << len;
+  }
+  std::vector<std::uint8_t> trailing = payload;
+  trailing.push_back(0);
+  AckedTableSync decoded;
+  EXPECT_FALSE(Decode(trailing, &decoded));
+  // Cross-type confusion, and an inflated count that exceeds the
+  // remaining bytes.
+  UpdateAck ack;
+  EXPECT_FALSE(Decode(payload, &ack));
+  std::vector<std::uint8_t> bad_count = payload;
+  bad_count[3] = 0xff;
+  bad_count[4] = 0xff;
+  bad_count[5] = 0xff;
+  bad_count[6] = 0x7f;
+  EXPECT_FALSE(Decode(bad_count, &decoded));
+}
+
 // A corrupt element/relevance count larger than the remaining bytes must
 // fail fast instead of allocating or over-reading.
 TEST(RpcWireTest, OversizedCountsRejected) {

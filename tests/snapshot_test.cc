@@ -325,6 +325,140 @@ TEST(CheckpointStoreTest, CorruptLatestFallsBackToOlder) {
   EXPECT_EQ(loaded->version, 0u);
 }
 
+// ---- Delta checkpoints -----------------------------------------------------
+
+TEST(SnapshotCodecTest, DeltaRoundTripAndTotality) {
+  Rng rng(71);
+  Corpus corpus = MakeCorpus(20, 73);
+  std::vector<std::vector<CorpusUpdate>> epochs;
+  for (int e = 0; e < 4; ++e) {
+    epochs.push_back(engine::MakeSyntheticEpoch(
+        corpus.snapshot()->universe_size(), /*churn=*/true, e, rng));
+    corpus.Apply(epochs.back());
+  }
+  const std::vector<std::uint8_t> delta = EncodeDelta(0, epochs);
+  std::uint64_t from = 99;
+  std::vector<std::vector<CorpusUpdate>> decoded;
+  ASSERT_TRUE(DecodeDelta(delta, &from, &decoded));
+  EXPECT_EQ(from, 0u);
+  ASSERT_EQ(decoded.size(), epochs.size());
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    ASSERT_EQ(decoded[i].size(), epochs[i].size());
+    for (std::size_t j = 0; j < epochs[i].size(); ++j) {
+      EXPECT_EQ(decoded[i][j].kind, epochs[i][j].kind);
+      EXPECT_EQ(decoded[i][j].u, epochs[i][j].u);
+      EXPECT_EQ(decoded[i][j].value, epochs[i][j].value);
+      EXPECT_EQ(decoded[i][j].distances, epochs[i][j].distances);
+    }
+  }
+  // Totality: every strict prefix and every single-byte corruption is
+  // rejected (the CRC trailer covers header and body alike).
+  for (std::size_t len = 0; len < delta.size(); ++len) {
+    EXPECT_FALSE(DecodeDelta(std::span(delta.data(), len), &from, &decoded));
+  }
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    std::vector<std::uint8_t> corrupt = delta;
+    corrupt[i] ^= 0x01;
+    EXPECT_FALSE(DecodeDelta(corrupt, &from, &decoded)) << "byte " << i;
+  }
+}
+
+// The double-encode fix: epoch checkpoints chain O(epoch) delta files
+// onto the last full image, and LoadLatest folds them back into exactly
+// the state a full checkpoint would have held.
+TEST(CheckpointStoreTest, DeltaChainFoldsToLiveState) {
+  const std::string dir = TestDir("ckpt_delta");
+  CheckpointStore store(dir);
+  Rng rng(77);
+  Corpus corpus = MakeCorpus(12, 79);
+  ASSERT_TRUE(store.Save(*corpus.snapshot()));  // full image at version 0
+  for (int e = 0; e < 5; ++e) {
+    const std::uint64_t from = corpus.snapshot()->version();
+    std::vector<std::vector<CorpusUpdate>> epochs;
+    epochs.push_back(engine::MakeSyntheticEpoch(
+        corpus.snapshot()->universe_size(), /*churn=*/true, e, rng));
+    corpus.Apply(epochs.back());
+    ASSERT_TRUE(store.SaveDelta(from, from + 1, epochs));
+  }
+  // Only the version-0 full image exists; everything since is deltas.
+  EXPECT_EQ(store.ListVersions(), (std::vector<std::uint64_t>{0}));
+  std::optional<CorpusState> loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->version, 5u);
+  ExpectStateMatches(*corpus.snapshot(), *loaded);
+
+  // A later full save subsumes the chain and prunes the delta files.
+  ASSERT_TRUE(store.Save(*corpus.snapshot()));
+  int deltas = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".delta") ++deltas;
+  }
+  EXPECT_EQ(deltas, 0);
+}
+
+TEST(CheckpointStoreTest, DeltaRefusesWhenItCannotChain) {
+  const std::string dir = TestDir("ckpt_delta_chain");
+  Corpus corpus = MakeCorpus(8, 83);
+  std::vector<std::vector<CorpusUpdate>> epoch{
+      {CorpusUpdate::SetWeight(0, 0.5)}};
+  {
+    CheckpointStore store(dir);
+    // Nothing saved yet this process: no base to chain from.
+    EXPECT_FALSE(store.SaveDelta(0, 1, epoch));
+    ASSERT_TRUE(store.Save(*corpus.snapshot()));
+    // Gap: the chain extends version 0, not 3.
+    EXPECT_FALSE(store.SaveDelta(3, 4, epoch));
+    EXPECT_TRUE(store.SaveDelta(0, 1, epoch));
+  }
+  {
+    // A fresh process must not chain onto files it has not verified
+    // writing — the first save is always a full image.
+    CheckpointStore restarted(dir);
+    EXPECT_FALSE(restarted.SaveDelta(1, 2, epoch));
+  }
+  {
+    // max_delta_chain bounds the replay a cold start can be asked to do.
+    CheckpointStore::Options options;
+    options.max_delta_chain = 2;
+    CheckpointStore bounded(TestDir("ckpt_delta_cap"), options);
+    ASSERT_TRUE(bounded.Save(*corpus.snapshot()));
+    EXPECT_TRUE(bounded.SaveDelta(0, 1, epoch));
+    EXPECT_TRUE(bounded.SaveDelta(1, 2, epoch));
+    EXPECT_FALSE(bounded.SaveDelta(2, 3, epoch));
+  }
+}
+
+// A corrupt delta ends the fold at the last good link — an older but
+// valid state — instead of failing the cold start or folding garbage.
+TEST(CheckpointStoreTest, CorruptDeltaEndsFoldAtLastGoodLink) {
+  const std::string dir = TestDir("ckpt_delta_corrupt");
+  CheckpointStore store(dir);
+  Rng rng(89);
+  Corpus corpus = MakeCorpus(10, 97);
+  ASSERT_TRUE(store.Save(*corpus.snapshot()));
+  std::vector<CorpusState> states;
+  for (int e = 0; e < 3; ++e) {
+    const std::uint64_t from = corpus.snapshot()->version();
+    std::vector<std::vector<CorpusUpdate>> epochs;
+    epochs.push_back(engine::MakeSyntheticEpoch(
+        corpus.snapshot()->universe_size(), /*churn=*/false, e, rng));
+    corpus.Apply(epochs.back());
+    states.push_back(corpus.snapshot()->State());
+    ASSERT_TRUE(store.SaveDelta(from, from + 1, epochs));
+  }
+  // Truncate the middle link (0->1 stays good, 1->2 dies, 2->3 orphaned).
+  const fs::path middle =
+      fs::path(dir) / ("delta-00000000000000000001-"
+                       "00000000000000000002.delta");
+  ASSERT_TRUE(fs::exists(middle));
+  fs::resize_file(middle, fs::file_size(middle) / 2);
+
+  std::optional<CorpusState> loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->version, 1u);
+  EXPECT_EQ(EncodeState(*loaded), EncodeState(states[0]));
+}
+
 }  // namespace
 }  // namespace snapshot
 }  // namespace diverse

@@ -74,6 +74,9 @@ LOWER_IS_BETTER = {
     "rpc_overhead_x",
     "replay_seconds",
     "cold_load_seconds",
+    # Absolute promotion latency: advisory (machine-dependent), never in
+    # --gate-fields; BENCH_failover's gated field is bit_equal.
+    "promote_ms",
 }
 
 

@@ -15,6 +15,17 @@
 // with the in-process sharded plan on the same snapshot and fails unless
 // the two are bit-equal — the end-to-end check CI runs over loopback.
 //
+// Failover (src/replication): --standby=host:port names a standby
+// coordinator (`shard_node_cli --standby`) that every epoch and the
+// acked table are mirrored to BEFORE the shard nodes — its fold of the
+// stream is the promotable state. After the active dies, a new
+// `engine_server_cli --promote --checkpoint_dir=<standby's dir>` takes
+// over: it cold-starts from the standby's mirrored checkpoint, retains a
+// bootstrap image at that version immediately (CompactLog), and resumes
+// publishing — replicas the dead active left behind catch up by epoch
+// replay or snapshot transfer, and answers stay bit-equal because corpus
+// state is a deterministic fold of the epoch stream.
+//
 // Durability (src/snapshot): --checkpoint_dir cold-starts the engine from
 // the newest loadable checkpoint (falling back to --input/--generate) and
 // persists one every --checkpoint_every update epochs plus a final one at
@@ -49,6 +60,7 @@
 #include "rpc/coordinator.h"
 #include "rpc/socket_transport.h"
 #include "snapshot/checkpoint_store.h"
+#include "snapshot/snapshot_codec.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -57,39 +69,23 @@
 namespace diverse {
 namespace {
 
-// "host:port,host:port" -> SocketTransports; empty on parse failure.
-std::vector<std::unique_ptr<rpc::SocketTransport>> ParseNodes(
-    const std::string& nodes) {
+std::vector<std::unique_ptr<rpc::SocketTransport>> MakeTransports(
+    const std::vector<rpc::Endpoint>& endpoints) {
   std::vector<std::unique_ptr<rpc::SocketTransport>> transports;
-  std::size_t start = 0;
-  while (start <= nodes.size()) {
-    std::size_t comma = nodes.find(',', start);
-    if (comma == std::string::npos) comma = nodes.size();
-    const std::string entry = nodes.substr(start, comma - start);
-    const std::size_t colon = entry.rfind(':');
-    if (colon == std::string::npos || colon == 0 ||
-        colon + 1 >= entry.size()) {
-      return {};
-    }
-    int port = 0;
-    for (char c : entry.substr(colon + 1)) {
-      if (c < '0' || c > '9') return {};
-      port = port * 10 + (c - '0');
-      if (port > 65535) return {};  // bound before the next *10 overflows
-    }
-    if (port <= 0) return {};
+  transports.reserve(endpoints.size());
+  for (const rpc::Endpoint& endpoint : endpoints) {
     transports.push_back(std::make_unique<rpc::SocketTransport>(
-        entry.substr(0, colon), port));
-    start = comma + 1;
+        endpoint.host, endpoint.port));
   }
   return transports;
 }
 
 int RunServer(const std::string& input, int generate, int queries, int p,
               double lambda, const std::string& plan,
-              const std::string& nodes, int shards, int per_shard,
-              int workers, int batch, int update_every, bool churn,
-              bool sync, bool verify, const std::string& checkpoint_dir,
+              const std::string& nodes, const std::string& standby,
+              bool promote, int shards, int per_shard, int workers,
+              int batch, int update_every, bool churn, bool sync,
+              bool verify, const std::string& checkpoint_dir,
               int checkpoint_every, int compact_every, std::uint64_t seed) {
   Rng rng(seed);
   std::unique_ptr<snapshot::CheckpointStore> store;
@@ -133,18 +129,87 @@ int RunServer(const std::string& input, int generate, int queries, int p,
     std::cerr << "error: --verify requires --plan=remote\n";
     return 1;
   }
+  if (promote && !remote) {
+    std::cerr << "error: --promote requires --plan=remote\n";
+    return 1;
+  }
+  if (promote && !restored) {
+    std::cerr << "error: --promote needs --checkpoint_dir pointing at the "
+                 "standby's mirrored checkpoints\n";
+    return 1;
+  }
   std::vector<std::unique_ptr<rpc::SocketTransport>> transports;
+  std::vector<std::unique_ptr<rpc::SocketTransport>> mirror_transports;
   std::unique_ptr<rpc::Coordinator> coordinator;
   if (remote) {
-    transports = ParseNodes(nodes);
-    if (transports.empty()) {
-      std::cerr << "error: --plan=remote needs --nodes=host:port[,...]\n";
+    std::string parse_error;
+    std::vector<rpc::Endpoint> node_endpoints;
+    if (nodes.empty() ||
+        !rpc::ParseEndpoints(nodes, &node_endpoints, &parse_error)) {
+      std::cerr << "error: --plan=remote needs --nodes=host:port[,...]"
+                << (parse_error.empty() ? "" : ": " + parse_error) << "\n";
       return 1;
     }
+    std::vector<rpc::Endpoint> standby_endpoints;
+    if (!standby.empty()) {
+      if (!rpc::ParseEndpoints(standby, &standby_endpoints, &parse_error)) {
+        std::cerr << "error: bad --standby list: " << parse_error << "\n";
+        return 1;
+      }
+      // Self-addressing guard: a standby that is also a shard node would
+      // receive shard queries AND doubled sync traffic — undefined
+      // fan-out. Reject it instead.
+      for (const rpc::Endpoint& endpoint : standby_endpoints) {
+        for (const rpc::Endpoint& node : node_endpoints) {
+          if (endpoint == node) {
+            std::cerr << "error: --standby endpoint " << endpoint.host << ":"
+                      << endpoint.port
+                      << " also appears in --nodes; a standby cannot be "
+                         "one of its own shard nodes\n";
+            return 1;
+          }
+        }
+      }
+    }
+    transports = MakeTransports(node_endpoints);
+    mirror_transports = MakeTransports(standby_endpoints);
     std::vector<rpc::Transport*> raw;
     raw.reserve(transports.size());
     for (const auto& t : transports) raw.push_back(t.get());
-    coordinator = std::make_unique<rpc::Coordinator>(std::move(raw));
+    std::vector<rpc::Transport*> mirrors;
+    mirrors.reserve(mirror_transports.size());
+    for (const auto& t : mirror_transports) mirrors.push_back(t.get());
+    if (promote) {
+      // Same takeover handling as the in-process Promote(). The log is
+      // seeded AT the restored version by adopting the restored state
+      // as its bootstrap image — started at 0, the unfillable slots
+      // below would pin published_version (and so every compaction) at
+      // 0 forever — and every node is probed: one AHEAD of the mirrored
+      // state holds epochs of the dead active's lineage that the
+      // standby never saw, and is quarantined (bit-equal local
+      // fallback) until a newer image replaces it wholesale
+      // (--compact_every keeps such images coming).
+      const std::uint64_t mirrored_version = restored->version;
+      auto log = std::make_shared<replication::ReplicationLog>();
+      log->AdoptImage(mirrored_version,
+                      std::make_shared<const std::vector<std::uint8_t>>(
+                          snapshot::EncodeState(*restored)));
+      std::vector<replication::ReplicaSeed> seeds =
+          replication::BuildPromotionSeeds(raw, mirrored_version, {});
+      for (std::size_t i = 0; i < seeds.size(); ++i) {
+        if (!seeds[i].needs_reimage) continue;
+        std::cerr << "warning: node " << node_endpoints[i].host << ":"
+                  << node_endpoints[i].port << " is at version "
+                  << seeds[i].acked << ", ahead of the mirrored state ("
+                  << mirrored_version << "); quarantined until re-imaged\n";
+      }
+      coordinator = std::make_unique<rpc::Coordinator>(
+          std::move(log), std::move(seeds), std::move(raw),
+          std::move(mirrors), rpc::Coordinator::Options());
+    } else {
+      coordinator = std::make_unique<rpc::Coordinator>(
+          std::move(raw), std::move(mirrors), rpc::Coordinator::Options());
+    }
   }
   engine::DiversificationEngine::Options options;
   options.num_workers = workers;
@@ -159,6 +224,13 @@ int RunServer(const std::string& input, int generate, int queries, int p,
   engine::DiversificationEngine& server = *server_owner;
   const int n = server.corpus().snapshot()->universe_size();
   p = std::min(p, n);
+  if (promote) {
+    std::cout << "promoted: resuming from standby checkpoint version "
+              << server.corpus().version()
+              << " (bootstrap image retained at version "
+              << coordinator->retained_snapshot_version() << ")"
+              << std::endl;
+  }
 
   // Pre-generate the trace so request construction stays off the clock.
   engine::SyntheticQueryConfig query_config;
@@ -295,7 +367,9 @@ int RunServer(const std::string& input, int generate, int queries, int p,
               << rpc_stats.snapshot_chunks_sent << " chunks)\n"
               << "log compactions: " << rpc_stats.compactions
               << " (log starts at version " << coordinator->log_start()
-              << ")\n";
+              << ")\n"
+              << "acked syncs:     " << rpc_stats.acked_syncs_sent
+              << " (to standby mirrors)\n";
   }
   if (verify) {
     std::cout << "verified:        " << verified
@@ -315,6 +389,8 @@ int main(int argc, char** argv) {
   double lambda = 0.2;
   std::string plan = "single";
   std::string nodes;
+  std::string standby;
+  bool promote = false;
   int shards = 4;
   int per_shard = 0;
   int workers = 0;
@@ -341,6 +417,14 @@ int main(int argc, char** argv) {
   flags.AddString("nodes", &nodes,
                   "shard nodes as host:port[,host:port...] for "
                   "--plan=remote");
+  flags.AddString("standby", &standby,
+                  "standby coordinators (shard_node_cli --standby) as "
+                  "host:port[,...]; every epoch + the acked table are "
+                  "mirrored to them before the shard nodes");
+  flags.AddBool("promote", &promote,
+                "take over from a dead active: cold-start from the "
+                "standby's mirrored --checkpoint_dir, retain a bootstrap "
+                "image immediately, and resume publishing");
   flags.AddInt("shards", &shards,
                "shard count for --plan=sharded|remote");
   flags.AddInt("per_shard", &per_shard,
@@ -368,8 +452,8 @@ int main(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "random seed");
   if (!flags.Parse(argc, argv)) return 1;
   return diverse::RunServer(input, generate, queries, p, lambda, plan, nodes,
-                            shards, per_shard, workers, batch, update_every,
-                            churn, sync, verify, checkpoint_dir,
-                            checkpoint_every, compact_every,
+                            standby, promote, shards, per_shard, workers,
+                            batch, update_every, churn, sync, verify,
+                            checkpoint_dir, checkpoint_every, compact_every,
                             static_cast<std::uint64_t>(seed));
 }

@@ -1,9 +1,11 @@
-// shard_node_cli — one cross-node RPC shard worker.
+// shard_node_cli — one cross-node RPC shard worker, or a standby
+// coordinator mirror.
 //
-// Stands up a ShardNode (full corpus replica) behind a SocketServer and
-// serves coordinator traffic — per-shard Greedy B kernel queries,
-// CorpusUpdateBatch replica-sync epochs, and snapshot bootstrap transfers
-// — until killed. The replica baseline comes from, in priority order:
+// Default mode stands up a ShardNode (full corpus replica) behind a
+// SocketServer and serves coordinator traffic — per-shard Greedy B kernel
+// queries, CorpusUpdateBatch replica-sync epochs, and snapshot bootstrap
+// transfers — until killed. The replica baseline comes from, in priority
+// order:
 //
 //   1. --checkpoint_dir with a loadable checkpoint: cold start at the
 //      checkpoint's version (the durability path — a restarted node
@@ -14,16 +16,27 @@
 //      kVersionMismatch until the coordinator streams it a full snapshot.
 //
 // With --checkpoint_dir the node also persists its replica every
-// --checkpoint_every applied epochs and after every snapshot install.
+// --checkpoint_every applied epochs (as cheap epoch-delta files chained
+// onto the last full image) and after every snapshot install.
+//
+// --standby serves a replication::StandbyCoordinator instead: the same
+// baseline rules apply, but the process additionally mirrors the active
+// coordinator's epoch log and acked table (pair it with the active's
+// `engine_server_cli --standby=host:port`). Run it with --checkpoint_dir
+// and --checkpoint_every=1 so the mirrored fold is durable — after the
+// active dies, `engine_server_cli --promote --checkpoint_dir=<that dir>`
+// takes over from the mirrored state.
 //
 // Pairs with `engine_server_cli --plan=remote --nodes=...`:
 //
 //   shard_node_cli --generate=400 --seed=7 --port=7411
 //       --checkpoint_dir=/tmp/node1 &
 //   shard_node_cli --bootstrap --port=7412 &
+//   shard_node_cli --standby --generate=400 --seed=7 --port=7413
+//       --checkpoint_dir=/tmp/standby --checkpoint_every=1 &
 //   engine_server_cli --generate=400 --seed=7 --plan=remote
-//       --nodes=127.0.0.1:7411,127.0.0.1:7412 --queries=50
-//       --update_every=5 --compact_every=10 --verify
+//       --nodes=127.0.0.1:7411,127.0.0.1:7412 --standby=127.0.0.1:7413
+//       --queries=50 --update_every=5 --compact_every=10 --verify
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -32,6 +45,7 @@
 
 #include "data/csv_io.h"
 #include "data/synthetic.h"
+#include "replication/standby_coordinator.h"
 #include "rpc/shard_node.h"
 #include "rpc/socket_transport.h"
 #include "snapshot/checkpoint_store.h"
@@ -43,44 +57,39 @@ namespace {
 
 int RunNode(const std::string& input, int generate, double lambda, int port,
             const std::string& checkpoint_dir, int checkpoint_every,
-            bool bootstrap, std::uint64_t seed) {
+            bool bootstrap, bool standby, std::uint64_t seed) {
   std::unique_ptr<snapshot::CheckpointStore> store;
-  rpc::ShardNode::Options options;
   if (!checkpoint_dir.empty()) {
     store = std::make_unique<snapshot::CheckpointStore>(checkpoint_dir);
-    options.checkpoint = store.get();
-    options.checkpoint_every = checkpoint_every;
   }
 
-  std::unique_ptr<rpc::ShardNode> node;
+  // Resolve the replica baseline: checkpoint > CSV > synthetic > empty.
+  std::optional<engine::CorpusState> state;
+  std::optional<Dataset> data;
   std::string origin;
   if (store != nullptr) {
     // Durability first: a checkpoint, when present, outranks the seed
     // flags — it is the replica's own later state.
-    std::optional<engine::CorpusState> state = store->LoadLatest();
+    state = store->LoadLatest();
     if (state) {
       origin = "checkpoint version " + std::to_string(state->version);
-      node = std::make_unique<rpc::ShardNode>(std::move(*state), options);
     }
   }
-  if (node == nullptr && !input.empty()) {
+  if (!state && !input.empty()) {
     auto loaded = LoadDatasetCsv(input);
     if (!loaded) {
       std::cerr << "error: cannot load dataset from '" << input << "'\n";
       return 1;
     }
     origin = "csv baseline (version 0)";
-    node = std::make_unique<rpc::ShardNode>(
-        loaded->weights, std::move(loaded->metric), lambda, options);
+    data = std::move(*loaded);
   }
-  if (node == nullptr && !bootstrap && generate > 0) {
+  if (!state && !data && !bootstrap && generate > 0) {
     Rng rng(seed);
-    Dataset data = MakeUniformSynthetic(generate, rng);
     origin = "synthetic baseline (version 0)";
-    node = std::make_unique<rpc::ShardNode>(
-        data.weights, std::move(data.metric), lambda, options);
+    data = MakeUniformSynthetic(generate, rng);
   }
-  if (node == nullptr) {
+  if (!state && !data) {
     if (!bootstrap && checkpoint_dir.empty()) {
       std::cerr << "error: provide --input=FILE, --generate=N, "
                    "--checkpoint_dir=DIR, or --bootstrap\n";
@@ -88,16 +97,52 @@ int RunNode(const std::string& input, int generate, double lambda, int port,
     }
     // Empty replica: wait for the coordinator's snapshot transfer.
     origin = "bootstrap (awaiting snapshot)";
-    node = std::make_unique<rpc::ShardNode>(options);
   }
 
-  rpc::SocketServer server(node.get(), port);
-  std::cout << "shard node listening on port " << server.port() << " ("
-            << origin << ", corpus n="
-            << node->replica().snapshot()->universe_size() << ", version "
-            << node->version() << ")" << std::endl;
+  std::unique_ptr<rpc::ShardNode> node;
+  std::unique_ptr<replication::StandbyCoordinator> standby_node;
+  rpc::Handler* handler;
+  const rpc::ShardNode* stats_node;
+  if (standby) {
+    replication::StandbyCoordinator::Options options;
+    options.checkpoint = store.get();
+    options.checkpoint_every = checkpoint_every;
+    if (state) {
+      standby_node = std::make_unique<replication::StandbyCoordinator>(
+          std::move(*state), options);
+    } else if (data) {
+      standby_node = std::make_unique<replication::StandbyCoordinator>(
+          data->weights, std::move(data->metric), lambda, options);
+    } else {
+      standby_node =
+          std::make_unique<replication::StandbyCoordinator>(options);
+    }
+    handler = standby_node.get();
+    stats_node = &standby_node->node();
+  } else {
+    rpc::ShardNode::Options options;
+    options.checkpoint = store.get();
+    options.checkpoint_every = checkpoint_every;
+    if (state) {
+      node = std::make_unique<rpc::ShardNode>(std::move(*state), options);
+    } else if (data) {
+      node = std::make_unique<rpc::ShardNode>(
+          data->weights, std::move(data->metric), lambda, options);
+    } else {
+      node = std::make_unique<rpc::ShardNode>(options);
+    }
+    handler = node.get();
+    stats_node = node.get();
+  }
+
+  rpc::SocketServer server(handler, port);
+  std::cout << (standby ? "standby coordinator" : "shard node")
+            << " listening on port " << server.port() << " (" << origin
+            << ", corpus n="
+            << stats_node->replica().snapshot()->universe_size()
+            << ", version " << stats_node->version() << ")" << std::endl;
   server.Serve();
-  const rpc::ShardNode::Stats stats = node->stats();
+  const rpc::ShardNode::Stats stats = stats_node->stats();
   std::cout << "served queries:      " << stats.queries << "\n"
             << "epochs applied:      " << stats.epochs_applied << "\n"
             << "version mismatches:  " << stats.version_mismatches << "\n"
@@ -105,6 +150,12 @@ int RunNode(const std::string& input, int generate, double lambda, int port,
             << "snapshot chunks:     " << stats.snapshot_chunks << "\n"
             << "snapshots installed: " << stats.snapshots_installed << "\n"
             << "checkpoints saved:   " << stats.checkpoints_saved << "\n";
+  if (standby) {
+    std::cout << "mirrored version:    " << standby_node->version() << "\n"
+              << "mirrored log:        ["
+              << standby_node->log().log_start() << ", "
+              << standby_node->log().published_version() << ")\n";
+  }
   return 0;
 }
 
@@ -119,10 +170,12 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   int checkpoint_every = 16;
   bool bootstrap = false;
+  bool standby = false;
   std::int64_t seed = 1;
   diverse::FlagSet flags(
       "shard_node_cli — serve one RPC shard worker (corpus replica + "
-      "per-shard greedy kernel) over a listening TCP socket");
+      "per-shard greedy kernel) or a standby coordinator mirror over a "
+      "listening TCP socket");
   flags.AddString("input", &input, "dataset CSV to load");
   flags.AddInt("generate", &generate,
                "generate a synthetic corpus of size N (default)");
@@ -133,14 +186,19 @@ int main(int argc, char** argv) {
                   "(a loadable checkpoint outranks --input/--generate)");
   flags.AddInt("checkpoint_every", &checkpoint_every,
                "checkpoint every K applied epochs (<= 0: only on "
-               "snapshot install)");
+               "snapshot install); deltas make K=1 cheap");
   flags.AddBool("bootstrap", &bootstrap,
                 "start with an empty replica and wait for the "
                 "coordinator's snapshot transfer");
+  flags.AddBool("standby", &standby,
+                "serve a standby coordinator mirror instead of a shard "
+                "node (pair with engine_server_cli --standby=...; use "
+                "--checkpoint_dir --checkpoint_every=1 to make the "
+                "mirrored state promotable)");
   flags.AddInt64("seed", &seed,
                  "random seed; must match the coordinator's for --generate");
   if (!flags.Parse(argc, argv)) return 1;
   return diverse::RunNode(input, generate, lambda, port, checkpoint_dir,
-                          checkpoint_every, bootstrap,
+                          checkpoint_every, bootstrap, standby,
                           static_cast<std::uint64_t>(seed));
 }
