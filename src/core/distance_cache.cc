@@ -1,5 +1,7 @@
 #include "core/distance_cache.h"
 
+#include <cstring>
+
 #include "util/check.h"
 
 namespace diverse {
@@ -10,6 +12,13 @@ DistanceCache::DistanceCache(const MetricSpace* base)
 DistanceCache::DistanceCache(const MetricSpace* base, Options options)
     : base_(base), n_(base != nullptr ? base->size() : 0) {
   DIVERSE_CHECK(base != nullptr);
+  if (options.delegate) {
+    backend_ = AsBackend(base);
+    DIVERSE_CHECK_MSG(backend_ != nullptr,
+                      "delegate mode needs a MetricBackend base");
+    dense_ = false;
+    return;
+  }
   dense_ = static_cast<std::size_t>(n_) <= options.dense_threshold;
   if (dense_) {
     MaterializeDense();
@@ -53,6 +62,10 @@ double DistanceCache::Distance(int u, int v) const {
   DIVERSE_DCHECK(0 <= u && u < n_);
   DIVERSE_DCHECK(0 <= v && v < n_);
   lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (backend_ != nullptr) {
+    base_calls_.fetch_add(1, std::memory_order_relaxed);
+    return backend_->Distance(u, v);
+  }
   if (dense_) return matrix_[static_cast<std::size_t>(u) * n_ + v];
   // Serve from whichever endpoint's row is already built before paying for
   // a new row.
@@ -61,8 +74,48 @@ double DistanceCache::Distance(int u, int v) const {
   return LazyRow(u)[v];
 }
 
+void DistanceCache::DistanceRow(int u, std::span<double> row) const {
+  DIVERSE_DCHECK(0 <= u && u < n_);
+  DIVERSE_DCHECK(static_cast<int>(row.size()) == n_);
+  lookups_.fetch_add(n_, std::memory_order_relaxed);
+  if (backend_ != nullptr) {
+    base_calls_.fetch_add(n_, std::memory_order_relaxed);
+    backend_->DistanceRow(u, row);
+    return;
+  }
+  const double* source =
+      dense_ ? matrix_.data() + static_cast<std::size_t>(u) * n_ : LazyRow(u);
+  std::memcpy(row.data(), source, static_cast<std::size_t>(n_) *
+                                      sizeof(double));
+}
+
+void DistanceCache::DistancesTo(int u, std::span<const int> ids,
+                                std::span<double> out) const {
+  DIVERSE_DCHECK(out.size() == ids.size());
+  lookups_.fetch_add(static_cast<long long>(ids.size()),
+                     std::memory_order_relaxed);
+  if (backend_ != nullptr) {
+    base_calls_.fetch_add(static_cast<long long>(ids.size()),
+                          std::memory_order_relaxed);
+    backend_->DistancesTo(u, ids, out);
+    return;
+  }
+  const double* row =
+      dense_ ? matrix_.data() + static_cast<std::size_t>(u) * n_ : LazyRow(u);
+  for (std::size_t i = 0; i < ids.size(); ++i) out[i] = row[ids[i]];
+}
+
+const double* DistanceCache::TryRow(int u) const {
+  DIVERSE_DCHECK(0 <= u && u < n_);
+  if (backend_ != nullptr) return backend_->TryRow(u);
+  if (dense_) return matrix_.data() + static_cast<std::size_t>(u) * n_;
+  if (ready_[u].load(std::memory_order_acquire)) return rows_[u].data();
+  return nullptr;
+}
+
 bool DistanceCache::RowMaterialized(int u) const {
   DIVERSE_CHECK(0 <= u && u < n_);
+  if (backend_ != nullptr) return false;
   if (dense_) return true;
   return ready_[u].load(std::memory_order_acquire);
 }
@@ -70,7 +123,7 @@ bool DistanceCache::RowMaterialized(int u) const {
 void DistanceCache::RefreshOne(int u, int v) {
   DIVERSE_CHECK(0 <= u && u < n_);
   DIVERSE_CHECK(0 <= v && v < n_);
-  if (u == v) return;
+  if (u == v || backend_ != nullptr) return;
   const double d = base_->Distance(u, v);
   base_calls_.fetch_add(1, std::memory_order_relaxed);
   if (dense_) {
@@ -94,7 +147,9 @@ void DistanceCache::RefreshMany(std::span<const std::pair<int, int>> pairs) {
 }
 
 void DistanceCache::Invalidate() {
-  if (dense_) {
+  if (backend_ != nullptr) {
+    // Nothing cached; the version bump still signals derived layers.
+  } else if (dense_) {
     MaterializeDense();
   } else {
     std::lock_guard<std::mutex> lock(materialize_mu_);

@@ -1,9 +1,10 @@
-// Materialized distance cache behind the MetricSpace interface.
+// Materialized distance cache behind the MetricBackend interface.
 //
 // Metric implementations like EuclideanMetric or GraphMetric recompute
 // d(u, v) on every call; the greedy / local-search / dynamic hot loops ask
 // for the same distances thousands of times. DistanceCache wraps any base
-// metric and serves lookups from contiguous storage:
+// metric and serves lookups — scalar and batched (MetricBackend rows) —
+// from contiguous storage:
 //
 //   * dense mode (n <= options.dense_threshold): the full row-major n x n
 //     matrix is materialized eagerly at construction (each unordered pair
@@ -13,6 +14,12 @@
 //     uses. Row materialization is guarded for concurrent readers — the
 //     parallel scans in IncrementalEvaluator may fault rows from worker
 //     threads.
+//   * delegate mode (options.delegate = true; base must itself be a
+//     MetricBackend): nothing is materialized — every scalar and batched
+//     query forwards to the base backend's own kernels. This is the
+//     MetricBackend seam for O(n * d) representations like VectorMetric,
+//     whose rows are cheap to compute and whose whole point is NOT paying
+//     O(n^2) memory.
 //
 // The cache is a snapshot: if the base metric changes (paper §6 dynamic
 // perturbations), call Refresh(u, v) for a point fix or Invalidate() to
@@ -29,17 +36,21 @@
 #include <utility>
 #include <vector>
 
-#include "metric/metric_space.h"
+#include "metric/metric_backend.h"
 
 namespace diverse {
 
-class DistanceCache : public MetricSpace {
+class DistanceCache : public MetricBackend {
  public:
   static constexpr std::size_t kDefaultDenseThreshold = 4096;
 
   struct Options {
     // Largest n for which the full matrix is materialized eagerly.
     std::size_t dense_threshold = kDefaultDenseThreshold;
+    // Forward every query to the base metric's own batched kernels
+    // instead of materializing anything. Requires the base to be a
+    // MetricBackend (CHECKed at construction).
+    bool delegate = false;
   };
 
   // Profiling counters (cheap, always on).
@@ -56,12 +67,18 @@ class DistanceCache : public MetricSpace {
 
   int size() const override { return n_; }
   double Distance(int u, int v) const override;
+  void DistanceRow(int u, std::span<double> row) const override;
+  void DistancesTo(int u, std::span<const int> ids,
+                   std::span<double> out) const override;
+  const double* TryRow(int u) const override;
 
   bool dense() const { return dense_; }
+  bool delegating() const { return backend_ != nullptr; }
   bool RowMaterialized(int u) const;
 
   // Re-pulls d(u, v) (both orientations) from the base metric. O(1); only
-  // touches storage that is already materialized.
+  // touches storage that is already materialized (no-op in delegate mode,
+  // where the base is always authoritative).
   void Refresh(int u, int v);
 
   // Batch Refresh: re-pulls every listed pair in one pass, bumping
@@ -93,6 +110,7 @@ class DistanceCache : public MetricSpace {
   const double* LazyRow(int u) const;
 
   const MetricSpace* base_;
+  const MetricBackend* backend_ = nullptr;  // delegate mode only
   int n_;
   bool dense_;
   std::vector<double> matrix_;  // dense mode, row-major n x n

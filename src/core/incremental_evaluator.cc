@@ -2,10 +2,31 @@
 
 #include <algorithm>
 #include <numeric>
+#include <vector>
 
+#include "metric/metric_backend.h"
 #include "util/check.h"
 
 namespace diverse {
+namespace {
+
+// Row d(out, .) for a swap scan: a resident backend row when available,
+// else `scratch` filled by one batched kernel call, else nullptr (the
+// scan falls back to one scalar Distance() per candidate). Hoisting the
+// row out of the parallel scan replaces per-candidate virtual dispatch
+// with contiguous reads — and is what feature-vector backends need to
+// amortize their O(d) per-distance kernels.
+const double* SwapRowFor(const MetricSpace& metric, int out,
+                         std::vector<double>* scratch) {
+  const MetricBackend* backend = AsBackend(&metric);
+  if (backend == nullptr) return nullptr;
+  if (const double* row = backend->TryRow(out)) return row;
+  scratch->resize(metric.size());
+  backend->DistanceRow(out, *scratch);
+  return scratch->data();
+}
+
+}  // namespace
 
 IncrementalEvaluator::IncrementalEvaluator(SolutionState* state)
     : IncrementalEvaluator(state, Options()) {}
@@ -89,6 +110,8 @@ ScoredCandidate IncrementalEvaluator::BestSwapInFor(
   batch_scans_.fetch_add(1, std::memory_order_relaxed);
   const double lambda = state_->lambda();
   const MetricSpace& metric = state_->problem().metric();
+  std::vector<double> row_scratch;
+  const double* row_out = SwapRowFor(metric, out, &row_scratch);
   const double dist_out = state_->DistanceToSet(out);
   return WithQualityRemoved(out, [&](const SetFunctionEvaluator& eval) {
     const double f_out = eval.Gain(out);  // f(S) - f(S - out)
@@ -96,9 +119,10 @@ ScoredCandidate IncrementalEvaluator::BestSwapInFor(
         ins, options_.num_threads, options_.parallel_grain,
         candidates_scored_, [&](int in, double* gain) {
           if (in == out || state_->Contains(in)) return false;
+          const double d_in_out =
+              row_out != nullptr ? row_out[in] : metric.Distance(in, out);
           *gain = (eval.Gain(in) - f_out) +
-                  lambda * (state_->DistanceToSet(in) -
-                            metric.Distance(in, out) - dist_out);
+                  lambda * (state_->DistanceToSet(in) - d_in_out - dist_out);
           return true;
         });
   });
@@ -124,15 +148,20 @@ void IncrementalEvaluator::ScoreSwapsFor(int out, std::span<const int> ins,
   batch_scans_.fetch_add(1, std::memory_order_relaxed);
   const double lambda = state_->lambda();
   const MetricSpace& metric = state_->problem().metric();
+  std::vector<double> row_scratch;
+  const double* row_out = SwapRowFor(metric, out, &row_scratch);
   const double dist_out = state_->DistanceToSet(out);
   WithQualityRemoved(out, [&](const SetFunctionEvaluator& eval) {
     const double f_out = eval.Gain(out);
     ParallelScore(ins, options_.num_threads, options_.parallel_grain,
                   candidates_scored_, gains, [&](int in, double* gain) {
                     if (in == out || state_->Contains(in)) return false;
+                    const double d_in_out = row_out != nullptr
+                                                ? row_out[in]
+                                                : metric.Distance(in, out);
                     *gain = (eval.Gain(in) - f_out) +
-                            lambda * (state_->DistanceToSet(in) -
-                                      metric.Distance(in, out) - dist_out);
+                            lambda * (state_->DistanceToSet(in) - d_in_out -
+                                      dist_out);
                     return true;
                   });
     return 0;

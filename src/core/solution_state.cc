@@ -7,7 +7,7 @@
 namespace diverse {
 
 SolutionState::SolutionState(const DiversificationProblem* problem)
-    : problem_(problem) {
+    : problem_(problem), backend_(AsBackend(&problem->metric())) {
   DIVERSE_CHECK(problem != nullptr);
   in_set_.assign(problem->size(), false);
   dist_to_set_.assign(problem->size(), 0.0);
@@ -15,7 +15,7 @@ SolutionState::SolutionState(const DiversificationProblem* problem)
 }
 
 SolutionState::SolutionState(const SolutionState& other)
-    : problem_(other.problem_) {
+    : problem_(other.problem_), backend_(other.backend_) {
   in_set_.assign(problem_->size(), false);
   dist_to_set_.assign(problem_->size(), 0.0);
   eval_ = problem_->quality().MakeEvaluator();
@@ -73,6 +73,14 @@ double SolutionState::SwapGain(int out, int in) const {
   return (f_in - f_out) + lambda() * dist_delta;
 }
 
+const double* SolutionState::DistanceRowFor(int v) {
+  if (backend_ == nullptr) return nullptr;
+  if (const double* row = backend_->TryRow(v)) return row;
+  row_scratch_.resize(universe_size());
+  backend_->DistanceRow(v, row_scratch_);
+  return row_scratch_.data();
+}
+
 void SolutionState::Add(int v) {
   DIVERSE_CHECK(0 <= v && v < universe_size());
   DIVERSE_CHECK_MSG(!in_set_[v], "Add of an element already in S");
@@ -81,6 +89,10 @@ void SolutionState::Add(int v) {
   eval_->Add(v);
   members_.push_back(v);
   in_set_[v] = true;
+  if (const double* row = DistanceRowFor(v)) {
+    for (int u = 0; u < universe_size(); ++u) dist_to_set_[u] += row[u];
+    return;
+  }
   const MetricSpace& metric = problem_->metric();
   for (int u = 0; u < universe_size(); ++u) {
     dist_to_set_[u] += metric.Distance(u, v);
@@ -90,9 +102,13 @@ void SolutionState::Add(int v) {
 void SolutionState::Remove(int v) {
   DIVERSE_CHECK(0 <= v && v < universe_size());
   DIVERSE_CHECK_MSG(in_set_[v], "Remove of an element not in S");
-  const MetricSpace& metric = problem_->metric();
-  for (int u = 0; u < universe_size(); ++u) {
-    dist_to_set_[u] -= metric.Distance(u, v);
+  if (const double* row = DistanceRowFor(v)) {
+    for (int u = 0; u < universe_size(); ++u) dist_to_set_[u] -= row[u];
+  } else {
+    const MetricSpace& metric = problem_->metric();
+    for (int u = 0; u < universe_size(); ++u) {
+      dist_to_set_[u] -= metric.Distance(u, v);
+    }
   }
   eval_->Remove(v);
   // After the update, dist_to_set_[v] = d(v, S - v).

@@ -13,6 +13,14 @@
 //   PrimeGain(v)      = 1/2 f_v(S) + lambda d_v(S)  (Greedy B's potential)
 //   RemoveGain(v)     = phi(S - v) - phi(S)  (<= 0 for monotone f)
 //   SwapGain(out,in)  = phi(S - out + in) - phi(S)
+//
+// The O(n) dist_to_set refresh on Add/Remove consumes one whole distance
+// row d(v, .). When the problem's metric is a MetricBackend (dense matrix,
+// feature-vector backend, DistanceCache), the row comes from one batched
+// kernel call — zero-copy for resident rows — instead of n virtual
+// Distance() calls. Plain MetricSpace metrics keep the scalar path; both
+// paths accumulate in the same order, so results are bit-identical when
+// the backend's values match the scalar ones.
 #ifndef DIVERSE_CORE_SOLUTION_STATE_H_
 #define DIVERSE_CORE_SOLUTION_STATE_H_
 
@@ -20,6 +28,7 @@
 #include <vector>
 
 #include "core/diversification_problem.h"
+#include "metric/metric_backend.h"
 
 namespace diverse {
 
@@ -98,8 +107,14 @@ class SolutionState {
   friend class IncrementalEvaluator;
 
   void RebuildFrom(const std::vector<int>& members);
+  // Row d(v, .) for the Add/Remove refresh: a resident backend row when
+  // available, else row_scratch_ filled by one batched kernel call, else
+  // nullptr (caller falls back to scalar Distance()).
+  const double* DistanceRowFor(int v);
 
   const DiversificationProblem* problem_;
+  const MetricBackend* backend_;  // nullptr for scalar-only metrics
+  std::vector<double> row_scratch_;
   std::vector<int> members_;
   std::vector<bool> in_set_;
   std::vector<double> dist_to_set_;

@@ -42,6 +42,15 @@ CorpusUpdate CorpusUpdate::Erase(int u) {
   return update;
 }
 
+CorpusUpdate CorpusUpdate::InsertVector(double weight,
+                                        std::vector<double> vector) {
+  CorpusUpdate update;
+  update.kind = Kind::kInsertVector;
+  update.value = weight;
+  update.distances = std::move(vector);
+  return update;
+}
+
 CorpusUpdate CorpusUpdate::FromPerturbation(const Perturbation& p) {
   switch (p.type) {
     case PerturbationType::kWeightIncrease:
@@ -62,34 +71,75 @@ bool ValidDistance(double value) {
   return value >= 0.0 && std::isfinite(value);
 }
 
-bool ValidUpdate(const CorpusUpdate& update, int* n) {
+bool ValidVectorComponent(double value) {
+  return std::isfinite(value) && std::fabs(value) <= kMaxVectorComponent;
+}
+
+bool ValidUpdate(const CorpusUpdate& update, UpdateContext* ctx) {
+  const bool dense = ctx->repr == MetricRepr::kDense;
   switch (update.kind) {
     case CorpusUpdate::Kind::kSetWeight:
-      return 0 <= update.u && update.u < *n && ValidWeight(update.value);
+      return 0 <= update.u && update.u < ctx->n && ValidWeight(update.value);
     case CorpusUpdate::Kind::kSetDistance:
-      return 0 <= update.u && update.u < *n && 0 <= update.v &&
-             update.v < *n && update.u != update.v &&
+      return dense && 0 <= update.u && update.u < ctx->n && 0 <= update.v &&
+             update.v < ctx->n && update.u != update.v &&
              ValidDistance(update.value);
     case CorpusUpdate::Kind::kInsert: {
-      if (static_cast<int>(update.distances.size()) != *n) return false;
+      if (!dense) return false;
+      if (static_cast<int>(update.distances.size()) != ctx->n) return false;
       if (!ValidWeight(update.value)) return false;
       for (double d : update.distances) {
         if (!ValidDistance(d)) return false;
       }
-      ++*n;
+      ++ctx->n;
       return true;
     }
     case CorpusUpdate::Kind::kErase:
-      return 0 <= update.u && update.u < *n;
+      return 0 <= update.u && update.u < ctx->n;
+    case CorpusUpdate::Kind::kInsertVector: {
+      if (dense) return false;
+      if (static_cast<int>(update.distances.size()) != ctx->dim) return false;
+      if (!ValidWeight(update.value)) return false;
+      for (double x : update.distances) {
+        if (!ValidVectorComponent(x)) return false;
+      }
+      ++ctx->n;
+      return true;
+    }
   }
   return false;
+}
+
+bool ValidUpdate(const CorpusUpdate& update, int* n) {
+  UpdateContext ctx;
+  ctx.n = *n;
+  const bool ok = ValidUpdate(update, &ctx);
+  if (ok) *n = ctx.n;
+  return ok;
 }
 
 bool ValidState(const CorpusState& state) {
   const std::size_t n = state.weights.size();
   if (state.alive.size() != n) return false;
-  if (state.metric.size() != static_cast<int>(n)) return false;
   if (!(state.lambda >= 0.0) || !std::isfinite(state.lambda)) return false;
+  switch (state.repr) {
+    case MetricRepr::kDense:
+      if (state.metric.size() != static_cast<int>(n)) return false;
+      if (state.vectors.size() != 0 || state.vectors.dim() != 0) return false;
+      break;
+    case MetricRepr::kVector: {
+      if (state.metric.size() != 0) return false;
+      if (state.vectors.size() != static_cast<int>(n)) return false;
+      const int dim = state.vectors.dim();
+      if (dim < 1 || dim > kMaxVectorDim) return false;
+      for (double x : state.vectors.data()) {
+        if (!ValidVectorComponent(x)) return false;
+      }
+      break;
+    }
+    default:
+      return false;
+  }
   for (double w : state.weights) {
     if (!ValidWeight(w)) return false;
   }
@@ -100,16 +150,24 @@ bool ValidState(const CorpusState& state) {
 }
 
 CorpusSnapshot::CorpusSnapshot(std::uint64_t version,
-                               std::vector<double> weights,
+                               std::vector<double> weights, MetricRepr repr,
                                std::shared_ptr<const DenseMetric> metric,
+                               std::shared_ptr<const VectorMetric> vectors,
                                std::vector<char> alive, double lambda)
     : version_(version),
       weights_(std::move(weights)),
+      repr_(repr),
       metric_(std::move(metric)),
+      vectors_(std::move(vectors)),
+      backend_(repr == MetricRepr::kDense
+                   ? static_cast<const MetricBackend*>(metric_.get())
+                   : static_cast<const MetricBackend*>(vectors_.get())),
       alive_(std::move(alive)),
-      problem_(metric_.get(), &weights_, lambda) {
+      problem_(backend_, &weights_, lambda) {
   const int n = weights_.ground_size();
-  DIVERSE_CHECK(metric_->size() == n);
+  DIVERSE_CHECK(backend_ != nullptr);
+  DIVERSE_CHECK((metric_ != nullptr) != (vectors_ != nullptr));
+  DIVERSE_CHECK(backend_->size() == n);
   DIVERSE_CHECK(static_cast<int>(alive_.size()) == n);
   candidates_.reserve(n);
   for (int id = 0; id < n; ++id) {
@@ -117,23 +175,59 @@ CorpusSnapshot::CorpusSnapshot(std::uint64_t version,
   }
 }
 
+int CorpusSnapshot::dim() const {
+  return repr_ == MetricRepr::kVector ? vectors_->dim() : 0;
+}
+
+const DenseMetric& CorpusSnapshot::metric() const {
+  DIVERSE_CHECK_MSG(repr_ == MetricRepr::kDense,
+                    "metric() on a feature-vector snapshot");
+  return *metric_;
+}
+
+const VectorMetric& CorpusSnapshot::vectors() const {
+  DIVERSE_CHECK_MSG(repr_ == MetricRepr::kVector,
+                    "vectors() on a dense snapshot");
+  return *vectors_;
+}
+
 CorpusState CorpusSnapshot::State() const {
   CorpusState state;
   state.version = version_;
   state.lambda = problem_.lambda();
+  state.repr = repr_;
   state.weights = weights_.weights();
   state.alive = alive_;
-  state.metric = *metric_;
+  if (repr_ == MetricRepr::kDense) {
+    state.metric = *metric_;
+  } else {
+    state.vectors = *vectors_;
+  }
   return state;
 }
 
 Corpus::Corpus(std::vector<double> weights, DenseMetric metric,
                double lambda)
     : weights_(std::move(weights)),
+      repr_(MetricRepr::kDense),
       metric_(std::make_shared<const DenseMetric>(std::move(metric))),
       alive_(weights_.size(), 1),
       lambda_(lambda) {
   DIVERSE_CHECK(metric_->size() == static_cast<int>(weights_.size()));
+  DIVERSE_CHECK(lambda_ >= 0.0);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  current_.store(Build(), std::memory_order_release);
+}
+
+Corpus::Corpus(std::vector<double> weights, VectorMetric vectors,
+               double lambda)
+    : weights_(std::move(weights)),
+      repr_(MetricRepr::kVector),
+      vectors_(std::make_shared<const VectorMetric>(std::move(vectors))),
+      alive_(weights_.size(), 1),
+      lambda_(lambda) {
+  DIVERSE_CHECK(vectors_->size() == static_cast<int>(weights_.size()));
+  DIVERSE_CHECK(vectors_->dim() >= 1 && vectors_->dim() <= kMaxVectorDim);
   DIVERSE_CHECK(lambda_ >= 0.0);
   std::lock_guard<std::mutex> lock(writer_mu_);
   current_.store(Build(), std::memory_order_release);
@@ -152,7 +246,14 @@ std::uint64_t Corpus::Restore(CorpusState state) {
 std::uint64_t Corpus::RestoreLocked(CorpusState state) {
   DIVERSE_CHECK_MSG(ValidState(state), "invalid corpus state image");
   weights_ = std::move(state.weights);
-  metric_ = std::make_shared<const DenseMetric>(std::move(state.metric));
+  repr_ = state.repr;
+  if (repr_ == MetricRepr::kDense) {
+    metric_ = std::make_shared<const DenseMetric>(std::move(state.metric));
+    vectors_.reset();
+  } else {
+    vectors_ = std::make_shared<const VectorMetric>(std::move(state.vectors));
+    metric_.reset();
+  }
   alive_ = std::move(state.alive);
   lambda_ = state.lambda;
   version_ = state.version;
@@ -170,36 +271,46 @@ Corpus Corpus::FromBaseMetric(const MetricSpace& base,
 }
 
 SnapshotPtr Corpus::Build() const {
-  return SnapshotPtr(new CorpusSnapshot(version_, weights_, metric_, alive_,
-                                        lambda_));
+  return SnapshotPtr(new CorpusSnapshot(version_, weights_, repr_, metric_,
+                                        vectors_, alive_, lambda_));
 }
 
 std::uint64_t Corpus::Apply(std::span<const CorpusUpdate> updates) {
   std::lock_guard<std::mutex> lock(writer_mu_);
   int n = static_cast<int>(weights_.size());
+  const bool dense = repr_ == MetricRepr::kDense;
 
-  // Published snapshots share `metric_`, so distance-mutating epochs work
-  // on a private copy — made exactly once per epoch, pre-grown to the
-  // epoch's final size so a batch of k inserts costs one O((n+k)^2) copy,
-  // not k of them.
+  // Published snapshots share the metric payload, so mutating epochs work
+  // on a private copy — made exactly once per epoch. Dense inserts
+  // pre-grow to the epoch's final size so a batch of k inserts costs one
+  // O((n+k)^2) copy, not k of them; vector inserts copy O(n * d) once and
+  // append O(d) per insert.
   int inserts = 0;
   bool writes_distances = false;
   for (const CorpusUpdate& update : updates) {
-    if (update.kind == CorpusUpdate::Kind::kInsert) ++inserts;
+    if (update.kind == CorpusUpdate::Kind::kInsert ||
+        update.kind == CorpusUpdate::Kind::kInsertVector) {
+      ++inserts;
+    }
     if (update.kind == CorpusUpdate::Kind::kSetDistance) {
       writes_distances = true;
     }
   }
   std::shared_ptr<DenseMetric> owned;
-  if (inserts > 0) {
-    owned = std::make_shared<DenseMetric>(n + inserts);
-    for (int u = 0; u < n; ++u) {
-      for (int v = u + 1; v < n; ++v) {
-        owned->SetDistance(u, v, metric_->Distance(u, v));
+  std::shared_ptr<VectorMetric> owned_vectors;
+  if (dense) {
+    if (inserts > 0) {
+      owned = std::make_shared<DenseMetric>(n + inserts);
+      for (int u = 0; u < n; ++u) {
+        for (int v = u + 1; v < n; ++v) {
+          owned->SetDistance(u, v, metric_->Distance(u, v));
+        }
       }
+    } else if (writes_distances) {
+      owned = std::make_shared<DenseMetric>(*metric_);
     }
-  } else if (writes_distances) {
-    owned = std::make_shared<DenseMetric>(*metric_);
+  } else if (inserts > 0) {
+    owned_vectors = std::make_shared<VectorMetric>(*vectors_);
   }
 
   for (const CorpusUpdate& update : updates) {
@@ -210,11 +321,14 @@ std::uint64_t Corpus::Apply(std::span<const CorpusUpdate> updates) {
         weights_[update.u] = update.value;
         break;
       case CorpusUpdate::Kind::kSetDistance:
+        DIVERSE_CHECK_MSG(dense,
+                          "kSetDistance on a feature-vector corpus");
         DIVERSE_CHECK(0 <= update.u && update.u < n);
         DIVERSE_CHECK(0 <= update.v && update.v < n);
         owned->SetDistance(update.u, update.v, update.value);
         break;
       case CorpusUpdate::Kind::kInsert:
+        DIVERSE_CHECK_MSG(dense, "kInsert on a feature-vector corpus");
         DIVERSE_CHECK_MSG(
             static_cast<int>(update.distances.size()) == n,
             "insert needs one distance per existing id");
@@ -230,9 +344,26 @@ std::uint64_t Corpus::Apply(std::span<const CorpusUpdate> updates) {
         DIVERSE_CHECK(0 <= update.u && update.u < n);
         alive_[update.u] = 0;
         break;
+      case CorpusUpdate::Kind::kInsertVector: {
+        DIVERSE_CHECK_MSG(!dense, "kInsertVector on a dense corpus");
+        DIVERSE_CHECK_MSG(
+            static_cast<int>(update.distances.size()) == vectors_->dim(),
+            "insert-vector needs exactly dim components");
+        DIVERSE_CHECK(update.value >= 0.0 && std::isfinite(update.value));
+        for (double x : update.distances) {
+          DIVERSE_CHECK_MSG(ValidVectorComponent(x),
+                            "non-finite or oversized vector component");
+        }
+        owned_vectors->AppendRow(update.distances);
+        weights_.push_back(update.value);
+        alive_.push_back(1);
+        ++n;
+        break;
+      }
     }
   }
   if (owned) metric_ = std::move(owned);
+  if (owned_vectors) vectors_ = std::move(owned_vectors);
 
   ++version_;
   SnapshotPtr next = Build();

@@ -1,9 +1,9 @@
 // Snapshot-isolated corpus for the serving engine.
 //
 // A Corpus owns the mutable master copy of the served data — per-element
-// quality weights, the dense distance matrix, a liveness mask — and
-// publishes immutable, versioned CorpusSnapshots. The protocol is
-// epoch-based copy-on-write:
+// quality weights, the metric payload, a liveness mask — and publishes
+// immutable, versioned CorpusSnapshots. The protocol is epoch-based
+// copy-on-write:
 //
 //   * readers (query workers) acquire the current snapshot with one atomic
 //     shared_ptr load and never take a lock; the snapshot pins every
@@ -13,10 +13,22 @@
 //     atomic store. In-flight queries keep reading the version they
 //     started on — pre- or post-update, never a torn mix.
 //
-// Weight-only epochs share the previous snapshot's distance matrix
-// (shared_ptr, O(n) to publish); distance/insert/erase epochs clone it
-// (O(n^2), writer-side only). Element ids are stable: Erase retires an id
-// (it stays out of candidates()) and Insert appends a fresh one.
+// The metric payload comes in two representations (MetricRepr):
+//
+//   * kDense — the full n x n DenseMetric matrix. O(n^2) memory and
+//     snapshot bytes; supports arbitrary per-pair SetDistance updates.
+//     The bit-equality oracle for the vector representation.
+//   * kVector — a VectorMetric of n d-dimensional feature vectors;
+//     distances are computed on demand by the batched Euclidean kernel.
+//     O(n * d) memory and snapshot bytes; elements are inserted as
+//     vectors (kInsertVector) and individual distances cannot be
+//     overwritten (kSetDistance is invalid in this representation).
+//
+// Weight-only epochs share the previous snapshot's metric payload
+// (shared_ptr, O(n) to publish); distance/insert epochs clone it (O(n^2)
+// dense, O(n * d) vector; writer-side only). Element ids are stable:
+// Erase retires an id (it stays out of candidates()) and Insert appends a
+// fresh one.
 #ifndef DIVERSE_ENGINE_CORPUS_H_
 #define DIVERSE_ENGINE_CORPUS_H_
 
@@ -30,33 +42,60 @@
 #include "core/diversification_problem.h"
 #include "dynamic/perturbation.h"
 #include "metric/dense_metric.h"
+#include "metric/metric_backend.h"
 #include "metric/metric_space.h"
+#include "metric/vector_metric.h"
 #include "submodular/modular_function.h"
 
 namespace diverse {
 namespace engine {
 
+// Wire/disk-stable metric representation tags. Values are serialized
+// (snapshot codec repr byte); never renumber.
+enum class MetricRepr : std::uint8_t {
+  kDense = 0,   // n x n DenseMetric matrix
+  kVector = 1,  // n rows of d-dimensional feature vectors
+};
+
+// Hard ceiling on feature-vector dimension accepted from any boundary
+// (update epochs, snapshot images). Generous for real embedding models
+// (which top out around 4k dims) while keeping O(n * d) payload sizes
+// bounded by the same kind of ceiling kMaxUniverse gives n.
+inline constexpr int kMaxVectorDim = 4096;
+
+// Hard cap on |component| of a feature vector. Squared-distance sums of
+// kMaxVectorDim components this large stay far below the double overflow
+// threshold (~1e308), so every distance the kernel can produce from valid
+// vectors is finite — preserving the ValidDistance invariant without
+// validating O(n^2) derived values.
+inline constexpr double kMaxVectorComponent = 1e100;
+
 // One corpus mutation. Batches of these form an update epoch.
 struct CorpusUpdate {
   enum class Kind {
-    kSetWeight,    // weight(u) <- value
-    kSetDistance,  // d(u, v) <- value (caller preserves metricity)
-    kInsert,       // append element with `value` as weight, `distances`
-                   // giving d(new, i) for every existing id i (dead ids
-                   // included; any non-negative filler works for them)
-    kErase,        // retire id u: excluded from candidates from now on
+    kSetWeight,     // weight(u) <- value
+    kSetDistance,   // d(u, v) <- value (kDense only; caller preserves
+                    // metricity)
+    kInsert,        // kDense: append element with `value` as weight,
+                    // `distances` giving d(new, i) for every existing id i
+                    // (dead ids included; any non-negative filler works)
+    kErase,         // retire id u: excluded from candidates from now on
+    kInsertVector,  // kVector: append element with `value` as weight,
+                    // `distances` holding its d-dimensional feature vector
   };
 
   Kind kind = Kind::kSetWeight;
   int u = -1;
   int v = -1;
   double value = 0.0;
-  std::vector<double> distances;  // kInsert only
+  std::vector<double> distances;  // kInsert / kInsertVector only
 
   static CorpusUpdate SetWeight(int u, double w);
   static CorpusUpdate SetDistance(int u, int v, double d);
   static CorpusUpdate Insert(double weight, std::vector<double> distances);
   static CorpusUpdate Erase(int u);
+  static CorpusUpdate InsertVector(double weight,
+                                   std::vector<double> vector);
   // Bridges the paper-§6 dynamic machinery (dynamic/perturbation.h): a
   // weight or distance perturbation becomes the equivalent corpus update.
   static CorpusUpdate FromPerturbation(const Perturbation& perturbation);
@@ -64,14 +103,18 @@ struct CorpusUpdate {
 
 // Plain-data image of one corpus version — what the snapshot subsystem
 // (src/snapshot/) serializes to disk/wire and what a cold replica restores
-// from. `alive` uses 1 = live, 0 = retired; the metric is the full dense
-// matrix of the id space (retired ids included, so ids stay stable).
+// from. `alive` uses 1 = live, 0 = retired. Exactly one metric payload is
+// populated, selected by `repr`: the dense matrix over the full id space
+// (retired ids included, so ids stay stable), or one feature vector per
+// id. The unused payload stays empty (size 0).
 struct CorpusState {
   std::uint64_t version = 0;
   double lambda = 0.0;
+  MetricRepr repr = MetricRepr::kDense;
   std::vector<double> weights;
   std::vector<char> alive;
-  DenseMetric metric{0};
+  DenseMetric metric{0};        // kDense payload
+  VectorMetric vectors{0, 0};   // kVector payload
 };
 
 // Shared value/update validation — the single path both epoch replay
@@ -82,17 +125,35 @@ struct CorpusState {
 // disk).
 bool ValidWeight(double value);
 bool ValidDistance(double value);
-// Would `update` pass Corpus::Apply against a universe of size *n?
-// kInsert increments *n on success so a batch validates as a whole.
+// Feature-vector component: finite and |x| <= kMaxVectorComponent, so all
+// derived distances are finite.
+bool ValidVectorComponent(double value);
+
+// The corpus facts an update validates against. kInsert/kInsertVector
+// grow `n` on success so a batch validates as a whole.
+struct UpdateContext {
+  int n = 0;
+  MetricRepr repr = MetricRepr::kDense;
+  int dim = 0;  // kVector only
+};
+
+// Would `update` pass Corpus::Apply against `ctx`? Representation-aware:
+// kSetDistance/kInsert are only valid under kDense, kInsertVector only
+// under kVector (with exactly ctx->dim valid components).
+bool ValidUpdate(const CorpusUpdate& update, UpdateContext* ctx);
+// Dense-only convenience (legacy signature): kInsert increments *n on
+// success so a batch validates as a whole.
 bool ValidUpdate(const CorpusUpdate& update, int* n);
-// Structural validity of a state image: sizes agree, lambda/weights valid,
-// liveness is 0/1. (Individual distances are validated where the image is
-// decoded; DenseMetric construction enforces symmetry and zero diagonal.)
+// Structural validity of a state image: sizes agree with `repr`, the
+// unused payload is empty, lambda/weights/vector components valid,
+// liveness is 0/1. (Individual dense distances are validated where the
+// image is decoded; DenseMetric construction enforces symmetry and zero
+// diagonal.)
 bool ValidState(const CorpusState& state);
 
 // Immutable view of one corpus version. Address-stable (always held by
 // shared_ptr); the contained DiversificationProblem points at the
-// snapshot's own weights and metric.
+// snapshot's own weights and metric payload.
 class CorpusSnapshot {
  public:
   std::uint64_t version() const { return version_; }
@@ -107,7 +168,15 @@ class CorpusSnapshot {
   }
 
   const ModularFunction& weights() const { return weights_; }
-  const DenseMetric& metric() const { return *metric_; }
+  MetricRepr repr() const { return repr_; }
+  // Feature-vector dimension; 0 under kDense.
+  int dim() const;
+  // The metric payload as a batched backend — what queries evaluate
+  // against, whichever representation backs it.
+  const MetricBackend& backend() const { return *backend_; }
+  // Representation-specific accessors; CHECK-abort on the wrong repr.
+  const DenseMetric& metric() const;
+  const VectorMetric& vectors() const;
   double lambda() const { return problem_.lambda(); }
   // The base problem (corpus weights, corpus lambda). Per-query views are
   // derived via the WithQuality/WithLambda hooks.
@@ -118,26 +187,35 @@ class CorpusSnapshot {
 
  private:
   friend class Corpus;
+  // Exactly one of metric/vectors is non-null, matching `repr`.
   CorpusSnapshot(std::uint64_t version, std::vector<double> weights,
-                 std::shared_ptr<const DenseMetric> metric,
+                 MetricRepr repr, std::shared_ptr<const DenseMetric> metric,
+                 std::shared_ptr<const VectorMetric> vectors,
                  std::vector<char> alive, double lambda);
   CorpusSnapshot(const CorpusSnapshot&) = delete;
   CorpusSnapshot& operator=(const CorpusSnapshot&) = delete;
 
   std::uint64_t version_;
   ModularFunction weights_;
-  std::shared_ptr<const DenseMetric> metric_;
+  MetricRepr repr_;
+  std::shared_ptr<const DenseMetric> metric_;    // kDense only
+  std::shared_ptr<const VectorMetric> vectors_;  // kVector only
+  const MetricBackend* backend_;  // whichever payload is populated
   std::vector<char> alive_;
   std::vector<int> candidates_;
-  DiversificationProblem problem_;  // must follow weights_/metric_
+  DiversificationProblem problem_;  // must follow weights_/metric payloads
 };
 
 using SnapshotPtr = std::shared_ptr<const CorpusSnapshot>;
 
 class Corpus {
  public:
-  // Initial corpus; `metric` must be n x n for n = weights.size().
+  // Initial dense corpus; `metric` must be n x n for n = weights.size().
   Corpus(std::vector<double> weights, DenseMetric metric, double lambda);
+
+  // Initial feature-vector corpus; `vectors` must hold one row per
+  // weight. Distances are served by the batched Euclidean kernel.
+  Corpus(std::vector<double> weights, VectorMetric vectors, double lambda);
 
   // Cold-starts at `state`'s version (a decoded checkpoint or transferred
   // snapshot) instead of an empty version 0. CHECK-aborts on an invalid
@@ -159,6 +237,8 @@ class Corpus {
 
   // Applies one update epoch and publishes the next snapshot. Serializes
   // with other writers; never blocks readers. Returns the new version.
+  // CHECK-aborts on updates invalid for the corpus representation (use
+  // ValidUpdate first for untrusted input).
   std::uint64_t Apply(std::span<const CorpusUpdate> updates);
   std::uint64_t Apply(const CorpusUpdate& update) {
     return Apply(std::span<const CorpusUpdate>(&update, 1));
@@ -167,7 +247,8 @@ class Corpus {
   // Replaces the whole corpus with `state` and publishes it — the replica
   // bootstrap path (snapshot transfer / checkpoint load). The version may
   // jump forward arbitrarily; in-flight readers keep their old snapshot.
-  // Returns the published version. CHECK-aborts on an invalid image.
+  // The representation may switch across a Restore. Returns the published
+  // version. CHECK-aborts on an invalid image.
   std::uint64_t Restore(CorpusState state);
 
  private:
@@ -175,10 +256,12 @@ class Corpus {
   std::uint64_t RestoreLocked(CorpusState state);
 
   mutable std::mutex writer_mu_;
-  // Master state, guarded by writer_mu_. The metric is shared with
-  // published snapshots; distance-mutating epochs clone before writing.
+  // Master state, guarded by writer_mu_. The metric payload is shared
+  // with published snapshots; mutating epochs clone before writing.
   std::vector<double> weights_;
-  std::shared_ptr<const DenseMetric> metric_;
+  MetricRepr repr_ = MetricRepr::kDense;
+  std::shared_ptr<const DenseMetric> metric_;    // kDense only
+  std::shared_ptr<const VectorMetric> vectors_;  // kVector only
   std::vector<char> alive_;
   double lambda_;
   std::uint64_t version_ = 0;

@@ -60,6 +60,20 @@ DiversificationEngine::DiversificationEngine(std::vector<double> weights,
   Start();
 }
 
+DiversificationEngine::DiversificationEngine(std::vector<double> weights,
+                                             VectorMetric vectors,
+                                             double lambda)
+    : DiversificationEngine(std::move(weights), std::move(vectors), lambda,
+                            Options()) {}
+
+DiversificationEngine::DiversificationEngine(std::vector<double> weights,
+                                             VectorMetric vectors,
+                                             double lambda, Options options)
+    : corpus_(std::move(weights), std::move(vectors), lambda),
+      options_(options) {
+  Start();
+}
+
 DiversificationEngine::DiversificationEngine(CorpusState state,
                                              Options options)
     : corpus_(std::move(state)), options_(options) {

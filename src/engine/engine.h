@@ -69,6 +69,12 @@ class DiversificationEngine {
                         double lambda);
   DiversificationEngine(std::vector<double> weights, DenseMetric metric,
                         double lambda, Options options);
+  // Feature-vector corpus: one embedding per weight; distances are served
+  // by the batched Euclidean kernel instead of an O(n^2) matrix.
+  DiversificationEngine(std::vector<double> weights, VectorMetric vectors,
+                        double lambda);
+  DiversificationEngine(std::vector<double> weights, VectorMetric vectors,
+                        double lambda, Options options);
   // Cold start from a decoded checkpoint (snapshot/checkpoint_store.h):
   // the corpus resumes at `state`'s version instead of an empty v0.
   DiversificationEngine(CorpusState state, Options options);

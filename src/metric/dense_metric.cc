@@ -1,6 +1,7 @@
 #include "metric/dense_metric.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "util/check.h"
 
@@ -29,12 +30,37 @@ DenseMetric DenseMetric::FromMatrix(int n, std::vector<double> matrix) {
 DenseMetric DenseMetric::Materialize(const MetricSpace& metric) {
   const int n = metric.size();
   DenseMetric m(n);
+  if (const MetricBackend* backend = AsBackend(&metric)) {
+    // Whole rows through the batched kernel; symmetry holds because the
+    // kernel itself is bitwise symmetric in (u, v).
+    for (int u = 0; u < n; ++u) {
+      backend->DistanceRow(
+          u, {m.matrix_.data() + static_cast<std::size_t>(u) * n,
+              static_cast<std::size_t>(n)});
+    }
+    return m;
+  }
   for (int u = 0; u < n; ++u) {
     for (int v = u + 1; v < n; ++v) {
       m.SetDistance(u, v, metric.Distance(u, v));
     }
   }
   return m;
+}
+
+void DenseMetric::DistanceRow(int u, std::span<double> row) const {
+  DIVERSE_DCHECK(0 <= u && u < n_);
+  DIVERSE_DCHECK(static_cast<int>(row.size()) == n_);
+  std::memcpy(row.data(), matrix_.data() + static_cast<std::size_t>(u) * n_,
+              static_cast<std::size_t>(n_) * sizeof(double));
+}
+
+void DenseMetric::DistancesTo(int u, std::span<const int> ids,
+                              std::span<double> out) const {
+  DIVERSE_DCHECK(0 <= u && u < n_);
+  DIVERSE_DCHECK(out.size() == ids.size());
+  const double* row = matrix_.data() + static_cast<std::size_t>(u) * n_;
+  for (std::size_t i = 0; i < ids.size(); ++i) out[i] = row[ids[i]];
 }
 
 void DenseMetric::SetDistance(int u, int v, double value) {

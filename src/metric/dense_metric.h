@@ -1,16 +1,19 @@
 // Mutable dense (n x n) distance matrix. This is the workhorse metric for
-// the synthetic experiments and the only metric supporting dynamic distance
-// perturbations (paper §6, types III/IV).
+// the synthetic experiments, the only metric supporting dynamic distance
+// perturbations (paper §6, types III/IV), and — through the MetricBackend
+// batched queries, which it serves as zero-copy row pointers — the
+// bit-equality oracle any other backend is checked against.
 #ifndef DIVERSE_METRIC_DENSE_METRIC_H_
 #define DIVERSE_METRIC_DENSE_METRIC_H_
 
+#include <span>
 #include <vector>
 
-#include "metric/metric_space.h"
+#include "metric/metric_backend.h"
 
 namespace diverse {
 
-class DenseMetric : public MetricSpace {
+class DenseMetric : public MetricBackend {
  public:
   // All distances zero.
   explicit DenseMetric(int n);
@@ -19,12 +22,21 @@ class DenseMetric : public MetricSpace {
   // (checked).
   static DenseMetric FromMatrix(int n, std::vector<double> matrix);
 
-  // Materializes any metric into a dense matrix (O(n^2) Distance calls).
+  // Materializes any metric into a dense matrix (O(n^2) Distance calls;
+  // row-batched through the backend seam when `metric` provides it, with
+  // bit-identical values either way).
   static DenseMetric Materialize(const MetricSpace& metric);
 
   int size() const override { return n_; }
   double Distance(int u, int v) const override {
     return matrix_[static_cast<std::size_t>(u) * n_ + v];
+  }
+
+  void DistanceRow(int u, std::span<double> row) const override;
+  void DistancesTo(int u, std::span<const int> ids,
+                   std::span<double> out) const override;
+  const double* TryRow(int u) const override {
+    return matrix_.data() + static_cast<std::size_t>(u) * n_;
   }
 
   // Sets d(u,v) = d(v,u) = value. `value` must be non-negative; u != v.

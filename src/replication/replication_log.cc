@@ -71,8 +71,9 @@ bool ReplicationLog::Retain(const engine::CorpusSnapshot& snapshot) {
   // A corpus beyond the image format's size ceiling cannot be retained;
   // truncating without a bootstrap image would strand any replica below
   // the cut, so the caller must leave the log alone.
-  if (!snapshot::FitsSnapshotFormat(snapshot.universe_size())) return false;
-  // Encode outside the lock — the image is the O(n^2) part.
+  if (!snapshot::FitsSnapshotFormat(snapshot)) return false;
+  // Encode outside the lock — the image is the heavy part (O(n^2) dense,
+  // O(n * d) feature-vector).
   auto image = std::make_shared<const std::vector<std::uint8_t>>(
       snapshot::EncodeSnapshot(snapshot));
   compactions_.fetch_add(1, std::memory_order_relaxed);

@@ -143,10 +143,16 @@ std::vector<std::uint8_t> ShardNode::HandleUpdates(
   // validation path is engine::ValidUpdate — the same predicates the
   // snapshot codec applies to checkpoint images.
   const std::uint64_t skip = current - batch.from_version;
-  int universe = replica_.snapshot()->universe_size();
+  engine::UpdateContext ctx;
+  {
+    const engine::SnapshotPtr snap = replica_.snapshot();
+    ctx.n = snap->universe_size();
+    ctx.repr = snap->repr();
+    ctx.dim = snap->dim();
+  }
   for (std::uint64_t i = skip; i < batch.epochs.size(); ++i) {
     for (const engine::CorpusUpdate& update : batch.epochs[i]) {
-      if (!engine::ValidUpdate(update, &universe)) {
+      if (!engine::ValidUpdate(update, &ctx)) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         ack.status = RpcStatus::kError;
         ack.node_version = current;

@@ -169,7 +169,8 @@ void AppendUpdate(std::vector<std::uint8_t>* out,
 bool ReadUpdate(Reader* reader, engine::CorpusUpdate* update) {
   std::uint8_t kind;
   if (!reader->ReadU8(&kind)) return false;
-  if (kind > static_cast<std::uint8_t>(engine::CorpusUpdate::Kind::kErase)) {
+  if (kind >
+      static_cast<std::uint8_t>(engine::CorpusUpdate::Kind::kInsertVector)) {
     return false;
   }
   update->kind = static_cast<engine::CorpusUpdate::Kind>(kind);

@@ -118,6 +118,12 @@ struct CorpusUpdateBatch {
   // epochs[i] advances the replica from version from_version + i to
   // from_version + i + 1; the batch as a whole is the half-open version
   // range [from_version, to_version()).
+  //
+  // Updates of every kind share one frame layout; kInsert carries its
+  // per-id distances and kInsertVector its d-dimensional feature vector
+  // in the same generic f64 array field. Which kinds a receiver accepts
+  // is decided by engine::ValidUpdate against the replica's metric
+  // representation, not by the codec.
   std::uint64_t from_version = 0;
   std::vector<std::vector<engine::CorpusUpdate>> epochs;
 

@@ -177,7 +177,7 @@ bool CheckpointStore::Publish(const std::string& final_path,
 
 bool CheckpointStore::Save(const engine::CorpusSnapshot& snapshot,
                            std::string* error) {
-  if (!FitsSnapshotFormat(snapshot.universe_size())) {
+  if (!FitsSnapshotFormat(snapshot)) {
     SetError(error, "corpus too large for the snapshot format (n=" +
                         std::to_string(snapshot.universe_size()) + ")");
     return false;
@@ -299,12 +299,21 @@ std::optional<engine::CorpusState> CheckpointStore::LoadLatest(
             epochs.size() != to - at) {
           continue;
         }
-        int universe = corpus ? corpus->snapshot()->universe_size()
-                              : static_cast<int>(state.weights.size());
+        engine::UpdateContext ctx;
+        if (corpus) {
+          const engine::SnapshotPtr snap = corpus->snapshot();
+          ctx.n = snap->universe_size();
+          ctx.repr = snap->repr();
+          ctx.dim = snap->dim();
+        } else {
+          ctx.n = static_cast<int>(state.weights.size());
+          ctx.repr = state.repr;
+          ctx.dim = state.vectors.dim();
+        }
         bool valid = true;
         for (const auto& epoch : epochs) {
           for (const engine::CorpusUpdate& update : epoch) {
-            if (!engine::ValidUpdate(update, &universe)) {
+            if (!engine::ValidUpdate(update, &ctx)) {
               valid = false;
               break;
             }

@@ -17,10 +17,11 @@ constexpr std::uint32_t kDeltaMagic = 0x544C4444;  // "DDLT" little-endian
 
 // The largest id space whose image could still fit kMaxSnapshotBytes.
 // Anything above is rejected before any size arithmetic that could
-// overflow (n <= 2^17 keeps n^2 * 8 well inside std::uint64_t).
+// overflow (n <= 2^17 and dim <= 2^12 keep every product well inside
+// std::uint64_t).
 constexpr std::uint64_t kMaxUniverse = std::uint64_t{1} << 17;
 
-constexpr std::size_t kHeaderBytes = 4 + 2 + 8 + 8 + 4;
+constexpr std::size_t kHeaderBytes = 4 + 2 + 8 + 8 + 4 + 1;
 constexpr std::size_t kTrailerBytes = 4;
 
 void AppendU16(std::vector<std::uint8_t>* out, std::uint16_t value) {
@@ -93,32 +94,55 @@ std::uint64_t ReadU64At(std::span<const std::uint8_t> data, std::size_t pos) {
   return value;
 }
 
+// Shared encoder: exactly one of `metric` / `vectors` is non-null,
+// selecting the payload variant.
 std::vector<std::uint8_t> EncodeImage(std::uint64_t version, double lambda,
                                       const std::vector<double>& weights,
                                       const std::vector<char>& alive,
-                                      const DenseMetric& metric) {
+                                      const DenseMetric* metric,
+                                      const VectorMetric* vectors) {
   const std::uint64_t n = weights.size();
-  DIVERSE_CHECK_MSG(FitsSnapshotFormat(static_cast<int>(n)),
-                    "corpus too large for the snapshot format — callers "
-                    "pre-check with FitsSnapshotFormat");
+  const bool dense = metric != nullptr;
+  DIVERSE_CHECK((metric != nullptr) != (vectors != nullptr));
+  if (dense) {
+    DIVERSE_CHECK_MSG(FitsSnapshotFormat(static_cast<int>(n)),
+                      "corpus too large for the snapshot format — callers "
+                      "pre-check with FitsSnapshotFormat");
+  } else {
+    DIVERSE_CHECK_MSG(
+        FitsVectorSnapshotFormat(static_cast<int>(n), vectors->dim()),
+        "corpus too large for the snapshot format — callers pre-check "
+        "with FitsSnapshotFormat");
+  }
   std::vector<std::uint8_t> out;
-  out.reserve(EncodedSnapshotBytes(static_cast<int>(n)));
+  out.reserve(dense ? EncodedSnapshotBytes(static_cast<int>(n))
+                    : EncodedVectorSnapshotBytes(static_cast<int>(n),
+                                                 vectors->dim()));
   AppendU32(&out, kMagic);
   AppendU16(&out, kSnapshotFormatVersion);
   AppendU64(&out, version);
   AppendF64(&out, lambda);
   AppendU32(&out, static_cast<std::uint32_t>(n));
+  out.push_back(dense
+                    ? static_cast<std::uint8_t>(engine::MetricRepr::kDense)
+                    : static_cast<std::uint8_t>(engine::MetricRepr::kVector));
+  if (!dense) AppendU32(&out, static_cast<std::uint32_t>(vectors->dim()));
   AppendF64Array(&out, weights.data(), weights.size());
   for (char a : alive) out.push_back(a ? 1 : 0);
-  // Strict upper triangle in row order; one bulk append per row.
-  std::vector<double> row;
-  for (std::uint64_t u = 0; u + 1 < n; ++u) {
-    row.clear();
-    for (std::uint64_t v = u + 1; v < n; ++v) {
-      row.push_back(metric.Distance(static_cast<int>(u),
-                                    static_cast<int>(v)));
+  if (dense) {
+    // Strict upper triangle in row order; one bulk append per row.
+    std::vector<double> row;
+    for (std::uint64_t u = 0; u + 1 < n; ++u) {
+      row.clear();
+      for (std::uint64_t v = u + 1; v < n; ++v) {
+        row.push_back(metric->Distance(static_cast<int>(u),
+                                       static_cast<int>(v)));
+      }
+      AppendF64Array(&out, row.data(), row.size());
     }
-    AppendF64Array(&out, row.data(), row.size());
+  } else {
+    // Row-major vectors: already contiguous, one bulk append.
+    AppendF64Array(&out, vectors->data().data(), vectors->data().size());
   }
   AppendU32(&out, Crc32(out));
   return out;
@@ -132,6 +156,12 @@ std::uint64_t EncodedSnapshotBytes(int universe_size) {
   return kHeaderBytes + n * 8 + n + triangle * 8 + kTrailerBytes;
 }
 
+std::uint64_t EncodedVectorSnapshotBytes(int universe_size, int dim) {
+  const std::uint64_t n = static_cast<std::uint64_t>(universe_size);
+  const std::uint64_t d = static_cast<std::uint64_t>(dim);
+  return kHeaderBytes + 4 + n * 8 + n + n * d * 8 + kTrailerBytes;
+}
+
 bool FitsSnapshotFormat(int universe_size) {
   // The kMaxUniverse bound comes first: it keeps the size arithmetic
   // itself overflow-free.
@@ -140,19 +170,46 @@ bool FitsSnapshotFormat(int universe_size) {
          EncodedSnapshotBytes(universe_size) <= kMaxSnapshotBytes;
 }
 
+bool FitsVectorSnapshotFormat(int universe_size, int dim) {
+  return universe_size >= 0 &&
+         static_cast<std::uint64_t>(universe_size) <= kMaxUniverse &&
+         dim >= 1 && dim <= engine::kMaxVectorDim &&
+         EncodedVectorSnapshotBytes(universe_size, dim) <= kMaxSnapshotBytes;
+}
+
+bool FitsSnapshotFormat(const engine::CorpusSnapshot& snapshot) {
+  return snapshot.repr() == engine::MetricRepr::kDense
+             ? FitsSnapshotFormat(snapshot.universe_size())
+             : FitsVectorSnapshotFormat(snapshot.universe_size(),
+                                        snapshot.dim());
+}
+
+bool FitsSnapshotFormat(const engine::CorpusState& state) {
+  return state.repr == engine::MetricRepr::kDense
+             ? FitsSnapshotFormat(static_cast<int>(state.weights.size()))
+             : FitsVectorSnapshotFormat(
+                   static_cast<int>(state.weights.size()),
+                   state.vectors.dim());
+}
+
 std::vector<std::uint8_t> EncodeSnapshot(
     const engine::CorpusSnapshot& snapshot) {
   std::vector<char> alive(snapshot.universe_size());
   for (int id = 0; id < snapshot.universe_size(); ++id) {
     alive[id] = snapshot.alive(id) ? 1 : 0;
   }
+  const bool dense = snapshot.repr() == engine::MetricRepr::kDense;
   return EncodeImage(snapshot.version(), snapshot.lambda(),
-                     snapshot.weights().weights(), alive, snapshot.metric());
+                     snapshot.weights().weights(), alive,
+                     dense ? &snapshot.metric() : nullptr,
+                     dense ? nullptr : &snapshot.vectors());
 }
 
 std::vector<std::uint8_t> EncodeState(const engine::CorpusState& state) {
+  const bool dense = state.repr == engine::MetricRepr::kDense;
   return EncodeImage(state.version, state.lambda, state.weights, state.alive,
-                     state.metric);
+                     dense ? &state.metric : nullptr,
+                     dense ? nullptr : &state.vectors);
 }
 
 bool DecodeSnapshot(std::span<const std::uint8_t> payload,
@@ -177,11 +234,35 @@ bool DecodeSnapshot(std::span<const std::uint8_t> payload,
   pos += 8;
   const std::uint64_t n = ReadU32At(payload, pos);
   pos += 4;
-  // The exact-size equation doubles as the truncation/trailing-garbage
-  // check: every field below is then known to be in bounds.
-  if (n > kMaxUniverse) return false;
-  if (payload.size() != EncodedSnapshotBytes(static_cast<int>(n))) {
+  const std::uint8_t repr_byte = payload[pos];
+  pos += 1;
+  if (repr_byte > static_cast<std::uint8_t>(engine::MetricRepr::kVector)) {
     return false;
+  }
+  state->repr = static_cast<engine::MetricRepr>(repr_byte);
+  const bool dense = state->repr == engine::MetricRepr::kDense;
+  if (n > kMaxUniverse) return false;
+  std::uint64_t dim = 0;
+  if (dense) {
+    // The exact-size equation doubles as the truncation/trailing-garbage
+    // check: every field below is then known to be in bounds.
+    if (payload.size() != EncodedSnapshotBytes(static_cast<int>(n))) {
+      return false;
+    }
+  } else {
+    // Vector images carry a dim field; bound-check before trusting it in
+    // any size arithmetic, then apply the same exact-size equation.
+    if (payload.size() < pos + 4 + kTrailerBytes) return false;
+    dim = ReadU32At(payload, pos);
+    pos += 4;
+    if (dim < 1 || dim > static_cast<std::uint64_t>(engine::kMaxVectorDim)) {
+      return false;
+    }
+    if (payload.size() !=
+        EncodedVectorSnapshotBytes(static_cast<int>(n),
+                                   static_cast<int>(dim))) {
+      return false;
+    }
   }
   if (!(state->lambda >= 0.0) || !std::isfinite(state->lambda)) return false;
 
@@ -196,13 +277,26 @@ bool DecodeSnapshot(std::span<const std::uint8_t> payload,
     if (a > 1) return false;
     state->alive[i] = static_cast<char>(a);
   }
-  state->metric = DenseMetric(static_cast<int>(n));
-  for (std::uint64_t u = 0; u + 1 < n; ++u) {
-    for (std::uint64_t v = u + 1; v < n; ++v, pos += 8) {
-      const double d = ReadF64At(payload, pos);
-      if (!engine::ValidDistance(d)) return false;
-      state->metric.SetDistance(static_cast<int>(u), static_cast<int>(v), d);
+  if (dense) {
+    state->vectors = VectorMetric(0, 0);
+    state->metric = DenseMetric(static_cast<int>(n));
+    for (std::uint64_t u = 0; u + 1 < n; ++u) {
+      for (std::uint64_t v = u + 1; v < n; ++v, pos += 8) {
+        const double d = ReadF64At(payload, pos);
+        if (!engine::ValidDistance(d)) return false;
+        state->metric.SetDistance(static_cast<int>(u), static_cast<int>(v),
+                                  d);
+      }
     }
+  } else {
+    state->metric = DenseMetric(0);
+    std::vector<double> data(n * dim);
+    for (std::uint64_t i = 0; i < n * dim; ++i, pos += 8) {
+      data[i] = ReadF64At(payload, pos);
+      if (!engine::ValidVectorComponent(data[i])) return false;
+    }
+    state->vectors =
+        VectorMetric::FromRows(static_cast<int>(dim), std::move(data));
   }
   return engine::ValidState(*state);
 }

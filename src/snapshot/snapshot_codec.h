@@ -5,21 +5,28 @@
 // One snapshot image is a self-contained little-endian payload
 //
 //   [u32 magic "DSNP"][u16 format version]
-//   [u64 corpus version][f64 lambda][u32 n]
-//   [n x f64 weights][n x u8 liveness]
-//   [n(n-1)/2 x f64 upper-triangle distances (u < v, row order)]
+//   [u64 corpus version][f64 lambda][u32 n][u8 repr]
+//   dense  (repr = 0):  [n x f64 weights][n x u8 liveness]
+//                       [n(n-1)/2 x f64 upper-triangle distances
+//                        (u < v, row order)]
+//   vector (repr = 1):  [u32 dim][n x f64 weights][n x u8 liveness]
+//                       [n*dim x f64 row-major feature vectors]
 //   [u32 CRC-32 of everything above]
 //
-// Only the strict upper triangle is stored: the matrix is reconstructed
-// symmetric with a zero diagonal by construction, halving the image size
-// (the n x n matrix dominates — ~64 MB at n = 4000).
+// Dense images store only the strict upper triangle: the matrix is
+// reconstructed symmetric with a zero diagonal by construction, halving
+// the image size (the n x n matrix dominates — ~64 MB at n = 4000).
+// Vector images are the O(n * d) representation: ~32 KB/element at
+// d = 4096 and independent of n, which is what makes checkpointing a
+// large feature-vector corpus scale.
 //
 // Decoding is total, to the same hardening bar as rpc/wire: a truncated,
 // oversized, garbled, version-skewed, or checksum-mismatched image — and
 // any image whose values an epoch replay would have rejected (negative or
-// non-finite weights/distances, non-0/1 liveness) — is rejected with
-// `false`, never an abort or an unbounded allocation. DecodeSnapshot
-// validates through the same engine::ValidWeight/ValidDistance predicates
+// non-finite weights/distances, invalid vector components, non-0/1
+// liveness) — is rejected with `false`, never an abort or an unbounded
+// allocation. DecodeSnapshot validates through the same
+// engine::ValidWeight/ValidDistance/ValidVectorComponent predicates
 // rpc::ShardNode applies to epoch batches, so a checkpoint cannot
 // round-trip into a state a replay would have refused.
 #ifndef DIVERSE_SNAPSHOT_SNAPSHOT_CODEC_H_
@@ -35,7 +42,8 @@ namespace diverse {
 namespace snapshot {
 
 // Bumped on any incompatible layout change; decoders reject other values.
-inline constexpr std::uint16_t kSnapshotFormatVersion = 1;
+// v2 added the repr byte and the feature-vector payload variant.
+inline constexpr std::uint16_t kSnapshotFormatVersion = 2;
 
 // Ceiling on one decoded image (and on the id-space size implied by its
 // header): a corrupt element count must not drive an OOM. 1 GiB covers
@@ -43,17 +51,25 @@ inline constexpr std::uint16_t kSnapshotFormatVersion = 1;
 // if corpora outgrow it.
 inline constexpr std::uint64_t kMaxSnapshotBytes = std::uint64_t{1} << 30;
 
-// Exact encoded size of a snapshot of `universe_size` ids.
+// Exact encoded size of a dense snapshot of `universe_size` ids.
 std::uint64_t EncodedSnapshotBytes(int universe_size);
+// Exact encoded size of a feature-vector snapshot: O(n * dim), not O(n^2).
+std::uint64_t EncodedVectorSnapshotBytes(int universe_size, int dim);
 
 // Whether a corpus of `universe_size` ids fits the format's size
-// ceiling. EncodeSnapshot/EncodeState CHECK-abort outside this bound,
-// so durability call sites (checkpoint save, log compaction) pre-check
-// and degrade gracefully instead of killing a serving process.
+// ceiling (dense / feature-vector payload respectively).
+// EncodeSnapshot/EncodeState CHECK-abort outside this bound, so
+// durability call sites (checkpoint save, log compaction) pre-check and
+// degrade gracefully instead of killing a serving process.
 bool FitsSnapshotFormat(int universe_size);
+bool FitsVectorSnapshotFormat(int universe_size, int dim);
+// Representation-aware pre-checks for live objects.
+bool FitsSnapshotFormat(const engine::CorpusSnapshot& snapshot);
+bool FitsSnapshotFormat(const engine::CorpusState& state);
 
-// Serializes one immutable corpus version. Never fails; the result is
-// accepted by DecodeSnapshot and is deterministic for a given snapshot.
+// Serializes one immutable corpus version (either representation). Never
+// fails; the result is accepted by DecodeSnapshot and is deterministic
+// for a given snapshot.
 std::vector<std::uint8_t> EncodeSnapshot(
     const engine::CorpusSnapshot& snapshot);
 // Same image from a plain state (used by tests and tools that hold a

@@ -51,7 +51,7 @@ CorpusUpdateBatch RandomBatch(Rng& rng) {
     std::vector<CorpusUpdate>& epoch = batch.epochs.emplace_back();
     const int updates = rng.UniformInt(0, 3);
     for (int j = 0; j < updates; ++j) {
-      switch (rng.UniformInt(0, 3)) {
+      switch (rng.UniformInt(0, 4)) {
         case 0:
           epoch.push_back(CorpusUpdate::SetWeight(rng.UniformInt(0, 99),
                                                   rng.Uniform(0.0, 1.0)));
@@ -66,6 +66,15 @@ CorpusUpdateBatch RandomBatch(Rng& rng) {
           for (double& d : distances) d = rng.Uniform(1.0, 2.0);
           epoch.push_back(CorpusUpdate::Insert(rng.Uniform(0.0, 1.0),
                                                std::move(distances)));
+          break;
+        }
+        case 3: {
+          // Feature-vector insert: the embedding rides the same f64 array
+          // field as kInsert's distance row.
+          std::vector<double> embedding(rng.UniformInt(1, 8));
+          for (double& x : embedding) x = rng.Uniform(-1.0, 1.0);
+          epoch.push_back(CorpusUpdate::InsertVector(rng.Uniform(0.0, 1.0),
+                                                     std::move(embedding)));
           break;
         }
         default:
@@ -225,6 +234,26 @@ TEST(RpcWireTest, UnknownTypeAndCorruptEnumsRejected) {
   encoded[19] = 99;
   CorpusUpdateBatch decoded_batch;
   EXPECT_FALSE(Decode(encoded, &decoded_batch));
+}
+
+// kInsertVector (kind 4) is the newest accepted update kind; the decoder
+// must take it and reject exactly the first value past it.
+TEST(RpcWireTest, InsertVectorKindBoundary) {
+  CorpusUpdateBatch batch;
+  batch.from_version = 7;
+  batch.epochs.push_back(
+      {engine::CorpusUpdate::InsertVector(0.5, {0.25, -0.75, 1.0})});
+  std::vector<std::uint8_t> encoded = Encode(batch);
+  CorpusUpdateBatch decoded;
+  ASSERT_TRUE(Decode(encoded, &decoded));
+  ASSERT_EQ(decoded.epochs.size(), 1u);
+  ASSERT_EQ(decoded.epochs[0].size(), 1u);
+  ExpectEqual(decoded.epochs[0][0], batch.epochs[0][0]);
+
+  // Same layout, kind byte bumped one past kInsertVector: rejected.
+  std::vector<std::uint8_t> unknown = encoded;
+  unknown[19] = 5;
+  EXPECT_FALSE(Decode(unknown, &decoded));
 }
 
 SnapshotOffer RandomOffer(Rng& rng) {

@@ -14,6 +14,7 @@
 #include "data/synthetic.h"
 #include "engine/corpus.h"
 #include "engine/workload.h"
+#include "metric/vector_metric.h"
 #include "snapshot/checkpoint_store.h"
 #include "snapshot/snapshot_codec.h"
 #include "util/random.h"
@@ -197,26 +198,223 @@ TEST(SnapshotCodecTest, RechecksummedTamperingStillRejected) {
   bad_count[22] ^= 0x01;  // universe size: image length no longer matches
   EXPECT_FALSE(DecodeSnapshot(Rechecksum(bad_count), &state));
 
+  // Unknown metric representation byte (follows the u32 universe size).
+  std::vector<std::uint8_t> bad_repr = image;
+  bad_repr[26] = 2;
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(bad_repr), &state));
+
   // First weight -> NaN (exponent bits all-ones + mantissa bit).
   std::vector<std::uint8_t> nan_weight = image;
-  for (int i = 0; i < 8; ++i) nan_weight[26 + i] = 0xff;
+  for (int i = 0; i < 8; ++i) nan_weight[27 + i] = 0xff;
   EXPECT_FALSE(DecodeSnapshot(Rechecksum(nan_weight), &state));
 
   // First liveness byte out of {0, 1}.
   const int n = corpus.snapshot()->universe_size();
   std::vector<std::uint8_t> bad_alive = image;
-  bad_alive[26 + 8 * n] = 2;
+  bad_alive[27 + 8 * n] = 2;
   EXPECT_FALSE(DecodeSnapshot(Rechecksum(bad_alive), &state));
 
   // First distance -> negative (sign bit of the first triangle double).
   std::vector<std::uint8_t> bad_distance = image;
-  bad_distance[26 + 9 * n + 7] |= 0x80;
+  bad_distance[27 + 9 * n + 7] |= 0x80;
   EXPECT_FALSE(DecodeSnapshot(Rechecksum(bad_distance), &state));
 
   // NaN lambda.
   std::vector<std::uint8_t> bad_lambda = image;
   for (int i = 0; i < 8; ++i) bad_lambda[14 + i] = 0xff;
   EXPECT_FALSE(DecodeSnapshot(Rechecksum(bad_lambda), &state));
+}
+
+// ---- Feature-vector images -------------------------------------------------
+//
+// Vector-repr corpora snapshot through the same codec with an O(n * d)
+// payload: [u32 dim] follows the repr byte, weights start at 31, alive
+// at 31 + 8n, and the row-major vector data at 31 + 9n. These tests hold
+// the vector branch to the same bar as the dense one: exact size
+// formula, bitwise round-trip, every-prefix truncation, every-byte
+// corruption, and rechecksummed semantic tampering.
+
+Corpus MakeVectorCorpus(int n, int dim, std::uint64_t seed,
+                        double lambda = 0.3) {
+  Rng rng(seed);
+  std::vector<double> data;
+  data.reserve(static_cast<std::size_t>(n) * dim);
+  for (int i = 0; i < n * dim; ++i) data.push_back(rng.Uniform(-1.0, 1.0));
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.Uniform(0.0, 1.0);
+  return Corpus(std::move(weights),
+                VectorMetric::FromRows(dim, std::move(data)), lambda);
+}
+
+void ExpectVectorStateMatches(const CorpusSnapshot& snapshot,
+                              const CorpusState& state) {
+  ASSERT_EQ(state.repr, engine::MetricRepr::kVector);
+  EXPECT_EQ(state.version, snapshot.version());
+  EXPECT_EQ(state.lambda, snapshot.lambda());
+  const int n = snapshot.universe_size();
+  ASSERT_EQ(static_cast<int>(state.weights.size()), n);
+  ASSERT_EQ(static_cast<int>(state.alive.size()), n);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(state.weights[i], snapshot.weights().weight(i));
+    EXPECT_EQ(state.alive[i] != 0, snapshot.alive(i));
+  }
+  ASSERT_EQ(state.vectors.size(), n);
+  ASSERT_EQ(state.vectors.dim(), snapshot.vectors().dim());
+  // Row-major payload bit-equal => every derived distance bit-equal.
+  EXPECT_EQ(state.vectors.data(), snapshot.vectors().data());
+}
+
+TEST(SnapshotCodecTest, VectorImageSizeMatchesFormula) {
+  for (int n : {1, 2, 7, 40}) {
+    for (int dim : {1, 3, 16}) {
+      Corpus corpus = MakeVectorCorpus(n, dim, 100 + n + dim);
+      const std::vector<std::uint8_t> image =
+          EncodeSnapshot(*corpus.snapshot());
+      EXPECT_EQ(image.size(), EncodedVectorSnapshotBytes(n, dim))
+          << "n=" << n << " dim=" << dim;
+    }
+  }
+}
+
+TEST(SnapshotCodecTest, VectorImageRoundTripWithChurn) {
+  Rng rng(103);
+  for (int iter = 0; iter < 6; ++iter) {
+    const int n = rng.UniformInt(1, 40);
+    const int dim = rng.UniformInt(1, 12);
+    Corpus corpus = MakeVectorCorpus(n, dim, rng.NextSeed());
+    // Vector-repr churn: fresh embeddings in, old ids retired, weights
+    // perturbed — the image must carry the grown universe.
+    const int epochs = rng.UniformInt(0, 6);
+    for (int e = 0; e < epochs; ++e) {
+      const int universe = corpus.snapshot()->universe_size();
+      std::vector<CorpusUpdate> epoch;
+      std::vector<double> fresh(dim);
+      for (double& x : fresh) x = rng.Uniform(-1.0, 1.0);
+      epoch.push_back(CorpusUpdate::InsertVector(rng.Uniform(0.0, 1.0),
+                                                 fresh));
+      epoch.push_back(CorpusUpdate::SetWeight(rng.UniformInt(0, universe - 1),
+                                              rng.Uniform(0.0, 2.0)));
+      if (universe > 1 && rng.UniformInt(0, 1) == 1) {
+        epoch.push_back(CorpusUpdate::Erase(rng.UniformInt(0, universe - 1)));
+      }
+      corpus.Apply(epoch);
+    }
+    const SnapshotPtr snapshot = corpus.snapshot();
+    const std::vector<std::uint8_t> image = EncodeSnapshot(*snapshot);
+    CorpusState state;
+    ASSERT_TRUE(DecodeSnapshot(image, &state));
+    ExpectVectorStateMatches(*snapshot, state);
+    EXPECT_EQ(EncodeSnapshot(*snapshot), image);
+    EXPECT_EQ(EncodeState(state), image);
+  }
+}
+
+TEST(SnapshotCodecTest, VectorRestoreRebuildsTheExactVersion) {
+  Corpus corpus = MakeVectorCorpus(14, 5, 107);
+  corpus.Apply(CorpusUpdate::SetWeight(3, 0.625));
+  corpus.Apply(CorpusUpdate::Erase(7));
+  const SnapshotPtr original = corpus.snapshot();
+  CorpusState state;
+  ASSERT_TRUE(DecodeSnapshot(EncodeSnapshot(*original), &state));
+
+  // Restore into a fresh corpus of the *other* representation: the repr
+  // must switch with the image.
+  Corpus restored = MakeCorpus(3, 99);
+  EXPECT_EQ(restored.Restore(std::move(state)), original->version());
+  const SnapshotPtr snapshot = restored.snapshot();
+  EXPECT_EQ(snapshot->repr(), engine::MetricRepr::kVector);
+  EXPECT_EQ(snapshot->version(), original->version());
+  EXPECT_EQ(snapshot->candidates(), original->candidates());
+  EXPECT_EQ(snapshot->lambda(), original->lambda());
+  const std::vector<CorpusUpdate> epoch{CorpusUpdate::SetWeight(0, 0.5)};
+  EXPECT_EQ(corpus.Apply(epoch), restored.Apply(epoch));
+}
+
+TEST(SnapshotCodecTest, VectorImageEveryPrefixTruncationRejected) {
+  Corpus corpus = MakeVectorCorpus(6, 3, 109);
+  const std::vector<std::uint8_t> image = EncodeSnapshot(*corpus.snapshot());
+  CorpusState state;
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    EXPECT_FALSE(DecodeSnapshot(std::span(image.data(), len), &state))
+        << "prefix length " << len;
+  }
+  std::vector<std::uint8_t> trailing = image;
+  trailing.push_back(0);
+  EXPECT_FALSE(DecodeSnapshot(trailing, &state));
+}
+
+TEST(SnapshotCodecTest, VectorImageEveryByteCorruptionRejected) {
+  Corpus corpus = MakeVectorCorpus(4, 3, 113);
+  const std::vector<std::uint8_t> image = EncodeSnapshot(*corpus.snapshot());
+  CorpusState state;
+  ASSERT_TRUE(DecodeSnapshot(image, &state));
+  for (std::size_t pos = 0; pos < image.size(); ++pos) {
+    std::vector<std::uint8_t> corrupt = image;
+    corrupt[pos] ^= 0x20;
+    EXPECT_FALSE(DecodeSnapshot(corrupt, &state)) << "byte " << pos;
+  }
+}
+
+TEST(SnapshotCodecTest, VectorImageRechecksummedTamperingRejected) {
+  Corpus corpus = MakeVectorCorpus(5, 4, 127);
+  const std::vector<std::uint8_t> image = EncodeSnapshot(*corpus.snapshot());
+  CorpusState state;
+  ASSERT_TRUE(DecodeSnapshot(image, &state));
+  const int n = corpus.snapshot()->universe_size();
+
+  // Dimension zero: the payload equation would hold with no vector data,
+  // so the bound check has to fire first.
+  std::vector<std::uint8_t> zero_dim = image;
+  for (int i = 0; i < 4; ++i) zero_dim[27 + i] = 0;
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(zero_dim), &state));
+
+  // Dimension above kMaxVectorDim: rejected before any size arithmetic
+  // could overflow.
+  std::vector<std::uint8_t> huge_dim = image;
+  for (int i = 0; i < 4; ++i) huge_dim[27 + i] = 0xff;
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(huge_dim), &state));
+
+  // Dimension off by one: image length no longer matches the equation.
+  std::vector<std::uint8_t> skew_dim = image;
+  skew_dim[27] ^= 0x01;
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(skew_dim), &state));
+
+  // First weight -> NaN (weights start after the u32 dim, at byte 31).
+  std::vector<std::uint8_t> nan_weight = image;
+  for (int i = 0; i < 8; ++i) nan_weight[31 + i] = 0xff;
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(nan_weight), &state));
+
+  // First liveness byte out of {0, 1}.
+  std::vector<std::uint8_t> bad_alive = image;
+  bad_alive[31 + 8 * n] = 2;
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(bad_alive), &state));
+
+  // First vector component -> NaN: kernels would propagate it into every
+  // distance, so the image is rejected at the trust boundary.
+  std::vector<std::uint8_t> nan_component = image;
+  for (int i = 0; i < 8; ++i) nan_component[31 + 9 * n + i] = 0xff;
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(nan_component), &state));
+
+  // Component magnitude above kMaxVectorComponent (2e307 > 1e100): the
+  // squared-distance kernel could overflow to inf.
+  std::vector<std::uint8_t> huge_component = image;
+  huge_component[31 + 9 * n + 7] = 0x7f;
+  huge_component[31 + 9 * n + 6] = 0xc0;
+  EXPECT_FALSE(DecodeSnapshot(Rechecksum(huge_component), &state));
+}
+
+// A vector image decoded into state must refuse components the update
+// path would have refused, even when hand-assembled via EncodeState.
+TEST(SnapshotCodecTest, VectorInvalidValuesInWellFormedImageRejected) {
+  Corpus corpus = MakeVectorCorpus(4, 3, 131);
+  CorpusState state;
+  ASSERT_TRUE(DecodeSnapshot(EncodeSnapshot(*corpus.snapshot()), &state));
+  CorpusState tampered = state;
+  std::vector<double> rows = tampered.vectors.data();
+  rows[0] = -1e200;  // above kMaxVectorComponent in magnitude
+  tampered.vectors = VectorMetric::FromRows(3, std::move(rows));
+  CorpusState decoded;
+  EXPECT_FALSE(DecodeSnapshot(EncodeState(tampered), &decoded));
 }
 
 // EncodeState is not a validator; DecodeSnapshot is the trust boundary
@@ -457,6 +655,31 @@ TEST(CheckpointStoreTest, CorruptDeltaEndsFoldAtLastGoodLink) {
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->version, 1u);
   EXPECT_EQ(EncodeState(*loaded), EncodeState(states[0]));
+}
+
+// Checkpoint store round-trips vector corpora through the same save/load
+// path, including the delta-fold (InsertVector epochs chained onto a
+// full vector image).
+TEST(CheckpointStoreTest, VectorSaveLoadAndDeltaFold) {
+  const std::string dir = TestDir("ckpt_vector");
+  CheckpointStore store(dir);
+  Rng rng(137);
+  Corpus corpus = MakeVectorCorpus(10, 4, 139);
+  ASSERT_TRUE(store.Save(*corpus.snapshot()));
+  for (int e = 0; e < 3; ++e) {
+    const std::uint64_t from = corpus.snapshot()->version();
+    std::vector<double> fresh(4);
+    for (double& x : fresh) x = rng.Uniform(-1.0, 1.0);
+    std::vector<std::vector<CorpusUpdate>> epochs;
+    epochs.push_back({CorpusUpdate::InsertVector(0.5 + 0.1 * e, fresh),
+                      CorpusUpdate::SetWeight(e, 0.25 * (e + 1))});
+    corpus.Apply(epochs.back());
+    ASSERT_TRUE(store.SaveDelta(from, from + 1, epochs));
+  }
+  std::optional<CorpusState> loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->version, 3u);
+  ExpectVectorStateMatches(*corpus.snapshot(), *loaded);
 }
 
 }  // namespace
