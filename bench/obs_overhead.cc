@@ -1,0 +1,208 @@
+// Observation-only contract check for the obs layer: replays the same
+// synthetic query/update trace through the engine twice per round — once
+// plain, once fully instrumented (MetricRegistry attached + a QueryTrace
+// on every query) — and reports
+//
+//   overhead_x = median(instrumented round seconds)
+//              / median(plain round seconds)
+//   bit_equal  = instrumented answers identical to plain answers
+//                (elements, objective, corpus version) for every query
+//
+// in BENCH_obs.json. The binary itself enforces the contract: bit_equal
+// must hold unconditionally, and overhead_x must stay <= --max_overhead
+// (default 1.05) unless DIVERSE_BENCH_NO_GATE is set — instrumentation
+// that perturbs answers or costs more than ~5% is a bug, not a tuning
+// knob. Rounds alternate plain/instrumented so slow drift (thermal,
+// noisy neighbors) hits both arms symmetrically.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_json.h"
+#include "data/synthetic.h"
+#include "engine/engine.h"
+#include "engine/workload.h"
+#include "obs/metric_registry.h"
+#include "obs/query_trace.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace diverse {
+namespace {
+
+struct RoundResult {
+  double seconds = 0.0;
+  std::vector<engine::QueryResult> answers;
+};
+
+// One full trace replay on a fresh engine built from `data`. The Rng is
+// re-seeded per round, so every round sees the identical query stream
+// and identical update epochs — the only difference between arms is the
+// instrumentation.
+RoundResult RunRound(const Dataset& data, int queries, int p, double lambda,
+                     int update_every, std::uint64_t seed,
+                     bool instrumented) {
+  obs::MetricRegistry registry;
+  engine::DiversificationEngine::Options options;
+  options.num_workers = 1;
+  if (instrumented) options.registry = &registry;
+  Dataset copy = data;
+  engine::DiversificationEngine server(copy.weights, std::move(copy.metric),
+                                       lambda, options);
+  const int n = data.size();
+
+  Rng rng(seed);
+  engine::SyntheticQueryConfig query_config;
+  query_config.p = p;
+  query_config.lambda = lambda;
+  query_config.universe = n;
+  std::vector<engine::Query> trace;
+  trace.reserve(queries);
+  for (int i = 0; i < queries; ++i) {
+    trace.push_back(engine::MakeSyntheticQuery(query_config, rng));
+  }
+  std::vector<std::unique_ptr<obs::QueryTrace>> query_traces;
+  if (instrumented) {
+    query_traces.reserve(queries);
+    for (int i = 0; i < queries; ++i) {
+      query_traces.push_back(std::make_unique<obs::QueryTrace>());
+      trace[i].trace = query_traces.back().get();
+    }
+  }
+
+  int epoch = 0;
+  RoundResult result;
+  result.answers.reserve(queries);
+  WallTimer wall;
+  for (int i = 0; i < queries; ++i) {
+    if (update_every > 0 && i > 0 && i % update_every == 0) {
+      server.ApplyUpdates(
+          engine::MakeSyntheticEpoch(n, /*churn=*/false, epoch++, rng));
+    }
+    result.answers.push_back(server.RunSync(trace[i]));
+  }
+  result.seconds = wall.Seconds();
+  return result;
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+bool SameAnswers(const std::vector<engine::QueryResult>& a,
+                 const std::vector<engine::QueryResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].elements != b[i].elements ||
+        a[i].objective != b[i].objective ||
+        a[i].corpus_version != b[i].corpus_version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(int n, int p, int queries, int rounds, double lambda,
+        int update_every, double max_overhead, std::uint64_t seed) {
+  Rng rng(seed);
+  const Dataset data = MakeUniformSynthetic(n, rng);
+  std::cout << "obs overhead: n = " << n << ", p = " << p << ", " << queries
+            << " queries x " << rounds << " rounds per arm\n";
+
+  // Warm-up pass (both arms) so first-touch costs are off the clock.
+  RunRound(data, queries, p, lambda, update_every, seed, false);
+  RunRound(data, queries, p, lambda, update_every, seed, true);
+
+  std::vector<double> plain_seconds;
+  std::vector<double> instr_seconds;
+  bool bit_equal = true;
+  for (int r = 0; r < rounds; ++r) {
+    const RoundResult plain =
+        RunRound(data, queries, p, lambda, update_every, seed, false);
+    const RoundResult instr =
+        RunRound(data, queries, p, lambda, update_every, seed, true);
+    plain_seconds.push_back(plain.seconds);
+    instr_seconds.push_back(instr.seconds);
+    bit_equal = bit_equal && SameAnswers(plain.answers, instr.answers);
+  }
+  const double plain_median = Median(plain_seconds);
+  const double instr_median = Median(instr_seconds);
+  const double overhead_x = instr_median / plain_median;
+  std::cout << "plain median:        " << plain_median * 1e3 << " ms\n"
+            << "instrumented median: " << instr_median * 1e3 << " ms\n"
+            << "overhead_x:          " << overhead_x << "\n"
+            << "bit_equal:           " << (bit_equal ? "yes" : "NO") << "\n";
+
+  bench::BenchJson json("obs");
+  json.NewRecord("plain")
+      .Add("n", static_cast<long long>(n))
+      .Add("p", static_cast<long long>(p))
+      .Add("queries", static_cast<long long>(queries))
+      .Add("rounds", static_cast<long long>(rounds))
+      .Add("median_seconds", plain_median)
+      .Add("qps", queries / plain_median);
+  json.NewRecord("instrumented")
+      .Add("n", static_cast<long long>(n))
+      .Add("p", static_cast<long long>(p))
+      .Add("queries", static_cast<long long>(queries))
+      .Add("rounds", static_cast<long long>(rounds))
+      .Add("median_seconds", instr_median)
+      .Add("qps", queries / instr_median)
+      .Add("overhead_x", overhead_x)
+      .Add("bit_equal", static_cast<long long>(bit_equal ? 1 : 0));
+  json.WriteFile();
+
+  if (!bit_equal) {
+    std::cerr << "FAIL: instrumented answers diverged from plain answers — "
+                 "observation changed an answer\n";
+    return 1;
+  }
+  if (overhead_x > max_overhead) {
+    if (std::getenv("DIVERSE_BENCH_NO_GATE") != nullptr) {
+      std::cout << "DIVERSE_BENCH_NO_GATE set: overhead gate not enforced\n";
+      return 0;
+    }
+    std::cerr << "FAIL: overhead_x " << overhead_x << " > " << max_overhead
+              << " (set DIVERSE_BENCH_NO_GATE=1 to override)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace diverse
+
+int main(int argc, char** argv) {
+  int n = 900;
+  int p = 10;
+  int queries = 80;
+  int rounds = 15;
+  double lambda = 0.2;
+  int update_every = 10;
+  double max_overhead = 1.05;
+  std::int64_t seed = 17;
+  diverse::FlagSet flags(
+      "obs_overhead — measure the cost of full instrumentation (metric "
+      "registry + per-query traces) against an identical plain run and "
+      "enforce the observation-only contract");
+  flags.AddInt("n", &n, "synthetic corpus size");
+  flags.AddInt("p", &p, "subset size per query");
+  flags.AddInt("queries", &queries, "queries per round");
+  flags.AddInt("rounds", &rounds, "rounds per arm (median is reported)");
+  flags.AddDouble("lambda", &lambda, "quality/diversity trade-off");
+  flags.AddInt("update_every", &update_every,
+               "apply an update epoch every K queries (0 = none)");
+  flags.AddDouble("max_overhead", &max_overhead,
+                  "fail when overhead_x exceeds this");
+  flags.AddInt64("seed", &seed, "random seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  return diverse::Run(n, p, queries, rounds, lambda, update_every,
+                      max_overhead, static_cast<std::uint64_t>(seed));
+}

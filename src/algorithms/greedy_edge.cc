@@ -1,7 +1,6 @@
 #include "algorithms/greedy_edge.h"
 
 #include <algorithm>
-#include <atomic>
 #include <optional>
 #include <vector>
 
@@ -45,7 +44,7 @@ AlgorithmResult GreedyEdge(const DiversificationProblem& problem,
   if (wrap_metric) cache.emplace(&base_metric);
   const MetricSpace& metric = wrap_metric ? *cache : base_metric;
   const double lambda = problem.lambda();
-  std::atomic<long long> scored{0};
+  obs::Counter scored;
 
   std::vector<bool> chosen(n, false);
   std::vector<int> selected;

@@ -38,9 +38,8 @@ void DistanceCache::MaterializeDense() {
       matrix_[static_cast<std::size_t>(v) * n_ + u] = d;
     }
   }
-  base_calls_.fetch_add(static_cast<long long>(n_) * (n_ - 1) / 2,
-                        std::memory_order_relaxed);
-  rows_built_.fetch_add(n_, std::memory_order_relaxed);
+  base_calls_.Inc(static_cast<long long>(n_) * (n_ - 1) / 2);
+  rows_built_.Inc(n_);
 }
 
 const double* DistanceCache::LazyRow(int u) const {
@@ -50,8 +49,8 @@ const double* DistanceCache::LazyRow(int u) const {
       std::vector<double>& row = rows_[u];
       row.resize(n_);
       for (int v = 0; v < n_; ++v) row[v] = base_->Distance(u, v);
-      base_calls_.fetch_add(n_, std::memory_order_relaxed);
-      rows_built_.fetch_add(1, std::memory_order_relaxed);
+      base_calls_.Inc(n_);
+      rows_built_.Inc();
       ready_[u].store(true, std::memory_order_release);
     }
   }
@@ -61,9 +60,9 @@ const double* DistanceCache::LazyRow(int u) const {
 double DistanceCache::Distance(int u, int v) const {
   DIVERSE_DCHECK(0 <= u && u < n_);
   DIVERSE_DCHECK(0 <= v && v < n_);
-  lookups_.fetch_add(1, std::memory_order_relaxed);
+  lookups_.Inc();
   if (backend_ != nullptr) {
-    base_calls_.fetch_add(1, std::memory_order_relaxed);
+    base_calls_.Inc();
     return backend_->Distance(u, v);
   }
   if (dense_) return matrix_[static_cast<std::size_t>(u) * n_ + v];
@@ -77,9 +76,9 @@ double DistanceCache::Distance(int u, int v) const {
 void DistanceCache::DistanceRow(int u, std::span<double> row) const {
   DIVERSE_DCHECK(0 <= u && u < n_);
   DIVERSE_DCHECK(static_cast<int>(row.size()) == n_);
-  lookups_.fetch_add(n_, std::memory_order_relaxed);
+  lookups_.Inc(n_);
   if (backend_ != nullptr) {
-    base_calls_.fetch_add(n_, std::memory_order_relaxed);
+    base_calls_.Inc(n_);
     backend_->DistanceRow(u, row);
     return;
   }
@@ -92,11 +91,9 @@ void DistanceCache::DistanceRow(int u, std::span<double> row) const {
 void DistanceCache::DistancesTo(int u, std::span<const int> ids,
                                 std::span<double> out) const {
   DIVERSE_DCHECK(out.size() == ids.size());
-  lookups_.fetch_add(static_cast<long long>(ids.size()),
-                     std::memory_order_relaxed);
+  lookups_.Inc(static_cast<long long>(ids.size()));
   if (backend_ != nullptr) {
-    base_calls_.fetch_add(static_cast<long long>(ids.size()),
-                          std::memory_order_relaxed);
+    base_calls_.Inc(static_cast<long long>(ids.size()));
     backend_->DistancesTo(u, ids, out);
     return;
   }
@@ -125,7 +122,7 @@ void DistanceCache::RefreshOne(int u, int v) {
   DIVERSE_CHECK(0 <= v && v < n_);
   if (u == v || backend_ != nullptr) return;
   const double d = base_->Distance(u, v);
-  base_calls_.fetch_add(1, std::memory_order_relaxed);
+  base_calls_.Inc();
   if (dense_) {
     matrix_[static_cast<std::size_t>(u) * n_ + v] = d;
     matrix_[static_cast<std::size_t>(v) * n_ + u] = d;
@@ -162,11 +159,22 @@ void DistanceCache::Invalidate() {
   version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
+void DistanceCache::RegisterMetrics(obs::MetricRegistry* registry,
+                                    const std::string& prefix) {
+  registrations_.clear();
+  registrations_.push_back(registry->RegisterCounter(
+      prefix + "_base_distance_calls_total", &base_calls_));
+  registrations_.push_back(registry->RegisterCounter(
+      prefix + "_rows_materialized_total", &rows_built_));
+  registrations_.push_back(registry->RegisterCounter(
+      prefix + "_lookups_total", &lookups_));
+}
+
 DistanceCache::Stats DistanceCache::stats() const {
   Stats stats;
-  stats.base_distance_calls = base_calls_.load(std::memory_order_relaxed);
-  stats.rows_materialized = rows_built_.load(std::memory_order_relaxed);
-  stats.lookups = lookups_.load(std::memory_order_relaxed);
+  stats.base_distance_calls = base_calls_.value();
+  stats.rows_materialized = rows_built_.value();
+  stats.lookups = lookups_.value();
   return stats;
 }
 

@@ -33,10 +33,13 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "metric/metric_backend.h"
+#include "obs/metric_registry.h"
+#include "obs/metrics.h"
 
 namespace diverse {
 
@@ -102,6 +105,13 @@ class DistanceCache : public MetricBackend {
 
   Stats stats() const;
 
+  // Publishes the cache's counters into `registry` under
+  // `<prefix>_{base_distance_calls,rows_materialized,lookups}_total`
+  // (e.g. prefix "diverse_cache"). The registry must outlive the cache;
+  // calling again replaces the previous registrations.
+  void RegisterMetrics(obs::MetricRegistry* registry,
+                       const std::string& prefix);
+
  private:
   void MaterializeDense();
   // Refresh without the version bump (shared by Refresh/RefreshMany).
@@ -122,9 +132,11 @@ class DistanceCache : public MetricBackend {
   mutable std::mutex materialize_mu_;
 
   std::atomic<std::uint64_t> version_{0};
-  mutable std::atomic<long long> base_calls_{0};
-  mutable std::atomic<long long> rows_built_{0};
-  mutable std::atomic<long long> lookups_{0};
+  mutable obs::Counter base_calls_;
+  mutable obs::Counter rows_built_;
+  mutable obs::Counter lookups_;
+  // Declared last so the views unregister before the counters they read.
+  std::vector<obs::MetricRegistry::Registration> registrations_;
 };
 
 }  // namespace diverse

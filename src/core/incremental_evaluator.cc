@@ -38,28 +38,28 @@ IncrementalEvaluator::IncrementalEvaluator(SolutionState* state,
 }
 
 double IncrementalEvaluator::GainOfAdd(int u) const {
-  add_gain_queries_.fetch_add(1, std::memory_order_relaxed);
+  add_gain_queries_.Inc();
   return state_->AddGain(u);
 }
 
 double IncrementalEvaluator::GainOfPrimeAdd(int u) const {
-  add_gain_queries_.fetch_add(1, std::memory_order_relaxed);
+  add_gain_queries_.Inc();
   return state_->PrimeGain(u);
 }
 
 double IncrementalEvaluator::GainOfRemove(int u) const {
-  remove_gain_queries_.fetch_add(1, std::memory_order_relaxed);
+  remove_gain_queries_.Inc();
   return state_->RemoveGain(u);
 }
 
 double IncrementalEvaluator::GainOfSwap(int out, int in) const {
-  swap_gain_queries_.fetch_add(1, std::memory_order_relaxed);
+  swap_gain_queries_.Inc();
   return state_->SwapGain(out, in);
 }
 
 ScoredCandidate IncrementalEvaluator::BestAddOver(
     std::span<const int> candidates) const {
-  batch_scans_.fetch_add(1, std::memory_order_relaxed);
+  batch_scans_.Inc();
   return ParallelArgmax(candidates, options_.num_threads,
                         options_.parallel_grain, candidates_scored_,
                         [this](int e, double* gain) {
@@ -71,7 +71,7 @@ ScoredCandidate IncrementalEvaluator::BestAddOver(
 
 ScoredCandidate IncrementalEvaluator::BestPrimeAddOver(
     std::span<const int> candidates) const {
-  batch_scans_.fetch_add(1, std::memory_order_relaxed);
+  batch_scans_.Inc();
   return ParallelArgmax(candidates, options_.num_threads,
                         options_.parallel_grain, candidates_scored_,
                         [this](int e, double* gain) {
@@ -84,7 +84,7 @@ ScoredCandidate IncrementalEvaluator::BestPrimeAddOver(
 ScoredCandidate IncrementalEvaluator::BestDensityAddOver(
     std::span<const int> candidates, std::span<const double> costs,
     double budget_left, double cost_floor) const {
-  batch_scans_.fetch_add(1, std::memory_order_relaxed);
+  batch_scans_.Inc();
   return ParallelArgmax(
       candidates, options_.num_threads, options_.parallel_grain,
       candidates_scored_, [&](int e, double* gain) {
@@ -107,7 +107,7 @@ auto IncrementalEvaluator::WithQualityRemoved(int out, Fn&& fn) const {
 ScoredCandidate IncrementalEvaluator::BestSwapInFor(
     int out, std::span<const int> ins) const {
   DIVERSE_DCHECK(state_->Contains(out));
-  batch_scans_.fetch_add(1, std::memory_order_relaxed);
+  batch_scans_.Inc();
   const double lambda = state_->lambda();
   const MetricSpace& metric = state_->problem().metric();
   std::vector<double> row_scratch;
@@ -145,7 +145,7 @@ void IncrementalEvaluator::ScoreSwapsFor(int out, std::span<const int> ins,
                                          std::span<double> gains) const {
   DIVERSE_DCHECK(state_->Contains(out));
   DIVERSE_CHECK(gains.size() == ins.size());
-  batch_scans_.fetch_add(1, std::memory_order_relaxed);
+  batch_scans_.Inc();
   const double lambda = state_->lambda();
   const MetricSpace& metric = state_->problem().metric();
   std::vector<double> row_scratch;
@@ -170,8 +170,7 @@ void IncrementalEvaluator::ScoreSwapsFor(int out, std::span<const int> ins,
 
 double IncrementalEvaluator::BlockPrimeAddGain(
     std::span<const int> block) const {
-  add_gain_queries_.fetch_add(static_cast<long long>(block.size()),
-                              std::memory_order_relaxed);
+  add_gain_queries_.Inc(static_cast<long long>(block.size()));
   SetFunctionEvaluator* eval = state_->eval_.get();
   double f_gain = 0.0;
   for (int b : block) {
@@ -201,14 +200,27 @@ std::span<const int> IncrementalEvaluator::Universe() const {
 
 IncrementalEvaluator::Stats IncrementalEvaluator::stats() const {
   Stats stats;
-  stats.add_gain_queries = add_gain_queries_.load(std::memory_order_relaxed);
-  stats.remove_gain_queries =
-      remove_gain_queries_.load(std::memory_order_relaxed);
-  stats.swap_gain_queries = swap_gain_queries_.load(std::memory_order_relaxed);
-  stats.batch_scans = batch_scans_.load(std::memory_order_relaxed);
-  stats.candidates_scored =
-      candidates_scored_.load(std::memory_order_relaxed);
+  stats.add_gain_queries = add_gain_queries_.value();
+  stats.remove_gain_queries = remove_gain_queries_.value();
+  stats.swap_gain_queries = swap_gain_queries_.value();
+  stats.batch_scans = batch_scans_.value();
+  stats.candidates_scored = candidates_scored_.value();
   return stats;
+}
+
+void IncrementalEvaluator::RegisterMetrics(obs::MetricRegistry* registry,
+                                           const std::string& prefix) {
+  registrations_.clear();
+  registrations_.push_back(registry->RegisterCounter(
+      prefix + "_add_gain_queries_total", &add_gain_queries_));
+  registrations_.push_back(registry->RegisterCounter(
+      prefix + "_remove_gain_queries_total", &remove_gain_queries_));
+  registrations_.push_back(registry->RegisterCounter(
+      prefix + "_swap_gain_queries_total", &swap_gain_queries_));
+  registrations_.push_back(registry->RegisterCounter(
+      prefix + "_batch_scans_total", &batch_scans_));
+  registrations_.push_back(registry->RegisterCounter(
+      prefix + "_candidates_scored_total", &candidates_scored_));
 }
 
 }  // namespace diverse

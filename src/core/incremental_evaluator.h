@@ -30,13 +30,15 @@
 #ifndef DIVERSE_CORE_INCREMENTAL_EVALUATOR_H_
 #define DIVERSE_CORE_INCREMENTAL_EVALUATOR_H_
 
-#include <atomic>
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/parallel_scan.h"
 #include "core/solution_state.h"
+#include "obs/metric_registry.h"
+#include "obs/metrics.h"
 
 namespace diverse {
 
@@ -124,6 +126,14 @@ class IncrementalEvaluator {
 
   Stats stats() const;
 
+  // Publishes the evaluator's counters into `registry` under
+  // `<prefix>_{add_gain_queries,remove_gain_queries,swap_gain_queries,
+  // batch_scans,candidates_scored}_total` (e.g. prefix "diverse_eval").
+  // The registry must outlive the evaluator; calling again replaces the
+  // previous registrations.
+  void RegisterMetrics(obs::MetricRegistry* registry,
+                       const std::string& prefix);
+
  private:
   // Runs fn() with the state's quality evaluator positioned at S - out.
   template <typename Fn>
@@ -133,11 +143,13 @@ class IncrementalEvaluator {
   Options options_;
   mutable std::vector<int> universe_;  // lazily built by Universe()
 
-  mutable std::atomic<long long> add_gain_queries_{0};
-  mutable std::atomic<long long> remove_gain_queries_{0};
-  mutable std::atomic<long long> swap_gain_queries_{0};
-  mutable std::atomic<long long> batch_scans_{0};
-  mutable std::atomic<long long> candidates_scored_{0};
+  mutable obs::Counter add_gain_queries_;
+  mutable obs::Counter remove_gain_queries_;
+  mutable obs::Counter swap_gain_queries_;
+  mutable obs::Counter batch_scans_;
+  mutable obs::Counter candidates_scored_;
+  // Declared last so the views unregister before the counters they read.
+  std::vector<obs::MetricRegistry::Registration> registrations_;
 };
 
 }  // namespace diverse

@@ -13,13 +13,14 @@
 #ifndef DIVERSE_CORE_PARALLEL_SCAN_H_
 #define DIVERSE_CORE_PARALLEL_SCAN_H_
 
-#include <atomic>
 #include <cstddef>
 #include <limits>
 #include <span>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace diverse {
 
@@ -59,7 +60,7 @@ inline int PlanScanThreads(std::size_t count, int num_threads,
 template <typename Score>
 ScoredCandidate ParallelArgmax(std::span<const int> candidates,
                                int num_threads, std::size_t grain,
-                               std::atomic<long long>& scored, Score&& score) {
+                               obs::Counter& scored, Score&& score) {
   struct Local {
     ScoredCandidate best;
     std::size_t position = 0;
@@ -110,7 +111,7 @@ ScoredCandidate ParallelArgmax(std::span<const int> candidates,
       best_position = local.position;
     }
   }
-  scored.fetch_add(total, std::memory_order_relaxed);
+  scored.Inc(total);
   return best;
 }
 
@@ -118,7 +119,7 @@ ScoredCandidate ParallelArgmax(std::span<const int> candidates,
 // candidates. Same concurrency contract as ParallelArgmax.
 template <typename Score>
 void ParallelScore(std::span<const int> candidates, int num_threads,
-                   std::size_t grain, std::atomic<long long>& scored,
+                   std::size_t grain, obs::Counter& scored,
                    std::span<double> out, Score&& score) {
   constexpr double kSkipped = -std::numeric_limits<double>::infinity();
   auto scan = [&score, out](std::span<const int> part, std::size_t offset) {
@@ -155,7 +156,7 @@ void ParallelScore(std::span<const int> candidates, int num_threads,
     for (std::thread& w : workers) w.join();
     for (long long c : counts) total += c;
   }
-  scored.fetch_add(total, std::memory_order_relaxed);
+  scored.Inc(total);
 }
 
 // Argmax of score(a, b) over all ordered pairs (items[i], items[j]), i < j.
@@ -163,8 +164,8 @@ void ParallelScore(std::span<const int> candidates, int num_threads,
 // balanced. Ties keep the lexicographically earliest (i, j).
 template <typename Score>
 ScoredPair ParallelArgmaxPairs(std::span<const int> items, int num_threads,
-                               std::size_t grain,
-                               std::atomic<long long>& scored, Score&& score) {
+                               std::size_t grain, obs::Counter& scored,
+                               Score&& score) {
   struct Local {
     ScoredPair best;
     std::size_t pos_i = 0;
@@ -224,7 +225,7 @@ ScoredPair ParallelArgmaxPairs(std::span<const int> items, int num_threads,
       best_j = local.pos_j;
     }
   }
-  scored.fetch_add(total, std::memory_order_relaxed);
+  scored.Inc(total);
   return best;
 }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/query_trace.h"
 #include "util/check.h"
 
 namespace diverse {
@@ -85,6 +86,7 @@ void DiversificationEngine::Start() {
   DIVERSE_CHECK(options_.default_num_shards >= 1);
   plan_defaults_.num_shards = options_.default_num_shards;
   plan_defaults_.remote = options_.remote;
+  if (options_.registry != nullptr) RegisterMetrics(options_.registry);
   int workers = options_.num_workers;
   if (workers <= 0) {
     workers = static_cast<int>(std::thread::hardware_concurrency());
@@ -145,17 +147,22 @@ QueryResult DiversificationEngine::RunSync(const Query& query) const {
   ValidateQuery(query, plan_defaults_);
   const auto start = std::chrono::steady_clock::now();
   const SnapshotPtr snapshot = corpus_.snapshot();
-  snapshots_acquired_.fetch_add(1, std::memory_order_relaxed);
+  const auto acquired = std::chrono::steady_clock::now();
+  if (query.trace != nullptr) {
+    query.trace->AddSpan("snapshot", start, acquired);
+  }
+  snapshots_acquired_.Inc();
   QueryResult result = ExecuteQuery(*snapshot, query, plan_defaults_);
   result.latency_seconds = SecondsSince(start);
-  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  latency_hist_.Record(result.latency_seconds);
+  queries_served_.Inc();
   return result;
 }
 
 std::uint64_t DiversificationEngine::ApplyUpdates(
     std::span<const CorpusUpdate> updates) {
   const std::uint64_t version = corpus_.Apply(updates);
-  update_epochs_.fetch_add(1, std::memory_order_relaxed);
+  update_epochs_.Inc();
   return version;
 }
 
@@ -176,13 +183,22 @@ void DiversificationEngine::WorkerLoop() {
     }
     // One snapshot serves the whole batch: every job in it observes the
     // same corpus version, and acquisition cost is amortized.
+    const auto pickup = std::chrono::steady_clock::now();
     const SnapshotPtr snapshot = corpus_.snapshot();
-    snapshots_acquired_.fetch_add(1, std::memory_order_relaxed);
-    batches_.fetch_add(1, std::memory_order_relaxed);
+    const auto acquired = std::chrono::steady_clock::now();
+    snapshots_acquired_.Inc();
+    batches_.Inc();
     for (Job& job : batch) {
+      queue_wait_hist_.Record(
+          std::chrono::duration<double>(pickup - job.enqueued).count());
+      if (job.query.trace != nullptr) {
+        job.query.trace->AddSpan("queue", job.enqueued, pickup);
+        job.query.trace->AddSpan("snapshot", pickup, acquired);
+      }
       QueryResult result = ExecuteQuery(*snapshot, job.query, plan_defaults_);
       result.latency_seconds = SecondsSince(job.enqueued);
-      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      latency_hist_.Record(result.latency_seconds);
+      queries_served_.Inc();
       job.promise.set_value(std::move(result));
     }
   }
@@ -190,12 +206,30 @@ void DiversificationEngine::WorkerLoop() {
 
 DiversificationEngine::Stats DiversificationEngine::stats() const {
   Stats stats;
-  stats.queries_served = queries_served_.load(std::memory_order_relaxed);
-  stats.batches = batches_.load(std::memory_order_relaxed);
-  stats.snapshots_acquired =
-      snapshots_acquired_.load(std::memory_order_relaxed);
-  stats.update_epochs = update_epochs_.load(std::memory_order_relaxed);
+  stats.queries_served = queries_served_.value();
+  stats.batches = batches_.value();
+  stats.snapshots_acquired = snapshots_acquired_.value();
+  stats.update_epochs = update_epochs_.value();
   return stats;
+}
+
+void DiversificationEngine::RegisterMetrics(obs::MetricRegistry* registry) {
+  registrations_.clear();
+  registrations_.push_back(registry->RegisterCounter(
+      "diverse_engine_queries_total", &queries_served_));
+  registrations_.push_back(
+      registry->RegisterCounter("diverse_engine_batches_total", &batches_));
+  registrations_.push_back(registry->RegisterCounter(
+      "diverse_engine_snapshots_acquired_total", &snapshots_acquired_));
+  registrations_.push_back(registry->RegisterCounter(
+      "diverse_engine_update_epochs_total", &update_epochs_));
+  registrations_.push_back(registry->RegisterGauge(
+      "diverse_engine_corpus_version",
+      [this] { return static_cast<double>(corpus_.version()); }));
+  registrations_.push_back(registry->RegisterHistogram(
+      "diverse_engine_query_latency_seconds", &latency_hist_));
+  registrations_.push_back(registry->RegisterHistogram(
+      "diverse_engine_queue_wait_seconds", &queue_wait_hist_));
 }
 
 }  // namespace engine

@@ -36,6 +36,8 @@
 #include "engine/execution_plan.h"
 #include "engine/query.h"
 #include "metric/dense_metric.h"
+#include "obs/metric_registry.h"
+#include "obs/metrics.h"
 
 namespace diverse {
 namespace engine {
@@ -54,6 +56,11 @@ class DiversificationEngine {
     // CHECK-aborts at the call site. Implementations must be thread-safe:
     // every worker may call ExecuteSharded concurrently.
     RemoteExecutor* remote = nullptr;
+    // When set, the engine registers its counters, corpus-version gauge,
+    // and latency/queue-wait histograms under diverse_engine_* at
+    // construction. Must outlive the engine. Null = counters still
+    // accumulate (stats() is unchanged), just not enumerable.
+    obs::MetricRegistry* registry = nullptr;
   };
 
   // Always-on counters.
@@ -109,8 +116,17 @@ class DiversificationEngine {
   int num_workers() const { return static_cast<int>(workers_.size()); }
   Stats stats() const;
 
+  // Queue-inclusive latency of every answered query (Submit and RunSync);
+  // the source of the CLI's percentile report.
+  const obs::Histogram& latency_histogram() const { return latency_hist_; }
+  // Time jobs spent queued before a worker picked them up.
+  const obs::Histogram& queue_wait_histogram() const {
+    return queue_wait_hist_;
+  }
+
  private:
   void Start();  // shared ctor tail: option checks + worker spawn
+  void RegisterMetrics(obs::MetricRegistry* registry);
 
   struct Job {
     Query query;
@@ -130,10 +146,14 @@ class DiversificationEngine {
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 
-  mutable std::atomic<long long> queries_served_{0};
-  mutable std::atomic<long long> batches_{0};
-  mutable std::atomic<long long> snapshots_acquired_{0};
-  std::atomic<long long> update_epochs_{0};
+  mutable obs::Counter queries_served_;
+  mutable obs::Counter batches_;
+  mutable obs::Counter snapshots_acquired_;
+  obs::Counter update_epochs_;
+  mutable obs::Histogram latency_hist_;
+  mutable obs::Histogram queue_wait_hist_;
+  // Declared last so the views unregister before anything they read dies.
+  std::vector<obs::MetricRegistry::Registration> registrations_;
 };
 
 }  // namespace engine

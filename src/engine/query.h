@@ -16,6 +16,10 @@
 #include "matroid/matroid.h"
 
 namespace diverse {
+namespace obs {
+class QueryTrace;
+}  // namespace obs
+
 namespace engine {
 
 enum class QueryAlgorithm {
@@ -57,6 +61,11 @@ struct Query {
   // kKnapsack: per-id costs and budget (ids beyond costs.size() cost 0).
   std::vector<double> costs;
   double budget = 0.0;
+
+  // Optional span recorder (obs/query_trace.h); must outlive the query's
+  // future. Observation-only: a traced query returns bit-identical
+  // elements to the same query untraced. Null = no tracing.
+  obs::QueryTrace* trace = nullptr;
 };
 
 struct QueryResult {

@@ -1,0 +1,134 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace diverse {
+namespace obs {
+namespace {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// Bucket upper bound as it appears in the le label: shortest exact-enough
+// form ("%g" keeps 1e-06 readable), "+Inf" for the overflow bucket.
+std::string FormatBound(int index) {
+  if (index >= Histogram::kNumBuckets - 1) return "+Inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", Histogram::UpperBound(index));
+  return buffer;
+}
+
+void AppendJsonString(std::string* out, const std::string& text) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricRegistry& registry) {
+  std::string out;
+  for (const MetricRegistry::Sample& sample : registry.Snapshot()) {
+    switch (sample.kind) {
+      case MetricRegistry::Kind::kCounter:
+        out += "# TYPE " + sample.name + " counter\n";
+        out += sample.name + " " + std::to_string(sample.counter_value) + "\n";
+        break;
+      case MetricRegistry::Kind::kGauge:
+        out += "# TYPE " + sample.name + " gauge\n";
+        out += sample.name + " " + FormatDouble(sample.gauge_value) + "\n";
+        break;
+      case MetricRegistry::Kind::kHistogram: {
+        out += "# TYPE " + sample.name + " histogram\n";
+        long long cumulative = 0;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          cumulative += sample.histogram.counts[i];
+          out += sample.name + "_bucket{le=\"" + FormatBound(i) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += sample.name + "_sum " + FormatDouble(sample.histogram.sum) +
+               "\n";
+        out += sample.name + "_count " +
+               std::to_string(sample.histogram.total) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricRegistry& registry) {
+  std::vector<MetricRegistry::Sample> samples = registry.Snapshot();
+  std::string counters;
+  std::string gauges;
+  std::string histograms;
+  for (const MetricRegistry::Sample& sample : samples) {
+    switch (sample.kind) {
+      case MetricRegistry::Kind::kCounter:
+        if (!counters.empty()) counters += ",";
+        AppendJsonString(&counters, sample.name);
+        counters += ":" + std::to_string(sample.counter_value);
+        break;
+      case MetricRegistry::Kind::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        AppendJsonString(&gauges, sample.name);
+        gauges += ":";
+        gauges += std::isfinite(sample.gauge_value)
+                      ? FormatDouble(sample.gauge_value)
+                      : "null";
+        break;
+      case MetricRegistry::Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ",";
+        AppendJsonString(&histograms, sample.name);
+        histograms += ":{\"count\":" + std::to_string(sample.histogram.total) +
+                      ",\"sum\":" +
+                      (std::isfinite(sample.histogram.sum)
+                           ? FormatDouble(sample.histogram.sum)
+                           : "null") +
+                      ",\"buckets\":[";
+        long long cumulative = 0;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          cumulative += sample.histogram.counts[i];
+          if (i > 0) histograms += ",";
+          histograms += "[";
+          AppendJsonString(&histograms, FormatBound(i));
+          histograms += "," + std::to_string(cumulative) + "]";
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
+}
+
+}  // namespace obs
+}  // namespace diverse

@@ -1,0 +1,27 @@
+// Text exporters over a MetricRegistry snapshot: Prometheus exposition
+// format and a flat JSON document. Both render the same Snapshot(), so a
+// scrape and a local dump taken back to back agree on the metric set.
+#ifndef DIVERSE_OBS_EXPORT_H_
+#define DIVERSE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metric_registry.h"
+
+namespace diverse {
+namespace obs {
+
+// Prometheus text exposition (version 0.0.4): one `# TYPE` line per
+// metric, counters/gauges as `name value`, histograms as cumulative
+// `name_bucket{le="..."}` series plus `name_sum` / `name_count`.
+std::string RenderPrometheusText(const MetricRegistry& registry);
+
+// One JSON object: {"counters": {..}, "gauges": {..}, "histograms":
+// {name: {"count": N, "sum": S, "buckets": [[le, cumulative], ...]}}}.
+// Keys appear in sorted order; non-finite gauge values render as null.
+std::string RenderJson(const MetricRegistry& registry);
+
+}  // namespace obs
+}  // namespace diverse
+
+#endif  // DIVERSE_OBS_EXPORT_H_

@@ -1,0 +1,98 @@
+#include "obs/metric_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace diverse {
+namespace obs {
+
+void MetricRegistry::Registration::Release() {
+  if (registry_ != nullptr) {
+    registry_->Remove(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+MetricRegistry::Registration MetricRegistry::Add(Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.id = next_id_++;
+  std::uint64_t id = entry.id;
+  entries_.push_back(std::move(entry));
+  return Registration(this, id);
+}
+
+void MetricRegistry::Remove(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+MetricRegistry::Registration MetricRegistry::RegisterCounter(
+    std::string name, const Counter* counter) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = Kind::kCounter;
+  entry.counter = counter;
+  return Add(std::move(entry));
+}
+
+MetricRegistry::Registration MetricRegistry::RegisterGauge(
+    std::string name, std::function<double()> read) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = Kind::kGauge;
+  entry.gauge = std::move(read);
+  return Add(std::move(entry));
+}
+
+MetricRegistry::Registration MetricRegistry::RegisterHistogram(
+    std::string name, const Histogram* histogram) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = Kind::kHistogram;
+  entry.histogram = histogram;
+  return Add(std::move(entry));
+}
+
+std::vector<MetricRegistry::Sample> MetricRegistry::Snapshot() const {
+  std::vector<Sample> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples.reserve(entries_.size());
+    for (const Entry& entry : entries_) {
+      Sample sample;
+      sample.name = entry.name;
+      sample.kind = entry.kind;
+      switch (entry.kind) {
+        case Kind::kCounter:
+          sample.counter_value = entry.counter->value();
+          break;
+        case Kind::kGauge:
+          sample.gauge_value = entry.gauge();
+          break;
+        case Kind::kHistogram:
+          sample.histogram = entry.histogram->TakeSnapshot();
+          break;
+      }
+      samples.push_back(std::move(sample));
+    }
+  }
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const Sample& a, const Sample& b) {
+                     return a.name < b.name;
+                   });
+  return samples;
+}
+
+std::size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace obs
+}  // namespace diverse

@@ -1,0 +1,119 @@
+// Named metric registry: the one place a process's counters, gauges, and
+// histograms are enumerable for export (Prometheus text / JSON) and for
+// the StatsRequest remote scrape.
+//
+// Design: registration happens at component construction (cold path,
+// mutex-protected); the hot path never touches the registry — components
+// keep recording into their own Counter/Histogram members and the
+// registry holds *views*: a counter pointer, a histogram pointer, or a
+// gauge read callback. Snapshot() walks the views under the mutex and
+// reads each through its relaxed accessor.
+//
+// Lifetimes: a Registration is a movable RAII handle that removes its
+// entry on destruction, so short-lived components (per-query evaluators,
+// restarted nodes) can register safely — declare the Registration
+// members LAST in the owning class so they are destroyed first, and keep
+// the registry alive longer than every registrant.
+//
+// Naming scheme (see README "Observability"): diverse_<component>_<what>
+// with Prometheus conventions — `_total` counters, bare gauges,
+// `_seconds` histograms.
+#ifndef DIVERSE_OBS_METRIC_REGISTRY_H_
+#define DIVERSE_OBS_METRIC_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace diverse {
+namespace obs {
+
+class MetricRegistry {
+ public:
+  enum class Kind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+  // RAII handle: unregisters the named entry when destroyed. Default
+  // constructed (or moved-from) handles are inert.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept
+        : registry_(other.registry_), id_(other.id_) {
+      other.registry_ = nullptr;
+      other.id_ = 0;
+    }
+    Registration& operator=(Registration&& other) noexcept {
+      if (this != &other) {
+        Release();
+        registry_ = other.registry_;
+        id_ = other.id_;
+        other.registry_ = nullptr;
+        other.id_ = 0;
+      }
+      return *this;
+    }
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+    ~Registration() { Release(); }
+
+   private:
+    friend class MetricRegistry;
+    Registration(MetricRegistry* registry, std::uint64_t id)
+        : registry_(registry), id_(id) {}
+    void Release();
+
+    MetricRegistry* registry_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // The counter/histogram must outlive the returned Registration; the
+  // gauge callback must stay safe to invoke until then (it is called
+  // under the registry mutex during Snapshot()).
+  Registration RegisterCounter(std::string name, const Counter* counter);
+  Registration RegisterGauge(std::string name, std::function<double()> read);
+  Registration RegisterHistogram(std::string name,
+                                 const Histogram* histogram);
+
+  // Point-in-time view of every registered metric, sorted by name (ties —
+  // duplicate registration of one name — keep registration order).
+  struct Sample {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    long long counter_value = 0;       // kCounter
+    double gauge_value = 0.0;          // kGauge
+    Histogram::Snapshot histogram;     // kHistogram
+  };
+  std::vector<Sample> Snapshot() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    std::string name;
+    Kind kind = Kind::kCounter;
+    const Counter* counter = nullptr;
+    std::function<double()> gauge;
+    const Histogram* histogram = nullptr;
+  };
+
+  Registration Add(Entry entry);
+  void Remove(std::uint64_t id);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace obs
+}  // namespace diverse
+
+#endif  // DIVERSE_OBS_METRIC_REGISTRY_H_

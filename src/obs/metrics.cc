@@ -1,0 +1,75 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace diverse {
+namespace obs {
+
+namespace {
+constexpr double kBucketBase = 1e-6;  // upper bound of bucket 0, seconds
+constexpr int kLastFinite = Histogram::kNumBuckets - 2;
+}  // namespace
+
+double Histogram::UpperBound(int index) {
+  if (index >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(kBucketBase, index);
+}
+
+int Histogram::BucketIndex(double seconds) {
+  if (std::isnan(seconds)) return kNumBuckets - 1;
+  if (seconds <= kBucketBase) return 0;  // also catches 0 and negatives
+  if (seconds > std::ldexp(kBucketBase, kLastFinite)) return kNumBuckets - 1;
+  // seconds is in (base, base * 2^kLastFinite]; find the smallest i with
+  // seconds <= base * 2^i. ilogb floors the exponent, so bump by one
+  // unless seconds sits exactly on a bucket boundary.
+  int floor_exp = std::ilogb(seconds / kBucketBase);
+  if (seconds <= std::ldexp(kBucketBase, floor_exp)) return floor_exp;
+  return floor_exp + 1;
+}
+
+void Histogram::Record(double seconds) {
+  buckets_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(seconds, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snapshot.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    snapshot.total += snapshot.counts[i];
+  }
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+double Histogram::Percentile(double q) const {
+  Snapshot snapshot = TakeSnapshot();
+  if (snapshot.total == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Smallest bucket whose cumulative count reaches rank, then linear
+  // interpolation between the bucket's edges by the rank's position
+  // inside it — the classic Prometheus histogram_quantile estimate.
+  double rank = q * static_cast<double>(snapshot.total);
+  if (rank < 1.0) rank = 1.0;
+  long long cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (snapshot.counts[i] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += snapshot.counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == kNumBuckets - 1) return UpperBound(kNumBuckets - 2);
+    double lower = i == 0 ? 0.0 : UpperBound(i - 1);
+    double upper = UpperBound(i);
+    double fraction = (rank - before) / static_cast<double>(snapshot.counts[i]);
+    return lower + fraction * (upper - lower);
+  }
+  return UpperBound(kNumBuckets - 2);  // unreachable: total > 0
+}
+
+}  // namespace obs
+}  // namespace diverse

@@ -1,0 +1,94 @@
+// Lock-light metric primitives for the serving stack.
+//
+// Counter and Histogram are the two hot-path types: both record through
+// relaxed atomics only — no locks, no allocation, no syscalls — so they
+// can sit inside the engine worker loop, the shard-node kernel path, and
+// the per-query evaluator without perturbing the deterministic scan
+// order or the bit-equality contract (instrumentation observes; it never
+// participates in any answer).
+//
+// Histogram uses fixed exponential bucket boundaries (1 µs · 2^i), so
+// recording is one ilogb + two relaxed fetch_adds: O(1) with no
+// per-instance configuration to get wrong. Reads (TakeSnapshot,
+// Percentile) are relaxed too — a snapshot taken concurrently with
+// writers is a consistent-enough view for monitoring, never a data race.
+#ifndef DIVERSE_OBS_METRICS_H_
+#define DIVERSE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace diverse {
+namespace obs {
+
+// Monotonic event counter. A drop-in replacement for the raw
+// `std::atomic<long long>` counters the components carried before the
+// registry existed: identical cost (one relaxed fetch_add), but
+// registrable by address in a MetricRegistry.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(long long delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+// Latency histogram over fixed exponential bucket boundaries.
+//
+// Bucket i (0-based) covers (bound[i-1], bound[i]] seconds with
+// bound[i] = 1e-6 * 2^i — from 1 µs up to ~67 s — and the last bucket is
+// the +Inf overflow. Values <= 1 µs (including 0 and negatives, which
+// monotonic-clock latencies never produce) land in bucket 0; NaN and
+// +Inf land in the overflow bucket.
+class Histogram {
+ public:
+  // 27 finite bounds (1e-6 * 2^0 .. 1e-6 * 2^26 ~= 67.1 s) + overflow.
+  static constexpr int kNumBuckets = 28;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // O(1): bucket index from the exponent of value/1e-6, then two relaxed
+  // fetch_adds (bucket count and sum).
+  void Record(double seconds);
+
+  long long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  // Upper bound of bucket `index` in seconds; +Inf for the last bucket.
+  static double UpperBound(int index);
+
+  // Consistent-enough relaxed read of all buckets for export/percentiles.
+  struct Snapshot {
+    long long counts[kNumBuckets] = {};
+    long long total = 0;
+    double sum = 0.0;
+  };
+  Snapshot TakeSnapshot() const;
+
+  // Percentile estimate (q in [0, 1]) by linear interpolation inside the
+  // containing bucket. NaN when the histogram is empty; the overflow
+  // bucket reports its finite lower bound (there is no upper edge to
+  // interpolate toward).
+  double Percentile(double q) const;
+
+ private:
+  static int BucketIndex(double seconds);
+
+  std::atomic<long long> buckets_[kNumBuckets] = {};
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+}  // namespace obs
+}  // namespace diverse
+
+#endif  // DIVERSE_OBS_METRICS_H_

@@ -1,0 +1,50 @@
+#include "obs/query_trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace diverse {
+namespace obs {
+
+namespace {
+std::uint64_t NextTraceId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Seconds(QueryTrace::Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+}  // namespace
+
+QueryTrace::QueryTrace() : id_(NextTraceId()), epoch_(Clock::now()) {}
+
+void QueryTrace::AddSpan(std::string name, Clock::time_point start,
+                         Clock::time_point end) {
+  Span span;
+  span.name = std::move(name);
+  span.start_seconds = Seconds(start - epoch_);
+  span.duration_seconds = end > start ? Seconds(end - start) : 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<QueryTrace::Span> QueryTrace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string QueryTrace::Render() const {
+  std::string out = "trace " + std::to_string(id_) + "\n";
+  for (const Span& span : spans()) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-24s @%9.3fms +%9.3fms\n",
+                  span.name.c_str(), span.start_seconds * 1e3,
+                  span.duration_seconds * 1e3);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace diverse

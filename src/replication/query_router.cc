@@ -1,6 +1,7 @@
 #include "replication/query_router.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -47,10 +48,13 @@ QueryRouter::QueryRouter(ReplicaSyncService* sync, Options options)
 
 bool QueryRouter::RunShardRemote(const engine::CorpusSnapshot& snapshot,
                                  const rpc::ShardQueryRequest& request,
+                                 obs::QueryTrace* trace,
                                  std::vector<int>* elements,
                                  long long* steps) {
   const int node_index = request.shard_index % sync_->num_nodes();
   rpc::Transport* node = sync_->transport(node_index);
+  const std::string catchup_span =
+      "catchup.node" + std::to_string(node_index);
   // A quarantined node holds another coordinator lineage's epochs; its
   // answers at a numerically matching version would not be this
   // snapshot's. Catch-up below is snapshot-only and queries stay on-box
@@ -61,8 +65,11 @@ bool QueryRouter::RunShardRemote(const engine::CorpusSnapshot& snapshot,
   // tracking was stale (e.g. the node silently restarted).
   const std::uint64_t tracked = sync_->GetAcked(node_index);
   if (tracked < request.snapshot_version || sync_->NeedsReimage(node_index)) {
-    proactive_catchups_.fetch_add(1, std::memory_order_relaxed);
-    sync_->CatchUpTarget(node_index, tracked, request.snapshot_version);
+    proactive_catchups_.Inc();
+    {
+      obs::ScopedSpan span(trace, catchup_span);
+      sync_->CatchUpTarget(node_index, tracked, request.snapshot_version);
+    }
     // Best-effort: the query's own mismatch loop is the backstop.
     if (sync_->NeedsReimage(node_index)) return false;
   }
@@ -82,11 +89,12 @@ bool QueryRouter::RunShardRemote(const engine::CorpusSnapshot& snapshot,
       return true;
     }
     if (response.status != rpc::RpcStatus::kVersionMismatch) return false;
-    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    version_mismatches_.Inc();
     sync_->SetAcked(node_index, response.node_version);
     // A replica ahead of this snapshot cannot rewind; one behind is
     // brought up by snapshot transfer and/or epoch replay.
     if (response.node_version >= request.snapshot_version) return false;
+    obs::ScopedSpan span(trace, catchup_span);
     if (!sync_->CatchUpTarget(node_index, response.node_version,
                               request.snapshot_version)) {
       return false;
@@ -133,13 +141,16 @@ engine::QueryResult QueryRouter::ExecuteSharded(
         rpc::ShardQueryRequest request;
         request.snapshot_version = snapshot.version();
         request.shard_salt = query.shard_salt;
+        request.trace_id =
+            query.trace != nullptr ? query.trace->id() : 0;
         request.num_shards = num_shards;
         request.shard_index = s;
         request.p = p;
         request.per_shard = per_shard;
         request.lambda = query.lambda;
         request.relevance = query.relevance;
-        runs[s].remote_ok = RunShardRemote(snapshot, request,
+        obs::ScopedSpan span(query.trace, "rpc.shard" + std::to_string(s));
+        runs[s].remote_ok = RunShardRemote(snapshot, request, query.trace,
                                            &runs[s].elements,
                                            &runs[s].steps);
       }
@@ -172,15 +183,15 @@ engine::QueryResult QueryRouter::ExecuteSharded(
   for (int s = 0; s < num_shards; ++s) {
     if (!runs[s].attempted) continue;
     if (runs[s].remote_ok) {
-      remote_shards_.fetch_add(1, std::memory_order_relaxed);
+      remote_shards_.Inc();
     } else {
       if (options_.on_unreachable == FailurePolicy::kFail) {
-        failed_queries_.fetch_add(1, std::memory_order_relaxed);
+        failed_queries_.Inc();
         result.ok = false;
         result.latency_seconds = timer.Seconds();
         return result;
       }
-      local_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      local_fallbacks_.Inc();
       AlgorithmResult local =
           GreedyVertexOnCandidates(view.problem, shards[s], per_shard);
       runs[s].elements = std::move(local.elements);
@@ -192,6 +203,7 @@ engine::QueryResult QueryRouter::ExecuteSharded(
 
   // Round 2 + composable-core-set safeguard: the exact code path
   // ShardedGreedy runs, on the router's own problem view.
+  obs::ScopedSpan merge_span(query.trace, "merge");
   AlgorithmResult merged =
       MergeShardSolutions(view.problem, local_solutions, p);
   result.steps += merged.steps;
@@ -201,15 +213,29 @@ engine::QueryResult QueryRouter::ExecuteSharded(
   return result;
 }
 
+void QueryRouter::RegisterMetrics(obs::MetricRegistry* registry) {
+  registrations_.clear();
+  registrations_.push_back(registry->RegisterCounter(
+      "diverse_router_remote_shards_total", &remote_shards_));
+  registrations_.push_back(registry->RegisterCounter(
+      "diverse_router_local_fallbacks_total", &local_fallbacks_));
+  registrations_.push_back(registry->RegisterCounter(
+      "diverse_router_version_mismatches_total", &version_mismatches_));
+  registrations_.push_back(registry->RegisterCounter(
+      "diverse_router_proactive_catchups_total", &proactive_catchups_));
+  registrations_.push_back(registry->RegisterCounter(
+      "diverse_router_failed_queries_total", &failed_queries_));
+}
+
 QueryRouter::Stats QueryRouter::stats() const {
   Stats stats;
-  stats.remote_shards = remote_shards_.load(std::memory_order_relaxed);
-  stats.local_fallbacks = local_fallbacks_.load(std::memory_order_relaxed);
+  stats.remote_shards = remote_shards_.value();
+  stats.local_fallbacks = local_fallbacks_.value();
   stats.version_mismatches =
-      version_mismatches_.load(std::memory_order_relaxed);
+      version_mismatches_.value();
   stats.proactive_catchups =
-      proactive_catchups_.load(std::memory_order_relaxed);
-  stats.failed_queries = failed_queries_.load(std::memory_order_relaxed);
+      proactive_catchups_.value();
+  stats.failed_queries = failed_queries_.value();
   return stats;
 }
 

@@ -23,13 +23,15 @@
 #ifndef DIVERSE_REPLICATION_QUERY_ROUTER_H_
 #define DIVERSE_REPLICATION_QUERY_ROUTER_H_
 
-#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "engine/corpus.h"
 #include "engine/execution_plan.h"
 #include "engine/query.h"
+#include "obs/metric_registry.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
 #include "replication/replica_sync.h"
 #include "rpc/wire.h"
 
@@ -71,22 +73,31 @@ class QueryRouter : public engine::RemoteExecutor {
   };
   Stats stats() const;
 
+  // Publishes the router's counters into `registry` (diverse_router_*).
+  // The registry must outlive the router; calling again replaces the
+  // previous registrations.
+  void RegisterMetrics(obs::MetricRegistry* registry);
+
  private:
   // One shard's remote round-trip including proactive catch-up and
   // mismatch-driven rounds; false means the failure policy decides. On
-  // success *elements/*steps hold the validated kernel solution.
+  // success *elements/*steps hold the validated kernel solution. `trace`
+  // (nullable) collects catchup.node<k> spans.
   bool RunShardRemote(const engine::CorpusSnapshot& snapshot,
                       const rpc::ShardQueryRequest& request,
-                      std::vector<int>* elements, long long* steps);
+                      obs::QueryTrace* trace, std::vector<int>* elements,
+                      long long* steps);
 
   ReplicaSyncService* const sync_;
   const Options options_;
 
-  mutable std::atomic<long long> remote_shards_{0};
-  mutable std::atomic<long long> local_fallbacks_{0};
-  mutable std::atomic<long long> version_mismatches_{0};
-  mutable std::atomic<long long> proactive_catchups_{0};
-  mutable std::atomic<long long> failed_queries_{0};
+  mutable obs::Counter remote_shards_;
+  mutable obs::Counter local_fallbacks_;
+  mutable obs::Counter version_mismatches_;
+  mutable obs::Counter proactive_catchups_;
+  mutable obs::Counter failed_queries_;
+  // Declared last so the views unregister before anything they read dies.
+  std::vector<obs::MetricRegistry::Registration> registrations_;
 };
 
 }  // namespace replication

@@ -143,7 +143,7 @@ void ReplicaSyncService::SyncAckedTable() {
   for (int i = num_nodes_; i < num_targets(); ++i) {
     std::vector<std::uint8_t> reply;
     if (!targets_[i]->Call(encoded, &reply)) continue;
-    acked_syncs_sent_.fetch_add(1, std::memory_order_relaxed);
+    acked_syncs_sent_.Inc();
   }
 }
 
@@ -157,7 +157,7 @@ ReplicaSyncService::EpochSendResult ReplicaSyncService::SendEpochs(
   // concurrent publish has not landed yet cannot be replayed; the shard
   // falls back to local execution (still bit-equal).
   if (!log_->Slice(from, to, &batch)) return EpochSendResult::kFailed;
-  catchup_batches_.fetch_add(1, std::memory_order_relaxed);
+  catchup_batches_.Inc();
   std::vector<std::uint8_t> reply;
   if (!targets_[target]->Call(Encode(batch), &reply)) {
     return EpochSendResult::kFailed;
@@ -210,7 +210,7 @@ bool ReplicaSyncService::SendSnapshot(int target,
       ack.next_chunk >= num_chunks) {
     return false;
   }
-  snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
+  snapshots_sent_.Inc();
 
   // Stream from wherever the target's partial image ends (resume point).
   for (std::uint32_t c = ack.next_chunk; c < num_chunks; ++c) {
@@ -228,7 +228,7 @@ bool ReplicaSyncService::SendSnapshot(int target,
         ack.next_chunk != c + 1) {
       return false;
     }
-    snapshot_chunks_sent_.fetch_add(1, std::memory_order_relaxed);
+    snapshot_chunks_sent_.Inc();
   }
   // The final ack reported the post-install replica version; the install
   // replaced the replica wholesale, so any divergence quarantine lifts.
@@ -304,13 +304,25 @@ bool ReplicaSyncService::CatchUpTarget(int target, std::uint64_t from,
 
 ReplicaSyncService::Stats ReplicaSyncService::stats() const {
   Stats stats;
-  stats.catchup_batches = catchup_batches_.load(std::memory_order_relaxed);
-  stats.snapshots_sent = snapshots_sent_.load(std::memory_order_relaxed);
+  stats.catchup_batches = catchup_batches_.value();
+  stats.snapshots_sent = snapshots_sent_.value();
   stats.snapshot_chunks_sent =
-      snapshot_chunks_sent_.load(std::memory_order_relaxed);
+      snapshot_chunks_sent_.value();
   stats.acked_syncs_sent =
-      acked_syncs_sent_.load(std::memory_order_relaxed);
+      acked_syncs_sent_.value();
   return stats;
+}
+
+void ReplicaSyncService::RegisterMetrics(obs::MetricRegistry* registry) {
+  registrations_.clear();
+  registrations_.push_back(registry->RegisterCounter(
+      "diverse_sync_catchup_batches_total", &catchup_batches_));
+  registrations_.push_back(registry->RegisterCounter(
+      "diverse_sync_snapshots_sent_total", &snapshots_sent_));
+  registrations_.push_back(registry->RegisterCounter(
+      "diverse_sync_snapshot_chunks_sent_total", &snapshot_chunks_sent_));
+  registrations_.push_back(registry->RegisterCounter(
+      "diverse_sync_acked_syncs_sent_total", &acked_syncs_sent_));
 }
 
 }  // namespace replication

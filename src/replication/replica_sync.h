@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "engine/corpus.h"
+#include "obs/metric_registry.h"
+#include "obs/metrics.h"
 #include "replication/replication_log.h"
 #include "rpc/transport.h"
 
@@ -119,6 +121,11 @@ class ReplicaSyncService {
 
   Stats stats() const;
 
+  // Publishes the service's counters into `registry` (diverse_sync_*).
+  // The registry must outlive the service; calling again replaces the
+  // previous registrations.
+  void RegisterMetrics(obs::MetricRegistry* registry);
+
  private:
   enum class EpochSendResult { kOk, kFailed, kRefused };
   // One epoch-log replay batch [from, to). kRefused means the target
@@ -144,10 +151,12 @@ class ReplicaSyncService {
   std::vector<std::uint64_t> acked_;
   std::vector<bool> needs_reimage_;
 
-  mutable std::atomic<long long> catchup_batches_{0};
-  mutable std::atomic<long long> snapshots_sent_{0};
-  mutable std::atomic<long long> snapshot_chunks_sent_{0};
-  mutable std::atomic<long long> acked_syncs_sent_{0};
+  mutable obs::Counter catchup_batches_;
+  mutable obs::Counter snapshots_sent_;
+  mutable obs::Counter snapshot_chunks_sent_;
+  mutable obs::Counter acked_syncs_sent_;
+  // Declared last so the views unregister before anything they read dies.
+  std::vector<obs::MetricRegistry::Registration> registrations_;
 };
 
 }  // namespace replication

@@ -48,6 +48,24 @@ std::uint64_t Coordinator::CompactLog(
   return log_->TruncateBelow(sync_.MinAcked());
 }
 
+void Coordinator::RegisterMetrics(obs::MetricRegistry* registry) {
+  router_.RegisterMetrics(registry);
+  sync_.RegisterMetrics(registry);
+  registrations_.clear();
+  registrations_.push_back(registry->RegisterGauge(
+      "diverse_log_published_version",
+      [this] { return static_cast<double>(log_->published_version()); }));
+  registrations_.push_back(registry->RegisterGauge(
+      "diverse_log_start",
+      [this] { return static_cast<double>(log_->log_start()); }));
+  registrations_.push_back(registry->RegisterGauge(
+      "diverse_log_retained_snapshot_version",
+      [this] { return static_cast<double>(log_->retained_version()); }));
+  registrations_.push_back(registry->RegisterGauge(
+      "diverse_log_compactions",
+      [this] { return static_cast<double>(log_->compactions()); }));
+}
+
 Coordinator::Stats Coordinator::stats() const {
   const replication::QueryRouter::Stats router = router_.stats();
   const replication::ReplicaSyncService::Stats sync = sync_.stats();

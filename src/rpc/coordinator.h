@@ -143,6 +143,13 @@ class Coordinator : public engine::RemoteExecutor {
   };
   Stats stats() const;
 
+  // Publishes every layer's metrics into `registry`: fans out to the
+  // router (diverse_router_*) and sync service (diverse_sync_*), and adds
+  // the log's gauges (diverse_log_published_version, diverse_log_start,
+  // diverse_log_retained_snapshot_version, diverse_log_compactions). The
+  // registry must outlive the coordinator.
+  void RegisterMetrics(obs::MetricRegistry* registry);
+
   int num_nodes() const { return sync_.num_nodes(); }
 
   const replication::ReplicationLog& log() const { return *log_; }
@@ -152,6 +159,8 @@ class Coordinator : public engine::RemoteExecutor {
   std::shared_ptr<replication::ReplicationLog> log_;
   replication::ReplicaSyncService sync_;
   replication::QueryRouter router_;
+  // Declared last so the views unregister before anything they read dies.
+  std::vector<obs::MetricRegistry::Registration> registrations_;
 };
 
 }  // namespace rpc

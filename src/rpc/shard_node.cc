@@ -4,9 +4,12 @@
 #include <cmath>
 #include <utility>
 
+#include <chrono>
+
 #include "algorithms/distributed.h"
 #include "algorithms/result.h"
 #include "engine/execution_plan.h"
+#include "obs/export.h"
 #include "snapshot/snapshot_codec.h"
 
 namespace diverse {
@@ -17,16 +20,46 @@ ShardNode::ShardNode(std::vector<double> weights, DenseMetric metric,
     : replica_(std::move(weights), std::move(metric), lambda),
       options_(std::move(options)) {
   pending_from_ = replica_.version();
+  RegisterMetrics();
 }
 
 ShardNode::ShardNode(engine::CorpusState state, Options options)
     : replica_(std::move(state)), options_(std::move(options)) {
   pending_from_ = replica_.version();
+  RegisterMetrics();
 }
 
 ShardNode::ShardNode(Options options)
     : replica_({}, DenseMetric(0), 0.0), options_(std::move(options)) {
   awaiting_bootstrap_.store(true, std::memory_order_release);
+  RegisterMetrics();
+}
+
+// Every counter the typed Stats struct reports, published by name into
+// the node-owned registry so HandleStats (remote scrape) and the CLI
+// dump enumerate the same values the in-process accessors see.
+void ShardNode::RegisterMetrics() {
+  registrations_.push_back(
+      registry_.RegisterCounter("diverse_node_queries_total", &queries_));
+  registrations_.push_back(registry_.RegisterCounter(
+      "diverse_node_version_mismatches_total", &version_mismatches_));
+  registrations_.push_back(registry_.RegisterCounter(
+      "diverse_node_epochs_applied_total", &epochs_applied_));
+  registrations_.push_back(
+      registry_.RegisterCounter("diverse_node_rejected_total", &rejected_));
+  registrations_.push_back(registry_.RegisterCounter(
+      "diverse_node_snapshot_chunks_total", &snapshot_chunks_));
+  registrations_.push_back(registry_.RegisterCounter(
+      "diverse_node_snapshots_installed_total", &snapshots_installed_));
+  registrations_.push_back(registry_.RegisterCounter(
+      "diverse_node_checkpoints_saved_total", &checkpoints_saved_));
+  registrations_.push_back(registry_.RegisterCounter(
+      "diverse_node_traced_queries_total", &traced_queries_));
+  registrations_.push_back(registry_.RegisterGauge(
+      "diverse_node_corpus_version",
+      [this] { return static_cast<double>(replica_.version()); }));
+  registrations_.push_back(registry_.RegisterHistogram(
+      "diverse_node_kernel_latency_seconds", &kernel_latency_hist_));
 }
 
 std::vector<std::uint8_t> ShardNode::Handle(
@@ -44,11 +77,14 @@ std::vector<std::uint8_t> ShardNode::Handle(
   } else if (type == MessageType::kSnapshotChunk) {
     SnapshotChunk chunk;
     if (Decode(request_payload, &chunk)) return HandleChunk(chunk);
+  } else if (type == MessageType::kStatsRequest) {
+    StatsRequest request;
+    if (Decode(request_payload, &request)) return HandleStats(request);
   }
   // Truncated/garbled frame or a type this node does not serve. The ack
   // shape decodes as neither expected response, so callers waiting on a
   // query reply treat it as a node failure — which it is.
-  rejected_.fetch_add(1, std::memory_order_relaxed);
+  rejected_.Inc();
   UpdateAck nack;
   nack.status = RpcStatus::kError;
   nack.node_version = replica_.version();
@@ -57,7 +93,7 @@ std::vector<std::uint8_t> ShardNode::Handle(
 
 std::vector<std::uint8_t> ShardNode::HandleQuery(
     const ShardQueryRequest& request) {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.Inc();
   const engine::SnapshotPtr snapshot = replica_.snapshot();
   ShardQueryResponse response;
   response.shard_index = request.shard_index;
@@ -66,13 +102,13 @@ std::vector<std::uint8_t> ShardNode::HandleQuery(
   if (request.num_shards < 1 || request.shard_index < 0 ||
       request.shard_index >= request.num_shards || request.p < 0 ||
       request.per_shard < 0) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.Inc();
     response.status = RpcStatus::kError;
     return Encode(response);
   }
   for (double r : request.relevance) {
     if (r < 0.0 || !std::isfinite(r)) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_.Inc();
       response.status = RpcStatus::kError;
       return Encode(response);
     }
@@ -81,7 +117,7 @@ std::vector<std::uint8_t> ShardNode::HandleQuery(
   // corpus, not the coordinator's, so serving would silently desync the
   // merge. Report mismatch until a snapshot installs.
   if (awaiting_bootstrap()) {
-    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    version_mismatches_.Inc();
     response.status = RpcStatus::kVersionMismatch;
     return Encode(response);
   }
@@ -89,7 +125,7 @@ std::vector<std::uint8_t> ShardNode::HandleQuery(
   // epoch protocol has no rewind. The coordinator resolves both directions
   // (catch-up or local fallback) from node_version.
   if (snapshot->version() != request.snapshot_version) {
-    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    version_mismatches_.Inc();
     response.status = RpcStatus::kVersionMismatch;
     return Encode(response);
   }
@@ -106,10 +142,18 @@ std::vector<std::uint8_t> ShardNode::HandleQuery(
     }
   }
 
+  // Observation only: the trace id correlates this kernel run with the
+  // coordinator-side trace; it never influences the kernel.
+  if (request.trace_id != 0) traced_queries_.Inc();
+  const auto kernel_start = std::chrono::steady_clock::now();
   const engine::ProblemView view =
       engine::MakeProblemView(*snapshot, request.relevance, request.lambda);
   const AlgorithmResult local =
       GreedyVertexOnCandidates(view.problem, shard, request.per_shard);
+  kernel_latency_hist_.Record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    kernel_start)
+          .count());
   response.status = RpcStatus::kOk;
   response.elements = local.elements;
   response.objective = local.objective;
@@ -124,7 +168,7 @@ std::vector<std::uint8_t> ShardNode::HandleUpdates(
   const std::uint64_t current = replica_.version();
   // No baseline to replay onto — the coordinator must snapshot us first.
   if (awaiting_bootstrap()) {
-    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    version_mismatches_.Inc();
     ack.status = RpcStatus::kVersionMismatch;
     ack.node_version = current;
     return Encode(ack);
@@ -132,7 +176,7 @@ std::vector<std::uint8_t> ShardNode::HandleUpdates(
   if (batch.from_version > current) {
     // Gap: accepting would skip epochs and desynchronize the replica for
     // good. Report where we are so the coordinator resends from there.
-    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    version_mismatches_.Inc();
     ack.status = RpcStatus::kVersionMismatch;
     ack.node_version = current;
     return Encode(ack);
@@ -153,7 +197,7 @@ std::vector<std::uint8_t> ShardNode::HandleUpdates(
   for (std::uint64_t i = skip; i < batch.epochs.size(); ++i) {
     for (const engine::CorpusUpdate& update : batch.epochs[i]) {
       if (!engine::ValidUpdate(update, &ctx)) {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
+        rejected_.Inc();
         ack.status = RpcStatus::kError;
         ack.node_version = current;
         return Encode(ack);
@@ -162,7 +206,7 @@ std::vector<std::uint8_t> ShardNode::HandleUpdates(
   }
   for (std::uint64_t i = skip; i < batch.epochs.size(); ++i) {
     replica_.Apply(batch.epochs[i]);
-    epochs_applied_.fetch_add(1, std::memory_order_relaxed);
+    epochs_applied_.Inc();
     ++epochs_since_checkpoint_;
     if (options_.checkpoint != nullptr && options_.checkpoint_every > 0) {
       // Keep the epoch around for the next delta checkpoint. Bounded by
@@ -193,7 +237,7 @@ std::vector<std::uint8_t> ShardNode::HandleOffer(const SnapshotOffer& offer) {
   // A replica already at or past the image has nothing to gain from it;
   // epoch replay (from node_version) is the cheaper path.
   if (!awaiting_bootstrap() && offer.snapshot_version <= ack.node_version) {
-    version_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    version_mismatches_.Inc();
     ack.status = RpcStatus::kVersionMismatch;
     return Encode(ack);
   }
@@ -205,7 +249,7 @@ std::vector<std::uint8_t> ShardNode::HandleOffer(const SnapshotOffer& offer) {
       (offer.total_bytes + offer.chunk_bytes - 1) / offer.chunk_bytes ==
           offer.num_chunks;
   if (!shape_ok) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.Inc();
     ack.status = RpcStatus::kError;
     return Encode(ack);
   }
@@ -234,7 +278,7 @@ std::vector<std::uint8_t> ShardNode::HandleChunk(const SnapshotChunk& chunk) {
   ack.snapshot_version = chunk.snapshot_version;
   ack.node_version = replica_.version();
   if (!pending_ || pending_->version != chunk.snapshot_version) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.Inc();
     ack.status = RpcStatus::kError;
     return Encode(ack);
   }
@@ -254,14 +298,14 @@ std::vector<std::uint8_t> ShardNode::HandleChunk(const SnapshotChunk& chunk) {
   if (chunk.chunk_index != pending_->next_chunk ||
       chunk.chunk_index >= pending_->num_chunks ||
       chunk.data.size() != expected) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.Inc();
     ack.status = RpcStatus::kError;
     return Encode(ack);
   }
   pending_->bytes.insert(pending_->bytes.end(), chunk.data.begin(),
                          chunk.data.end());
   ++pending_->next_chunk;
-  snapshot_chunks_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_chunks_.Inc();
   ack.next_chunk = pending_->next_chunk;
   if (pending_->next_chunk < pending_->num_chunks) {
     ack.status = RpcStatus::kOk;
@@ -273,7 +317,7 @@ std::vector<std::uint8_t> ShardNode::HandleChunk(const SnapshotChunk& chunk) {
   engine::CorpusState state;
   if (!snapshot::DecodeSnapshot(pending_->bytes, &state) ||
       state.version != pending_->version) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.Inc();
     pending_.reset();
     ack.status = RpcStatus::kError;
     return Encode(ack);
@@ -283,7 +327,7 @@ std::vector<std::uint8_t> ShardNode::HandleChunk(const SnapshotChunk& chunk) {
   pending_.reset();
   ack.node_version = replica_.Restore(std::move(state));
   awaiting_bootstrap_.store(false, std::memory_order_release);
-  snapshots_installed_.fetch_add(1, std::memory_order_relaxed);
+  snapshots_installed_.Inc();
   epochs_since_checkpoint_ = 0;
   pending_epochs_.clear();
   pending_from_ = ack.node_version;
@@ -318,25 +362,36 @@ void ShardNode::MaybeCheckpoint(const std::vector<std::uint8_t>* image) {
     if (!saved) saved = options_.checkpoint->Save(*replica_.snapshot());
   }
   if (saved) {
-    checkpoints_saved_.fetch_add(1, std::memory_order_relaxed);
+    checkpoints_saved_.Inc();
     epochs_since_checkpoint_ = 0;
     pending_from_ = replica_.version();
     pending_epochs_.clear();
   }
 }
 
+std::vector<std::uint8_t> ShardNode::HandleStats(const StatsRequest& request) {
+  StatsResponse response;
+  response.status = RpcStatus::kOk;
+  response.format = request.format;
+  response.text = request.format == StatsFormat::kPrometheus
+                      ? obs::RenderPrometheusText(registry_)
+                      : obs::RenderJson(registry_);
+  return Encode(response);
+}
+
 ShardNode::Stats ShardNode::stats() const {
   Stats stats;
-  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.queries = queries_.value();
   stats.version_mismatches =
-      version_mismatches_.load(std::memory_order_relaxed);
-  stats.epochs_applied = epochs_applied_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
-  stats.snapshot_chunks = snapshot_chunks_.load(std::memory_order_relaxed);
+      version_mismatches_.value();
+  stats.epochs_applied = epochs_applied_.value();
+  stats.rejected = rejected_.value();
+  stats.snapshot_chunks = snapshot_chunks_.value();
   stats.snapshots_installed =
-      snapshots_installed_.load(std::memory_order_relaxed);
+      snapshots_installed_.value();
   stats.checkpoints_saved =
-      checkpoints_saved_.load(std::memory_order_relaxed);
+      checkpoints_saved_.value();
+  stats.traced_queries = traced_queries_.value();
   return stats;
 }
 

@@ -41,6 +41,8 @@
 
 #include "engine/corpus.h"
 #include "metric/dense_metric.h"
+#include "obs/metric_registry.h"
+#include "obs/metrics.h"
 #include "rpc/transport.h"
 #include "rpc/wire.h"
 #include "snapshot/checkpoint_store.h"
@@ -83,6 +85,7 @@ class ShardNode : public Handler {
     long long snapshot_chunks = 0;     // chunk frames accepted
     long long snapshots_installed = 0; // full images decoded + restored
     long long checkpoints_saved = 0;
+    long long traced_queries = 0;  // kernel queries with a nonzero trace id
   };
 
   // Version-0 replica baseline; must match the coordinator's corpus.
@@ -114,6 +117,12 @@ class ShardNode : public Handler {
   }
   Stats stats() const;
 
+  // The node's own registry (diverse_node_* counters, replica-version
+  // gauge, kernel latency histogram). Owned so a StatsRequest can always
+  // be served, whatever process the node is embedded in; what Handle()
+  // renders for kStatsRequest and what shard_node_cli dumps.
+  const obs::MetricRegistry& registry() const { return registry_; }
+
  private:
   // A partially transferred snapshot image, kept across interrupted
   // transfers so a reconnecting coordinator resumes at next_chunk
@@ -131,7 +140,9 @@ class ShardNode : public Handler {
   std::vector<std::uint8_t> HandleUpdates(const CorpusUpdateBatch& batch);
   std::vector<std::uint8_t> HandleOffer(const SnapshotOffer& offer);
   std::vector<std::uint8_t> HandleChunk(const SnapshotChunk& chunk);
+  std::vector<std::uint8_t> HandleStats(const StatsRequest& request);
   void MaybeCheckpoint(const std::vector<std::uint8_t>* encoded_image);
+  void RegisterMetrics();
 
   engine::Corpus replica_;
   const Options options_;
@@ -146,13 +157,19 @@ class ShardNode : public Handler {
   std::uint64_t pending_from_ = 0;
   std::vector<std::vector<engine::CorpusUpdate>> pending_epochs_;
 
-  std::atomic<long long> queries_{0};
-  std::atomic<long long> version_mismatches_{0};
-  std::atomic<long long> epochs_applied_{0};
-  std::atomic<long long> rejected_{0};
-  std::atomic<long long> snapshot_chunks_{0};
-  std::atomic<long long> snapshots_installed_{0};
-  std::atomic<long long> checkpoints_saved_{0};
+  obs::Counter queries_;
+  obs::Counter version_mismatches_;
+  obs::Counter epochs_applied_;
+  obs::Counter rejected_;
+  obs::Counter snapshot_chunks_;
+  obs::Counter snapshots_installed_;
+  obs::Counter checkpoints_saved_;
+  obs::Counter traced_queries_;
+  obs::Histogram kernel_latency_hist_;  // per-shard kernel execution time
+
+  obs::MetricRegistry registry_;
+  // Declared last so the views unregister before anything they read dies.
+  std::vector<obs::MetricRegistry::Registration> registrations_;
 };
 
 }  // namespace rpc

@@ -1,0 +1,26 @@
+#include "rpc/stats.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace diverse {
+namespace rpc {
+
+bool ScrapeStats(Transport* transport, StatsFormat format,
+                 std::string* text) {
+  StatsRequest request;
+  request.format = format;
+  std::vector<std::uint8_t> reply;
+  if (!transport->Call(Encode(request), &reply)) return false;
+  StatsResponse response;
+  if (!Decode(reply, &response)) return false;
+  if (response.status != RpcStatus::kOk || response.format != format) {
+    return false;
+  }
+  *text = std::move(response.text);
+  return true;
+}
+
+}  // namespace rpc
+}  // namespace diverse

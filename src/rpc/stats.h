@@ -1,0 +1,25 @@
+// Remote metrics scrape client: one StatsRequest/StatsResponse exchange
+// over any Transport. The server half lives in ShardNode::Handle (and,
+// via delegation, StandbyCoordinator); this is the operator-facing
+// client used by engine_server_cli --scrape and the CI loopback smoke.
+#ifndef DIVERSE_RPC_STATS_H_
+#define DIVERSE_RPC_STATS_H_
+
+#include <string>
+
+#include "rpc/transport.h"
+#include "rpc/wire.h"
+
+namespace diverse {
+namespace rpc {
+
+// Scrapes the node behind `transport`: sends a StatsRequest for `format`
+// and stores the rendered metrics in *text. Returns false on transport
+// failure, a malformed reply, a non-kOk status, or a reply in a format
+// other than the one requested.
+bool ScrapeStats(Transport* transport, StatsFormat format, std::string* text);
+
+}  // namespace rpc
+}  // namespace diverse
+
+#endif  // DIVERSE_RPC_STATS_H_

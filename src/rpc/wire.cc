@@ -156,6 +156,14 @@ bool ReadStatus(Reader* reader, RpcStatus* status) {
   return true;
 }
 
+bool ReadFormat(Reader* reader, StatsFormat* format) {
+  std::uint8_t raw;
+  if (!reader->ReadU8(&raw)) return false;
+  if (raw > static_cast<std::uint8_t>(StatsFormat::kPrometheus)) return false;
+  *format = static_cast<StatsFormat>(raw);
+  return true;
+}
+
 void AppendUpdate(std::vector<std::uint8_t>* out,
                   const engine::CorpusUpdate& update) {
   AppendU8(out, static_cast<std::uint8_t>(update.kind));
@@ -191,10 +199,11 @@ bool ReadUpdate(Reader* reader, engine::CorpusUpdate* update) {
 
 std::vector<std::uint8_t> Encode(const ShardQueryRequest& message) {
   std::vector<std::uint8_t> out;
-  out.reserve(3 + 8 * 2 + 4 * 4 + 8 + 4 + 8 * message.relevance.size());
+  out.reserve(3 + 8 * 3 + 4 * 4 + 8 + 4 + 8 * message.relevance.size());
   AppendHeader(&out, MessageType::kShardQueryRequest);
   AppendU64(&out, message.snapshot_version);
   AppendU64(&out, message.shard_salt);
+  AppendU64(&out, message.trace_id);
   AppendI32(&out, message.num_shards);
   AppendI32(&out, message.shard_index);
   AppendI32(&out, message.p);
@@ -284,6 +293,25 @@ std::vector<std::uint8_t> Encode(const AckedTableSync& message) {
   return out;
 }
 
+std::vector<std::uint8_t> Encode(const StatsRequest& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(3 + 1);
+  AppendHeader(&out, MessageType::kStatsRequest);
+  AppendU8(&out, static_cast<std::uint8_t>(message.format));
+  return out;
+}
+
+std::vector<std::uint8_t> Encode(const StatsResponse& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(3 + 1 + 1 + 4 + message.text.size());
+  AppendHeader(&out, MessageType::kStatsResponse);
+  AppendU8(&out, static_cast<std::uint8_t>(message.status));
+  AppendU8(&out, static_cast<std::uint8_t>(message.format));
+  AppendU32(&out, static_cast<std::uint32_t>(message.text.size()));
+  out.insert(out.end(), message.text.begin(), message.text.end());
+  return out;
+}
+
 std::optional<MessageType> PeekType(std::span<const std::uint8_t> payload) {
   Reader reader(payload);
   std::uint16_t version;
@@ -291,7 +319,7 @@ std::optional<MessageType> PeekType(std::span<const std::uint8_t> payload) {
   if (!reader.ReadU16(&version) || !reader.ReadU8(&type)) return std::nullopt;
   if (version != kWireVersion) return std::nullopt;
   if (type < static_cast<std::uint8_t>(MessageType::kShardQueryRequest) ||
-      type > static_cast<std::uint8_t>(MessageType::kAckedTableSync)) {
+      type > static_cast<std::uint8_t>(MessageType::kStatsResponse)) {
     return std::nullopt;
   }
   return static_cast<MessageType>(type);
@@ -303,6 +331,7 @@ bool Decode(std::span<const std::uint8_t> payload,
   if (!ReadHeader(&reader, MessageType::kShardQueryRequest)) return false;
   if (!reader.ReadU64(&message->snapshot_version) ||
       !reader.ReadU64(&message->shard_salt) ||
+      !reader.ReadU64(&message->trace_id) ||
       !reader.ReadI32(&message->num_shards) ||
       !reader.ReadI32(&message->shard_index) || !reader.ReadI32(&message->p) ||
       !reader.ReadI32(&message->per_shard) ||
@@ -421,6 +450,30 @@ bool Decode(std::span<const std::uint8_t> payload, AckedTableSync* message) {
   message->acked.resize(count);
   for (std::uint64_t& version : message->acked) {
     if (!reader.ReadU64(&version)) return false;
+  }
+  return reader.Done();
+}
+
+bool Decode(std::span<const std::uint8_t> payload, StatsRequest* message) {
+  Reader reader(payload);
+  if (!ReadHeader(&reader, MessageType::kStatsRequest)) return false;
+  if (!ReadFormat(&reader, &message->format)) return false;
+  return reader.Done();
+}
+
+bool Decode(std::span<const std::uint8_t> payload, StatsResponse* message) {
+  Reader reader(payload);
+  if (!ReadHeader(&reader, MessageType::kStatsResponse)) return false;
+  if (!ReadStatus(&reader, &message->status) ||
+      !ReadFormat(&reader, &message->format)) {
+    return false;
+  }
+  std::size_t count;
+  if (!reader.ReadCount(1, &count)) return false;
+  message->text.resize(count);
+  if (!reader.ReadBytes(reinterpret_cast<std::uint8_t*>(message->text.data()),
+                        count)) {
+    return false;
   }
   return reader.Done();
 }

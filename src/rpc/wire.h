@@ -35,6 +35,10 @@
 //     table, mirrored to standby coordinators after every publish so a
 //     promoted standby starts with warm replica tracking. Answered by an
 //     UpdateAck.
+//   * StatsRequest / StatsResponse — remote metrics scrape: any node's
+//     MetricRegistry rendered as Prometheus text or JSON and shipped
+//     back as an opaque text blob, so an operator (or CI) can observe a
+//     running replica over the same transport that serves it.
 //
 // Decoding is total: truncated buffers, trailing garbage, unknown wire
 // versions, unknown message types, and out-of-range enum values are all
@@ -45,6 +49,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "engine/corpus.h"
@@ -53,7 +58,9 @@ namespace diverse {
 namespace rpc {
 
 // Bumped on any incompatible layout change; decoders reject other values.
-inline constexpr std::uint16_t kWireVersion = 1;
+// v2: ShardQueryRequest carries a trace id; StatsRequest/StatsResponse
+// added.
+inline constexpr std::uint16_t kWireVersion = 2;
 
 // Hard ceiling on one payload (and on any decoded vector), shared with the
 // socket framing: a corrupt length prefix must not turn into an OOM.
@@ -74,6 +81,8 @@ enum class MessageType : std::uint8_t {
   kSnapshotChunk = 6,
   kSnapshotAck = 7,
   kAckedTableSync = 8,
+  kStatsRequest = 9,
+  kStatsResponse = 10,
 };
 
 enum class RpcStatus : std::uint8_t {
@@ -86,9 +95,20 @@ enum class RpcStatus : std::uint8_t {
   kError = 2,
 };
 
+// Rendering of a scraped MetricRegistry. Out-of-range values are a
+// decode error, like RpcStatus.
+enum class StatsFormat : std::uint8_t {
+  kJson = 0,
+  kPrometheus = 1,
+};
+
 struct ShardQueryRequest {
   std::uint64_t snapshot_version = 0;
   std::uint64_t shard_salt = 0;
+  // Correlates this kernel execution with the coordinator-side
+  // obs::QueryTrace; 0 = untraced. Observation-only: never consulted by
+  // the kernel.
+  std::uint64_t trace_id = 0;
   std::int32_t num_shards = 1;
   std::int32_t shard_index = 0;
   // Resolved by the coordinator: p is already clamped to the candidate
@@ -177,6 +197,22 @@ struct AckedTableSync {
   std::vector<std::uint64_t> acked;
 };
 
+// Asks a node to render its MetricRegistry. Answered by a StatsResponse
+// (kOk + text), or — from peers predating the obs layer — rejected like
+// any other unknown frame.
+struct StatsRequest {
+  StatsFormat format = StatsFormat::kJson;
+};
+
+// The rendered metrics. `text` is opaque to the wire layer (Prometheus
+// exposition text or one JSON object, per `format`); its length is
+// bounded by the frame cap like every other decoded vector.
+struct StatsResponse {
+  RpcStatus status = RpcStatus::kOk;
+  StatsFormat format = StatsFormat::kJson;
+  std::string text;
+};
+
 // Encoders never fail; the result always starts with the version/type
 // header and is accepted by the matching decoder.
 std::vector<std::uint8_t> Encode(const ShardQueryRequest& message);
@@ -187,6 +223,8 @@ std::vector<std::uint8_t> Encode(const SnapshotOffer& message);
 std::vector<std::uint8_t> Encode(const SnapshotChunk& message);
 std::vector<std::uint8_t> Encode(const SnapshotAck& message);
 std::vector<std::uint8_t> Encode(const AckedTableSync& message);
+std::vector<std::uint8_t> Encode(const StatsRequest& message);
+std::vector<std::uint8_t> Encode(const StatsResponse& message);
 
 // Message type of a payload, or nullopt when the header is truncated or
 // the wire version does not match kWireVersion.
@@ -204,6 +242,8 @@ bool Decode(std::span<const std::uint8_t> payload, SnapshotOffer* message);
 bool Decode(std::span<const std::uint8_t> payload, SnapshotChunk* message);
 bool Decode(std::span<const std::uint8_t> payload, SnapshotAck* message);
 bool Decode(std::span<const std::uint8_t> payload, AckedTableSync* message);
+bool Decode(std::span<const std::uint8_t> payload, StatsRequest* message);
+bool Decode(std::span<const std::uint8_t> payload, StatsResponse* message);
 
 }  // namespace rpc
 }  // namespace diverse

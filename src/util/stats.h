@@ -3,6 +3,7 @@
 #define DIVERSE_UTIL_STATS_H_
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace diverse {
@@ -14,8 +15,14 @@ class OnlineStats {
 
   std::size_t count() const { return count_; }
   double mean() const { return count_ == 0 ? 0.0 : mean_; }
-  double min() const { return min_; }
-  double max() const { return max_; }
+  // NaN before the first Add — there is no sentinel value a min/max of
+  // zero samples could honestly take (0.0 silently masqueraded as data).
+  double min() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  double max() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
   // Sample variance (n-1 denominator); 0 for fewer than two samples.
   double variance() const;
   double stddev() const;

@@ -1,0 +1,430 @@
+// Observability layer tests (src/obs/ + the rpc scrape path): histogram
+// bucket math and percentiles, registry registration lifetimes, both
+// exporters, QueryTrace span recording under concurrency — and the
+// end-to-end contract: a traced remote-sharded query yields a timeline
+// covering queue wait, snapshot acquire, per-shard RPCs, and the merge,
+// while answering bit-equal to the identical untraced query; a ShardNode
+// is scrapeable over its transport in both formats and rejects corrupt
+// stats frames.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "engine/engine.h"
+#include "engine/workload.h"
+#include "obs/export.h"
+#include "obs/metric_registry.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
+#include "rpc/coordinator.h"
+#include "rpc/shard_node.h"
+#include "rpc/stats.h"
+#include "rpc/transport.h"
+#include "rpc/wire.h"
+#include "util/random.h"
+
+namespace diverse {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementAndRead) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Inc();
+  counter.Inc(41);
+  EXPECT_EQ(counter.value(), 42);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpper) {
+  Histogram hist;
+  hist.Record(1e-6);        // exactly bound[0] -> bucket 0
+  hist.Record(0.0);         // below every bound -> bucket 0
+  hist.Record(-1.0);        // negative (never from a monotonic clock)
+  hist.Record(2e-6);        // exactly bound[1] -> bucket 1
+  hist.Record(2.0000001e-6);  // just past bound[1] -> bucket 2
+  const Histogram::Snapshot snapshot = hist.TakeSnapshot();
+  EXPECT_EQ(snapshot.counts[0], 3);
+  EXPECT_EQ(snapshot.counts[1], 1);
+  EXPECT_EQ(snapshot.counts[2], 1);
+  EXPECT_EQ(snapshot.total, 5);
+}
+
+TEST(HistogramTest, OverflowBucketCatchesEverythingPastTheLastBound) {
+  Histogram hist;
+  hist.Record(100.0);  // > 1e-6 * 2^26 ~= 67.1 s
+  hist.Record(std::numeric_limits<double>::infinity());
+  hist.Record(std::numeric_limits<double>::quiet_NaN());
+  const Histogram::Snapshot snapshot = hist.TakeSnapshot();
+  EXPECT_EQ(snapshot.counts[Histogram::kNumBuckets - 1], 3);
+  EXPECT_EQ(snapshot.total, 3);
+}
+
+TEST(HistogramTest, EveryFiniteBoundContainsItself) {
+  // Recording exactly bound[i] must land in bucket i for every finite
+  // bound — the ilogb fast path must not round across the edge.
+  for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+    Histogram hist;
+    hist.Record(Histogram::UpperBound(i));
+    EXPECT_EQ(hist.TakeSnapshot().counts[i], 1) << "bound " << i;
+  }
+}
+
+TEST(HistogramTest, UpperBoundsAreExponential) {
+  EXPECT_DOUBLE_EQ(Histogram::UpperBound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(Histogram::UpperBound(1), 2e-6);
+  EXPECT_DOUBLE_EQ(Histogram::UpperBound(10), 1024e-6);
+  EXPECT_TRUE(std::isinf(Histogram::UpperBound(Histogram::kNumBuckets - 1)));
+}
+
+TEST(HistogramTest, SumAndCountAccumulate) {
+  Histogram hist;
+  hist.Record(0.001);
+  hist.Record(0.002);
+  EXPECT_EQ(hist.count(), 2);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.003);
+}
+
+TEST(HistogramTest, PercentileOfEmptyIsNaN) {
+  Histogram hist;
+  EXPECT_TRUE(std::isnan(hist.Percentile(0.5)));
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinTheBucket) {
+  Histogram hist;
+  for (int i = 0; i < 100; ++i) hist.Record(0.0005);  // (256 µs, 512 µs]
+  const double p50 = hist.Percentile(0.5);
+  EXPECT_GT(p50, 256e-6);
+  EXPECT_LE(p50, 512e-6);
+  // Monotone in q.
+  EXPECT_LE(hist.Percentile(0.1), hist.Percentile(0.9));
+  EXPECT_LE(hist.Percentile(0.0), hist.Percentile(1.0));
+}
+
+TEST(HistogramTest, PercentileAcrossBucketsOrdersByMagnitude) {
+  Histogram hist;
+  for (int i = 0; i < 90; ++i) hist.Record(10e-6);
+  for (int i = 0; i < 10; ++i) hist.Record(0.01);
+  EXPECT_LE(hist.Percentile(0.5), 16e-6);   // inside the 10 µs bucket
+  EXPECT_GT(hist.Percentile(0.99), 0.004);  // inside the 10 ms bucket
+}
+
+TEST(HistogramTest, PercentileOfOverflowOnlyIsTheLastFiniteBound) {
+  Histogram hist;
+  hist.Record(1000.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5),
+                   Histogram::UpperBound(Histogram::kNumBuckets - 2));
+}
+
+TEST(MetricRegistryTest, SnapshotIsSortedAndTyped) {
+  MetricRegistry registry;
+  Counter counter;
+  counter.Inc(7);
+  Histogram hist;
+  hist.Record(0.001);
+  auto r1 = registry.RegisterCounter("zzz_total", &counter);
+  auto r2 = registry.RegisterGauge("aaa_gauge", [] { return 2.5; });
+  auto r3 = registry.RegisterHistogram("mmm_seconds", &hist);
+  const std::vector<MetricRegistry::Sample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "aaa_gauge");
+  EXPECT_EQ(samples[0].kind, MetricRegistry::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(samples[0].gauge_value, 2.5);
+  EXPECT_EQ(samples[1].name, "mmm_seconds");
+  EXPECT_EQ(samples[1].kind, MetricRegistry::Kind::kHistogram);
+  EXPECT_EQ(samples[1].histogram.total, 1);
+  EXPECT_EQ(samples[2].name, "zzz_total");
+  EXPECT_EQ(samples[2].kind, MetricRegistry::Kind::kCounter);
+  EXPECT_EQ(samples[2].counter_value, 7);
+}
+
+TEST(MetricRegistryTest, RegistrationUnregistersOnDestruction) {
+  MetricRegistry registry;
+  Counter counter;
+  {
+    MetricRegistry::Registration registration =
+        registry.RegisterCounter("scoped_total", &counter);
+    EXPECT_EQ(registry.size(), 1u);
+  }
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(MetricRegistryTest, RegistrationIsMovable) {
+  MetricRegistry registry;
+  Counter counter;
+  MetricRegistry::Registration outer;
+  {
+    MetricRegistry::Registration inner =
+        registry.RegisterCounter("moved_total", &counter);
+    outer = std::move(inner);
+  }  // inner (moved-from) destructs: must NOT unregister
+  EXPECT_EQ(registry.size(), 1u);
+  outer = MetricRegistry::Registration();  // now it unregisters
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ExportTest, PrometheusTextHasCumulativeBucketsAndTypes) {
+  MetricRegistry registry;
+  Counter counter;
+  counter.Inc(3);
+  Histogram hist;
+  hist.Record(0.5e-6);  // bucket 0
+  hist.Record(3e-6);    // bucket 2
+  auto r1 = registry.RegisterCounter("demo_total", &counter);
+  auto r2 = registry.RegisterGauge("demo_gauge", [] { return 1.5; });
+  auto r3 = registry.RegisterHistogram("demo_seconds", &hist);
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE demo_total counter"), std::string::npos);
+  EXPECT_NE(text.find("demo_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("demo_gauge 1.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_seconds histogram"), std::string::npos);
+  // Cumulative: bucket 0 holds 1, every later bucket (and +Inf) holds 2.
+  EXPECT_NE(text.find("demo_seconds_bucket{le=\"1e-06\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_bucket{le=\"4e-06\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_count 2"), std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_sum"), std::string::npos);
+}
+
+TEST(ExportTest, JsonHasAllSectionsAndEscapes) {
+  MetricRegistry registry;
+  Counter counter;
+  counter.Inc(3);
+  Histogram hist;
+  hist.Record(3e-6);
+  auto r1 = registry.RegisterCounter("a_total", &counter);
+  auto r2 = registry.RegisterGauge(
+      "bad\"name", [] { return std::numeric_limits<double>::quiet_NaN(); });
+  auto r3 = registry.RegisterHistogram("h_seconds", &hist);
+  const std::string json = RenderJson(registry);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a_total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"name\":null"), std::string::npos);  // escaped, NaN
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(QueryTraceTest, IdsAreUniqueAndNonZero) {
+  QueryTrace a;
+  QueryTrace b;
+  EXPECT_NE(a.id(), 0u);
+  EXPECT_NE(b.id(), 0u);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(QueryTraceTest, ClampsBackwardSpansToZeroLength) {
+  QueryTrace trace;
+  const auto now = QueryTrace::Clock::now();
+  trace.AddSpan("weird", now, now - std::chrono::milliseconds(5));
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].duration_seconds, 0.0);
+}
+
+TEST(QueryTraceTest, ConcurrentAddSpanIsSafe) {
+  QueryTrace trace;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 64;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&trace, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span(&trace, "t" + std::to_string(t));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(trace.spans().size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+}
+
+TEST(QueryTraceTest, NullTraceScopedSpanIsANoOp) {
+  ScopedSpan span(nullptr, "ignored");  // must not crash or allocate a trace
+}
+
+TEST(QueryTraceTest, RenderListsEverySpan) {
+  QueryTrace trace;
+  { ScopedSpan span(&trace, "alpha"); }
+  { ScopedSpan span(&trace, "beta"); }
+  const std::string rendered = trace.Render();
+  EXPECT_NE(rendered.find("trace "), std::string::npos);
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("beta"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: engine + coordinator + ShardNode replicas over
+// InProcessTransport.
+
+struct Cluster {
+  std::vector<std::unique_ptr<rpc::ShardNode>> nodes;
+  std::vector<std::unique_ptr<rpc::InProcessTransport>> transports;
+  std::unique_ptr<rpc::Coordinator> coordinator;
+  std::unique_ptr<engine::DiversificationEngine> engine;
+};
+
+Cluster MakeCluster(int n, int num_nodes, MetricRegistry* registry,
+                    std::uint64_t seed, int workers = 1) {
+  Rng rng(seed);
+  const Dataset data = MakeUniformSynthetic(n, rng);
+  Cluster cluster;
+  std::vector<rpc::Transport*> raw;
+  for (int i = 0; i < num_nodes; ++i) {
+    Dataset replica = data;
+    cluster.nodes.push_back(std::make_unique<rpc::ShardNode>(
+        replica.weights, std::move(replica.metric), 0.2));
+    cluster.transports.push_back(std::make_unique<rpc::InProcessTransport>(
+        cluster.nodes.back().get()));
+    raw.push_back(cluster.transports.back().get());
+  }
+  cluster.coordinator = std::make_unique<rpc::Coordinator>(raw);
+  if (registry != nullptr) cluster.coordinator->RegisterMetrics(registry);
+  engine::DiversificationEngine::Options options;
+  options.num_workers = workers;
+  options.remote = cluster.coordinator.get();
+  options.registry = registry;
+  Dataset mine = data;
+  cluster.engine = std::make_unique<engine::DiversificationEngine>(
+      mine.weights, std::move(mine.metric), 0.2, options);
+  return cluster;
+}
+
+engine::Query MakeRemoteQuery(int universe, int p, int num_shards,
+                              Rng& rng) {
+  engine::SyntheticQueryConfig config;
+  config.p = p;
+  config.universe = universe;
+  config.sharded = true;
+  config.remote = true;
+  config.num_shards = num_shards;
+  return engine::MakeSyntheticQuery(config, rng);
+}
+
+TEST(ObsIntegrationTest, TracedRemoteQueryCoversTheServingPipeline) {
+  MetricRegistry registry;
+  Cluster cluster = MakeCluster(/*n=*/120, /*num_nodes=*/2, &registry,
+                                /*seed=*/31);
+  Rng rng(32);
+  engine::Query query = MakeRemoteQuery(120, 6, 4, rng);
+  QueryTrace trace;
+  query.trace = &trace;
+  // Submit through the worker pool so the queue-wait span is recorded.
+  const engine::QueryResult result =
+      cluster.engine->Submit(query).get();
+  ASSERT_TRUE(result.ok);
+
+  std::set<std::string> names;
+  bool has_shard_rpc = false;
+  for (const QueryTrace::Span& span : trace.spans()) {
+    names.insert(span.name);
+    if (span.name.rfind("rpc.shard", 0) == 0) has_shard_rpc = true;
+  }
+  EXPECT_TRUE(names.count("queue"));
+  EXPECT_TRUE(names.count("snapshot"));
+  EXPECT_TRUE(names.count("merge"));
+  EXPECT_TRUE(has_shard_rpc);
+  EXPECT_GE(names.size(), 4u) << trace.Render();
+
+  // The trace id crossed the wire: some node counted a traced kernel.
+  long long traced = 0;
+  for (const auto& node : cluster.nodes) {
+    traced += node->stats().traced_queries;
+  }
+  EXPECT_GT(traced, 0);
+}
+
+TEST(ObsIntegrationTest, TracedAndUntracedAnswersAreBitEqual) {
+  MetricRegistry registry;
+  Cluster traced_cluster = MakeCluster(/*n=*/100, /*num_nodes=*/2, &registry,
+                                       /*seed=*/41);
+  Cluster plain_cluster = MakeCluster(/*n=*/100, /*num_nodes=*/2, nullptr,
+                                      /*seed=*/41);
+  Rng rng(42);
+  for (int i = 0; i < 5; ++i) {
+    engine::Query query = MakeRemoteQuery(100, 5, 4, rng);
+    QueryTrace trace;
+    engine::Query traced_query = query;
+    traced_query.trace = &trace;
+    const engine::QueryResult with_trace =
+        traced_cluster.engine->RunSync(traced_query);
+    const engine::QueryResult without_trace =
+        plain_cluster.engine->RunSync(query);
+    ASSERT_TRUE(with_trace.ok);
+    EXPECT_EQ(with_trace.elements, without_trace.elements);
+    EXPECT_EQ(with_trace.objective, without_trace.objective);
+    EXPECT_EQ(with_trace.corpus_version, without_trace.corpus_version);
+    EXPECT_FALSE(trace.spans().empty());
+  }
+}
+
+TEST(ObsIntegrationTest, EngineMetricsLandInTheRegistry) {
+  MetricRegistry registry;
+  Cluster cluster = MakeCluster(/*n=*/80, /*num_nodes=*/1, &registry,
+                                /*seed=*/51);
+  Rng rng(52);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cluster.engine->RunSync(MakeRemoteQuery(80, 4, 2, rng)).ok);
+  }
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("diverse_engine_queries_total 3"), std::string::npos);
+  EXPECT_NE(text.find("diverse_engine_corpus_version 0"), std::string::npos);
+  EXPECT_NE(text.find("diverse_router_remote_shards_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("diverse_log_published_version"), std::string::npos);
+  EXPECT_NE(text.find("diverse_engine_query_latency_seconds_bucket"),
+            std::string::npos);
+}
+
+TEST(ObsIntegrationTest, ShardNodeIsScrapeableInBothFormats) {
+  MetricRegistry registry;
+  Cluster cluster = MakeCluster(/*n=*/80, /*num_nodes=*/1, &registry,
+                                /*seed=*/61);
+  Rng rng(62);
+  ASSERT_TRUE(cluster.engine->RunSync(MakeRemoteQuery(80, 4, 2, rng)).ok);
+
+  std::string prometheus;
+  ASSERT_TRUE(rpc::ScrapeStats(cluster.transports[0].get(),
+                               rpc::StatsFormat::kPrometheus, &prometheus));
+  EXPECT_NE(prometheus.find("diverse_node_queries_total"),
+            std::string::npos);
+  EXPECT_NE(prometheus.find("diverse_node_corpus_version"),
+            std::string::npos);
+  EXPECT_NE(prometheus.find("diverse_node_kernel_latency_seconds_bucket"),
+            std::string::npos);
+
+  std::string json;
+  ASSERT_TRUE(rpc::ScrapeStats(cluster.transports[0].get(),
+                               rpc::StatsFormat::kJson, &json));
+  EXPECT_NE(json.find("\"diverse_node_queries_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(ObsIntegrationTest, CorruptStatsRequestIsRejectedNotServed) {
+  Rng rng(71);
+  Dataset data = MakeUniformSynthetic(40, rng);
+  rpc::ShardNode node(data.weights, std::move(data.metric), 0.2);
+  rpc::StatsRequest request;
+  request.format = rpc::StatsFormat::kPrometheus;
+  std::vector<std::uint8_t> payload = rpc::Encode(request);
+  payload[3] = 9;  // format byte out of the StatsFormat range
+  const std::vector<std::uint8_t> reply = node.Handle(payload);
+  rpc::StatsResponse response;
+  EXPECT_FALSE(rpc::Decode(reply, &response));
+  EXPECT_EQ(node.stats().rejected, 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace diverse

@@ -21,6 +21,7 @@ ShardQueryRequest RandomRequest(Rng& rng) {
   ShardQueryRequest request;
   request.snapshot_version = rng.NextSeed();
   request.shard_salt = rng.NextSeed();
+  request.trace_id = rng.Bernoulli(0.5) ? rng.NextSeed() : 0;
   request.num_shards = rng.UniformInt(1, 16);
   request.shard_index = rng.UniformInt(0, request.num_shards - 1);
   request.p = rng.UniformInt(0, 40);
@@ -103,6 +104,7 @@ TEST(RpcWireTest, RequestRoundTrip) {
     ASSERT_TRUE(Decode(payload, &decoded));
     EXPECT_EQ(decoded.snapshot_version, original.snapshot_version);
     EXPECT_EQ(decoded.shard_salt, original.shard_salt);
+    EXPECT_EQ(decoded.trace_id, original.trace_id);
     EXPECT_EQ(decoded.num_shards, original.num_shards);
     EXPECT_EQ(decoded.shard_index, original.shard_index);
     EXPECT_EQ(decoded.p, original.p);
@@ -408,6 +410,112 @@ TEST(RpcWireTest, OversizedCountsRejected) {
   payload[count_at + 2] = 0xff;
   payload[count_at + 3] = 0x7f;
   ShardQueryRequest decoded;
+  EXPECT_FALSE(Decode(payload, &decoded));
+}
+
+TEST(RpcWireTest, StatsRequestRoundTrip) {
+  for (StatsFormat format : {StatsFormat::kJson, StatsFormat::kPrometheus}) {
+    StatsRequest original;
+    original.format = format;
+    const std::vector<std::uint8_t> payload = Encode(original);
+    EXPECT_EQ(PeekType(payload), MessageType::kStatsRequest);
+    StatsRequest decoded;
+    ASSERT_TRUE(Decode(payload, &decoded));
+    EXPECT_EQ(decoded.format, original.format);
+  }
+}
+
+TEST(RpcWireTest, StatsResponseRoundTrip) {
+  Rng rng(25);
+  for (int iter = 0; iter < 100; ++iter) {
+    StatsResponse original;
+    original.status =
+        static_cast<RpcStatus>(rng.UniformInt(0, 2));
+    original.format = rng.Bernoulli(0.5) ? StatsFormat::kPrometheus
+                                         : StatsFormat::kJson;
+    original.text.resize(rng.UniformInt(0, 64));
+    for (char& c : original.text) {
+      c = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    const std::vector<std::uint8_t> payload = Encode(original);
+    EXPECT_EQ(PeekType(payload), MessageType::kStatsResponse);
+    StatsResponse decoded;
+    ASSERT_TRUE(Decode(payload, &decoded));
+    EXPECT_EQ(decoded.status, original.status);
+    EXPECT_EQ(decoded.format, original.format);
+    EXPECT_EQ(decoded.text, original.text);
+  }
+}
+
+TEST(RpcWireTest, StatsMessagesTruncationAndGarbageRejected) {
+  StatsRequest request;
+  request.format = StatsFormat::kPrometheus;
+  const std::vector<std::uint8_t> encoded_request = Encode(request);
+  for (std::size_t len = 0; len < encoded_request.size(); ++len) {
+    StatsRequest decoded;
+    EXPECT_FALSE(Decode(std::span(encoded_request.data(), len), &decoded))
+        << "prefix length " << len;
+  }
+  StatsResponse response;
+  response.status = RpcStatus::kOk;
+  response.format = StatsFormat::kJson;
+  response.text = "{\"counters\":{}}";
+  const std::vector<std::uint8_t> encoded_response = Encode(response);
+  for (std::size_t len = 0; len < encoded_response.size(); ++len) {
+    StatsResponse decoded;
+    EXPECT_FALSE(Decode(std::span(encoded_response.data(), len), &decoded))
+        << "prefix length " << len;
+  }
+  std::vector<std::uint8_t> trailing = encoded_request;
+  trailing.push_back(0);
+  StatsRequest decoded_request;
+  EXPECT_FALSE(Decode(trailing, &decoded_request));
+  trailing = encoded_response;
+  trailing.push_back(0);
+  StatsResponse decoded_response;
+  EXPECT_FALSE(Decode(trailing, &decoded_response));
+}
+
+TEST(RpcWireTest, StatsMessagesCorruptEnumsRejected) {
+  StatsRequest request;
+  request.format = StatsFormat::kJson;
+  std::vector<std::uint8_t> encoded_request = Encode(request);
+  encoded_request[3] = 9;  // format byte out of the StatsFormat range
+  StatsRequest decoded_request;
+  EXPECT_FALSE(Decode(encoded_request, &decoded_request));
+
+  StatsResponse response;
+  response.status = RpcStatus::kOk;
+  response.format = StatsFormat::kPrometheus;
+  response.text = "x 1\n";
+  std::vector<std::uint8_t> corrupt_status = Encode(response);
+  corrupt_status[3] = 7;  // status byte out of the RpcStatus range
+  StatsResponse decoded_response;
+  EXPECT_FALSE(Decode(corrupt_status, &decoded_response));
+  std::vector<std::uint8_t> corrupt_format = Encode(response);
+  corrupt_format[4] = 9;  // format byte follows the status byte
+  EXPECT_FALSE(Decode(corrupt_format, &decoded_response));
+
+  // Cross-type confusion both ways.
+  StatsRequest as_request;
+  EXPECT_FALSE(Decode(Encode(response), &as_request));
+  EXPECT_FALSE(Decode(Encode(request), &decoded_response));
+}
+
+// A corrupt text length larger than the remaining bytes must fail fast
+// instead of allocating or over-reading.
+TEST(RpcWireTest, StatsResponseOversizedTextRejected) {
+  StatsResponse response;
+  response.status = RpcStatus::kOk;
+  response.format = StatsFormat::kPrometheus;
+  response.text = "diverse_node_queries_total 3\n";
+  std::vector<std::uint8_t> payload = Encode(response);
+  // Text length sits right after header(3) + status(1) + format(1).
+  payload[5] = 0xff;
+  payload[6] = 0xff;
+  payload[7] = 0xff;
+  payload[8] = 0x7f;
+  StatsResponse decoded;
   EXPECT_FALSE(Decode(payload, &decoded));
 }
 

@@ -1,0 +1,89 @@
+// util/stats.h edge cases: the empty OnlineStats accumulator must answer
+// min()/max() with NaN (a sentinel-free "no samples yet", not a 0.0 that
+// masquerades as data), and Percentile's boundary behavior — single
+// element, q = 0, q = 1, empty input — must match a sorted
+// linear-interpolation walk exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace diverse {
+namespace {
+
+TEST(OnlineStatsTest, EmptyMinMaxAreNaN) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_TRUE(std::isnan(stats.min()));
+  EXPECT_TRUE(std::isnan(stats.max()));
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleSampleIsItsOwnExtremes) {
+  OnlineStats stats;
+  stats.Add(-3.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.min(), -3.5);
+  EXPECT_EQ(stats.max(), -3.5);
+  EXPECT_EQ(stats.mean(), -3.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, TracksExtremesAndMoments) {
+  OnlineStats stats;
+  for (double x : {2.0, -1.0, 4.0, 0.5}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_EQ(stats.min(), -1.0);
+  EXPECT_EQ(stats.max(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 1.375);
+  // Sample variance with the n-1 denominator.
+  EXPECT_NEAR(stats.variance(), 4.5625, 1e-12);
+}
+
+TEST(OnlineStatsTest, ZeroSampleIsNotConfusedWithEmpty) {
+  // A single 0.0 sample must be distinguishable from "no samples": real
+  // extremes of 0.0, not NaN.
+  OnlineStats stats;
+  stats.Add(0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+  EXPECT_FALSE(std::isnan(stats.min()));
+}
+
+TEST(PercentileTest, SingleElementAnswersEveryQuantile) {
+  const std::vector<double> xs = {7.25};
+  EXPECT_EQ(Percentile(xs, 0.0), 7.25);
+  EXPECT_EQ(Percentile(xs, 0.5), 7.25);
+  EXPECT_EQ(Percentile(xs, 1.0), 7.25);
+}
+
+TEST(PercentileTest, EndpointsAreMinAndMax) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0};
+  EXPECT_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_EQ(Percentile(xs, 1.0), 5.0);
+}
+
+TEST(PercentileTest, InteriorQuantilesInterpolate) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  // pos = q * (n - 1): 0.5 * 3 = 1.5 → halfway between 2 and 3.
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+  // 0.25 * 3 = 0.75 → 1 + 0.75 * (2 - 1).
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.25), 1.75);
+}
+
+TEST(PercentileTest, EmptyInputAborts) {
+  EXPECT_DEATH(Percentile({}, 0.5), "");
+}
+
+TEST(PercentileTest, OutOfRangeQuantileAborts) {
+  EXPECT_DEATH(Percentile({1.0}, 1.5), "");
+  EXPECT_DEATH(Percentile({1.0}, -0.1), "");
+}
+
+}  // namespace
+}  // namespace diverse

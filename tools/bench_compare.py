@@ -76,6 +76,9 @@ LOWER_IS_BETTER = {
     "p90_ms",
     "p99_ms",
     "rpc_overhead_x",
+    # Instrumented/plain timing ratio from bench/obs_overhead.cc —
+    # machine-relative like rpc_overhead_x.
+    "overhead_x",
     "replay_seconds",
     "cold_load_seconds",
     # Absolute promotion latency: advisory (machine-dependent), never in

@@ -44,12 +44,16 @@
 //   engine_server_cli --input=data.csv --queries=50 --sync
 //       --checkpoint_dir=/var/tmp/engine_ckpt
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <future>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -57,17 +61,95 @@
 #include "data/synthetic.h"
 #include "engine/engine.h"
 #include "engine/workload.h"
+#include "obs/export.h"
+#include "obs/metric_registry.h"
+#include "obs/query_trace.h"
 #include "rpc/coordinator.h"
 #include "rpc/socket_transport.h"
+#include "rpc/stats.h"
 #include "snapshot/checkpoint_store.h"
 #include "snapshot/snapshot_codec.h"
 #include "util/flags.h"
 #include "util/random.h"
-#include "util/stats.h"
 #include "util/timer.h"
 
 namespace diverse {
 namespace {
+
+// SIGUSR1 asks the metrics dumper thread for an immediate dump; the
+// handler only flips the flag (async-signal-safe).
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void HandleDumpSignal(int) { g_dump_requested = 1; }
+
+// Ticks until stopped, dumping the registry to stdout every
+// `stats_every` seconds (0 = only on SIGUSR1).
+class MetricsDumper {
+ public:
+  MetricsDumper(const obs::MetricRegistry* registry, int stats_every)
+      : registry_(registry), stats_every_(stats_every) {
+    std::signal(SIGUSR1, HandleDumpSignal);
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~MetricsDumper() {
+    stop_.store(true);
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    int ticks = 0;
+    while (!stop_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      bool due = g_dump_requested != 0;
+      if (stats_every_ > 0 && ++ticks >= stats_every_ * 5) {
+        ticks = 0;
+        due = true;
+      }
+      if (!due) continue;
+      g_dump_requested = 0;
+      std::cout << "--- metrics ---\n"
+                << obs::RenderPrometheusText(*registry_) << std::flush;
+    }
+  }
+
+  const obs::MetricRegistry* registry_;
+  const int stats_every_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+// --scrape client mode: one StatsRequest per endpoint, dump and exit.
+int RunScrape(const std::string& scrape, const std::string& format) {
+  const bool json = format == "json";
+  if (!json && format != "prometheus") {
+    std::cerr << "error: --format must be prometheus | json\n";
+    return 1;
+  }
+  std::vector<rpc::Endpoint> endpoints;
+  std::string parse_error;
+  if (!rpc::ParseEndpoints(scrape, &endpoints, &parse_error)) {
+    std::cerr << "error: bad --scrape list: " << parse_error << "\n";
+    return 1;
+  }
+  int failures = 0;
+  for (const rpc::Endpoint& endpoint : endpoints) {
+    rpc::SocketTransport transport(endpoint.host, endpoint.port);
+    std::string text;
+    const rpc::StatsFormat wire_format =
+        json ? rpc::StatsFormat::kJson : rpc::StatsFormat::kPrometheus;
+    if (!rpc::ScrapeStats(&transport, wire_format, &text)) {
+      std::cerr << "error: scrape of " << endpoint.host << ":"
+                << endpoint.port << " failed\n";
+      ++failures;
+      continue;
+    }
+    std::cout << "== " << endpoint.host << ":" << endpoint.port << " ==\n"
+              << text;
+    if (!text.empty() && text.back() != '\n') std::cout << "\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
 
 std::vector<std::unique_ptr<rpc::SocketTransport>> MakeTransports(
     const std::vector<rpc::Endpoint>& endpoints) {
@@ -86,8 +168,10 @@ int RunServer(const std::string& input, int generate, int queries, int p,
               bool promote, int shards, int per_shard, int workers,
               int batch, int update_every, bool churn, bool sync,
               bool verify, const std::string& checkpoint_dir,
-              int checkpoint_every, int compact_every, std::uint64_t seed) {
+              int checkpoint_every, int compact_every, int stats_every,
+              int trace_first, std::uint64_t seed) {
   Rng rng(seed);
+  obs::MetricRegistry registry;
   std::unique_ptr<snapshot::CheckpointStore> store;
   std::optional<engine::CorpusState> restored;
   if (!checkpoint_dir.empty()) {
@@ -216,6 +300,8 @@ int RunServer(const std::string& input, int generate, int queries, int p,
   options.max_batch = batch;
   options.default_num_shards = shards;
   options.remote = coordinator.get();
+  options.registry = &registry;
+  if (coordinator) coordinator->RegisterMetrics(&registry);
   std::unique_ptr<engine::DiversificationEngine> server_owner =
       restored ? std::make_unique<engine::DiversificationEngine>(
                      std::move(*restored), options)
@@ -246,6 +332,14 @@ int RunServer(const std::string& input, int generate, int queries, int p,
   for (int i = 0; i < queries; ++i) {
     trace.push_back(engine::MakeSyntheticQuery(query_config, rng));
   }
+  // --trace=N attaches a span recorder to the first N queries; traces
+  // must outlive their futures, so they live here until the report.
+  std::vector<std::unique_ptr<obs::QueryTrace>> query_traces;
+  for (int i = 0; i < std::min(trace_first, queries); ++i) {
+    query_traces.push_back(std::make_unique<obs::QueryTrace>());
+    trace[i].trace = query_traces.back().get();
+  }
+  MetricsDumper dumper(&registry, stats_every);
   // Update epochs are built against the live universe size at publish
   // time (churn grows the id space as the trace runs). Remote runs
   // publish every epoch to the replicas right after applying it locally.
@@ -271,8 +365,6 @@ int RunServer(const std::string& input, int generate, int queries, int p,
   };
 
   WallTimer wall;
-  std::vector<double> latencies;
-  latencies.reserve(queries);
   std::uint64_t last_version = 0;
   long long verified = 0;
   if (verify) {
@@ -299,7 +391,6 @@ int RunServer(const std::string& input, int generate, int queries, int p,
         return 1;
       }
       ++verified;
-      latencies.push_back(remote_result.latency_seconds);
     }
     // Bit-equality alone cannot distinguish remote execution from the
     // (also bit-equal) local fallback; a verify run that never reached a
@@ -312,7 +403,7 @@ int RunServer(const std::string& input, int generate, int queries, int p,
   } else if (sync) {
     for (int i = 0; i < queries; ++i) {
       maybe_update(i, &last_version);
-      latencies.push_back(server.RunSync(trace[i]).latency_seconds);
+      server.RunSync(trace[i]);
     }
   } else {
     std::vector<std::future<engine::QueryResult>> futures;
@@ -321,9 +412,7 @@ int RunServer(const std::string& input, int generate, int queries, int p,
       maybe_update(i, &last_version);
       futures.push_back(server.Submit(trace[i]));
     }
-    for (auto& future : futures) {
-      latencies.push_back(future.get().latency_seconds);
-    }
+    for (auto& future : futures) future.get();
   }
   const double elapsed = wall.Seconds();
 
@@ -348,12 +437,15 @@ int RunServer(const std::string& input, int generate, int queries, int p,
             << " (final version " << last_version << ")\n"
             << "wall time:       " << elapsed * 1e3 << " ms\n"
             << "throughput:      " << queries / elapsed << " qps\n"
-            << "latency p50:     " << Percentile(latencies, 0.50) * 1e3
-            << " ms\n"
-            << "latency p90:     " << Percentile(latencies, 0.90) * 1e3
-            << " ms\n"
-            << "latency p99:     " << Percentile(latencies, 0.99) * 1e3
-            << " ms\n"
+            // Percentiles come from the engine's latency histogram (every
+            // query the engine served, including --verify audit re-runs),
+            // not a sorted raw vector.
+            << "latency p50:     "
+            << server.latency_histogram().Percentile(0.50) * 1e3 << " ms\n"
+            << "latency p90:     "
+            << server.latency_histogram().Percentile(0.90) * 1e3 << " ms\n"
+            << "latency p99:     "
+            << server.latency_histogram().Percentile(0.99) * 1e3 << " ms\n"
             << "batches:         " << stats.batches << "\n"
             << "snapshots:       " << stats.snapshots_acquired << "\n";
   if (coordinator) {
@@ -375,6 +467,12 @@ int RunServer(const std::string& input, int generate, int queries, int p,
     std::cout << "verified:        " << verified
               << " queries bit-equal (remote vs in-process sharded)\n";
   }
+  for (const auto& query_trace : query_traces) {
+    std::cout << query_trace->Render();
+  }
+  // Final registry dump: the authoritative end-of-run metric state, in
+  // the same format a remote scrape returns.
+  std::cout << "--- metrics ---\n" << obs::RenderPrometheusText(registry);
   return 0;
 }
 
@@ -402,6 +500,10 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   int checkpoint_every = 16;
   int compact_every = 0;
+  int stats_every = 0;
+  int trace_first = 0;
+  std::string scrape;
+  std::string format = "prometheus";
   std::int64_t seed = 1;
   diverse::FlagSet flags(
       "engine_server_cli — replay a query/update trace against the serving "
@@ -449,11 +551,23 @@ int main(int argc, char** argv) {
                "remote plan: fold every K-th epoch's snapshot into the "
                "coordinator's bootstrap image and truncate its epoch log "
                "(0 = never)");
+  flags.AddInt("stats_every", &stats_every,
+               "dump the metric registry to stdout every K seconds "
+               "(0 = only at exit; SIGUSR1 forces a dump any time)");
+  flags.AddInt("trace", &trace_first,
+               "record and print a span timeline for the first N queries");
+  flags.AddString("scrape", &scrape,
+                  "client mode: scrape metrics from these nodes "
+                  "(host:port[,...]) over the wire protocol and exit");
+  flags.AddString("format", &format,
+                  "--scrape output format: prometheus | json");
   flags.AddInt64("seed", &seed, "random seed");
   if (!flags.Parse(argc, argv)) return 1;
+  if (!scrape.empty()) return diverse::RunScrape(scrape, format);
   return diverse::RunServer(input, generate, queries, p, lambda, plan, nodes,
                             standby, promote, shards, per_shard, workers,
                             batch, update_every, churn, sync, verify,
                             checkpoint_dir, checkpoint_every, compact_every,
+                            stats_every, trace_first,
                             static_cast<std::uint64_t>(seed));
 }

@@ -37,14 +37,19 @@
 //   engine_server_cli --generate=400 --seed=7 --plan=remote
 //       --nodes=127.0.0.1:7411,127.0.0.1:7412 --standby=127.0.0.1:7413
 //       --queries=50 --update_every=5 --compact_every=10 --verify
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "data/csv_io.h"
 #include "data/synthetic.h"
+#include "obs/export.h"
 #include "replication/standby_coordinator.h"
 #include "rpc/shard_node.h"
 #include "rpc/socket_transport.h"
@@ -55,9 +60,53 @@
 namespace diverse {
 namespace {
 
+// SIGUSR1 asks the metrics dumper thread for an immediate dump; the
+// handler only flips the flag (async-signal-safe). SocketServer::Serve
+// blocks the main thread for the process lifetime, so periodic dumps are
+// the only way a long-running node reports without being scraped.
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void HandleDumpSignal(int) { g_dump_requested = 1; }
+
+class MetricsDumper {
+ public:
+  MetricsDumper(const obs::MetricRegistry* registry, int stats_every)
+      : registry_(registry), stats_every_(stats_every) {
+    std::signal(SIGUSR1, HandleDumpSignal);
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~MetricsDumper() {
+    stop_.store(true);
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    int ticks = 0;
+    while (!stop_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      bool due = g_dump_requested != 0;
+      if (stats_every_ > 0 && ++ticks >= stats_every_ * 5) {
+        ticks = 0;
+        due = true;
+      }
+      if (!due) continue;
+      g_dump_requested = 0;
+      std::cout << "--- metrics ---\n"
+                << obs::RenderPrometheusText(*registry_) << std::flush;
+    }
+  }
+
+  const obs::MetricRegistry* registry_;
+  const int stats_every_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
 int RunNode(const std::string& input, int generate, double lambda, int port,
             const std::string& checkpoint_dir, int checkpoint_every,
-            bool bootstrap, bool standby, std::uint64_t seed) {
+            bool bootstrap, bool standby, int stats_every,
+            std::uint64_t seed) {
   std::unique_ptr<snapshot::CheckpointStore> store;
   if (!checkpoint_dir.empty()) {
     store = std::make_unique<snapshot::CheckpointStore>(checkpoint_dir);
@@ -141,6 +190,7 @@ int RunNode(const std::string& input, int generate, double lambda, int port,
             << ", corpus n="
             << stats_node->replica().snapshot()->universe_size()
             << ", version " << stats_node->version() << ")" << std::endl;
+  MetricsDumper dumper(&stats_node->registry(), stats_every);
   server.Serve();
   const rpc::ShardNode::Stats stats = stats_node->stats();
   std::cout << "served queries:      " << stats.queries << "\n"
@@ -171,6 +221,7 @@ int main(int argc, char** argv) {
   int checkpoint_every = 16;
   bool bootstrap = false;
   bool standby = false;
+  int stats_every = 0;
   std::int64_t seed = 1;
   diverse::FlagSet flags(
       "shard_node_cli — serve one RPC shard worker (corpus replica + "
@@ -195,10 +246,13 @@ int main(int argc, char** argv) {
                 "node (pair with engine_server_cli --standby=...; use "
                 "--checkpoint_dir --checkpoint_every=1 to make the "
                 "mirrored state promotable)");
+  flags.AddInt("stats_every", &stats_every,
+               "dump the node's metric registry to stdout every K seconds "
+               "(0 = only on SIGUSR1; a remote scrape works either way)");
   flags.AddInt64("seed", &seed,
                  "random seed; must match the coordinator's for --generate");
   if (!flags.Parse(argc, argv)) return 1;
   return diverse::RunNode(input, generate, lambda, port, checkpoint_dir,
-                          checkpoint_every, bootstrap, standby,
+                          checkpoint_every, bootstrap, standby, stats_every,
                           static_cast<std::uint64_t>(seed));
 }
