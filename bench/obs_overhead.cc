@@ -1,19 +1,19 @@
 // Observation-only contract check for the obs layer: replays the same
-// synthetic query/update trace through the engine twice per round — once
-// plain, once fully instrumented (MetricRegistry attached + a QueryTrace
-// on every query) — and reports
+// synthetic query/update trace through the engine three times per round —
+// plain, fully instrumented (MetricRegistry attached + a QueryTrace on
+// every query), and sampled (registry + TraceBuffer with the production
+// default of ~1/64 engine-owned traces, the /tracez feed) — and reports
 //
-//   overhead_x = median(instrumented round seconds)
-//              / median(plain round seconds)
-//   bit_equal  = instrumented answers identical to plain answers
-//                (elements, objective, corpus version) for every query
+//   overhead_x = median(arm round seconds) / median(plain round seconds)
+//   bit_equal  = arm answers identical to plain answers (elements,
+//                objective, corpus version) for every query
 //
 // in BENCH_obs.json. The binary itself enforces the contract: bit_equal
-// must hold unconditionally, and overhead_x must stay <= --max_overhead
-// (default 1.05) unless DIVERSE_BENCH_NO_GATE is set — instrumentation
-// that perturbs answers or costs more than ~5% is a bug, not a tuning
-// knob. Rounds alternate plain/instrumented so slow drift (thermal,
-// noisy neighbors) hits both arms symmetrically.
+// must hold unconditionally for both arms, and each arm's overhead_x
+// must stay <= --max_overhead (default 1.05) unless DIVERSE_BENCH_NO_GATE
+// is set — instrumentation that perturbs answers or costs more than ~5%
+// is a bug, not a tuning knob. Rounds interleave the arms so slow drift
+// (thermal, noisy neighbors) hits all of them symmetrically.
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -29,6 +29,7 @@
 #include "engine/workload.h"
 #include "obs/metric_registry.h"
 #include "obs/query_trace.h"
+#include "obs/trace_buffer.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -41,17 +42,28 @@ struct RoundResult {
   std::vector<engine::QueryResult> answers;
 };
 
+enum class Arm {
+  kPlain,         // no registry, no traces
+  kInstrumented,  // registry + a caller-attached QueryTrace per query
+  kSampled,       // registry + TraceBuffer sampling (~1/64, the /tracez feed)
+};
+
 // One full trace replay on a fresh engine built from `data`. The Rng is
 // re-seeded per round, so every round sees the identical query stream
 // and identical update epochs — the only difference between arms is the
 // instrumentation.
 RoundResult RunRound(const Dataset& data, int queries, int p, double lambda,
-                     int update_every, std::uint64_t seed,
-                     bool instrumented) {
+                     int update_every, std::uint64_t seed, Arm arm) {
+  const bool instrumented = arm == Arm::kInstrumented;
   obs::MetricRegistry registry;
+  obs::TraceBuffer trace_buffer;
   engine::DiversificationEngine::Options options;
   options.num_workers = 1;
-  if (instrumented) options.registry = &registry;
+  if (arm != Arm::kPlain) options.registry = &registry;
+  if (arm == Arm::kSampled) {
+    options.trace_buffer = &trace_buffer;
+    options.trace_sample_every = 64;
+  }
   Dataset copy = data;
   engine::DiversificationEngine server(copy.weights, std::move(copy.metric),
                                        lambda, options);
@@ -116,29 +128,43 @@ int Run(int n, int p, int queries, int rounds, double lambda,
   std::cout << "obs overhead: n = " << n << ", p = " << p << ", " << queries
             << " queries x " << rounds << " rounds per arm\n";
 
-  // Warm-up pass (both arms) so first-touch costs are off the clock.
-  RunRound(data, queries, p, lambda, update_every, seed, false);
-  RunRound(data, queries, p, lambda, update_every, seed, true);
+  // Warm-up pass (all arms) so first-touch costs are off the clock.
+  RunRound(data, queries, p, lambda, update_every, seed, Arm::kPlain);
+  RunRound(data, queries, p, lambda, update_every, seed, Arm::kInstrumented);
+  RunRound(data, queries, p, lambda, update_every, seed, Arm::kSampled);
 
   std::vector<double> plain_seconds;
   std::vector<double> instr_seconds;
-  bool bit_equal = true;
+  std::vector<double> sampled_seconds;
+  bool instr_bit_equal = true;
+  bool sampled_bit_equal = true;
   for (int r = 0; r < rounds; ++r) {
     const RoundResult plain =
-        RunRound(data, queries, p, lambda, update_every, seed, false);
-    const RoundResult instr =
-        RunRound(data, queries, p, lambda, update_every, seed, true);
+        RunRound(data, queries, p, lambda, update_every, seed, Arm::kPlain);
+    const RoundResult instr = RunRound(data, queries, p, lambda, update_every,
+                                       seed, Arm::kInstrumented);
+    const RoundResult sampled =
+        RunRound(data, queries, p, lambda, update_every, seed, Arm::kSampled);
     plain_seconds.push_back(plain.seconds);
     instr_seconds.push_back(instr.seconds);
-    bit_equal = bit_equal && SameAnswers(plain.answers, instr.answers);
+    sampled_seconds.push_back(sampled.seconds);
+    instr_bit_equal =
+        instr_bit_equal && SameAnswers(plain.answers, instr.answers);
+    sampled_bit_equal =
+        sampled_bit_equal && SameAnswers(plain.answers, sampled.answers);
   }
   const double plain_median = Median(plain_seconds);
   const double instr_median = Median(instr_seconds);
-  const double overhead_x = instr_median / plain_median;
+  const double sampled_median = Median(sampled_seconds);
+  const double instr_overhead_x = instr_median / plain_median;
+  const double sampled_overhead_x = sampled_median / plain_median;
   std::cout << "plain median:        " << plain_median * 1e3 << " ms\n"
-            << "instrumented median: " << instr_median * 1e3 << " ms\n"
-            << "overhead_x:          " << overhead_x << "\n"
-            << "bit_equal:           " << (bit_equal ? "yes" : "NO") << "\n";
+            << "instrumented median: " << instr_median * 1e3 << " ms"
+            << " (overhead_x " << instr_overhead_x << ", bit_equal "
+            << (instr_bit_equal ? "yes" : "NO") << ")\n"
+            << "sampled median:      " << sampled_median * 1e3 << " ms"
+            << " (overhead_x " << sampled_overhead_x << ", bit_equal "
+            << (sampled_bit_equal ? "yes" : "NO") << ")\n";
 
   bench::BenchJson json("obs");
   json.NewRecord("plain")
@@ -155,21 +181,36 @@ int Run(int n, int p, int queries, int rounds, double lambda,
       .Add("rounds", static_cast<long long>(rounds))
       .Add("median_seconds", instr_median)
       .Add("qps", queries / instr_median)
-      .Add("overhead_x", overhead_x)
-      .Add("bit_equal", static_cast<long long>(bit_equal ? 1 : 0));
+      .Add("overhead_x", instr_overhead_x)
+      .Add("bit_equal", static_cast<long long>(instr_bit_equal ? 1 : 0));
+  json.NewRecord("sampled")
+      .Add("n", static_cast<long long>(n))
+      .Add("p", static_cast<long long>(p))
+      .Add("queries", static_cast<long long>(queries))
+      .Add("rounds", static_cast<long long>(rounds))
+      .Add("sample_every", 64LL)
+      .Add("median_seconds", sampled_median)
+      .Add("qps", queries / sampled_median)
+      .Add("overhead_x", sampled_overhead_x)
+      .Add("bit_equal", static_cast<long long>(sampled_bit_equal ? 1 : 0));
   json.WriteFile();
 
-  if (!bit_equal) {
-    std::cerr << "FAIL: instrumented answers diverged from plain answers — "
-                 "observation changed an answer\n";
+  if (!instr_bit_equal || !sampled_bit_equal) {
+    std::cerr << "FAIL: "
+              << (!instr_bit_equal ? "instrumented" : "sampled")
+              << " answers diverged from plain answers — observation "
+                 "changed an answer\n";
     return 1;
   }
-  if (overhead_x > max_overhead) {
+  const double worst_overhead_x =
+      std::max(instr_overhead_x, sampled_overhead_x);
+  if (worst_overhead_x > max_overhead) {
     if (std::getenv("DIVERSE_BENCH_NO_GATE") != nullptr) {
       std::cout << "DIVERSE_BENCH_NO_GATE set: overhead gate not enforced\n";
       return 0;
     }
-    std::cerr << "FAIL: overhead_x " << overhead_x << " > " << max_overhead
+    std::cerr << "FAIL: overhead_x " << worst_overhead_x << " > "
+              << max_overhead
               << " (set DIVERSE_BENCH_NO_GATE=1 to override)\n";
     return 1;
   }

@@ -45,6 +45,24 @@ void ValidateQuery(const Query& query, const PlanDefaults& defaults) {
   }
 }
 
+// Trace label a /tracez reader can recognize the query shape from.
+std::string QueryLabel(const Query& query) {
+  const char* algorithm = "greedy";
+  switch (query.algorithm) {
+    case QueryAlgorithm::kGreedy: algorithm = "greedy"; break;
+    case QueryAlgorithm::kLocalSearch: algorithm = "local_search"; break;
+    case QueryAlgorithm::kKnapsack: algorithm = "knapsack"; break;
+  }
+  const char* plan = "single";
+  switch (query.plan) {
+    case PlanKind::kSingleNode: plan = "single"; break;
+    case PlanKind::kSharded: plan = "sharded"; break;
+    case PlanKind::kRemoteSharded: plan = "remote"; break;
+  }
+  return std::string(algorithm) + "/" + plan + " p=" +
+         std::to_string(query.p);
+}
+
 }  // namespace
 
 DiversificationEngine::DiversificationEngine(std::vector<double> weights,
@@ -86,6 +104,10 @@ void DiversificationEngine::Start() {
   DIVERSE_CHECK(options_.default_num_shards >= 1);
   plan_defaults_.num_shards = options_.default_num_shards;
   plan_defaults_.remote = options_.remote;
+  if (options_.trace_buffer != nullptr) {
+    sampler_ =
+        std::make_unique<obs::TraceSampler>(options_.trace_sample_every);
+  }
   if (options_.registry != nullptr) RegisterMetrics(options_.registry);
   int workers = options_.num_workers;
   if (workers <= 0) {
@@ -145,6 +167,20 @@ std::vector<std::future<QueryResult>> DiversificationEngine::SubmitBatch(
 
 QueryResult DiversificationEngine::RunSync(const Query& query) const {
   ValidateQuery(query, plan_defaults_);
+  if (query.trace == nullptr && sampler_ != nullptr && sampler_->Sample()) {
+    obs::QueryTrace trace;
+    Query sampled = query;  // observation-only: same bytes reach execution
+    sampled.trace = &trace;
+    QueryResult result = RunSyncInternal(sampled);
+    options_.trace_buffer->Add(trace, QueryLabel(query),
+                               result.latency_seconds,
+                               result.corpus_version);
+    return result;
+  }
+  return RunSyncInternal(query);
+}
+
+QueryResult DiversificationEngine::RunSyncInternal(const Query& query) const {
   const auto start = std::chrono::steady_clock::now();
   const SnapshotPtr snapshot = corpus_.snapshot();
   const auto acquired = std::chrono::steady_clock::now();
@@ -191,15 +227,31 @@ void DiversificationEngine::WorkerLoop() {
     for (Job& job : batch) {
       queue_wait_hist_.Record(
           std::chrono::duration<double>(pickup - job.enqueued).count());
+      // Sampling decision before the span sites below, so a sampled job
+      // records the same spans a caller-traced one would.
+      std::unique_ptr<obs::QueryTrace> sampled;
+      if (job.query.trace == nullptr && sampler_ != nullptr &&
+          sampler_->Sample()) {
+        sampled = std::make_unique<obs::QueryTrace>();
+        job.query.trace = sampled.get();
+      }
       if (job.query.trace != nullptr) {
         job.query.trace->AddSpan("queue", job.enqueued, pickup);
         job.query.trace->AddSpan("snapshot", pickup, acquired);
       }
       QueryResult result = ExecuteQuery(*snapshot, job.query, plan_defaults_);
       result.latency_seconds = SecondsSince(job.enqueued);
+      const std::uint64_t served_version = result.corpus_version;
       latency_hist_.Record(result.latency_seconds);
       queries_served_.Inc();
+      const double latency = result.latency_seconds;
       job.promise.set_value(std::move(result));
+      // Retention runs strictly after the answer is delivered: the
+      // buffer is downstream of every query it observes.
+      if (sampled != nullptr) {
+        options_.trace_buffer->Add(*sampled, QueryLabel(job.query), latency,
+                                   served_version);
+      }
     }
   }
 }

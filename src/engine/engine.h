@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -38,6 +39,7 @@
 #include "metric/dense_metric.h"
 #include "obs/metric_registry.h"
 #include "obs/metrics.h"
+#include "obs/trace_buffer.h"
 
 namespace diverse {
 namespace engine {
@@ -61,6 +63,17 @@ class DiversificationEngine {
     // construction. Must outlive the engine. Null = counters still
     // accumulate (stats() is unchanged), just not enumerable.
     obs::MetricRegistry* registry = nullptr;
+    // Sampled-tracing sink (must outlive the engine). When set, roughly
+    // 1 in trace_sample_every queries arriving WITHOUT a caller-attached
+    // trace gets an engine-owned QueryTrace whose completed spans land
+    // here — the feed behind /tracez. Observation-only: a sampled query
+    // returns bit-identical elements to the same query unsampled (the
+    // trace never influences execution, see obs/query_trace.h), and
+    // unsampled queries pay one atomic-increment hash per query.
+    obs::TraceBuffer* trace_buffer = nullptr;
+    // Sampling denominator (~1/N of untraced queries); <= 1 samples
+    // every query (what the integration tests use).
+    std::uint32_t trace_sample_every = 64;
   };
 
   // Always-on counters.
@@ -104,6 +117,7 @@ class DiversificationEngine {
 
   // Answers on the caller's thread against the current snapshot — the
   // one-query-at-a-time baseline the bench compares the pool against.
+  // Participates in trace sampling like worker-served queries do.
   QueryResult RunSync(const Query& query) const;
 
   // Applies one update epoch (insert / erase / set-weight / set-distance)
@@ -127,6 +141,8 @@ class DiversificationEngine {
  private:
   void Start();  // shared ctor tail: option checks + worker spawn
   void RegisterMetrics(obs::MetricRegistry* registry);
+  // RunSync minus the sampling decision (query.trace already settled).
+  QueryResult RunSyncInternal(const Query& query) const;
 
   struct Job {
     Query query;
@@ -139,6 +155,9 @@ class DiversificationEngine {
   Corpus corpus_;
   Options options_;
   PlanDefaults plan_defaults_;
+  // Non-null iff Options::trace_buffer was set; mutable because the
+  // admission counter advances on the const RunSync path too.
+  mutable std::unique_ptr<obs::TraceSampler> sampler_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

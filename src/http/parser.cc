@@ -1,0 +1,189 @@
+#include "http/parser.h"
+
+#include <algorithm>
+
+namespace diverse {
+namespace http {
+namespace {
+
+// RFC 9110 token characters (method and header names).
+bool IsTokenChar(char c) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+      (c >= '0' && c <= '9')) {
+    return true;
+  }
+  switch (c) {
+    case '!':
+    case '#':
+    case '$':
+    case '%':
+    case '&':
+    case '\'':
+    case '*':
+    case '+':
+    case '-':
+    case '.':
+    case '^':
+    case '_':
+    case '`':
+    case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsTargetChar(char c) {
+  // Visible ASCII only: no spaces, no control bytes, no high bytes. The
+  // request-target is echoed nowhere, but a byte outside this range is
+  // never part of a legitimate origin-form target.
+  const unsigned char u = static_cast<unsigned char>(c);
+  return u >= 0x21 && u <= 0x7e;
+}
+
+bool IsFieldValueChar(char c) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  return u == '\t' || (u >= 0x20 && u <= 0x7e);
+}
+
+char ToLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+// The longest a valid request line can be: method SP target SP version.
+constexpr std::size_t kMaxRequestLineBytes =
+    kMaxMethodBytes + 1 + kMaxTargetBytes + 1 + 8;
+
+bool ParseRequestLine(const std::string& line, Request* out) {
+  const std::size_t first_space = line.find(' ');
+  if (first_space == std::string::npos || first_space == 0 ||
+      first_space > kMaxMethodBytes) {
+    return false;
+  }
+  const std::size_t second_space = line.find(' ', first_space + 1);
+  if (second_space == std::string::npos ||
+      second_space == first_space + 1 ||
+      line.find(' ', second_space + 1) != std::string::npos) {
+    return false;
+  }
+  out->method = line.substr(0, first_space);
+  for (char c : out->method) {
+    if (!IsTokenChar(c)) return false;
+  }
+  out->target = line.substr(first_space + 1, second_space - first_space - 1);
+  if (out->target.size() > kMaxTargetBytes || out->target[0] != '/') {
+    return false;
+  }
+  for (char c : out->target) {
+    if (!IsTargetChar(c)) return false;
+  }
+  const std::string version = line.substr(second_space + 1);
+  if (version == "HTTP/1.1") {
+    out->minor_version = 1;
+  } else if (version == "HTTP/1.0") {
+    out->minor_version = 0;
+  } else {
+    return false;
+  }
+  const std::size_t question = out->target.find('?');
+  out->path = out->target.substr(0, question);
+  out->query = question == std::string::npos
+                   ? ""
+                   : out->target.substr(question + 1);
+  return true;
+}
+
+bool ParseHeaderLine(const std::string& line, Request* out) {
+  if (line.size() > kMaxHeaderLineBytes) return false;
+  const std::size_t colon = line.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  std::string name = line.substr(0, colon);
+  for (char& c : name) {
+    if (!IsTokenChar(c)) return false;
+    c = ToLower(c);
+  }
+  std::size_t value_start = colon + 1;
+  while (value_start < line.size() &&
+         (line[value_start] == ' ' || line[value_start] == '\t')) {
+    ++value_start;
+  }
+  std::size_t value_end = line.size();
+  while (value_end > value_start && (line[value_end - 1] == ' ' ||
+                                     line[value_end - 1] == '\t')) {
+    --value_end;
+  }
+  const std::string value = line.substr(value_start, value_end - value_start);
+  for (char c : value) {
+    if (!IsFieldValueChar(c)) return false;
+  }
+  out->headers.emplace_back(std::move(name), value);
+  return out->headers.size() <= kMaxHeaderCount;
+}
+
+}  // namespace
+
+ParseStatus ParseRequest(const std::string& buffer, Request* out,
+                         std::size_t* consumed) {
+  // Bytes that can appear nowhere in a request fail fast, before the
+  // terminator arrives — a binary-protocol client that dialed the wrong
+  // port should not hold a connection open until the read timeout.
+  if (buffer.find('\0') != std::string::npos) return ParseStatus::kBad;
+
+  const std::size_t block_end = buffer.find("\r\n\r\n");
+  if (block_end == std::string::npos) {
+    if (buffer.size() >= kMaxRequestBytes) return ParseStatus::kBad;
+    // The request line ends at the first CRLF; if it has not ended yet
+    // and is already over-long, no continuation can make it valid.
+    const std::size_t line_end = buffer.find("\r\n");
+    if (line_end == std::string::npos &&
+        buffer.size() > kMaxRequestLineBytes) {
+      return ParseStatus::kBad;
+    }
+    if (line_end != std::string::npos && line_end > kMaxRequestLineBytes) {
+      return ParseStatus::kBad;
+    }
+    return ParseStatus::kIncomplete;
+  }
+  if (block_end + 4 > kMaxRequestBytes) return ParseStatus::kBad;
+
+  *out = Request();
+  std::size_t line_start = 0;
+  bool first_line = true;
+  while (line_start < block_end + 2) {
+    const std::size_t line_end = buffer.find("\r\n", line_start);
+    const std::string line = buffer.substr(line_start, line_end - line_start);
+    line_start = line_end + 2;
+    if (first_line) {
+      if (line.size() > kMaxRequestLineBytes || !ParseRequestLine(line, out)) {
+        return ParseStatus::kBad;
+      }
+      first_line = false;
+    } else if (!ParseHeaderLine(line, out)) {
+      return ParseStatus::kBad;
+    }
+  }
+
+  // This server answers header-only requests; a frame with a body is out
+  // of scope, and silently ignoring one would desynchronize the stream
+  // (body bytes would parse as the next request).
+  const std::string content_length = HeaderValue(*out, "content-length");
+  if (!content_length.empty() && content_length != "0") {
+    return ParseStatus::kBad;
+  }
+  if (!HeaderValue(*out, "transfer-encoding").empty()) {
+    return ParseStatus::kBad;
+  }
+  *consumed = block_end + 4;
+  return ParseStatus::kOk;
+}
+
+std::string HeaderValue(const Request& request, const std::string& name) {
+  for (const auto& [key, value] : request.headers) {
+    if (key == name) return value;
+  }
+  return "";
+}
+
+}  // namespace http
+}  // namespace diverse

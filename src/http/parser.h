@@ -1,0 +1,63 @@
+// HTTP/1.1 request parsing, hardened to the rpc/wire total-decoding bar:
+// every input byte sequence maps to exactly one of {complete request,
+// need-more-bytes, malformed}, with hard caps on every dimension an
+// untrusted peer controls (request size, target length, header count and
+// size). No allocation is driven by a peer-claimed length — the caller's
+// accumulation buffer is bounded by kMaxRequestBytes before Parse ever
+// sees it.
+//
+// Scope: the observability front door serves GET only, so the parser
+// accepts any token method (reported back so the server can answer 405
+// for non-GET) but nothing beyond the header block — a body (
+// Content-Length/Transfer-Encoding) is rejected as malformed rather
+// than half-supported.
+#ifndef DIVERSE_HTTP_PARSER_H_
+#define DIVERSE_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace diverse {
+namespace http {
+
+// Caps, enforced during parsing (a request touching any of them is
+// malformed, not pending): total header block, request-target length,
+// header line length, and header count.
+inline constexpr std::size_t kMaxRequestBytes = 8192;
+inline constexpr std::size_t kMaxTargetBytes = 2048;
+inline constexpr std::size_t kMaxHeaderLineBytes = 1024;
+inline constexpr std::size_t kMaxHeaderCount = 64;
+inline constexpr std::size_t kMaxMethodBytes = 16;
+
+struct Request {
+  std::string method;   // verbatim token, e.g. "GET"
+  std::string target;   // origin-form request target, e.g. "/metrics?x=1"
+  std::string path;     // target up to '?', e.g. "/metrics"
+  std::string query;    // after '?', "" when absent
+  int minor_version = 1;  // HTTP/1.<minor>; 0 or 1
+  std::vector<std::pair<std::string, std::string>> headers;  // lowercased keys
+};
+
+enum class ParseStatus {
+  kOk,          // one complete request parsed; *consumed bytes were used
+  kIncomplete,  // valid so far; need more bytes
+  kBad,         // malformed (or over a cap); reply 400 and close
+};
+
+// Parses one request from the front of `buffer`. On kOk fills *out and
+// sets *consumed to the bytes the request occupied (the caller erases
+// them; pipelined bytes after the header block stay in the buffer). On
+// kIncomplete/kBad, *out and *consumed are unspecified.
+ParseStatus ParseRequest(const std::string& buffer, Request* out,
+                         std::size_t* consumed);
+
+// Case-insensitive header lookup ("" when absent). Keys are stored
+// lowercased, so pass a lowercase name.
+std::string HeaderValue(const Request& request, const std::string& name);
+
+}  // namespace http
+}  // namespace diverse
+
+#endif  // DIVERSE_HTTP_PARSER_H_

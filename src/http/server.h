@@ -1,0 +1,104 @@
+// Minimal HTTP/1.1 server for the observability front door — plain POSIX
+// sockets, no external dependencies, GET only.
+//
+// The server owns transport concerns and nothing else: it accepts
+// connections, enforces the untrusted-peer limits (connection cap,
+// per-read timeout, parser byte caps), answers protocol-level errors
+// (400 malformed, 405 non-GET, 503 over the connection cap) itself, and
+// hands every well-formed GET to a Handler. Endpoint content lives
+// behind that seam (obs/http_handler.h), mirroring how rpc::SocketServer
+// stays ignorant of what its Handler replicas do.
+//
+// Every response closes the connection (Connection: close). Keep-alive
+// would buy nothing for scrape traffic — Prometheus reconnects per
+// scrape interval measured in seconds — and one-request-per-connection
+// keeps the state machine trivially auditable: accumulate, parse once,
+// answer, close.
+#ifndef DIVERSE_HTTP_SERVER_H_
+#define DIVERSE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "http/parser.h"
+
+namespace diverse {
+namespace http {
+
+struct Response {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Reason phrase for the status codes this server emits ("Unknown"
+// otherwise — the code still goes on the wire).
+std::string StatusText(int status);
+
+// Endpoint seam: receives every well-formed GET (anything else was
+// already answered by the server). Expected to return 404 for paths it
+// does not recognize. Must be thread-safe — connections are served
+// concurrently.
+class Handler {
+ public:
+  virtual ~Handler() = default;
+  virtual Response Handle(const Request& request) = 0;
+};
+
+class HttpServer {
+ public:
+  struct Options {
+    // Concurrent connection cap; an accept beyond it is answered 503 and
+    // closed, so a stalled scraper cannot exhaust threads.
+    std::size_t max_connections = 16;
+    // SO_RCVTIMEO per read: a peer that connects and goes silent holds
+    // its connection (and cap slot) at most this long. <= 0 disables.
+    int read_timeout_ms = 5000;
+  };
+
+  // Binds and listens on `port` (0 picks an ephemeral port, see port()).
+  // `handler` must outlive the server. CHECK-aborts if the socket cannot
+  // be bound, matching rpc::SocketServer: a front door that cannot
+  // listen was misconfigured, and silently serving nothing is worse.
+  HttpServer(Handler* handler, int port, Options options);
+  HttpServer(Handler* handler, int port);
+  ~HttpServer();  // implies Stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  int port() const { return port_; }
+
+  // Starts the accept loop on a background thread.
+  void Start();
+  // Stops accepting, shuts down in-flight connections, and joins every
+  // connection thread before returning. Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int client_fd);
+  void FinishConnection(int client_fd);  // bookkeeping at thread exit
+
+  Handler* handler_;
+  const Options options_;
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::condition_variable idle_;
+  std::set<int> live_fds_;       // open connection fds, for Stop() shutdown
+  std::size_t active_ = 0;       // connection threads not yet finished
+};
+
+}  // namespace http
+}  // namespace diverse
+
+#endif  // DIVERSE_HTTP_SERVER_H_

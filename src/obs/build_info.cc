@@ -1,0 +1,108 @@
+#include "obs/build_info.h"
+
+#include <chrono>
+#include <string>
+
+namespace diverse {
+namespace obs {
+namespace {
+
+#ifndef DIVERSE_VERSION
+#define DIVERSE_VERSION "dev"
+#endif
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return "clang-" + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc-" + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string ModeString() {
+#ifdef NDEBUG
+  std::string mode = "Release";
+#else
+  std::string mode = "Debug";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  mode += "+asan";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  mode += "+asan";
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+  mode += "+tsan";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  mode += "+tsan";
+#endif
+#endif
+  return mode;
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{DIVERSE_VERSION, CompilerString(), ModeString()};
+  return info;
+}
+
+double ProcessStartTimeSeconds() {
+  // First call wins; GetBuildInfo()/RegisterStandardMetrics run during
+  // component construction, so this lands within process startup.
+  static const double start =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  return start;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string BuildInfoMetricName() {
+  const BuildInfo& info = GetBuildInfo();
+  return "diverse_build_info{version=\"" + EscapeLabelValue(info.version) +
+         "\",compiler=\"" + EscapeLabelValue(info.compiler) + "\",mode=\"" +
+         EscapeLabelValue(info.mode) + "\"}";
+}
+
+void RegisterStandardMetrics(
+    MetricRegistry* registry,
+    std::vector<MetricRegistry::Registration>* registrations) {
+  ProcessStartTimeSeconds();  // pin the instant even if scraped much later
+  registrations->push_back(
+      registry->RegisterGauge(BuildInfoMetricName(), [] { return 1.0; }));
+  registrations->push_back(
+      registry->RegisterGauge("diverse_process_start_time_seconds",
+                              [] { return ProcessStartTimeSeconds(); }));
+}
+
+}  // namespace obs
+}  // namespace diverse

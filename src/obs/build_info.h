@@ -1,0 +1,56 @@
+// Standard scrape-hygiene metrics every registry carries:
+//
+//   diverse_build_info{version="...",compiler="...",mode="..."}  1
+//   diverse_process_start_time_seconds                           <unix time>
+//
+// build_info is the Prometheus idiom for joining any series to the
+// binary that produced it (the value is always 1; the information lives
+// in the labels). process_start_time_seconds lets a scraper compute
+// uptime and detect restarts without a counter reset heuristic.
+//
+// RegisterStandardMetrics publishes both into a registry; every process
+// registry (the engine CLI's, each ShardNode's own) calls it so any
+// scrape — wire StatsRequest, /metrics HTTP, CLI dump — identifies the
+// build it came from.
+#ifndef DIVERSE_OBS_BUILD_INFO_H_
+#define DIVERSE_OBS_BUILD_INFO_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metric_registry.h"
+
+namespace diverse {
+namespace obs {
+
+// Compile-time build facts, resolved once per process.
+struct BuildInfo {
+  std::string version;   // DIVERSE_VERSION (CMake project version)
+  std::string compiler;  // e.g. "gcc-12.2.0", "clang-15.0.7"
+  std::string mode;      // e.g. "Release", "Debug+asan", "Debug+tsan"
+};
+const BuildInfo& GetBuildInfo();
+
+// Wall-clock instant this process initialized the obs layer, as seconds
+// since the Unix epoch. Constant for the process lifetime.
+double ProcessStartTimeSeconds();
+
+// Escapes a Prometheus label value: backslash, double quote, and
+// newline get backslash-escaped (the exposition-format rules).
+std::string EscapeLabelValue(const std::string& value);
+
+// The fully labeled metric name the build_info gauge registers under.
+std::string BuildInfoMetricName();
+
+// Registers diverse_build_info (value 1) and
+// diverse_process_start_time_seconds into `registry`, appending the RAII
+// handles to *registrations (same lifetime discipline as every other
+// registrant: the registry must outlive the handles).
+void RegisterStandardMetrics(
+    MetricRegistry* registry,
+    std::vector<MetricRegistry::Registration>* registrations);
+
+}  // namespace obs
+}  // namespace diverse
+
+#endif  // DIVERSE_OBS_BUILD_INFO_H_

@@ -4,6 +4,7 @@
 #ifndef DIVERSE_OBS_EXPORT_H_
 #define DIVERSE_OBS_EXPORT_H_
 
+#include <set>
 #include <string>
 
 #include "obs/metric_registry.h"
@@ -20,6 +21,18 @@ std::string RenderPrometheusText(const MetricRegistry& registry);
 // {name: {"count": N, "sum": S, "buckets": [[le, cumulative], ...]}}}.
 // Keys appear in sorted order; non-finite gauge values render as null.
 std::string RenderJson(const MetricRegistry& registry);
+
+// Cluster aggregation: rewrites one node's Prometheus text so every
+// sample line carries an extra `label_name="label_value"` label (value
+// escaped), letting a coordinator re-export N node scrapes as one page
+// without series collisions. `# TYPE` lines are emitted once per metric
+// family across calls sharing *seen_families (repeating them per node
+// would be invalid exposition format); other comment lines pass
+// through. label_name must be a valid label key.
+std::string RelabelPrometheusText(const std::string& text,
+                                  const std::string& label_name,
+                                  const std::string& label_value,
+                                  std::set<std::string>* seen_families);
 
 }  // namespace obs
 }  // namespace diverse

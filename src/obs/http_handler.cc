@@ -1,0 +1,152 @@
+#include "obs/http_handler.h"
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "obs/build_info.h"
+#include "obs/export.h"
+#include "util/check.h"
+
+namespace diverse {
+namespace obs {
+namespace {
+
+constexpr char kPrometheusContentType[] =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+double UptimeSeconds() {
+  const double now = std::chrono::duration<double>(
+      std::chrono::system_clock::now().time_since_epoch()).count();
+  const double uptime = now - ProcessStartTimeSeconds();
+  return uptime < 0.0 ? 0.0 : uptime;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", seconds);
+  return buffer;
+}
+
+http::Response NotFound(const std::string& message) {
+  http::Response response;
+  response.status = 404;
+  response.body = message + "\n";
+  return response;
+}
+
+}  // namespace
+
+ObservabilityHandler::ObservabilityHandler(Options options)
+    : options_(std::move(options)) {
+  DIVERSE_CHECK_MSG(options_.registry != nullptr,
+                    "ObservabilityHandler needs a registry");
+}
+
+http::Response ObservabilityHandler::Handle(const http::Request& request) {
+  if (request.path == "/metrics") return Metrics();
+  if (request.path == "/metrics/cluster") return MetricsCluster();
+  if (request.path == "/healthz") return Healthz();
+  if (request.path == "/statusz") return Statusz();
+  if (request.path == "/tracez") return Tracez();
+  if (request.path == "/") return Index();
+  return NotFound("unknown path (see / for the endpoint index)");
+}
+
+http::Response ObservabilityHandler::Metrics() const {
+  http::Response response;
+  response.content_type = kPrometheusContentType;
+  response.body = RenderPrometheusText(*options_.registry);
+  return response;
+}
+
+http::Response ObservabilityHandler::MetricsCluster() const {
+  if (options_.cluster.empty()) {
+    return NotFound("no cluster sources configured");
+  }
+  std::set<std::string> seen_families;
+  std::string body = RelabelPrometheusText(
+      RenderPrometheusText(*options_.registry), "node", "self",
+      &seen_families);
+  for (const ClusterSource& source : options_.cluster) {
+    std::string text;
+    if (source.scrape && source.scrape(&text)) {
+      body += RelabelPrometheusText(text, "node", source.label,
+                                    &seen_families);
+    } else {
+      // A comment, not a failure: the aggregate page stays scrapeable
+      // with the nodes that did answer.
+      body += "# node " + source.label + " unreachable\n";
+    }
+  }
+  http::Response response;
+  response.content_type = kPrometheusContentType;
+  response.body = std::move(body);
+  return response;
+}
+
+http::Response ObservabilityHandler::Healthz() const {
+  http::Response response;
+  response.body = "ok\nrole=" + options_.role + "\n";
+  if (options_.corpus_version) {
+    response.body +=
+        "corpus_version=" + std::to_string(options_.corpus_version()) + "\n";
+  }
+  response.body += "uptime_seconds=" + FormatSeconds(UptimeSeconds()) + "\n";
+  return response;
+}
+
+http::Response ObservabilityHandler::Statusz() const {
+  const BuildInfo& build = GetBuildInfo();
+  std::string body = "{\"build\":{\"version\":\"" +
+                     EscapeLabelValue(build.version) + "\",\"compiler\":\"" +
+                     EscapeLabelValue(build.compiler) + "\",\"mode\":\"" +
+                     EscapeLabelValue(build.mode) + "\"}";
+  body += ",\"role\":\"" + options_.role + "\"";
+  body += ",\"start_time_seconds\":" + FormatSeconds(ProcessStartTimeSeconds());
+  body += ",\"uptime_seconds\":" + FormatSeconds(UptimeSeconds());
+  if (options_.corpus_version) {
+    body += ",\"corpus_version\":" + std::to_string(options_.corpus_version());
+  }
+  if (options_.acked_table) {
+    body += ",\"acked\":[";
+    bool first = true;
+    for (std::uint64_t acked : options_.acked_table()) {
+      if (!first) body += ",";
+      body += std::to_string(acked);
+      first = false;
+    }
+    body += "]";
+  }
+  body += ",\"metrics\":" + RenderJson(*options_.registry) + "}";
+  http::Response response;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+http::Response ObservabilityHandler::Tracez() const {
+  if (options_.traces == nullptr) {
+    return NotFound("trace sampling not enabled in this process");
+  }
+  http::Response response;
+  response.body = options_.traces->RenderTracez();
+  return response;
+}
+
+http::Response ObservabilityHandler::Index() const {
+  http::Response response;
+  response.body =
+      "diverse observability endpoints:\n"
+      "  /metrics          Prometheus text exposition\n"
+      "  /metrics/cluster  cluster-wide metrics, node-labeled"
+      " (coordinator)\n"
+      "  /healthz          liveness + role + corpus version\n"
+      "  /statusz          JSON status (build, uptime, registry dump)\n"
+      "  /tracez           recent sampled traces + slow-query log\n";
+  return response;
+}
+
+}  // namespace obs
+}  // namespace diverse

@@ -1,0 +1,82 @@
+// The observability front door's endpoint set, mounted behind the
+// http::Handler seam so http::HttpServer stays a pure transport:
+//
+//   /metrics          Prometheus text exposition of the local registry
+//   /metrics/cluster  local registry plus every configured cluster
+//                     source, each series labeled node="..." (the
+//                     coordinator configures one source per shard node,
+//                     scraping over the existing RPC stats frame)
+//   /healthz          liveness: "ok", role, corpus version, uptime
+//   /statusz          JSON: build info, uptime, role, corpus version,
+//                     per-node acked table (coordinator), full registry
+//   /tracez           recent sampled traces + slow-query log (TraceBuffer)
+//   /                 plain-text index of the above
+//
+// Everything here is a read-only snapshot render; the handler holds no
+// state of its own beyond the wiring, so concurrent requests are safe as
+// long as the injected pieces are (MetricRegistry and TraceBuffer are;
+// the callbacks must be).
+//
+// Wiring is by std::function, not by type: the handler must not depend
+// on rpc:: or replication:: (obs sits below both), so the CLIs inject
+// "scrape node i" and "read the acked table" as closures.
+#ifndef DIVERSE_OBS_HTTP_HANDLER_H_
+#define DIVERSE_OBS_HTTP_HANDLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "http/server.h"
+#include "obs/metric_registry.h"
+#include "obs/trace_buffer.h"
+
+namespace diverse {
+namespace obs {
+
+class ObservabilityHandler : public http::Handler {
+ public:
+  // One remote registry /metrics/cluster folds in. `scrape` fills
+  // *|out| with the node's Prometheus text and returns false when the
+  // node is unreachable (reported as a comment line, not an error page —
+  // a dead node must not take down the cluster scrape).
+  struct ClusterSource {
+    std::string label;  // node label value, e.g. "127.0.0.1:7101"
+    std::function<bool(std::string*)> scrape;
+  };
+
+  struct Options {
+    // Required, must outlive the handler; only ever read (rendered).
+    const MetricRegistry* registry = nullptr;
+    std::string role = "engine";  // engine|coordinator|shard_node|standby
+    // Current corpus version, when the process has a corpus (nullable).
+    std::function<std::uint64_t()> corpus_version;
+    // Sampled-trace retention; /tracez answers 404 when absent.
+    TraceBuffer* traces = nullptr;
+    // Coordinator's per-node acked versions for /statusz (nullable).
+    std::function<std::vector<std::uint64_t>()> acked_table;
+    // Remote registries for /metrics/cluster; empty list answers 404
+    // (the endpoint only exists where a cluster does).
+    std::vector<ClusterSource> cluster;
+  };
+
+  explicit ObservabilityHandler(Options options);
+
+  http::Response Handle(const http::Request& request) override;
+
+ private:
+  http::Response Metrics() const;
+  http::Response MetricsCluster() const;
+  http::Response Healthz() const;
+  http::Response Statusz() const;
+  http::Response Tracez() const;
+  http::Response Index() const;
+
+  const Options options_;
+};
+
+}  // namespace obs
+}  // namespace diverse
+
+#endif  // DIVERSE_OBS_HTTP_HANDLER_H_

@@ -3,8 +3,70 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/check.h"
+
 namespace diverse {
 namespace obs {
+namespace {
+
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+bool IsNameChar(char c) { return IsNameStart(c) || (c >= '0' && c <= '9'); }
+bool IsKeyStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsKeyChar(char c) { return IsKeyStart(c) || (c >= '0' && c <= '9'); }
+bool IsPrintableAscii(char c) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  return u >= 0x20 && u <= 0x7e;
+}
+
+// Validates one {key="value",...} block starting at name[pos] == '{';
+// true only when it is well formed and ends exactly at name.back().
+bool ValidLabelBlock(const std::string& name, std::size_t pos) {
+  ++pos;  // past '{'
+  if (pos >= name.size() || name[pos] == '}') return false;  // "{}" too
+  while (true) {
+    if (pos >= name.size() || !IsKeyStart(name[pos])) return false;
+    while (pos < name.size() && IsKeyChar(name[pos])) ++pos;
+    if (pos + 1 >= name.size() || name[pos] != '=' || name[pos + 1] != '"') {
+      return false;
+    }
+    pos += 2;
+    while (pos < name.size() && name[pos] != '"') {
+      if (!IsPrintableAscii(name[pos])) return false;
+      if (name[pos] == '\\') {
+        // Only the exposition-format escapes; a stray backslash would
+        // render as a different value than intended.
+        if (pos + 1 >= name.size() ||
+            (name[pos + 1] != '\\' && name[pos + 1] != '"' &&
+             name[pos + 1] != 'n')) {
+          return false;
+        }
+        ++pos;
+      }
+      ++pos;
+    }
+    if (pos >= name.size()) return false;  // unterminated value
+    ++pos;                                 // past closing '"'
+    if (pos == name.size() - 1 && name[pos] == '}') return true;
+    if (pos >= name.size() || name[pos] != ',') return false;
+    ++pos;
+  }
+}
+
+}  // namespace
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty() || !IsNameStart(name[0])) return false;
+  std::size_t pos = 1;
+  while (pos < name.size() && IsNameChar(name[pos])) ++pos;
+  if (pos == name.size()) return true;  // plain name
+  if (name[pos] != '{') return false;
+  return ValidLabelBlock(name, pos);
+}
 
 void MetricRegistry::Registration::Release() {
   if (registry_ != nullptr) {
@@ -15,6 +77,8 @@ void MetricRegistry::Registration::Release() {
 }
 
 MetricRegistry::Registration MetricRegistry::Add(Entry entry) {
+  DIVERSE_CHECK_MSG(IsValidMetricName(entry.name),
+                    "invalid metric name (see obs::IsValidMetricName)");
   std::lock_guard<std::mutex> lock(mu_);
   entry.id = next_id_++;
   std::uint64_t id = entry.id;

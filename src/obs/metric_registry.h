@@ -32,6 +32,16 @@
 namespace diverse {
 namespace obs {
 
+// Registrable-name predicate: a Prometheus metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*) optionally followed by ONE inline label
+// block {key="value",...} whose keys are [a-zA-Z_][a-zA-Z0-9_]* and
+// whose values are printable ASCII with \\, \", and \n backslash-escaped
+// (obs::EscapeLabelValue produces exactly this). Anything else — UTF-8
+// bytes, control characters, spaces, an unterminated label block — is
+// rejected: a name crosses into exposition output verbatim, so a bad
+// one would corrupt every scrape of the process.
+bool IsValidMetricName(const std::string& name);
+
 class MetricRegistry {
  public:
   enum class Kind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
@@ -76,7 +86,10 @@ class MetricRegistry {
 
   // The counter/histogram must outlive the returned Registration; the
   // gauge callback must stay safe to invoke until then (it is called
-  // under the registry mutex during Snapshot()).
+  // under the registry mutex during Snapshot()). Names must satisfy
+  // IsValidMetricName — registering an invalid name CHECK-aborts (names
+  // are compile-time constants in practice; a bad one is a code bug, not
+  // input).
   Registration RegisterCounter(std::string name, const Counter* counter);
   Registration RegisterGauge(std::string name, std::function<double()> read);
   Registration RegisterHistogram(std::string name,

@@ -9,7 +9,9 @@
 #include "algorithms/distributed.h"
 #include "algorithms/result.h"
 #include "engine/execution_plan.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
+#include "obs/query_trace.h"
 #include "snapshot/snapshot_codec.h"
 
 namespace diverse {
@@ -35,10 +37,19 @@ ShardNode::ShardNode(Options options)
   RegisterMetrics();
 }
 
-// Every counter the typed Stats struct reports, published by name into
-// the node-owned registry so HandleStats (remote scrape) and the CLI
-// dump enumerate the same values the in-process accessors see.
+// Shared ctor tail. Every counter the typed Stats struct reports,
+// published by name into the node-owned registry so HandleStats (remote
+// scrape) and the CLI dump enumerate the same values the in-process
+// accessors see — plus the standard build_info/start-time pair.
 void ShardNode::RegisterMetrics() {
+  if (options_.trace_buffer != nullptr) {
+    sampler_ =
+        std::make_unique<obs::TraceSampler>(options_.trace_sample_every);
+    // The buffer (outliving this node per the Options contract) shows up
+    // in the node's own registry like every other node metric.
+    options_.trace_buffer->RegisterMetrics(&registry_, &registrations_);
+  }
+  obs::RegisterStandardMetrics(&registry_, &registrations_);
   registrations_.push_back(
       registry_.RegisterCounter("diverse_node_queries_total", &queries_));
   registrations_.push_back(registry_.RegisterCounter(
@@ -145,15 +156,26 @@ std::vector<std::uint8_t> ShardNode::HandleQuery(
   // Observation only: the trace id correlates this kernel run with the
   // coordinator-side trace; it never influences the kernel.
   if (request.trace_id != 0) traced_queries_.Inc();
+  const bool sample = sampler_ != nullptr && sampler_->Sample();
   const auto kernel_start = std::chrono::steady_clock::now();
   const engine::ProblemView view =
       engine::MakeProblemView(*snapshot, request.relevance, request.lambda);
   const AlgorithmResult local =
       GreedyVertexOnCandidates(view.problem, shard, request.per_shard);
-  kernel_latency_hist_.Record(
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    kernel_start)
-          .count());
+  const auto kernel_end = std::chrono::steady_clock::now();
+  const double kernel_seconds =
+      std::chrono::duration<double>(kernel_end - kernel_start).count();
+  kernel_latency_hist_.Record(kernel_seconds);
+  if (sample) {
+    obs::QueryTrace trace;
+    trace.AddSpan("kernel", kernel_start, kernel_end);
+    options_.trace_buffer->Add(
+        trace,
+        "kernel shard " + std::to_string(request.shard_index) + "/" +
+            std::to_string(request.num_shards) + " per_shard=" +
+            std::to_string(request.per_shard),
+        kernel_seconds, snapshot->version());
+  }
   response.status = RpcStatus::kOk;
   response.elements = local.elements;
   response.objective = local.objective;

@@ -43,6 +43,7 @@
 #include "metric/dense_metric.h"
 #include "obs/metric_registry.h"
 #include "obs/metrics.h"
+#include "obs/trace_buffer.h"
 #include "rpc/transport.h"
 #include "rpc/wire.h"
 #include "snapshot/checkpoint_store.h"
@@ -75,6 +76,12 @@ class ShardNode : public Handler {
         std::uint64_t version,
         const std::shared_ptr<const std::vector<std::uint8_t>>& image)>
         on_snapshot_installed;
+    // Sampled-tracing sink (must outlive the node): roughly 1 in
+    // trace_sample_every kernel queries records its kernel span into
+    // this buffer, feeding the node's /tracez. Observation-only — the
+    // kernel never sees the trace.
+    obs::TraceBuffer* trace_buffer = nullptr;
+    std::uint32_t trace_sample_every = 64;  // <= 1 samples every query
   };
 
   struct Stats {
@@ -146,6 +153,7 @@ class ShardNode : public Handler {
 
   engine::Corpus replica_;
   const Options options_;
+  std::unique_ptr<obs::TraceSampler> sampler_;  // iff trace_buffer set
   std::atomic<bool> awaiting_bootstrap_{false};
   std::mutex apply_mu_;  // serializes update batches (version-order gate)
                          // and snapshot transfers

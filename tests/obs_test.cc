@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <limits>
@@ -21,10 +22,12 @@
 #include "data/synthetic.h"
 #include "engine/engine.h"
 #include "engine/workload.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
 #include "obs/metric_registry.h"
 #include "obs/metrics.h"
 #include "obs/query_trace.h"
+#include "obs/trace_buffer.h"
 #include "rpc/coordinator.h"
 #include "rpc/shard_node.h"
 #include "rpc/stats.h"
@@ -205,16 +208,224 @@ TEST(ExportTest, JsonHasAllSectionsAndEscapes) {
   Histogram hist;
   hist.Record(3e-6);
   auto r1 = registry.RegisterCounter("a_total", &counter);
-  auto r2 = registry.RegisterGauge(
-      "bad\"name", [] { return std::numeric_limits<double>::quiet_NaN(); });
+  // Labeled names are the only registrable names containing quotes, so
+  // they are what exercises the JSON key escaping.
+  auto r2 = registry.RegisterGauge("nan_gauge{tag=\"v\"}", [] {
+    return std::numeric_limits<double>::quiet_NaN();
+  });
   auto r3 = registry.RegisterHistogram("h_seconds", &hist);
   const std::string json = RenderJson(registry);
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"a_total\":3"), std::string::npos);
   EXPECT_NE(json.find("\"gauges\""), std::string::npos);
-  EXPECT_NE(json.find("\\\"name\":null"), std::string::npos);  // escaped, NaN
+  EXPECT_NE(json.find("\"nan_gauge{tag=\\\"v\\\"}\":null"),
+            std::string::npos);  // escaped key, NaN -> null
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricNameTest, AcceptsPlainAndLabeledNames) {
+  EXPECT_TRUE(IsValidMetricName("diverse_engine_queries_total"));
+  EXPECT_TRUE(IsValidMetricName("a:b_c9"));
+  EXPECT_TRUE(IsValidMetricName("x_info{version=\"1.2\",mode=\"Release\"}"));
+  EXPECT_TRUE(IsValidMetricName("x_info{v=\"quote \\\" slash \\\\ n \\n\"}"));
+  EXPECT_TRUE(IsValidMetricName("x{k=\"\"}"));  // empty value is fine
+}
+
+TEST(MetricNameTest, RejectsMalformedNames) {
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("9leading_digit"));
+  EXPECT_FALSE(IsValidMetricName("has space"));
+  EXPECT_FALSE(IsValidMetricName("bad\"name"));
+  EXPECT_FALSE(IsValidMetricName("caf\xc3\xa9_total"));  // UTF-8 in name
+  EXPECT_FALSE(IsValidMetricName("x{}"));                // empty label block
+  EXPECT_FALSE(IsValidMetricName("x{k=\"v\""));          // unterminated
+  EXPECT_FALSE(IsValidMetricName("x{k=\"v\"}y"));        // trailing junk
+  EXPECT_FALSE(IsValidMetricName("x{k=v}"));             // unquoted value
+  EXPECT_FALSE(IsValidMetricName("x{9k=\"v\"}"));        // bad label key
+  EXPECT_FALSE(IsValidMetricName("x{k=\"bad \\x\"}"));   // bad escape
+  EXPECT_FALSE(IsValidMetricName("x{k=\"caf\xc3\xa9\"}"));  // UTF-8 value
+}
+
+TEST(MetricRegistryDeathTest, RegistrationRejectsInvalidNames) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MetricRegistry registry;
+  Counter counter;
+  EXPECT_DEATH(registry.RegisterCounter("caf\xc3\xa9_total", &counter),
+               "invalid metric name");
+  EXPECT_DEATH(registry.RegisterGauge("bad\"name", [] { return 0.0; }),
+               "invalid metric name");
+}
+
+TEST(ExportTest, TypeLineCarriesBaseNameForLabeledMetrics) {
+  MetricRegistry registry;
+  Counter counter;
+  counter.Inc(4);
+  auto r = registry.RegisterCounter("jobs_total{queue=\"fast\"}", &counter);
+  const std::string text = RenderPrometheusText(registry);
+  // The family TYPE line must not carry the label block; the sample
+  // line must.
+  EXPECT_NE(text.find("# TYPE jobs_total counter\n"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE jobs_total{"), std::string::npos);
+  EXPECT_NE(text.find("jobs_total{queue=\"fast\"} 4\n"), std::string::npos);
+}
+
+TEST(ExportTest, LabeledHistogramMergesLeIntoTheLabelBlock) {
+  MetricRegistry registry;
+  Histogram hist;
+  hist.Record(0.5e-6);
+  auto r = registry.RegisterHistogram("lat_seconds{shard=\"0\"}", &hist);
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{shard=\"0\",le=\"1e-06\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum{shard=\"0\"} "), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count{shard=\"0\"} 1"), std::string::npos);
+}
+
+TEST(ExportTest, EmptyHistogramRendersZeroedSeries) {
+  MetricRegistry registry;
+  Histogram hist;  // never recorded into
+  auto r = registry.RegisterHistogram("idle_seconds", &hist);
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("idle_seconds_bucket{le=\"1e-06\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("idle_seconds_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("idle_seconds_sum 0"), std::string::npos);
+  EXPECT_NE(text.find("idle_seconds_count 0"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusPageGoldenShape) {
+  // Exact-output golden for a small registry: pins line ordering (sorted
+  // by name), TYPE-then-sample layout, and label rendering, so an
+  // accidental format drift fails loudly instead of surviving substring
+  // checks.
+  MetricRegistry registry;
+  Counter plain;
+  plain.Inc(2);
+  Counter labeled;
+  labeled.Inc(5);
+  auto r1 = registry.RegisterCounter("aa_total", &plain);
+  auto r2 = registry.RegisterGauge("bb_ratio", [] { return 0.5; });
+  auto r3 = registry.RegisterCounter("cc_total{shard=\"0\"}", &labeled);
+  EXPECT_EQ(RenderPrometheusText(registry),
+            "# TYPE aa_total counter\n"
+            "aa_total 2\n"
+            "# TYPE bb_ratio gauge\n"
+            "bb_ratio 0.5\n"
+            "# TYPE cc_total counter\n"
+            "cc_total{shard=\"0\"} 5\n");
+}
+
+TEST(BuildInfoTest, EscapeLabelValueEscapesTheExpositionSet) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+TEST(BuildInfoTest, StandardMetricsRenderInBothExporters) {
+  MetricRegistry registry;
+  std::vector<MetricRegistry::Registration> registrations;
+  RegisterStandardMetrics(&registry, &registrations);
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE diverse_build_info gauge"), std::string::npos);
+  EXPECT_NE(text.find("diverse_build_info{version=\""), std::string::npos);
+  EXPECT_NE(text.find(",compiler=\""), std::string::npos);
+  EXPECT_NE(text.find(",mode=\""), std::string::npos);
+  EXPECT_NE(text.find("diverse_process_start_time_seconds"),
+            std::string::npos);
+  EXPECT_GT(ProcessStartTimeSeconds(), 0.0);
+  const std::string json = RenderJson(registry);
+  EXPECT_NE(json.find("diverse_build_info{version="), std::string::npos);
+}
+
+TEST(RelabelTest, InjectsLabelAndDedupesTypeLinesAcrossNodes) {
+  const std::string page =
+      "# TYPE q_total counter\n"
+      "q_total 3\n"
+      "# TYPE lat_bucket histogram\n"
+      "lat_bucket{le=\"+Inf\"} 2\n";
+  std::set<std::string> seen;
+  const std::string first = RelabelPrometheusText(page, "node", "n0", &seen);
+  EXPECT_NE(first.find("# TYPE q_total counter\n"), std::string::npos);
+  EXPECT_NE(first.find("q_total{node=\"n0\"} 3"), std::string::npos);
+  EXPECT_NE(first.find("lat_bucket{le=\"+Inf\",node=\"n0\"} 2"),
+            std::string::npos);
+  const std::string second = RelabelPrometheusText(page, "node", "n1", &seen);
+  // TYPE lines already emitted for these families: only samples repeat.
+  EXPECT_EQ(second.find("# TYPE"), std::string::npos);
+  EXPECT_NE(second.find("q_total{node=\"n1\"} 3"), std::string::npos);
+}
+
+TEST(RelabelTest, QuotedBracesInLabelValuesDoNotConfuseInjection) {
+  std::set<std::string> seen;
+  const std::string out = RelabelPrometheusText(
+      "weird{k=\"a}b\"} 1\n", "node", "n0", &seen);
+  EXPECT_NE(out.find("weird{k=\"a}b\",node=\"n0\"} 1"), std::string::npos);
+}
+
+TEST(TraceSamplerTest, RateOneSamplesEverything) {
+  TraceSampler sampler(1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(sampler.Sample());
+}
+
+TEST(TraceSamplerTest, RateNSamplesRoughlyOneInN) {
+  TraceSampler sampler(64);
+  int sampled = 0;
+  for (int i = 0; i < 64000; ++i) sampled += sampler.Sample() ? 1 : 0;
+  // ~1000 expected; SplitMix64 spreads decisions, so a wide band is
+  // deterministic-safe (the sequence is fixed per process).
+  EXPECT_GT(sampled, 500);
+  EXPECT_LT(sampled, 1500);
+}
+
+TEST(TraceBufferTest, RingEvictsOldestAndSlowLogPinsSlowest) {
+  TraceBuffer buffer(/*capacity=*/4, /*slow_capacity=*/2);
+  for (int i = 0; i < 10; ++i) {
+    QueryTrace trace;
+    // Latencies 0.01..0.10; the slowest two are the LAST adds, which the
+    // ring also retains — and an early slow outlier must survive churn.
+    buffer.Add(trace, "q" + std::to_string(i), 0.01 * (i + 1), i);
+  }
+  {
+    QueryTrace trace;
+    buffer.Add(trace, "outlier", 9.9, 99);
+  }
+  for (int i = 0; i < 8; ++i) {
+    QueryTrace trace;
+    buffer.Add(trace, "fast", 0.001, 100 + i);
+  }
+  const auto recent = buffer.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent[0].label, "fast");  // newest first
+  EXPECT_EQ(buffer.added(), 19);
+  const auto slowest = buffer.Slowest();
+  ASSERT_EQ(slowest.size(), 2u);
+  EXPECT_EQ(slowest[0].label, "outlier");  // pinned despite ring churn
+  EXPECT_DOUBLE_EQ(slowest[0].latency_seconds, 9.9);
+  EXPECT_EQ(slowest[1].label, "q9");
+  const std::string page = buffer.RenderTracez();
+  EXPECT_NE(page.find("slow-query log"), std::string::npos);
+  EXPECT_NE(page.find("outlier"), std::string::npos);
+}
+
+TEST(TraceBufferTest, AddCopiesSpansAndRegistersMetrics) {
+  MetricRegistry registry;
+  std::vector<MetricRegistry::Registration> registrations;
+  TraceBuffer buffer(8, 2);
+  buffer.RegisterMetrics(&registry, &registrations);
+  QueryTrace trace;
+  const auto now = QueryTrace::Clock::now();
+  trace.AddSpan("kernel", now, now + std::chrono::milliseconds(2));
+  buffer.Add(trace, "labeled", 0.002, 7);
+  const auto recent = buffer.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].corpus_version, 7u);
+  ASSERT_EQ(recent[0].spans.size(), 1u);
+  EXPECT_EQ(recent[0].spans[0].name, "kernel");
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("diverse_traces_sampled_total 1"), std::string::npos);
+  EXPECT_NE(text.find("diverse_traces_retained 1"), std::string::npos);
 }
 
 TEST(QueryTraceTest, IdsAreUniqueAndNonZero) {
@@ -367,6 +578,54 @@ TEST(ObsIntegrationTest, TracedAndUntracedAnswersAreBitEqual) {
     EXPECT_EQ(with_trace.corpus_version, without_trace.corpus_version);
     EXPECT_FALSE(trace.spans().empty());
   }
+}
+
+TEST(ObsIntegrationTest, SampledQueriesAreBitEqualAndFeedTheBuffer) {
+  // trace_sample_every=1 turns every RunSync into a sampled run; results
+  // must still match an engine with no tracing wired at all.
+  Rng data_rng(81);
+  const Dataset data = MakeUniformSynthetic(90, data_rng);
+
+  TraceBuffer buffer(32, 4);
+  engine::DiversificationEngine::Options sampled_options;
+  sampled_options.num_workers = 1;
+  sampled_options.trace_buffer = &buffer;
+  sampled_options.trace_sample_every = 1;
+  Dataset sampled_data = data;
+  engine::DiversificationEngine sampled_engine(
+      sampled_data.weights, std::move(sampled_data.metric), 0.2,
+      sampled_options);
+
+  Dataset plain_data = data;
+  engine::DiversificationEngine plain_engine(
+      plain_data.weights, std::move(plain_data.metric), 0.2);
+
+  Rng rng(82);
+  for (int i = 0; i < 6; ++i) {
+    engine::SyntheticQueryConfig config;
+    config.p = 4;
+    config.universe = 90;
+    const engine::Query query = engine::MakeSyntheticQuery(config, rng);
+    const engine::QueryResult sampled = sampled_engine.RunSync(query);
+    const engine::QueryResult plain = plain_engine.RunSync(query);
+    ASSERT_TRUE(sampled.ok);
+    EXPECT_EQ(sampled.elements, plain.elements);
+    EXPECT_EQ(sampled.objective, plain.objective);
+    EXPECT_EQ(sampled.corpus_version, plain.corpus_version);
+  }
+
+  // RunSync adds to the buffer before returning, so the count is exact.
+  EXPECT_EQ(buffer.added(), 6);
+  const std::vector<CompletedTrace> recent = buffer.Recent();
+  ASSERT_EQ(recent.size(), 6u);
+  bool saw_snapshot = false;
+  for (const CompletedTrace& trace : recent) {
+    EXPECT_EQ(trace.label, "greedy/single p=4");
+    for (const QueryTrace::Span& span : trace.spans) {
+      if (span.name == "snapshot") saw_snapshot = true;
+    }
+  }
+  EXPECT_TRUE(saw_snapshot);
 }
 
 TEST(ObsIntegrationTest, EngineMetricsLandInTheRegistry) {

@@ -43,10 +43,16 @@
 //       --compact_every=10 --verify
 //   engine_server_cli --input=data.csv --queries=50 --sync
 //       --checkpoint_dir=/var/tmp/engine_ckpt
+//
+// Observability (src/obs, src/http): --http_port mounts the HTTP front
+// door — /metrics, /metrics/cluster (remote plan: every node's registry
+// re-exported with a node label), /healthz, /statusz, /tracez (fed by
+// always-on ~1/--trace_sample_every query sampling). --linger_ms keeps
+// the process (and its endpoints) alive after the replay finishes so a
+// scraper or CI smoke can still reach it.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <csignal>
 #include <cstdint>
 #include <future>
 #include <iostream>
@@ -61,14 +67,19 @@
 #include "data/synthetic.h"
 #include "engine/engine.h"
 #include "engine/workload.h"
+#include "http/server.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
+#include "obs/http_handler.h"
 #include "obs/metric_registry.h"
 #include "obs/query_trace.h"
+#include "obs/trace_buffer.h"
 #include "rpc/coordinator.h"
 #include "rpc/socket_transport.h"
 #include "rpc/stats.h"
 #include "snapshot/checkpoint_store.h"
 #include "snapshot/snapshot_codec.h"
+#include "tool_common.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -76,48 +87,7 @@
 namespace diverse {
 namespace {
 
-// SIGUSR1 asks the metrics dumper thread for an immediate dump; the
-// handler only flips the flag (async-signal-safe).
-volatile std::sig_atomic_t g_dump_requested = 0;
-
-void HandleDumpSignal(int) { g_dump_requested = 1; }
-
-// Ticks until stopped, dumping the registry to stdout every
-// `stats_every` seconds (0 = only on SIGUSR1).
-class MetricsDumper {
- public:
-  MetricsDumper(const obs::MetricRegistry* registry, int stats_every)
-      : registry_(registry), stats_every_(stats_every) {
-    std::signal(SIGUSR1, HandleDumpSignal);
-    thread_ = std::thread([this] { Loop(); });
-  }
-  ~MetricsDumper() {
-    stop_.store(true);
-    thread_.join();
-  }
-
- private:
-  void Loop() {
-    int ticks = 0;
-    while (!stop_.load()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(200));
-      bool due = g_dump_requested != 0;
-      if (stats_every_ > 0 && ++ticks >= stats_every_ * 5) {
-        ticks = 0;
-        due = true;
-      }
-      if (!due) continue;
-      g_dump_requested = 0;
-      std::cout << "--- metrics ---\n"
-                << obs::RenderPrometheusText(*registry_) << std::flush;
-    }
-  }
-
-  const obs::MetricRegistry* registry_;
-  const int stats_every_;
-  std::atomic<bool> stop_{false};
-  std::thread thread_;
-};
+using tools::MetricsDumper;
 
 // --scrape client mode: one StatsRequest per endpoint, dump and exit.
 int RunScrape(const std::string& scrape, const std::string& format) {
@@ -169,9 +139,15 @@ int RunServer(const std::string& input, int generate, int queries, int p,
               int batch, int update_every, bool churn, bool sync,
               bool verify, const std::string& checkpoint_dir,
               int checkpoint_every, int compact_every, int stats_every,
-              int trace_first, std::uint64_t seed) {
+              int trace_first, int http_port, int linger_ms,
+              int trace_sample_every, std::uint64_t seed) {
   Rng rng(seed);
   obs::MetricRegistry registry;
+  obs::TraceBuffer trace_buffer;
+  // Declared after what they observe so they unregister first.
+  std::vector<obs::MetricRegistry::Registration> obs_registrations;
+  obs::RegisterStandardMetrics(&registry, &obs_registrations);
+  trace_buffer.RegisterMetrics(&registry, &obs_registrations);
   std::unique_ptr<snapshot::CheckpointStore> store;
   std::optional<engine::CorpusState> restored;
   if (!checkpoint_dir.empty()) {
@@ -224,6 +200,7 @@ int RunServer(const std::string& input, int generate, int queries, int p,
   }
   std::vector<std::unique_ptr<rpc::SocketTransport>> transports;
   std::vector<std::unique_ptr<rpc::SocketTransport>> mirror_transports;
+  std::vector<obs::ObservabilityHandler::ClusterSource> cluster_sources;
   std::unique_ptr<rpc::Coordinator> coordinator;
   if (remote) {
     std::string parse_error;
@@ -257,6 +234,22 @@ int RunServer(const std::string& input, int generate, int queries, int p,
     }
     transports = MakeTransports(node_endpoints);
     mirror_transports = MakeTransports(standby_endpoints);
+    // /metrics/cluster scrapes ride the coordinator's query transports:
+    // each node serves ONE connection at a time (rpc::SocketServer), so a
+    // second scrape connection would never be accepted while the
+    // coordinator holds the first. Transport::Call serializes frames
+    // under the per-connection mutex, so a scrape interleaves cleanly
+    // with query fan-out.
+    for (std::size_t i = 0; i < node_endpoints.size(); ++i) {
+      rpc::SocketTransport* transport = transports[i].get();
+      cluster_sources.push_back(
+          {node_endpoints[i].host + ":" +
+               std::to_string(node_endpoints[i].port),
+           [transport](std::string* out) {
+             return rpc::ScrapeStats(transport, rpc::StatsFormat::kPrometheus,
+                                     out);
+           }});
+    }
     std::vector<rpc::Transport*> raw;
     raw.reserve(transports.size());
     for (const auto& t : transports) raw.push_back(t.get());
@@ -301,6 +294,10 @@ int RunServer(const std::string& input, int generate, int queries, int p,
   options.default_num_shards = shards;
   options.remote = coordinator.get();
   options.registry = &registry;
+  options.trace_buffer = &trace_buffer;
+  options.trace_sample_every =
+      trace_sample_every > 1 ? static_cast<std::uint32_t>(trace_sample_every)
+                             : 1;
   if (coordinator) coordinator->RegisterMetrics(&registry);
   std::unique_ptr<engine::DiversificationEngine> server_owner =
       restored ? std::make_unique<engine::DiversificationEngine>(
@@ -316,6 +313,35 @@ int RunServer(const std::string& input, int generate, int queries, int p,
               << " (bootstrap image retained at version "
               << coordinator->retained_snapshot_version() << ")"
               << std::endl;
+  }
+
+  // Observability front door. The handler sees the engine, coordinator,
+  // and trace buffer by reference, all of which outlive the server (it
+  // is stopped by destruction at scope exit, before any of them die).
+  std::unique_ptr<obs::ObservabilityHandler> http_handler;
+  std::unique_ptr<http::HttpServer> http_server;
+  if (http_port >= 0) {
+    obs::ObservabilityHandler::Options obs_options;
+    obs_options.registry = &registry;
+    obs_options.role = remote ? "coordinator" : "engine";
+    obs_options.corpus_version = [&server] {
+      return server.corpus().version();
+    };
+    obs_options.traces = &trace_buffer;
+    if (coordinator) {
+      rpc::Coordinator* coord = coordinator.get();
+      obs_options.acked_table = [coord] {
+        return coord->sync().acked_table();
+      };
+    }
+    obs_options.cluster = std::move(cluster_sources);
+    http_handler =
+        std::make_unique<obs::ObservabilityHandler>(std::move(obs_options));
+    http_server =
+        std::make_unique<http::HttpServer>(http_handler.get(), http_port);
+    http_server->Start();
+    std::cout << "observability http listening on port "
+              << http_server->port() << std::endl;
   }
 
   // Pre-generate the trace so request construction stays off the clock.
@@ -473,6 +499,12 @@ int RunServer(const std::string& input, int generate, int queries, int p,
   // Final registry dump: the authoritative end-of-run metric state, in
   // the same format a remote scrape returns.
   std::cout << "--- metrics ---\n" << obs::RenderPrometheusText(registry);
+  if (http_server != nullptr && linger_ms > 0) {
+    std::cout << "lingering " << linger_ms
+              << " ms for http scrapes on port " << http_server->port()
+              << std::endl;
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
   return 0;
 }
 
@@ -502,6 +534,9 @@ int main(int argc, char** argv) {
   int compact_every = 0;
   int stats_every = 0;
   int trace_first = 0;
+  int http_port = -1;
+  int linger_ms = 0;
+  int trace_sample_every = 64;
   std::string scrape;
   std::string format = "prometheus";
   std::int64_t seed = 1;
@@ -556,6 +591,15 @@ int main(int argc, char** argv) {
                "(0 = only at exit; SIGUSR1 forces a dump any time)");
   flags.AddInt("trace", &trace_first,
                "record and print a span timeline for the first N queries");
+  flags.AddInt("http_port", &http_port,
+               "serve /metrics /metrics/cluster /healthz /statusz /tracez "
+               "on this port (0 = ephemeral, negative = disabled)");
+  flags.AddInt("linger_ms", &linger_ms,
+               "keep the process (and --http_port endpoints) alive this "
+               "long after the replay finishes");
+  flags.AddInt("trace_sample_every", &trace_sample_every,
+               "sample ~1 in N untraced queries into /tracez "
+               "(<= 1: every query)");
   flags.AddString("scrape", &scrape,
                   "client mode: scrape metrics from these nodes "
                   "(host:port[,...]) over the wire protocol and exit");
@@ -568,6 +612,7 @@ int main(int argc, char** argv) {
                             standby, promote, shards, per_shard, workers,
                             batch, update_every, churn, sync, verify,
                             checkpoint_dir, checkpoint_every, compact_every,
-                            stats_every, trace_first,
+                            stats_every, trace_first, http_port, linger_ms,
+                            trace_sample_every,
                             static_cast<std::uint64_t>(seed));
 }

@@ -37,9 +37,12 @@
 //   engine_server_cli --generate=400 --seed=7 --plan=remote
 //       --nodes=127.0.0.1:7411,127.0.0.1:7412 --standby=127.0.0.1:7413
 //       --queries=50 --update_every=5 --compact_every=10 --verify
+//
+// --http_port additionally mounts the observability front door
+// (/metrics, /healthz, /statusz, /tracez — the latter fed by ~1 in
+// --trace_sample_every kernel queries) next to the RPC port.
 #include <atomic>
 #include <chrono>
-#include <csignal>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -49,64 +52,30 @@
 
 #include "data/csv_io.h"
 #include "data/synthetic.h"
+#include "http/server.h"
 #include "obs/export.h"
+#include "obs/http_handler.h"
+#include "obs/trace_buffer.h"
 #include "replication/standby_coordinator.h"
 #include "rpc/shard_node.h"
 #include "rpc/socket_transport.h"
 #include "snapshot/checkpoint_store.h"
+#include "tool_common.h"
 #include "util/flags.h"
 #include "util/random.h"
 
 namespace diverse {
 namespace {
 
-// SIGUSR1 asks the metrics dumper thread for an immediate dump; the
-// handler only flips the flag (async-signal-safe). SocketServer::Serve
-// blocks the main thread for the process lifetime, so periodic dumps are
-// the only way a long-running node reports without being scraped.
-volatile std::sig_atomic_t g_dump_requested = 0;
-
-void HandleDumpSignal(int) { g_dump_requested = 1; }
-
-class MetricsDumper {
- public:
-  MetricsDumper(const obs::MetricRegistry* registry, int stats_every)
-      : registry_(registry), stats_every_(stats_every) {
-    std::signal(SIGUSR1, HandleDumpSignal);
-    thread_ = std::thread([this] { Loop(); });
-  }
-  ~MetricsDumper() {
-    stop_.store(true);
-    thread_.join();
-  }
-
- private:
-  void Loop() {
-    int ticks = 0;
-    while (!stop_.load()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(200));
-      bool due = g_dump_requested != 0;
-      if (stats_every_ > 0 && ++ticks >= stats_every_ * 5) {
-        ticks = 0;
-        due = true;
-      }
-      if (!due) continue;
-      g_dump_requested = 0;
-      std::cout << "--- metrics ---\n"
-                << obs::RenderPrometheusText(*registry_) << std::flush;
-    }
-  }
-
-  const obs::MetricRegistry* registry_;
-  const int stats_every_;
-  std::atomic<bool> stop_{false};
-  std::thread thread_;
-};
+// SocketServer::Serve blocks the main thread for the process lifetime,
+// so periodic dumps (tools/tool_common.h) are how a long-running node
+// reports without being scraped.
+using tools::MetricsDumper;
 
 int RunNode(const std::string& input, int generate, double lambda, int port,
             const std::string& checkpoint_dir, int checkpoint_every,
-            bool bootstrap, bool standby, int stats_every,
-            std::uint64_t seed) {
+            bool bootstrap, bool standby, int stats_every, int http_port,
+            int trace_sample_every, std::uint64_t seed) {
   std::unique_ptr<snapshot::CheckpointStore> store;
   if (!checkpoint_dir.empty()) {
     store = std::make_unique<snapshot::CheckpointStore>(checkpoint_dir);
@@ -148,6 +117,9 @@ int RunNode(const std::string& input, int generate, double lambda, int port,
     origin = "bootstrap (awaiting snapshot)";
   }
 
+  // Outlives the node (ShardNode::Options contract): kernel-query traces
+  // sampled by the node land here and render on /tracez.
+  obs::TraceBuffer trace_buffer;
   std::unique_ptr<rpc::ShardNode> node;
   std::unique_ptr<replication::StandbyCoordinator> standby_node;
   rpc::Handler* handler;
@@ -172,6 +144,10 @@ int RunNode(const std::string& input, int generate, double lambda, int port,
     rpc::ShardNode::Options options;
     options.checkpoint = store.get();
     options.checkpoint_every = checkpoint_every;
+    options.trace_buffer = &trace_buffer;
+    options.trace_sample_every =
+        trace_sample_every > 1 ? static_cast<std::uint32_t>(trace_sample_every)
+                               : 1;
     if (state) {
       node = std::make_unique<rpc::ShardNode>(std::move(*state), options);
     } else if (data) {
@@ -190,6 +166,30 @@ int RunNode(const std::string& input, int generate, double lambda, int port,
             << ", corpus n="
             << stats_node->replica().snapshot()->universe_size()
             << ", version " << stats_node->version() << ")" << std::endl;
+
+  // Observability front door, next to the RPC port. Declared after the
+  // node/standby so it stops before anything it renders dies.
+  std::unique_ptr<obs::ObservabilityHandler> http_handler;
+  std::unique_ptr<http::HttpServer> http_server;
+  if (http_port >= 0) {
+    obs::ObservabilityHandler::Options obs_options;
+    obs_options.registry = &stats_node->registry();
+    obs_options.role = standby ? "standby" : "shard_node";
+    obs_options.corpus_version = [stats_node] {
+      return stats_node->version();
+    };
+    // A standby refuses kernel queries pre-kernel, so it never samples;
+    // leaving traces unset there makes /tracez answer 404 honestly.
+    if (!standby) obs_options.traces = &trace_buffer;
+    http_handler =
+        std::make_unique<obs::ObservabilityHandler>(std::move(obs_options));
+    http_server =
+        std::make_unique<http::HttpServer>(http_handler.get(), http_port);
+    http_server->Start();
+    std::cout << "observability http listening on port "
+              << http_server->port() << std::endl;
+  }
+
   MetricsDumper dumper(&stats_node->registry(), stats_every);
   server.Serve();
   const rpc::ShardNode::Stats stats = stats_node->stats();
@@ -222,6 +222,8 @@ int main(int argc, char** argv) {
   bool bootstrap = false;
   bool standby = false;
   int stats_every = 0;
+  int http_port = -1;
+  int trace_sample_every = 64;
   std::int64_t seed = 1;
   diverse::FlagSet flags(
       "shard_node_cli — serve one RPC shard worker (corpus replica + "
@@ -249,10 +251,17 @@ int main(int argc, char** argv) {
   flags.AddInt("stats_every", &stats_every,
                "dump the node's metric registry to stdout every K seconds "
                "(0 = only on SIGUSR1; a remote scrape works either way)");
+  flags.AddInt("http_port", &http_port,
+               "serve /metrics /healthz /statusz /tracez on this port "
+               "(0 = ephemeral, negative = disabled)");
+  flags.AddInt("trace_sample_every", &trace_sample_every,
+               "sample ~1 in N kernel queries into /tracez "
+               "(<= 1: every query)");
   flags.AddInt64("seed", &seed,
                  "random seed; must match the coordinator's for --generate");
   if (!flags.Parse(argc, argv)) return 1;
   return diverse::RunNode(input, generate, lambda, port, checkpoint_dir,
                           checkpoint_every, bootstrap, standby, stats_every,
+                          http_port, trace_sample_every,
                           static_cast<std::uint64_t>(seed));
 }

@@ -1,0 +1,82 @@
+// Helpers shared by engine_server_cli and shard_node_cli (header-only;
+// the tools link the library but also share process-level plumbing that
+// belongs to neither the library nor any single tool).
+#ifndef DIVERSE_TOOLS_TOOL_COMMON_H_
+#define DIVERSE_TOOLS_TOOL_COMMON_H_
+
+#include <csignal>
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "obs/export.h"
+#include "obs/metric_registry.h"
+
+namespace diverse {
+namespace tools {
+
+// SIGUSR1 asks the metrics dumper thread for an immediate dump; the
+// handler only flips this flag (async-signal-safe).
+inline volatile std::sig_atomic_t g_dump_requested = 0;
+
+// Installs the SIGUSR1 handler via sigaction with SA_RESTART, NOT
+// std::signal: System-V std::signal semantics leave SA_RESTART unset, so
+// a SIGUSR1 landing while a serving thread sits in a blocking accept()/
+// recv() would surface as EINTR — which the transport layer cannot tell
+// from a real peer failure and would report as one. SA_RESTART makes the
+// kernel resume those calls instead; the dump request still lands
+// because the dumper thread polls the flag, not the signal.
+inline void InstallDumpSignalHandler() {
+  struct sigaction action {};
+  action.sa_handler = [](int) { g_dump_requested = 1; };
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGUSR1, &action, nullptr);
+}
+
+// Ticks until destroyed, dumping `registry` to stdout every
+// `stats_every` seconds (0 = only on SIGUSR1).
+class MetricsDumper {
+ public:
+  MetricsDumper(const obs::MetricRegistry* registry, int stats_every)
+      : registry_(registry), stats_every_(stats_every) {
+    InstallDumpSignalHandler();
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~MetricsDumper() {
+    stop_.store(true);
+    thread_.join();
+  }
+
+  MetricsDumper(const MetricsDumper&) = delete;
+  MetricsDumper& operator=(const MetricsDumper&) = delete;
+
+ private:
+  void Loop() {
+    int ticks = 0;
+    while (!stop_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      bool due = g_dump_requested != 0;
+      if (stats_every_ > 0 && ++ticks >= stats_every_ * 5) {
+        ticks = 0;
+        due = true;
+      }
+      if (!due) continue;
+      g_dump_requested = 0;
+      std::cout << "--- metrics ---\n"
+                << obs::RenderPrometheusText(*registry_) << std::flush;
+    }
+  }
+
+  const obs::MetricRegistry* registry_;
+  const int stats_every_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace tools
+}  // namespace diverse
+
+#endif  // DIVERSE_TOOLS_TOOL_COMMON_H_
