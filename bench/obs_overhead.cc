@@ -1,19 +1,26 @@
 // Observation-only contract check for the obs layer: replays the same
-// synthetic query/update trace through the engine three times per round —
+// synthetic query/update trace through the engine five times per round —
 // plain, fully instrumented (MetricRegistry attached + a QueryTrace on
-// every query), and sampled (registry + TraceBuffer with the production
-// default of ~1/64 engine-owned traces, the /tracez feed) — and reports
+// every query), sampled (registry + TraceBuffer with the production
+// default of ~1/64 engine-owned traces, the /tracez feed), remote-plain
+// (an in-process two-node shard cluster behind a Coordinator, untraced),
+// and remote-traced (same cluster, a QueryTrace per query, so node-side
+// spans ride the wire back and get aligned) — and reports
 //
-//   overhead_x = median(arm round seconds) / median(plain round seconds)
-//   bit_equal  = arm answers identical to plain answers (elements,
+//   overhead_x = median(arm round seconds) / median(baseline seconds)
+//   bit_equal  = arm answers identical to baseline answers (elements,
 //                objective, corpus version) for every query
 //
-// in BENCH_obs.json. The binary itself enforces the contract: bit_equal
-// must hold unconditionally for both arms, and each arm's overhead_x
-// must stay <= --max_overhead (default 1.05) unless DIVERSE_BENCH_NO_GATE
-// is set — instrumentation that perturbs answers or costs more than ~5%
-// is a bug, not a tuning knob. Rounds interleave the arms so slow drift
-// (thermal, noisy neighbors) hits all of them symmetrically.
+// in BENCH_obs.json. The local arms baseline against plain; the
+// remote-traced arm baselines against remote-plain (sharded answers
+// legitimately differ from single-plan ones, so comparing across plans
+// would measure the plan, not the tracing). The binary itself enforces
+// the contract: bit_equal must hold unconditionally for every arm, and
+// each arm's overhead_x must stay <= --max_overhead (default 1.05)
+// unless DIVERSE_BENCH_NO_GATE is set — instrumentation that perturbs
+// answers or costs more than ~5% is a bug, not a tuning knob. Rounds
+// interleave the arms so slow drift (thermal, noisy neighbors) hits all
+// of them symmetrically.
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -30,6 +37,9 @@
 #include "obs/metric_registry.h"
 #include "obs/query_trace.h"
 #include "obs/trace_buffer.h"
+#include "rpc/coordinator.h"
+#include "rpc/shard_node.h"
+#include "rpc/transport.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -46,6 +56,9 @@ enum class Arm {
   kPlain,         // no registry, no traces
   kInstrumented,  // registry + a caller-attached QueryTrace per query
   kSampled,       // registry + TraceBuffer sampling (~1/64, the /tracez feed)
+  kRemotePlain,   // in-process shard cluster, untraced (the remote baseline)
+  kRemoteTraced,  // same cluster + a QueryTrace per query: node spans on
+                  // the wire, aligned into the coordinator timeline
 };
 
 // One full trace replay on a fresh engine built from `data`. The Rng is
@@ -54,12 +67,36 @@ enum class Arm {
 // instrumentation.
 RoundResult RunRound(const Dataset& data, int queries, int p, double lambda,
                      int update_every, std::uint64_t seed, Arm arm) {
-  const bool instrumented = arm == Arm::kInstrumented;
+  const bool instrumented =
+      arm == Arm::kInstrumented || arm == Arm::kRemoteTraced;
+  const bool remote =
+      arm == Arm::kRemotePlain || arm == Arm::kRemoteTraced;
   obs::MetricRegistry registry;
   obs::TraceBuffer trace_buffer;
+  // Remote arms: two full-replica shard nodes behind in-process
+  // transports, updates fanned out through the coordinator after each
+  // local apply — the same topology the obs integration tests use.
+  std::vector<std::unique_ptr<rpc::ShardNode>> nodes;
+  std::vector<std::unique_ptr<rpc::InProcessTransport>> transports;
+  std::unique_ptr<rpc::Coordinator> coordinator;
+  if (remote) {
+    std::vector<rpc::Transport*> raw;
+    for (int i = 0; i < 2; ++i) {
+      Dataset replica = data;
+      nodes.push_back(std::make_unique<rpc::ShardNode>(
+          replica.weights, std::move(replica.metric), lambda));
+      transports.push_back(
+          std::make_unique<rpc::InProcessTransport>(nodes.back().get()));
+      raw.push_back(transports.back().get());
+    }
+    coordinator = std::make_unique<rpc::Coordinator>(raw);
+  }
   engine::DiversificationEngine::Options options;
   options.num_workers = 1;
-  if (arm != Arm::kPlain) options.registry = &registry;
+  options.remote = coordinator.get();
+  if (arm != Arm::kPlain && arm != Arm::kRemotePlain) {
+    options.registry = &registry;
+  }
   if (arm == Arm::kSampled) {
     options.trace_buffer = &trace_buffer;
     options.trace_sample_every = 64;
@@ -74,6 +111,9 @@ RoundResult RunRound(const Dataset& data, int queries, int p, double lambda,
   query_config.p = p;
   query_config.lambda = lambda;
   query_config.universe = n;
+  query_config.sharded = remote;
+  query_config.remote = remote;
+  query_config.num_shards = 4;
   std::vector<engine::Query> trace;
   trace.reserve(queries);
   for (int i = 0; i < queries; ++i) {
@@ -94,8 +134,10 @@ RoundResult RunRound(const Dataset& data, int queries, int p, double lambda,
   WallTimer wall;
   for (int i = 0; i < queries; ++i) {
     if (update_every > 0 && i > 0 && i % update_every == 0) {
-      server.ApplyUpdates(
-          engine::MakeSyntheticEpoch(n, /*churn=*/false, epoch++, rng));
+      const std::vector<engine::CorpusUpdate> updates =
+          engine::MakeSyntheticEpoch(n, /*churn=*/false, epoch++, rng);
+      const std::uint64_t version = server.ApplyUpdates(updates);
+      if (coordinator) coordinator->PublishEpoch(version, updates);
     }
     result.answers.push_back(server.RunSync(trace[i]));
   }
@@ -132,12 +174,17 @@ int Run(int n, int p, int queries, int rounds, double lambda,
   RunRound(data, queries, p, lambda, update_every, seed, Arm::kPlain);
   RunRound(data, queries, p, lambda, update_every, seed, Arm::kInstrumented);
   RunRound(data, queries, p, lambda, update_every, seed, Arm::kSampled);
+  RunRound(data, queries, p, lambda, update_every, seed, Arm::kRemotePlain);
+  RunRound(data, queries, p, lambda, update_every, seed, Arm::kRemoteTraced);
 
   std::vector<double> plain_seconds;
   std::vector<double> instr_seconds;
   std::vector<double> sampled_seconds;
+  std::vector<double> remote_plain_seconds;
+  std::vector<double> remote_traced_seconds;
   bool instr_bit_equal = true;
   bool sampled_bit_equal = true;
+  bool remote_bit_equal = true;
   for (int r = 0; r < rounds; ++r) {
     const RoundResult plain =
         RunRound(data, queries, p, lambda, update_every, seed, Arm::kPlain);
@@ -145,26 +192,48 @@ int Run(int n, int p, int queries, int rounds, double lambda,
                                        seed, Arm::kInstrumented);
     const RoundResult sampled =
         RunRound(data, queries, p, lambda, update_every, seed, Arm::kSampled);
+    const RoundResult remote_plain = RunRound(data, queries, p, lambda,
+                                              update_every, seed,
+                                              Arm::kRemotePlain);
+    const RoundResult remote_traced = RunRound(data, queries, p, lambda,
+                                               update_every, seed,
+                                               Arm::kRemoteTraced);
     plain_seconds.push_back(plain.seconds);
     instr_seconds.push_back(instr.seconds);
     sampled_seconds.push_back(sampled.seconds);
+    remote_plain_seconds.push_back(remote_plain.seconds);
+    remote_traced_seconds.push_back(remote_traced.seconds);
     instr_bit_equal =
         instr_bit_equal && SameAnswers(plain.answers, instr.answers);
     sampled_bit_equal =
         sampled_bit_equal && SameAnswers(plain.answers, sampled.answers);
+    // Remote arms compare against each other: the sharded plan's answers
+    // differ from the single plan's by construction, but tracing must
+    // not move them.
+    remote_bit_equal = remote_bit_equal &&
+                       SameAnswers(remote_plain.answers,
+                                   remote_traced.answers);
   }
   const double plain_median = Median(plain_seconds);
   const double instr_median = Median(instr_seconds);
   const double sampled_median = Median(sampled_seconds);
+  const double remote_plain_median = Median(remote_plain_seconds);
+  const double remote_traced_median = Median(remote_traced_seconds);
   const double instr_overhead_x = instr_median / plain_median;
   const double sampled_overhead_x = sampled_median / plain_median;
-  std::cout << "plain median:        " << plain_median * 1e3 << " ms\n"
-            << "instrumented median: " << instr_median * 1e3 << " ms"
+  const double remote_overhead_x = remote_traced_median / remote_plain_median;
+  std::cout << "plain median:         " << plain_median * 1e3 << " ms\n"
+            << "instrumented median:  " << instr_median * 1e3 << " ms"
             << " (overhead_x " << instr_overhead_x << ", bit_equal "
             << (instr_bit_equal ? "yes" : "NO") << ")\n"
-            << "sampled median:      " << sampled_median * 1e3 << " ms"
+            << "sampled median:       " << sampled_median * 1e3 << " ms"
             << " (overhead_x " << sampled_overhead_x << ", bit_equal "
-            << (sampled_bit_equal ? "yes" : "NO") << ")\n";
+            << (sampled_bit_equal ? "yes" : "NO") << ")\n"
+            << "remote plain median:  " << remote_plain_median * 1e3
+            << " ms\n"
+            << "remote traced median: " << remote_traced_median * 1e3
+            << " ms (overhead_x " << remote_overhead_x << ", bit_equal "
+            << (remote_bit_equal ? "yes" : "NO") << ")\n";
 
   bench::BenchJson json("obs");
   json.NewRecord("plain")
@@ -193,17 +262,35 @@ int Run(int n, int p, int queries, int rounds, double lambda,
       .Add("qps", queries / sampled_median)
       .Add("overhead_x", sampled_overhead_x)
       .Add("bit_equal", static_cast<long long>(sampled_bit_equal ? 1 : 0));
+  json.NewRecord("remote_plain")
+      .Add("n", static_cast<long long>(n))
+      .Add("p", static_cast<long long>(p))
+      .Add("queries", static_cast<long long>(queries))
+      .Add("rounds", static_cast<long long>(rounds))
+      .Add("median_seconds", remote_plain_median)
+      .Add("qps", queries / remote_plain_median);
+  json.NewRecord("remote_traced")
+      .Add("n", static_cast<long long>(n))
+      .Add("p", static_cast<long long>(p))
+      .Add("queries", static_cast<long long>(queries))
+      .Add("rounds", static_cast<long long>(rounds))
+      .Add("median_seconds", remote_traced_median)
+      .Add("qps", queries / remote_traced_median)
+      .Add("overhead_x", remote_overhead_x)
+      .Add("bit_equal", static_cast<long long>(remote_bit_equal ? 1 : 0));
   json.WriteFile();
 
-  if (!instr_bit_equal || !sampled_bit_equal) {
+  if (!instr_bit_equal || !sampled_bit_equal || !remote_bit_equal) {
     std::cerr << "FAIL: "
-              << (!instr_bit_equal ? "instrumented" : "sampled")
-              << " answers diverged from plain answers — observation "
+              << (!instr_bit_equal
+                      ? "instrumented"
+                      : !sampled_bit_equal ? "sampled" : "remote traced")
+              << " answers diverged from their baseline — observation "
                  "changed an answer\n";
     return 1;
   }
   const double worst_overhead_x =
-      std::max(instr_overhead_x, sampled_overhead_x);
+      std::max({instr_overhead_x, sampled_overhead_x, remote_overhead_x});
   if (worst_overhead_x > max_overhead) {
     if (std::getenv("DIVERSE_BENCH_NO_GATE") != nullptr) {
       std::cout << "DIVERSE_BENCH_NO_GATE set: overhead gate not enforced\n";
@@ -231,8 +318,9 @@ int main(int argc, char** argv) {
   std::int64_t seed = 17;
   diverse::FlagSet flags(
       "obs_overhead — measure the cost of full instrumentation (metric "
-      "registry + per-query traces) against an identical plain run and "
-      "enforce the observation-only contract");
+      "registry + per-query traces, locally and across an in-process "
+      "shard cluster with node-side span blocks) against identical "
+      "uninstrumented runs and enforce the observation-only contract");
   flags.AddInt("n", &n, "synthetic corpus size");
   flags.AddInt("p", &p, "subset size per query");
   flags.AddInt("queries", &queries, "queries per round");

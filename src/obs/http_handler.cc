@@ -48,8 +48,9 @@ http::Response ObservabilityHandler::Handle(const http::Request& request) {
   if (request.path == "/metrics") return Metrics();
   if (request.path == "/metrics/cluster") return MetricsCluster();
   if (request.path == "/healthz") return Healthz();
+  if (request.path == "/readyz") return Readyz();
   if (request.path == "/statusz") return Statusz();
-  if (request.path == "/tracez") return Tracez();
+  if (request.path == "/tracez") return Tracez(request);
   if (request.path == "/") return Index();
   return NotFound("unknown path (see / for the endpoint index)");
 }
@@ -97,6 +98,26 @@ http::Response ObservabilityHandler::Healthz() const {
   return response;
 }
 
+http::Response ObservabilityHandler::Readyz() const {
+  // Liveness (/healthz) answers 200 as long as the process runs;
+  // readiness flips to 200 only once it can actually serve — a bootstrap
+  // shard node still at version 0 is live but not ready until its first
+  // snapshot installs. A null probe means the process has no
+  // not-yet-ready phase.
+  http::Response response;
+  if (options_.ready && !options_.ready()) {
+    response.status = 503;
+    response.body = "not ready\nrole=" + options_.role + "\n";
+  } else {
+    response.body = "ready\nrole=" + options_.role + "\n";
+  }
+  if (options_.corpus_version) {
+    response.body +=
+        "corpus_version=" + std::to_string(options_.corpus_version()) + "\n";
+  }
+  return response;
+}
+
 http::Response ObservabilityHandler::Statusz() const {
   const BuildInfo& build = GetBuildInfo();
   std::string body = "{\"build\":{\"version\":\"" +
@@ -126,7 +147,19 @@ http::Response ObservabilityHandler::Statusz() const {
   return response;
 }
 
-http::Response ObservabilityHandler::Tracez() const {
+http::Response ObservabilityHandler::Tracez(
+    const http::Request& request) const {
+  // ?kind=replication selects the coordinator's replication-path buffer
+  // (publish fan-out, catch-up replay, snapshot chunks); the default —
+  // empty query or any other kind — is the query-path buffer.
+  if (request.query == "kind=replication") {
+    if (options_.replication_traces == nullptr) {
+      return NotFound("replication tracing not enabled in this process");
+    }
+    http::Response response;
+    response.body = options_.replication_traces->RenderTracez();
+    return response;
+  }
   if (options_.traces == nullptr) {
     return NotFound("trace sampling not enabled in this process");
   }
@@ -143,8 +176,12 @@ http::Response ObservabilityHandler::Index() const {
       "  /metrics/cluster  cluster-wide metrics, node-labeled"
       " (coordinator)\n"
       "  /healthz          liveness + role + corpus version\n"
+      "  /readyz           readiness (503 until the first snapshot"
+      " serves)\n"
       "  /statusz          JSON status (build, uptime, registry dump)\n"
-      "  /tracez           recent sampled traces + slow-query log\n";
+      "  /tracez           recent sampled traces + slow-query log\n"
+      "  /tracez?kind=replication  publish/catch-up/snapshot timelines"
+      " (coordinator)\n";
   return response;
 }
 

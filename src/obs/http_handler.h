@@ -7,9 +7,15 @@
 //                     coordinator configures one source per shard node,
 //                     scraping over the existing RPC stats frame)
 //   /healthz          liveness: "ok", role, corpus version, uptime
+//   /readyz           readiness: 200 once the process can serve (e.g. a
+//                     bootstrap shard node got its first snapshot), 503
+//                     while it cannot — distinct from liveness so an LB
+//                     can drain a live-but-not-ready node
 //   /statusz          JSON: build info, uptime, role, corpus version,
 //                     per-node acked table (coordinator), full registry
-//   /tracez           recent sampled traces + slow-query log (TraceBuffer)
+//   /tracez           recent sampled traces + slow-query log (TraceBuffer);
+//                     ?kind=replication switches to the replication
+//                     buffer (publish fan-out, catch-up, snapshot chunks)
 //   /                 plain-text index of the above
 //
 // Everything here is a read-only snapshot render; the handler holds no
@@ -54,6 +60,12 @@ class ObservabilityHandler : public http::Handler {
     std::function<std::uint64_t()> corpus_version;
     // Sampled-trace retention; /tracez answers 404 when absent.
     TraceBuffer* traces = nullptr;
+    // Replication-path traces for /tracez?kind=replication; 404 when
+    // absent (only a coordinator has one).
+    TraceBuffer* replication_traces = nullptr;
+    // Readiness probe for /readyz: true once the process can serve.
+    // Null = always ready (a process with no bootstrap phase).
+    std::function<bool()> ready;
     // Coordinator's per-node acked versions for /statusz (nullable).
     std::function<std::vector<std::uint64_t>()> acked_table;
     // Remote registries for /metrics/cluster; empty list answers 404
@@ -69,8 +81,9 @@ class ObservabilityHandler : public http::Handler {
   http::Response Metrics() const;
   http::Response MetricsCluster() const;
   http::Response Healthz() const;
+  http::Response Readyz() const;
   http::Response Statusz() const;
-  http::Response Tracez() const;
+  http::Response Tracez(const http::Request& request) const;
   http::Response Index() const;
 
   const Options options_;

@@ -1,6 +1,7 @@
 #include "obs/query_trace.h"
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 
 namespace diverse {
@@ -25,6 +26,21 @@ void QueryTrace::AddSpan(std::string name, Clock::time_point start,
   span.name = std::move(name);
   span.start_seconds = Seconds(start - epoch_);
   span.duration_seconds = end > start ? Seconds(end - start) : 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+void QueryTrace::AddSpanAt(std::string name, double start_seconds,
+                           double duration_seconds) {
+  Span span;
+  span.name = std::move(name);
+  span.start_seconds =
+      std::isfinite(start_seconds) && start_seconds > 0.0 ? start_seconds
+                                                          : 0.0;
+  span.duration_seconds =
+      std::isfinite(duration_seconds) && duration_seconds > 0.0
+          ? duration_seconds
+          : 0.0;
   std::lock_guard<std::mutex> lock(mu_);
   spans_.push_back(std::move(span));
 }

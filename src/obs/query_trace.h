@@ -10,9 +10,11 @@
 // else about tracing is observation-only — no span ever influences an
 // answer, so traced and untraced runs of the same query are bit-equal.
 //
-// The trace id crosses the wire on ShardQueryRequest so a shard node can
-// correlate (today: count) remotely traced kernel executions; ids are
-// process-local, unique, and never 0 (0 on the wire means untraced).
+// The trace id crosses the wire on ShardQueryRequest so a shard node
+// knows to record its own span block (decode/wait/kernel/encode) on the
+// response; the router aligns those into the parent timeline via
+// AddSpanAt. Ids are process-local, unique, and never 0 (0 on the wire
+// means untraced).
 #ifndef DIVERSE_OBS_QUERY_TRACE_H_
 #define DIVERSE_OBS_QUERY_TRACE_H_
 
@@ -45,6 +47,13 @@ class QueryTrace {
   // Thread-safe; `end < start` is clamped to a zero-length span.
   void AddSpan(std::string name, Clock::time_point start,
                Clock::time_point end);
+
+  // Records a pre-computed span — e.g. one recorded on a remote node's
+  // clock and already aligned into this trace's timeline. Negative or
+  // non-finite inputs clamp to 0 so a hostile peer cannot corrupt the
+  // rendered timeline. Thread-safe.
+  void AddSpanAt(std::string name, double start_seconds,
+                 double duration_seconds);
 
   std::vector<Span> spans() const;
 

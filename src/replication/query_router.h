@@ -82,7 +82,9 @@ class QueryRouter : public engine::RemoteExecutor {
   // One shard's remote round-trip including proactive catch-up and
   // mismatch-driven rounds; false means the failure policy decides. On
   // success *elements/*steps hold the validated kernel solution. `trace`
-  // (nullable) collects catchup.node<k> spans.
+  // (nullable) collects catchup.node<k> spans plus the node-recorded
+  // span block aligned into this trace's timeline
+  // ("rpc.shard<s>/<name> node=<k>" — see RecordRemoteSpans in the .cc).
   bool RunShardRemote(const engine::CorpusSnapshot& snapshot,
                       const rpc::ShardQueryRequest& request,
                       obs::QueryTrace* trace, std::vector<int>* elements,

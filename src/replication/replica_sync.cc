@@ -1,6 +1,8 @@
 #include "replication/replica_sync.h"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 #include <utility>
 
 #include "util/check.h"
@@ -71,6 +73,16 @@ ReplicaSyncService::ReplicaSyncService(ReplicationLog* log,
     acked_[i] = seeds[i].acked;
     needs_reimage_[i] = seeds[i].needs_reimage;
   }
+  if (options_.trace_buffer != nullptr) {
+    sampler_ =
+        std::make_unique<obs::TraceSampler>(options_.trace_sample_every);
+  }
+}
+
+std::string ReplicaSyncService::TargetLabel(int target) const {
+  return target < num_nodes_
+             ? "node" + std::to_string(target)
+             : "mirror" + std::to_string(target - num_nodes_);
 }
 
 void ReplicaSyncService::SetAcked(int target, std::uint64_t version) {
@@ -104,16 +116,25 @@ std::vector<std::uint64_t> ReplicaSyncService::acked_table() const {
 void ReplicaSyncService::Publish(
     std::uint64_t version, std::span<const engine::CorpusUpdate> updates) {
   log_->Append(version, updates);
+  // Sampled replication trace: one publish in trace_sample_every records
+  // its whole fan-out (per-target push spans, any inline catch-up work,
+  // the acked-table mirror) into the replication buffer.
+  std::unique_ptr<obs::QueryTrace> trace;
+  if (sampler_ != nullptr && sampler_->Sample()) {
+    trace = std::make_unique<obs::QueryTrace>();
+  }
+  const auto publish_start = obs::QueryTrace::Clock::now();
   rpc::CorpusUpdateBatch batch;
   batch.from_version = version - 1;
   batch.epochs.emplace_back(updates.begin(), updates.end());
   const std::vector<std::uint8_t> encoded = Encode(batch);
   const auto push = [&](int target) {
+    obs::ScopedSpan span(trace.get(), "publish." + TargetLabel(target));
     if (NeedsReimage(target)) {
       // Epoch replay onto a quarantined target would silently interleave
       // two histories (the node skips versions it already holds); try to
       // replace its replica wholesale instead.
-      CatchUpTarget(target, GetAcked(target), version);
+      CatchUpTraced(target, GetAcked(target), version, trace.get());
       return;
     }
     std::vector<std::uint8_t> reply;
@@ -125,7 +146,7 @@ void ReplicaSyncService::Publish(
         ack.node_version < batch.from_version) {
       // The target missed earlier epochs too; re-sync it now rather than
       // on the next query's critical path.
-      CatchUpTarget(target, ack.node_version, version);
+      CatchUpTraced(target, ack.node_version, version, trace.get());
     }
   };
   // Mirrors first: a reachable standby must never trail a shard replica,
@@ -133,7 +154,18 @@ void ReplicaSyncService::Publish(
   // unable to resume the nodes' history (promote would quarantine them).
   for (int i = num_nodes_; i < num_targets(); ++i) push(i);
   for (int i = 0; i < num_nodes_; ++i) push(i);
-  if (num_targets() > num_nodes_) SyncAckedTable();
+  if (num_targets() > num_nodes_) {
+    obs::ScopedSpan span(trace.get(), "acked_sync");
+    SyncAckedTable();
+  }
+  if (trace != nullptr) {
+    options_.trace_buffer->Add(
+        *trace, "publish v" + std::to_string(version),
+        std::chrono::duration<double>(obs::QueryTrace::Clock::now() -
+                                      publish_start)
+            .count(),
+        version);
+  }
 }
 
 void ReplicaSyncService::SyncAckedTable() {
@@ -149,7 +181,7 @@ void ReplicaSyncService::SyncAckedTable() {
 
 ReplicaSyncService::EpochSendResult ReplicaSyncService::SendEpochs(
     int target, std::uint64_t from, std::uint64_t to,
-    std::uint64_t* target_version) {
+    std::uint64_t* target_version, obs::QueryTrace* trace) {
   *target_version = 0;
   if (from >= to) return EpochSendResult::kOk;
   rpc::CorpusUpdateBatch batch;
@@ -158,6 +190,9 @@ ReplicaSyncService::EpochSendResult ReplicaSyncService::SendEpochs(
   // falls back to local execution (still bit-equal).
   if (!log_->Slice(from, to, &batch)) return EpochSendResult::kFailed;
   catchup_batches_.Inc();
+  obs::ScopedSpan span(trace, "replay." + TargetLabel(target) + " " +
+                                  std::to_string(from) + "->" +
+                                  std::to_string(to));
   std::vector<std::uint8_t> reply;
   if (!targets_[target]->Call(Encode(batch), &reply)) {
     return EpochSendResult::kFailed;
@@ -176,13 +211,15 @@ ReplicaSyncService::EpochSendResult ReplicaSyncService::SendEpochs(
 }
 
 bool ReplicaSyncService::SendSnapshot(int target,
-                                      std::uint64_t* installed_version) {
+                                      std::uint64_t* installed_version,
+                                      obs::QueryTrace* trace) {
   std::uint64_t version;
   const std::shared_ptr<const std::vector<std::uint8_t>> image =
       log_->image(&version);
   *installed_version = 0;
   if (image == nullptr) return false;
   rpc::Transport* node = targets_[target];
+  const std::string label = TargetLabel(target);
   const std::uint32_t chunk_bytes =
       std::min(std::max<std::uint32_t>(options_.snapshot_chunk_bytes, 1),
                rpc::kMaxSnapshotChunkBytes);
@@ -195,7 +232,13 @@ bool ReplicaSyncService::SendSnapshot(int target,
   offer.chunk_bytes = chunk_bytes;
   offer.num_chunks = num_chunks;
   std::vector<std::uint8_t> reply;
-  if (!node->Call(Encode(offer), &reply)) return false;
+  bool offer_ok;
+  {
+    obs::ScopedSpan span(trace, "snapshot.offer." + label + " v" +
+                                    std::to_string(version));
+    offer_ok = node->Call(Encode(offer), &reply);
+  }
+  if (!offer_ok) return false;
   rpc::SnapshotAck ack;
   if (!rpc::Decode(reply, &ack)) return false;
   if (ack.status == rpc::RpcStatus::kVersionMismatch) {
@@ -213,7 +256,22 @@ bool ReplicaSyncService::SendSnapshot(int target,
   snapshots_sent_.Inc();
 
   // Stream from wherever the target's partial image ends (resume point).
-  for (std::uint32_t c = ack.next_chunk; c < num_chunks; ++c) {
+  // The first kMaxChunkSpans chunks get individual spans; a longer
+  // transfer's tail collapses into one aggregate span so a huge image
+  // cannot bloat the trace.
+  constexpr std::uint32_t kMaxChunkSpans = 32;
+  const std::uint32_t first_chunk = ack.next_chunk;
+  std::optional<obs::ScopedSpan> tail_span;
+  for (std::uint32_t c = first_chunk; c < num_chunks; ++c) {
+    std::optional<obs::ScopedSpan> chunk_span;
+    if (c - first_chunk < kMaxChunkSpans) {
+      chunk_span.emplace(trace, "snapshot.chunk" + std::to_string(c) + "." +
+                                    label);
+    } else if (c - first_chunk == kMaxChunkSpans) {
+      tail_span.emplace(trace, "snapshot.chunks" + std::to_string(c) + "-" +
+                                   std::to_string(num_chunks - 1) + "." +
+                                   label);
+    }
     rpc::SnapshotChunk chunk;
     chunk.snapshot_version = version;
     chunk.chunk_index = c;
@@ -243,17 +301,42 @@ bool ReplicaSyncService::SendSnapshot(int target,
 
 bool ReplicaSyncService::CatchUpTarget(int target, std::uint64_t from,
                                        std::uint64_t to) {
+  // Sampled replication trace for catch-ups reached directly (query
+  // router's proactive/mismatch paths); publish-path catch-ups ride the
+  // publish trace via CatchUpTraced instead.
+  std::unique_ptr<obs::QueryTrace> trace;
+  if (sampler_ != nullptr && sampler_->Sample()) {
+    trace = std::make_unique<obs::QueryTrace>();
+  }
+  const auto catchup_start = obs::QueryTrace::Clock::now();
+  const bool ok = CatchUpTraced(target, from, to, trace.get());
+  if (trace != nullptr) {
+    options_.trace_buffer->Add(
+        *trace,
+        "catchup " + TargetLabel(target) + " " + std::to_string(from) +
+            "->" + std::to_string(to) + (ok ? "" : " failed"),
+        std::chrono::duration<double>(obs::QueryTrace::Clock::now() -
+                                      catchup_start)
+            .count(),
+        to);
+  }
+  return ok;
+}
+
+bool ReplicaSyncService::CatchUpTraced(int target, std::uint64_t from,
+                                       std::uint64_t to,
+                                       obs::QueryTrace* trace) {
   if (NeedsReimage(target)) {
     // Snapshot-only: the target's state extends past the adopted log, so
     // replaying epochs would interleave two coordinator lineages. Only a
     // wholesale image replacement (version newer than the target's) can
     // bring it back; until one exists the target stays quarantined.
     std::uint64_t installed = 0;
-    if (!SendSnapshot(target, &installed)) return false;
+    if (!SendSnapshot(target, &installed, trace)) return false;
     if (NeedsReimage(target)) return false;  // offer refused, no install
     if (installed > to) return false;
     std::uint64_t target_version = 0;
-    return SendEpochs(target, installed, to, &target_version) ==
+    return SendEpochs(target, installed, to, &target_version, trace) ==
            EpochSendResult::kOk;
   }
   const std::uint64_t start = log_->log_start();
@@ -268,11 +351,11 @@ bool ReplicaSyncService::CatchUpTarget(int target, std::uint64_t from,
     // The epochs the target needs first were compacted away — bootstrap
     // by streaming the retained image, then replay the remaining suffix.
     if (!image_bridges(from)) return false;
-    if (!SendSnapshot(target, &from)) return false;
+    if (!SendSnapshot(target, &from, trace)) return false;
     if (from > to) return false;  // image ahead of this query's snapshot
   }
   std::uint64_t target_version = 0;
-  switch (SendEpochs(target, from, to, &target_version)) {
+  switch (SendEpochs(target, from, to, &target_version, trace)) {
     case EpochSendResult::kOk:
       return true;
     case EpochSendResult::kFailed:
@@ -289,16 +372,16 @@ bool ReplicaSyncService::CatchUpTarget(int target, std::uint64_t from,
       // image first.
       if (target_version >= to) return target_version == to;
       if (target_version > from) {
-        return SendEpochs(target, target_version, to, &target_version) ==
-               EpochSendResult::kOk;
+        return SendEpochs(target, target_version, to, &target_version,
+                          trace) == EpochSendResult::kOk;
       }
       break;
   }
   if (!image_bridges(from)) return false;
   std::uint64_t installed = 0;
-  if (!SendSnapshot(target, &installed)) return false;
+  if (!SendSnapshot(target, &installed, trace)) return false;
   if (installed > to) return false;
-  return SendEpochs(target, installed, to, &target_version) ==
+  return SendEpochs(target, installed, to, &target_version, trace) ==
          EpochSendResult::kOk;
 }
 
@@ -323,6 +406,22 @@ void ReplicaSyncService::RegisterMetrics(obs::MetricRegistry* registry) {
       "diverse_sync_snapshot_chunks_sent_total", &snapshot_chunks_sent_));
   registrations_.push_back(registry->RegisterCounter(
       "diverse_sync_acked_syncs_sent_total", &acked_syncs_sent_));
+  // Per-target replication lag: the last acked replica version and how
+  // many published epochs it trails by (floored at 0 — a target probed
+  // ahead of the log is a quarantine case, not negative lag).
+  for (int i = 0; i < num_targets(); ++i) {
+    const std::string label = "{target=\"" + TargetLabel(i) + "\"}";
+    registrations_.push_back(registry->RegisterGauge(
+        "diverse_replica_acked_version" + label,
+        [this, i] { return static_cast<double>(GetAcked(i)); }));
+    registrations_.push_back(registry->RegisterGauge(
+        "diverse_replication_lag_epochs" + label, [this, i] {
+          const std::uint64_t published = log_->published_version();
+          const std::uint64_t acked = GetAcked(i);
+          return static_cast<double>(published > acked ? published - acked
+                                                       : 0);
+        }));
+  }
 }
 
 }  // namespace replication

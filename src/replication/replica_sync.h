@@ -30,13 +30,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "engine/corpus.h"
 #include "obs/metric_registry.h"
 #include "obs/metrics.h"
+#include "obs/query_trace.h"
+#include "obs/trace_buffer.h"
 #include "replication/replication_log.h"
 #include "rpc/transport.h"
 
@@ -74,6 +78,12 @@ class ReplicaSyncService {
     // Slice size for snapshot transfers; must leave frame headroom
     // (clamped to wire.h kMaxFrameBytes - 64).
     std::uint32_t snapshot_chunk_bytes = 1u << 20;
+    // Replication-trace sink (must outlive the service): roughly 1 in
+    // trace_sample_every publishes and query-path catch-ups records its
+    // fan-out/replay/snapshot-chunk timeline here, feeding the
+    // coordinator's /tracez?kind=replication. Observation-only.
+    obs::TraceBuffer* trace_buffer = nullptr;
+    std::uint32_t trace_sample_every = 8;  // <= 1 traces every operation
   };
 
   struct Stats {
@@ -121,28 +131,43 @@ class ReplicaSyncService {
 
   Stats stats() const;
 
-  // Publishes the service's counters into `registry` (diverse_sync_*).
-  // The registry must outlive the service; calling again replaces the
-  // previous registrations.
+  // Publishes the service's counters into `registry` (diverse_sync_*),
+  // plus per-target replication-lag gauges:
+  // diverse_replica_acked_version{target="..."} and
+  // diverse_replication_lag_epochs{target="..."} (published − acked,
+  // floored at 0). The registry must outlive the service; calling again
+  // replaces the previous registrations.
   void RegisterMetrics(obs::MetricRegistry* registry);
 
  private:
   enum class EpochSendResult { kOk, kFailed, kRefused };
+  // "node<i>" for query nodes, "mirror<j>" for sync-only targets — the
+  // label replication spans and lag gauges carry.
+  std::string TargetLabel(int target) const;
   // One epoch-log replay batch [from, to). kRefused means the target
   // answered kVersionMismatch — its real version is in *target_version.
+  // `trace` (nullable) collects the replay span.
   EpochSendResult SendEpochs(int target, std::uint64_t from,
-                             std::uint64_t to, std::uint64_t* target_version);
+                             std::uint64_t to, std::uint64_t* target_version,
+                             obs::QueryTrace* trace);
   // Streams the retained bootstrap image, resuming where the target's
   // SnapshotAck points. On success *installed_version is the target's
   // (authoritative) version afterwards — the image's version, or higher
   // when the target was already past it — and the quarantine is lifted.
-  bool SendSnapshot(int target, std::uint64_t* installed_version);
+  // `trace` (nullable) collects offer + per-chunk spans.
+  bool SendSnapshot(int target, std::uint64_t* installed_version,
+                    obs::QueryTrace* trace);
+  // CatchUpTarget's worker; the public entry point wraps it in a sampled
+  // replication trace.
+  bool CatchUpTraced(int target, std::uint64_t from, std::uint64_t to,
+                     obs::QueryTrace* trace);
   void SyncAckedTable();
 
   ReplicationLog* const log_;
   const std::vector<rpc::Transport*> targets_;  // nodes, then mirrors
   const int num_nodes_;
   const Options options_;
+  std::unique_ptr<obs::TraceSampler> sampler_;  // iff trace_buffer set
 
   mutable std::mutex mu_;
   // Last authoritative replica version per target (acks + query replies);

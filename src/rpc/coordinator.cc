@@ -10,6 +10,8 @@ replication::ReplicaSyncService::Options SyncOptions(
     const Coordinator::Options& options) {
   replication::ReplicaSyncService::Options sync;
   sync.snapshot_chunk_bytes = options.snapshot_chunk_bytes;
+  sync.trace_buffer = options.replication_traces;
+  sync.trace_sample_every = options.replication_trace_sample_every;
   return sync;
 }
 

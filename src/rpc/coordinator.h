@@ -41,6 +41,7 @@
 #include "engine/corpus.h"
 #include "engine/execution_plan.h"
 #include "engine/query.h"
+#include "obs/trace_buffer.h"
 #include "replication/query_router.h"
 #include "replication/replica_sync.h"
 #include "replication/replication_log.h"
@@ -62,6 +63,11 @@ class Coordinator : public engine::RemoteExecutor {
     // Slice size for snapshot transfers; must leave frame headroom
     // (clamped to wire.h kMaxFrameBytes - 64).
     std::uint32_t snapshot_chunk_bytes = 1u << 20;
+    // Replication-trace sink (must outlive the coordinator): sampled
+    // publish/catch-up/snapshot-transfer timelines from the sync
+    // service, exposed at /tracez?kind=replication. Null = untraced.
+    obs::TraceBuffer* replication_traces = nullptr;
+    std::uint32_t replication_trace_sample_every = 8;
   };
 
   // `nodes` (one transport per shard node, all distinct) must outlive the

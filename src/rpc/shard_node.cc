@@ -75,10 +75,13 @@ void ShardNode::RegisterMetrics() {
 
 std::vector<std::uint8_t> ShardNode::Handle(
     std::span<const std::uint8_t> request_payload) {
+  const auto received = std::chrono::steady_clock::now();
   const std::optional<MessageType> type = PeekType(request_payload);
   if (type == MessageType::kShardQueryRequest) {
     ShardQueryRequest request;
-    if (Decode(request_payload, &request)) return HandleQuery(request);
+    if (Decode(request_payload, &request)) {
+      return HandleQuery(request, received, std::chrono::steady_clock::now());
+    }
   } else if (type == MessageType::kCorpusUpdateBatch) {
     CorpusUpdateBatch batch;
     if (Decode(request_payload, &batch)) return HandleUpdates(batch);
@@ -103,7 +106,9 @@ std::vector<std::uint8_t> ShardNode::Handle(
 }
 
 std::vector<std::uint8_t> ShardNode::HandleQuery(
-    const ShardQueryRequest& request) {
+    const ShardQueryRequest& request,
+    std::chrono::steady_clock::time_point received,
+    std::chrono::steady_clock::time_point decoded) {
   queries_.Inc();
   const engine::SnapshotPtr snapshot = replica_.snapshot();
   ShardQueryResponse response;
@@ -168,6 +173,8 @@ std::vector<std::uint8_t> ShardNode::HandleQuery(
   kernel_latency_hist_.Record(kernel_seconds);
   if (sample) {
     obs::QueryTrace trace;
+    trace.AddSpan("decode", received, decoded);
+    trace.AddSpan("wait", decoded, kernel_start);
     trace.AddSpan("kernel", kernel_start, kernel_end);
     options_.trace_buffer->Add(
         trace,
@@ -180,6 +187,27 @@ std::vector<std::uint8_t> ShardNode::HandleQuery(
   response.elements = local.elements;
   response.objective = local.objective;
   response.steps = local.steps;
+  // Node-side span block for a traced request, offsets on this node's
+  // steady clock relative to `received`. "handle" is the alignment
+  // anchor the coordinator maps into its own timeline; "encode" can only
+  // be stamped before Encode runs, so it covers response assembly and
+  // reads as a point for the serialization itself.
+  if (request.trace_id != 0) {
+    const auto pre_encode = std::chrono::steady_clock::now();
+    const auto since = [received](std::chrono::steady_clock::time_point t) {
+      return std::chrono::duration<double>(t - received).count();
+    };
+    const double decoded_s = since(decoded);
+    const double kernel_start_s = since(kernel_start);
+    const double kernel_end_s = since(kernel_end);
+    const double handled_s = since(pre_encode);
+    response.spans.push_back({"handle", 0.0, handled_s});
+    response.spans.push_back({"decode", 0.0, decoded_s});
+    response.spans.push_back({"wait", decoded_s, kernel_start_s - decoded_s});
+    response.spans.push_back({"kernel", kernel_start_s, kernel_seconds});
+    response.spans.push_back(
+        {"encode", kernel_end_s, handled_s - kernel_end_s});
+  }
   return Encode(response);
 }
 

@@ -31,6 +31,7 @@
 #define DIVERSE_RPC_SHARD_NODE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -143,7 +144,13 @@ class ShardNode : public Handler {
     std::vector<std::uint8_t> bytes;
   };
 
-  std::vector<std::uint8_t> HandleQuery(const ShardQueryRequest& request);
+  // `received`/`decoded` are Handle()'s steady-clock stamps for request
+  // arrival and decode completion: the origin and first cut of the
+  // node-side span block a traced response carries back.
+  std::vector<std::uint8_t> HandleQuery(
+      const ShardQueryRequest& request,
+      std::chrono::steady_clock::time_point received,
+      std::chrono::steady_clock::time_point decoded);
   std::vector<std::uint8_t> HandleUpdates(const CorpusUpdateBatch& batch);
   std::vector<std::uint8_t> HandleOffer(const SnapshotOffer& offer);
   std::vector<std::uint8_t> HandleChunk(const SnapshotChunk& chunk);

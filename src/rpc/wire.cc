@@ -1,5 +1,7 @@
 #include "rpc/wire.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 
 namespace diverse {
@@ -148,6 +150,13 @@ bool ReadHeader(Reader* reader, MessageType expected) {
          type == static_cast<std::uint8_t>(expected);
 }
 
+// Span offsets/durations are nonnegative finite seconds by contract;
+// anything else (hostile peer, uninitialized field) clamps to 0 so the
+// value that crosses the wire is the value a decoder will accept.
+double SaneOffset(double value) {
+  return std::isfinite(value) && value > 0.0 ? value : 0.0;
+}
+
 bool ReadStatus(Reader* reader, RpcStatus* status) {
   std::uint8_t raw;
   if (!reader->ReadU8(&raw)) return false;
@@ -216,7 +225,8 @@ std::vector<std::uint8_t> Encode(const ShardQueryRequest& message) {
 
 std::vector<std::uint8_t> Encode(const ShardQueryResponse& message) {
   std::vector<std::uint8_t> out;
-  out.reserve(3 + 1 + 8 + 4 + 4 + 4 * message.elements.size() + 8 + 8);
+  out.reserve(3 + 1 + 8 + 4 + 4 + 4 * message.elements.size() + 8 + 8 + 4 +
+              (4 + kMaxSpanNameBytes + 16) * message.spans.size());
   AppendHeader(&out, MessageType::kShardQueryResponse);
   AppendU8(&out, static_cast<std::uint8_t>(message.status));
   AppendU64(&out, message.node_version);
@@ -225,6 +235,22 @@ std::vector<std::uint8_t> Encode(const ShardQueryResponse& message) {
   for (int e : message.elements) AppendI32(&out, e);
   AppendF64(&out, message.objective);
   AppendI64(&out, message.steps);
+  // Span block (v3). The encoder enforces the caps and offset sanity the
+  // decoder demands, so Decode(Encode(x)) always succeeds even when a
+  // recording site produced an over-long name or a garbage offset.
+  const std::size_t span_count =
+      std::min(message.spans.size(), kMaxResponseSpans);
+  AppendU32(&out, static_cast<std::uint32_t>(span_count));
+  for (std::size_t i = 0; i < span_count; ++i) {
+    const WireSpan& span = message.spans[i];
+    const std::size_t name_len =
+        std::min(span.name.size(), kMaxSpanNameBytes);
+    AppendU32(&out, static_cast<std::uint32_t>(name_len));
+    out.insert(out.end(), span.name.begin(),
+               span.name.begin() + static_cast<std::ptrdiff_t>(name_len));
+    AppendF64(&out, SaneOffset(span.start_seconds));
+    AppendF64(&out, SaneOffset(span.duration_seconds));
+  }
   return out;
 }
 
@@ -350,7 +376,17 @@ bool Decode(std::span<const std::uint8_t> payload,
 bool Decode(std::span<const std::uint8_t> payload,
             ShardQueryResponse* message) {
   Reader reader(payload);
-  if (!ReadHeader(&reader, MessageType::kShardQueryResponse)) return false;
+  // Unlike every other message, the response decoder reads the header by
+  // hand: it accepts v2 (pre-span layout, body ends after `steps`) as
+  // well as v3, so a coordinator mid-upgrade can still read replies from
+  // nodes that have not restarted yet.
+  std::uint16_t version;
+  std::uint8_t type;
+  if (!reader.ReadU16(&version) || !reader.ReadU8(&type)) return false;
+  if (version != kWireVersion && version != 2) return false;
+  if (type != static_cast<std::uint8_t>(MessageType::kShardQueryResponse)) {
+    return false;
+  }
   if (!ReadStatus(&reader, &message->status) ||
       !reader.ReadU64(&message->node_version) ||
       !reader.ReadI32(&message->shard_index)) {
@@ -367,6 +403,33 @@ bool Decode(std::span<const std::uint8_t> payload,
   if (!reader.ReadF64(&message->objective) ||
       !reader.ReadI64(&message->steps)) {
     return false;
+  }
+  message->spans.clear();
+  if (version == 2) return reader.Done();
+  // v3 span block: mandatory (untraced responses carry a zero count), at
+  // most kMaxResponseSpans entries, each at least 20 bytes (name length +
+  // two f64s), name length bounded by the cap and by the bytes actually
+  // remaining, offsets clamped like the encoder clamps them.
+  std::size_t spans;
+  if (!reader.ReadCount(20, &spans)) return false;
+  if (spans > kMaxResponseSpans) return false;
+  message->spans.reserve(spans);
+  for (std::size_t i = 0; i < spans; ++i) {
+    std::size_t name_len;
+    if (!reader.ReadCount(1, &name_len)) return false;
+    if (name_len > kMaxSpanNameBytes) return false;
+    WireSpan& span = message->spans.emplace_back();
+    span.name.resize(name_len);
+    if (!reader.ReadBytes(reinterpret_cast<std::uint8_t*>(span.name.data()),
+                          name_len)) {
+      return false;
+    }
+    if (!reader.ReadF64(&span.start_seconds) ||
+        !reader.ReadF64(&span.duration_seconds)) {
+      return false;
+    }
+    span.start_seconds = SaneOffset(span.start_seconds);
+    span.duration_seconds = SaneOffset(span.duration_seconds);
   }
   return reader.Done();
 }

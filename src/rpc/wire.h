@@ -60,7 +60,11 @@ namespace rpc {
 // Bumped on any incompatible layout change; decoders reject other values.
 // v2: ShardQueryRequest carries a trace id; StatsRequest/StatsResponse
 // added.
-inline constexpr std::uint16_t kWireVersion = 2;
+// v3: ShardQueryResponse carries a bounded node-side span block (zero
+// spans — four count bytes — on untraced requests). The response decoder
+// alone also accepts v2 payloads (spans empty) so a mid-upgrade
+// coordinator can still read old nodes; everything else is exact-version.
+inline constexpr std::uint16_t kWireVersion = 3;
 
 // Hard ceiling on one payload (and on any decoded vector), shared with the
 // socket framing: a corrupt length prefix must not turn into an OOM.
@@ -123,6 +127,23 @@ struct ShardQueryRequest {
   std::vector<double> relevance;
 };
 
+// One node-side trace span riding back on a ShardQueryResponse. Offsets
+// are seconds on the *node's* steady clock, relative to the instant the
+// node received the request; the coordinator aligns them into its own
+// timeline (replication/query_router). Observation-only — never consulted
+// by the kernel or the merge.
+struct WireSpan {
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+// Caps on the response span block: a traced request gets at most
+// kMaxResponseSpans spans of at most kMaxSpanNameBytes name bytes each.
+// Encoders truncate to the caps; decoders reject payloads exceeding them.
+inline constexpr std::size_t kMaxResponseSpans = 32;
+inline constexpr std::size_t kMaxSpanNameBytes = 96;
+
 struct ShardQueryResponse {
   RpcStatus status = RpcStatus::kOk;
   // The replica's current version (== the request's snapshot_version on
@@ -132,6 +153,9 @@ struct ShardQueryResponse {
   std::vector<int> elements;  // kernel solution, greedy order
   double objective = 0.0;
   std::int64_t steps = 0;
+  // Node-side spans for a traced request (empty when the request's
+  // trace_id was 0). Bounded by kMaxResponseSpans.
+  std::vector<WireSpan> spans;
 };
 
 struct CorpusUpdateBatch {
@@ -232,7 +256,9 @@ std::optional<MessageType> PeekType(std::span<const std::uint8_t> payload);
 
 // Each decoder returns false (leaving *message unspecified) unless the
 // payload is a complete, well-formed message of the matching type at
-// kWireVersion with no trailing bytes.
+// kWireVersion with no trailing bytes. Exception: the ShardQueryResponse
+// decoder also accepts v2 payloads (span block absent, `spans` left
+// empty) — see the kWireVersion comment.
 bool Decode(std::span<const std::uint8_t> payload, ShardQueryRequest* message);
 bool Decode(std::span<const std::uint8_t> payload,
             ShardQueryResponse* message);

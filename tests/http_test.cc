@@ -415,6 +415,87 @@ TEST(ObservabilityHandlerTest, TracezIs404WithoutABufferAndRendersWithOne) {
   EXPECT_NE(tracez.body.find("slow-query log"), std::string::npos);
 }
 
+TEST(ObservabilityHandlerTest, ReadyzDistinguishesLiveFromReady) {
+  MetricRegistry registry;
+  bool ready = false;
+  ObservabilityHandler::Options options;
+  options.registry = &registry;
+  options.role = "shard_node";
+  options.corpus_version = [] { return std::uint64_t{0}; };
+  options.ready = [&ready] { return ready; };
+  ObservabilityHandler handler(std::move(options));
+
+  // Bootstrapping: live (200 on /healthz) but not ready (503 on /readyz).
+  EXPECT_EQ(handler.Handle(Get("/healthz")).status, 200);
+  const http::Response not_ready = handler.Handle(Get("/readyz"));
+  EXPECT_EQ(not_ready.status, 503);
+  EXPECT_EQ(not_ready.body.rfind("not ready\n", 0), 0u);
+  EXPECT_NE(not_ready.body.find("role=shard_node\n"), std::string::npos);
+
+  // First snapshot installed: readiness flips without a restart.
+  ready = true;
+  const http::Response now_ready = handler.Handle(Get("/readyz"));
+  EXPECT_EQ(now_ready.status, 200);
+  EXPECT_EQ(now_ready.body.rfind("ready\n", 0), 0u);
+
+  // No probe wired = no not-yet-ready phase: always 200.
+  MetricRegistry plain_registry;
+  ObservabilityHandler::Options plain;
+  plain.registry = &plain_registry;
+  ObservabilityHandler always_ready(std::move(plain));
+  EXPECT_EQ(always_ready.Handle(Get("/readyz")).status, 200);
+  EXPECT_NE(always_ready.Handle(Get("/")).body.find("/readyz"),
+            std::string::npos);
+}
+
+TEST(ObservabilityHandlerTest, TracezKindReplicationSelectsItsOwnBuffer) {
+  MetricRegistry registry;
+  TraceBuffer query_traces(8, 2);
+  {
+    QueryTrace trace;
+    const auto now = QueryTrace::Clock::now();
+    trace.AddSpan("kernel", now, now);
+    query_traces.Add(trace, "greedy/single p=3", 0.001, 4);
+  }
+  TraceBuffer replication_traces(8, 2);
+  {
+    QueryTrace trace;
+    const auto now = QueryTrace::Clock::now();
+    trace.AddSpan("publish.node0", now, now);
+    replication_traces.Add(trace, "publish v5", 0.002, 5);
+  }
+
+  ObservabilityHandler::Options options;
+  options.registry = &registry;
+  options.traces = &query_traces;
+  options.replication_traces = &replication_traces;
+  ObservabilityHandler handler(std::move(options));
+
+  http::Request request = Get("/tracez");
+  request.target = "/tracez?kind=replication";
+  request.query = "kind=replication";
+  const http::Response replication = handler.Handle(request);
+  EXPECT_EQ(replication.status, 200);
+  EXPECT_NE(replication.body.find("publish v5"), std::string::npos);
+  EXPECT_EQ(replication.body.find("greedy/single"), std::string::npos);
+
+  // The default kind still serves the query buffer.
+  const http::Response queries = handler.Handle(Get("/tracez"));
+  EXPECT_EQ(queries.status, 200);
+  EXPECT_NE(queries.body.find("greedy/single p=3"), std::string::npos);
+  EXPECT_EQ(queries.body.find("publish v5"), std::string::npos);
+
+  // A process with no replication buffer answers an honest 404 for the
+  // replication kind while still serving the query kind.
+  MetricRegistry lone_registry;
+  ObservabilityHandler::Options lone;
+  lone.registry = &lone_registry;
+  lone.traces = &query_traces;
+  ObservabilityHandler lone_handler(std::move(lone));
+  EXPECT_EQ(lone_handler.Handle(request).status, 404);
+  EXPECT_EQ(lone_handler.Handle(Get("/tracez")).status, 200);
+}
+
 TEST(ObservabilityHandlerTest, ClusterPageRelabelsAndReportsDeadNodes) {
   MetricRegistry registry;
   Counter queries;

@@ -556,6 +556,123 @@ TEST(ObsIntegrationTest, TracedRemoteQueryCoversTheServingPipeline) {
   EXPECT_GT(traced, 0);
 }
 
+TEST(ObsIntegrationTest, RemoteNodeSpansNestInsideTheShardRpcSpans) {
+  Cluster cluster = MakeCluster(/*n=*/120, /*num_nodes=*/2, nullptr,
+                                /*seed=*/91);
+  Rng rng(92);
+  engine::Query query = MakeRemoteQuery(120, 6, 4, rng);
+  QueryTrace trace;
+  query.trace = &trace;
+  ASSERT_TRUE(cluster.engine->RunSync(query).ok);
+
+  // Parents are the router-side "rpc.shard<s>" spans; children are the
+  // node-recorded "rpc.shard<s>/<name> node=<k>" spans aligned into the
+  // parent timeline.
+  std::vector<QueryTrace::Span> parents;
+  std::vector<QueryTrace::Span> children;
+  for (const QueryTrace::Span& span : trace.spans()) {
+    if (span.name.rfind("rpc.shard", 0) != 0) continue;
+    if (span.name.find('/') == std::string::npos) {
+      parents.push_back(span);
+    } else {
+      children.push_back(span);
+    }
+  }
+  ASSERT_FALSE(parents.empty()) << trace.Render();
+  ASSERT_FALSE(children.empty()) << trace.Render();
+
+  // Every child carries its node label and fits inside the matching
+  // parent interval — the alignment clamps guarantee containment, not
+  // just approximation.
+  for (const QueryTrace::Span& child : children) {
+    EXPECT_NE(child.name.find(" node="), std::string::npos) << child.name;
+    const std::string parent_name =
+        child.name.substr(0, child.name.find('/'));
+    bool nested = false;
+    for (const QueryTrace::Span& parent : parents) {
+      if (parent.name != parent_name) continue;
+      if (child.start_seconds >= parent.start_seconds &&
+          child.start_seconds + child.duration_seconds <=
+              parent.start_seconds + parent.duration_seconds) {
+        nested = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(nested) << child.name << "\n" << trace.Render();
+  }
+
+  // Each answered shard RPC shows the node-side kernel, and the handle
+  // span carries the clock-skew annotation.
+  for (const QueryTrace::Span& parent : parents) {
+    bool has_kernel = false;
+    bool has_skew = false;
+    for (const QueryTrace::Span& child : children) {
+      if (child.name.rfind(parent.name + "/", 0) != 0) continue;
+      if (child.name.rfind(parent.name + "/kernel", 0) == 0) {
+        has_kernel = true;
+      }
+      if (child.name.find(" skew<=") != std::string::npos) has_skew = true;
+    }
+    EXPECT_TRUE(has_kernel) << parent.name << "\n" << trace.Render();
+    EXPECT_TRUE(has_skew) << parent.name << "\n" << trace.Render();
+  }
+}
+
+TEST(ObsIntegrationTest, ReplicationPublishIsTracedAndLagGaugesRender) {
+  Rng rng(95);
+  const Dataset data = MakeUniformSynthetic(60, rng);
+  std::vector<std::unique_ptr<rpc::ShardNode>> nodes;
+  std::vector<std::unique_ptr<rpc::InProcessTransport>> transports;
+  std::vector<rpc::Transport*> raw;
+  for (int i = 0; i < 2; ++i) {
+    Dataset replica = data;
+    nodes.push_back(std::make_unique<rpc::ShardNode>(
+        replica.weights, std::move(replica.metric), 0.2));
+    transports.push_back(
+        std::make_unique<rpc::InProcessTransport>(nodes.back().get()));
+    raw.push_back(transports.back().get());
+  }
+  // Registry and trace sink outlive the coordinator that registers into
+  // them (registrations unregister on coordinator destruction).
+  MetricRegistry registry;
+  TraceBuffer replication_traces;
+  rpc::Coordinator::Options options;
+  options.replication_traces = &replication_traces;
+  options.replication_trace_sample_every = 1;
+  rpc::Coordinator coordinator(raw, options);
+  coordinator.RegisterMetrics(&registry);
+
+  const std::vector<engine::CorpusUpdate> updates = {
+      engine::CorpusUpdate::SetWeight(3, 0.75)};
+  coordinator.PublishEpoch(1, updates);
+
+  // The publish fan-out was traced: one timeline with a per-target span.
+  ASSERT_GE(replication_traces.added(), 1);
+  const std::vector<CompletedTrace> recent = replication_traces.Recent();
+  ASSERT_FALSE(recent.empty());
+  bool saw_publish_span = false;
+  for (const CompletedTrace& completed : recent) {
+    if (completed.label.rfind("publish", 0) != 0) continue;
+    for (const QueryTrace::Span& span : completed.spans) {
+      if (span.name == "publish.node0") saw_publish_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_publish_span) << replication_traces.RenderTracez();
+
+  // Both replicas acked version 1, so the per-target lag gauges exist
+  // and read zero.
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("diverse_replica_acked_version{target=\"node0\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("diverse_replication_lag_epochs{target=\"node0\"} 0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("diverse_replication_lag_epochs{target=\"node1\"} 0"),
+            std::string::npos)
+      << text;
+}
+
 TEST(ObsIntegrationTest, TracedAndUntracedAnswersAreBitEqual) {
   MetricRegistry registry;
   Cluster traced_cluster = MakeCluster(/*n=*/100, /*num_nodes=*/2, &registry,

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/corpus.h"
@@ -41,6 +44,16 @@ ShardQueryResponse RandomResponse(Rng& rng) {
   for (int& e : response.elements) e = rng.UniformInt(0, 10000);
   response.objective = rng.Uniform(-5.0, 50.0);
   response.steps = rng.UniformInt(0, 1 << 20);
+  // v3: traced responses carry a node-side span block; untraced ones an
+  // empty one. Exercise both.
+  const int spans = rng.Bernoulli(0.5) ? rng.UniformInt(1, 6) : 0;
+  for (int i = 0; i < spans; ++i) {
+    WireSpan span;
+    span.name = std::string(rng.UniformInt(1, 12), 'a' + i);
+    span.start_seconds = rng.Uniform(0.0, 1.0);
+    span.duration_seconds = rng.Uniform(0.0, 0.5);
+    response.spans.push_back(std::move(span));
+  }
   return response;
 }
 
@@ -128,7 +141,141 @@ TEST(RpcWireTest, ResponseRoundTrip) {
     EXPECT_EQ(decoded.elements, original.elements);
     EXPECT_EQ(decoded.objective, original.objective);
     EXPECT_EQ(decoded.steps, original.steps);
+    ASSERT_EQ(decoded.spans.size(), original.spans.size());
+    for (std::size_t i = 0; i < original.spans.size(); ++i) {
+      EXPECT_EQ(decoded.spans[i].name, original.spans[i].name);
+      EXPECT_EQ(decoded.spans[i].start_seconds,
+                original.spans[i].start_seconds);
+      EXPECT_EQ(decoded.spans[i].duration_seconds,
+                original.spans[i].duration_seconds);
+    }
   }
+}
+
+// The span block must survive the same totality regime as the rest of
+// the wire: every strict prefix rejected, oversized counts and name
+// lengths rejected, garbage offsets clamped rather than trusted, and the
+// encoder must sanitize so Decode(Encode(x)) holds for ANY input spans.
+TEST(RpcWireTest, ResponseSpanBlockTotality) {
+  // Fixed spanned response: header(3) status(1) node_version(8)
+  // shard_index(4) elem_count(4) objective(8) steps(8) span_count@36
+  // name_len@40 name@44 start@45 dur@53, total 61 bytes.
+  ShardQueryResponse response;
+  response.status = RpcStatus::kOk;
+  response.node_version = 9;
+  response.shard_index = 2;
+  response.objective = 1.5;
+  response.steps = 17;
+  response.spans.push_back({"x", 0.25, 0.125});
+  const std::vector<std::uint8_t> payload = Encode(response);
+  ASSERT_EQ(payload.size(), 61u);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    ShardQueryResponse decoded;
+    EXPECT_FALSE(Decode(std::span(payload.data(), len), &decoded))
+        << "prefix length " << len;
+  }
+
+  // Span count bounded by the remaining bytes: 2^31-ish count fails fast.
+  std::vector<std::uint8_t> huge_count = payload;
+  huge_count[36] = 0xff;
+  huge_count[37] = 0xff;
+  huge_count[38] = 0xff;
+  huge_count[39] = 0x7f;
+  ShardQueryResponse decoded;
+  EXPECT_FALSE(Decode(huge_count, &decoded));
+
+  // Span count over the cap but with the bytes to back it: still
+  // rejected. 33 zero-named spans of 20 bytes each after a zero-span
+  // body.
+  ShardQueryResponse empty = response;
+  empty.spans.clear();
+  std::vector<std::uint8_t> over_cap = Encode(empty);
+  over_cap[over_cap.size() - 4] =
+      static_cast<std::uint8_t>(kMaxResponseSpans + 1);
+  over_cap.insert(over_cap.end(), 20 * (kMaxResponseSpans + 1), 0);
+  EXPECT_FALSE(Decode(over_cap, &decoded));
+
+  // Name length over the cap (but within the remaining bytes).
+  ShardQueryResponse long_name = empty;
+  long_name.spans.push_back(
+      {std::string(kMaxSpanNameBytes, 'n'), 0.0, 0.0});
+  std::vector<std::uint8_t> bad_name_len = Encode(long_name);
+  bad_name_len[40] = static_cast<std::uint8_t>(kMaxSpanNameBytes + 1);
+  EXPECT_FALSE(Decode(bad_name_len, &decoded));
+
+  // Non-finite and negative offsets clamp to 0 at decode (a hostile peer
+  // skips our sanitizing encoder).
+  std::vector<std::uint8_t> garbage_offsets = payload;
+  const std::uint64_t nan_bits = 0x7ff8000000000000ull;   // quiet NaN
+  const std::uint64_t neg_bits = 0xbff0000000000000ull;   // -1.0
+  for (int i = 0; i < 8; ++i) {
+    garbage_offsets[45 + i] =
+        static_cast<std::uint8_t>(nan_bits >> (8 * i));
+    garbage_offsets[53 + i] =
+        static_cast<std::uint8_t>(neg_bits >> (8 * i));
+  }
+  ASSERT_TRUE(Decode(garbage_offsets, &decoded));
+  ASSERT_EQ(decoded.spans.size(), 1u);
+  EXPECT_EQ(decoded.spans[0].start_seconds, 0.0);
+  EXPECT_EQ(decoded.spans[0].duration_seconds, 0.0);
+
+  // Encoder-side sanitizing: over-long names truncate, over-count spans
+  // drop, garbage offsets clamp — Decode(Encode(x)) is total.
+  ShardQueryResponse hostile = empty;
+  for (std::size_t i = 0; i < kMaxResponseSpans + 4; ++i) {
+    hostile.spans.push_back({std::string(kMaxSpanNameBytes + 7, 'z'),
+                             -3.0, std::numeric_limits<double>::quiet_NaN()});
+  }
+  ASSERT_TRUE(Decode(Encode(hostile), &decoded));
+  ASSERT_EQ(decoded.spans.size(), kMaxResponseSpans);
+  EXPECT_EQ(decoded.spans[0].name.size(), kMaxSpanNameBytes);
+  EXPECT_EQ(decoded.spans[0].start_seconds, 0.0);
+  EXPECT_EQ(decoded.spans[0].duration_seconds, 0.0);
+}
+
+// A coordinator mid-upgrade must still read replies from nodes speaking
+// the pre-span v2 layout: same body up through `steps`, no span block.
+TEST(RpcWireTest, ResponseCrossVersionV2Decode) {
+  ShardQueryResponse response;
+  response.status = RpcStatus::kOk;
+  response.node_version = 4;
+  response.shard_index = 1;
+  response.elements = {3, 1, 4};
+  response.objective = 2.75;
+  response.steps = 12;
+  // Build the v2 payload from the v3 one: drop the (empty) span block's
+  // count and rewrite the version header to 2.
+  std::vector<std::uint8_t> v2 = Encode(response);
+  v2.resize(v2.size() - 4);
+  v2[0] = 2;
+  v2[1] = 0;
+  ShardQueryResponse decoded;
+  decoded.spans.push_back({"stale", 1.0, 1.0});
+  ASSERT_TRUE(Decode(v2, &decoded));
+  EXPECT_EQ(decoded.status, response.status);
+  EXPECT_EQ(decoded.node_version, response.node_version);
+  EXPECT_EQ(decoded.elements, response.elements);
+  EXPECT_EQ(decoded.objective, response.objective);
+  EXPECT_EQ(decoded.steps, response.steps);
+  EXPECT_TRUE(decoded.spans.empty());  // cleared, not carried over
+
+  // v2 with trailing bytes (e.g. a span block it has no business
+  // carrying) is garbage, not a negotiation.
+  std::vector<std::uint8_t> v2_trailing = v2;
+  v2_trailing.push_back(0);
+  EXPECT_FALSE(Decode(v2_trailing, &decoded));
+  // Every strict prefix of the v2 payload is still rejected.
+  for (std::size_t len = 0; len < v2.size(); ++len) {
+    EXPECT_FALSE(Decode(std::span(v2.data(), len), &decoded))
+        << "prefix length " << len;
+  }
+  // Other versions get no such grace: v1 and v4 are both rejected.
+  std::vector<std::uint8_t> v1 = v2;
+  v1[0] = 1;
+  EXPECT_FALSE(Decode(v1, &decoded));
+  std::vector<std::uint8_t> v4 = v2;
+  v4[0] = 4;
+  EXPECT_FALSE(Decode(v4, &decoded));
 }
 
 TEST(RpcWireTest, UpdateBatchRoundTrip) {

@@ -46,10 +46,12 @@
 //
 // Observability (src/obs, src/http): --http_port mounts the HTTP front
 // door — /metrics, /metrics/cluster (remote plan: every node's registry
-// re-exported with a node label), /healthz, /statusz, /tracez (fed by
-// always-on ~1/--trace_sample_every query sampling). --linger_ms keeps
-// the process (and its endpoints) alive after the replay finishes so a
-// scraper or CI smoke can still reach it.
+// re-exported with a node label), /healthz, /readyz, /statusz, /tracez
+// (fed by always-on ~1/--trace_sample_every query sampling; remote-plan
+// traces include node-recorded spans aligned into the coordinator's
+// timeline), and /tracez?kind=replication (publish/catch-up/snapshot
+// timelines). --linger_ms keeps the process (and its endpoints) alive
+// after the replay finishes so a scraper or CI smoke can still reach it.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -144,6 +146,11 @@ int RunServer(const std::string& input, int generate, int queries, int p,
   Rng rng(seed);
   obs::MetricRegistry registry;
   obs::TraceBuffer trace_buffer;
+  // Replication-path traces (publish fan-out, catch-up replay, snapshot
+  // chunks), sampled by the coordinator's sync service and served at
+  // /tracez?kind=replication. Declared next to the query buffer so it
+  // outlives the coordinator that feeds it.
+  obs::TraceBuffer replication_traces;
   // Declared after what they observe so they unregister first.
   std::vector<obs::MetricRegistry::Registration> obs_registrations;
   obs::RegisterStandardMetrics(&registry, &obs_registrations);
@@ -256,6 +263,12 @@ int RunServer(const std::string& input, int generate, int queries, int p,
     std::vector<rpc::Transport*> mirrors;
     mirrors.reserve(mirror_transports.size());
     for (const auto& t : mirror_transports) mirrors.push_back(t.get());
+    rpc::Coordinator::Options coordinator_options;
+    coordinator_options.replication_traces = &replication_traces;
+    if (trace_sample_every >= 1) {
+      coordinator_options.replication_trace_sample_every =
+          static_cast<std::uint32_t>(trace_sample_every);
+    }
     if (promote) {
       // Same takeover handling as the in-process Promote(). The log is
       // seeded AT the restored version by adopting the restored state
@@ -282,10 +295,10 @@ int RunServer(const std::string& input, int generate, int queries, int p,
       }
       coordinator = std::make_unique<rpc::Coordinator>(
           std::move(log), std::move(seeds), std::move(raw),
-          std::move(mirrors), rpc::Coordinator::Options());
+          std::move(mirrors), coordinator_options);
     } else {
       coordinator = std::make_unique<rpc::Coordinator>(
-          std::move(raw), std::move(mirrors), rpc::Coordinator::Options());
+          std::move(raw), std::move(mirrors), coordinator_options);
     }
   }
   engine::DiversificationEngine::Options options;
@@ -333,6 +346,10 @@ int RunServer(const std::string& input, int generate, int queries, int p,
       obs_options.acked_table = [coord] {
         return coord->sync().acked_table();
       };
+      // Only a coordinator has a replication path to trace; leaving the
+      // buffer unset elsewhere keeps /tracez?kind=replication an honest
+      // 404.
+      obs_options.replication_traces = &replication_traces;
     }
     obs_options.cluster = std::move(cluster_sources);
     http_handler =
@@ -592,8 +609,8 @@ int main(int argc, char** argv) {
   flags.AddInt("trace", &trace_first,
                "record and print a span timeline for the first N queries");
   flags.AddInt("http_port", &http_port,
-               "serve /metrics /metrics/cluster /healthz /statusz /tracez "
-               "on this port (0 = ephemeral, negative = disabled)");
+               "serve /metrics /metrics/cluster /healthz /readyz /statusz "
+               "/tracez on this port (0 = ephemeral, negative = disabled)");
   flags.AddInt("linger_ms", &linger_ms,
                "keep the process (and --http_port endpoints) alive this "
                "long after the replay finishes");

@@ -39,8 +39,10 @@
 //       --queries=50 --update_every=5 --compact_every=10 --verify
 //
 // --http_port additionally mounts the observability front door
-// (/metrics, /healthz, /statusz, /tracez — the latter fed by ~1 in
-// --trace_sample_every kernel queries) next to the RPC port.
+// (/metrics, /healthz, /readyz, /statusz, /tracez — the latter fed by ~1
+// in --trace_sample_every kernel queries; /readyz answers 503 on a
+// --bootstrap node until its first snapshot installs) next to the RPC
+// port.
 #include <atomic>
 #include <chrono>
 #include <iostream>
@@ -178,6 +180,15 @@ int RunNode(const std::string& input, int generate, double lambda, int port,
     obs_options.corpus_version = [stats_node] {
       return stats_node->version();
     };
+    // Readiness: a --bootstrap node is live but cannot serve until its
+    // first snapshot installs; /readyz answers 503 until then. A standby
+    // mirrors passively from birth, so it is always ready.
+    if (!standby) {
+      const rpc::ShardNode* ready_node = node.get();
+      obs_options.ready = [ready_node] {
+        return !ready_node->awaiting_bootstrap();
+      };
+    }
     // A standby refuses kernel queries pre-kernel, so it never samples;
     // leaving traces unset there makes /tracez answer 404 honestly.
     if (!standby) obs_options.traces = &trace_buffer;
@@ -252,8 +263,8 @@ int main(int argc, char** argv) {
                "dump the node's metric registry to stdout every K seconds "
                "(0 = only on SIGUSR1; a remote scrape works either way)");
   flags.AddInt("http_port", &http_port,
-               "serve /metrics /healthz /statusz /tracez on this port "
-               "(0 = ephemeral, negative = disabled)");
+               "serve /metrics /healthz /readyz /statusz /tracez on this "
+               "port (0 = ephemeral, negative = disabled)");
   flags.AddInt("trace_sample_every", &trace_sample_every,
                "sample ~1 in N kernel queries into /tracez "
                "(<= 1: every query)");
