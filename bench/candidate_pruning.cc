@@ -1,0 +1,313 @@
+// Pivot-index candidate pruning bench — emits BENCH_pruning.json.
+//
+// Four record families, each at n = 2000 and n = 4000 on clustered
+// Euclidean data (clusters are what give triangle bounds their teeth —
+// most candidates sit far from the running best and prune away):
+//
+//   * swap_{vector,dense}_<n> — best-swap local-search scans: the same
+//     swap trajectory walked twice, once with BestSwapOver (full) and
+//     once with BestSwapOverPruned, answers asserted bit-equal each
+//     round. `prune_speedup` = full_seconds / pruned_seconds (machine-
+//     relative, gated vs baseline); `candidates_scored_ratio` =
+//     full_scored / pruned_scored (exact arithmetic — the acceptance
+//     floor is >= 2x at n = 4000); `certified_fraction` must stay a
+//     majority (Euclidean data is a true metric, so fallbacks mean the
+//     bounds are broken, not the data).
+//   * greedy_vector_<n> — GreedyVertexOnCandidates full vs pruned
+//     (PrunedGreedyScanner underneath), elements and objective bit-equal.
+//   * publish_<n> — epoch-publish latency with index maintenance on vs
+//     off (same insert/erase stream). `publish_overhead_x` is advisory:
+//     the index column append is O(P*d) per insert against the O(n)
+//     snapshot republish it rides on.
+//
+// Self-gates (skipped when DIVERSE_BENCH_NO_GATE is set): every
+// bit_equal, scored ratio >= 2 at n = 4000 swap arms, certified majority.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algorithms/distributed.h"
+#include "algorithms/greedy_vertex.h"
+#include "bench_json.h"
+#include "core/diversification_problem.h"
+#include "core/incremental_evaluator.h"
+#include "core/solution_state.h"
+#include "engine/corpus.h"
+#include "metric/dense_metric.h"
+#include "metric/pruning_index.h"
+#include "metric/vector_metric.h"
+#include "submodular/modular_function.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace diverse {
+namespace {
+
+// Clustered feature vectors (10 centers in U[0, 10]^dim, Gaussian spread)
+// — the workload pivot bounds are built for.
+VectorMetric MakeClusteredVectors(int n, int dim, Rng& rng) {
+  const int kClusters = 10;
+  std::vector<std::vector<double>> centers(kClusters,
+                                           std::vector<double>(dim));
+  for (auto& center : centers) {
+    for (double& x : center) x = rng.Uniform(0.0, 10.0);
+  }
+  std::vector<double> data;
+  data.reserve(static_cast<std::size_t>(n) * dim);
+  for (int i = 0; i < n; ++i) {
+    const std::vector<double>& center = centers[i % kClusters];
+    for (int k = 0; k < dim; ++k) {
+      data.push_back(center[k] + rng.Gaussian(0.0, 0.4));
+    }
+  }
+  return VectorMetric::FromRows(dim, std::move(data));
+}
+
+std::vector<int> AllIds(int n) {
+  std::vector<int> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+struct SwapArm {
+  double full_seconds = 0.0;
+  double pruned_seconds = 0.0;
+  long long full_scored = 0;
+  long long pruned_scored = 0;
+  long long pruned_skipped = 0;
+  long long certified = 0;
+  long long fallback = 0;
+  bool bit_equal = true;
+};
+
+// Walks `rounds` best-swap steps twice — full scan and pruned scan over
+// twin states — applying the (identical) winning swap to both so every
+// round scans a fresh solution.
+SwapArm RunSwapArm(const DiversificationProblem& problem,
+                   const PruningIndex& index, int p, int rounds,
+                   std::uint64_t seed) {
+  SwapArm arm;
+  SolutionState full_state(&problem);
+  SolutionState pruned_state(&problem);
+  Rng picks(seed);
+  const int n = problem.size();
+  for (int i = 0; i < p; ++i) {
+    int v = picks.UniformInt(0, n - 1);
+    while (full_state.Contains(v)) v = picks.UniformInt(0, n - 1);
+    full_state.Add(v);
+    pruned_state.Add(v);
+  }
+  const IncrementalEvaluator full_eval(&full_state);
+  const IncrementalEvaluator pruned_eval(&pruned_state);
+  for (int round = 0; round < rounds; ++round) {
+    WallTimer full_wall;
+    const BestSwapResult full =
+        full_eval.BestSwapOver(full_state.members(), full_eval.Universe());
+    arm.full_seconds += full_wall.Seconds();
+    WallTimer pruned_wall;
+    const BestSwapResult pruned = pruned_eval.BestSwapOverPruned(
+        pruned_state.members(), pruned_eval.Universe(), index);
+    arm.pruned_seconds += pruned_wall.Seconds();
+    arm.bit_equal = arm.bit_equal && full.out == pruned.out &&
+                    full.in == pruned.in && full.gain == pruned.gain;
+    if (!full.valid() || full.gain <= 0.0) break;
+    full_state.Swap(full.out, full.in);
+    pruned_state.Swap(pruned.out, pruned.in);
+  }
+  const IncrementalEvaluator::Stats full_stats = full_eval.stats();
+  const IncrementalEvaluator::Stats pruned_stats = pruned_eval.stats();
+  arm.full_scored = full_stats.candidates_scored;
+  arm.pruned_scored = pruned_stats.candidates_scored;
+  arm.pruned_skipped = pruned_stats.candidates_pruned;
+  arm.certified = pruned_stats.certified_scans;
+  arm.fallback = pruned_stats.fallback_scans;
+  return arm;
+}
+
+// `gated` picks the wall-ratio field name: the lazy vector arm emits the
+// baseline-gated `prune_speedup` (bounds replace an O(d) kernel there, so
+// pruning must win); the dense arm emits advisory `prune_wall_x` — its
+// exact scores are resident-row reads that bounds cannot beat, and the
+// arm exists for the scored-ratio and bit-equality story, not wall time.
+bool EmitSwapRecord(bench::BenchJson& json, const std::string& name, int n,
+                    const SwapArm& arm, bool& gates_ok, bool gate_ratio,
+                    bool gated) {
+  const double speedup =
+      arm.pruned_seconds > 0.0 ? arm.full_seconds / arm.pruned_seconds : 0.0;
+  const double scored_ratio =
+      arm.pruned_scored > 0
+          ? static_cast<double>(arm.full_scored) / arm.pruned_scored
+          : 0.0;
+  const long long scans = arm.certified + arm.fallback;
+  const double certified_fraction =
+      scans > 0 ? static_cast<double>(arm.certified) / scans : 0.0;
+  json.NewRecord(name)
+      .Add("n", static_cast<long long>(n))
+      .Add("full_seconds", arm.full_seconds)
+      .Add("pruned_seconds", arm.pruned_seconds)
+      .Add(gated ? "prune_speedup" : "prune_wall_x", speedup)
+      .Add("candidates_scored_ratio", scored_ratio)
+      .Add("candidates_pruned", arm.pruned_skipped)
+      .Add("certified_fraction", certified_fraction)
+      .Add("bit_equal", static_cast<long long>(arm.bit_equal ? 1 : 0));
+  bool ok = arm.bit_equal && certified_fraction > 0.5;
+  if (gate_ratio && scored_ratio < 2.0) ok = false;
+  if (!ok) {
+    std::cerr << name << ": bit_equal=" << arm.bit_equal
+              << " scored_ratio=" << scored_ratio
+              << " certified_fraction=" << certified_fraction << "\n";
+  }
+  gates_ok = gates_ok && ok;
+  return ok;
+}
+
+int Run(int dim, int p, int rounds, std::uint64_t seed) {
+  bench::BenchJson json("pruning");
+  bool gates_ok = true;
+
+  for (int n : {2000, 4000}) {
+    Rng rng(seed + n);
+    const VectorMetric vectors = MakeClusteredVectors(n, dim, rng);
+    std::vector<double> weights(n);
+    for (double& w : weights) w = rng.Uniform(0.0, 1.0);
+    const ModularFunction quality(weights);
+
+    PruningIndex::Options options;
+    options.num_pivots = 8;
+    WallTimer build_wall;
+    const auto index = PruningIndex::Build(vectors, AllIds(n), options);
+    const double index_build_seconds = build_wall.Seconds();
+
+    // Swap scans, lazy vector backend. Three repeats of the identical
+    // deterministic trajectory; the gated ratio comes from the median
+    // repeat so one scheduler hiccup on a shared runner cannot fail the
+    // gate (same trick as bench/metric_backend.cc's kernel record).
+    const DiversificationProblem problem(&vectors, &quality, 0.5);
+    SwapArm repeats[3];
+    for (SwapArm& repeat : repeats) {
+      repeat = RunSwapArm(problem, *index, p, rounds, seed + 1);
+    }
+    std::sort(std::begin(repeats), std::end(repeats),
+              [](const SwapArm& a, const SwapArm& b) {
+                return a.full_seconds * b.pruned_seconds <
+                       b.full_seconds * a.pruned_seconds;
+              });
+    SwapArm vector_arm = repeats[1];
+    vector_arm.bit_equal =
+        repeats[0].bit_equal && repeats[1].bit_equal && repeats[2].bit_equal;
+    EmitSwapRecord(json, "swap_vector_" + std::to_string(n), n, vector_arm,
+                   gates_ok, /*gate_ratio=*/n == 4000, /*gated=*/true);
+
+    // Swap scans, dense oracle of the same data (resident index: pivot
+    // rows read live, nothing stored).
+    const DenseMetric dense = DenseMetric::Materialize(vectors);
+    const DiversificationProblem dense_problem(&dense, &quality, 0.5);
+    const auto dense_index = PruningIndex::Build(dense, AllIds(n), options);
+    const SwapArm dense_arm =
+        RunSwapArm(dense_problem, *dense_index, p, rounds, seed + 1);
+    EmitSwapRecord(json, "swap_dense_" + std::to_string(n), n, dense_arm,
+                   gates_ok, /*gate_ratio=*/n == 4000, /*gated=*/false);
+
+    // Greedy build, full vs pruned, bit-equal.
+    {
+      const std::vector<int> candidates = AllIds(n);
+      WallTimer full_wall;
+      const AlgorithmResult full =
+          GreedyVertexOnCandidates(problem, candidates, p);
+      const double full_seconds = full_wall.Seconds();
+      CandidateScanConfig config;
+      config.pruning = index.get();
+      WallTimer pruned_wall;
+      const AlgorithmResult pruned =
+          GreedyVertexOnCandidates(problem, candidates, p, config);
+      const double pruned_seconds = pruned_wall.Seconds();
+      const bool equal = full.elements == pruned.elements &&
+                         full.objective == pruned.objective;
+      json.NewRecord("greedy_vector_" + std::to_string(n))
+          .Add("n", static_cast<long long>(n))
+          .Add("p", static_cast<long long>(p))
+          .Add("full_seconds", full_seconds)
+          .Add("pruned_seconds", pruned_seconds)
+          .Add("greedy_speedup",
+               pruned_seconds > 0.0 ? full_seconds / pruned_seconds : 0.0)
+          .Add("index_build_seconds", index_build_seconds)
+          .Add("bit_equal", static_cast<long long>(equal ? 1 : 0));
+      if (!equal) {
+        std::cerr << "greedy_" << n << ": pruned answer diverged\n";
+        gates_ok = false;
+      }
+    }
+
+    // Epoch publish latency: the same insert/erase stream through a
+    // corpus with index maintenance on vs off.
+    {
+      engine::Corpus plain(weights, vectors, 0.5);
+      engine::Corpus indexed(weights, vectors, 0.5);
+      PruningIndex::Options maintain = options;
+      indexed.EnablePruning(maintain);
+      Rng churn(seed + 7);
+      const int kEpochs = 40;
+      double plain_seconds = 0.0;
+      double indexed_seconds = 0.0;
+      for (int e = 0; e < kEpochs; ++e) {
+        std::vector<double> fresh(dim);
+        for (double& x : fresh) x = churn.Uniform(0.0, 10.0);
+        const std::vector<engine::CorpusUpdate> epoch = {
+            engine::CorpusUpdate::InsertVector(0.5, fresh),
+            engine::CorpusUpdate::Erase(e)};
+        WallTimer plain_wall;
+        plain.Apply(epoch);
+        plain_seconds += plain_wall.Seconds();
+        WallTimer indexed_wall;
+        indexed.Apply(epoch);
+        indexed_seconds += indexed_wall.Seconds();
+      }
+      json.NewRecord("publish_" + std::to_string(n))
+          .Add("n", static_cast<long long>(n))
+          .Add("epochs", static_cast<long long>(kEpochs))
+          .Add("plain_seconds", plain_seconds)
+          .Add("indexed_seconds", indexed_seconds)
+          .Add("publish_overhead_x",
+               plain_seconds > 0.0 ? indexed_seconds / plain_seconds : 0.0);
+    }
+  }
+
+  json.WriteFile();
+  if (!gates_ok) {
+    if (std::getenv("DIVERSE_BENCH_NO_GATE") != nullptr) {
+      std::cout << "DIVERSE_BENCH_NO_GATE set: pruning gates not enforced\n";
+      return 0;
+    }
+    std::cerr << "candidate_pruning: self-gate failed (set "
+                 "DIVERSE_BENCH_NO_GATE=1 to override)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace diverse
+
+int main(int argc, char** argv) {
+  int dim = 64;
+  int p = 40;
+  int rounds = 6;
+  std::int64_t seed = 1;
+  diverse::FlagSet flags(
+      "candidate_pruning — pivot-index pruned scans vs full scans "
+      "(best-swap local search + greedy, vector and dense backends) and "
+      "epoch-publish overhead of index maintenance; writes "
+      "BENCH_pruning.json");
+  flags.AddInt("dim", &dim, "feature-vector dimension");
+  flags.AddInt("p", &p, "solution size");
+  flags.AddInt("rounds", &rounds, "best-swap rounds per arm");
+  flags.AddInt64("seed", &seed, "random seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  return diverse::Run(dim, p, rounds, static_cast<std::uint64_t>(seed));
+}

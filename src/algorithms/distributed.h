@@ -37,9 +37,20 @@
 
 #include "algorithms/result.h"
 #include "core/diversification_problem.h"
+#include "core/incremental_evaluator.h"
 #include "util/random.h"
 
 namespace diverse {
+
+// Scan tuning shared by the candidate-restricted greedy entry points:
+// evaluator thread options plus an optional pivot pruning index. When the
+// index is usable, greedy rounds run through the pruned scanner
+// (core/incremental_evaluator.h) — results stay bit-equal to the full
+// scan, so config choices never change answers.
+struct CandidateScanConfig {
+  IncrementalEvaluator::Options eval{};
+  const PruningIndex* pruning = nullptr;
+};
 
 struct DistributedOptions {
   int p = 0;
@@ -48,6 +59,8 @@ struct DistributedOptions {
   int num_shards = 4;
   // Elements each shard returns; defaults to p when <= 0.
   int per_shard = 0;
+  // Scan tuning for the per-shard and kernel greedy runs.
+  CandidateScanConfig scan{};
 };
 
 // Shard id in [0, num_shards) for `element` under `salt` — a pure function
@@ -65,6 +78,10 @@ std::vector<std::vector<int>> AssignShards(std::span<const int> candidates,
 AlgorithmResult GreedyVertexOnCandidates(const DiversificationProblem& problem,
                                          const std::vector<int>& candidates,
                                          int p);
+AlgorithmResult GreedyVertexOnCandidates(const DiversificationProblem& problem,
+                                         const std::vector<int>& candidates,
+                                         int p,
+                                         const CandidateScanConfig& config);
 
 // Round 2 of the two-round scheme, shared verbatim by ShardedGreedy and
 // the RPC coordinator (src/rpc/coordinator.cc) so the two paths cannot
@@ -77,7 +94,8 @@ AlgorithmResult GreedyVertexOnCandidates(const DiversificationProblem& problem,
 // steps counts the kernel run only; callers add the per-shard steps.
 AlgorithmResult MergeShardSolutions(
     const DiversificationProblem& problem,
-    const std::vector<std::vector<int>>& local_solutions, int p);
+    const std::vector<std::vector<int>>& local_solutions, int p,
+    const CandidateScanConfig& config = CandidateScanConfig());
 
 // The two-round scheme over an explicit candidate pool: hash-partition with
 // `salt`, Greedy B per shard (per_shard <= 0 defaults to p), union the
@@ -88,6 +106,10 @@ AlgorithmResult ShardedGreedy(const DiversificationProblem& problem,
                               std::span<const int> candidates, int p,
                               int num_shards, int per_shard,
                               std::uint64_t salt);
+AlgorithmResult ShardedGreedy(const DiversificationProblem& problem,
+                              std::span<const int> candidates, int p,
+                              int num_shards, int per_shard, std::uint64_t salt,
+                              const CandidateScanConfig& config);
 
 AlgorithmResult DistributedGreedy(const DiversificationProblem& problem,
                                   const DistributedOptions& options,

@@ -15,6 +15,7 @@
 
 #include "algorithms/result.h"
 #include "core/diversification_problem.h"
+#include "core/incremental_evaluator.h"
 #include "matroid/matroid.h"
 
 namespace diverse {
@@ -35,6 +36,15 @@ struct LocalSearchOptions {
   // objective gain (true) or by lowest index (false, the paper's
   // "arbitrary" completion).
   bool greedy_completion = true;
+  // Batched-scan tuning for the incremental evaluator; never changes
+  // results (scans are deterministic regardless of thread count).
+  IncrementalEvaluator::Options eval{};
+  // Optional pivot index over the problem's metric: each round first runs
+  // the pruned best-swap scan (bit-equal to the full scan, see
+  // core/incremental_evaluator.h) and only falls back to full swap
+  // scoring when the globally best swap is matroid-infeasible. Must
+  // outlive the call.
+  const PruningIndex* pruning = nullptr;
 };
 
 AlgorithmResult LocalSearch(const DiversificationProblem& problem,

@@ -35,6 +35,11 @@ IncrementalEvaluator::IncrementalEvaluator(SolutionState* state,
                                            Options options)
     : state_(state), options_(options) {
   DIVERSE_CHECK(state != nullptr);
+  // Built eagerly: the universe size is fixed per problem, and an eager
+  // build keeps Universe() a pure read that concurrent const scans can
+  // share without synchronization.
+  universe_.resize(static_cast<std::size_t>(state->universe_size()));
+  std::iota(universe_.begin(), universe_.end(), 0);
 }
 
 double IncrementalEvaluator::GainOfAdd(int u) const {
@@ -141,6 +146,97 @@ BestSwapResult IncrementalEvaluator::BestSwapOver(
   return best;
 }
 
+void IncrementalEvaluator::ScanSwapInsPruned(int out, std::span<const int> ins,
+                                             const PruningBounds& bounds,
+                                             std::span<double> profile,
+                                             BestSwapResult* best) const {
+  DIVERSE_DCHECK(state_->Contains(out));
+  batch_scans_.Inc();
+  const double lambda = state_->lambda();
+  const MetricSpace& metric = state_->problem().metric();
+  const double dist_out = state_->DistanceToSet(out);
+  const bool bounded = bounds.Profile(out, profile);
+  bool violated = false;
+  long long scored = 0;
+  long long pruned = 0;
+  WithQualityRemoved(out, [&](const SetFunctionEvaluator& eval) {
+    const double f_out = eval.Gain(out);  // f(S) - f(S - out)
+    for (int in : ins) {
+      if (in == out || state_->Contains(in)) continue;
+      if (bounded && best->valid()) {
+        // Exact expression shape of the full scan with the distance lower
+        // bound substituted for d(in, out): rounding monotonicity then
+        // guarantees gain_ub >= the exact gain bit-wise, so a skipped
+        // candidate could at most tie the running best — and ties lose to
+        // the earlier holder.
+        const double lb = bounds.Lower(profile, in);
+        const double gain_ub =
+            (eval.Gain(in) - f_out) +
+            lambda * (state_->DistanceToSet(in) - lb - dist_out);
+        if (gain_ub <= best->gain) {
+          ++pruned;
+          continue;
+        }
+      }
+      const double d_in_out = metric.Distance(in, out);
+      if (bounded && !bounds.Consistent(profile, in, d_in_out)) {
+        violated = true;
+        break;
+      }
+      const double gain =
+          (eval.Gain(in) - f_out) +
+          lambda * (state_->DistanceToSet(in) - d_in_out - dist_out);
+      ++scored;
+      if (!best->valid() || gain > best->gain) *best = {out, in, gain};
+    }
+    return 0;
+  });
+  candidates_scored_.Inc(scored);
+  if (!bounded) return;
+  candidates_pruned_.Inc(pruned);
+  GlobalPruningCounters().candidates_pruned.Inc(pruned);
+  if (!violated) {
+    certified_scans_.Inc();
+    GlobalPruningCounters().certified_scans.Inc();
+    return;
+  }
+  // The data violates the triangle inequality beyond slack: the bounds
+  // (and every pruning decision for this out) are unsound. Demote to the
+  // unpruned reference scan.
+  fallback_scans_.Inc();
+  GlobalPruningCounters().fallback_scans.Inc();
+  const ScoredCandidate full = BestSwapInFor(out, ins);
+  if (full.valid() && (!best->valid() || full.gain > best->gain)) {
+    *best = {out, full.element, full.gain};
+  }
+}
+
+ScoredCandidate IncrementalEvaluator::BestSwapInForPruned(
+    int out, std::span<const int> ins, const PruningIndex& index) const {
+  PruningBounds bounds(index, state_->problem().metric());
+  std::vector<double> profile(static_cast<std::size_t>(bounds.num_pivots()));
+  BestSwapResult best;
+  ScanSwapInsPruned(out, ins, bounds, profile, &best);
+  ScoredCandidate result;
+  if (best.valid()) {
+    result.element = best.in;
+    result.gain = best.gain;
+  }
+  return result;
+}
+
+BestSwapResult IncrementalEvaluator::BestSwapOverPruned(
+    std::span<const int> outs, std::span<const int> ins,
+    const PruningIndex& index) const {
+  PruningBounds bounds(index, state_->problem().metric());
+  std::vector<double> profile(static_cast<std::size_t>(bounds.num_pivots()));
+  BestSwapResult best;
+  for (int out : outs) {
+    ScanSwapInsPruned(out, ins, bounds, profile, &best);
+  }
+  return best;
+}
+
 void IncrementalEvaluator::ScoreSwapsFor(int out, std::span<const int> ins,
                                          std::span<double> gains) const {
   DIVERSE_DCHECK(state_->Contains(out));
@@ -191,10 +287,6 @@ double IncrementalEvaluator::BlockPrimeAddGain(
 }
 
 std::span<const int> IncrementalEvaluator::Universe() const {
-  if (static_cast<int>(universe_.size()) != state_->universe_size()) {
-    universe_.resize(state_->universe_size());
-    std::iota(universe_.begin(), universe_.end(), 0);
-  }
   return universe_;
 }
 
@@ -205,6 +297,9 @@ IncrementalEvaluator::Stats IncrementalEvaluator::stats() const {
   stats.swap_gain_queries = swap_gain_queries_.value();
   stats.batch_scans = batch_scans_.value();
   stats.candidates_scored = candidates_scored_.value();
+  stats.candidates_pruned = candidates_pruned_.value();
+  stats.certified_scans = certified_scans_.value();
+  stats.fallback_scans = fallback_scans_.value();
   return stats;
 }
 
@@ -221,6 +316,135 @@ void IncrementalEvaluator::RegisterMetrics(obs::MetricRegistry* registry,
       prefix + "_batch_scans_total", &batch_scans_));
   registrations_.push_back(registry->RegisterCounter(
       prefix + "_candidates_scored_total", &candidates_scored_));
+  registrations_.push_back(registry->RegisterCounter(
+      prefix + "_candidates_pruned_total", &candidates_pruned_));
+  registrations_.push_back(registry->RegisterCounter(
+      prefix + "_certified_scans_total", &certified_scans_));
+  registrations_.push_back(registry->RegisterCounter(
+      prefix + "_fallback_scans_total", &fallback_scans_));
+}
+
+PrunedGreedyScanner::PrunedGreedyScanner(SolutionState* state,
+                                         const PruningIndex& index)
+    : state_(state), bounds_(index, state->problem().metric()) {
+  DIVERSE_CHECK(state != nullptr);
+  DIVERSE_CHECK_MSG(state->size() == 0,
+                    "PrunedGreedyScanner requires an empty starting state");
+  use_bounds_ = bounds_.active();
+  const std::size_t n = static_cast<std::size_t>(state->universe_size());
+  dts_.assign(n, 0.0);
+  dts_ub_.assign(n, 0.0);
+  exact_upto_.assign(n, 0);
+  ub_upto_.assign(n, 0);
+}
+
+double PrunedGreedyScanner::QualityGain(int c) const {
+  return state_->eval_->Gain(c);
+}
+
+double PrunedGreedyScanner::Refresh(int c, bool check) {
+  const int k = static_cast<int>(added_.size());
+  if (exact_upto_[c] == k) return dts_[c];
+  const int from = exact_upto_[c];
+  ids_scratch_.assign(added_.begin() + from, added_.end());
+  scratch_.resize(ids_scratch_.size());
+  const MetricSpace& metric = state_->problem().metric();
+  if (const MetricBackend* backend = AsBackend(&metric)) {
+    backend->DistancesTo(c, ids_scratch_, scratch_);
+  } else {
+    for (std::size_t i = 0; i < ids_scratch_.size(); ++i) {
+      scratch_[i] = metric.Distance(c, ids_scratch_[i]);
+    }
+  }
+  for (std::size_t i = 0; i < ids_scratch_.size(); ++i) {
+    // Same accumulation order as SolutionState::Add's per-round row
+    // refresh, so the partial sums — and hence PrimeGain — match it
+    // bit-wise.
+    dts_[c] += scratch_[i];
+    if (check && use_bounds_ &&
+        !bounds_.Consistent(profiles_[static_cast<std::size_t>(from) + i], c,
+                            scratch_[i])) {
+      round_violation_ = true;
+    }
+  }
+  exact_upto_[c] = k;
+  dts_ub_[c] = dts_[c];
+  ub_upto_[c] = k;
+  return dts_[c];
+}
+
+ScoredCandidate PrunedGreedyScanner::AddBest(std::span<const int> candidates) {
+  ++stats_.batch_scans;
+  const double lambda = state_->lambda();
+  const int k = static_cast<int>(added_.size());
+  round_violation_ = false;
+  ScoredCandidate best;
+  long long pruned = 0;
+  for (int c : candidates) {
+    if (state_->Contains(c)) continue;
+    const double f_gain = QualityGain(c);
+    if (use_bounds_) {
+      // Fold the missed rounds' pivot upper bounds into dts_ub in add
+      // order — the same accumulation shape as the exact refresh, so
+      // rounding monotonicity keeps dts <= dts_ub bit-wise.
+      for (int j = ub_upto_[c]; j < k; ++j) {
+        dts_ub_[c] =
+            dts_ub_[c] + bounds_.Upper(profiles_[static_cast<std::size_t>(j)],
+                                       c);
+      }
+      ub_upto_[c] = k;
+      if (best.valid()) {
+        // PrimeGain's exact expression shape with the upper accumulation
+        // substituted for dist_to_set.
+        const double gain_ub = 0.5 * f_gain + lambda * dts_ub_[c];
+        if (gain_ub <= best.gain) {
+          ++pruned;
+          continue;
+        }
+      }
+    }
+    const double dts = Refresh(c, /*check=*/true);
+    if (round_violation_) break;
+    const double gain = 0.5 * f_gain + lambda * dts;
+    ++stats_.candidates_scored;
+    if (!best.valid() || gain > best.gain) {
+      best.element = c;
+      best.gain = gain;
+    }
+  }
+  if (round_violation_) {
+    // Non-metric data: every pruning decision this round is unsound.
+    // Rescore the whole round exactly.
+    ++stats_.fallback_scans;
+    GlobalPruningCounters().fallback_scans.Inc();
+    best = ScoredCandidate();
+    for (int c : candidates) {
+      if (state_->Contains(c)) continue;
+      const double gain =
+          0.5 * QualityGain(c) + lambda * Refresh(c, /*check=*/false);
+      ++stats_.candidates_scored;
+      if (!best.valid() || gain > best.gain) {
+        best.element = c;
+        best.gain = gain;
+      }
+    }
+  } else if (use_bounds_) {
+    stats_.candidates_pruned += pruned;
+    ++stats_.certified_scans;
+    GlobalPruningCounters().candidates_pruned.Inc(pruned);
+    GlobalPruningCounters().certified_scans.Inc();
+  }
+  if (!best.valid()) return best;
+  state_->AddPrescored(best.element, dts_[best.element]);
+  if (use_bounds_) {
+    profiles_.emplace_back(static_cast<std::size_t>(bounds_.num_pivots()));
+    if (!bounds_.Profile(best.element, profiles_.back())) {
+      // Member outside the index's coverage: stop pruning, stay exact.
+      use_bounds_ = false;
+    }
+  }
+  added_.push_back(best.element);
+  return best;
 }
 
 }  // namespace diverse

@@ -37,6 +37,7 @@
 
 #include "core/parallel_scan.h"
 #include "core/solution_state.h"
+#include "metric/pruning_index.h"
 #include "obs/metric_registry.h"
 #include "obs/metrics.h"
 
@@ -67,6 +68,9 @@ class IncrementalEvaluator {
     long long swap_gain_queries = 0;    // GainOfSwap queries
     long long batch_scans = 0;          // batched argmax/score calls
     long long candidates_scored = 0;    // candidates scored across scans
+    long long candidates_pruned = 0;    // skipped by pivot bounds
+    long long certified_scans = 0;      // pruned scans certified exact
+    long long fallback_scans = 0;       // pruned scans demoted to full
   };
 
   // `state` must outlive the evaluator. The evaluator holds no copies of
@@ -110,6 +114,28 @@ class IncrementalEvaluator {
   BestSwapResult BestSwapOver(std::span<const int> outs,
                               std::span<const int> ins) const;
 
+  // Pruned swap scans: bit-equal to BestSwapInFor / BestSwapOver on the
+  // same state, by construction. The scan walks `ins` sequentially in
+  // position order carrying the running best exact gain; a candidate is
+  // skipped only when its bound-derived gain upper bound (triangle-
+  // inequality lower bound on d(in, out), evaluated in the exact
+  // expression shape of the full scan so IEEE rounding monotonicity
+  // applies) cannot strictly beat the running best — a skipped candidate
+  // could at most tie, and ties lose to the earlier holder. Every exactly
+  // scored candidate's distance is cross-checked against its bound
+  // interval; any violation (non-metric data) demotes that out's scan to
+  // an unpruned rescan. Counters: certified vs fallback scans, pruned
+  // candidates.
+  ScoredCandidate BestSwapInForPruned(int out, std::span<const int> ins,
+                                      const PruningIndex& index) const;
+
+  // Pruned equivalent of BestSwapOver; the running best is carried across
+  // outs for extra pruning while preserving the earliest-(out, in) tie
+  // rule.
+  BestSwapResult BestSwapOverPruned(std::span<const int> outs,
+                                    std::span<const int> ins,
+                                    const PruningIndex& index) const;
+
   // Fills gains[i] = GainOfSwap(out, ins[i]), or -infinity for skipped
   // candidates (members of S and `out` itself). gains.size() must equal
   // ins.size().
@@ -121,7 +147,9 @@ class IncrementalEvaluator {
   // computed via |B| incremental quality updates (net state unchanged).
   double BlockPrimeAddGain(std::span<const int> block) const;
 
-  // All elements {0, .., n-1} as a reusable candidate list.
+  // All elements {0, .., n-1} as a reusable candidate list. Built eagerly
+  // at construction (the universe size is fixed per state), so concurrent
+  // const scans share a read-only span.
   std::span<const int> Universe() const;
 
   Stats stats() const;
@@ -139,17 +167,87 @@ class IncrementalEvaluator {
   template <typename Fn>
   auto WithQualityRemoved(int out, Fn&& fn) const;
 
+  // One pruned inner scan over `ins` for a fixed out, folding into *best.
+  // `profile` is scratch of size bounds.num_pivots(). On a bound
+  // violation the out's scan is redone via the unpruned BestSwapInFor.
+  void ScanSwapInsPruned(int out, std::span<const int> ins,
+                         const PruningBounds& bounds,
+                         std::span<double> profile,
+                         BestSwapResult* best) const;
+
   SolutionState* state_;
   Options options_;
-  mutable std::vector<int> universe_;  // lazily built by Universe()
+  std::vector<int> universe_;  // built eagerly at construction
 
   mutable obs::Counter add_gain_queries_;
   mutable obs::Counter remove_gain_queries_;
   mutable obs::Counter swap_gain_queries_;
   mutable obs::Counter batch_scans_;
   mutable obs::Counter candidates_scored_;
+  mutable obs::Counter candidates_pruned_;
+  mutable obs::Counter certified_scans_;
+  mutable obs::Counter fallback_scans_;
   // Declared last so the views unregister before the counters they read.
   std::vector<obs::MetricRegistry::Registration> registrations_;
+};
+
+// Pruned greedy-add driver: runs Greedy B rounds over a fixed candidate
+// list, bit-equal to `BestPrimeAddOver + SolutionState::Add` per round,
+// while avoiding the O(n) dist-to-set row refresh per add that dominates
+// greedy on lazy (vector) backends.
+//
+// Per candidate c it maintains
+//   dts[c]    — d_c(S') exact through the first `exact_upto[c]` adds,
+//   dts_ub[c] — an upper accumulation extended with pivot UpperBound
+//               terms per missed round, in add order, so IEEE rounding
+//               monotonicity gives dts[c] <= dts_ub[c] bit-wise.
+// A round scans candidates in position order: the prime-gain upper bound
+// (0.5 f_gain + lambda * dts_ub, the exact PrimeGain expression shape)
+// prunes candidates that cannot strictly beat the running best; survivors
+// refresh dts exactly via one batched DistancesTo over the missed members
+// (same accumulation order as SolutionState::Add, hence bit-equal) with
+// the per-distance bound cross-check, and the winner is applied through
+// SolutionState::AddPrescored. A detected bound violation rescores the
+// whole round exactly (fallback).
+//
+// The scanner owns `state` exclusively for the duration of the greedy run
+// (state must start empty); the state's dist_to_set_ cache is left stale
+// and must not be consulted afterwards — callers read members() and
+// objective(), which stay exact.
+class PrunedGreedyScanner {
+ public:
+  PrunedGreedyScanner(SolutionState* state, const PruningIndex& index);
+
+  // Scores `candidates` (members skipped), applies the best prime-gain
+  // add, and returns it; invalid result (and no mutation) when no
+  // candidate qualifies. Bit-equal to
+  // `eval.BestPrimeAddOver(candidates); state.Add(best)`.
+  ScoredCandidate AddBest(std::span<const int> candidates);
+
+  IncrementalEvaluator::Stats stats() const { return stats_; }
+
+ private:
+  // Brings dts_[c] exact through all current members (one batched
+  // DistancesTo over the missed adds, accumulated in add order); when
+  // `check` is set, each fresh distance is cross-checked against the
+  // member's bound interval, flagging round_violation_ on failure.
+  double Refresh(int c, bool check);
+  double QualityGain(int c) const;
+
+  SolutionState* state_;
+  PruningBounds bounds_;
+  bool use_bounds_ = false;
+  bool round_violation_ = false;
+  std::vector<int> added_;  // members in add order
+  // Pivot-distance profile of added_[j], cached at apply time.
+  std::vector<std::vector<double>> profiles_;
+  std::vector<double> dts_;
+  std::vector<double> dts_ub_;
+  std::vector<int> exact_upto_;
+  std::vector<int> ub_upto_;
+  std::vector<double> scratch_;
+  std::vector<int> ids_scratch_;
+  IncrementalEvaluator::Stats stats_;
 };
 
 }  // namespace diverse

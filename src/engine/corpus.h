@@ -44,6 +44,7 @@
 #include "metric/dense_metric.h"
 #include "metric/metric_backend.h"
 #include "metric/metric_space.h"
+#include "metric/pruning_index.h"
 #include "metric/vector_metric.h"
 #include "submodular/modular_function.h"
 
@@ -182,6 +183,12 @@ class CorpusSnapshot {
   // derived via the WithQuality/WithLambda hooks.
   const DiversificationProblem& problem() const { return problem_; }
 
+  // Pivot pruning index over this version's metric payload, or nullptr
+  // when the corpus serves without one. Shared across non-structural
+  // epochs (copy-on-write); never changes query answers (pruned scans are
+  // bit-equal to full scans).
+  const PruningIndex* pruning() const { return pruning_.get(); }
+
   // Deep-copies this version into a serializable state image.
   CorpusState State() const;
 
@@ -191,7 +198,8 @@ class CorpusSnapshot {
   CorpusSnapshot(std::uint64_t version, std::vector<double> weights,
                  MetricRepr repr, std::shared_ptr<const DenseMetric> metric,
                  std::shared_ptr<const VectorMetric> vectors,
-                 std::vector<char> alive, double lambda);
+                 std::vector<char> alive, double lambda,
+                 std::shared_ptr<const PruningIndex> pruning);
   CorpusSnapshot(const CorpusSnapshot&) = delete;
   CorpusSnapshot& operator=(const CorpusSnapshot&) = delete;
 
@@ -203,6 +211,7 @@ class CorpusSnapshot {
   const MetricBackend* backend_;  // whichever payload is populated
   std::vector<char> alive_;
   std::vector<int> candidates_;
+  std::shared_ptr<const PruningIndex> pruning_;  // may be null
   DiversificationProblem problem_;  // must follow weights_/metric payloads
 };
 
@@ -251,9 +260,25 @@ class Corpus {
   // version. CHECK-aborts on an invalid image.
   std::uint64_t Restore(CorpusState state);
 
+  // Turns on pivot-index pruning: builds the index over the current alive
+  // ids and republishes the current version with it attached. From then
+  // on every epoch maintains the index — insert epochs extend coverage
+  // (lazy representations gain exact pivot columns), erase epochs mask
+  // (bounds for retired ids are simply never queried), SetDistance and
+  // weight-only epochs invalidate nothing (dense indexes read resident
+  // pivot rows live; kSetDistance does not exist under kVector). A
+  // staleness counter of structural updates triggers a deterministic
+  // rebuild after config.rebuild_after (pivot quality only, never
+  // correctness). Answers are unaffected either way; survives Restore.
+  void EnablePruning(const PruningIndex::Options& config);
+
  private:
   SnapshotPtr Build() const;             // caller holds writer_mu_
   std::uint64_t RestoreLocked(CorpusState state);
+  // (Re)builds the pruning index over the current payload's alive ids;
+  // caller holds writer_mu_ and has set pruning_config_.
+  void RebuildPruningLocked();
+  const MetricBackend* BackendLocked() const;
 
   mutable std::mutex writer_mu_;
   // Master state, guarded by writer_mu_. The metric payload is shared
@@ -265,6 +290,13 @@ class Corpus {
   std::vector<char> alive_;
   double lambda_;
   std::uint64_t version_ = 0;
+  // Pruning state, guarded by writer_mu_. `pruning_` is the immutable
+  // index shared with published snapshots; `pruning_staleness_` counts
+  // structural updates since the last (re)build.
+  bool pruning_enabled_ = false;
+  PruningIndex::Options pruning_config_;
+  std::shared_ptr<const PruningIndex> pruning_;
+  int pruning_staleness_ = 0;
 
   std::atomic<SnapshotPtr> current_;
 };

@@ -74,6 +74,16 @@ class DiversificationEngine {
     // Sampling denominator (~1/N of untraced queries); <= 1 samples
     // every query (what the integration tests use).
     std::uint32_t trace_sample_every = 64;
+    // Candidate pruning: when != kOff the corpus builds and maintains a
+    // pivot index (metric/pruning_index.h) under `pruning_config`, and
+    // queries choose per-request via Query::pruning whether their scans
+    // use it. Pruned scans are bit-equal to full scans — this knob only
+    // trades index maintenance cost against scan speed, never answers.
+    PruningMode pruning = PruningMode::kAuto;
+    PruningIndex::Options pruning_config{};
+    // Batched-scan tuning (threads / grain) applied to every query's
+    // evaluator runs; never changes answers.
+    IncrementalEvaluator::Options eval{};
   };
 
   // Always-on counters.

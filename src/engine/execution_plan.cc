@@ -100,6 +100,18 @@ std::vector<double> FitToUniverse(const std::vector<double>& values, int n,
 
 }  // namespace
 
+const PruningIndex* ResolvePruning(const CorpusSnapshot& snapshot,
+                                   PruningMode mode) {
+  const PruningIndex* index = snapshot.pruning();
+  if (index == nullptr || !index->usable() || mode == PruningMode::kOff) {
+    return nullptr;
+  }
+  if (mode == PruningMode::kForce) return index;
+  // kAuto: only lazy representations pay a per-candidate distance kernel
+  // worth avoiding; dense snapshots serve resident rows for free.
+  return snapshot.repr() == MetricRepr::kVector ? index : nullptr;
+}
+
 ProblemView MakeProblemView(const CorpusSnapshot& snapshot,
                             const std::vector<double>& relevance,
                             double lambda) {
@@ -135,6 +147,12 @@ QueryResult ExecuteQuery(const CorpusSnapshot& snapshot, const Query& query,
       MakeProblemView(snapshot, query.relevance, query.lambda);
   const DiversificationProblem& problem = view.problem;
 
+  // Scan tuning + optional pruning index, shared by every kernel this
+  // query runs. Neither changes answers.
+  CandidateScanConfig scan;
+  scan.eval = defaults.eval;
+  scan.pruning = ResolvePruning(snapshot, query.pruning);
+
   AlgorithmResult algo;
   if (query.plan == PlanKind::kSharded) {
     DIVERSE_CHECK_MSG(query.algorithm == QueryAlgorithm::kGreedy,
@@ -142,11 +160,11 @@ QueryResult ExecuteQuery(const CorpusSnapshot& snapshot, const Query& query,
     const int shards =
         query.num_shards > 0 ? query.num_shards : defaults.num_shards;
     algo = ShardedGreedy(problem, candidates, p, shards, query.per_shard,
-                         query.shard_salt);
+                         query.shard_salt, scan);
   } else {
     switch (query.algorithm) {
       case QueryAlgorithm::kGreedy:
-        algo = GreedyVertexOnCandidates(problem, candidates, p);
+        algo = GreedyVertexOnCandidates(problem, candidates, p, scan);
         break;
       case QueryAlgorithm::kLocalSearch: {
         std::optional<UniformMatroid> uniform;
@@ -165,11 +183,15 @@ QueryResult ExecuteQuery(const CorpusSnapshot& snapshot, const Query& query,
           live.emplace(constraint, &snapshot);
           constraint = &*live;
         }
-        algo = LocalSearch(problem, *constraint, {});
+        LocalSearchOptions options;
+        options.eval = scan.eval;
+        options.pruning = scan.pruning;
+        algo = LocalSearch(problem, *constraint, options);
         break;
       }
       case QueryAlgorithm::kKnapsack: {
         KnapsackOptions options;
+        options.eval = scan.eval;
         options.costs = FitToUniverse(query.costs, n, 0.0);
         options.budget = query.budget;
         // Retired ids are masked by an infinite cost: infeasible both as

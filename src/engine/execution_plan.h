@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/incremental_evaluator.h"
 #include "engine/corpus.h"
 #include "engine/query.h"
 
@@ -65,7 +66,16 @@ struct PlanDefaults {
   int num_shards = 4;  // used when query.num_shards == 0
   // Required for PlanKind::kRemoteSharded queries; unused otherwise.
   RemoteExecutor* remote = nullptr;
+  // Batched-scan tuning applied to every algorithm run; never changes
+  // answers.
+  IncrementalEvaluator::Options eval{};
 };
+
+// Resolves the index scans should use for (snapshot, mode): the
+// snapshot's index under kForce, the index only on lazy (vector)
+// snapshots under kAuto, nullptr otherwise. Never changes answers.
+const PruningIndex* ResolvePruning(const CorpusSnapshot& snapshot,
+                                   PruningMode mode);
 
 // Answers `query` on `snapshot`. latency_seconds is the execution time
 // only; the engine overwrites it with queue-inclusive latency.

@@ -41,7 +41,9 @@
 #include <vector>
 
 #include "engine/corpus.h"
+#include "engine/query.h"
 #include "metric/dense_metric.h"
+#include "metric/pruning_index.h"
 #include "obs/metric_registry.h"
 #include "obs/metrics.h"
 #include "obs/trace_buffer.h"
@@ -83,6 +85,13 @@ class ShardNode : public Handler {
     // kernel never sees the trace.
     obs::TraceBuffer* trace_buffer = nullptr;
     std::uint32_t trace_sample_every = 64;  // <= 1 samples every query
+    // Candidate pruning on the replica's kernels (engine/query.h
+    // semantics): != kOff makes the replica maintain a pivot index and
+    // kernel scans use it per the mode. Pruned kernels are bit-equal to
+    // full ones, so coordinator merges stay bit-equal regardless of how
+    // each node sets this.
+    engine::PruningMode pruning = engine::PruningMode::kAuto;
+    PruningIndex::Options pruning_config{};
   };
 
   struct Stats {

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
+#include <thread>
 #include <vector>
 
 #include "algorithms/batch_greedy.h"
@@ -297,6 +299,36 @@ TEST(IncrementalEvaluatorTest, ScanResultsIndependentOfThreadCount) {
   EXPECT_EQ(sa.out, sb.out);
   EXPECT_EQ(sa.in, sb.in);
   EXPECT_EQ(sa.gain, sb.gain);
+}
+
+// Regression for a lazy-rebuild race: Universe() used to resize a mutable
+// cache vector inside a const method, so two threads scanning the same
+// (const) evaluator raced on the resize. The universe list is now built
+// eagerly at construction; this test hammers Universe() and the read-only
+// add scans that consume it from many threads — under TSan it fails
+// loudly if the lazy rebuild ever comes back. (Swap scans stay out of the
+// threaded section on purpose: BestSwapInFor scopes a quality-evaluator
+// mutation, so concurrent swap scans on one evaluator instance were never
+// a supported pattern — every engine query owns its own evaluator.)
+TEST(IncrementalEvaluatorTest, UniverseIsSafeUnderConcurrentScans) {
+  Instance inst(80, 0.3, 91);
+  SolutionState state(&inst.problem);
+  for (int v : {3, 17, 42, 61}) state.Add(v);
+  const IncrementalEvaluator eval(&state, ForcedThreads());
+  const ScoredCandidate expected_add = eval.BestAddOver(eval.Universe());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        const std::span<const int> universe = eval.Universe();
+        ASSERT_EQ(static_cast<int>(universe.size()), 80);
+        const ScoredCandidate add = eval.BestAddOver(universe);
+        EXPECT_EQ(add.element, expected_add.element);
+        EXPECT_EQ(add.gain, expected_add.gain);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
 }
 
 // The rewired algorithms must report objectives that equal a from-scratch

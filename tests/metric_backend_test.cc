@@ -15,6 +15,8 @@
 #include "engine/engine.h"
 #include "engine/query.h"
 #include "metric/dense_metric.h"
+#include "metric/graph_metric.h"
+#include "metric/jaccard_metric.h"
 #include "metric/metric_backend.h"
 #include "metric/vector_metric.h"
 #include "util/random.h"
@@ -155,6 +157,98 @@ TEST(DistanceCacheDelegateTest, ForwardsToBaseKernels) {
   cache.Refresh(0, 1);
   EXPECT_EQ(cache.Distance(0, 1), vectors.Distance(0, 1));
   EXPECT_GE(cache.version(), version);
+}
+
+// ---- Default batched fallbacks over plain scalar metrics -------------------
+
+// The thinnest possible backend: nothing overridden beyond the scalar
+// interface, so DistanceRow/DistancesTo run MetricBackend's own default
+// loops. Wrapping metrics that are NOT backends (graph shortest paths,
+// Jaccard sets) proves the defaults hold the bit-equality contract for
+// arbitrary scalar implementations, not just the vector kernel.
+class ScalarOnlyBackend : public MetricBackend {
+ public:
+  explicit ScalarOnlyBackend(const MetricSpace* base) : base_(base) {}
+  int size() const override { return base_->size(); }
+  double Distance(int u, int v) const override {
+    return base_->Distance(u, v);
+  }
+
+ private:
+  const MetricSpace* base_;
+};
+
+TEST(MetricBackendDefaultsTest, GraphMetricRowsBitEqualScalar) {
+  // A connected weighted graph whose shortest paths are served per-pair.
+  const int n = 12;
+  std::vector<WeightedEdge> edges;
+  Rng rng(41);
+  for (int i = 1; i < n; ++i) {
+    edges.push_back({rng.UniformInt(0, i - 1), i, rng.Uniform(0.5, 2.0)});
+  }
+  for (int extra = 0; extra < 8; ++extra) {
+    const int a = rng.UniformInt(0, n - 1);
+    const int b = rng.UniformInt(0, n - 1);
+    if (a != b) edges.push_back({a, b, rng.Uniform(0.5, 3.0)});
+  }
+  const GraphMetric graph(n, edges);
+  ASSERT_EQ(AsBackend(&graph), nullptr);  // plain MetricSpace, no backend
+  const ScalarOnlyBackend backend(&graph);
+
+  std::vector<double> row(n);
+  for (int u = 0; u < n; ++u) {
+    backend.DistanceRow(u, row);
+    for (int v = 0; v < n; ++v) {
+      EXPECT_EQ(row[v], graph.Distance(u, v));
+    }
+  }
+  const std::vector<int> ids = {3, 0, 11, 3, 7};
+  std::vector<double> out(ids.size());
+  backend.DistancesTo(5, ids, out);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(out[i], graph.Distance(5, ids[i]));
+  }
+  // The default backend stores nothing, so there is no resident row.
+  EXPECT_EQ(backend.TryRow(0), nullptr);
+}
+
+TEST(MetricBackendDefaultsTest, JaccardMetricRowsBitEqualScalar) {
+  std::vector<std::vector<int>> attributes;
+  Rng rng(43);
+  for (int i = 0; i < 15; ++i) {
+    std::vector<int> attrs;
+    const int count = rng.UniformInt(0, 6);
+    for (int j = 0; j < count; ++j) attrs.push_back(rng.UniformInt(0, 9));
+    attributes.push_back(std::move(attrs));
+  }
+  const JaccardMetric jaccard(std::move(attributes));
+  ASSERT_EQ(AsBackend(&jaccard), nullptr);
+  const ScalarOnlyBackend backend(&jaccard);
+
+  const int n = backend.size();
+  std::vector<double> row(n);
+  for (int u = 0; u < n; ++u) {
+    backend.DistanceRow(u, row);
+    for (int v = 0; v < n; ++v) {
+      EXPECT_EQ(row[v], jaccard.Distance(u, v));
+    }
+  }
+  const std::vector<int> ids = {0, 14, 7, 7, 2, 0};
+  std::vector<double> out(ids.size());
+  backend.DistancesTo(9, ids, out);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(out[i], jaccard.Distance(9, ids[i]));
+  }
+}
+
+// Empty id lists and empty metrics must be no-ops, not UB.
+TEST(MetricBackendDefaultsTest, DegenerateShapes) {
+  const JaccardMetric jaccard({{1}, {2}});
+  const ScalarOnlyBackend backend(&jaccard);
+  backend.DistancesTo(0, {}, {});
+  std::vector<double> row(2);
+  backend.DistanceRow(1, row);
+  EXPECT_EQ(row[1], 0.0);
 }
 
 // ---- Repr-aware validation -------------------------------------------------

@@ -62,6 +62,17 @@ HIGHER_IS_BETTER = {
     # same run (bench/metric_backend.cc) — machine-relative by
     # construction, like the other gated speedups.
     "kernel_speedup",
+    # Pruned vs full best-swap scans on the lazy vector backend
+    # (bench/candidate_pruning.cc) — same-run machine-relative ratio;
+    # gated, since losing it means the pivot bounds stopped paying for
+    # themselves. The companion ratios below stay advisory: the dense
+    # arm's wall ratio (prune_wall_x) is expected < 1 (resident rows are
+    # cheaper than bounds) and the arithmetic ratios are exact.
+    "prune_speedup",
+    "prune_wall_x",
+    "greedy_speedup",
+    "candidates_scored_ratio",
+    "certified_fraction",
     "encode_mb_s",
     "decode_mb_s",
     "write_mb_s",
@@ -81,6 +92,9 @@ LOWER_IS_BETTER = {
     "overhead_x",
     "replay_seconds",
     "cold_load_seconds",
+    # Epoch-publish latency with pruning-index maintenance on vs off
+    # (bench/candidate_pruning.cc) — advisory, machine-relative.
+    "publish_overhead_x",
     # Absolute promotion latency: advisory (machine-dependent), never in
     # --gate-fields; BENCH_failover's gated field is bit_equal.
     "promote_ms",
